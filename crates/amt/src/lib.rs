@@ -1,0 +1,42 @@
+//! An asynchronous many-tasking (AMT) runtime modelled on HPX-5.
+//!
+//! The paper (§III) characterises HPX-5 as: diffusive, message-driven
+//! computation made of lightweight threads and **parcels** (active
+//! messages), executing within a **global address space**, synchronising
+//! through **LCOs** (local control objects) — event-driven, globally
+//! addressable objects that co-locate data and control: they reduce inputs,
+//! evaluate a trigger predicate, and run registered continuations as new
+//! lightweight threads.  *Sending a parcel is the only way of spawning a
+//! thread*; in shared memory it simply happens that every target address is
+//! local.
+//!
+//! This crate reproduces that model:
+//!
+//! * [`GlobalAddress`] — `(locality, index)` pairs addressing LCOs and
+//!   memory blocks across [`Runtime`] localities (threads standing in for
+//!   the paper's MPI-rank-like localities),
+//! * [`Parcel`]s carrying a registered action, a target address and a byte
+//!   payload; remote work may *only* travel as parcels (closures are
+//!   restricted to the local locality, keeping the code honest about what
+//!   could execute distributed),
+//! * [`LcoSpec`] / LCO cells — input slots, a reduction, a trigger
+//!   predicate (all inputs arrived) and dynamically registered
+//!   continuations, exactly the machinery DASHMM builds its implicit DAG
+//!   from (paper §IV, Figure 2),
+//! * a per-locality scheduler with per-worker deques and randomized work
+//!   stealing, plus an optional **binary task priority** — the extension
+//!   the paper's conclusions call for,
+//! * low-overhead event tracing and the utilization-fraction analysis of
+//!   §V-B (Equations 1–2).
+
+pub mod addr;
+pub mod lco;
+pub mod parcel;
+pub mod runtime;
+pub mod trace;
+
+pub use addr::GlobalAddress;
+pub use lco::{LcoOp, LcoSpec};
+pub use parcel::{decode_f64s, encode_f64s, ActionId, Parcel, Priority};
+pub use runtime::{Runtime, RuntimeConfig, RunReport, TaskCtx};
+pub use trace::{utilization_by_class, utilization_total, TraceEvent, TraceSet};

@@ -1,0 +1,104 @@
+//! Parcels: the active messages of the runtime.
+
+use crate::addr::GlobalAddress;
+
+/// Identifier of an action registered with the runtime before execution.
+/// Parcels carry action ids rather than function pointers so that a parcel
+/// is, in principle, serialisable — the discipline that keeps the runtime's
+/// shared-memory and distributed semantics identical (paper §III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ActionId(pub u32);
+
+/// Binary task priority — the scheduling extension the paper proposes
+/// (§V-C/§VI): critical-path work (the source-tree up-sweep) can be marked
+/// [`Priority::High`] so the scheduler drains it first.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Priority {
+    /// Critical-path work, drained before normal work.
+    High,
+    /// Everything else.
+    #[default]
+    Normal,
+}
+
+/// An active message: an action to perform at a global address, with
+/// argument data.
+#[derive(Clone, Debug)]
+pub struct Parcel {
+    /// Registered action to invoke.
+    pub action: ActionId,
+    /// Address the action operates on; its locality is where the parcel is
+    /// delivered and the lightweight thread spawned.
+    pub target: GlobalAddress,
+    /// Argument bytes.
+    pub payload: Vec<u8>,
+    /// Scheduling priority at the destination.
+    pub priority: Priority,
+}
+
+impl Parcel {
+    /// Construct a normal-priority parcel.
+    pub fn new(action: ActionId, target: GlobalAddress, payload: Vec<u8>) -> Self {
+        Parcel { action, target, payload, priority: Priority::Normal }
+    }
+
+    /// Construct a high-priority parcel.
+    pub fn high(action: ActionId, target: GlobalAddress, payload: Vec<u8>) -> Self {
+        Parcel { action, target, payload, priority: Priority::High }
+    }
+
+    /// Total bytes on the wire (header + payload), the quantity the
+    /// network statistics count.
+    pub fn wire_bytes(&self) -> u64 {
+        16 + self.payload.len() as u64
+    }
+}
+
+/// Append `f64` values to a byte buffer (little endian).
+pub fn encode_f64s(values: &[f64], out: &mut Vec<u8>) {
+    out.reserve(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decode a byte slice as little-endian `f64`s.  Panics when the length is
+/// not a multiple of 8 — payload framing is the sender's responsibility.
+pub fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert_eq!(bytes.len() % 8, 0, "payload is not a whole number of f64s");
+    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let vals = [0.0, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE];
+        let mut buf = Vec::new();
+        encode_f64s(&vals, &mut buf);
+        assert_eq!(buf.len(), 40);
+        assert_eq!(decode_f64s(&buf), vals);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_payload_rejected() {
+        let _ = decode_f64s(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn wire_bytes_include_header() {
+        let p = Parcel::new(ActionId(1), GlobalAddress::new(0, 0), vec![0; 24]);
+        assert_eq!(p.wire_bytes(), 40);
+    }
+
+    #[test]
+    fn priorities() {
+        let p = Parcel::new(ActionId(0), GlobalAddress::new(0, 0), vec![]);
+        assert_eq!(p.priority, Priority::Normal);
+        let h = Parcel::high(ActionId(0), GlobalAddress::new(0, 0), vec![]);
+        assert_eq!(h.priority, Priority::High);
+    }
+}

@@ -1,0 +1,871 @@
+//! The runtime: localities, scheduler, global operations.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Mutex, RwLock};
+
+use crate::addr::GlobalAddress;
+use crate::lco::{LcoCell, LcoSpec};
+use crate::parcel::{decode_f64s, encode_f64s, ActionId, Parcel, Priority};
+use crate::trace::{TraceEvent, TraceSet};
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of localities (the paper's MPI-rank-like units).
+    pub localities: usize,
+    /// Scheduler threads per locality (the paper ran one per core).
+    pub workers_per_locality: usize,
+    /// Honour [`Priority::High`] ahead of normal work — the scheduling
+    /// extension proposed in the paper's conclusions.  When `false`, the
+    /// scheduler is oblivious to priorities, reproducing the behaviour the
+    /// paper measures.
+    pub priority_scheduling: bool,
+    /// Record trace events (paper §V-B).
+    pub tracing: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            localities: 1,
+            workers_per_locality: 2,
+            priority_scheduling: false,
+            tracing: false,
+        }
+    }
+}
+
+/// Either an active-message parcel or a locality-local lightweight thread.
+enum Task {
+    Parcel(Parcel),
+    Local(Box<dyn FnOnce(&TaskCtx) + Send>, Priority),
+}
+
+impl Task {
+    fn priority(&self) -> Priority {
+        match self {
+            Task::Parcel(p) => p.priority,
+            Task::Local(_, pr) => *pr,
+        }
+    }
+}
+
+/// Action function signature: invoked at the target's locality.
+pub type ActionFn = Arc<dyn Fn(&TaskCtx, GlobalAddress, &[u8]) + Send + Sync>;
+
+/// Built-in action: deliver a set to an LCO (payload = f64 data).
+pub const ACTION_LCO_SET: ActionId = ActionId(0);
+/// Built-in action: register a continuation parcel on an LCO.
+pub const ACTION_REGISTER_CONT: ActionId = ActionId(1);
+
+struct Locality {
+    injector_high: Injector<Task>,
+    injector: Injector<Task>,
+    lcos: RwLock<Vec<Arc<LcoCell>>>,
+    blocks: RwLock<Vec<RwLock<Vec<u8>>>>,
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+}
+
+impl Locality {
+    fn new() -> Self {
+        Locality {
+            injector_high: Injector::new(),
+            injector: Injector::new(),
+            lcos: RwLock::new(Vec::new()),
+            blocks: RwLock::new(Vec::new()),
+            msgs_sent: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Outcome of one [`Runtime::run`] to quiescence.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Wall-clock nanoseconds of the run.
+    pub wall_ns: u64,
+    /// Tasks (parcels + lightweight threads) executed.
+    pub tasks: u64,
+    /// Inter-locality messages sent.
+    pub messages: u64,
+    /// Inter-locality bytes sent (headers included).
+    pub bytes: u64,
+    /// Collected trace events (empty unless tracing was enabled).
+    pub trace: TraceSet,
+}
+
+/// The AMT runtime.
+///
+/// ```
+/// use dashmm_amt::{LcoSpec, Runtime, RuntimeConfig};
+///
+/// let rt = Runtime::new(RuntimeConfig { localities: 2, ..Default::default() });
+/// let sum = rt.lco_new(1, LcoSpec::reduce_sum(1, 2));
+/// rt.seed(0, move |ctx| {
+///     ctx.lco_set(sum, &[1.5]); // crosses the network as a parcel
+///     ctx.lco_set(sum, &[2.5]);
+/// });
+/// let report = rt.run();
+/// assert_eq!(rt.lco_get(sum), Some(vec![4.0]));
+/// assert!(report.messages >= 1);
+/// ```
+pub struct Runtime {
+    cfg: RuntimeConfig,
+    localities: Vec<Locality>,
+    actions: RwLock<Vec<ActionFn>>,
+    pending: AtomicI64,
+    tasks_run: AtomicU64,
+    shutdown: AtomicBool,
+    running: AtomicBool,
+    epoch: Instant,
+    trace_sink: Mutex<Vec<Vec<TraceEvent>>>,
+}
+
+impl Runtime {
+    /// Create a runtime; localities and workers are fixed for its lifetime.
+    pub fn new(cfg: RuntimeConfig) -> Arc<Self> {
+        assert!(cfg.localities >= 1 && cfg.workers_per_locality >= 1);
+        let localities = (0..cfg.localities).map(|_| Locality::new()).collect();
+        let rt = Arc::new(Runtime {
+            cfg,
+            localities,
+            actions: RwLock::new(Vec::new()),
+            pending: AtomicI64::new(0),
+            tasks_run: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            running: AtomicBool::new(false),
+            epoch: Instant::now(),
+            trace_sink: Mutex::new(Vec::new()),
+        });
+        // Built-in actions.
+        let a0 = rt.register_action(Arc::new(|ctx: &TaskCtx, target, payload: &[u8]| {
+            let data = decode_f64s(payload);
+            ctx.lco_set(target, &data);
+        }));
+        debug_assert_eq!(a0, ACTION_LCO_SET);
+        let a1 = rt.register_action(Arc::new(|ctx: &TaskCtx, target, payload: &[u8]| {
+            let (parcel, include_data) = decode_continuation(payload);
+            ctx.runtime().register_continuation_local(ctx, target, parcel, include_data);
+        }));
+        debug_assert_eq!(a1, ACTION_REGISTER_CONT);
+        rt
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Number of localities.
+    pub fn num_localities(&self) -> u32 {
+        self.cfg.localities as u32
+    }
+
+    /// Register an action; must happen before the parcels using it are sent.
+    pub fn register_action(&self, f: ActionFn) -> ActionId {
+        let mut acts = self.actions.write();
+        acts.push(f);
+        ActionId(acts.len() as u32 - 1)
+    }
+
+    /// Allocate an LCO on a locality.
+    pub fn lco_new(&self, locality: u32, spec: LcoSpec) -> GlobalAddress {
+        let cell = Arc::new(LcoCell::new(spec));
+        let mut lcos = self.localities[locality as usize].lcos.write();
+        lcos.push(cell);
+        GlobalAddress::new(locality, lcos.len() as u32 - 1)
+    }
+
+    fn lco(&self, addr: GlobalAddress) -> Arc<LcoCell> {
+        self.localities[addr.locality as usize].lcos.read()[addr.index as usize].clone()
+    }
+
+    /// Read a triggered LCO's data (post-run); `None` if not yet triggered.
+    pub fn lco_get(&self, addr: GlobalAddress) -> Option<Vec<f64>> {
+        let cell = self.lco(addr);
+        let st = cell.state.lock();
+        if st.triggered {
+            Some(st.data.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Drop every LCO, memory block and user-registered action, keeping
+    /// only the built-in actions.  For the iterative use case: each DAG
+    /// evaluation instantiates a fresh LCO network, and without a reset the
+    /// slabs of completed evaluations would accumulate.  All previously
+    /// returned addresses and action ids (other than the built-ins) are
+    /// invalidated; must not be called during a run.
+    pub fn reset(&self) {
+        assert_eq!(
+            self.pending.load(Ordering::SeqCst),
+            0,
+            "reset() must not race an active run"
+        );
+        for loc in &self.localities {
+            loc.lcos.write().clear();
+            loc.blocks.write().clear();
+        }
+        self.actions.write().truncate(2);
+    }
+
+    /// Allocate a raw global memory block (the memput/memget face of the
+    /// global address space).
+    pub fn alloc_block(&self, locality: u32, len: usize) -> GlobalAddress {
+        let mut blocks = self.localities[locality as usize].blocks.write();
+        blocks.push(RwLock::new(vec![0u8; len]));
+        GlobalAddress::new(locality, blocks.len() as u32 - 1)
+    }
+
+    /// Copy bytes into a global block at an offset.
+    pub fn memput(&self, addr: GlobalAddress, offset: usize, data: &[u8]) {
+        let blocks = self.localities[addr.locality as usize].blocks.read();
+        let mut b = blocks[addr.index as usize].write();
+        b[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Copy bytes out of a global block.
+    pub fn memget(&self, addr: GlobalAddress, offset: usize, len: usize) -> Vec<u8> {
+        let blocks = self.localities[addr.locality as usize].blocks.read();
+        let b = blocks[addr.index as usize].read();
+        b[offset..offset + len].to_vec()
+    }
+
+    /// Enqueue a seed task before (or during) a run.
+    pub fn seed(&self, locality: u32, f: impl FnOnce(&TaskCtx) + Send + 'static) {
+        self.enqueue(locality, Task::Local(Box::new(f), Priority::Normal));
+    }
+
+    /// Enqueue a seed parcel.
+    pub fn seed_parcel(&self, parcel: Parcel) {
+        let loc = parcel.target.locality;
+        self.enqueue(loc, Task::Parcel(parcel));
+    }
+
+    fn enqueue(&self, locality: u32, task: Task) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let l = &self.localities[locality as usize];
+        if self.cfg.priority_scheduling && task.priority() == Priority::High {
+            l.injector_high.push(task);
+        } else {
+            l.injector.push(task);
+        }
+    }
+
+    fn register_continuation_local(
+        &self,
+        ctx: &TaskCtx,
+        addr: GlobalAddress,
+        parcel: Parcel,
+        include_data: bool,
+    ) {
+        debug_assert_eq!(addr.locality, ctx.locality, "continuation registration must be local");
+        let cell = self.lco(addr);
+        let mut st = cell.state.lock();
+        if st.triggered {
+            let mut p = parcel;
+            if include_data {
+                encode_f64s(&st.data, &mut p.payload);
+            }
+            drop(st);
+            ctx.send(p);
+        } else {
+            st.waiting.push((parcel, include_data));
+        }
+    }
+
+    /// Execute until quiescence: every enqueued task (and everything they
+    /// transitively spawn) has completed.  Returns run statistics.
+    pub fn run(&self) -> RunReport {
+        let t0 = Instant::now();
+        let msgs0: u64 = self.localities.iter().map(|l| l.msgs_sent.load(Ordering::Relaxed)).sum();
+        let bytes0: u64 = self.localities.iter().map(|l| l.bytes_sent.load(Ordering::Relaxed)).sum();
+        let tasks0 = self.tasks_run.load(Ordering::Relaxed);
+        let run_start_ns = self.epoch.elapsed().as_nanos() as u64;
+        // Concurrent runs would share the pending counter and shutdown
+        // flag, silently corrupting quiescence detection — refuse early.
+        assert!(
+            self.running
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok(),
+            "Runtime::run() is already active on another thread"
+        );
+        self.shutdown.store(false, Ordering::SeqCst);
+
+        std::thread::scope(|scope| {
+            for (loc_id, loc) in self.localities.iter().enumerate() {
+                // Per-locality worker deques with intra-locality stealing
+                // (HPX-5 was configured with local randomized workstealing).
+                let workers: Vec<Worker<Task>> =
+                    (0..self.cfg.workers_per_locality).map(|_| Worker::new_lifo()).collect();
+                let stealers: Arc<Vec<Stealer<Task>>> =
+                    Arc::new(workers.iter().map(|w| w.stealer()).collect());
+                for (wid, w) in workers.into_iter().enumerate() {
+                    let stealers = Arc::clone(&stealers);
+                    scope.spawn(move || {
+                        self.worker_loop(loc_id as u32, wid, w, &stealers, loc);
+                    });
+                }
+            }
+            // Quiescence monitor.
+            while self.pending.load(Ordering::SeqCst) > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            self.shutdown.store(true, Ordering::SeqCst);
+        });
+
+        let mut trace = TraceSet::new(self.cfg.localities * self.cfg.workers_per_locality);
+        for mut buf in self.trace_sink.lock().drain(..) {
+            for e in &mut buf {
+                e.start_ns = e.start_ns.saturating_sub(run_start_ns);
+                e.end_ns = e.end_ns.saturating_sub(run_start_ns);
+            }
+            trace.push_worker(buf);
+        }
+        self.running.store(false, Ordering::SeqCst);
+        let msgs1: u64 = self.localities.iter().map(|l| l.msgs_sent.load(Ordering::Relaxed)).sum();
+        let bytes1: u64 = self.localities.iter().map(|l| l.bytes_sent.load(Ordering::Relaxed)).sum();
+        RunReport {
+            wall_ns: t0.elapsed().as_nanos() as u64,
+            tasks: self.tasks_run.load(Ordering::Relaxed) - tasks0,
+            messages: msgs1 - msgs0,
+            bytes: bytes1 - bytes0,
+            trace,
+        }
+    }
+
+    fn worker_loop(
+        &self,
+        locality: u32,
+        worker: usize,
+        local: Worker<Task>,
+        stealers: &[Stealer<Task>],
+        loc: &Locality,
+    ) {
+        let ctx = TaskCtx {
+            rt: self,
+            locality,
+            worker,
+            local,
+            trace: RefCell::new(Vec::new()),
+        };
+        let mut idle = 0u32;
+        loop {
+            if let Some(task) = self.find_task(&ctx, stealers, loc, worker) {
+                self.execute(&ctx, task);
+                self.tasks_run.fetch_add(1, Ordering::Relaxed);
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                idle = 0;
+                continue;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            idle += 1;
+            if idle < 64 {
+                std::hint::spin_loop();
+            } else if idle < 256 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+        if self.cfg.tracing {
+            self.trace_sink.lock().push(ctx.trace.into_inner());
+        }
+    }
+
+    fn find_task(
+        &self,
+        ctx: &TaskCtx,
+        stealers: &[Stealer<Task>],
+        loc: &Locality,
+        worker: usize,
+    ) -> Option<Task> {
+        // High-priority work first (no-op unless priority scheduling is on,
+        // since nothing is enqueued there otherwise).
+        loop {
+            match loc.injector_high.steal_batch_and_pop(&ctx.local) {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => break,
+                Steal::Retry => {}
+            }
+        }
+        if let Some(t) = ctx.local.pop() {
+            return Some(t);
+        }
+        loop {
+            match loc.injector.steal_batch_and_pop(&ctx.local) {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => break,
+                Steal::Retry => {}
+            }
+        }
+        // Randomized stealing from sibling workers.
+        let n = stealers.len();
+        if n > 1 {
+            let seed = self.tasks_run.load(Ordering::Relaxed) as usize + worker;
+            for k in 0..n {
+                let v = (seed + k) % n;
+                if v == worker {
+                    continue;
+                }
+                loop {
+                    match stealers[v].steal() {
+                        Steal::Success(t) => return Some(t),
+                        Steal::Empty => break,
+                        Steal::Retry => {}
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn execute(&self, ctx: &TaskCtx, task: Task) {
+        match task {
+            Task::Parcel(p) => {
+                debug_assert_eq!(p.target.locality, ctx.locality, "parcel delivered to wrong locality");
+                let action = self.actions.read()[p.action.0 as usize].clone();
+                action(ctx, p.target, &p.payload);
+            }
+            Task::Local(f, _) => f(ctx),
+        }
+    }
+}
+
+fn encode_continuation(parcel: &Parcel, include_data: bool, out: &mut Vec<u8>) {
+    out.extend_from_slice(&parcel.action.0.to_le_bytes());
+    out.extend_from_slice(&parcel.target.pack().to_le_bytes());
+    out.push(include_data as u8);
+    out.push((parcel.priority == Priority::High) as u8);
+    out.extend_from_slice(&(parcel.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&parcel.payload);
+}
+
+fn decode_continuation(bytes: &[u8]) -> (Parcel, bool) {
+    let action = ActionId(u32::from_le_bytes(bytes[0..4].try_into().unwrap()));
+    let target = GlobalAddress::unpack(u64::from_le_bytes(bytes[4..12].try_into().unwrap()));
+    let include_data = bytes[12] != 0;
+    let high = bytes[13] != 0;
+    let plen = u32::from_le_bytes(bytes[14..18].try_into().unwrap()) as usize;
+    let payload = bytes[18..18 + plen].to_vec();
+    let mut p = Parcel::new(action, target, payload);
+    if high {
+        p.priority = Priority::High;
+    }
+    (p, include_data)
+}
+
+/// Per-task execution context: the facing API of the runtime inside
+/// actions, trigger closures and local threads.
+pub struct TaskCtx<'a> {
+    rt: &'a Runtime,
+    /// Locality this task runs on.
+    pub locality: u32,
+    /// Worker index within the locality.
+    pub worker: usize,
+    local: Worker<Task>,
+    trace: RefCell<Vec<TraceEvent>>,
+}
+
+impl<'a> TaskCtx<'a> {
+    /// The runtime.
+    pub fn runtime(&self) -> &'a Runtime {
+        self.rt
+    }
+
+    /// Spawn a locality-local lightweight thread.
+    pub fn spawn(&self, f: impl FnOnce(&TaskCtx) + Send + 'static) {
+        self.spawn_with_priority(f, Priority::Normal);
+    }
+
+    /// Spawn with an explicit priority.
+    pub fn spawn_with_priority(
+        &self,
+        f: impl FnOnce(&TaskCtx) + Send + 'static,
+        priority: Priority,
+    ) {
+        self.rt.pending.fetch_add(1, Ordering::SeqCst);
+        let task = Task::Local(Box::new(f), priority);
+        if self.rt.cfg.priority_scheduling && priority == Priority::High {
+            self.rt.localities[self.locality as usize].injector_high.push(task);
+        } else {
+            self.local.push(task);
+        }
+    }
+
+    /// Send a parcel; local targets are enqueued directly, remote targets
+    /// cross the (counted) network.
+    pub fn send(&self, parcel: Parcel) {
+        if parcel.target.locality == self.locality {
+            self.rt.pending.fetch_add(1, Ordering::SeqCst);
+            let task = Task::Parcel(parcel);
+            if self.rt.cfg.priority_scheduling && task.priority() == Priority::High {
+                self.rt.localities[self.locality as usize].injector_high.push(task);
+            } else {
+                self.local.push(task);
+            }
+        } else {
+            let src = &self.rt.localities[self.locality as usize];
+            src.msgs_sent.fetch_add(1, Ordering::Relaxed);
+            src.bytes_sent.fetch_add(parcel.wire_bytes(), Ordering::Relaxed);
+            self.rt.enqueue(parcel.target.locality, Task::Parcel(parcel));
+        }
+    }
+
+    /// Deliver one input to an LCO.  Local LCOs are reduced immediately;
+    /// remote ones receive a built-in set parcel.  When the input completes
+    /// the LCO's expected inputs, its continuations are spawned as a new
+    /// lightweight thread at the LCO's locality.
+    pub fn lco_set(&self, addr: GlobalAddress, data: &[f64]) {
+        self.lco_set_with_priority(addr, data, Priority::Normal);
+    }
+
+    /// [`TaskCtx::lco_set`] with an explicit continuation priority.
+    pub fn lco_set_with_priority(&self, addr: GlobalAddress, data: &[f64], priority: Priority) {
+        if addr.locality != self.locality {
+            let mut payload = Vec::with_capacity(data.len() * 8);
+            encode_f64s(data, &mut payload);
+            let mut p = Parcel::new(ACTION_LCO_SET, addr, payload);
+            p.priority = priority;
+            self.send(p);
+            return;
+        }
+        let cell = self.rt.lco(addr);
+        let fired = {
+            let mut st = cell.state.lock();
+            let t0 = if self.rt.cfg.tracing && st.trace_class != u8::MAX {
+                Some((st.trace_class, self.now_ns()))
+            } else {
+                None
+            };
+            let fired = st.reduce(data);
+            if let Some((class, start)) = t0 {
+                let end = self.now_ns();
+                self.trace.borrow_mut().push(TraceEvent { class, start_ns: start, end_ns: end });
+            }
+            fired
+        };
+        if fired {
+            let cell2 = Arc::clone(&cell);
+            self.spawn_with_priority(
+                move |ctx| {
+                    let (on_trigger, waiting) = {
+                        let mut st = cell2.state.lock();
+                        (st.on_trigger.take(), std::mem::take(&mut st.waiting))
+                    };
+                    let st = cell2.state.lock();
+                    if let Some(f) = on_trigger {
+                        f(ctx, &st.data);
+                    }
+                    for (mut parcel, include_data) in waiting {
+                        if include_data {
+                            encode_f64s(&st.data, &mut parcel.payload);
+                        }
+                        ctx.send(parcel);
+                    }
+                },
+                priority,
+            );
+        }
+    }
+
+    /// Register a continuation parcel to fire (once) when the LCO triggers;
+    /// if it already has, the parcel is sent immediately.  `include_data`
+    /// appends the LCO data to the parcel payload.
+    pub fn register_continuation(
+        &self,
+        addr: GlobalAddress,
+        parcel: Parcel,
+        include_data: bool,
+    ) {
+        if addr.locality == self.locality {
+            self.rt.register_continuation_local(self, addr, parcel, include_data);
+        } else {
+            let mut payload = Vec::new();
+            encode_continuation(&parcel, include_data, &mut payload);
+            self.send(Parcel::new(ACTION_REGISTER_CONT, addr, payload));
+        }
+    }
+
+    /// Nanoseconds since the runtime epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.rt.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record a traced span around `f`, tagged with an event class.
+    pub fn traced<R>(&self, class: u8, f: impl FnOnce() -> R) -> R {
+        if !self.rt.cfg.tracing {
+            return f();
+        }
+        let start = self.now_ns();
+        let r = f();
+        let end = self.now_ns();
+        self.trace.borrow_mut().push(TraceEvent { class, start_ns: start, end_ns: end });
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lco::LcoOp;
+
+    fn rt(localities: usize, workers: usize) -> Arc<Runtime> {
+        Runtime::new(RuntimeConfig {
+            localities,
+            workers_per_locality: workers,
+            priority_scheduling: false,
+            tracing: false,
+        })
+    }
+
+    #[test]
+    fn empty_run_terminates() {
+        let r = rt(1, 1);
+        let rep = r.run();
+        assert_eq!(rep.tasks, 0);
+    }
+
+    #[test]
+    fn single_task_runs() {
+        let r = rt(1, 2);
+        let flag = Arc::new(AtomicU64::new(0));
+        let f2 = flag.clone();
+        r.seed(0, move |_| {
+            f2.store(42, Ordering::SeqCst);
+        });
+        let rep = r.run();
+        assert_eq!(flag.load(Ordering::SeqCst), 42);
+        assert_eq!(rep.tasks, 1);
+    }
+
+    #[test]
+    fn lco_reduction_network() {
+        // Three inputs summed into an LCO, whose trigger writes a future.
+        let r = rt(1, 2);
+        let sum = r.lco_new(0, LcoSpec::reduce_sum(2, 3));
+        let done = r.lco_new(0, LcoSpec::future(2));
+        // Attach a trigger by registering a continuation that copies data.
+        {
+            let r2 = r.clone();
+            let sum2 = sum;
+            let done2 = done;
+            r.seed(0, move |ctx| {
+                let _ = &r2;
+                ctx.register_continuation(
+                    sum2,
+                    Parcel::new(ACTION_LCO_SET, done2, Vec::new()),
+                    true,
+                );
+                ctx.lco_set(sum2, &[1.0, 10.0]);
+                ctx.lco_set(sum2, &[2.0, 20.0]);
+                ctx.lco_set(sum2, &[3.0, 30.0]);
+            });
+        }
+        r.run();
+        assert_eq!(r.lco_get(done), Some(vec![6.0, 60.0]));
+    }
+
+    #[test]
+    fn cross_locality_parcel_counted() {
+        let r = rt(2, 1);
+        let fut = r.lco_new(1, LcoSpec::future(1));
+        r.seed(0, move |ctx| {
+            ctx.lco_set(fut, &[7.0]); // remote: becomes a parcel
+        });
+        let rep = r.run();
+        assert_eq!(r.lco_get(fut), Some(vec![7.0]));
+        assert_eq!(rep.messages, 1);
+        assert!(rep.bytes >= 8);
+    }
+
+    #[test]
+    fn local_sets_do_not_touch_network() {
+        let r = rt(2, 1);
+        let fut = r.lco_new(0, LcoSpec::future(1));
+        r.seed(0, move |ctx| ctx.lco_set(fut, &[1.0]));
+        let rep = r.run();
+        assert_eq!(rep.messages, 0);
+    }
+
+    #[test]
+    fn trigger_closure_runs_with_data() {
+        let r = rt(1, 2);
+        let out = r.lco_new(0, LcoSpec::future(1));
+        let spec = LcoSpec::reduce_sum(1, 2).with_trigger(Box::new(move |ctx, data| {
+            ctx.lco_set(out, &[data[0] * 2.0]);
+        }));
+        let sum = r.lco_new(0, spec);
+        r.seed(0, move |ctx| {
+            ctx.lco_set(sum, &[3.0]);
+            ctx.lco_set(sum, &[4.0]);
+        });
+        r.run();
+        assert_eq!(r.lco_get(out), Some(vec![14.0]));
+    }
+
+    #[test]
+    fn continuation_after_trigger_fires_immediately() {
+        let r = rt(1, 1);
+        let src = r.lco_new(0, LcoSpec::future(1));
+        let dst = r.lco_new(0, LcoSpec::future(1));
+        r.seed(0, move |ctx| {
+            ctx.lco_set(src, &[5.0]);
+            // src is already triggered when this registration arrives.
+            ctx.spawn(move |ctx2| {
+                ctx2.register_continuation(src, Parcel::new(ACTION_LCO_SET, dst, vec![]), true);
+            });
+        });
+        r.run();
+        assert_eq!(r.lco_get(dst), Some(vec![5.0]));
+    }
+
+    #[test]
+    fn fan_out_fan_in_across_localities() {
+        // One task fans out to 4 localities; each computes and feeds a
+        // reduction back on locality 0.
+        let r = rt(4, 2);
+        let sum = r.lco_new(0, LcoSpec::reduce_sum(1, 4));
+        let compute = r.register_action(Arc::new(move |ctx, _target, payload: &[u8]| {
+            let x = decode_f64s(payload)[0];
+            ctx.lco_set(sum, &[x * x]);
+        }));
+        r.seed(0, move |ctx| {
+            for loc in 0..4u32 {
+                let mut payload = Vec::new();
+                encode_f64s(&[(loc + 1) as f64], &mut payload);
+                ctx.send(Parcel::new(compute, GlobalAddress::new(loc, 0), payload));
+            }
+        });
+        let rep = r.run();
+        assert_eq!(r.lco_get(sum), Some(vec![1.0 + 4.0 + 9.0 + 16.0]));
+        assert!(rep.messages >= 3, "three remote parcels at least, got {}", rep.messages);
+    }
+
+    #[test]
+    fn memput_memget_roundtrip() {
+        let r = rt(2, 1);
+        let block = r.alloc_block(1, 64);
+        r.memput(block, 8, &[1, 2, 3, 4]);
+        assert_eq!(r.memget(block, 8, 4), vec![1, 2, 3, 4]);
+        assert_eq!(r.memget(block, 0, 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn deep_chain_terminates() {
+        // A 1000-deep dependency chain exercises trigger-spawn recursion.
+        let r = rt(1, 2);
+        let mut prev = r.lco_new(0, LcoSpec::future(1));
+        let first = prev;
+        for _ in 0..1000 {
+            let next = r.lco_new(0, LcoSpec::future(1));
+            r.seed(0, {
+                let p = prev;
+                move |ctx| {
+                    ctx.register_continuation(p, Parcel::new(ACTION_LCO_SET, next, vec![]), true);
+                }
+            });
+            prev = next;
+        }
+        let last = prev;
+        r.seed(0, move |ctx| ctx.lco_set(first, &[1.25]));
+        r.run();
+        assert_eq!(r.lco_get(last), Some(vec![1.25]));
+    }
+
+    #[test]
+    fn many_tasks_all_workers() {
+        let r = rt(1, 4);
+        let total = Arc::new(AtomicU64::new(0));
+        for _ in 0..500 {
+            let t = total.clone();
+            r.seed(0, move |_| {
+                t.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let rep = r.run();
+        assert_eq!(total.load(Ordering::SeqCst), 500);
+        assert_eq!(rep.tasks, 500);
+    }
+
+    #[test]
+    fn custom_lco_op_used_by_runtime() {
+        let r = rt(1, 1);
+        let spec = LcoSpec {
+            size: 1,
+            inputs: 3,
+            op: LcoOp::Custom(Box::new(|d, i| d[0] = d[0].max(i[0]))),
+            on_trigger: None,
+            trace_class: u8::MAX,
+        };
+        let m = r.lco_new(0, spec);
+        r.seed(0, move |ctx| {
+            ctx.lco_set(m, &[2.0]);
+            ctx.lco_set(m, &[9.0]);
+            ctx.lco_set(m, &[4.0]);
+        });
+        r.run();
+        assert_eq!(r.lco_get(m), Some(vec![9.0]));
+    }
+
+    #[test]
+    fn tracing_collects_events() {
+        let r = Runtime::new(RuntimeConfig {
+            localities: 1,
+            workers_per_locality: 2,
+            priority_scheduling: false,
+            tracing: true,
+        });
+        r.seed(0, |ctx| {
+            ctx.traced(3, || std::thread::sleep(std::time::Duration::from_millis(2)));
+        });
+        let rep = r.run();
+        let events: Vec<_> = rep.trace.all_events().collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].class, 3);
+        assert!(events[0].end_ns > events[0].start_ns);
+    }
+
+    #[test]
+    fn reset_clears_state_between_runs() {
+        let r = rt(2, 1);
+        let a = r.lco_new(1, LcoSpec::future(1));
+        r.seed(0, move |ctx| ctx.lco_set(a, &[1.0]));
+        r.run();
+        assert_eq!(r.lco_get(a), Some(vec![1.0]));
+        r.reset();
+        // Fresh allocation reuses slot 0 on the cleared slab.
+        let b = r.lco_new(1, LcoSpec::future(1));
+        assert_eq!(b.index, 0);
+        r.seed(0, move |ctx| ctx.lco_set(b, &[2.0]));
+        r.run();
+        assert_eq!(r.lco_get(b), Some(vec![2.0]));
+        // Built-in actions survive the reset (lco_set above crossed the
+        // network via ACTION_LCO_SET).
+    }
+
+    #[test]
+    fn two_runs_on_one_runtime() {
+        // The iterative use case: setup once, evaluate repeatedly.
+        let r = rt(1, 2);
+        let c = Arc::new(AtomicU64::new(0));
+        for _ in 0..2 {
+            let c2 = c.clone();
+            r.seed(0, move |_| {
+                c2.fetch_add(1, Ordering::Relaxed);
+            });
+            let rep = r.run();
+            assert_eq!(rep.tasks, 1);
+        }
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks of every FMM operator, per kernel — the
+//! per-edge costs behind Table II and the simulator's cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dashmm_expansion::{ops, AccuracyParams, LevelTables};
+use dashmm_kernels::{Kernel, Laplace, Yukawa};
+use dashmm_tree::{Direction, Point3};
+
+const SIDE: f64 = 0.25;
+
+fn cloud(center: Point3, side: f64, n: usize) -> (Vec<Point3>, Vec<f64>) {
+    let mut state = 0x243f6a8885a308d3u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let pts =
+        (0..n).map(|_| center + Point3::new(next() * side, next() * side, next() * side)).collect();
+    let charges = (0..n).map(|_| next()).collect();
+    (pts, charges)
+}
+
+fn bench_kernel_ops<K: Kernel>(c: &mut Criterion, kernel: K) {
+    let name = kernel.name();
+    let t = LevelTables::build(&kernel, &AccuracyParams::three_digit(), 3, SIDE, true);
+    let n = t.expansion_len();
+    let w = t.planewave_len();
+    let center = Point3::ZERO;
+    let (src, q) = cloud(center, SIDE, 60);
+    let (tgt, _) = cloud(Point3::new(2.0 * SIDE, 0.0, 0.0), SIDE, 60);
+
+    let mut m = vec![0.0; n];
+    ops::s2m(&kernel, &t, center, &src, &q, &mut m);
+    let mut wv = vec![0.0; w];
+    ops::m2i(&t, Direction::Up, &m, &mut wv);
+    let fac = t.i2i(Direction::Up, Point3::new(0.0, 0.0, 2.0 * SIDE));
+    // Warm the M2L cache so the bench measures application, not assembly.
+    let m2l_mat = t.m2l(&kernel, (2, 0, 0));
+    drop(m2l_mat);
+
+    let mut g = c.benchmark_group(format!("ops/{name}"));
+    g.bench_function(BenchmarkId::from_parameter("S2M"), |b| {
+        let mut out = vec![0.0; n];
+        b.iter(|| ops::s2m(&kernel, &t, center, &src, &q, &mut out));
+    });
+    g.bench_function(BenchmarkId::from_parameter("M2M"), |b| {
+        let mut out = vec![0.0; n];
+        b.iter(|| ops::m2m(&t, 3, &m, &mut out));
+    });
+    g.bench_function(BenchmarkId::from_parameter("M2L"), |b| {
+        let mut out = vec![0.0; n];
+        b.iter(|| ops::m2l(&kernel, &t, (2, 0, 0), &m, &mut out));
+    });
+    g.bench_function(BenchmarkId::from_parameter("M2I_6dir"), |b| {
+        let mut out = vec![0.0; w];
+        b.iter(|| {
+            for d in Direction::ALL {
+                ops::m2i(&t, d, &m, &mut out);
+            }
+        });
+    });
+    g.bench_function(BenchmarkId::from_parameter("I2I"), |b| {
+        let mut out = vec![0.0; w];
+        b.iter(|| ops::i2i_apply(&fac, &wv, &mut out));
+    });
+    g.bench_function(BenchmarkId::from_parameter("I2L_6dir"), |b| {
+        let mut out = vec![0.0; n];
+        b.iter(|| {
+            for d in Direction::ALL {
+                ops::i2l(&t, d, &wv, &mut out);
+            }
+        });
+    });
+    g.bench_function(BenchmarkId::from_parameter("L2L"), |b| {
+        let mut out = vec![0.0; n];
+        b.iter(|| ops::l2l(&t, 5, &m, &mut out));
+    });
+    g.bench_function(BenchmarkId::from_parameter("L2T"), |b| {
+        let mut out = vec![0.0; tgt.len()];
+        b.iter(|| ops::l2t(&kernel, &t, Point3::new(2.0 * SIDE, 0.0, 0.0), &m, &tgt, &mut out));
+    });
+    g.bench_function(BenchmarkId::from_parameter("S2T_60x60"), |b| {
+        let mut out = vec![0.0; tgt.len()];
+        b.iter(|| ops::p2p(&kernel, &src, &q, &tgt, &mut out));
+    });
+    g.finish();
+}
+
+fn operators(c: &mut Criterion) {
+    bench_kernel_ops(c, Laplace);
+    bench_kernel_ops(c, Yukawa::new(1.0));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
+    targets = operators
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the evaluation pipeline phases: tree
+//! construction, interaction lists, explicit-DAG assembly, full DAG
+//! evaluation (all methods), and the direct-summation oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dashmm_core::{assemble, DashmmBuilder, Method, Problem};
+use dashmm_expansion::{AccuracyParams, OperatorLibrary};
+use dashmm_kernels::{direct_sum, Laplace};
+use dashmm_tree::{uniform_cube, BuildParams, DualTree};
+
+const N: usize = 20_000;
+
+fn pipeline(c: &mut Criterion) {
+    let sources = uniform_cube(N, 1);
+    let targets = uniform_cube(N, 2);
+    let charges = vec![1.0; N];
+    let params = BuildParams { threshold: 60, max_level: 20 };
+
+    let mut g = c.benchmark_group("pipeline");
+    g.bench_function(BenchmarkId::new("dual_tree_build", N), |b| {
+        b.iter(|| DualTree::build(&sources, &targets, params));
+    });
+    let tree = DualTree::build(&sources, &targets, params);
+    g.bench_function(BenchmarkId::new("interaction_lists", N), |b| {
+        b.iter(|| tree.interaction_lists());
+    });
+    let problem = Problem::new(&sources, &charges, &targets, params);
+    let lib = OperatorLibrary::new(
+        Laplace,
+        AccuracyParams::three_digit(),
+        problem.tree.domain().side(),
+        true,
+    );
+    lib.tables(3); // pre-build the hot level so assembly timing is pure
+    g.bench_function(BenchmarkId::new("assemble_advanced", N), |b| {
+        b.iter(|| assemble(&problem, Method::AdvancedFmm, &lib));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("evaluate");
+    g.sample_size(10);
+    let small = 4_000;
+    let s2 = uniform_cube(small, 3);
+    let t2 = uniform_cube(small, 4);
+    let q2 = vec![1.0; small];
+    for (label, method) in [
+        ("advanced_fmm", Method::AdvancedFmm),
+        ("basic_fmm", Method::BasicFmm),
+        ("barnes_hut", Method::BarnesHut { theta: 0.5 }),
+    ] {
+        let eval = DashmmBuilder::new(Laplace)
+            .method(method)
+            .threshold(60)
+            .machine(1, 2)
+            .build(&s2, &q2, &t2);
+        g.bench_function(BenchmarkId::new(label, small), |b| {
+            b.iter(|| eval.evaluate());
+        });
+    }
+    let sp: Vec<[f64; 3]> = s2.iter().map(|p| [p.x, p.y, p.z]).collect();
+    let tp: Vec<[f64; 3]> = t2.iter().map(|p| [p.x, p.y, p.z]).collect();
+    g.bench_function(BenchmarkId::new("direct_oracle", small), |b| {
+        b.iter(|| direct_sum(&Laplace, &sp, &q2, &tp, 1));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! **Table II** — count, message size, and average execution time of DAG
+//! edges, by operator class.
+//!
+//! Edge counts and sizes come from the assembled explicit DAG; execution
+//! times are *measured* on this host by running a traced evaluation on the
+//! real AMT runtime (exactly how the paper collected its timings, §V-B) and
+//! averaging per class.
+//!
+//! Run: `cargo run --release -p dashmm-bench --bin table2 [--n N]`
+
+use dashmm_bench::{banner, build_workload, Opts};
+use dashmm_core::{per_op_avg_us, DashmmBuilder, Method};
+use dashmm_dag::{DagStats, EdgeOp};
+use dashmm_kernels::{KernelKind, Laplace, Yukawa};
+
+/// Paper Table II (count, size, tavg µs at 128 cores).
+const PAPER: [(&str, u64, &str, f64); 8] = [
+    ("S→T", 55_742_860, "32-1920", 1.89),
+    ("S→M", 2_097_148, "880", 10.9),
+    ("M→M", 2_396_668, "880", 4.60),
+    ("M→I", 2_396_732, "5280", 29.6),
+    ("I→I", 59_992_216, "912-2736", 1.75),
+    ("I→L", 2_396_736, "880", 38.4),
+    ("L→L", 2_396_672, "880", 4.45),
+    ("L→T", 2_097_152, "880", 13.5),
+];
+
+fn main() {
+    let opts = Opts::parse();
+    banner(
+        "Table II — DAG edge classes (count, size, measured t_avg)",
+        &format!("workload: {:?} {:?} n={} threshold={}", opts.dist, opts.kernel, opts.n, opts.threshold),
+    );
+    let w = build_workload(&opts, 1);
+    let stats = DagStats::compute(&w.asm.dag);
+
+    // Measure per-operator times with a traced single-worker evaluation of
+    // a smaller instance (time grows linearly; averages converge fast).
+    let measure_n = opts.n.min(50_000);
+    let m_opts = Opts { n: measure_n, ..opts.clone() };
+    let (sources, targets, charges) = m_opts.ensembles();
+    eprintln!("measuring operator times on n={measure_n} (single worker, traced)…");
+    let avg = match opts.kernel {
+        KernelKind::Laplace => {
+            let out = DashmmBuilder::new(Laplace)
+                .method(Method::AdvancedFmm)
+                .threshold(opts.threshold)
+                .machine(1, 1)
+                .tracing(true)
+                .build(&sources, &charges, &targets)
+                .evaluate();
+            per_op_avg_us(&out.report.trace)
+        }
+        KernelKind::Yukawa(lam) => {
+            let out = DashmmBuilder::new(Yukawa::new(lam))
+                .method(Method::AdvancedFmm)
+                .threshold(opts.threshold)
+                .machine(1, 1)
+                .tracing(true)
+                .build(&sources, &charges, &targets)
+                .evaluate();
+            per_op_avg_us(&out.report.trace)
+        }
+    };
+
+    println!("\n--- this implementation ---");
+    print!("{}", stats.edge_table(Some(&avg)));
+
+    println!("\n--- paper (30 M points, cube Laplace, 128 cores) ---");
+    println!("Type     Count       Size [B]        t_avg [µs]");
+    for (name, count, size, t) in PAPER {
+        println!("{name:<6} {count:>10}  {size:>14}  {t:>10.3}");
+    }
+
+    println!("\n--- shape checks ---");
+    let e = |o: EdgeOp| stats.edges[o.index()];
+    check(
+        "I→I is the single largest edge class (paper §V-B)",
+        EdgeOp::ALL.iter().all(|&o| e(EdgeOp::I2I).count >= e(o).count),
+    );
+    check("S→T is the second most numerous class", {
+        EdgeOp::ALL
+            .iter()
+            .filter(|&&o| o != EdgeOp::I2I)
+            .all(|&o| e(EdgeOp::S2T).count >= e(o).count)
+    });
+    check(
+        "I→I has the cheapest per-edge time of the expansion operators",
+        avg[EdgeOp::I2I.index()] < avg[EdgeOp::M2I.index()]
+            && avg[EdgeOp::I2I.index()] < avg[EdgeOp::I2L.index()],
+    );
+    check(
+        "M→I and I→L are the heaviest operators",
+        avg[EdgeOp::M2I.index()] > avg[EdgeOp::M2M.index()]
+            && avg[EdgeOp::I2L.index()] > avg[EdgeOp::L2L.index()],
+    );
+    check(
+        "M→M/L→L cheaper than S→M/L→T (matrix apply vs kernel evaluations)",
+        avg[EdgeOp::M2M.index()] < avg[EdgeOp::S2M.index()]
+            && avg[EdgeOp::L2L.index()] < avg[EdgeOp::L2T.index()],
+    );
+}
+
+fn check(what: &str, ok: bool) {
+    println!("[{}] {}", if ok { "ok" } else { "MISMATCH" }, what);
+}

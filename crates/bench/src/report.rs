@@ -1,0 +1,78 @@
+//! Report artifacts: CSV series for external plotting and quick ASCII
+//! sparklines for terminal inspection.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Write a CSV file with a header row; creates parent directories.
+pub fn write_csv(
+    path: &Path,
+    header: &[&str],
+    rows: impl IntoIterator<Item = Vec<String>>,
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Render a unicode sparkline of a series, normalised to its own maximum.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+            BARS[idx]
+        })
+        .collect()
+}
+
+/// Downsample a series to `n` buckets by averaging (for 1-line sparklines
+/// of 100-interval utilization curves).
+pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
+    assert!(n > 0);
+    let chunk = values.len().div_ceil(n);
+    values.chunks(chunk).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("dashmm_csv_test");
+        let path = dir.join("x.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            vec![vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(got, "a,b\n1,2\n3,4\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.ends_with('█'));
+        assert!(s.starts_with('▁'));
+    }
+
+    #[test]
+    fn downsample_averages() {
+        let d = downsample(&[1.0, 3.0, 5.0, 7.0], 2);
+        assert_eq!(d, vec![2.0, 6.0]);
+        assert_eq!(downsample(&[1.0], 4), vec![1.0]);
+    }
+}

@@ -1,0 +1,424 @@
+//! The user-facing DASHMM API.
+//!
+//! End users configure a kernel, a method, accuracy, and a (virtual)
+//! machine; no knowledge of the runtime is required — the second design
+//! objective of DASHMM (paper §I).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dashmm_amt::{Runtime, RuntimeConfig, RunReport};
+use dashmm_dag::{
+    BlockPolicy, Dag, DagStats, DistributionPolicy, FmmPolicy, NodeClass, SingleLocality,
+};
+use dashmm_expansion::{AccuracyParams, OperatorLibrary};
+use dashmm_kernels::Kernel;
+use dashmm_tree::{BuildParams, Point3};
+
+use crate::assemble::{assemble, Assembly};
+use crate::exec::ExecCtx;
+use crate::problem::{block_owner, Method, Problem};
+
+/// Which distribution policy assigns DAG nodes to localities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Everything on locality 0.
+    Single,
+    /// Nodes follow their box owner.
+    Block,
+    /// The paper's FMM policy (leaf pinning + communication-aware `It`
+    /// placement).
+    Fmm,
+}
+
+/// Builder for a DASHMM evaluation.
+pub struct DashmmBuilder<K: Kernel> {
+    kernel: K,
+    method: Method,
+    accuracy: AccuracyParams,
+    threshold: usize,
+    localities: usize,
+    workers: usize,
+    priority: bool,
+    tracing: bool,
+    gradients: bool,
+    policy: Policy,
+}
+
+impl<K: Kernel> DashmmBuilder<K> {
+    /// Start a builder with the paper's defaults: advanced FMM, 3-digit
+    /// accuracy, refinement threshold 60, one locality with two workers.
+    pub fn new(kernel: K) -> Self {
+        DashmmBuilder {
+            kernel,
+            method: Method::AdvancedFmm,
+            accuracy: AccuracyParams::three_digit(),
+            threshold: 60,
+            localities: 1,
+            workers: 2,
+            priority: false,
+            tracing: false,
+            gradients: false,
+            policy: Policy::Fmm,
+        }
+    }
+
+    /// Select the method.
+    pub fn method(mut self, m: Method) -> Self {
+        self.method = m;
+        self
+    }
+
+    /// Select the accuracy preset.
+    pub fn accuracy(mut self, a: AccuracyParams) -> Self {
+        self.accuracy = a;
+        self
+    }
+
+    /// Tree refinement threshold (paper: 60).
+    pub fn threshold(mut self, t: usize) -> Self {
+        assert!(t >= 1);
+        self.threshold = t;
+        self
+    }
+
+    /// Number of localities and workers per locality.
+    pub fn machine(mut self, localities: usize, workers_per_locality: usize) -> Self {
+        assert!(localities >= 1 && workers_per_locality >= 1);
+        self.localities = localities;
+        self.workers = workers_per_locality;
+        self
+    }
+
+    /// Enable the binary critical-path priority (the paper's proposal).
+    pub fn priority(mut self, on: bool) -> Self {
+        self.priority = on;
+        self
+    }
+
+    /// Record operator traces (paper §V-B).
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Also compute field gradients (∂φ/∂x, ∂φ/∂y, ∂φ/∂z) at the targets.
+    /// Only the target-side evaluation operators change; the expansions and
+    /// the DAG are identical.
+    pub fn gradients(mut self, on: bool) -> Self {
+        self.gradients = on;
+        self
+    }
+
+    /// Select the distribution policy.
+    pub fn policy(mut self, p: Policy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Build the trees, assemble and distribute the explicit DAG, and stand
+    /// up the runtime.  The returned [`Evaluation`] can be evaluated
+    /// repeatedly (the paper's iterative use case).
+    pub fn build(self, sources: &[Point3], charges: &[f64], targets: &[Point3]) -> Evaluation<K> {
+        let t0 = Instant::now();
+        let problem = Arc::new(Problem::new(
+            sources,
+            charges,
+            targets,
+            BuildParams { threshold: self.threshold, max_level: 20 },
+        ));
+        let tree_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let lib = Arc::new(OperatorLibrary::new(
+            self.kernel,
+            self.accuracy,
+            problem.tree.domain().side(),
+            self.method.uses_planewave(),
+        ));
+        let mut asm = assemble(&problem, self.method, &lib);
+        let dag_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        // Distribution.
+        let n_loc = self.localities as u32;
+        {
+            let problem = Arc::clone(&problem);
+            let owner = move |class: NodeClass, box_id: u32| -> u32 {
+                let (tree, n) = match class {
+                    NodeClass::S | NodeClass::M | NodeClass::Is => {
+                        (problem.tree.source(), problem.tree.source().points().len())
+                    }
+                    _ => (problem.tree.target(), problem.tree.target().points().len()),
+                };
+                block_owner(tree.node(box_id).first, n, n_loc)
+            };
+            match self.policy {
+                Policy::Single => SingleLocality.assign(&mut asm.dag, n_loc, &owner),
+                Policy::Block => BlockPolicy.assign(&mut asm.dag, n_loc, &owner),
+                Policy::Fmm => FmmPolicy::default().assign(&mut asm.dag, n_loc, &owner),
+            }
+        }
+
+        let runtime = Runtime::new(RuntimeConfig {
+            localities: self.localities,
+            workers_per_locality: self.workers,
+            priority_scheduling: self.priority,
+            tracing: self.tracing,
+        });
+        Evaluation {
+            problem,
+            lib,
+            asm: Arc::new(asm),
+            runtime,
+            priority: self.priority,
+            gradients: self.gradients,
+            tree_ms,
+            dag_ms,
+        }
+    }
+}
+
+/// A ready-to-run DASHMM evaluation.
+pub struct Evaluation<K: Kernel> {
+    problem: Arc<Problem>,
+    lib: Arc<OperatorLibrary<K>>,
+    asm: Arc<Assembly>,
+    runtime: Arc<Runtime>,
+    priority: bool,
+    gradients: bool,
+    /// Milliseconds spent building the dual tree.
+    pub tree_ms: f64,
+    /// Milliseconds spent assembling the explicit DAG.
+    pub dag_ms: f64,
+}
+
+/// The result of one evaluation.
+pub struct EvalOutput {
+    /// Potentials, one per target, in the caller's original order.
+    pub potentials: Vec<f64>,
+    /// Field gradients per target (when requested via
+    /// [`DashmmBuilder::gradients`]).
+    pub gradients: Option<Vec<[f64; 3]>>,
+    /// Runtime statistics (tasks, messages, trace).
+    pub report: RunReport,
+    /// Milliseconds spent in DAG evaluation (LCO allocation excluded).
+    pub eval_ms: f64,
+}
+
+impl<K: Kernel> Evaluation<K> {
+    /// Run one DAG evaluation with the charges given at build time.
+    pub fn evaluate(&self) -> EvalOutput {
+        self.evaluate_morton(self.problem.charges.clone())
+    }
+
+    /// Re-run the evaluation with *new* charges — the paper's iterative use
+    /// case (§IV): the trees, interaction lists, operator tables, explicit
+    /// DAG, and distribution are all reused; only the LCO network is
+    /// re-instantiated.  `charges` are in the caller's original source
+    /// order.
+    pub fn evaluate_with_charges(&self, charges: &[f64]) -> EvalOutput {
+        assert_eq!(
+            charges.len(),
+            self.problem.tree.source().points().len(),
+            "one charge per source"
+        );
+        let permuted: Vec<f64> = self
+            .problem
+            .tree
+            .source()
+            .permutation()
+            .iter()
+            .map(|&i| charges[i as usize])
+            .collect();
+        self.evaluate_morton(permuted)
+    }
+
+    fn evaluate_morton(&self, charges_morton: Vec<f64>) -> EvalOutput {
+        // Each evaluation instantiates a fresh LCO network; drop the
+        // previous one so iterative use does not accumulate memory.
+        self.runtime.reset();
+        let exec = ExecCtx::new(
+            Arc::clone(&self.problem),
+            Arc::clone(&self.lib),
+            Arc::clone(&self.asm),
+            self.priority,
+            self.gradients,
+            charges_morton,
+        );
+        exec.install(&self.runtime);
+        exec.seed(&self.runtime);
+        let t0 = Instant::now();
+        let report = self.runtime.run();
+        let eval_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (pot, grad) = exec.extract(&self.runtime);
+        EvalOutput {
+            potentials: self.problem.unsort_potentials(&pot),
+            gradients: grad.map(|g| {
+                let mut out = vec![[0.0; 3]; g.len()];
+                for (sorted_idx, &orig) in
+                    self.problem.tree.target().permutation().iter().enumerate()
+                {
+                    out[orig as usize] = g[sorted_idx];
+                }
+                out
+            }),
+            report,
+            eval_ms,
+        }
+    }
+
+    /// The explicit DAG.
+    pub fn dag(&self) -> &Dag {
+        &self.asm.dag
+    }
+
+    /// DAG statistics (paper Tables I and II).
+    pub fn dag_stats(&self) -> DagStats {
+        DagStats::compute(&self.asm.dag)
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The operator library.
+    pub fn library(&self) -> &OperatorLibrary<K> {
+        &self.lib
+    }
+
+    /// The runtime (for custom inspection).
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.runtime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashmm_kernels::{direct_sum, Laplace, Yukawa};
+    use dashmm_tree::{sphere_surface, uniform_cube};
+
+    fn p3(points: &[Point3]) -> Vec<[f64; 3]> {
+        points.iter().map(|p| [p.x, p.y, p.z]).collect()
+    }
+
+    /// Relative L2 error of `got` versus the direct oracle.
+    fn rel_err(got: &[f64], want: &[f64]) -> f64 {
+        let num: f64 = got.iter().zip(want).map(|(a, b)| (a - b) * (a - b)).sum();
+        let den: f64 = want.iter().map(|b| b * b).sum();
+        (num / den).sqrt()
+    }
+
+    fn accuracy_case<K: Kernel>(kernel: K, method: Method, n: usize, sphere: bool) -> f64 {
+        let sources = if sphere { sphere_surface(n, 11) } else { uniform_cube(n, 11) };
+        let targets = if sphere { sphere_surface(n, 22) } else { uniform_cube(n, 22) };
+        let charges: Vec<f64> = (0..n).map(|i| if i % 3 == 0 { 1.0 } else { -0.5 }).collect();
+        let eval = DashmmBuilder::new(kernel.clone())
+            .method(method)
+            .threshold(20)
+            .machine(2, 2)
+            .build(&sources, &charges, &targets);
+        let out = eval.evaluate();
+        let want = direct_sum(&kernel, &p3(&sources), &charges, &p3(&targets), 0);
+        rel_err(&out.potentials, &want)
+    }
+
+    #[test]
+    fn advanced_fmm_laplace_cube_three_digits() {
+        let e = accuracy_case(Laplace, Method::AdvancedFmm, 1500, false);
+        assert!(e < 1e-3, "relative error {e:.2e}");
+    }
+
+    #[test]
+    fn advanced_fmm_yukawa_cube() {
+        let e = accuracy_case(Yukawa::new(1.0), Method::AdvancedFmm, 1500, false);
+        assert!(e < 1e-3, "relative error {e:.2e}");
+    }
+
+    #[test]
+    fn basic_fmm_laplace_sphere() {
+        let e = accuracy_case(Laplace, Method::BasicFmm, 1500, true);
+        assert!(e < 1e-3, "relative error {e:.2e}");
+    }
+
+    #[test]
+    fn barnes_hut_moderate_accuracy() {
+        let e = accuracy_case(Laplace, Method::BarnesHut { theta: 0.5 }, 1200, false);
+        // BH with multipole-only expansions: coarser than FMM but controlled.
+        assert!(e < 5e-3, "relative error {e:.2e}");
+    }
+
+    #[test]
+    fn priority_mode_same_answer() {
+        let n = 800;
+        let sources = uniform_cube(n, 1);
+        let targets = uniform_cube(n, 2);
+        let charges = vec![1.0; n];
+        let base = DashmmBuilder::new(Laplace)
+            .threshold(20)
+            .build(&sources, &charges, &targets)
+            .evaluate();
+        let prio = DashmmBuilder::new(Laplace)
+            .threshold(20)
+            .priority(true)
+            .build(&sources, &charges, &targets)
+            .evaluate();
+        let e = rel_err(&prio.potentials, &base.potentials);
+        assert!(e < 1e-12, "priority must not change results: {e:.2e}");
+    }
+
+    #[test]
+    fn multi_locality_matches_single() {
+        let n = 1000;
+        let sources = uniform_cube(n, 7);
+        let targets = uniform_cube(n, 8);
+        let charges: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+        let single = DashmmBuilder::new(Laplace)
+            .threshold(25)
+            .machine(1, 2)
+            .build(&sources, &charges, &targets)
+            .evaluate();
+        let multi = DashmmBuilder::new(Laplace)
+            .threshold(25)
+            .machine(4, 1)
+            .build(&sources, &charges, &targets)
+            .evaluate();
+        let e = rel_err(&multi.potentials, &single.potentials);
+        assert!(e < 1e-12, "distribution must not change results: {e:.2e}");
+        assert!(multi.report.messages > 0, "multi-locality run must communicate");
+        assert_eq!(single.report.messages, 0);
+    }
+
+    #[test]
+    fn tracing_produces_operator_events() {
+        let n = 600;
+        let sources = uniform_cube(n, 3);
+        let targets = uniform_cube(n, 4);
+        let charges = vec![1.0; n];
+        let out = DashmmBuilder::new(Laplace)
+            .threshold(20)
+            .tracing(true)
+            .build(&sources, &charges, &targets)
+            .evaluate();
+        assert!(!out.report.trace.is_empty(), "trace events expected");
+        // The trace must contain up-sweep, bridge and down-sweep classes.
+        let classes: std::collections::HashSet<u8> =
+            out.report.trace.all_events().map(|e| e.class).collect();
+        assert!(classes.len() >= 4, "expected several operator classes, got {classes:?}");
+    }
+
+    #[test]
+    fn repeated_evaluation_is_deterministic() {
+        let n = 500;
+        let sources = uniform_cube(n, 5);
+        let targets = uniform_cube(n, 6);
+        let charges = vec![1.0; n];
+        let eval = DashmmBuilder::new(Laplace).threshold(20).build(&sources, &charges, &targets);
+        let a = eval.evaluate();
+        let b = eval.evaluate();
+        for (x, y) in a.potentials.iter().zip(&b.potentials) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! The implicit DAG: a network of runtime LCOs mirroring the explicit DAG.
+//!
+//! Each expansion node becomes one user-defined LCO (paper §IV, Figure 2):
+//! its stored data is the expansion, arriving inputs *reduce* into it
+//! (element-wise addition, or offset-addressed addition for the multi-slot
+//! intermediate nodes), and when the final input lands the runtime spawns
+//! one continuation that processes the node's out-edge list.  Local edges
+//! are transformed and set sequentially; remote edges are coalesced into a
+//! single parcel per destination locality carrying the expansion data and
+//! the edge descriptors, evaluated as normal on arrival.
+
+use std::sync::Arc;
+
+use dashmm_amt::{
+    decode_f64s, encode_f64s, ActionId, GlobalAddress, LcoOp, LcoSpec, Parcel, Priority, Runtime,
+    TaskCtx,
+};
+use dashmm_dag::{DagEdge, EdgeOp, NodeClass};
+use dashmm_expansion::{ops, OperatorLibrary};
+use dashmm_kernels::Kernel;
+use dashmm_tree::Point3;
+use parking_lot::RwLock;
+
+use crate::assemble::{unpack_i2i, Assembly};
+use crate::problem::Problem;
+
+/// Shared execution context: everything a task needs to transform an
+/// expansion along an edge.
+pub struct ExecCtx<K: Kernel> {
+    /// The problem (trees + charges).
+    pub problem: Arc<Problem>,
+    /// Operator tables.
+    pub lib: Arc<OperatorLibrary<K>>,
+    /// The explicit DAG and box correspondence.
+    pub asm: Arc<Assembly>,
+    /// Use the paper's proposed binary priority for up-sweep work.
+    pub priority: bool,
+    /// Also compute field gradients at the targets.
+    pub gradients: bool,
+    /// Charges in source-tree Morton order (the iterative use case re-runs
+    /// the same DAG with fresh charges).
+    charges: Vec<f64>,
+    /// LCO address per DAG node (S nodes hold a placeholder).
+    lcos: RwLock<Vec<GlobalAddress>>,
+    /// Action evaluating a coalesced remote-edge parcel.
+    remote_action: RwLock<Option<ActionId>>,
+}
+
+impl<K: Kernel> ExecCtx<K> {
+    /// Create the context.
+    pub fn new(
+        problem: Arc<Problem>,
+        lib: Arc<OperatorLibrary<K>>,
+        asm: Arc<Assembly>,
+        priority: bool,
+        gradients: bool,
+        charges: Vec<f64>,
+    ) -> Arc<Self> {
+        assert_eq!(
+            charges.len(),
+            problem.tree.source().points().len(),
+            "one charge per source"
+        );
+        Arc::new(ExecCtx {
+            problem,
+            lib,
+            asm,
+            priority,
+            gradients,
+            charges,
+            lcos: RwLock::new(Vec::new()),
+            remote_action: RwLock::new(None),
+        })
+    }
+
+    /// Scheduling priority for tasks producing into a node of `class`.
+    fn class_priority(&self, class: NodeClass) -> Priority {
+        if self.priority && matches!(class, NodeClass::M) {
+            Priority::High
+        } else {
+            Priority::Normal
+        }
+    }
+
+    /// Register the coalesced-parcel action and allocate one LCO per DAG
+    /// node at its assigned locality.  Must run before [`ExecCtx::seed`].
+    pub fn install(self: &Arc<Self>, rt: &Runtime) {
+        let this = Arc::clone(self);
+        let action = rt.register_action(Arc::new(move |ctx, _target, payload| {
+            this.remote_parcel(ctx, payload);
+        }));
+        *self.remote_action.write() = Some(action);
+
+        let dag = &self.asm.dag;
+        let n_loc = rt.num_localities();
+        let mut lcos = Vec::with_capacity(dag.num_nodes());
+        for id in 0..dag.num_nodes() as u32 {
+            let node = dag.node(id);
+            let locality = node.locality.min(n_loc - 1);
+            if node.class == NodeClass::S {
+                // Source data lives in the trees; S "nodes" are seed tasks.
+                lcos.push(GlobalAddress::new(locality, u32::MAX));
+                continue;
+            }
+            let size = self.data_len(id);
+            let op = match node.class {
+                NodeClass::Is | NodeClass::It => LcoOp::Custom(Box::new(offset_add)),
+                _ => LcoOp::Add,
+            };
+            let mut spec = LcoSpec {
+                size,
+                inputs: node.in_degree,
+                op,
+                on_trigger: None,
+                trace_class: u8::MAX,
+            };
+            if node.out_degree > 0 {
+                let this = Arc::clone(self);
+                spec = spec.with_trigger(Box::new(move |ctx, data| {
+                    this.process_out_edges(ctx, id, data);
+                }));
+            }
+            lcos.push(rt.lco_new(locality, spec));
+        }
+        *self.lcos.write() = lcos;
+    }
+
+    /// Data length (in `f64`s) of a node's LCO.
+    fn data_len(&self, id: u32) -> usize {
+        let node = self.asm.dag.node(id);
+        match node.class {
+            NodeClass::S => 0,
+            NodeClass::M | NodeClass::L => self.lib.params().surface_points(),
+            NodeClass::Is => self.asm.is_layout[&id].total_len(),
+            NodeClass::It => 6 * self.lib.tables(node.level).planewave_len(),
+            NodeClass::T => {
+                let per = if self.gradients { 4 } else { 1 };
+                per * self.problem.tree.target().node(node.box_id).count
+            }
+        }
+    }
+
+    /// Seed the evaluation: spawn the zero-input nodes' continuations.
+    pub fn seed(self: &Arc<Self>, rt: &Runtime) {
+        let n_loc = rt.num_localities();
+        for id in self.asm.seeds() {
+            let node = self.asm.dag.node(id);
+            let locality = node.locality.min(n_loc - 1);
+            let this = Arc::clone(self);
+            let high = self.priority && node.class == NodeClass::S;
+            rt.seed(locality, move |ctx| {
+                if high {
+                    // Re-spawn at high priority so the up-sweep leads.
+                    let this2 = Arc::clone(&this);
+                    ctx.spawn_with_priority(
+                        move |ctx2| this2.process_out_edges(ctx2, id, &[]),
+                        Priority::High,
+                    );
+                } else {
+                    this.process_out_edges(ctx, id, &[]);
+                }
+            });
+        }
+    }
+
+    /// Read back the potentials (and gradients, when enabled) in
+    /// target-tree Morton order.
+    pub fn extract(&self, rt: &Runtime) -> (Vec<f64>, Option<Vec<[f64; 3]>>) {
+        let tgt = self.problem.tree.target();
+        let n = tgt.points().len();
+        let mut pot = vec![0.0; n];
+        let mut grad = if self.gradients { Some(vec![[0.0; 3]; n]) } else { None };
+        for (tbox, &tid) in self.asm.t_of.iter().enumerate() {
+            if tid < 0 {
+                continue;
+            }
+            let node = tgt.node(tbox as u32);
+            let addr = self.lcos.read()[tid as usize];
+            if addr.index == u32::MAX {
+                continue;
+            }
+            if let Some(data) = rt.lco_get(addr) {
+                if let Some(g) = grad.as_mut() {
+                    for i in 0..node.count {
+                        pot[node.first + i] = data[4 * i];
+                        g[node.first + i] = [data[4 * i + 1], data[4 * i + 2], data[4 * i + 3]];
+                    }
+                } else {
+                    pot[node.first..node.first + node.count].copy_from_slice(&data);
+                }
+            }
+        }
+        (pot, grad)
+    }
+
+    /// The continuation of a triggered node: transform the stored data
+    /// along every out-edge; local edges inline, remote edges coalesced
+    /// into one parcel per destination locality.
+    ///
+    /// Under priority scheduling, a node carrying both critical up-sweep
+    /// edges (`S→M`/`M→M`) and bulk edges processes the up-sweep
+    /// immediately and defers the rest to a separate normal-priority task,
+    /// so the source-tree sweep races ahead of the bulk work (the paper's
+    /// proposed scheduling fix, §VI).
+    fn process_out_edges(self: &Arc<Self>, ctx: &TaskCtx, id: u32, data: &[f64]) {
+        if self.priority {
+            let is_up = |op: EdgeOp| matches!(op, EdgeOp::S2M | EdgeOp::M2M);
+            let edges = self.asm.dag.out_edges(id);
+            let has_up = edges.iter().any(|e| is_up(e.op));
+            let has_rest = edges.iter().any(|e| !is_up(e.op));
+            if has_up && has_rest {
+                self.process_edge_part(ctx, id, data, Some(true));
+                let this = Arc::clone(self);
+                let data_copy = data.to_vec();
+                ctx.spawn_with_priority(
+                    move |ctx2| this.process_edge_part(ctx2, id, &data_copy, Some(false)),
+                    Priority::Normal,
+                );
+                return;
+            }
+        }
+        self.process_edge_part(ctx, id, data, None);
+    }
+
+    /// Process the out-edges selected by `part`: `None` = all,
+    /// `Some(true)` = up-sweep only, `Some(false)` = everything else.
+    fn process_edge_part(&self, ctx: &TaskCtx, id: u32, data: &[f64], part: Option<bool>) {
+        let dag = &self.asm.dag;
+        let node = dag.node(id);
+        let lcos = self.lcos.read();
+        // (locality, edge flat indices)
+        let mut remote: Vec<(u32, Vec<u32>)> = Vec::new();
+        for (i, e) in dag.out_edges(id).iter().enumerate() {
+            if let Some(up) = part {
+                if matches!(e.op, EdgeOp::S2M | EdgeOp::M2M) != up {
+                    continue;
+                }
+            }
+            let dst_loc = lcos[e.dst as usize].locality;
+            if dst_loc == ctx.locality {
+                self.apply_edge(ctx, id, e, data, &lcos);
+            } else {
+                match remote.iter_mut().find(|(l, _)| *l == dst_loc) {
+                    Some((_, v)) => v.push(node.first_edge + i as u32),
+                    None => remote.push((dst_loc, vec![node.first_edge + i as u32])),
+                }
+            }
+        }
+        if remote.is_empty() {
+            return;
+        }
+        let action = self.remote_action.read().expect("install() must run first");
+        for (loc, edge_ids) in remote {
+            let mut payload = Vec::with_capacity(8 + edge_ids.len() * 4 + data.len() * 8);
+            payload.extend_from_slice(&id.to_le_bytes());
+            payload.extend_from_slice(&(edge_ids.len() as u32).to_le_bytes());
+            for eid in &edge_ids {
+                payload.extend_from_slice(&eid.to_le_bytes());
+            }
+            encode_f64s(data, &mut payload);
+            ctx.send(Parcel::new(action, GlobalAddress::new(loc, 0), payload));
+        }
+    }
+
+    /// Evaluate a coalesced parcel at its destination locality.
+    fn remote_parcel(&self, ctx: &TaskCtx, payload: &[u8]) {
+        let id = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+        let n = u32::from_le_bytes(payload[4..8].try_into().unwrap()) as usize;
+        let mut edge_ids = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 8 + i * 4;
+            edge_ids.push(u32::from_le_bytes(payload[off..off + 4].try_into().unwrap()));
+        }
+        let data = decode_f64s(&payload[8 + n * 4..]);
+        let lcos = self.lcos.read();
+        for eid in edge_ids {
+            let e = self.asm.dag.edges()[eid as usize];
+            self.apply_edge(ctx, id, &e, &data, &lcos);
+        }
+    }
+
+    fn center_of(&self, class: NodeClass, box_id: u32) -> Point3 {
+        match class {
+            NodeClass::S | NodeClass::M | NodeClass::Is => {
+                self.problem.tree.source().center_of(box_id)
+            }
+            _ => self.problem.tree.target().center_of(box_id),
+        }
+    }
+
+    /// Apply one edge: transform `data` and set the destination LCO.
+    fn apply_edge(
+        &self,
+        ctx: &TaskCtx,
+        src_id: u32,
+        e: &DagEdge,
+        data: &[f64],
+        lcos: &[GlobalAddress],
+    ) {
+        let dag = &self.asm.dag;
+        let src_node = dag.node(src_id);
+        let dst_node = dag.node(e.dst);
+        let dst = lcos[e.dst as usize];
+        let kernel = self.lib.kernel();
+        let n = self.lib.params().surface_points();
+        let stree = self.problem.tree.source();
+        let ttree = self.problem.tree.target();
+        let prio = self.class_priority(dst_node.class);
+        ctx.traced(e.op.index() as u8, || match e.op {
+            EdgeOp::S2M => {
+                let sb = stree.node(src_node.box_id);
+                let pts = stree.points_of(src_node.box_id);
+                let q = &self.charges[sb.first..sb.first + sb.count];
+                let t = self.lib.tables(src_node.level);
+                let mut m = vec![0.0; n];
+                ops::s2m(kernel, &t, stree.center_of(src_node.box_id), pts, q, &mut m);
+                ctx.lco_set_with_priority(dst, &m, prio);
+            }
+            EdgeOp::M2M => {
+                let t = self.lib.tables(dst_node.level);
+                let mut out = vec![0.0; n];
+                t.m2m(e.tag as u8).matvec_acc(data, &mut out);
+                ctx.lco_set_with_priority(dst, &out, prio);
+            }
+            EdgeOp::M2L => {
+                let t = self.lib.tables(src_node.level);
+                let offset = ttree.node(dst_node.box_id).key.offset(&stree.node(src_node.box_id).key);
+                let mut out = vec![0.0; n];
+                ops::m2l(
+                    kernel,
+                    &t,
+                    (offset.0 as i8, offset.1 as i8, offset.2 as i8),
+                    data,
+                    &mut out,
+                );
+                ctx.lco_set_with_priority(dst, &out, prio);
+            }
+            EdgeOp::M2I => {
+                let t = self.lib.tables(src_node.level);
+                let w = t.planewave_len();
+                let mut out = vec![0.0; 1 + 6 * w];
+                for d in dashmm_tree::Direction::ALL {
+                    let off = 1 + d.index() * w;
+                    ops::m2i(&t, d, data, &mut out[off..off + w]);
+                }
+                ctx.lco_set_with_priority(dst, &out, prio);
+            }
+            EdgeOp::I2I => {
+                let (dir_idx, src_slot, dst_slot) = unpack_i2i(e.tag);
+                let dir = dashmm_tree::Direction::ALL[dir_idx];
+                let layout = self.asm.is_layout[&src_id];
+                let (basis_level, src_off, w) = if src_slot == 0 {
+                    (src_node.level, layout.own_offset(dir_idx), layout.own_w as usize)
+                } else {
+                    (
+                        src_node.level + 1,
+                        layout.merged_offset(src_slot - 1),
+                        layout.merged_w as usize,
+                    )
+                };
+                let t = self.lib.tables(basis_level);
+                let delta = self.center_of(dst_node.class, dst_node.box_id)
+                    - self.center_of(src_node.class, src_node.box_id);
+                let fac = t.i2i(dir, delta);
+                let mut out = vec![0.0; 1 + w];
+                ops::i2i_apply(&fac, &data[src_off..src_off + w], &mut out[1..]);
+                // Destination slot offset.
+                out[0] = if dst_node.class == NodeClass::It {
+                    (dir_idx * w) as f64
+                } else {
+                    self.asm.is_layout[&e.dst].merged_offset(dst_slot) as f64
+                };
+                ctx.lco_set_with_priority(dst, &out, prio);
+            }
+            EdgeOp::I2L => {
+                let t = self.lib.tables(src_node.level);
+                let w = t.planewave_len();
+                let mut out = vec![0.0; n];
+                for d in dashmm_tree::Direction::ALL {
+                    let off = d.index() * w;
+                    ops::i2l(&t, d, &data[off..off + w], &mut out);
+                }
+                ctx.lco_set_with_priority(dst, &out, prio);
+            }
+            EdgeOp::L2L => {
+                let t = self.lib.tables(dst_node.level);
+                let mut out = vec![0.0; n];
+                t.l2l(e.tag as u8).matvec_acc(data, &mut out);
+                ctx.lco_set_with_priority(dst, &out, prio);
+            }
+            EdgeOp::S2L => {
+                let sb = stree.node(src_node.box_id);
+                let pts = stree.points_of(src_node.box_id);
+                let q = &self.charges[sb.first..sb.first + sb.count];
+                let t = self.lib.tables(dst_node.level);
+                let mut out = vec![0.0; n];
+                ops::s2l(kernel, &t, ttree.center_of(dst_node.box_id), pts, q, &mut out);
+                ctx.lco_set_with_priority(dst, &out, prio);
+            }
+            EdgeOp::L2T => {
+                let t = self.lib.tables(src_node.level);
+                let pts = ttree.points_of(dst_node.box_id);
+                let center = ttree.center_of(src_node.box_id);
+                if self.gradients {
+                    let mut out = vec![0.0; 4 * pts.len()];
+                    ops::l2t_grad(kernel, &t, center, data, pts, &mut out);
+                    ctx.lco_set_with_priority(dst, &out, prio);
+                } else {
+                    let mut out = vec![0.0; pts.len()];
+                    ops::l2t(kernel, &t, center, data, pts, &mut out);
+                    ctx.lco_set_with_priority(dst, &out, prio);
+                }
+            }
+            EdgeOp::M2T => {
+                let t = self.lib.tables(src_node.level);
+                let pts = ttree.points_of(dst_node.box_id);
+                let center = stree.center_of(src_node.box_id);
+                if self.gradients {
+                    let mut out = vec![0.0; 4 * pts.len()];
+                    ops::m2t_grad(kernel, &t, center, data, pts, &mut out);
+                    ctx.lco_set_with_priority(dst, &out, prio);
+                } else {
+                    let mut out = vec![0.0; pts.len()];
+                    ops::m2t(kernel, &t, center, data, pts, &mut out);
+                    ctx.lco_set_with_priority(dst, &out, prio);
+                }
+            }
+            EdgeOp::S2T => {
+                let sb = stree.node(src_node.box_id);
+                let spts = stree.points_of(src_node.box_id);
+                let q = &self.charges[sb.first..sb.first + sb.count];
+                let tpts = ttree.points_of(dst_node.box_id);
+                if self.gradients {
+                    let mut out = vec![0.0; 4 * tpts.len()];
+                    ops::p2p_grad(kernel, spts, q, tpts, &mut out);
+                    ctx.lco_set_with_priority(dst, &out, prio);
+                } else {
+                    let mut out = vec![0.0; tpts.len()];
+                    ops::p2p(kernel, spts, q, tpts, &mut out);
+                    ctx.lco_set_with_priority(dst, &out, prio);
+                }
+            }
+        });
+    }
+}
+
+/// Offset-addressed addition: `input[0]` is the destination offset, the
+/// rest is added element-wise there (the reduction of the multi-slot
+/// intermediate LCOs).
+fn offset_add(data: &mut [f64], input: &[f64]) {
+    let off = input[0] as usize;
+    let vals = &input[1..];
+    assert!(off + vals.len() <= data.len(), "offset-add out of bounds");
+    for (d, v) in data[off..off + vals.len()].iter_mut().zip(vals) {
+        *d += v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_add_places_values() {
+        let mut data = vec![0.0; 6];
+        offset_add(&mut data, &[2.0, 1.0, 10.0]);
+        assert_eq!(data, vec![0.0, 0.0, 1.0, 10.0, 0.0, 0.0]);
+        offset_add(&mut data, &[2.0, 1.0, 1.0]);
+        assert_eq!(data, vec![0.0, 0.0, 2.0, 11.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn offset_add_bounds_checked() {
+        let mut data = vec![0.0; 2];
+        offset_add(&mut data, &[1.0, 1.0, 1.0]);
+    }
+}

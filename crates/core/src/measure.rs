@@ -1,0 +1,76 @@
+//! Per-operator timing from execution traces.
+//!
+//! The paper's Table II reports the average execution time of each DAG edge
+//! class measured from event traces; the same numbers calibrate the
+//! discrete-event simulator's cost model.
+
+use dashmm_amt::TraceSet;
+use dashmm_dag::EdgeOp;
+
+/// Average execution time (µs) per operator class from a trace; classes
+/// with no events report 0.  Returned array is indexed by
+/// [`EdgeOp::index`].
+pub fn per_op_avg_us(trace: &TraceSet) -> [f64; 11] {
+    let mut sum = [0.0f64; 11];
+    let mut count = [0u64; 11];
+    for e in trace.all_events() {
+        let c = e.class as usize;
+        if c < 11 {
+            sum[c] += (e.end_ns - e.start_ns) as f64 / 1000.0;
+            count[c] += 1;
+        }
+    }
+    let mut out = [0.0; 11];
+    for i in 0..11 {
+        if count[i] > 0 {
+            out[i] = sum[i] / count[i] as f64;
+        }
+    }
+    out
+}
+
+/// Event counts per operator class.
+pub fn per_op_counts(trace: &TraceSet) -> [u64; 11] {
+    let mut count = [0u64; 11];
+    for e in trace.all_events() {
+        let c = e.class as usize;
+        if c < 11 {
+            count[c] += 1;
+        }
+    }
+    count
+}
+
+/// Pretty name helper for harness output.
+pub fn op_name(i: usize) -> &'static str {
+    EdgeOp::ALL[i].name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashmm_amt::TraceEvent;
+
+    #[test]
+    fn averages_per_class() {
+        let mut t = TraceSet::new(1);
+        t.push_worker(vec![
+            TraceEvent { class: 0, start_ns: 0, end_ns: 2000 },
+            TraceEvent { class: 0, start_ns: 0, end_ns: 4000 },
+            TraceEvent { class: 3, start_ns: 0, end_ns: 1000 },
+        ]);
+        let avg = per_op_avg_us(&t);
+        assert!((avg[0] - 3.0).abs() < 1e-12);
+        assert!((avg[3] - 1.0).abs() < 1e-12);
+        assert_eq!(avg[5], 0.0);
+        let counts = per_op_counts(&t);
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[3], 1);
+    }
+
+    #[test]
+    fn names_match_ops() {
+        assert_eq!(op_name(EdgeOp::S2M.index()), "S→M");
+        assert_eq!(op_name(EdgeOp::I2I.index()), "I→I");
+    }
+}

@@ -1,0 +1,143 @@
+//! Problem definition: the method, the ensembles, the data distribution.
+
+use dashmm_tree::{BuildParams, DualTree, Point3};
+
+/// The hierarchical multipole method to evaluate.  DASHMM is generic in the
+/// method (paper §I): all three share the tree machinery and runtime; they
+/// differ in the DAG they unfold.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Method {
+    /// Barnes–Hut: multipole expansions evaluated directly at targets under
+    /// a `θ` multipole-acceptance criterion.
+    BarnesHut {
+        /// Opening angle: a source box is accepted when `side/dist ≤ θ`.
+        theta: f64,
+    },
+    /// The basic FMM: dense same-level `M→L` translations (up to 189 per
+    /// target box).
+    BasicFmm,
+    /// The advanced FMM with plane-wave intermediate expansions and the
+    /// merge-and-shift technique (`M→I`, `I→I`, `I→L`) — the method the
+    /// paper evaluates.
+    AdvancedFmm,
+}
+
+impl Method {
+    /// Whether the method uses intermediate (plane-wave) expansions.
+    pub fn uses_planewave(&self) -> bool {
+        matches!(self, Method::AdvancedFmm)
+    }
+
+    /// Parse harness names.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "bh" | "barnes-hut" => Some(Method::BarnesHut { theta: 0.5 }),
+            "fmm" | "basic" => Some(Method::BasicFmm),
+            "fmm-ms" | "advanced" => Some(Method::AdvancedFmm),
+            _ => None,
+        }
+    }
+}
+
+/// A fully specified N-body problem: dual tree plus charges, with the
+/// charges permuted into the source tree's Morton order.
+pub struct Problem {
+    /// The dual tree over both ensembles.
+    pub tree: DualTree,
+    /// Charges in source-tree Morton order.
+    pub charges: Vec<f64>,
+    /// Number of original targets.
+    pub n_targets: usize,
+}
+
+impl Problem {
+    /// Build the dual tree and permute the charges.
+    pub fn new(
+        sources: &[Point3],
+        charges: &[f64],
+        targets: &[Point3],
+        params: BuildParams,
+    ) -> Self {
+        assert_eq!(sources.len(), charges.len(), "one charge per source");
+        assert!(!targets.is_empty(), "at least one target required");
+        let tree = DualTree::build(sources, targets, params);
+        let permuted: Vec<f64> =
+            tree.source().permutation().iter().map(|&i| charges[i as usize]).collect();
+        Problem { tree, charges: permuted, n_targets: targets.len() }
+    }
+
+    /// Scatter Morton-ordered potentials back to the original target order.
+    pub fn unsort_potentials(&self, morton_order: &[f64]) -> Vec<f64> {
+        let perm = self.tree.target().permutation();
+        let mut out = vec![0.0; morton_order.len()];
+        for (sorted_idx, &orig) in perm.iter().enumerate() {
+            out[orig as usize] = morton_order[sorted_idx];
+        }
+        out
+    }
+}
+
+/// The a-priori block distribution of points over localities (paper §IV:
+/// ensembles are coarsely sorted and distributed equally): Morton-ordered
+/// point index `i` of `n` lives on locality `i·L/n`.
+pub fn block_owner(point_index: usize, n_points: usize, localities: u32) -> u32 {
+    ((point_index as u64 * localities as u64) / n_points.max(1) as u64).min(localities as u64 - 1)
+        as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashmm_tree::uniform_cube;
+
+    #[test]
+    fn method_parsing() {
+        assert_eq!(Method::parse("fmm-ms"), Some(Method::AdvancedFmm));
+        assert_eq!(Method::parse("basic"), Some(Method::BasicFmm));
+        assert!(matches!(Method::parse("bh"), Some(Method::BarnesHut { .. })));
+        assert_eq!(Method::parse("pm"), None);
+        assert!(Method::AdvancedFmm.uses_planewave());
+        assert!(!Method::BasicFmm.uses_planewave());
+    }
+
+    #[test]
+    fn charges_follow_morton_permutation() {
+        let src = uniform_cube(500, 3);
+        let tgt = uniform_cube(400, 4);
+        let charges: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let p = Problem::new(&src, &charges, &tgt, BuildParams::default());
+        for (i, &orig) in p.tree.source().permutation().iter().enumerate() {
+            assert_eq!(p.charges[i], orig as f64);
+        }
+    }
+
+    #[test]
+    fn unsort_roundtrip() {
+        let src = uniform_cube(100, 5);
+        let tgt = uniform_cube(128, 6);
+        let charges = vec![1.0; 100];
+        let p = Problem::new(&src, &charges, &tgt, BuildParams::default());
+        // Potentials equal to the original index must unsort to identity.
+        let perm = p.tree.target().permutation().to_vec();
+        let morton: Vec<f64> = perm.iter().map(|&o| o as f64).collect();
+        let un = p.unsort_potentials(&morton);
+        for (i, v) in un.iter().enumerate() {
+            assert_eq!(*v, i as f64);
+        }
+    }
+
+    #[test]
+    fn block_owner_balanced_and_clamped() {
+        let n = 1000;
+        let l = 4;
+        let mut counts = [0usize; 4];
+        for i in 0..n {
+            counts[block_owner(i, n, l) as usize] += 1;
+        }
+        for c in counts {
+            assert_eq!(c, 250);
+        }
+        assert_eq!(block_owner(999, 1000, 4), 3);
+        assert_eq!(block_owner(0, 0, 4), 0, "degenerate n handled");
+    }
+}

@@ -1,0 +1,105 @@
+//! Sampled accuracy verification against the exact O(N²) oracle.
+//!
+//! Checking every target directly would cost the O(N²) the FMM exists to
+//! avoid; sampling a few hundred targets estimates the error well because
+//! the FMM error is statistically homogeneous across targets at fixed
+//! tree geometry.
+
+use dashmm_kernels::{direct_sum_at, Kernel};
+use dashmm_tree::Point3;
+
+/// Result of a sampled accuracy check.
+#[derive(Clone, Debug)]
+pub struct AccuracyReport {
+    /// Number of targets sampled.
+    pub sampled: usize,
+    /// Relative L2 error over the sample.
+    pub rel_l2: f64,
+    /// Worst pointwise error relative to the RMS potential (robust when
+    /// potentials cross zero).
+    pub max_rel_rms: f64,
+    /// RMS of the exact sampled potentials.
+    pub rms_potential: f64,
+}
+
+impl AccuracyReport {
+    /// Whether the sampled error meets an accuracy target.
+    pub fn meets(&self, eps: f64) -> bool {
+        self.rel_l2 <= eps
+    }
+}
+
+/// Compare computed potentials against direct summation on an evenly
+/// spaced sample of `sample` targets.
+pub fn check_accuracy<K: Kernel>(
+    kernel: &K,
+    sources: &[Point3],
+    charges: &[f64],
+    targets: &[Point3],
+    potentials: &[f64],
+    sample: usize,
+) -> AccuracyReport {
+    assert_eq!(targets.len(), potentials.len(), "one potential per target");
+    assert!(sample > 0, "sample size must be positive");
+    let src: Vec<[f64; 3]> = sources.iter().map(|p| [p.x, p.y, p.z]).collect();
+    let step = (targets.len() / sample).max(1);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let mut diffs = Vec::new();
+    let mut count = 0;
+    for i in (0..targets.len()).step_by(step) {
+        let t = [targets[i].x, targets[i].y, targets[i].z];
+        let exact = direct_sum_at(kernel, &src, charges, &t);
+        let d = potentials[i] - exact;
+        num += d * d;
+        den += exact * exact;
+        diffs.push(d.abs());
+        count += 1;
+    }
+    let rms = (den / count as f64).sqrt();
+    AccuracyReport {
+        sampled: count,
+        rel_l2: (num / den.max(f64::MIN_POSITIVE)).sqrt(),
+        max_rel_rms: diffs.iter().cloned().fold(0.0, f64::max) / rms.max(f64::MIN_POSITIVE),
+        rms_potential: rms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashmm_kernels::Laplace;
+    use dashmm_tree::uniform_cube;
+
+    #[test]
+    fn exact_potentials_report_zero_error() {
+        let sources = uniform_cube(200, 1);
+        let targets = uniform_cube(50, 2);
+        let charges = vec![1.0; 200];
+        let src: Vec<[f64; 3]> = sources.iter().map(|p| [p.x, p.y, p.z]).collect();
+        let potentials: Vec<f64> = targets
+            .iter()
+            .map(|t| direct_sum_at(&Laplace, &src, &charges, &[t.x, t.y, t.z]))
+            .collect();
+        let r = check_accuracy(&Laplace, &sources, &charges, &targets, &potentials, 25);
+        assert!(r.rel_l2 < 1e-14);
+        assert!(r.meets(1e-3));
+        assert_eq!(r.sampled, 25);
+    }
+
+    #[test]
+    fn perturbed_potentials_report_the_perturbation() {
+        let sources = uniform_cube(100, 3);
+        let targets = uniform_cube(40, 4);
+        let charges = vec![1.0; 100];
+        let src: Vec<[f64; 3]> = sources.iter().map(|p| [p.x, p.y, p.z]).collect();
+        let exact: Vec<f64> = targets
+            .iter()
+            .map(|t| direct_sum_at(&Laplace, &src, &charges, &[t.x, t.y, t.z]))
+            .collect();
+        let perturbed: Vec<f64> = exact.iter().map(|p| p * 1.01).collect();
+        let r = check_accuracy(&Laplace, &sources, &charges, &targets, &perturbed, 40);
+        assert!((r.rel_l2 - 0.01).abs() < 1e-3, "rel_l2 = {}", r.rel_l2);
+        assert!(!r.meets(1e-3));
+    }
+}

@@ -1,0 +1,251 @@
+//! Distribution policies: assigning DAG nodes to localities.
+//!
+//! The only hard constraint (paper §IV) is that nodes holding the data of a
+//! leaf box — `S`/`T` nodes and the multipole/local expansions of leaves —
+//! stay with the a-priori distribution of the point data.  Everything else
+//! is policy.  The policy the paper evaluates pins a box's expansions to the
+//! locality owning the box and places the *incoming* intermediate node of a
+//! target box to minimise communication.
+
+use crate::graph::{Dag, NodeClass};
+
+/// A rule assigning every DAG node to one of `n_localities` localities.
+///
+/// `owner_of_box(class, box_id)` reports the locality owning the underlying
+/// tree box's data (derived from the block distribution of the points);
+/// policies combine it with DAG topology.
+pub trait DistributionPolicy {
+    /// Assign localities in place.
+    fn assign(
+        &self,
+        dag: &mut Dag,
+        n_localities: u32,
+        owner_of_box: &dyn Fn(NodeClass, u32) -> u32,
+    );
+}
+
+/// Everything on locality 0 — the shared-memory configuration.
+pub struct SingleLocality;
+
+impl DistributionPolicy for SingleLocality {
+    fn assign(&self, dag: &mut Dag, _n: u32, _owner: &dyn Fn(NodeClass, u32) -> u32) {
+        for i in 0..dag.num_nodes() as u32 {
+            dag.set_locality(i, 0);
+        }
+    }
+}
+
+/// Ignore topology: every node goes to the owner of its box.  A reasonable
+/// baseline that keeps data-adjacent work local but pays full price on the
+/// bridge (`I→I`) edges.
+pub struct BlockPolicy;
+
+impl DistributionPolicy for BlockPolicy {
+    fn assign(&self, dag: &mut Dag, n: u32, owner: &dyn Fn(NodeClass, u32) -> u32) {
+        for i in 0..dag.num_nodes() as u32 {
+            let node = dag.node(i);
+            dag.set_locality(i, owner(node.class, node.box_id).min(n - 1));
+        }
+    }
+}
+
+/// Where to place the incoming-intermediate (`It`) node of a target box.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItPlacement {
+    /// With the target box (every translation may cross the network, the
+    /// single `I→L` edge is local).
+    TargetOwner,
+    /// On the locality sending the most translations to it (most `I→I`
+    /// edges local, the `I→L` may cross) — the communication-minimising
+    /// placement the paper's distribution policy aims for.
+    MajorityInput,
+}
+
+/// The paper's FMM distribution policy: expansions pinned to box owners,
+/// `It` nodes placed per [`ItPlacement`].
+pub struct FmmPolicy {
+    /// Placement rule for incoming intermediate nodes.
+    pub it_placement: ItPlacement,
+}
+
+impl Default for FmmPolicy {
+    fn default() -> Self {
+        FmmPolicy { it_placement: ItPlacement::MajorityInput }
+    }
+}
+
+impl DistributionPolicy for FmmPolicy {
+    fn assign(&self, dag: &mut Dag, n: u32, owner: &dyn Fn(NodeClass, u32) -> u32) {
+        // First pass: all nodes to their box owners.
+        for i in 0..dag.num_nodes() as u32 {
+            let node = dag.node(i);
+            dag.set_locality(i, owner(node.class, node.box_id).min(n - 1));
+        }
+        if self.it_placement == ItPlacement::MajorityInput && n > 1 {
+            // Second pass: move each It node to the locality contributing
+            // the most input bytes.  In-edges are found by a sweep over all
+            // edges (the DAG stores out-edges only).
+            let mut weight: Vec<std::collections::HashMap<u32, u64>> = Vec::new();
+            let mut it_index = std::collections::HashMap::new();
+            for i in 0..dag.num_nodes() as u32 {
+                if dag.node(i).class == NodeClass::It {
+                    it_index.insert(i, weight.len());
+                    weight.push(std::collections::HashMap::new());
+                }
+            }
+            for i in 0..dag.num_nodes() as u32 {
+                let src_loc = dag.node(i).locality;
+                for e in dag.out_edges(i) {
+                    if let Some(&w) = it_index.get(&e.dst) {
+                        *weight[w].entry(src_loc).or_insert(0) += e.bytes as u64;
+                    }
+                    // Out-edges of the It node itself also pin it: bytes it
+                    // will send to its consumers count toward their owner.
+                    if let Some(&w) = it_index.get(&i) {
+                        *weight[w].entry(dag.node(e.dst).locality).or_insert(0) +=
+                            e.bytes as u64;
+                    }
+                }
+            }
+            for (&id, &w) in &it_index {
+                if let Some((&loc, _)) = weight[w].iter().max_by_key(|(_, &b)| b) {
+                    dag.set_locality(id, loc);
+                }
+            }
+        }
+    }
+}
+
+/// Work-balanced assignment: source-side and target-side nodes are each
+/// partitioned, in box (Morton/DFS) order, so the *estimated work* —
+/// approximated by each node's total degree — is equal across localities,
+/// rather than the point counts.  Useful for non-uniform trees where
+/// equal-point blocks put unequal numbers of boxes (and therefore tasks)
+/// on each locality.
+pub struct LoadBalancedPolicy;
+
+impl DistributionPolicy for LoadBalancedPolicy {
+    fn assign(&self, dag: &mut Dag, n: u32, _owner: &dyn Fn(NodeClass, u32) -> u32) {
+        let weights: Vec<u64> = dag
+            .nodes()
+            .iter()
+            .map(|nd| (nd.in_degree + nd.out_degree + 1) as u64)
+            .collect();
+        // Partition a class family (kept in creation = Morton/DFS order)
+        // by prefix sums of the weights.
+        let assign_family = |classes: &[NodeClass], dag: &mut Dag| {
+            let ids: Vec<u32> = (0..dag.num_nodes() as u32)
+                .filter(|&i| classes.contains(&dag.node(i).class))
+                .collect();
+            let total: u64 = ids.iter().map(|&i| weights[i as usize]).sum();
+            let per = total.div_ceil(n as u64).max(1);
+            let mut acc = 0u64;
+            for &i in &ids {
+                let loc = (acc / per).min(n as u64 - 1) as u32;
+                dag.set_locality(i, loc);
+                acc += weights[i as usize];
+            }
+        };
+        assign_family(&[NodeClass::S, NodeClass::M, NodeClass::Is], dag);
+        assign_family(&[NodeClass::T, NodeClass::L, NodeClass::It], dag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DagBuilder, EdgeOp};
+
+    /// Two source boxes on locality 0/1 feeding one It whose target box is
+    /// owned by locality 1; most input bytes come from locality 0.
+    fn sample() -> Dag {
+        let mut b = DagBuilder::new();
+        let m0 = b.add_node(NodeClass::M, 0, 2, 880); // box 0 → loc 0
+        let m1 = b.add_node(NodeClass::M, 1, 2, 880); // box 1 → loc 1
+        let it = b.add_node(NodeClass::It, 7, 2, 5000); // box 7 → loc 1
+        let l = b.add_node(NodeClass::L, 7, 2, 880);
+        b.add_edge(m0, EdgeOp::I2I, it, 4000, 0);
+        b.add_edge(m1, EdgeOp::I2I, it, 1000, 0);
+        b.add_edge(it, EdgeOp::I2L, l, 880, 0);
+        b.finish()
+    }
+
+    fn owner(_c: NodeClass, box_id: u32) -> u32 {
+        if box_id == 0 {
+            0
+        } else {
+            1
+        }
+    }
+
+    #[test]
+    fn single_locality_zeroes_everything() {
+        let mut d = sample();
+        SingleLocality.assign(&mut d, 4, &owner);
+        assert!(d.nodes().iter().all(|n| n.locality == 0));
+        assert_eq!(d.remote_edge_count(), 0);
+    }
+
+    #[test]
+    fn block_policy_follows_owners() {
+        let mut d = sample();
+        BlockPolicy.assign(&mut d, 2, &owner);
+        assert_eq!(d.node(0).locality, 0);
+        assert_eq!(d.node(1).locality, 1);
+        assert_eq!(d.node(2).locality, 1);
+    }
+
+    #[test]
+    fn fmm_policy_moves_it_to_majority_input() {
+        let mut d = sample();
+        FmmPolicy::default().assign(&mut d, 2, &owner);
+        // 4000 bytes from locality 0 vs 1000 + 880 touching locality 1.
+        assert_eq!(d.node(2).locality, 0, "It should follow the heavier input");
+        // And it reduces remote *bytes* versus the target-owner placement
+        // (1880 B cross instead of 4000 B), even though the remote edge
+        // count is higher — communication volume is what the policy trades.
+        let remote_majority = d.remote_bytes();
+        let mut d2 = sample();
+        FmmPolicy { it_placement: ItPlacement::TargetOwner }.assign(&mut d2, 2, &owner);
+        assert_eq!(d2.node(2).locality, 1);
+        assert!(remote_majority < d2.remote_bytes());
+    }
+
+    #[test]
+    fn load_balanced_policy_equalizes_degree_weight() {
+        // 8 source leaves with very unequal out-degrees: equal-count
+        // splitting would put all the heavy ones on one locality.
+        let mut b = DagBuilder::new();
+        let mut t_nodes = Vec::new();
+        for i in 0..4 {
+            t_nodes.push(b.add_node(NodeClass::T, 100 + i, 3, 8));
+        }
+        for i in 0..8u32 {
+            let s = b.add_node(NodeClass::S, i, 3, 8);
+            // First half heavy (4 edges), second half light (1 edge).
+            let edges = if i < 4 { 4 } else { 1 };
+            for e in 0..edges {
+                b.add_edge(s, EdgeOp::S2T, t_nodes[e % 4], 8, 0);
+            }
+        }
+        let mut d = b.finish();
+        LoadBalancedPolicy.assign(&mut d, 2, &|_, _| 0);
+        // Weighted halves: heavy nodes (weight 5 each) should not all land
+        // on locality 0 with all light ones (weight 2) on locality 1.
+        let mut load = [0u64; 2];
+        for n in d.nodes() {
+            if n.class == NodeClass::S {
+                load[n.locality as usize] += (n.in_degree + n.out_degree + 1) as u64;
+            }
+        }
+        let imbalance = load[0].abs_diff(load[1]) as f64 / (load[0] + load[1]) as f64;
+        assert!(imbalance < 0.35, "weighted loads {load:?}");
+    }
+
+    #[test]
+    fn localities_clamped() {
+        let mut d = sample();
+        BlockPolicy.assign(&mut d, 1, &owner);
+        assert!(d.nodes().iter().all(|n| n.locality == 0));
+    }
+}

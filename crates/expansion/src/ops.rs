@@ -1,0 +1,583 @@
+//! Application of the translation operators.
+//!
+//! These free functions are the computational payload of the DAG tasks: the
+//! runtime schedules them, the tables supply the matrices, and the buffers
+//! are owned by the caller (expansion LCOs), so the hot path allocates
+//! nothing beyond what the operator caches build once per level.
+
+use dashmm_kernels::Kernel;
+use dashmm_tree::{Direction, Point3};
+
+use crate::tables::LevelTables;
+
+/// `S→M`: project the sources of a leaf box onto its upward equivalent
+/// densities.  `sources` are world positions; `out` (length
+/// `expansion_len`) is overwritten.
+pub fn s2m<K: Kernel>(
+    kernel: &K,
+    t: &LevelTables,
+    center: Point3,
+    sources: &[Point3],
+    charges: &[f64],
+    out: &mut [f64],
+) {
+    debug_assert_eq!(sources.len(), charges.len());
+    debug_assert_eq!(out.len(), t.expansion_len());
+    let mut check = vec![0.0; t.expansion_len()];
+    for (i, cp) in t.uc_pts().iter().enumerate() {
+        let p = center + *cp;
+        let mut acc = 0.0;
+        for (s, &q) in sources.iter().zip(charges) {
+            acc += q * kernel.eval(p.dist(s));
+        }
+        check[i] = acc;
+    }
+    t.uc2ue().matvec_into(&check, out);
+}
+
+/// `M→M`: accumulate a child multipole into its parent.  `t` is the
+/// *parent* level's tables.
+pub fn m2m(t: &LevelTables, octant: u8, child_m: &[f64], parent_m: &mut [f64]) {
+    t.m2m(octant).matvec_acc(child_m, parent_m);
+}
+
+/// `M→L`: accumulate a same-level well-separated multipole into a target
+/// local expansion.  `offset` is the integer grid offset (source minus
+/// target) in box widths.
+pub fn m2l<K: Kernel>(
+    kernel: &K,
+    t: &LevelTables,
+    offset: (i8, i8, i8),
+    src_m: &[f64],
+    tgt_l: &mut [f64],
+) {
+    t.m2l(kernel, offset).matvec_acc(src_m, tgt_l);
+}
+
+/// `L→L`: accumulate a parent local expansion into a child.  `t` is the
+/// *child* level's tables.
+pub fn l2l(t: &LevelTables, octant: u8, parent_l: &[f64], child_l: &mut [f64]) {
+    t.l2l(octant).matvec_acc(parent_l, child_l);
+}
+
+/// `S→L`: accumulate far sources (an `L4` leaf) directly into a target
+/// box's local expansion.  `t` is the *target* level's tables.
+pub fn s2l<K: Kernel>(
+    kernel: &K,
+    t: &LevelTables,
+    tgt_center: Point3,
+    sources: &[Point3],
+    charges: &[f64],
+    tgt_l: &mut [f64],
+) {
+    let mut check = vec![0.0; t.expansion_len()];
+    for (i, cp) in t.dc_pts().iter().enumerate() {
+        let p = tgt_center + *cp;
+        let mut acc = 0.0;
+        for (s, &q) in sources.iter().zip(charges) {
+            acc += q * kernel.eval(p.dist(s));
+        }
+        check[i] = acc;
+    }
+    t.dc2de().matvec_acc(&check, tgt_l);
+}
+
+/// `M→T`: evaluate a multipole expansion at target points (`L3`).
+/// `t` is the *source* level's tables.
+pub fn m2t<K: Kernel>(
+    kernel: &K,
+    t: &LevelTables,
+    src_center: Point3,
+    m: &[f64],
+    targets: &[Point3],
+    out: &mut [f64],
+) {
+    debug_assert_eq!(targets.len(), out.len());
+    for (tp, o) in targets.iter().zip(out.iter_mut()) {
+        let mut acc = 0.0;
+        for (j, ep) in t.ue_pts().iter().enumerate() {
+            acc += m[j] * kernel.eval(tp.dist(&(src_center + *ep)));
+        }
+        *o += acc;
+    }
+}
+
+/// `L→T`: evaluate a local expansion at the targets of a leaf box.
+/// `t` is the *target* level's tables.
+pub fn l2t<K: Kernel>(
+    kernel: &K,
+    t: &LevelTables,
+    tgt_center: Point3,
+    l: &[f64],
+    targets: &[Point3],
+    out: &mut [f64],
+) {
+    debug_assert_eq!(targets.len(), out.len());
+    for (tp, o) in targets.iter().zip(out.iter_mut()) {
+        let mut acc = 0.0;
+        for (j, ep) in t.de_pts().iter().enumerate() {
+            acc += l[j] * kernel.eval(tp.dist(&(tgt_center + *ep)));
+        }
+        *o += acc;
+    }
+}
+
+/// `S→T`: direct near-field interaction (`L1`).
+pub fn p2p<K: Kernel>(
+    kernel: &K,
+    sources: &[Point3],
+    charges: &[f64],
+    targets: &[Point3],
+    out: &mut [f64],
+) {
+    debug_assert_eq!(targets.len(), out.len());
+    for (tp, o) in targets.iter().zip(out.iter_mut()) {
+        let mut acc = 0.0;
+        for (s, &q) in sources.iter().zip(charges) {
+            acc += q * kernel.eval(tp.dist(s));
+        }
+        *o += acc;
+    }
+}
+
+/// Accumulate potential *and* gradient of a set of weighted kernel sources
+/// at target points.  `out` holds 4 values per target: `(φ, ∂φ/∂x, ∂φ/∂y,
+/// ∂φ/∂z)`.  This is the shared core of the gradient variants of `S→T`,
+/// `M→T` and `L→T`: the expansion representations are unchanged — only the
+/// final evaluation at target points differentiates the kernel.
+pub fn eval_grad_acc<K: Kernel>(
+    kernel: &K,
+    positions: &[Point3],
+    weights: &[f64],
+    targets: &[Point3],
+    out: &mut [f64],
+) {
+    debug_assert_eq!(out.len(), 4 * targets.len());
+    for (ti, tp) in targets.iter().enumerate() {
+        let (mut p, mut gx, mut gy, mut gz) = (0.0, 0.0, 0.0, 0.0);
+        for (s, &w) in positions.iter().zip(weights) {
+            let d = *tp - *s;
+            let r = d.norm();
+            if r == 0.0 {
+                continue;
+            }
+            p += w * kernel.eval(r);
+            let dr = w * kernel.deriv(r) / r;
+            gx += dr * d.x;
+            gy += dr * d.y;
+            gz += dr * d.z;
+        }
+        out[4 * ti] += p;
+        out[4 * ti + 1] += gx;
+        out[4 * ti + 2] += gy;
+        out[4 * ti + 3] += gz;
+    }
+}
+
+/// `S→T` with gradients.
+pub fn p2p_grad<K: Kernel>(
+    kernel: &K,
+    sources: &[Point3],
+    charges: &[f64],
+    targets: &[Point3],
+    out: &mut [f64],
+) {
+    eval_grad_acc(kernel, sources, charges, targets, out);
+}
+
+/// `M→T` with gradients: evaluate the multipole's equivalent sources.
+pub fn m2t_grad<K: Kernel>(
+    kernel: &K,
+    t: &LevelTables,
+    src_center: Point3,
+    m: &[f64],
+    targets: &[Point3],
+    out: &mut [f64],
+) {
+    let pts: Vec<Point3> = t.ue_pts().iter().map(|p| *p + src_center).collect();
+    eval_grad_acc(kernel, &pts, m, targets, out);
+}
+
+/// `L→T` with gradients: evaluate the local expansion's equivalent sources.
+pub fn l2t_grad<K: Kernel>(
+    kernel: &K,
+    t: &LevelTables,
+    tgt_center: Point3,
+    l: &[f64],
+    targets: &[Point3],
+    out: &mut [f64],
+) {
+    let pts: Vec<Point3> = t.de_pts().iter().map(|p| *p + tgt_center).collect();
+    eval_grad_acc(kernel, &pts, l, targets, out);
+}
+
+/// `M→I`: form the outgoing plane-wave coefficients of a box in one
+/// direction from its multipole (up-equivalent) densities.  `w` is the
+/// stacked `[Re; Im]` coefficient buffer and is overwritten.
+pub fn m2i(t: &LevelTables, d: Direction, m: &[f64], w: &mut [f64]) {
+    t.m2i(d).matvec_into(m, w);
+}
+
+/// `I→I`: translate plane-wave coefficients by the cached diagonal factors
+/// and accumulate.  `fac` is interleaved `(re, im)` per term; `src`/`dst`
+/// are stacked `[Re; Im]`.
+pub fn i2i_apply(fac: &[f64], src: &[f64], dst: &mut [f64]) {
+    let t = src.len() / 2;
+    debug_assert_eq!(fac.len(), src.len());
+    debug_assert_eq!(dst.len(), src.len());
+    let (sre, sim) = src.split_at(t);
+    let (dre, dim) = dst.split_at_mut(t);
+    for k in 0..t {
+        let fr = fac[2 * k];
+        let fi = fac[2 * k + 1];
+        dre[k] += sre[k] * fr - sim[k] * fi;
+        dim[k] += sre[k] * fi + sim[k] * fr;
+    }
+}
+
+/// `I→L`: convert a direction's accumulated incoming plane-wave
+/// coefficients into the box's local (down-equivalent) densities.
+pub fn i2l(t: &LevelTables, d: Direction, w: &[f64], l: &mut [f64]) {
+    t.i2l(d).matvec_acc(w, l);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::AccuracyParams;
+    use crate::tables::LevelTables;
+    use dashmm_kernels::{direct_sum_at, Kernel, Laplace, Yukawa};
+
+    const SIDE: f64 = 0.5;
+
+    fn tb<K: Kernel>(kernel: &K, pw: bool) -> LevelTables {
+        LevelTables::build(kernel, &AccuracyParams::three_digit(), 3, SIDE, pw)
+    }
+
+    /// Pseudo-random points in a box of side `side` around `center`.
+    fn cloud(center: Point3, side: f64, n: usize, salt: u64) -> (Vec<Point3>, Vec<f64>) {
+        let mut state = salt.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let pts = (0..n)
+            .map(|_| center + Point3::new(next() * side, next() * side, next() * side))
+            .collect();
+        let charges = (0..n).map(|_| next() * 2.0).collect();
+        (pts, charges)
+    }
+
+    fn as_arr(p: &Point3) -> [f64; 3] {
+        [p.x, p.y, p.z]
+    }
+
+    fn direct<K: Kernel>(k: &K, src: &[Point3], q: &[f64], t: &Point3) -> f64 {
+        let s: Vec<[f64; 3]> = src.iter().map(as_arr).collect();
+        direct_sum_at(k, &s, q, &as_arr(t))
+    }
+
+    /// |error| relative to the kernel scale at closest valid separation.
+    fn check_err(got: f64, want: f64, scale: f64, tol: f64, what: &str) {
+        let err = (got - want).abs() / scale;
+        assert!(err < tol, "{what}: got {got}, want {want}, err {err:.2e}");
+    }
+
+    #[test]
+    fn s2m_then_m2t_matches_direct_laplace() {
+        let k = Laplace;
+        let t = tb(&k, false);
+        let c = Point3::new(0.25, 0.25, 0.25);
+        let (src, q) = cloud(c, SIDE, 40, 1);
+        let mut m = vec![0.0; t.expansion_len()];
+        s2m(&k, &t, c, &src, &q, &mut m);
+        // Evaluate at points ≥ 2 boxes away (the L2/L3 validity region).
+        for (i, tp) in [
+            Point3::new(0.25 + 2.0 * SIDE, 0.25, 0.25),
+            Point3::new(0.25, 0.25 - 2.5 * SIDE, 0.25 + SIDE),
+            Point3::new(0.25 + 3.0 * SIDE, 0.25 + 3.0 * SIDE, 0.25 - 3.0 * SIDE),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut out = [0.0];
+            m2t(&k, &t, c, &m, &[*tp], &mut out);
+            let want = direct(&k, &src, &q, tp);
+            let qsum: f64 = q.iter().map(|x| x.abs()).sum();
+            check_err(out[0], want, qsum / SIDE, 2e-3, &format!("target {i}"));
+        }
+    }
+
+    #[test]
+    fn m2m_preserves_far_field() {
+        let k = Laplace;
+        let parent_t = tb(&k, false);
+        let child_t =
+            LevelTables::build(&k, &AccuracyParams::three_digit(), 4, SIDE * 0.5, false);
+        let pc = Point3::new(0.0, 0.0, 0.0);
+        // Sources in child octant 5 (x+, y-, z+).
+        let cc = pc + crate::tables::octant_offset(5, SIDE * 0.25);
+        let (src, q) = cloud(cc, SIDE * 0.5, 30, 2);
+        let mut child_m = vec![0.0; child_t.expansion_len()];
+        s2m(&k, &child_t, cc, &src, &q, &mut child_m);
+        let mut parent_m = vec![0.0; parent_t.expansion_len()];
+        m2m(&parent_t, 5, &child_m, &mut parent_m);
+        let tp = Point3::new(2.2 * SIDE, -1.1 * SIDE, 2.0 * SIDE);
+        let mut out = [0.0];
+        m2t(&k, &parent_t, pc, &parent_m, &[tp], &mut out);
+        let want = direct(&k, &src, &q, &tp);
+        let qsum: f64 = q.iter().map(|x| x.abs()).sum();
+        check_err(out[0], want, qsum / SIDE, 2e-3, "m2m far field");
+    }
+
+    fn m2l_case<K: Kernel>(k: K, name: &str) {
+        let t = tb(&k, false);
+        // Source box two boxes east, one south, three up of the target box.
+        let tc = Point3::new(0.1, 0.2, -0.3);
+        let src_offset = (2i8, -1i8, 3i8);
+        let sc = Point3::new(
+            tc.x + src_offset.0 as f64 * SIDE,
+            tc.y + src_offset.1 as f64 * SIDE,
+            tc.z + src_offset.2 as f64 * SIDE,
+        );
+        let (src, q) = cloud(sc, SIDE, 35, 3);
+        let (tgt, _) = cloud(tc, SIDE, 10, 4);
+        let mut m = vec![0.0; t.expansion_len()];
+        s2m(&k, &t, sc, &src, &q, &mut m);
+        let mut l = vec![0.0; t.expansion_len()];
+        m2l(&k, &t, src_offset, &m, &mut l);
+        let mut out = vec![0.0; tgt.len()];
+        l2t(&k, &t, tc, &l, &tgt, &mut out);
+        let qsum: f64 = q.iter().map(|x| x.abs()).sum();
+        let scale = qsum * k.eval(SIDE);
+        for (i, tp) in tgt.iter().enumerate() {
+            let want = direct(&k, &src, &q, tp);
+            check_err(out[i], want, scale, 2e-3, &format!("{name} t{i}"));
+        }
+    }
+
+    #[test]
+    fn m2l_then_l2t_matches_direct() {
+        m2l_case(Laplace, "laplace");
+        m2l_case(Yukawa::new(1.2), "yukawa");
+    }
+
+    #[test]
+    fn l2l_preserves_local_field() {
+        let k = Laplace;
+        let parent_t = tb(&k, false);
+        let child_t =
+            LevelTables::build(&k, &AccuracyParams::three_digit(), 4, SIDE * 0.5, false);
+        let pc = Point3::ZERO;
+        // Far sources: ≥ 3 parent-halves away from the parent center.
+        let far_c = Point3::new(2.5 * SIDE, 0.0, -2.0 * SIDE);
+        let (src, q) = cloud(far_c, SIDE, 30, 5);
+        // Build the parent local directly from the far sources.
+        let mut parent_l = vec![0.0; parent_t.expansion_len()];
+        s2l(&k, &parent_t, pc, &src, &q, &mut parent_l);
+        // Push down to child octant 3 and evaluate at its targets.
+        let cc = pc + crate::tables::octant_offset(3, SIDE * 0.25);
+        let mut child_l = vec![0.0; child_t.expansion_len()];
+        l2l(&child_t, 3, &parent_l, &mut child_l);
+        let (tgt, _) = cloud(cc, SIDE * 0.5, 8, 6);
+        let mut out = vec![0.0; tgt.len()];
+        l2t(&k, &child_t, cc, &child_l, &tgt, &mut out);
+        let qsum: f64 = q.iter().map(|x| x.abs()).sum();
+        for (i, tp) in tgt.iter().enumerate() {
+            let want = direct(&k, &src, &q, tp);
+            check_err(out[i], want, qsum / SIDE, 3e-3, &format!("l2l t{i}"));
+        }
+    }
+
+    #[test]
+    fn planewave_chain_matches_direct() {
+        // M→I, I→I, I→L across an Up-direction pair must reproduce the
+        // direct potential to the same accuracy as dense M→L.
+        planewave_case(Laplace, "laplace");
+        planewave_case(Yukawa::new(1.0), "yukawa");
+    }
+
+    fn planewave_case<K: Kernel>(k: K, name: &str) {
+        let t = tb(&k, true);
+        let sc = Point3::new(0.0, 0.0, 0.0);
+        let d = Direction::Up;
+        // Target 2 boxes up, 1 east: direction Up offset (1, 0, 2).
+        let tc = Point3::new(SIDE, 0.0, 2.0 * SIDE);
+        let (src, q) = cloud(sc, SIDE, 30, 7);
+        let (tgt, _) = cloud(tc, SIDE, 8, 8);
+
+        let mut m = vec![0.0; t.expansion_len()];
+        s2m(&k, &t, sc, &src, &q, &mut m);
+        let mut w = vec![0.0; t.planewave_len()];
+        m2i(&t, d, &m, &mut w);
+        let mut w_in = vec![0.0; t.planewave_len()];
+        let fac = t.i2i(d, tc - sc);
+        i2i_apply(&fac, &w, &mut w_in);
+        let mut l = vec![0.0; t.expansion_len()];
+        i2l(&t, d, &w_in, &mut l);
+        let mut out = vec![0.0; tgt.len()];
+        l2t(&k, &t, tc, &l, &tgt, &mut out);
+
+        let qsum: f64 = q.iter().map(|x| x.abs()).sum();
+        let scale = qsum * k.eval(SIDE) * SIDE / SIDE; // kernel at one box side
+        for (i, tp) in tgt.iter().enumerate() {
+            let want = direct(&k, &src, &q, tp);
+            check_err(out[i], want, scale, 3e-3, &format!("{name} pw t{i}"));
+        }
+    }
+
+    #[test]
+    fn merge_and_shift_is_exact_algebra() {
+        // Shifting a child's outgoing expansion to the parent center and
+        // translating from there must equal translating directly.
+        let k = Laplace;
+        let t = tb(&k, true);
+        let d = Direction::Up;
+        let cc = Point3::new(0.1, -0.2, 0.3);
+        let pc = cc + Point3::new(SIDE * 0.5, SIDE * 0.5, -SIDE * 0.5);
+        let tc = cc + Point3::new(0.0, SIDE, 3.0 * SIDE);
+        let (src, q) = cloud(cc, SIDE, 20, 9);
+        let mut m = vec![0.0; t.expansion_len()];
+        s2m(&k, &t, cc, &src, &q, &mut m);
+        let mut w = vec![0.0; t.planewave_len()];
+        m2i(&t, d, &m, &mut w);
+
+        // Path A: direct translation child → target.
+        let mut wa = vec![0.0; t.planewave_len()];
+        i2i_apply(&t.i2i(d, tc - cc), &w, &mut wa);
+        // Path B: merge shift child → parent, then parent → target.
+        let mut wp = vec![0.0; t.planewave_len()];
+        i2i_apply(&t.i2i(d, pc - cc), &w, &mut wp);
+        let mut wb = vec![0.0; t.planewave_len()];
+        i2i_apply(&t.i2i(d, tc - pc), &wp, &mut wb);
+
+        for (a, b) in wa.iter().zip(&wb) {
+            assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn all_six_directions_reproduce_the_kernel() {
+        let k = Laplace;
+        let t = tb(&k, true);
+        let sc = Point3::ZERO;
+        let (src, q) = cloud(sc, SIDE, 15, 10);
+        let mut m = vec![0.0; t.expansion_len()];
+        s2m(&k, &t, sc, &src, &q, &mut m);
+        let qsum: f64 = q.iter().map(|x| x.abs()).sum();
+        for d in Direction::ALL {
+            // Target center 2 boxes along the direction axis.
+            let mut tc = [0.0f64; 3];
+            tc[d.axis()] = d.sign() * 2.0 * SIDE;
+            let tc = Point3::new(tc[0], tc[1], tc[2]);
+            let mut w = vec![0.0; t.planewave_len()];
+            m2i(&t, d, &m, &mut w);
+            let mut w_in = vec![0.0; t.planewave_len()];
+            i2i_apply(&t.i2i(d, tc - sc), &w, &mut w_in);
+            let mut l = vec![0.0; t.expansion_len()];
+            i2l(&t, d, &w_in, &mut l);
+            let tp = tc + Point3::new(0.1 * SIDE, -0.15 * SIDE, 0.05 * SIDE);
+            let mut out = [0.0];
+            l2t(&k, &t, tc, &l, &[tp], &mut out);
+            let want = direct(&k, &src, &q, &tp);
+            check_err(out[0], want, qsum / SIDE, 3e-3, &format!("direction {d:?}"));
+        }
+    }
+
+    #[test]
+    fn s2l_matches_direct() {
+        let k = Yukawa::new(0.8);
+        let t = tb(&k, false);
+        let tc = Point3::new(-0.1, 0.05, 0.2);
+        // Sources at ≥ 3 target-halves (an L4-style configuration).
+        let far = Point3::new(tc.x + 2.4 * SIDE, tc.y - 1.8 * SIDE, tc.z);
+        let (src, q) = cloud(far, SIDE, 25, 11);
+        let mut l = vec![0.0; t.expansion_len()];
+        s2l(&k, &t, tc, &src, &q, &mut l);
+        let (tgt, _) = cloud(tc, SIDE * 0.9, 6, 12);
+        let mut out = vec![0.0; tgt.len()];
+        l2t(&k, &t, tc, &l, &tgt, &mut out);
+        let qsum: f64 = q.iter().map(|x| x.abs()).sum();
+        for (i, tp) in tgt.iter().enumerate() {
+            let want = direct(&k, &src, &q, tp);
+            check_err(out[i], want, qsum * k.eval(SIDE), 3e-3, &format!("s2l t{i}"));
+        }
+    }
+
+    #[test]
+    fn p2p_is_exact() {
+        let k = Laplace;
+        let (src, q) = cloud(Point3::ZERO, 1.0, 20, 13);
+        let (tgt, _) = cloud(Point3::new(0.2, 0.0, 0.1), 1.0, 7, 14);
+        let mut out = vec![0.0; tgt.len()];
+        p2p(&k, &src, &q, &tgt, &mut out);
+        for (i, tp) in tgt.iter().enumerate() {
+            let want = direct(&k, &src, &q, tp);
+            assert!((out[i] - want).abs() < 1e-12 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn gradient_ops_match_finite_differences() {
+        let k = Laplace;
+        let t = tb(&k, false);
+        let sc = Point3::ZERO;
+        let (src, q) = cloud(sc, SIDE, 25, 15);
+        let mut m = vec![0.0; t.expansion_len()];
+        s2m(&k, &t, sc, &src, &q, &mut m);
+        let tp = Point3::new(2.2 * SIDE, 0.4 * SIDE, -1.9 * SIDE);
+        // m2t_grad potential must agree with m2t, gradient with central FD.
+        let mut g = vec![0.0; 4];
+        m2t_grad(&k, &t, sc, &m, &[tp], &mut g);
+        let mut p = [0.0];
+        m2t(&k, &t, sc, &m, &[tp], &mut p);
+        assert!((g[0] - p[0]).abs() < 1e-12);
+        let h = 1e-5;
+        for axis in 0..3 {
+            let mut dp = Point3::ZERO;
+            match axis {
+                0 => dp.x = h,
+                1 => dp.y = h,
+                _ => dp.z = h,
+            }
+            let (mut a, mut b) = ([0.0], [0.0]);
+            m2t(&k, &t, sc, &m, &[tp + dp], &mut a);
+            m2t(&k, &t, sc, &m, &[tp + dp * -1.0], &mut b);
+            let fd = (a[0] - b[0]) / (2.0 * h);
+            assert!(
+                (g[1 + axis] - fd).abs() < 1e-5 * (1.0 + fd.abs()),
+                "axis {axis}: {} vs fd {fd}",
+                g[1 + axis]
+            );
+        }
+    }
+
+    #[test]
+    fn p2p_grad_matches_analytic_two_body() {
+        let k = Laplace;
+        let src = vec![Point3::ZERO];
+        let q = vec![2.0];
+        let tp = Point3::new(2.0, 0.0, 0.0);
+        let mut out = vec![0.0; 4];
+        p2p_grad(&k, &src, &q, &[tp], &mut out);
+        assert!((out[0] - 1.0).abs() < 1e-14); // 2/2
+        assert!((out[1] + 0.5).abs() < 1e-14); // d(2/r)/dx = -2/r² = -0.5
+        assert!(out[2].abs() < 1e-14 && out[3].abs() < 1e-14);
+    }
+
+    #[test]
+    fn i2i_apply_accumulates() {
+        let fac = vec![0.5, 0.5, 1.0, 0.0];
+        let src = vec![1.0, 2.0, 3.0, 4.0]; // Re = [1,2], Im = [3,4]
+        let mut dst = vec![10.0, 10.0, 10.0, 10.0];
+        i2i_apply(&fac, &src, &mut dst);
+        // term0: (1+3i)(0.5+0.5i) = 0.5+0.5i+1.5i-1.5 = -1+2i
+        assert!((dst[0] - 9.0).abs() < 1e-14);
+        assert!((dst[2] - 12.0).abs() < 1e-14);
+        // term1: (2+4i)(1+0i) = 2+4i
+        assert!((dst[1] - 12.0).abs() < 1e-14);
+        assert!((dst[3] - 14.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,96 @@
+//! Accuracy presets.
+//!
+//! The paper runs every experiment at "3-digits of accuracy"
+//! (Cheng–Greengard–Rokhlin Eq. 57); a 6-digit preset is provided for the
+//! accuracy ablations.  Each preset fixes the surface-lattice resolution of
+//! the equivalent/check expansions, the plane-wave quadrature target, and
+//! the Tikhonov regularisation of the check-to-equivalent inverses.
+
+/// Parameters controlling expansion accuracy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccuracyParams {
+    /// Target accuracy of every far-field approximation (relative to the
+    /// kernel at closest separation, the CGR error measure).
+    pub eps: f64,
+    /// Points per edge of the cubic surface lattices.
+    pub surface_q: usize,
+    /// Relative Tikhonov parameter of the check-to-equivalent inverses.
+    pub tikhonov: f64,
+    /// Scale of the (inner) equivalent surface in box half-widths.
+    pub inner_scale: f64,
+    /// Scale of the (outer) check surface in box half-widths.
+    pub outer_scale: f64,
+}
+
+impl AccuracyParams {
+    /// The paper's accuracy: three digits.
+    pub fn three_digit() -> Self {
+        AccuracyParams {
+            eps: 1e-3,
+            surface_q: 4,
+            tikhonov: 1e-9,
+            inner_scale: 1.05,
+            outer_scale: 2.95,
+        }
+    }
+
+    /// Six digits, for accuracy ablations.
+    pub fn six_digit() -> Self {
+        AccuracyParams {
+            eps: 1e-6,
+            surface_q: 7,
+            tikhonov: 1e-12,
+            inner_scale: 1.05,
+            outer_scale: 2.95,
+        }
+    }
+
+    /// Number of surface points implied by `surface_q`.
+    pub fn surface_points(&self) -> usize {
+        crate::surface::surface_count(self.surface_q)
+    }
+
+    /// Parse `3` / `6` digit presets from harness strings.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "3" | "three" => Some(Self::three_digit()),
+            "6" | "six" => Some(Self::six_digit()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for AccuracyParams {
+    fn default() -> Self {
+        Self::three_digit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_ordered() {
+        let a3 = AccuracyParams::three_digit();
+        let a6 = AccuracyParams::six_digit();
+        assert!(a6.eps < a3.eps);
+        assert!(a6.surface_q > a3.surface_q);
+        assert!(a6.surface_points() > a3.surface_points());
+    }
+
+    #[test]
+    fn surfaces_nested() {
+        let a = AccuracyParams::default();
+        assert!(a.inner_scale > 1.0, "equivalent surface must clear the box");
+        assert!(a.outer_scale < 3.0, "check surface must stay inside the near region");
+        assert!(a.inner_scale < a.outer_scale);
+    }
+
+    #[test]
+    fn parse_presets() {
+        assert_eq!(AccuracyParams::parse("3"), Some(AccuracyParams::three_digit()));
+        assert_eq!(AccuracyParams::parse("six"), Some(AccuracyParams::six_digit()));
+        assert_eq!(AccuracyParams::parse("9"), None);
+    }
+}

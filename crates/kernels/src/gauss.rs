@@ -1,0 +1,112 @@
+//! Gauss–Legendre quadrature nodes and weights, computed by Newton
+//! iteration on the Legendre polynomials.
+
+/// Nodes and weights of the `n`-point Gauss–Legendre rule on `[a, b]`.
+///
+/// Exact for polynomials of degree `2n − 1`; nodes are returned in
+/// increasing order.
+pub fn gauss_legendre(n: usize, a: f64, b: f64) -> (Vec<f64>, Vec<f64>) {
+    assert!(n >= 1, "at least one node required");
+    assert!(b > a, "interval must be non-degenerate");
+    let mut nodes = vec![0.0f64; n];
+    let mut weights = vec![0.0f64; n];
+    let m = n.div_ceil(2);
+    for i in 0..m {
+        // Chebyshev-based initial guess for the i-th root of P_n.
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        let mut dp = 0.0;
+        for _ in 0..100 {
+            let (p, d) = legendre_and_derivative(n, x);
+            dp = d;
+            let dx = p / d;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        let w = 2.0 / ((1.0 - x * x) * dp * dp);
+        nodes[i] = -x;
+        nodes[n - 1 - i] = x;
+        weights[i] = w;
+        weights[n - 1 - i] = w;
+    }
+    // Map [-1, 1] → [a, b].
+    let c = 0.5 * (a + b);
+    let h = 0.5 * (b - a);
+    for i in 0..n {
+        nodes[i] = c + h * nodes[i];
+        weights[i] *= h;
+    }
+    (nodes, weights)
+}
+
+/// Evaluate `P_n(x)` and its derivative via the three-term recurrence.
+fn legendre_and_derivative(n: usize, x: f64) -> (f64, f64) {
+    let mut p0 = 1.0;
+    let mut p1 = x;
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    for k in 2..=n {
+        let kf = k as f64;
+        let p2 = ((2.0 * kf - 1.0) * x * p1 - (kf - 1.0) * p0) / kf;
+        p0 = p1;
+        p1 = p2;
+    }
+    let d = n as f64 * (x * p1 - p0) / (x * x - 1.0);
+    (p1, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integrate(n: usize, a: f64, b: f64, f: impl Fn(f64) -> f64) -> f64 {
+        let (x, w) = gauss_legendre(n, a, b);
+        x.iter().zip(&w).map(|(&xi, &wi)| wi * f(xi)).sum()
+    }
+
+    #[test]
+    fn weights_sum_to_interval_length() {
+        for n in [1, 2, 5, 16, 31] {
+            let (_, w) = gauss_legendre(n, -2.0, 3.0);
+            let s: f64 = w.iter().sum();
+            assert!((s - 5.0).abs() < 1e-12, "n={n}: sum={s}");
+        }
+    }
+
+    #[test]
+    fn exact_for_polynomials() {
+        // n-point rule integrates x^(2n-1) exactly.
+        for n in [2usize, 4, 8] {
+            let deg = 2 * n - 1;
+            let exact = (1.0f64.powi(deg as i32 + 1) - (-1.0f64).powi(deg as i32 + 1))
+                / (deg as f64 + 1.0);
+            let got = integrate(n, -1.0, 1.0, |x| x.powi(deg as i32));
+            assert!((got - exact).abs() < 1e-13, "n={n}");
+        }
+    }
+
+    #[test]
+    fn integrates_exponential() {
+        // ∫₀¹ eˣ dx = e − 1.
+        let got = integrate(12, 0.0, 1.0, f64::exp);
+        assert!((got - (std::f64::consts::E - 1.0)).abs() < 1e-13);
+    }
+
+    #[test]
+    fn integrates_oscillatory() {
+        // ∫₀^{2π} cos(3x) dx = 0, needs enough points.
+        let got = integrate(24, 0.0, std::f64::consts::TAU, |x| (3.0 * x).cos());
+        assert!(got.abs() < 1e-12);
+    }
+
+    #[test]
+    fn nodes_sorted_inside_interval() {
+        let (x, _) = gauss_legendre(15, 1.0, 4.0);
+        for w in x.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(x[0] > 1.0 && x[14] < 4.0);
+    }
+}

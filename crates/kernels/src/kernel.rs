@@ -1,0 +1,211 @@
+//! The interaction-kernel abstraction and the two kernels of the paper.
+
+/// A radially symmetric interaction kernel `K(r)`.
+///
+/// The potential at a target `t` due to sources `{(sᵢ, qᵢ)}` is
+/// `φ(t) = Σᵢ qᵢ K(|t − sᵢ|)`, with the self-interaction (`r = 0`)
+/// conventionally excluded (it evaluates to `0`).
+pub trait Kernel: Clone + Send + Sync + 'static {
+    /// Human-readable name, used by traces and the benchmark harness.
+    fn name(&self) -> &'static str;
+
+    /// Evaluate `K(r)`; must return `0` at `r = 0`.
+    fn eval(&self, r: f64) -> f64;
+
+    /// Radial derivative `dK/dr`; must return `0` at `r = 0`.  The field
+    /// (negative gradient of the potential) at a target `t` due to a source
+    /// `s` is `-q·K'(r)·(t−s)/r`.
+    fn deriv(&self, r: f64) -> f64;
+
+    /// Whether the kernel is scale-variant (Yukawa: operator tables and
+    /// plane-wave quadratures depend on the tree level, paper §V-A).
+    fn scale_variant(&self) -> bool;
+
+    /// The screening parameter scaled to a box of side `side`; `0` for
+    /// scale-invariant kernels.  The Sommerfeld quadrature of a level works
+    /// in box-normalised coordinates, so this is the `κ` it must embed.
+    fn scaled_screening(&self, side: f64) -> f64;
+
+    /// Relative "grain size" of this kernel's operations compared to
+    /// Laplace.  Used only as a descriptive statistic by the harness; the
+    /// measured per-operator timings are what the cost models consume.
+    fn relative_weight(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Enumerates the built-in kernels for CLIs and trace labels.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KernelKind {
+    /// `1/r`.
+    Laplace,
+    /// `e^{-λr}/r` with the given `λ > 0`.
+    Yukawa(f64),
+}
+
+impl KernelKind {
+    /// Parse harness names: `laplace`, or `yukawa` (λ = 1) / `yukawa:<λ>`.
+    pub fn parse(s: &str) -> Option<KernelKind> {
+        if s == "laplace" {
+            Some(KernelKind::Laplace)
+        } else if s == "yukawa" {
+            Some(KernelKind::Yukawa(1.0))
+        } else if let Some(rest) = s.strip_prefix("yukawa:") {
+            rest.parse().ok().map(KernelKind::Yukawa)
+        } else {
+            None
+        }
+    }
+}
+
+/// The scale-invariant Laplace kernel `1/r` — the typical potential of
+/// electrostatics or Newtonian gravitation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Laplace;
+
+impl Kernel for Laplace {
+    fn name(&self) -> &'static str {
+        "laplace"
+    }
+
+    #[inline]
+    fn eval(&self, r: f64) -> f64 {
+        if r > 0.0 {
+            1.0 / r
+        } else {
+            0.0
+        }
+    }
+
+    #[inline]
+    fn deriv(&self, r: f64) -> f64 {
+        if r > 0.0 {
+            -1.0 / (r * r)
+        } else {
+            0.0
+        }
+    }
+
+    fn scale_variant(&self) -> bool {
+        false
+    }
+
+    fn scaled_screening(&self, _side: f64) -> f64 {
+        0.0
+    }
+}
+
+/// The scale-variant Yukawa kernel `e^{-λr}/r` — the screened Coulomb
+/// potential.  Its operations are heavier than Laplace's and their cost
+/// varies with depth in the hierarchy (paper §V-A).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Yukawa {
+    /// Screening parameter `λ > 0`.
+    pub lambda: f64,
+}
+
+impl Yukawa {
+    /// Construct with screening `lambda`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "Yukawa requires λ > 0");
+        Yukawa { lambda }
+    }
+}
+
+impl Kernel for Yukawa {
+    fn name(&self) -> &'static str {
+        "yukawa"
+    }
+
+    #[inline]
+    fn eval(&self, r: f64) -> f64 {
+        if r > 0.0 {
+            (-self.lambda * r).exp() / r
+        } else {
+            0.0
+        }
+    }
+
+    #[inline]
+    fn deriv(&self, r: f64) -> f64 {
+        if r > 0.0 {
+            -(1.0 + self.lambda * r) * (-self.lambda * r).exp() / (r * r)
+        } else {
+            0.0
+        }
+    }
+
+    fn scale_variant(&self) -> bool {
+        true
+    }
+
+    fn scaled_screening(&self, side: f64) -> f64 {
+        self.lambda * side
+    }
+
+    fn relative_weight(&self) -> f64 {
+        // exp() per evaluation plus longer plane-wave expansions.
+        2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laplace_values() {
+        let k = Laplace;
+        assert_eq!(k.eval(2.0), 0.5);
+        assert_eq!(k.eval(0.0), 0.0);
+        assert!(!k.scale_variant());
+        assert_eq!(k.scaled_screening(0.25), 0.0);
+    }
+
+    #[test]
+    fn yukawa_values() {
+        let k = Yukawa::new(2.0);
+        assert!((k.eval(1.0) - (-2.0f64).exp()).abs() < 1e-15);
+        assert_eq!(k.eval(0.0), 0.0);
+        assert!(k.scale_variant());
+        assert!((k.scaled_screening(0.5) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn yukawa_decays_faster_than_laplace() {
+        let l = Laplace;
+        let y = Yukawa::new(1.0);
+        for r in [0.5, 1.0, 2.0, 5.0] {
+            assert!(y.eval(r) < l.eval(r));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn yukawa_rejects_nonpositive_lambda() {
+        let _ = Yukawa::new(0.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for r in [0.3, 1.0, 2.5] {
+            let l = Laplace;
+            let fd = (l.eval(r + h) - l.eval(r - h)) / (2.0 * h);
+            assert!((l.deriv(r) - fd).abs() < 1e-6 * fd.abs().max(1.0));
+            let y = Yukawa::new(1.7);
+            let fd = (y.eval(r + h) - y.eval(r - h)) / (2.0 * h);
+            assert!((y.deriv(r) - fd).abs() < 1e-6 * fd.abs().max(1.0));
+        }
+        assert_eq!(Laplace.deriv(0.0), 0.0);
+        assert_eq!(Yukawa::new(1.0).deriv(0.0), 0.0);
+    }
+
+    #[test]
+    fn kind_parsing() {
+        assert_eq!(KernelKind::parse("laplace"), Some(KernelKind::Laplace));
+        assert_eq!(KernelKind::parse("yukawa"), Some(KernelKind::Yukawa(1.0)));
+        assert_eq!(KernelKind::parse("yukawa:2.5"), Some(KernelKind::Yukawa(2.5)));
+        assert_eq!(KernelKind::parse("coulomb"), None);
+    }
+}

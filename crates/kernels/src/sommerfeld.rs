@@ -1,0 +1,327 @@
+//! Plane-wave (Sommerfeld) discretisation of the Laplace and Yukawa kernels.
+//!
+//! Both kernels of the paper admit a Sommerfeld integral representation for
+//! `z > 0`:
+//!
+//! ```text
+//!   1/r        = (1/2π) ∫₀^∞        ∫₀^{2π} e^{-λz} e^{iλ(x cosα + y sinα)} dα dλ
+//!   e^{-κr}/r  = (1/2π) ∫₀^∞ (λ/s)  ∫₀^{2π} e^{-sz} e^{iλ(x cosα + y sinα)} dα dλ,
+//!                 s = √(λ² + κ²)
+//! ```
+//!
+//! Discretising `λ` with composite Gauss–Legendre panels and `α` with the
+//! trapezoid rule yields a finite sum of **exponential basis functions** in
+//! which *translation is diagonal* — the property the merge-and-shift
+//! technique exploits (the paper's `M→I`, `I→I`, `I→L` operators).  This is
+//! the same structure as the exponential expansions of Cheng–Greengard–
+//! Rokhlin (Laplace) and Greengard–Huang (Yukawa); we use a generic,
+//! numerically *self-validated* quadrature rather than their hand-optimised
+//! tables: [`PlaneWaveQuad::build`] escalates the resolution until the
+//! discretised kernel matches the exact kernel to the requested accuracy
+//! over the whole validity region, so correctness never rests on constants.
+//!
+//! All coordinates are normalised to the box side of the tree level in
+//! question; the validity region `z ∈ [1, 4]`, `ρ ≤ 4√2` covers exactly the
+//! geometry of directional `L2` interactions.  For Yukawa the scaled
+//! screening `κ·side` enters the rule, making the expansion length
+//! level-dependent (the paper's "length of the intermediate expansion
+//! depends on the depth in the hierarchy").
+
+use crate::gauss::gauss_legendre;
+
+/// Requirements for a plane-wave quadrature.
+#[derive(Clone, Copy, Debug)]
+pub struct QuadSpec {
+    /// Target relative accuracy over the validity region.
+    pub eps: f64,
+    /// Minimum `z` separation, in box units (directional `L2` ⇒ 1).
+    pub z_min: f64,
+    /// Maximum `z` separation (offset 3 plus one box of spread ⇒ 4).
+    pub z_max: f64,
+    /// Maximum transverse distance (offsets ≤ 3 plus spread ⇒ 4√2).
+    pub rho_max: f64,
+    /// Screening parameter scaled to the box side (0 ⇒ Laplace).
+    pub kappa: f64,
+}
+
+impl QuadSpec {
+    /// The spec for directional `L2` interactions at the given accuracy and
+    /// (scaled) screening.
+    ///
+    /// Center offsets along the direction axis are 2–3 box sides and ≤ 3
+    /// transversally; the expansions are formed from and evaluated at
+    /// surface points up to `0.525` sides from the box centers, so the
+    /// region is padded accordingly (z ∈ [0.9, 4.1], ρ ≤ 4.1·√2).
+    pub fn for_l2(eps: f64, kappa: f64) -> Self {
+        QuadSpec { eps, z_min: 0.9, z_max: 4.1, rho_max: 4.1 * std::f64::consts::SQRT_2, kappa }
+    }
+
+    /// Exact kernel in normalised coordinates.
+    fn exact(&self, r: f64) -> f64 {
+        if self.kappa > 0.0 {
+            (-self.kappa * r).exp() / r
+        } else {
+            1.0 / r
+        }
+    }
+}
+
+/// A validated plane-wave quadrature: a set of exponential basis terms
+/// `w · e^{-s z} · e^{iλ(x cosα + y sinα)}` whose real part reproduces the
+/// kernel over the validity region.
+///
+/// Terms are stored structure-of-arrays; only the half circle of angles is
+/// kept (the other half contributes the complex conjugate, so the final
+/// evaluation takes `2·Re`, already folded into the weights).
+#[derive(Clone, Debug)]
+pub struct PlaneWaveQuad {
+    spec: QuadSpec,
+    /// λ of each term.
+    pub lambda: Vec<f64>,
+    /// Decay rate `s(λ)` of each term.
+    pub s: Vec<f64>,
+    /// Combined weight of each term (includes the `2/M_k` trapezoid factor).
+    pub w: Vec<f64>,
+    /// cos α of each term.
+    pub cos_a: Vec<f64>,
+    /// sin α of each term.
+    pub sin_a: Vec<f64>,
+    /// Worst relative error observed during validation.
+    pub validated_error: f64,
+}
+
+impl PlaneWaveQuad {
+    /// Build a quadrature satisfying `spec`, escalating resolution until the
+    /// validation sweep passes.  Panics only if even the densest candidate
+    /// fails, which indicates an unsatisfiable spec.
+    ///
+    /// ```
+    /// use dashmm_kernels::{PlaneWaveQuad, QuadSpec};
+    ///
+    /// let q = PlaneWaveQuad::build(QuadSpec::for_l2(1e-3, 0.0));
+    /// // The discretised kernel reproduces 1/r inside the validity region.
+    /// let approx = q.eval(0.5, -0.25, 2.0);
+    /// let exact = 1.0 / (0.5f64 * 0.5 + 0.25 * 0.25 + 4.0).sqrt();
+    /// assert!((approx - exact).abs() < 1e-3);
+    /// ```
+    pub fn build(spec: QuadSpec) -> Self {
+        assert!(spec.eps > 0.0 && spec.eps < 0.5, "eps must be in (0, 0.5)");
+        assert!(spec.z_min > 0.0 && spec.z_max > spec.z_min);
+        let mut last_err = f64::INFINITY;
+        for mult in [
+            0.35, 0.42, 0.5, 0.6, 0.7, 0.85, 1.0, 1.2, 1.4, 1.7, 2.0, 2.4, 2.8, 3.4, 4.0,
+        ] {
+            let q = Self::candidate(spec, mult);
+            let err = q.validate();
+            if err <= spec.eps {
+                let mut q = q;
+                q.validated_error = err;
+                return q;
+            }
+            last_err = err;
+        }
+        panic!(
+            "plane-wave quadrature failed to reach eps={} (best error {last_err:.3e})",
+            spec.eps
+        );
+    }
+
+    /// A candidate rule at the given resolution multiplier.
+    fn candidate(spec: QuadSpec, mult: f64) -> Self {
+        // The λ integrand decays like e^{-s·z_min} with s ≥ λ, so truncate
+        // where the tail is below eps (with margin).
+        let safety = 1.0 + 2.0 * mult;
+        let lam_max = ((1.0 / spec.eps).ln() + safety) / spec.z_min;
+        // Panels short enough that each sees a few oscillations of J₀(λρmax).
+        let osc_wavelength = std::f64::consts::TAU / spec.rho_max.max(1.0);
+        let panel_w = (4.0 * osc_wavelength).min(lam_max / 2.0);
+        let n_panels = (lam_max / panel_w).ceil() as usize;
+        let per_panel = ((8.0 * mult).ceil() as usize).max(3);
+
+        // Panel edges: uniform, plus an edge pinned at λ = κ — the Yukawa
+        // weight λ/√(λ²+κ²) changes character there, and Gauss–Legendre
+        // converges poorly across that scale when it sits mid-panel.
+        let mut edges: Vec<f64> =
+            (0..=n_panels).map(|p| p as f64 * lam_max / n_panels as f64).collect();
+        if spec.kappa > 0.0 && spec.kappa < lam_max {
+            edges.push(spec.kappa);
+            edges.sort_by(f64::total_cmp);
+            edges.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        }
+
+        let log_eps = (1.0 / spec.eps).ln();
+        let mut lambda = Vec::new();
+        let mut s = Vec::new();
+        let mut w = Vec::new();
+        let mut cos_a = Vec::new();
+        let mut sin_a = Vec::new();
+        for pair in edges.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let (xs, ws) = gauss_legendre(per_panel, a, b);
+            for (&lk, &wk) in xs.iter().zip(&ws) {
+                let sk = (lk * lk + spec.kappa * spec.kappa).sqrt();
+                let gk = if spec.kappa > 0.0 { lk / sk } else { 1.0 };
+                // Trapezoid in α must resolve the e^{iλρ cos α} oscillation.
+                let m_full = {
+                    let need = (lk * spec.rho_max + log_eps + 4.0) * mult.max(0.8);
+                    2 * ((need / 2.0).ceil() as usize).max(2)
+                };
+                let half = m_full / 2;
+                let term_w = 2.0 * wk * gk / m_full as f64;
+                for j in 0..half {
+                    let alpha = std::f64::consts::TAU * j as f64 / m_full as f64;
+                    lambda.push(lk);
+                    s.push(sk);
+                    w.push(term_w);
+                    cos_a.push(alpha.cos());
+                    sin_a.push(alpha.sin());
+                }
+            }
+        }
+        PlaneWaveQuad { spec, lambda, s, w, cos_a, sin_a, validated_error: f64::NAN }
+    }
+
+    /// Number of exponential basis terms (the length of an intermediate
+    /// expansion in one direction).
+    pub fn num_terms(&self) -> usize {
+        self.lambda.len()
+    }
+
+    /// The spec this rule was built for.
+    pub fn spec(&self) -> &QuadSpec {
+        &self.spec
+    }
+
+    /// Evaluate the discretised kernel at the (normalised) displacement.
+    ///
+    /// Used by tests and by the operator-table constructors; the FMM hot
+    /// path works with the per-term complex coefficients directly.
+    pub fn eval(&self, x: f64, y: f64, z: f64) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.lambda.len() {
+            let phase = self.lambda[i] * (x * self.cos_a[i] + y * self.sin_a[i]);
+            acc += self.w[i] * (-self.s[i] * z).exp() * phase.cos();
+        }
+        acc
+    }
+
+    /// Worst error over a deterministic sweep of the validity region,
+    /// measured relative to the kernel at the closest possible separation
+    /// (`r = z_min`) — the error measure of Cheng–Greengard–Rokhlin, which
+    /// is what bounds the final potential error of the FMM.  A pointwise
+    /// *relative* criterion would be unattainable for strong screening,
+    /// where the exact kernel underflows at the far corner of the region.
+    fn validate(&self) -> f64 {
+        let spec = self.spec;
+        let scale = spec.exact(spec.z_min);
+        let mut worst = 0.0f64;
+        let zs = 7;
+        let rs = 9;
+        // The trapezoid-in-α discretisation makes the error azimuthally
+        // structured; sweep the full quadrant (the rule has 4-fold + mirror
+        // symmetry in α) rather than a few spot angles.
+        let angles: Vec<f64> =
+            (0..8).map(|i| std::f64::consts::FRAC_PI_2 * i as f64 / 7.0).collect();
+        for iz in 0..=zs {
+            let z = spec.z_min + (spec.z_max - spec.z_min) * iz as f64 / zs as f64;
+            for ir in 0..=rs {
+                let rho = spec.rho_max * ir as f64 / rs as f64;
+                for &a in &angles {
+                    let x = rho * a.cos();
+                    let y = rho * a.sin();
+                    let r = (x * x + y * y + z * z).sqrt();
+                    let exact = spec.exact(r);
+                    let got = self.eval(x, y, z);
+                    worst = worst.max((got - exact).abs() / scale);
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laplace_three_digit_rule_validates() {
+        let q = PlaneWaveQuad::build(QuadSpec::for_l2(1e-3, 0.0));
+        assert!(q.validated_error <= 1e-3, "err = {}", q.validated_error);
+        assert!(q.num_terms() > 0);
+    }
+
+    #[test]
+    fn laplace_six_digit_rule_validates_and_is_longer() {
+        let q3 = PlaneWaveQuad::build(QuadSpec::for_l2(1e-3, 0.0));
+        let q6 = PlaneWaveQuad::build(QuadSpec::for_l2(1e-6, 0.0));
+        assert!(q6.validated_error <= 1e-6);
+        assert!(q6.num_terms() > q3.num_terms());
+    }
+
+    #[test]
+    fn yukawa_rule_validates() {
+        let q = PlaneWaveQuad::build(QuadSpec::for_l2(1e-3, 0.8));
+        assert!(q.validated_error <= 1e-3, "err = {}", q.validated_error);
+    }
+
+    #[test]
+    fn yukawa_scale_variance_changes_rule() {
+        // Different scaled screenings (different tree levels) produce
+        // genuinely different rules — the paper's scale-variant behaviour.
+        let shallow = PlaneWaveQuad::build(QuadSpec::for_l2(1e-3, 2.0));
+        let deep = PlaneWaveQuad::build(QuadSpec::for_l2(1e-3, 0.25));
+        let x = (1.5, 0.3, 2.0);
+        let a = shallow.eval(x.0, x.1, x.2);
+        let b = deep.eval(x.0, x.1, x.2);
+        assert!((a - b).abs() > 1e-6, "rules for different κ must differ");
+    }
+
+    #[test]
+    fn spot_accuracy_on_axis() {
+        let q = PlaneWaveQuad::build(QuadSpec::for_l2(1e-3, 0.0));
+        // On-axis at z = 2: K = 0.5.
+        let got = q.eval(0.0, 0.0, 2.0);
+        assert!((got - 0.5).abs() < 1e-3 * 0.5, "got {got}");
+    }
+
+    #[test]
+    fn spot_accuracy_off_axis_yukawa() {
+        let kappa = 1.3;
+        let q = PlaneWaveQuad::build(QuadSpec::for_l2(1e-3, kappa));
+        let (x, y, z) = (2.0f64, -1.0, 3.0);
+        let r = (x * x + y * y + z * z).sqrt();
+        let exact = (-kappa * r).exp() / r;
+        let got = q.eval(x, y, z);
+        // Error is bounded relative to the kernel at closest separation.
+        let scale = (-kappa * 1.0f64).exp() / 1.0;
+        assert!((got - exact).abs() <= 1e-3 * scale);
+    }
+
+    #[test]
+    fn translation_is_diagonal() {
+        // Shifting the evaluation point multiplies every term by a phase:
+        // eval(x+dx, y+dy, z+dz) equals the term-wise translated sum.
+        let q = PlaneWaveQuad::build(QuadSpec::for_l2(1e-3, 0.0));
+        let (x, y, z) = (0.7, -0.4, 1.6);
+        let (dx, dy, dz) = (0.5, 0.25, 0.8);
+        // Direct evaluation at the shifted point.
+        let direct = q.eval(x + dx, y + dy, z + dz);
+        // Term-wise: accumulate with translated complex coefficients.
+        let mut acc = 0.0;
+        for i in 0..q.num_terms() {
+            let lam = q.lambda[i];
+            let ph0 = lam * (x * q.cos_a[i] + y * q.sin_a[i]);
+            let phd = lam * (dx * q.cos_a[i] + dy * q.sin_a[i]);
+            let decay = (-q.s[i] * (z + dz)).exp();
+            acc += q.w[i] * decay * (ph0 + phd).cos();
+        }
+        assert!((acc - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn absurd_spec_rejected() {
+        let _ = PlaneWaveQuad::build(QuadSpec { eps: 0.9, ..QuadSpec::for_l2(1e-3, 0.0) });
+    }
+}

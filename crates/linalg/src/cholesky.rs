@@ -1,0 +1,134 @@
+//! Cholesky factorisation of symmetric positive-definite matrices.
+
+use crate::Matrix;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+pub struct CholeskyFactor {
+    l: Matrix,
+}
+
+/// Factor a symmetric positive-definite matrix.
+///
+/// Returns `None` when a non-positive pivot is encountered (the matrix is
+/// not numerically SPD).  Only the lower triangle of `a` is read.
+pub fn cholesky(a: &Matrix) -> Option<CholeskyFactor> {
+    assert_eq!(a.rows(), a.cols(), "cholesky requires a square matrix");
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return None;
+        }
+        let djj = d.sqrt();
+        l[(j, j)] = djj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / djj;
+        }
+    }
+    Some(CholeskyFactor { l })
+}
+
+impl CholeskyFactor {
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A x = b` in place (`b` becomes `x`).
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "rhs length must equal matrix order");
+        // Forward: L y = b
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * b[k];
+            }
+            b[i] = s / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * b[k];
+            }
+            b[i] = s / self.l[(i, i)];
+        }
+    }
+
+    /// Solve for a matrix right-hand side, column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.rows(), self.l.rows());
+        let mut out = b.clone();
+        for j in 0..b.cols() {
+            self.solve_in_place(out.col_mut(j));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize) -> Matrix {
+        // A = B Bᵀ + n·I is SPD for any B.
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0 - 0.4);
+        let mut a = b.matmul(&b.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd(12);
+        let f = cholesky(&a).expect("SPD must factor");
+        let r = f.l().matmul(&f.l().transpose());
+        assert!(r.sub(&a).norm_max() < 1e-10 * a.norm_max());
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd(20);
+        let x: Vec<f64> = (0..20).map(|i| (i as f64).sin()).collect();
+        let mut b = a.matvec(&x);
+        let f = cholesky(&a).unwrap();
+        f.solve_in_place(&mut b);
+        for i in 0..20 {
+            assert!((b[i] - x[i]).abs() < 1e-9, "component {i}: {} vs {}", b[i], x[i]);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_rhs() {
+        let a = spd(8);
+        let xs = Matrix::from_fn(8, 3, |i, j| (i + j) as f64 * 0.1);
+        let b = a.matmul(&xs);
+        let f = cholesky(&a).unwrap();
+        let got = f.solve_matrix(&b);
+        assert!(got.sub(&xs).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let mut a = Matrix::identity(3);
+        a[(2, 2)] = -1.0;
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn semidefinite_rejected() {
+        let a = Matrix::zeros(3, 3);
+        assert!(cholesky(&a).is_none());
+    }
+}

@@ -1,0 +1,297 @@
+//! Column-major dense matrix.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, column-major matrix of `f64`.
+///
+/// Column-major layout matches the access pattern of the operator
+/// applications in the FMM hot path: `y += A x` walks each column once,
+/// streaming contiguous memory.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Create a matrix from a closure evaluated at every `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a column-major data vector. Panics if lengths mismatch.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw column-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw column-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.cols);
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutably borrow column `j`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.cols);
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Dense product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for j in 0..other.cols {
+            let bcol = other.col(j);
+            let ocol = out.col_mut(j);
+            for (k, &bkj) in bcol.iter().enumerate() {
+                if bkj == 0.0 {
+                    continue;
+                }
+                let acol = self.col(k);
+                for i in 0..self.rows {
+                    ocol[i] += acol[i] * bkj;
+                }
+            }
+        }
+        out
+    }
+
+    /// `y = A x` into a caller-owned buffer (`y.len() == rows`).
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        y.fill(0.0);
+        self.matvec_acc(x, y);
+    }
+
+    /// `y += A x`; the accumulate form used on the FMM hot path.
+    pub fn matvec_acc(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "x length must equal cols");
+        assert_eq!(y.len(), self.rows, "y length must equal rows");
+        for (k, &xk) in x.iter().enumerate() {
+            if xk == 0.0 {
+                continue;
+            }
+            let acol = self.col(k);
+            for i in 0..self.rows {
+                y[i] += acol[i] * xk;
+            }
+        }
+    }
+
+    /// Convenience allocating `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_acc(x, &mut y);
+        y
+    }
+
+    /// `yᵀ = xᵀ A`, i.e. `y = Aᵀ x`, accumulated into `y`.
+    pub fn matvec_transpose_acc(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "x length must equal rows");
+        assert_eq!(y.len(), self.cols, "y length must equal cols");
+        for j in 0..self.cols {
+            let acol = self.col(j);
+            let mut s = 0.0;
+            for i in 0..self.rows {
+                s += acol[i] * x[i];
+            }
+            y[j] += s;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Max absolute entry.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scale every entry by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        let data = self.data.iter().map(|a| a * s).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[j * self.rows + i]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[j * self.rows + i]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let rmax = self.rows.min(8);
+        let cmax = self.cols.min(8);
+        for i in 0..rmax {
+            write!(f, "  ")?;
+            for j in 0..cmax {
+                write!(f, "{:>12.4e} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if self.cols > cmax { "..." } else { "" })?;
+        }
+        if self.rows > rmax {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let a = Matrix::identity(5);
+        let x = [1.0, -2.0, 3.0, 0.5, 4.0];
+        assert_eq!(a.matvec(&x), x.to_vec());
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = Matrix::from_fn(2, 2, |i, j| [[1.0, 2.0], [3.0, 4.0]][i][j]);
+        let b = Matrix::from_fn(2, 2, |i, j| [[5.0, 6.0], [7.0, 8.0]][i][j]);
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 7 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i as f64 + 1.0) * (j as f64 - 1.5));
+        let x = vec![0.5, -1.0, 2.0];
+        let xm = Matrix::from_col_major(3, 1, x.clone());
+        let y1 = a.matvec(&x);
+        let y2 = a.matmul(&xm);
+        for i in 0..4 {
+            assert!((y1[i] - y2[(i, 0)]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn matvec_transpose_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * 0.37 - 1.0);
+        let x = vec![1.0, 2.0, -0.5, 0.25];
+        let mut y = vec![0.0; 3];
+        a.matvec_transpose_acc(&x, &mut y);
+        let yt = a.transpose().matvec(&x);
+        for i in 0..3 {
+            assert!((y[i] - yt[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn add_sub_scale_roundtrip() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+        let b = a.scale(2.0);
+        assert_eq!(b.sub(&a), a);
+        assert_eq!(a.add(&a), b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_dim_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_fn(2, 2, |i, j| if i == j { 3.0 } else { -4.0 });
+        assert!((a.norm_fro() - (9.0f64 + 16.0 + 16.0 + 9.0).sqrt()).abs() < 1e-14);
+        assert_eq!(a.norm_max(), 4.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! One-sided Jacobi SVD and regularised pseudo-inverses.
+//!
+//! The check-to-equivalent operator of a KIFMM-style expansion is mildly
+//! ill-conditioned: its trailing singular values decay geometrically and must
+//! be filtered before inversion, otherwise the equivalent densities blow up
+//! and the far-field approximation loses all accuracy.  A Jacobi SVD is the
+//! simplest dependable way to build such a filtered inverse, and is plenty
+//! fast for the ≲ 1000² operator matrices appearing here (they are computed
+//! once per level and cached).
+
+use crate::Matrix;
+
+/// Result of [`svd_jacobi`]: `a = u * diag(sigma) * vᵀ` with `u` being
+/// `m × r`, `sigma` length `r`, and `v` being `n × r` where
+/// `r = min(m, n)`.  Singular values are sorted in decreasing order.
+pub struct Svd {
+    /// Left singular vectors, one per column.
+    pub u: Matrix,
+    /// Singular values, decreasing.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, one per column.
+    pub v: Matrix,
+}
+
+/// Compute the thin SVD of `a` via one-sided Jacobi rotations.
+///
+/// For `m < n` the routine factors the transpose and swaps the factors, so
+/// any rectangular shape is accepted.
+pub fn svd_jacobi(a: &Matrix) -> Svd {
+    if a.rows() < a.cols() {
+        let s = svd_jacobi(&a.transpose());
+        return Svd { u: s.v, sigma: s.sigma, v: s.u };
+    }
+    let m = a.rows();
+    let n = a.cols();
+    let mut u = a.clone(); // columns orthogonalised in place
+    let mut v = Matrix::identity(n);
+
+    let tol = 1e-15;
+    // Sweep until all column pairs are numerically orthogonal.
+    for _sweep in 0..60 {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (mut app, mut aqq, mut apq) = (0.0, 0.0, 0.0);
+                {
+                    let cp = u.col(p);
+                    let cq = u.col(q);
+                    for i in 0..m {
+                        app += cp[i] * cp[i];
+                        aqq += cq[i] * cq[i];
+                        apq += cp[i] * cq[i];
+                    }
+                }
+                if apq.abs() <= tol * (app * aqq).sqrt() || apq == 0.0 {
+                    continue;
+                }
+                off = off.max(apq.abs() / (app * aqq).sqrt().max(f64::MIN_POSITIVE));
+                // Jacobi rotation zeroing the (p,q) entry of UᵀU.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_cols(&mut u, p, q, c, s);
+                rotate_cols(&mut v, p, q, c, s);
+            }
+        }
+        if off < 1e-14 {
+            break;
+        }
+    }
+
+    // Column norms are the singular values; normalise U.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut sig = vec![0.0f64; n];
+    for j in 0..n {
+        sig[j] = u.col(j).iter().map(|x| x * x).sum::<f64>().sqrt();
+    }
+    order.sort_by(|&i, &j| sig[j].partial_cmp(&sig[i]).unwrap());
+
+    let mut us = Matrix::zeros(m, n);
+    let mut vs = Matrix::zeros(n, n);
+    let mut sigma = Vec::with_capacity(n);
+    for (dst, &src) in order.iter().enumerate() {
+        let s = sig[src];
+        sigma.push(s);
+        let inv = if s > 0.0 { 1.0 / s } else { 0.0 };
+        for i in 0..m {
+            us[(i, dst)] = u[(i, src)] * inv;
+        }
+        for i in 0..n {
+            vs[(i, dst)] = v[(i, src)];
+        }
+    }
+    Svd { u: us, sigma, v: vs }
+}
+
+fn rotate_cols(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let rows = m.rows();
+    for i in 0..rows {
+        let vp = m[(i, p)];
+        let vq = m[(i, q)];
+        m[(i, p)] = c * vp - s * vq;
+        m[(i, q)] = s * vp + c * vq;
+    }
+}
+
+/// Truncated Moore–Penrose pseudo-inverse: singular values below
+/// `rel_tol * sigma_max` are dropped.
+pub fn pinv(a: &Matrix, rel_tol: f64) -> Matrix {
+    let svd = svd_jacobi(a);
+    let smax = svd.sigma.first().copied().unwrap_or(0.0);
+    let cut = rel_tol * smax;
+    filtered_inverse(&svd, |s| if s > cut { 1.0 / s } else { 0.0 })
+}
+
+/// Tikhonov-regularised pseudo-inverse: each singular value `s` is inverted
+/// as `s / (s² + α²)` with `α = rel_alpha * sigma_max`.
+///
+/// This is the filter used when building check-to-equivalent operators; it
+/// trades a small bias for bounded equivalent densities.
+pub fn pinv_tikhonov(a: &Matrix, rel_alpha: f64) -> Matrix {
+    let svd = svd_jacobi(a);
+    let smax = svd.sigma.first().copied().unwrap_or(0.0);
+    let alpha2 = (rel_alpha * smax) * (rel_alpha * smax);
+    filtered_inverse(&svd, |s| {
+        if s > 0.0 {
+            s / (s * s + alpha2)
+        } else {
+            0.0
+        }
+    })
+}
+
+fn filtered_inverse(svd: &Svd, f: impl Fn(f64) -> f64) -> Matrix {
+    // A⁺ = V diag(f(σ)) Uᵀ
+    let r = svd.sigma.len();
+    let n = svd.v.rows();
+    let m = svd.u.rows();
+    let mut out = Matrix::zeros(n, m);
+    for k in 0..r {
+        let w = f(svd.sigma[k]);
+        if w == 0.0 {
+            continue;
+        }
+        for j in 0..m {
+            let ujk = svd.u[(j, k)] * w;
+            if ujk == 0.0 {
+                continue;
+            }
+            for i in 0..n {
+                out[(i, j)] += svd.v[(i, k)] * ujk;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        a.sub(b).norm_max() <= tol
+    }
+
+    #[test]
+    fn svd_reconstructs_square() {
+        let a = Matrix::from_fn(6, 6, |i, j| ((i * 5 + j * 3) % 11) as f64 - 4.0);
+        let s = svd_jacobi(&a);
+        let mut sig = Matrix::zeros(6, 6);
+        for (i, &v) in s.sigma.iter().enumerate() {
+            sig[(i, i)] = v;
+        }
+        let r = s.u.matmul(&sig).matmul(&s.v.transpose());
+        assert!(approx(&r, &a, 1e-10 * a.norm_max()));
+    }
+
+    #[test]
+    fn svd_reconstructs_tall_and_wide() {
+        for (m, n) in [(9, 4), (4, 9)] {
+            let a = Matrix::from_fn(m, n, |i, j| (i as f64 * 0.3 - j as f64 * 0.7).sin());
+            let s = svd_jacobi(&a);
+            let r = m.min(n);
+            assert_eq!(s.sigma.len(), r);
+            assert_eq!(s.u.cols(), r);
+            assert_eq!(s.v.cols(), r);
+            let mut sig = Matrix::zeros(r, r);
+            for (i, &v) in s.sigma.iter().enumerate() {
+                sig[(i, i)] = v;
+            }
+            let rec = s.u.matmul(&sig).matmul(&s.v.transpose());
+            assert!(approx(&rec, &a, 1e-10));
+        }
+    }
+
+    #[test]
+    fn singular_values_sorted_nonnegative() {
+        let a = Matrix::from_fn(7, 5, |i, j| (i as f64 + 1.0).powi(j as i32) / 100.0);
+        let s = svd_jacobi(&a);
+        for w in s.sigma.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(s.sigma.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn u_and_v_orthonormal() {
+        let a = Matrix::from_fn(8, 6, |i, j| ((i * j) as f64 * 0.21).cos());
+        let s = svd_jacobi(&a);
+        let utu = s.u.transpose().matmul(&s.u);
+        let vtv = s.v.transpose().matmul(&s.v);
+        assert!(approx(&utu, &Matrix::identity(6), 1e-10));
+        assert!(approx(&vtv, &Matrix::identity(6), 1e-10));
+    }
+
+    #[test]
+    fn pinv_inverts_well_conditioned() {
+        let a = Matrix::from_fn(5, 5, |i, j| if i == j { 2.0 + i as f64 } else { 0.3 });
+        let p = pinv(&a, 1e-12);
+        assert!(approx(&p.matmul(&a), &Matrix::identity(5), 1e-9));
+    }
+
+    #[test]
+    fn pinv_truncates_rank_deficient() {
+        // Rank-1 matrix: pinv must satisfy A A⁺ A = A.
+        let a = Matrix::from_fn(4, 4, |i, j| (i as f64 + 1.0) * (j as f64 + 1.0));
+        let p = pinv(&a, 1e-10);
+        let apa = a.matmul(&p).matmul(&a);
+        assert!(approx(&apa, &a, 1e-8 * a.norm_max()));
+    }
+
+    #[test]
+    fn tikhonov_bounded_on_tiny_singular_values() {
+        // diag(1, 1e-14): truncated pinv keeps it bounded, tikhonov too.
+        let mut a = Matrix::identity(2);
+        a[(1, 1)] = 1e-14;
+        let p = pinv_tikhonov(&a, 1e-6);
+        assert!(p.norm_max() < 1e13, "regularised inverse must be bounded");
+        assert!((p[(0, 0)] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn svd_of_zero_matrix() {
+        let a = Matrix::zeros(3, 3);
+        let s = svd_jacobi(&a);
+        assert!(s.sigma.iter().all(|&v| v == 0.0));
+        let p = pinv(&a, 1e-10);
+        assert_eq!(p.norm_max(), 0.0);
+    }
+
+    #[test]
+    fn pinv_least_squares_property() {
+        // Overdetermined system: pinv solves min ||Ax-b||.
+        let a = Matrix::from_fn(6, 3, |i, j| ((i + 1) as f64).powi(j as i32));
+        let xtrue = vec![1.0, -0.5, 0.25];
+        let b = a.matvec(&xtrue);
+        let p = pinv(&a, 1e-12);
+        let x = p.matvec(&b);
+        for i in 0..3 {
+            assert!((x[i] - xtrue[i]).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests of the dense linear algebra over random matrices.
+
+use dashmm_linalg::{cholesky, pinv, pinv_tikhonov, svd_jacobi, Matrix};
+use proptest::prelude::*;
+
+fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1usize..max_dim, 1usize..max_dim, any::<u64>()).prop_map(|(m, n, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        Matrix::from_fn(m, n, |_, _| next() * 4.0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn svd_reconstructs(a in matrix(12)) {
+        let s = svd_jacobi(&a);
+        let r = s.sigma.len();
+        let mut sig = Matrix::zeros(r, r);
+        for (i, &v) in s.sigma.iter().enumerate() {
+            sig[(i, i)] = v;
+        }
+        let rec = s.u.matmul(&sig).matmul(&s.v.transpose());
+        let tol = 1e-9 * (1.0 + a.norm_max());
+        prop_assert!(rec.sub(&a).norm_max() < tol, "err {}", rec.sub(&a).norm_max());
+        // Singular values sorted and non-negative.
+        for w in s.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert!(s.sigma.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn pinv_satisfies_moore_penrose_1(a in matrix(10)) {
+        // A·A⁺·A = A (the defining identity that survives rank deficiency).
+        let p = pinv(&a, 1e-12);
+        let apa = a.matmul(&p).matmul(&a);
+        let tol = 1e-7 * (1.0 + a.norm_max());
+        prop_assert!(apa.sub(&a).norm_max() < tol, "err {}", apa.sub(&a).norm_max());
+    }
+
+    #[test]
+    fn tikhonov_is_bounded(a in matrix(10), alpha in 1e-8f64..1e-2) {
+        // ‖A⁺_α‖ ≤ 1/(2α·σ_max): regularisation bounds the inverse even
+        // for singular matrices.
+        let s = svd_jacobi(&a);
+        let smax = s.sigma.first().copied().unwrap_or(0.0);
+        if smax == 0.0 {
+            return Ok(());
+        }
+        let p = pinv_tikhonov(&a, alpha);
+        let bound = 1.0 / (2.0 * alpha * smax);
+        // Frobenius ≥ spectral, so compare against a loose multiple.
+        prop_assert!(
+            p.norm_max() <= bound * (p.rows().max(p.cols()) as f64),
+            "norm {} vs bound {}",
+            p.norm_max(),
+            bound
+        );
+    }
+
+    #[test]
+    fn cholesky_solve_inverts_spd(b in matrix(9)) {
+        // B Bᵀ + (n+1) I is SPD; solving must recover a known x.
+        let n = b.rows();
+        let mut a = b.matmul(&b.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64 + 1.0;
+        }
+        let f = cholesky(&a).expect("SPD by construction");
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut rhs = a.matvec(&x);
+        f.solve_in_place(&mut rhs);
+        for i in 0..n {
+            prop_assert!((rhs[i] - x[i]).abs() < 1e-7, "{} vs {}", rhs[i], x[i]);
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative(a in matrix(8), seed in any::<u64>()) {
+        let k = a.cols();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let b = Matrix::from_fn(k, 5, |_, _| next());
+        let c = Matrix::from_fn(5, 3, |_, _| next());
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.sub(&right).norm_max() < 1e-9 * (1.0 + left.norm_max()));
+    }
+}

@@ -1,0 +1,709 @@
+//! The virtual-time engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use dashmm_amt::{TraceEvent, TraceSet};
+use dashmm_dag::{Dag, NodeClass};
+
+use crate::cost::{CostModel, NetworkModel};
+
+/// Simulated machine configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of localities (nodes).
+    pub localities: usize,
+    /// Cores per locality (the paper's Big Red II nodes have 32).
+    pub cores_per_locality: usize,
+    /// Enable the binary priority scheduling the paper proposes: the
+    /// continuations of `S` and `M` nodes (the source-tree up-sweep) are
+    /// drained before other ready work.
+    pub priority: bool,
+    /// Execute in strict levelwise (BSP) order with global barriers between
+    /// phases — the conventional SPMD schedule the paper contrasts the AMT
+    /// approach against (§I: "strict levelwise implementations cannot
+    /// exploit all of the available parallelism").
+    pub levelwise: bool,
+    /// Record virtual trace events for utilization analysis.
+    pub trace: bool,
+}
+
+impl SimConfig {
+    /// Total simulated cores.
+    pub fn cores(&self) -> usize {
+        self.localities * self.cores_per_locality
+    }
+}
+
+/// Result of one simulated evaluation.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Virtual time to completion, µs.
+    pub makespan_us: f64,
+    /// Tasks executed (node continuations + remote edge bundles).
+    pub tasks: u64,
+    /// Inter-locality messages.
+    pub messages: u64,
+    /// Inter-locality bytes.
+    pub bytes: u64,
+    /// Busy core-µs per locality (load-balance diagnostics).
+    pub busy_us: Vec<f64>,
+    /// Virtual trace (empty unless requested).
+    pub trace: TraceSet,
+}
+
+impl SimResult {
+    /// Aggregate utilization: busy core time over available core time.
+    pub fn mean_utilization(&self, cfg: &SimConfig) -> f64 {
+        let busy: f64 = self.busy_us.iter().sum();
+        busy / (self.makespan_us * cfg.cores() as f64)
+    }
+}
+
+/// Which part of a node's out-edge list a task processes.  Under priority
+/// scheduling the critical up-sweep edges (`S→M`, `M→M`) are split into
+/// their own high-priority task ("present work in an order that emphasizes
+/// the critical tasks", paper §VI); otherwise one task processes all edges.
+#[derive(Clone, Copy, PartialEq)]
+enum Part {
+    All,
+    UpOnly,
+    RestOnly,
+}
+
+#[derive(Clone)]
+enum TaskKind {
+    /// Continuation of a triggered DAG node: process (part of) its
+    /// out-edge list.
+    Node(u32, Part),
+    /// A coalesced parcel: remote edges of `src` evaluated here.  Carries
+    /// the source node's levelwise phase (0 outside levelwise mode).
+    Remote { edges: Vec<u32>, phase: u32 },
+}
+
+fn is_up_edge(op: dashmm_dag::EdgeOp) -> bool {
+    matches!(op, dashmm_dag::EdgeOp::S2M | dashmm_dag::EdgeOp::M2M)
+}
+
+#[derive(Clone)]
+struct SimTask {
+    kind: TaskKind,
+    high: bool,
+}
+
+enum Ev {
+    Ready(u32, SimTask),
+    /// A core finished a task of the given levelwise phase.
+    CoreFree(u32, u32),
+    Deliver(u32),
+}
+
+/// Time-ordered event key with FIFO tie-breaking.
+#[derive(PartialEq)]
+struct Key(f64, u64);
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// Wire size of one out-edge descriptor inside a coalesced parcel
+/// (operation type + target global address, paper Figure 2).
+const EDGE_DESCRIPTOR_BYTES: u64 = 16;
+
+struct LocState {
+    idle_cores: usize,
+    ready_high: VecDeque<SimTask>,
+    ready: VecDeque<SimTask>,
+}
+
+/// Phase of a node's task in the strict levelwise schedule: all S work,
+/// then M→M up the source tree level by level, then the bridge (per source
+/// level), then L work down the target tree, then the target sinks.
+fn levelwise_phase(dag: &Dag, id: u32, max_level: u8) -> u32 {
+    let node = dag.node(id);
+    let ml = max_level as u32;
+    match node.class {
+        NodeClass::S => 0,
+        NodeClass::M => 1 + (ml - node.level as u32),
+        NodeClass::Is => 2 + ml + (ml - node.level as u32),
+        NodeClass::It => 3 + 2 * ml + node.level as u32,
+        NodeClass::L => 4 + 3 * ml + node.level as u32,
+        NodeClass::T => 5 + 4 * ml,
+    }
+}
+
+/// Replay `dag` on the virtual machine.
+///
+/// ```
+/// use dashmm_dag::{DagBuilder, EdgeOp, NodeClass};
+/// use dashmm_sim::{simulate, CostModel, NetworkModel, SimConfig};
+///
+/// let mut b = DagBuilder::new();
+/// let s = b.add_node(NodeClass::S, 0, 2, 64);
+/// let t = b.add_node(NodeClass::T, 0, 2, 64);
+/// b.add_edge(s, EdgeOp::S2T, t, 64, 0);
+/// let dag = b.finish();
+///
+/// let cfg = SimConfig {
+///     localities: 1,
+///     cores_per_locality: 32,
+///     priority: false,
+///     levelwise: false,
+///     trace: false,
+/// };
+/// let r = simulate(&dag, &CostModel::paper_table2(), &NetworkModel::gemini(), &cfg);
+/// assert!(r.makespan_us > 0.0);
+/// ```
+pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig) -> SimResult {
+    assert!(cfg.localities >= 1 && cfg.cores_per_locality >= 1);
+    assert!(
+        !(cfg.levelwise && cfg.priority),
+        "levelwise and priority scheduling are mutually exclusive"
+    );
+    let n = dag.num_nodes();
+    let mut remaining: Vec<u32> = dag.nodes().iter().map(|nd| nd.in_degree).collect();
+    let mut locs: Vec<LocState> = (0..cfg.localities)
+        .map(|_| LocState {
+            idle_cores: cfg.cores_per_locality,
+            ready_high: VecDeque::new(),
+            ready: VecDeque::new(),
+        })
+        .collect();
+    let mut heap: BinaryHeap<(Reverse<Key>, usize)> = BinaryHeap::new();
+    let mut evs: Vec<Option<Ev>> = Vec::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<(Reverse<Key>, usize)>,
+                    evs: &mut Vec<Option<Ev>>,
+                    seq: &mut u64,
+                    t: f64,
+                    ev: Ev| {
+        evs.push(Some(ev));
+        heap.push((Reverse(Key(t, *seq)), evs.len() - 1));
+        *seq += 1;
+    };
+
+    let node_loc = |id: u32| dag.node(id).locality.min(cfg.localities as u32 - 1);
+    // Under priority scheduling, a node with both up-sweep and other edges
+    // is split into a high-priority up-sweep task plus a normal task.
+    let node_tasks = |id: u32| -> Vec<SimTask> {
+        if cfg.priority && matches!(dag.node(id).class, NodeClass::S | NodeClass::M) {
+            let has_up = dag.out_edges(id).iter().any(|e| is_up_edge(e.op));
+            let has_rest = dag.out_edges(id).iter().any(|e| !is_up_edge(e.op));
+            match (has_up, has_rest) {
+                (true, true) => {
+                    return vec![
+                        SimTask { kind: TaskKind::Node(id, Part::UpOnly), high: true },
+                        SimTask { kind: TaskKind::Node(id, Part::RestOnly), high: false },
+                    ]
+                }
+                (true, false) => {
+                    return vec![SimTask { kind: TaskKind::Node(id, Part::All), high: true }]
+                }
+                _ => {}
+            }
+        }
+        vec![SimTask { kind: TaskKind::Node(id, Part::All), high: false }]
+    };
+
+    // Strict levelwise mode: every node task belongs to a phase; a phase's
+    // tasks may only start once every earlier phase completed (a global
+    // barrier).  Tasks becoming ready early are parked.
+    let max_level = dag.nodes().iter().map(|nd| nd.level).max().unwrap_or(0);
+    let n_phases = if cfg.levelwise { 6 + 4 * max_level as u32 } else { 1 } as usize;
+    let phase_of = |id: u32| -> u32 {
+        if cfg.levelwise {
+            levelwise_phase(dag, id, max_level)
+        } else {
+            0
+        }
+    };
+    // Outstanding node tasks per phase (remote bundles are added as they
+    // are created; they inherit the source node's phase).
+    let mut phase_outstanding = vec![0u64; n_phases];
+    if cfg.levelwise {
+        for id in 0..n as u32 {
+            let nd = dag.node(id);
+            if nd.in_degree > 0 || nd.out_degree > 0 {
+                phase_outstanding[phase_of(id) as usize] += 1;
+            }
+        }
+    }
+    let mut current_phase = 0u32;
+    // Parked tasks (per locality) waiting for their phase.
+    let mut parked: Vec<Vec<(u32, SimTask, u32)>> = vec![Vec::new(); cfg.localities];
+
+    // Seed: zero-input nodes are ready at t = 0.
+    for id in 0..n as u32 {
+        if remaining[id as usize] == 0 && dag.node(id).out_degree > 0 {
+            for task in node_tasks(id) {
+                push(&mut heap, &mut evs, &mut seq, 0.0, Ev::Ready(node_loc(id), task));
+            }
+        }
+    }
+
+    let mut makespan = 0.0f64;
+    let mut tasks = 0u64;
+    let mut messages = 0u64;
+    let mut bytes = 0u64;
+    let mut busy = vec![0.0f64; cfg.localities];
+    let mut trace_events: Vec<TraceEvent> = Vec::new();
+
+    // Start a task on a core of `loc` at `now`; returns events it causes.
+    // (Implemented as a closure-free function to keep borrows simple.)
+    macro_rules! start_task {
+        ($loc:expr, $task:expr, $now:expr) => {{
+            let loc = $loc as usize;
+            let task: SimTask = $task;
+            let now: f64 = $now;
+            tasks += 1;
+            let task_phase = match task.kind {
+                TaskKind::Node(id, _) => phase_of(id),
+                TaskKind::Remote { phase, .. } => phase,
+            };
+            let mut t = now + cost.task_overhead_us;
+            match task.kind {
+                TaskKind::Node(id, part) => {
+                    // Local edges processed sequentially; remote edges
+                    // grouped per destination locality.
+                    let mut remote: Vec<(u32, Vec<u32>, u64)> = Vec::new();
+                    let first = dag.node(id).first_edge;
+                    for (i, e) in dag.out_edges(id).iter().enumerate() {
+                        match part {
+                            Part::UpOnly if !is_up_edge(e.op) => continue,
+                            Part::RestOnly if is_up_edge(e.op) => continue,
+                            _ => {}
+                        }
+                        let dst_loc = node_loc(e.dst);
+                        if dst_loc as usize == loc {
+                            let start = t;
+                            t += cost.edge_us(e.op);
+                            if cfg.trace {
+                                trace_events.push(TraceEvent {
+                                    class: e.op.index() as u8,
+                                    start_ns: (start * 1000.0) as u64,
+                                    end_ns: (t * 1000.0) as u64,
+                                });
+                            }
+                            push(&mut heap, &mut evs, &mut seq, t, Ev::Deliver(e.dst));
+                        } else if net.coalesce {
+                            // One parcel per destination: the expansion data
+                            // travels once, plus a small descriptor per edge.
+                            match remote.iter_mut().find(|(l, _, _)| *l == dst_loc) {
+                                Some((_, list, b)) => {
+                                    list.push(first + i as u32);
+                                    *b += EDGE_DESCRIPTOR_BYTES;
+                                }
+                                None => remote.push((
+                                    dst_loc,
+                                    vec![first + i as u32],
+                                    dag.node(id).size_bytes as u64 + EDGE_DESCRIPTOR_BYTES,
+                                )),
+                            }
+                        } else {
+                            // Without coalescing every edge ships the
+                            // expansion again (paper §IV: "DASHMM would send
+                            // transformed data for each edge").
+                            remote.push((
+                                dst_loc,
+                                vec![first + i as u32],
+                                dag.node(id).size_bytes as u64 + EDGE_DESCRIPTOR_BYTES,
+                            ));
+                        }
+                    }
+                    // Messages posted at task end.
+                    for (dst_loc, list, b) in remote {
+                        t += net.send_overhead_us;
+                        messages += 1;
+                        bytes += b;
+                        if cfg.levelwise {
+                            // The bundle belongs to the sender's phase; the
+                            // barrier waits for its completion.
+                            phase_outstanding[task_phase as usize] += 1;
+                        }
+                        let arrive = t + net.transfer_us(b);
+                        push(
+                            &mut heap,
+                            &mut evs,
+                            &mut seq,
+                            arrive,
+                            Ev::Ready(
+                                dst_loc,
+                                SimTask {
+                                    kind: TaskKind::Remote { edges: list, phase: task_phase },
+                                    high: task.high,
+                                },
+                            ),
+                        );
+                    }
+                }
+                TaskKind::Remote { edges, phase: _ } => {
+                    // Untraced per-edge handling overhead (allocation and
+                    // copies of dynamic non-local out-edge handling).
+                    t += net.remote_edge_overhead_us * edges.len() as f64;
+                    for &ei in &edges {
+                        let e = dag.edges()[ei as usize];
+                        let start = t;
+                        t += cost.edge_us(e.op);
+                        if cfg.trace {
+                            trace_events.push(TraceEvent {
+                                class: e.op.index() as u8,
+                                start_ns: (start * 1000.0) as u64,
+                                end_ns: (t * 1000.0) as u64,
+                            });
+                        }
+                        push(&mut heap, &mut evs, &mut seq, t, Ev::Deliver(e.dst));
+                    }
+                }
+            }
+            busy[loc] += t - now;
+            makespan = makespan.max(t);
+            push(&mut heap, &mut evs, &mut seq, t, Ev::CoreFree(loc as u32, task_phase));
+        }};
+    }
+
+    while let Some((Reverse(Key(now, _)), idx)) = heap.pop() {
+        let ev = evs[idx].take().expect("event consumed twice");
+        match ev {
+            Ev::Ready(loc, task) => {
+                if cfg.levelwise {
+                    let p = match task.kind {
+                        TaskKind::Node(id, _) => phase_of(id),
+                        TaskKind::Remote { phase, .. } => phase,
+                    };
+                    if p > current_phase {
+                        parked[loc as usize].push((loc, task, p));
+                        continue;
+                    }
+                }
+                let ls = &mut locs[loc as usize];
+                if ls.idle_cores > 0 {
+                    ls.idle_cores -= 1;
+                    start_task!(loc, task, now);
+                } else if cfg.priority && task.high {
+                    ls.ready_high.push_back(task);
+                } else {
+                    ls.ready.push_back(task);
+                }
+            }
+            Ev::CoreFree(loc, phase) => {
+                if cfg.levelwise {
+                    phase_outstanding[phase as usize] -= 1;
+                    // Global barrier: advance once every task of the
+                    // current (and earlier) phases has completed, releasing
+                    // the parked tasks of the newly opened phases.
+                    while current_phase as usize + 1 < n_phases
+                        && phase_outstanding[current_phase as usize] == 0
+                    {
+                        current_phase += 1;
+                        for lp in parked.iter_mut() {
+                            let mut keep = Vec::new();
+                            for (l, task, p) in lp.drain(..) {
+                                if p <= current_phase {
+                                    push(&mut heap, &mut evs, &mut seq, now, Ev::Ready(l, task));
+                                } else {
+                                    keep.push((l, task, p));
+                                }
+                            }
+                            *lp = keep;
+                        }
+                        if phase_outstanding[current_phase as usize] != 0 {
+                            break;
+                        }
+                    }
+                }
+                let ls = &mut locs[loc as usize];
+                let next = if cfg.priority {
+                    ls.ready_high.pop_front().or_else(|| ls.ready.pop_front())
+                } else {
+                    ls.ready.pop_front()
+                };
+                match next {
+                    Some(task) => start_task!(loc, task, now),
+                    None => ls.idle_cores += 1,
+                }
+            }
+            Ev::Deliver(node) => {
+                let r = &mut remaining[node as usize];
+                debug_assert!(*r > 0, "delivery to an already-triggered node");
+                *r -= 1;
+                if *r == 0 {
+                    let loc = node_loc(node);
+                    for task in node_tasks(node) {
+                        push(&mut heap, &mut evs, &mut seq, now, Ev::Ready(loc, task));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut trace = TraceSet::new(cfg.cores());
+    if cfg.trace {
+        trace.push_worker(trace_events);
+    }
+    SimResult { makespan_us: makespan, tasks, messages, bytes, busy_us: busy, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashmm_dag::{DagBuilder, EdgeOp, NodeClass};
+
+    fn cm(us: f64) -> CostModel {
+        CostModel::measured([us; 11], 0.0)
+    }
+
+    fn cfg(localities: usize, cores: usize) -> SimConfig {
+        SimConfig { localities, cores_per_locality: cores, priority: false, trace: false, levelwise: false }
+    }
+
+    /// chain S → M → L → T, all on locality 0.
+    fn chain() -> Dag {
+        let mut b = DagBuilder::new();
+        let s = b.add_node(NodeClass::S, 0, 2, 8);
+        let m = b.add_node(NodeClass::M, 0, 2, 8);
+        let l = b.add_node(NodeClass::L, 0, 2, 8);
+        let t = b.add_node(NodeClass::T, 0, 2, 8);
+        b.add_edge(s, EdgeOp::S2M, m, 8, 0);
+        b.add_edge(m, EdgeOp::M2L, l, 8, 0);
+        b.add_edge(l, EdgeOp::L2T, t, 8, 0);
+        b.finish()
+    }
+
+    #[test]
+    fn chain_makespan_is_sum_of_costs() {
+        let d = chain();
+        let r = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &cfg(1, 1));
+        // 3 edge tasks of 10 µs each + final sink trigger (0 overhead).
+        assert!((r.makespan_us - 30.0).abs() < 1e-9, "makespan {}", r.makespan_us);
+        assert_eq!(r.tasks, 4); // S, M, L continuations + T trigger
+        assert_eq!(r.messages, 0);
+    }
+
+    #[test]
+    fn task_overhead_charged_per_task() {
+        let d = chain();
+        let cost = CostModel::measured([10.0; 11], 2.0);
+        let r = simulate(&d, &cost, &NetworkModel::ideal(), &cfg(1, 1));
+        assert!((r.makespan_us - 38.0).abs() < 1e-9, "makespan {}", r.makespan_us);
+    }
+
+    /// `w` independent two-node chains.
+    fn wide(w: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        for i in 0..w {
+            let s = b.add_node(NodeClass::S, i as u32, 2, 8);
+            let t = b.add_node(NodeClass::T, i as u32, 2, 8);
+            b.add_edge(s, EdgeOp::S2T, t, 8, 0);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn parallel_work_scales_with_cores() {
+        let d = wide(16);
+        let t1 = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &cfg(1, 1)).makespan_us;
+        let t4 = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &cfg(1, 4)).makespan_us;
+        let t16 = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &cfg(1, 16)).makespan_us;
+        assert!((t1 / t4 - 4.0).abs() < 0.2, "t1={t1} t4={t4}");
+        assert!((t1 / t16 - 16.0).abs() < 0.5, "t1={t1} t16={t16}");
+    }
+
+    #[test]
+    fn remote_edges_pay_latency_and_coalesce() {
+        // One M node on locality 0 with 3 edges to L nodes on locality 1.
+        let mut b = DagBuilder::new();
+        let s = b.add_node(NodeClass::S, 0, 2, 8);
+        let m = b.add_node(NodeClass::M, 0, 2, 80);
+        b.add_edge(s, EdgeOp::S2M, m, 80, 0);
+        let mut ls = Vec::new();
+        for i in 0..3 {
+            let l = b.add_node(NodeClass::L, 10 + i, 2, 8);
+            b.add_edge(m, EdgeOp::M2L, l, 80, 0);
+            ls.push(l);
+        }
+        let mut d = b.finish();
+        for &l in &ls {
+            d.set_locality(l, 1);
+        }
+        let net = NetworkModel {
+            latency_us: 5.0,
+            bytes_per_us: 1e9,
+            send_overhead_us: 0.0,
+            remote_edge_overhead_us: 0.0,
+            coalesce: true,
+        };
+        let r = simulate(&d, &cm(1.0), &net, &cfg(2, 1));
+        assert_eq!(r.messages, 1, "coalesced into one parcel");
+        // S2M (1µs) + message (5µs + ~0 transfer) + 3 edges at dest = 9µs.
+        assert!((r.makespan_us - 9.0).abs() < 1e-5, "makespan {}", r.makespan_us);
+
+        let net2 = NetworkModel { coalesce: false, ..net };
+        let r2 = simulate(&d, &cm(1.0), &net2, &cfg(2, 1));
+        assert_eq!(r2.messages, 3, "one message per edge without coalescing");
+        assert!(r2.bytes >= r.bytes, "uncoalesced sends at least as many bytes");
+    }
+
+    #[test]
+    fn diamond_respects_dependencies() {
+        // S fans to two M; both feed one L; L feeds T.
+        let mut b = DagBuilder::new();
+        let s = b.add_node(NodeClass::S, 0, 2, 8);
+        let m1 = b.add_node(NodeClass::M, 1, 2, 8);
+        let m2 = b.add_node(NodeClass::M, 2, 2, 8);
+        let l = b.add_node(NodeClass::L, 3, 2, 8);
+        let t = b.add_node(NodeClass::T, 3, 2, 8);
+        b.add_edge(s, EdgeOp::S2M, m1, 8, 0);
+        b.add_edge(s, EdgeOp::S2M, m2, 8, 0);
+        b.add_edge(m1, EdgeOp::M2L, l, 8, 0);
+        b.add_edge(m2, EdgeOp::M2L, l, 8, 0);
+        b.add_edge(l, EdgeOp::L2T, t, 8, 0);
+        let d = b.finish();
+        // With 2 cores: S (2 edges, 20µs), then m1 ∥ m2 (10µs), then L (10).
+        let r = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &cfg(1, 2));
+        assert!((r.makespan_us - 40.0).abs() < 1e-9, "makespan {}", r.makespan_us);
+    }
+
+    #[test]
+    fn priority_reorders_ready_queue() {
+        // One core; a long fan of T-bound work seeds the queue ahead of an
+        // S→M chain.  With priorities the M work jumps the queue.
+        let mut b = DagBuilder::new();
+        // 8 independent "low" source nodes (class It so they are not high).
+        for i in 0..8 {
+            let x = b.add_node(NodeClass::It, 100 + i, 2, 8);
+            let y = b.add_node(NodeClass::L, 200 + i, 2, 8);
+            b.add_edge(x, EdgeOp::I2L, y, 8, 0);
+        }
+        let s = b.add_node(NodeClass::S, 0, 2, 8);
+        let m = b.add_node(NodeClass::M, 0, 2, 8);
+        let m2 = b.add_node(NodeClass::M, 1, 2, 8);
+        b.add_edge(s, EdgeOp::S2M, m, 8, 0);
+        b.add_edge(m, EdgeOp::M2M, m2, 8, 0);
+        let d = b.finish();
+        // It nodes seed first (lower ids).  Track when m2 triggers by
+        // comparing makespans: with priority, the S chain completes early,
+        // without, it finishes last — but total work is equal either way.
+        let base = cfg(1, 1);
+        let with = SimConfig { priority: true, ..base.clone() };
+        let r0 = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &base);
+        let r1 = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &with);
+        assert!((r0.makespan_us - r1.makespan_us).abs() < 1e-9, "same total work");
+        // The discriminating observable: task count & utilization equal,
+        // but the priority run must execute S before the It fan drains.
+        // Reconstruct via traces.
+        let tr0 = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &SimConfig { trace: true, ..base });
+        let tr1 = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &SimConfig { trace: true, ..with });
+        let first_s2m = |r: &SimResult| {
+            r.trace
+                .all_events()
+                .filter(|e| e.class == EdgeOp::S2M.index() as u8)
+                .map(|e| e.start_ns)
+                .min()
+                .unwrap()
+        };
+        assert!(
+            first_s2m(&tr1) < first_s2m(&tr0),
+            "priority must start the up-sweep earlier: {} vs {}",
+            first_s2m(&tr1),
+            first_s2m(&tr0)
+        );
+    }
+
+    #[test]
+    fn trace_busy_consistency() {
+        let d = wide(8);
+        let c = cfg(1, 2);
+        let r = simulate(&d, &cm(5.0), &NetworkModel::ideal(), &SimConfig { trace: true, ..c });
+        // Total traced time equals total edge work: 8 edges × 5 µs.
+        let traced_ns: u64 = r.trace.all_events().map(|e| e.end_ns - e.start_ns).sum();
+        assert_eq!(traced_ns, 8 * 5000);
+        // Busy time additionally counts sink triggers (zero here: no overhead).
+        let busy: f64 = r.busy_us.iter().sum();
+        assert!((busy - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_from_virtual_trace() {
+        let d = wide(64);
+        let c = SimConfig { trace: true, ..cfg(1, 4) };
+        let r = simulate(&d, &cm(5.0), &NetworkModel::ideal(), &c);
+        let u = dashmm_amt::utilization_total(&r.trace, 10);
+        // Perfectly parallel fan: near-full utilization except the tail.
+        assert!(u[2] > 0.9, "mid-run utilization {}", u[2]);
+    }
+
+    #[test]
+    fn strong_scaling_saturates_at_dag_width() {
+        // 32 independent chains cannot use more than 32 cores.
+        let d = wide(32);
+        let t32 = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &cfg(1, 32)).makespan_us;
+        let t64 = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &cfg(1, 64)).makespan_us;
+        assert!((t32 - t64).abs() < 1e-9, "no benefit past the DAG width");
+    }
+
+    #[test]
+    fn levelwise_barriers_serialize_phases() {
+        // S → M chain plus independent T-bound work: dataflow overlaps the
+        // S2T fan with the M chain, levelwise cannot overlap phases.
+        let mut b = DagBuilder::new();
+        let s = b.add_node(NodeClass::S, 0, 3, 8);
+        let m3 = b.add_node(NodeClass::M, 0, 3, 8);
+        let m2 = b.add_node(NodeClass::M, 1, 2, 8);
+        b.add_edge(s, EdgeOp::S2M, m3, 8, 0);
+        b.add_edge(m3, EdgeOp::M2M, m2, 8, 0);
+        // 4 independent direct pairs.
+        for i in 0..4 {
+            let si = b.add_node(NodeClass::S, 10 + i, 3, 8);
+            let ti = b.add_node(NodeClass::T, 10 + i, 3, 8);
+            b.add_edge(si, EdgeOp::S2T, ti, 8, 0);
+        }
+        let d = b.finish();
+        let base = cfg(1, 2);
+        let df = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &base).makespan_us;
+        let lw = simulate(
+            &d,
+            &cm(10.0),
+            &NetworkModel::ideal(),
+            &SimConfig { levelwise: true, ..base },
+        )
+        .makespan_us;
+        // Dataflow: M3's task (the M→M edge) overlaps the S2T fan; the five
+        // 10 µs S tasks on 2 cores dominate: 30 µs.
+        // Levelwise: the barrier holds M3's task until every S task is done
+        // (30 µs), then M3 processes its M→M edge: 40 µs.
+        assert!((df - 30.0).abs() < 1e-9, "dataflow {df}");
+        assert!((lw - 40.0).abs() < 1e-9, "levelwise {lw}");
+    }
+
+    #[test]
+    fn levelwise_same_total_work_as_dataflow() {
+        let d = wide(12);
+        let base = cfg(1, 3);
+        let a = simulate(&d, &cm(7.0), &NetworkModel::ideal(), &base);
+        let b = simulate(
+            &d,
+            &cm(7.0),
+            &NetworkModel::ideal(),
+            &SimConfig { levelwise: true, ..base },
+        );
+        let ba: f64 = a.busy_us.iter().sum();
+        let bb: f64 = b.busy_us.iter().sum();
+        assert!((ba - bb).abs() < 1e-9, "work must be schedule-invariant");
+        assert!(b.makespan_us + 1e-9 >= a.makespan_us, "barriers never help");
+    }
+
+    #[test]
+    #[should_panic]
+    fn levelwise_excludes_priority() {
+        let d = wide(2);
+        let c = SimConfig { levelwise: true, priority: true, ..cfg(1, 1) };
+        let _ = simulate(&d, &cm(1.0), &NetworkModel::ideal(), &c);
+    }
+}

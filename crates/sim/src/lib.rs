@@ -1,0 +1,29 @@
+//! Discrete-event simulation of the AMT runtime at cluster scale.
+//!
+//! The paper's strong-scaling study ran on 2–128 nodes of a Cray XE6 (32
+//! cores each, Gemini interconnect).  This crate replays an *explicit DAG*
+//! through a virtual-time model of the same runtime mechanics so those
+//! experiments are reproducible on any host:
+//!
+//! * every DAG node is an LCO; when its last input arrives, its
+//!   continuation (the out-edge processor) becomes a ready task at the
+//!   node's locality,
+//! * each locality owns `cores` workers pulling from a shared ready queue —
+//!   FIFO when the scheduler is priority-oblivious (the behaviour the paper
+//!   measures), or two-level when the paper's proposed binary priority is
+//!   enabled,
+//! * out-edges are processed sequentially inside the task (paper §VI);
+//!   local edges deliver inputs as they complete, remote edges are
+//!   **coalesced into one parcel per destination locality** and evaluated
+//!   at the destination after a latency + bandwidth delay,
+//! * per-edge execution costs come from a [`CostModel`] — either the
+//!   paper's Table II timings or timings measured on this host by the
+//!   benchmark harness,
+//! * every edge execution emits a virtual trace event, so the utilization
+//!   analysis of Figures 4 and 5 applies unchanged.
+
+pub mod cost;
+pub mod engine;
+
+pub use cost::{CostModel, NetworkModel};
+pub use engine::{simulate, SimConfig, SimResult};

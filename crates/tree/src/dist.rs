@@ -1,0 +1,159 @@
+//! Point distributions used by the paper's experiments.
+//!
+//! The paper evaluates two data sets: points **uniform in a cube** (fairly
+//! uniform dual trees, short critical path) and points **uniform on the
+//! surface of a sphere** (highly non-uniform trees, long critical path).  A
+//! Plummer model is included as a third, astrophysics-flavoured stress case.
+
+use crate::Point3;
+use rand::distributions::{Distribution as RandDistribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Named distribution selector, convenient for harness CLIs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Distribution {
+    /// Uniform in the cube `[-1, 1]³`.
+    Cube,
+    /// Uniform on the surface of the unit sphere.
+    Sphere,
+    /// Plummer model (centrally concentrated), truncated at radius 10.
+    Plummer,
+}
+
+impl Distribution {
+    /// Generate `n` points with the given RNG seed.
+    pub fn generate(self, n: usize, seed: u64) -> Vec<Point3> {
+        match self {
+            Distribution::Cube => uniform_cube(n, seed),
+            Distribution::Sphere => sphere_surface(n, seed),
+            Distribution::Plummer => plummer(n, seed),
+        }
+    }
+
+    /// Parse from the names used by the benchmark harness.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "cube" => Some(Distribution::Cube),
+            "sphere" => Some(Distribution::Sphere),
+            "plummer" => Some(Distribution::Plummer),
+            _ => None,
+        }
+    }
+}
+
+/// `n` points uniform in the cube `[-1, 1]³`.
+pub fn uniform_cube(n: usize, seed: u64) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let u = Uniform::new_inclusive(-1.0f64, 1.0);
+    (0..n)
+        .map(|_| Point3::new(u.sample(&mut rng), u.sample(&mut rng), u.sample(&mut rng)))
+        .collect()
+}
+
+/// `n` points uniform on the surface of the unit sphere (Marsaglia method
+/// via the archimedes/cylinder projection, which is exactly uniform).
+pub fn sphere_surface(n: usize, seed: u64) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let uz = Uniform::new_inclusive(-1.0f64, 1.0);
+    let uphi = Uniform::new(0.0f64, std::f64::consts::TAU);
+    (0..n)
+        .map(|_| {
+            let z: f64 = uz.sample(&mut rng);
+            let phi: f64 = uphi.sample(&mut rng);
+            let r = (1.0 - z * z).max(0.0).sqrt();
+            Point3::new(r * phi.cos(), r * phi.sin(), z)
+        })
+        .collect()
+}
+
+/// `n` points drawn from a Plummer sphere (scale radius 1), truncated at
+/// radius 10 to keep the domain bounded.
+pub fn plummer(n: usize, seed: u64) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let u01 = Uniform::new(0.0f64, 1.0);
+    let uz = Uniform::new_inclusive(-1.0f64, 1.0);
+    let uphi = Uniform::new(0.0f64, std::f64::consts::TAU);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Inverse-CDF radius for the Plummer cumulative mass profile.
+        let m: f64 = u01.sample(&mut rng).clamp(1e-12, 1.0 - 1e-12);
+        let r = 1.0 / (m.powf(-2.0 / 3.0) - 1.0).sqrt();
+        if r > 10.0 {
+            continue;
+        }
+        let z: f64 = uz.sample(&mut rng);
+        let phi: f64 = uphi.sample(&mut rng);
+        let s = (1.0 - z * z).max(0.0).sqrt();
+        out.push(Point3::new(r * s * phi.cos(), r * s * phi.sin(), r * z));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_points_in_bounds_and_seeded() {
+        let a = uniform_cube(1000, 7);
+        let b = uniform_cube(1000, 7);
+        let c = uniform_cube(1000, 8);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a, b, "same seed must reproduce");
+        assert_ne!(a, c, "different seeds must differ");
+        for p in &a {
+            assert!(p.x.abs() <= 1.0 && p.y.abs() <= 1.0 && p.z.abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn sphere_points_on_unit_sphere() {
+        let pts = sphere_surface(2000, 3);
+        for p in &pts {
+            assert!((p.norm() - 1.0).abs() < 1e-12);
+        }
+        // Uniformity smoke check: mean z should be near 0.
+        let mz: f64 = pts.iter().map(|p| p.z).sum::<f64>() / pts.len() as f64;
+        assert!(mz.abs() < 0.05, "mean z = {mz}");
+    }
+
+    #[test]
+    fn sphere_octant_balance() {
+        // Each octant should hold roughly 1/8 of the points.
+        let pts = sphere_surface(16000, 11);
+        let mut counts = [0usize; 8];
+        for p in &pts {
+            let o = (p.x > 0.0) as usize + 2 * (p.y > 0.0) as usize + 4 * (p.z > 0.0) as usize;
+            counts[o] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 2000.0).abs() < 300.0, "octant count {c}");
+        }
+    }
+
+    #[test]
+    fn plummer_truncated_and_concentrated() {
+        let pts = plummer(5000, 5);
+        assert_eq!(pts.len(), 5000);
+        let mut inside_unit = 0usize;
+        for p in &pts {
+            assert!(p.norm() <= 10.0 + 1e-9);
+            if p.norm() < 1.0 {
+                inside_unit += 1;
+            }
+        }
+        // Plummer: ~35% of mass inside the scale radius (1/(1+1)^{3/2} ≈ 0.3536).
+        let frac = inside_unit as f64 / 5000.0;
+        assert!((frac - 0.3536).abs() < 0.05, "fraction inside r=1: {frac}");
+    }
+
+    #[test]
+    fn selector_parse_and_generate() {
+        assert_eq!(Distribution::parse("cube"), Some(Distribution::Cube));
+        assert_eq!(Distribution::parse("sphere"), Some(Distribution::Sphere));
+        assert_eq!(Distribution::parse("plummer"), Some(Distribution::Plummer));
+        assert_eq!(Distribution::parse("torus"), None);
+        assert_eq!(Distribution::Cube.generate(10, 1).len(), 10);
+    }
+}

@@ -1,0 +1,156 @@
+//! The computational domain: the smallest cube containing both ensembles.
+
+use crate::Point3;
+
+/// A cubic computational domain, described by its center and half-width.
+///
+/// Both the source and the target tree partition the *same* domain so that
+/// boxes of either tree at the same level live on the same integer grid;
+/// this is what makes adjacency and well-separatedness between the two trees
+/// exact integer tests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Domain {
+    center: Point3,
+    half: f64,
+}
+
+impl Domain {
+    /// Build a domain from an explicit center and half-width.
+    pub fn new(center: Point3, half: f64) -> Self {
+        assert!(half > 0.0 && half.is_finite(), "domain half-width must be positive");
+        Domain { center, half }
+    }
+
+    /// The smallest cube (padded by `pad` relative units) enclosing every
+    /// point of the given slices.  Padding keeps boundary points strictly
+    /// inside the cube so floating-point grid classification is stable.
+    pub fn containing(ensembles: &[&[Point3]], pad: f64) -> Self {
+        let mut lo = Point3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut hi = Point3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let mut any = false;
+        for pts in ensembles {
+            for p in *pts {
+                lo = lo.min(p);
+                hi = hi.max(p);
+                any = true;
+            }
+        }
+        assert!(any, "cannot build a domain around zero points");
+        let center = (lo + hi) * 0.5;
+        let half = (hi - lo).norm_max() * 0.5 * (1.0 + pad);
+        Domain::new(center, half.max(f64::MIN_POSITIVE.sqrt()))
+    }
+
+    /// Domain center.
+    #[inline]
+    pub fn center(&self) -> Point3 {
+        self.center
+    }
+
+    /// Domain half-width.
+    #[inline]
+    pub fn half(&self) -> f64 {
+        self.half
+    }
+
+    /// Full edge length of the root cube.
+    #[inline]
+    pub fn side(&self) -> f64 {
+        2.0 * self.half
+    }
+
+    /// Side length of a box at `level` (level 0 is the root).
+    #[inline]
+    pub fn side_at(&self, level: u8) -> f64 {
+        self.side() / (1u64 << level) as f64
+    }
+
+    /// Integer grid coordinates of the level-`level` box containing `p`,
+    /// clamped into the grid (points on the upper boundary map inward).
+    pub fn grid_coords(&self, p: &Point3, level: u8) -> (u32, u32, u32) {
+        let n = 1u64 << level;
+        let s = n as f64 / self.side();
+        let f = |c: f64, c0: f64| -> u32 {
+            let idx = ((c - (c0 - self.half)) * s).floor() as i64;
+            idx.clamp(0, n as i64 - 1) as u32
+        };
+        (f(p.x, self.center.x), f(p.y, self.center.y), f(p.z, self.center.z))
+    }
+
+    /// Center of the box with integer coordinates `(i, j, k)` at `level`.
+    pub fn box_center(&self, level: u8, i: u32, j: u32, k: u32) -> Point3 {
+        let side = self.side_at(level);
+        let lo = self.center - Point3::new(self.half, self.half, self.half);
+        lo + Point3::new(
+            (i as f64 + 0.5) * side,
+            (j as f64 + 0.5) * side,
+            (k as f64 + 0.5) * side,
+        )
+    }
+
+    /// Whether `p` lies inside the (closed) domain cube.
+    pub fn contains(&self, p: &Point3) -> bool {
+        (*p - self.center).norm_max() <= self.half * (1.0 + 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containing_is_tight_cube() {
+        let pts = vec![Point3::new(0.0, 0.0, 0.0), Point3::new(2.0, 1.0, 0.5)];
+        let d = Domain::containing(&[&pts], 0.0);
+        assert_eq!(d.center(), Point3::new(1.0, 0.5, 0.25));
+        assert_eq!(d.half(), 1.0); // driven by the x-extent
+        for p in &pts {
+            assert!(d.contains(p));
+        }
+    }
+
+    #[test]
+    fn containing_two_ensembles() {
+        let a = vec![Point3::new(-1.0, 0.0, 0.0)];
+        let b = vec![Point3::new(3.0, 0.0, 0.0)];
+        let d = Domain::containing(&[&a, &b], 0.0);
+        assert_eq!(d.center().x, 1.0);
+        assert_eq!(d.half(), 2.0);
+    }
+
+    #[test]
+    fn grid_roundtrip() {
+        let d = Domain::new(Point3::ZERO, 1.0);
+        for level in 0..6u8 {
+            let n = 1u32 << level;
+            for i in [0, n / 2, n - 1] {
+                let c = d.box_center(level, i, 0, n - 1);
+                let (gi, gj, gk) = d.grid_coords(&c, level);
+                assert_eq!((gi, gj, gk), (i, 0, n - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_points_clamp_inward() {
+        let d = Domain::new(Point3::ZERO, 1.0);
+        let p = Point3::new(1.0, 1.0, 1.0); // exactly on the hi corner
+        let (i, j, k) = d.grid_coords(&p, 3);
+        assert_eq!((i, j, k), (7, 7, 7));
+    }
+
+    #[test]
+    fn side_at_halves_per_level() {
+        let d = Domain::new(Point3::ZERO, 4.0);
+        assert_eq!(d.side_at(0), 8.0);
+        assert_eq!(d.side_at(1), 4.0);
+        assert_eq!(d.side_at(3), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_domain_panics() {
+        let empty: Vec<Point3> = vec![];
+        let _ = Domain::containing(&[&empty], 0.0);
+    }
+}

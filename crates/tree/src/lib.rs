@@ -1,0 +1,37 @@
+//! Adaptive dual octrees and interaction lists for hierarchical multipole
+//! methods.
+//!
+//! The paper partitions the *source* and *target* ensembles separately into
+//! two trees of nested boxes over the common computational domain (the
+//! smallest cube containing both ensembles), prunes empty children, and stops
+//! refining a box once it holds fewer than a *threshold* number of points
+//! (60 in every experiment).  Each target box is then connected to up to four
+//! lists of source boxes (the paper's `L1..L4`, classically the U/V/W/X
+//! lists), and the `L2` (V) list is further partitioned into six directional
+//! lists that feed the plane-wave *intermediate expansion* translations of
+//! the merge-and-shift technique.
+//!
+//! This crate provides:
+//!
+//! * [`Point3`] and the point [`dist`]ributions used in the paper (uniform
+//!   cube, uniform sphere surface) plus a Plummer model,
+//! * [`MortonKey`] — integer box coordinates on the level grid,
+//! * [`Octree`] — adaptive, empty-pruned, threshold-refined octree,
+//! * [`DualTree`] + [`InteractionLists`] — the full adaptive dual-tree
+//!   traversal producing `L1..L4` and the directional partition of `L2`.
+
+pub mod build;
+pub mod dist;
+pub mod domain;
+pub mod lists;
+pub mod morton;
+pub mod point;
+pub mod stats;
+
+pub use build::{BuildParams, Octree, OctreeNode};
+pub use dist::{plummer, sphere_surface, uniform_cube, Distribution};
+pub use domain::Domain;
+pub use lists::{Direction, DualTree, InteractionLists, ListEntry};
+pub use morton::MortonKey;
+pub use point::Point3;
+pub use stats::TreeStats;

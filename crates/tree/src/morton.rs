@@ -1,0 +1,241 @@
+//! Morton (Z-order) keys for octree boxes.
+//!
+//! A [`MortonKey`] identifies a box by its refinement level and its integer
+//! grid coordinates at that level.  Keys are the bridge between the two
+//! trees of the dual-tree decomposition: because the source and target tree
+//! share one domain cube, adjacency and well-separatedness between boxes of
+//! *different* trees (and different levels) reduce to exact integer interval
+//! tests on the deepest grid.
+
+/// Maximum supported refinement level (21 bits per dimension in a u64 code).
+pub const MAX_LEVEL: u8 = 20;
+
+/// A box identifier: refinement level plus grid coordinates at that level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MortonKey {
+    /// Refinement level; 0 is the root box.
+    pub level: u8,
+    /// Grid coordinates at `level`, each in `0..2^level`.
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+}
+
+impl MortonKey {
+    /// The root box.
+    pub const ROOT: MortonKey = MortonKey { level: 0, x: 0, y: 0, z: 0 };
+
+    /// Construct, asserting coordinates fit the level grid.
+    pub fn new(level: u8, x: u32, y: u32, z: u32) -> Self {
+        debug_assert!(level <= MAX_LEVEL);
+        let n = 1u64 << level;
+        debug_assert!((x as u64) < n && (y as u64) < n && (z as u64) < n);
+        MortonKey { level, x, y, z }
+    }
+
+    /// Child key in octant `oct` (bit 0 = x, bit 1 = y, bit 2 = z).
+    pub fn child(&self, oct: u8) -> MortonKey {
+        debug_assert!(oct < 8);
+        MortonKey::new(
+            self.level + 1,
+            self.x * 2 + (oct & 1) as u32,
+            self.y * 2 + ((oct >> 1) & 1) as u32,
+            self.z * 2 + ((oct >> 2) & 1) as u32,
+        )
+    }
+
+    /// Parent key; the root is its own parent.
+    pub fn parent(&self) -> MortonKey {
+        if self.level == 0 {
+            *self
+        } else {
+            MortonKey::new(self.level - 1, self.x / 2, self.y / 2, self.z / 2)
+        }
+    }
+
+    /// Which octant of its parent this key occupies.
+    pub fn octant(&self) -> u8 {
+        ((self.x & 1) + 2 * (self.y & 1) + 4 * (self.z & 1)) as u8
+    }
+
+    /// Interleaved Morton code at this key's level (for same-level ordering).
+    pub fn code(&self) -> u64 {
+        spread(self.x) | (spread(self.y) << 1) | (spread(self.z) << 2)
+    }
+
+    /// Integer coordinate interval `[lo, hi)` covered by this box on the
+    /// deepest (`MAX_LEVEL`) grid, per axis.
+    fn span(&self, axis: usize) -> (u64, u64) {
+        let shift = (MAX_LEVEL - self.level) as u64;
+        let c = match axis {
+            0 => self.x,
+            1 => self.y,
+            _ => self.z,
+        } as u64;
+        (c << shift, (c + 1) << shift)
+    }
+
+    /// Whether the closures of the two boxes touch or overlap ("adjacent").
+    ///
+    /// Two boxes are adjacent iff along every axis their deep-grid intervals
+    /// have non-positive gap.  Well-separatedness (the condition for a valid
+    /// multipole/local interaction) is the negation.
+    pub fn adjacent(&self, other: &MortonKey) -> bool {
+        for a in 0..3 {
+            let (lo1, hi1) = self.span(a);
+            let (lo2, hi2) = other.span(a);
+            if lo2 > hi1 || lo1 > hi2 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the boxes are well-separated: their closures do not touch.
+    #[inline]
+    pub fn well_separated(&self, other: &MortonKey) -> bool {
+        !self.adjacent(other)
+    }
+
+    /// Whether `self`'s region contains `other`'s region (same tree nesting).
+    pub fn contains(&self, other: &MortonKey) -> bool {
+        if other.level < self.level {
+            return false;
+        }
+        for a in 0..3 {
+            let (lo1, hi1) = self.span(a);
+            let (lo2, hi2) = other.span(a);
+            if lo2 < lo1 || hi2 > hi1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Offset of `other` relative to `self` in units of the (common-level)
+    /// box side.  Panics if the levels differ.
+    pub fn offset(&self, other: &MortonKey) -> (i64, i64, i64) {
+        assert_eq!(self.level, other.level, "offset requires same-level keys");
+        (
+            other.x as i64 - self.x as i64,
+            other.y as i64 - self.y as i64,
+            other.z as i64 - self.z as i64,
+        )
+    }
+}
+
+/// Spread the low 21 bits of `v` so consecutive bits land 3 apart.
+fn spread(v: u32) -> u64 {
+    let mut x = (v as u64) & 0x1f_ffff;
+    x = (x | (x << 32)) & 0x1f00000000ffff;
+    x = (x | (x << 16)) & 0x1f0000ff0000ff;
+    x = (x | (x << 8)) & 0x100f00f00f00f00f;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Full-depth Morton code of deep-grid coordinates (used to sort points).
+pub fn deep_code(x: u32, y: u32, z: u32) -> u64 {
+    spread(x) | (spread(y) << 1) | (spread(z) << 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_parent_roundtrip() {
+        let k = MortonKey::new(3, 5, 2, 7);
+        for oct in 0..8 {
+            let c = k.child(oct);
+            assert_eq!(c.parent(), k);
+            assert_eq!(c.octant(), oct);
+        }
+    }
+
+    #[test]
+    fn root_is_own_parent() {
+        assert_eq!(MortonKey::ROOT.parent(), MortonKey::ROOT);
+    }
+
+    #[test]
+    fn same_level_adjacency_matches_offset_rule() {
+        // At a common level, adjacency <=> every |offset| <= 1.
+        let a = MortonKey::new(4, 8, 8, 8);
+        for dx in -3i64..=3 {
+            for dy in -3i64..=3 {
+                for dz in -3i64..=3 {
+                    let b = MortonKey::new(
+                        4,
+                        (8 + dx) as u32,
+                        (8 + dy) as u32,
+                        (8 + dz) as u32,
+                    );
+                    let expect = dx.abs() <= 1 && dy.abs() <= 1 && dz.abs() <= 1;
+                    assert_eq!(a.adjacent(&b), expect, "offset ({dx},{dy},{dz})");
+                    assert_eq!(a.well_separated(&b), !expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_level_adjacency() {
+        // A level-2 box and the level-3 box directly touching its face.
+        let big = MortonKey::new(2, 1, 1, 1); // spans [1/4,2/4) per axis
+        let touching = MortonKey::new(3, 4, 2, 2); // x in [4/8,5/8): touches big's x-hi face
+        assert!(big.adjacent(&touching));
+        let separated = MortonKey::new(3, 5, 2, 2); // gap of one level-3 box in x
+        assert!(!big.adjacent(&separated));
+    }
+
+    #[test]
+    fn box_adjacent_to_itself_and_children() {
+        let k = MortonKey::new(5, 10, 20, 30);
+        assert!(k.adjacent(&k));
+        assert!(k.adjacent(&k.child(0)));
+        assert!(k.contains(&k.child(7)));
+        assert!(!k.child(0).contains(&k));
+    }
+
+    #[test]
+    fn contains_is_nesting() {
+        let k = MortonKey::new(2, 1, 2, 3);
+        let deep = k.child(3).child(5);
+        assert!(k.contains(&deep));
+        let other = MortonKey::new(2, 0, 2, 3).child(0).child(0);
+        assert!(!k.contains(&other));
+    }
+
+    #[test]
+    fn codes_order_siblings_by_octant() {
+        let k = MortonKey::new(6, 11, 22, 33);
+        let mut codes: Vec<u64> = (0..8).map(|o| k.child(o).code()).collect();
+        let sorted = {
+            let mut s = codes.clone();
+            s.sort_unstable();
+            s
+        };
+        codes.sort_unstable();
+        assert_eq!(codes, sorted);
+        // All 8 children share the parent's code prefix.
+        for o in 0..8 {
+            assert_eq!(k.child(o).code() >> 3, k.code());
+        }
+    }
+
+    #[test]
+    fn deep_code_is_monotone_in_each_axis_locally() {
+        assert!(deep_code(0, 0, 0) < deep_code(1, 0, 0));
+        assert!(deep_code(0, 0, 0) < deep_code(0, 1, 0));
+        assert!(deep_code(0, 0, 0) < deep_code(0, 0, 1));
+    }
+
+    #[test]
+    fn offset_same_level() {
+        let a = MortonKey::new(3, 1, 2, 3);
+        let b = MortonKey::new(3, 4, 0, 3);
+        assert_eq!(a.offset(&b), (3, -2, 0));
+    }
+}

@@ -1,0 +1,134 @@
+//! 3-D points with the handful of vector operations the trees and kernels
+//! need.  Kept deliberately minimal — no general vector-math dependency.
+
+use std::ops::{Add, Mul, Sub};
+
+/// A point (or displacement) in 3-D space.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Point3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Construct from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// The origin.
+    pub const ZERO: Point3 = Point3::new(0.0, 0.0, 0.0);
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm2().sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm2(&self) -> f64 {
+        self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Chebyshev (max) norm — the natural norm for box adjacency.
+    #[inline]
+    pub fn norm_max(&self) -> f64 {
+        self.x.abs().max(self.y.abs()).max(self.z.abs())
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(&self, other: &Point3) -> f64 {
+        (*self - *other).norm()
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, other: &Point3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: &Point3) -> Point3 {
+        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: &Point3) -> Point3 {
+        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// Component by axis index (0 = x, 1 = y, 2 = z).
+    #[inline]
+    pub fn axis(&self, a: usize) -> f64 {
+        match a {
+            0 => self.x,
+            1 => self.y,
+            _ => self.z,
+        }
+    }
+}
+
+impl Add for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn add(self, o: Point3) -> Point3 {
+        Point3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn sub(self, o: Point3) -> Point3 {
+        Point3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn mul(self, s: f64) -> Point3 {
+        Point3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_and_distance() {
+        let p = Point3::new(3.0, 4.0, 0.0);
+        assert_eq!(p.norm(), 5.0);
+        assert_eq!(p.norm2(), 25.0);
+        assert_eq!(p.norm_max(), 4.0);
+        assert_eq!(p.dist(&Point3::ZERO), 5.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(0.5, -1.0, 2.0);
+        assert_eq!(a + b, Point3::new(1.5, 1.0, 5.0));
+        assert_eq!(a - b, Point3::new(0.5, 3.0, 1.0));
+        assert_eq!(a * 2.0, Point3::new(2.0, 4.0, 6.0));
+        assert_eq!(a.dot(&b), 0.5 - 2.0 + 6.0);
+    }
+
+    #[test]
+    fn min_max_axis() {
+        let a = Point3::new(1.0, 5.0, -2.0);
+        let b = Point3::new(2.0, 0.0, -1.0);
+        assert_eq!(a.min(&b), Point3::new(1.0, 0.0, -2.0));
+        assert_eq!(a.max(&b), Point3::new(2.0, 5.0, -1.0));
+        assert_eq!(a.axis(0), 1.0);
+        assert_eq!(a.axis(1), 5.0);
+        assert_eq!(a.axis(2), -2.0);
+    }
+}

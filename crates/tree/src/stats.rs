@@ -1,0 +1,115 @@
+//! Tree shape statistics — the quantities behind the paper's observation
+//! (§V-A) that cube data produces fairly uniform trees with a short
+//! critical path, while sphere-surface data produces non-uniform trees
+//! with a longer one.
+
+use crate::build::Octree;
+
+/// Shape summary of one octree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeStats {
+    /// Total boxes.
+    pub boxes: usize,
+    /// Leaf boxes.
+    pub leaves: usize,
+    /// Deepest level.
+    pub depth: u8,
+    /// Shallowest leaf level.
+    pub min_leaf_level: u8,
+    /// Deepest leaf level.
+    pub max_leaf_level: u8,
+    /// Number of boxes per level (index = level).
+    pub boxes_per_level: Vec<usize>,
+    /// Mean points per leaf.
+    pub mean_leaf_points: f64,
+    /// Maximum points in any leaf.
+    pub max_leaf_points: usize,
+}
+
+impl TreeStats {
+    /// Compute the statistics of a tree.
+    pub fn compute(tree: &Octree) -> Self {
+        let leaves = tree.leaves();
+        let mut min_leaf = u8::MAX;
+        let mut max_leaf = 0u8;
+        let mut total_pts = 0usize;
+        let mut max_pts = 0usize;
+        for &l in &leaves {
+            let n = tree.node(l);
+            min_leaf = min_leaf.min(n.key.level);
+            max_leaf = max_leaf.max(n.key.level);
+            total_pts += n.count;
+            max_pts = max_pts.max(n.count);
+        }
+        let boxes_per_level =
+            (0..=tree.depth()).map(|l| tree.level_nodes(l).len()).collect();
+        TreeStats {
+            boxes: tree.num_nodes(),
+            leaves: leaves.len(),
+            depth: tree.depth(),
+            min_leaf_level: min_leaf,
+            max_leaf_level: max_leaf,
+            boxes_per_level,
+            mean_leaf_points: total_pts as f64 / leaves.len().max(1) as f64,
+            max_leaf_points: max_pts,
+        }
+    }
+
+    /// Leaf-depth spread — 0 for perfectly uniform trees; grows with
+    /// adaptivity (the paper's cube-vs-sphere contrast).
+    pub fn leaf_depth_spread(&self) -> u8 {
+        self.max_leaf_level - self.min_leaf_level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::BuildParams;
+    use crate::dist::{sphere_surface, uniform_cube};
+    use crate::domain::Domain;
+
+    fn stats_for(points: &[crate::Point3], threshold: usize) -> TreeStats {
+        let domain = Domain::containing(&[points], 1e-4);
+        let tree =
+            Octree::build(domain, points, BuildParams { threshold, max_level: 20 });
+        TreeStats::compute(&tree)
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let s = stats_for(&uniform_cube(20000, 1), 60);
+        assert_eq!(s.boxes_per_level.iter().sum::<usize>(), s.boxes);
+        assert!(s.leaves <= s.boxes);
+        assert!(s.max_leaf_points <= 60);
+        assert!(s.mean_leaf_points > 0.0 && s.mean_leaf_points <= 60.0);
+        // All points accounted for.
+        let approx_total = s.mean_leaf_points * s.leaves as f64;
+        assert!((approx_total - 20000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sphere_trees_are_less_uniform_than_cube_trees() {
+        let n = 30000;
+        let cube = stats_for(&uniform_cube(n, 2), 60);
+        let sphere = stats_for(&sphere_surface(n, 2), 60);
+        assert!(cube.leaf_depth_spread() <= 1, "cube spread {}", cube.leaf_depth_spread());
+        assert!(
+            sphere.leaf_depth_spread() >= cube.leaf_depth_spread(),
+            "sphere {} vs cube {}",
+            sphere.leaf_depth_spread(),
+            cube.leaf_depth_spread()
+        );
+        assert!(sphere.depth > cube.depth, "sphere trees refine deeper");
+    }
+
+    #[test]
+    fn level_histogram_monotone_then_pruned() {
+        // In a uniform cube tree, box counts grow roughly 8x per level
+        // until the leaf level.
+        let s = stats_for(&uniform_cube(40000, 3), 60);
+        for w in s.boxes_per_level.windows(2).take(s.boxes_per_level.len() - 1) {
+            assert!(w[1] >= w[0], "level counts should not shrink before the leaves");
+        }
+    }
+}

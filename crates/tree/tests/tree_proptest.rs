@@ -1,0 +1,110 @@
+//! Property tests of tree construction and interaction lists over
+//! arbitrary point geometries.
+
+use dashmm_tree::{BuildParams, Domain, DualTree, Octree, Point3};
+use proptest::prelude::*;
+
+/// Arbitrary point clouds: a mix of uniform scatter and tight clusters,
+/// scaled/offset arbitrarily.
+fn cloud(max_points: usize) -> impl Strategy<Value = Vec<Point3>> {
+    (
+        1usize..max_points,
+        prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0), 1..4),
+        0.01f64..1.0,
+        any::<u64>(),
+    )
+        .prop_map(|(n, centers, spread, seed)| {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            };
+            (0..n)
+                .map(|i| {
+                    let (cx, cy, cz) = centers[i % centers.len()];
+                    Point3::new(
+                        cx + next() * spread,
+                        cy + next() * spread,
+                        cz + next() * spread,
+                    )
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tree_invariants_hold(points in cloud(400), threshold in 1usize..50) {
+        let domain = Domain::containing(&[&points], 1e-4);
+        let tree = Octree::build(domain, &points, BuildParams { threshold, max_level: 20 });
+        // Every point sits inside its leaf's box.
+        let mut covered = 0usize;
+        for leaf in tree.leaves() {
+            let c = tree.center_of(leaf);
+            let h = tree.half_of(leaf);
+            for p in tree.points_of(leaf) {
+                prop_assert!((*p - c).norm_max() <= h * (1.0 + 1e-9));
+            }
+            covered += tree.node(leaf).count;
+        }
+        prop_assert_eq!(covered, points.len());
+        // Interior boxes exceed the threshold (why they split), except when
+        // the max-level cap forced a leaf.
+        for n in tree.nodes() {
+            if !n.is_leaf() {
+                prop_assert!(n.count > threshold);
+            }
+        }
+    }
+
+    #[test]
+    fn interaction_lists_cover_all_pairs(
+        src in cloud(120),
+        tgt in cloud(120),
+        threshold in 1usize..20,
+    ) {
+        let dt = DualTree::build(&src, &tgt, BuildParams { threshold, max_level: 20 });
+        let lists = dt.interaction_lists();
+        // Σ over entries of |src descendants|·|tgt descendants| must equal
+        // exactly |src|·|tgt| — each pair covered exactly once (weaker but
+        // much faster than the per-pair matrix check in the unit tests).
+        let mut covered: u64 = 0;
+        for t in 0..dt.target().num_nodes() as u32 {
+            let bl = lists.of(t);
+            let tn = dt.target().node(t).count as u64;
+            for &s in &bl.l1 {
+                covered += dt.source().node(s).count as u64 * tn;
+            }
+            for e in &bl.l2 {
+                covered += dt.source().node(e.source).count as u64 * tn;
+            }
+            for &s in &bl.l3 {
+                covered += dt.source().node(s).count as u64 * tn;
+            }
+            for &s in &bl.l4 {
+                covered += dt.source().node(s).count as u64 * tn;
+            }
+        }
+        prop_assert_eq!(covered, src.len() as u64 * tgt.len() as u64);
+    }
+
+    #[test]
+    fn morton_order_is_stable_under_permutation(points in cloud(200)) {
+        // Building from a shuffled copy must produce the same leaf boxes.
+        let domain = Domain::containing(&[&points], 1e-4);
+        let params = BuildParams { threshold: 10, max_level: 20 };
+        let a = Octree::build(domain, &points, params);
+        let mut shuffled = points.clone();
+        shuffled.reverse();
+        let b = Octree::build(domain, &shuffled, params);
+        let mut ka: Vec<_> = a.leaves().iter().map(|&l| a.node(l).key).collect();
+        let mut kb: Vec<_> = b.leaves().iter().map(|&l| b.node(l).key).collect();
+        ka.sort();
+        kb.sort();
+        prop_assert_eq!(ka, kb);
+    }
+}

@@ -1,0 +1,60 @@
+//! Barnes–Hut on a Plummer "galaxy": DASHMM's method genericity.
+//!
+//! DASHMM is generic in the hierarchical method (paper §I): the same trees,
+//! runtime and DAG machinery serve Barnes–Hut and both FMMs.  This example
+//! computes the self-gravity of a Plummer sphere with Barnes–Hut at two
+//! opening angles and with the advanced FMM, comparing cost (tasks, DAG
+//! size) and accuracy on a sampled set of bodies.
+//!
+//! Run: `cargo run --release --example galaxy_barnes_hut`
+
+use dashmm::kernels::{direct_sum_at, Laplace};
+use dashmm::tree::plummer;
+use dashmm::{DashmmBuilder, Method};
+
+fn main() {
+    let n = 15_000;
+    // Self-gravity: sources and targets are the same bodies.
+    let bodies = plummer(n, 99);
+    let masses = vec![1.0 / n as f64; n];
+    let src_arr: Vec<[f64; 3]> = bodies.iter().map(|p| [p.x, p.y, p.z]).collect();
+
+    let sample: Vec<usize> = (0..n).step_by(n / 16).collect();
+    let exact: Vec<f64> = sample
+        .iter()
+        .map(|&i| direct_sum_at(&Laplace, &src_arr, &masses, &src_arr[i]))
+        .collect();
+
+    println!("{:<22} {:>10} {:>10} {:>10} {:>12}", "method", "nodes", "edges", "tasks", "worst rel.err");
+    for (label, method) in [
+        ("barnes-hut θ=0.7", Method::BarnesHut { theta: 0.7 }),
+        ("barnes-hut θ=0.4", Method::BarnesHut { theta: 0.4 }),
+        ("advanced fmm", Method::AdvancedFmm),
+    ] {
+        let eval = DashmmBuilder::new(Laplace)
+            .method(method)
+            .threshold(60)
+            .build(&bodies, &masses, &bodies);
+        let out = eval.evaluate();
+        let worst = sample
+            .iter()
+            .zip(&exact)
+            .map(|(&i, &e)| ((out.potentials[i] - e) / e).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:<22} {:>10} {:>10} {:>10} {:>12.2e}",
+            label,
+            eval.dag().num_nodes(),
+            eval.dag().num_edges(),
+            out.report.tasks,
+            worst
+        );
+        let bound = match method {
+            Method::BarnesHut { theta } => 0.02 * theta, // θ-controlled
+            _ => 1e-3,
+        };
+        assert!(worst < bound, "{label}: error {worst:.2e} above bound {bound:.2e}");
+    }
+    println!("\nsmaller θ tightens Barnes–Hut toward the FMM at higher cost;");
+    println!("the FMM reaches 3-digit accuracy with O(N) work.");
+}

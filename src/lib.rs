@@ -1,0 +1,55 @@
+//! # dashmm
+//!
+//! Facade crate for the `dashmm-rs` workspace — a reproduction of
+//! *“Scalable Hierarchical Multipole Methods using an Asynchronous
+//! Many-Tasking Runtime System”* (DeBuhr, Zhang, D’Alessandro, IPDPSW 2017).
+//!
+//! This crate re-exports the public API of every subsystem so applications
+//! can depend on a single crate:
+//!
+//! * [`runtime`] — the asynchronous many-tasking runtime (HPX-5 analogue),
+//! * [`tree`] — adaptive dual octrees and interaction lists,
+//! * [`kernels`] — Laplace/Yukawa kernels and the direct-summation oracle,
+//! * [`expansion`] — multipole/local/intermediate expansions and operators,
+//! * [`dag`] — the explicit dataflow DAG and distribution policies,
+//! * [`sim`] — the discrete-event cluster simulator used for scaling studies,
+//! * the top-level [`DashmmBuilder`] evaluator API from `dashmm-core`.
+//!
+//! See `examples/quickstart.rs` for a minimal end-to-end evaluation.
+
+pub use dashmm_core::*;
+
+/// Dense linear algebra used by the expansion operators.
+pub mod linalg {
+    pub use dashmm_linalg::*;
+}
+
+/// Adaptive dual octrees, interaction lists and point distributions.
+pub mod tree {
+    pub use dashmm_tree::*;
+}
+
+/// Interaction kernels and the O(N²) direct-summation oracle.
+pub mod kernels {
+    pub use dashmm_kernels::*;
+}
+
+/// Equivalent-surface and plane-wave expansions with all FMM operators.
+pub mod expansion {
+    pub use dashmm_expansion::*;
+}
+
+/// Explicit dataflow DAG: node/edge classes, statistics, distribution.
+pub mod dag {
+    pub use dashmm_dag::*;
+}
+
+/// The asynchronous many-tasking runtime.
+pub mod runtime {
+    pub use dashmm_amt::*;
+}
+
+/// Discrete-event simulator of the runtime for cluster-scale studies.
+pub mod sim {
+    pub use dashmm_sim::*;
+}

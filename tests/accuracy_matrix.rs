@@ -1,0 +1,177 @@
+//! End-to-end accuracy of every method × kernel × distribution combination
+//! against the exact O(N²) oracle — the correctness contract of the whole
+//! stack (trees → lists → expansions → DAG → runtime).
+
+use dashmm::kernels::{direct_sum, Kernel, Laplace, Yukawa};
+use dashmm::tree::{sphere_surface, uniform_cube, Point3};
+use dashmm::{DashmmBuilder, Method};
+
+fn p3(points: &[Point3]) -> Vec<[f64; 3]> {
+    points.iter().map(|p| [p.x, p.y, p.z]).collect()
+}
+
+fn rel_l2(got: &[f64], want: &[f64]) -> f64 {
+    let num: f64 = got.iter().zip(want).map(|(a, b)| (a - b) * (a - b)).sum();
+    let den: f64 = want.iter().map(|b| b * b).sum();
+    (num / den).sqrt()
+}
+
+fn run_case<K: Kernel>(
+    kernel: K,
+    method: Method,
+    sources: &[Point3],
+    targets: &[Point3],
+    tol: f64,
+    label: &str,
+) {
+    let charges: Vec<f64> =
+        (0..sources.len()).map(|i| if i % 3 == 0 { 1.0 } else { -0.4 }).collect();
+    let eval = DashmmBuilder::new(kernel.clone())
+        .method(method)
+        .threshold(20)
+        .machine(2, 2)
+        .build(sources, &charges, targets);
+    let out = eval.evaluate();
+    let want = direct_sum(&kernel, &p3(sources), &charges, &p3(targets), 0);
+    let err = rel_l2(&out.potentials, &want);
+    assert!(err < tol, "{label}: relative L2 error {err:.2e} exceeds {tol:.0e}");
+}
+
+const N: usize = 900;
+
+#[test]
+fn advanced_fmm_laplace_cube() {
+    run_case(
+        Laplace,
+        Method::AdvancedFmm,
+        &uniform_cube(N, 1),
+        &uniform_cube(N, 2),
+        1e-3,
+        "advanced/laplace/cube",
+    );
+}
+
+#[test]
+fn advanced_fmm_laplace_sphere() {
+    run_case(
+        Laplace,
+        Method::AdvancedFmm,
+        &sphere_surface(N, 3),
+        &sphere_surface(N, 4),
+        1e-3,
+        "advanced/laplace/sphere",
+    );
+}
+
+#[test]
+fn advanced_fmm_yukawa_cube() {
+    run_case(
+        Yukawa::new(1.5),
+        Method::AdvancedFmm,
+        &uniform_cube(N, 5),
+        &uniform_cube(N, 6),
+        1e-3,
+        "advanced/yukawa/cube",
+    );
+}
+
+#[test]
+fn advanced_fmm_yukawa_sphere() {
+    run_case(
+        Yukawa::new(0.8),
+        Method::AdvancedFmm,
+        &sphere_surface(N, 7),
+        &sphere_surface(N, 8),
+        1e-3,
+        "advanced/yukawa/sphere",
+    );
+}
+
+#[test]
+fn basic_fmm_laplace_cube() {
+    run_case(
+        Laplace,
+        Method::BasicFmm,
+        &uniform_cube(N, 9),
+        &uniform_cube(N, 10),
+        1e-3,
+        "basic/laplace/cube",
+    );
+}
+
+#[test]
+fn basic_fmm_yukawa_sphere() {
+    run_case(
+        Yukawa::new(1.0),
+        Method::BasicFmm,
+        &sphere_surface(N, 11),
+        &sphere_surface(N, 12),
+        1e-3,
+        "basic/yukawa/sphere",
+    );
+}
+
+#[test]
+fn barnes_hut_laplace_cube() {
+    run_case(
+        Laplace,
+        Method::BarnesHut { theta: 0.5 },
+        &uniform_cube(N, 13),
+        &uniform_cube(N, 14),
+        6e-3,
+        "bh/laplace/cube",
+    );
+}
+
+#[test]
+fn identical_ensembles_self_interaction_excluded() {
+    // Traditional N-body: sources == targets; the potential at a point
+    // must exclude that point's own charge.
+    let pts = uniform_cube(700, 15);
+    run_case(Laplace, Method::AdvancedFmm, &pts, &pts, 1e-3, "advanced/identical");
+}
+
+#[test]
+fn disjoint_ensembles() {
+    // Fully disjoint clusters (paper §II: ensembles can be disjoint, and
+    // the dual trees then classify interactions at coarse levels).
+    let mut sources = uniform_cube(600, 16);
+    for p in &mut sources {
+        p.x = p.x * 0.3 - 0.7;
+    }
+    let mut targets = uniform_cube(600, 17);
+    for p in &mut targets {
+        p.x = p.x * 0.3 + 0.7;
+    }
+    run_case(Laplace, Method::AdvancedFmm, &sources, &targets, 1e-3, "advanced/disjoint");
+}
+
+#[test]
+fn partially_overlapping_ensembles() {
+    let sources = uniform_cube(600, 18);
+    let mut targets = uniform_cube(600, 19);
+    for p in &mut targets {
+        p.x += 0.8; // shifted cube: partial overlap
+    }
+    run_case(Laplace, Method::AdvancedFmm, &sources, &targets, 1e-3, "advanced/overlap");
+}
+
+#[test]
+fn six_digit_preset_is_tighter() {
+    let sources = uniform_cube(600, 20);
+    let targets = uniform_cube(600, 21);
+    let charges = vec![1.0; 600];
+    let want = direct_sum(&Laplace, &p3(&sources), &charges, &p3(&targets), 0);
+    let err = |acc| {
+        let out = DashmmBuilder::new(Laplace)
+            .accuracy(acc)
+            .threshold(20)
+            .build(&sources, &charges, &targets)
+            .evaluate();
+        rel_l2(&out.potentials, &want)
+    };
+    let e3 = err(dashmm::expansion::AccuracyParams::three_digit());
+    let e6 = err(dashmm::expansion::AccuracyParams::six_digit());
+    assert!(e6 < 1e-5, "six-digit preset: {e6:.2e}");
+    assert!(e6 < e3 / 10.0, "six digits ({e6:.2e}) must beat three ({e3:.2e}) by ≥ 10x");
+}

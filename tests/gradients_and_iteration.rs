@@ -1,0 +1,140 @@
+//! Field gradients and the iterative use case (paper §IV: the same DAG is
+//! evaluated many times for different inputs, amortising the setup cost).
+
+use dashmm::kernels::{Kernel, Laplace, Yukawa};
+use dashmm::tree::{uniform_cube, Point3};
+use dashmm::{DashmmBuilder, Method};
+
+fn p3(points: &[Point3]) -> Vec<[f64; 3]> {
+    points.iter().map(|p| [p.x, p.y, p.z]).collect()
+}
+
+/// Direct potential + gradient oracle.
+fn direct_grad<K: Kernel>(
+    kernel: &K,
+    sources: &[[f64; 3]],
+    charges: &[f64],
+    t: &[f64; 3],
+) -> (f64, [f64; 3]) {
+    let mut p = 0.0;
+    let mut g = [0.0; 3];
+    for (s, &q) in sources.iter().zip(charges) {
+        let d = [t[0] - s[0], t[1] - s[1], t[2] - s[2]];
+        let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+        if r == 0.0 {
+            continue;
+        }
+        p += q * kernel.eval(r);
+        let dr = q * kernel.deriv(r) / r;
+        for a in 0..3 {
+            g[a] += dr * d[a];
+        }
+    }
+    (p, g)
+}
+
+fn gradient_case<K: Kernel>(kernel: K, tol: f64) {
+    let n = 900;
+    let sources = uniform_cube(n, 41);
+    let targets = uniform_cube(n, 42);
+    let charges: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64 * 0.3).collect();
+    let out = DashmmBuilder::new(kernel.clone())
+        .method(Method::AdvancedFmm)
+        .threshold(20)
+        .gradients(true)
+        .build(&sources, &charges, &targets)
+        .evaluate();
+    let grads = out.gradients.expect("gradients requested");
+    assert_eq!(grads.len(), n);
+    let src = p3(&sources);
+    // Gradient magnitudes are dominated by near-field contributions; use
+    // the RMS gradient as the error scale.
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in (0..n).step_by(7) {
+        let (p, g) = direct_grad(&kernel, &src, &charges, &[targets[i].x, targets[i].y, targets[i].z]);
+        assert!(
+            (out.potentials[i] - p).abs() / p.abs().max(1.0) < tol,
+            "potential at {i}: {} vs {}",
+            out.potentials[i],
+            p
+        );
+        for a in 0..3 {
+            num += (grads[i][a] - g[a]) * (grads[i][a] - g[a]);
+            den += g[a] * g[a];
+        }
+    }
+    let rel = (num / den).sqrt();
+    assert!(rel < tol, "gradient relative L2 error {rel:.2e}");
+}
+
+#[test]
+fn gradients_laplace() {
+    gradient_case(Laplace, 2e-3);
+}
+
+#[test]
+fn gradients_yukawa() {
+    gradient_case(Yukawa::new(1.0), 2e-3);
+}
+
+#[test]
+fn gradients_none_unless_requested() {
+    let n = 300;
+    let sources = uniform_cube(n, 43);
+    let targets = uniform_cube(n, 44);
+    let out = DashmmBuilder::new(Laplace)
+        .threshold(20)
+        .build(&sources, &vec![1.0; n], &targets)
+        .evaluate();
+    assert!(out.gradients.is_none());
+}
+
+#[test]
+fn iterative_reevaluation_with_new_charges() {
+    // Jacobi-style iteration: same geometry, changing charges.  Results of
+    // evaluate_with_charges must equal a fresh build with those charges.
+    let n = 800;
+    let sources = uniform_cube(n, 45);
+    let targets = uniform_cube(n, 46);
+    let q0 = vec![1.0; n];
+    let eval = DashmmBuilder::new(Laplace).threshold(25).machine(2, 2).build(&sources, &q0, &targets);
+    let setup_heavy = eval.tree_ms + eval.dag_ms;
+    let _ = setup_heavy;
+
+    for step in 1..4u32 {
+        let q: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.01).sin() * step as f64).collect();
+        let got = eval.evaluate_with_charges(&q);
+        let fresh = DashmmBuilder::new(Laplace)
+            .threshold(25)
+            .machine(2, 2)
+            .build(&sources, &q, &targets)
+            .evaluate();
+        let scale = fresh.potentials.iter().map(|x| x.abs()).fold(1.0, f64::max);
+        for i in 0..n {
+            assert!(
+                (got.potentials[i] - fresh.potentials[i]).abs() < 1e-11 * scale,
+                "step {step}, target {i}: {} vs {}",
+                got.potentials[i],
+                fresh.potentials[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn reevaluation_linearity_shortcut() {
+    // evaluate_with_charges(2q) == 2 * evaluate_with_charges(q).
+    let n = 500;
+    let sources = uniform_cube(n, 47);
+    let targets = uniform_cube(n, 48);
+    let q: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+    let q2: Vec<f64> = q.iter().map(|x| 2.0 * x).collect();
+    let eval = DashmmBuilder::new(Laplace).threshold(20).build(&sources, &q, &targets);
+    let a = eval.evaluate_with_charges(&q);
+    let b = eval.evaluate_with_charges(&q2);
+    let scale = a.potentials.iter().map(|x| x.abs()).fold(1.0, f64::max);
+    for i in 0..n {
+        assert!((b.potentials[i] - 2.0 * a.potentials[i]).abs() < 1e-11 * scale);
+    }
+}

@@ -1,0 +1,127 @@
+//! Parameter sweeps: the *answer* must be invariant to the refinement
+//! threshold (it only trades tree depth against leaf work), and Barnes–Hut
+//! accuracy must improve monotonically-ish as θ tightens.
+
+use dashmm::kernels::{direct_sum, Laplace};
+use dashmm::tree::{uniform_cube, Point3};
+use dashmm::{DashmmBuilder, Method};
+
+fn p3(points: &[Point3]) -> Vec<[f64; 3]> {
+    points.iter().map(|p| [p.x, p.y, p.z]).collect()
+}
+
+fn rel_l2(got: &[f64], want: &[f64]) -> f64 {
+    let num: f64 = got.iter().zip(want).map(|(a, b)| (a - b) * (a - b)).sum();
+    let den: f64 = want.iter().map(|b| b * b).sum();
+    (num / den).sqrt()
+}
+
+#[test]
+fn accuracy_is_threshold_invariant() {
+    // The refinement threshold changes the tree (deeper vs shallower), the
+    // DAG (more M2L levels vs more P2P) — but not the answer's accuracy.
+    let n = 1200;
+    let sources = uniform_cube(n, 61);
+    let targets = uniform_cube(n, 62);
+    let charges: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+    let want = direct_sum(&Laplace, &p3(&sources), &charges, &p3(&targets), 0);
+    for threshold in [10, 30, 60, 150] {
+        let out = DashmmBuilder::new(Laplace)
+            .method(Method::AdvancedFmm)
+            .threshold(threshold)
+            .build(&sources, &charges, &targets)
+            .evaluate();
+        let e = rel_l2(&out.potentials, &want);
+        assert!(e < 1e-3, "threshold {threshold}: error {e:.2e}");
+    }
+}
+
+#[test]
+fn threshold_trades_tree_depth_for_leaf_work() {
+    let n = 5000;
+    let sources = uniform_cube(n, 63);
+    let targets = uniform_cube(n, 64);
+    let charges = vec![1.0; n];
+    let build = |t: usize| {
+        DashmmBuilder::new(Laplace)
+            .method(Method::AdvancedFmm)
+            .threshold(t)
+            .build(&sources, &charges, &targets)
+    };
+    let fine = build(10);
+    let coarse = build(200);
+    assert!(
+        fine.problem().tree.source().depth() > coarse.problem().tree.source().depth(),
+        "smaller threshold must refine deeper"
+    );
+    assert!(
+        fine.dag().num_nodes() > coarse.dag().num_nodes(),
+        "smaller threshold must create more DAG nodes"
+    );
+}
+
+#[test]
+fn barnes_hut_error_decreases_with_theta() {
+    let n = 1500;
+    let sources = uniform_cube(n, 65);
+    let targets = uniform_cube(n, 66);
+    let charges = vec![1.0; n];
+    let want = direct_sum(&Laplace, &p3(&sources), &charges, &p3(&targets), 0);
+    let mut errors = Vec::new();
+    for theta in [0.9, 0.6, 0.3] {
+        let out = DashmmBuilder::new(Laplace)
+            .method(Method::BarnesHut { theta })
+            .threshold(30)
+            .build(&sources, &charges, &targets)
+            .evaluate();
+        errors.push(rel_l2(&out.potentials, &want));
+    }
+    // Tightening θ must not make things worse (allow small noise floor).
+    assert!(
+        errors[1] <= errors[0] * 1.2 && errors[2] <= errors[1] * 1.2,
+        "errors not improving with θ: {errors:?}"
+    );
+    assert!(errors[2] < 2e-3, "θ = 0.3 should be quite accurate: {:.2e}", errors[2]);
+}
+
+#[test]
+fn barnes_hut_work_grows_as_theta_shrinks() {
+    let n = 4000;
+    let sources = uniform_cube(n, 67);
+    let targets = uniform_cube(n, 68);
+    let charges = vec![1.0; n];
+    let edges = |theta: f64| {
+        DashmmBuilder::new(Laplace)
+            .method(Method::BarnesHut { theta })
+            .threshold(60)
+            .build(&sources, &charges, &targets)
+            .dag()
+            .num_edges()
+    };
+    let loose = edges(0.8);
+    let tight = edges(0.3);
+    assert!(tight > loose, "tighter θ must do more work: {tight} vs {loose}");
+}
+
+#[test]
+fn methods_agree_with_each_other() {
+    // Basic FMM and advanced FMM approximate the same mathematics; their
+    // answers must agree to the accuracy target without consulting the
+    // oracle at all.
+    let n = 1500;
+    let sources = uniform_cube(n, 69);
+    let targets = uniform_cube(n, 70);
+    let charges: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64 - 8.0) / 8.0).collect();
+    let run = |m: Method| {
+        DashmmBuilder::new(Laplace)
+            .method(m)
+            .threshold(30)
+            .build(&sources, &charges, &targets)
+            .evaluate()
+            .potentials
+    };
+    let basic = run(Method::BasicFmm);
+    let advanced = run(Method::AdvancedFmm);
+    let e = rel_l2(&advanced, &basic);
+    assert!(e < 2e-3, "methods disagree: {e:.2e}");
+}

@@ -1,0 +1,69 @@
+//! Trace analysis on the *real* runtime (not the simulator): the
+//! utilization machinery of paper §V-B applied to actual execution.
+
+use dashmm::dag::EdgeOp;
+use dashmm::kernels::Laplace;
+use dashmm::runtime::{utilization_by_class, utilization_total};
+use dashmm::tree::uniform_cube;
+use dashmm::{per_op_avg_us, DashmmBuilder, Method};
+
+#[test]
+fn traced_real_run_supports_utilization_analysis() {
+    let n = 4000;
+    let sources = uniform_cube(n, 51);
+    let targets = uniform_cube(n, 52);
+    let charges = vec![1.0; n];
+    let out = DashmmBuilder::new(Laplace)
+        .method(Method::AdvancedFmm)
+        .threshold(40)
+        .machine(2, 1)
+        .tracing(true)
+        .build(&sources, &charges, &targets)
+        .evaluate();
+    let trace = &out.report.trace;
+    assert!(!trace.is_empty());
+
+    // Utilization fractions are bounded by 1 per interval.
+    let m = 20;
+    let u = utilization_total(trace, m);
+    assert_eq!(u.len(), m);
+    for (k, &f) in u.iter().enumerate() {
+        assert!((0.0..=1.0 + 1e-9).contains(&f), "f[{k}] = {f}");
+    }
+    // The per-class split sums to the total.
+    let by = utilization_by_class(trace, m, 11);
+    for k in 0..m {
+        let s: f64 = by.iter().map(|row| row[k]).sum();
+        assert!((s - u[k]).abs() < 1e-9);
+    }
+    // The advanced FMM exercises the expected operator classes.
+    for op in [EdgeOp::S2M, EdgeOp::M2M, EdgeOp::M2I, EdgeOp::I2I, EdgeOp::I2L, EdgeOp::L2L, EdgeOp::L2T, EdgeOp::S2T] {
+        let active: f64 = by[op.index()].iter().sum();
+        assert!(active > 0.0, "{} never appeared in the trace", op.name());
+    }
+}
+
+#[test]
+fn measured_operator_costs_have_the_papers_ordering() {
+    // The qualitative cost structure of Table II must hold for real
+    // measured timings: the per-edge I→I diagonal translation is the
+    // cheapest expansion operator, M→I / I→L the heaviest.
+    let n = 20_000;
+    let sources = uniform_cube(n, 53);
+    let targets = uniform_cube(n, 54);
+    let charges = vec![1.0; n];
+    let out = DashmmBuilder::new(Laplace)
+        .method(Method::AdvancedFmm)
+        .threshold(60)
+        .machine(1, 1)
+        .tracing(true)
+        .build(&sources, &charges, &targets)
+        .evaluate();
+    let avg = per_op_avg_us(&out.report.trace);
+    let g = |o: EdgeOp| avg[o.index()];
+    assert!(g(EdgeOp::I2I) > 0.0 && g(EdgeOp::M2I) > 0.0);
+    assert!(g(EdgeOp::I2I) < g(EdgeOp::M2I), "I→I {} vs M→I {}", g(EdgeOp::I2I), g(EdgeOp::M2I));
+    assert!(g(EdgeOp::I2I) < g(EdgeOp::I2L), "I→I {} vs I→L {}", g(EdgeOp::I2I), g(EdgeOp::I2L));
+    assert!(g(EdgeOp::M2M) < g(EdgeOp::M2I), "M→M {} vs M→I {}", g(EdgeOp::M2M), g(EdgeOp::M2I));
+    assert!(g(EdgeOp::L2L) < g(EdgeOp::I2L), "L→L {} vs I→L {}", g(EdgeOp::L2L), g(EdgeOp::I2L));
+}

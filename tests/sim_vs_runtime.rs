@@ -1,0 +1,121 @@
+//! Cross-validation of the discrete-event simulator against the real
+//! threaded runtime: both execute the *same explicit DAG*, and every edge
+//! is applied exactly once in each, so the per-operator-class event counts
+//! of a traced real run and a traced simulated run must agree exactly.
+
+use dashmm::dag::EdgeOp;
+use dashmm::expansion::{AccuracyParams, OperatorLibrary};
+use dashmm::kernels::Laplace;
+use dashmm::sim::{simulate, CostModel, NetworkModel, SimConfig};
+use dashmm::tree::{uniform_cube, BuildParams};
+use dashmm::{assemble, DashmmBuilder, Method, Problem};
+
+fn class_counts(trace: &dashmm::runtime::TraceSet) -> [u64; 11] {
+    let mut counts = [0u64; 11];
+    for e in trace.all_events() {
+        if (e.class as usize) < 11 {
+            counts[e.class as usize] += 1;
+        }
+    }
+    counts
+}
+
+#[test]
+fn simulator_and_runtime_execute_identical_edge_sets() {
+    let n = 3000;
+    let sources = uniform_cube(n, 81);
+    let targets = uniform_cube(n, 82);
+    let charges = vec![1.0; n];
+
+    // Real runtime, traced.
+    let real = DashmmBuilder::new(Laplace)
+        .method(Method::AdvancedFmm)
+        .threshold(40)
+        .machine(2, 1)
+        .tracing(true)
+        .build(&sources, &charges, &targets)
+        .evaluate();
+    let real_counts = class_counts(&real.report.trace);
+
+    // Simulator over the equivalent explicit DAG (same seeds, same
+    // threshold, same method ⇒ same DAG shape).
+    let problem = Problem::new(
+        &sources,
+        &charges,
+        &targets,
+        BuildParams { threshold: 40, max_level: 20 },
+    );
+    let lib = OperatorLibrary::new(
+        Laplace,
+        AccuracyParams::three_digit(),
+        problem.tree.domain().side(),
+        true,
+    );
+    let asm = assemble(&problem, Method::AdvancedFmm, &lib);
+    let cfg = SimConfig {
+        localities: 2,
+        cores_per_locality: 1,
+        priority: false,
+        levelwise: false,
+        trace: true,
+    };
+    let sim = simulate(&asm.dag, &CostModel::paper_table2(), &NetworkModel::gemini(), &cfg);
+    let sim_counts = class_counts(&sim.trace);
+
+    for op in EdgeOp::ALL {
+        assert_eq!(
+            real_counts[op.index()],
+            sim_counts[op.index()],
+            "event count mismatch for {}: real {} vs sim {}",
+            op.name(),
+            real_counts[op.index()],
+            sim_counts[op.index()]
+        );
+    }
+    // And both match the explicit DAG's edge census.
+    let stats = dashmm::dag::DagStats::compute(&asm.dag);
+    for op in EdgeOp::ALL {
+        assert_eq!(
+            sim_counts[op.index()],
+            stats.edges[op.index()].count,
+            "sim trace does not match DAG census for {}",
+            op.name()
+        );
+    }
+}
+
+#[test]
+fn simulator_work_conservation_matches_cost_model() {
+    // Total traced virtual time must equal Σ (edge count × op cost).
+    let n = 2000;
+    let sources = uniform_cube(n, 83);
+    let targets = uniform_cube(n, 84);
+    let charges = vec![1.0; n];
+    let problem =
+        Problem::new(&sources, &charges, &targets, BuildParams { threshold: 40, max_level: 20 });
+    let lib = OperatorLibrary::new(
+        Laplace,
+        AccuracyParams::three_digit(),
+        problem.tree.domain().side(),
+        true,
+    );
+    let asm = assemble(&problem, Method::AdvancedFmm, &lib);
+    let cost = CostModel::paper_table2();
+    let cfg = SimConfig {
+        localities: 1,
+        cores_per_locality: 4,
+        priority: false,
+        levelwise: false,
+        trace: true,
+    };
+    let r = simulate(&asm.dag, &cost, &NetworkModel::ideal(), &cfg);
+    let traced_us: f64 =
+        r.trace.all_events().map(|e| (e.end_ns - e.start_ns) as f64 / 1000.0).sum();
+    let stats = dashmm::dag::DagStats::compute(&asm.dag);
+    let expected: f64 = EdgeOp::ALL
+        .iter()
+        .map(|&op| stats.edges[op.index()].count as f64 * cost.op_us[op.index()])
+        .sum();
+    let rel = (traced_us - expected).abs() / expected;
+    assert!(rel < 1e-6, "traced {traced_us} vs expected {expected} (rel {rel:.2e})");
+}
