@@ -27,7 +27,10 @@ impl GlobalAddress {
 
     /// Unpack from a `u64`.
     pub fn unpack(v: u64) -> Self {
-        GlobalAddress { locality: (v >> 32) as u32, index: v as u32 }
+        GlobalAddress {
+            locality: (v >> 32) as u32,
+            index: v as u32,
+        }
     }
 }
 

@@ -1,0 +1,180 @@
+//! Keyed edge batching for the LCO continuation path.
+//!
+//! The evaluation DAG applies the same per-level operator to many edges.
+//! An [`EdgeBatcher`] collects those edges at the locality where they will
+//! be applied, keyed by the operator they share, and hands back a full
+//! batch either when a key reaches its flush threshold or when the last
+//! expected edge for that key arrives.
+//!
+//! Accounting is exact: the expected edge count per key is registered up
+//! front (from a sweep of the DAG), every deposit decrements it, and the
+//! final deposit always flushes — so no edge can be stranded in a bucket
+//! and quiescence detection is unaffected.  Batch *composition* may vary
+//! with scheduling order; callers must ensure (as the batched operators
+//! do) that per-edge results do not depend on which batch an edge lands
+//! in.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use parking_lot::Mutex;
+
+/// Default flush threshold: large enough to amortise the gather/GEMM
+/// setup, small enough to bound held memory and latency.
+pub const DEFAULT_BATCH_THRESHOLD: usize = 32;
+
+struct Bucket<E> {
+    /// Deposits still expected for this key.
+    remaining: usize,
+    /// Entries collected since the last flush.
+    entries: Vec<E>,
+}
+
+/// Collects per-operator edge batches with exact drain accounting.
+pub struct EdgeBatcher<K, E> {
+    buckets: Mutex<HashMap<K, Bucket<E>>>,
+    threshold: usize,
+}
+
+impl<K: Eq + Hash, E> EdgeBatcher<K, E> {
+    /// Batcher flushing each key at `threshold` entries (and always on the
+    /// key's last expected deposit).
+    pub fn new(threshold: usize) -> Self {
+        assert!(threshold > 0, "flush threshold must be positive");
+        EdgeBatcher {
+            buckets: Mutex::new(HashMap::new()),
+            threshold,
+        }
+    }
+
+    /// Register `count` further expected deposits for `key`.  Called from
+    /// the DAG sweep before any deposits; may be called repeatedly per key
+    /// (counts accumulate).
+    pub fn expect(&self, key: K, count: usize) {
+        let mut b = self.buckets.lock();
+        let bucket = b.entry(key).or_insert(Bucket {
+            remaining: 0,
+            entries: Vec::new(),
+        });
+        bucket.remaining += count;
+    }
+
+    /// Deposit one edge.  Returns the accumulated batch (including this
+    /// entry) when the key hit the threshold or its last expected deposit,
+    /// `None` while the batch is still filling.
+    ///
+    /// Panics if `key` was never registered via [`EdgeBatcher::expect`] or
+    /// has already received all expected deposits — either means the
+    /// install-time DAG sweep and the apply path disagree.
+    pub fn deposit(&self, key: K, entry: E) -> Option<Vec<E>> {
+        let mut b = self.buckets.lock();
+        let bucket = b.get_mut(&key).expect("deposit for unregistered batch key");
+        assert!(
+            bucket.remaining > 0,
+            "more deposits than expected for batch key"
+        );
+        bucket.remaining -= 1;
+        bucket.entries.push(entry);
+        if bucket.remaining == 0 || bucket.entries.len() >= self.threshold {
+            Some(std::mem::take(&mut bucket.entries))
+        } else {
+            None
+        }
+    }
+
+    /// Entries currently parked in unfilled batches (diagnostics/tests;
+    /// zero once every expected deposit has arrived).
+    pub fn parked(&self) -> usize {
+        self.buckets.lock().values().map(|b| b.entries.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_deposit_flushes_partial_batch() {
+        let b: EdgeBatcher<u32, i32> = EdgeBatcher::new(100);
+        b.expect(7, 3);
+        assert!(b.deposit(7, 1).is_none());
+        assert!(b.deposit(7, 2).is_none());
+        assert_eq!(b.deposit(7, 3), Some(vec![1, 2, 3]));
+        assert_eq!(b.parked(), 0);
+    }
+
+    #[test]
+    fn threshold_flushes_and_refills() {
+        let b: EdgeBatcher<u32, i32> = EdgeBatcher::new(2);
+        b.expect(0, 5);
+        assert!(b.deposit(0, 10).is_none());
+        assert_eq!(b.deposit(0, 11), Some(vec![10, 11]));
+        assert!(b.deposit(0, 12).is_none());
+        assert_eq!(b.deposit(0, 13), Some(vec![12, 13]));
+        // Final expected deposit flushes a batch of one.
+        assert_eq!(b.deposit(0, 14), Some(vec![14]));
+        assert_eq!(b.parked(), 0);
+    }
+
+    #[test]
+    fn expectations_accumulate() {
+        let b: EdgeBatcher<&str, i32> = EdgeBatcher::new(10);
+        b.expect("k", 1);
+        b.expect("k", 1);
+        assert!(b.deposit("k", 1).is_none());
+        assert_eq!(b.deposit("k", 2), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let b: EdgeBatcher<u8, i32> = EdgeBatcher::new(2);
+        b.expect(1, 2);
+        b.expect(2, 2);
+        assert!(b.deposit(1, 100).is_none());
+        assert!(b.deposit(2, 200).is_none());
+        assert_eq!(b.parked(), 2);
+        assert_eq!(b.deposit(1, 101), Some(vec![100, 101]));
+        assert_eq!(b.deposit(2, 201), Some(vec![200, 201]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn unregistered_key_panics() {
+        let b: EdgeBatcher<u8, i32> = EdgeBatcher::new(2);
+        let _ = b.deposit(9, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more deposits than expected")]
+    fn overflow_deposit_panics() {
+        let b: EdgeBatcher<u8, i32> = EdgeBatcher::new(10);
+        b.expect(1, 1);
+        let _ = b.deposit(1, 0);
+        let _ = b.deposit(1, 1);
+    }
+
+    #[test]
+    fn concurrent_deposits_all_flush() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let b: EdgeBatcher<u8, usize> = EdgeBatcher::new(8);
+        let n = 103;
+        b.expect(0, n);
+        let flushed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let b = &b;
+                let flushed = &flushed;
+                s.spawn(move || {
+                    let mine = (0..n).filter(|i| i % 4 == t).count();
+                    for _ in 0..mine {
+                        if let Some(batch) = b.deposit(0, t) {
+                            flushed.fetch_add(batch.len(), Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(flushed.load(Ordering::Relaxed), n);
+        assert_eq!(b.parked(), 0);
+    }
+}

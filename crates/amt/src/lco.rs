@@ -61,12 +61,24 @@ impl LcoSpec {
 
     /// An and-gate over `n` signals.
     pub fn and_gate(n: u32) -> Self {
-        LcoSpec { size: 0, inputs: n, op: LcoOp::Gate, on_trigger: None, trace_class: u8::MAX }
+        LcoSpec {
+            size: 0,
+            inputs: n,
+            op: LcoOp::Gate,
+            on_trigger: None,
+            trace_class: u8::MAX,
+        }
     }
 
     /// A summing reduction of `n` vectors of length `size`.
     pub fn reduce_sum(size: usize, n: u32) -> Self {
-        LcoSpec { size, inputs: n, op: LcoOp::Add, on_trigger: None, trace_class: u8::MAX }
+        LcoSpec {
+            size,
+            inputs: n,
+            op: LcoOp::Add,
+            on_trigger: None,
+            trace_class: u8::MAX,
+        }
     }
 
     /// Attach a trigger closure.
@@ -130,7 +142,11 @@ impl LcoState {
                 }
             }
             LcoOp::Overwrite => {
-                assert_eq!(input.len(), self.data.len(), "Overwrite input length mismatch");
+                assert_eq!(
+                    input.len(),
+                    self.data.len(),
+                    "Overwrite input length mismatch"
+                );
                 self.data.copy_from_slice(input);
             }
             LcoOp::Gate => {}
@@ -180,7 +196,10 @@ mod tests {
 
     #[test]
     fn zero_input_lco_starts_triggered() {
-        let cell = LcoCell::new(LcoSpec { inputs: 0, ..LcoSpec::future(1) });
+        let cell = LcoCell::new(LcoSpec {
+            inputs: 0,
+            ..LcoSpec::future(1)
+        });
         assert!(cell.state.lock().triggered);
     }
 

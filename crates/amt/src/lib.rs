@@ -30,13 +30,15 @@
 //!   §V-B (Equations 1–2).
 
 pub mod addr;
+pub mod batch;
 pub mod lco;
 pub mod parcel;
 pub mod runtime;
 pub mod trace;
 
 pub use addr::GlobalAddress;
+pub use batch::{EdgeBatcher, DEFAULT_BATCH_THRESHOLD};
 pub use lco::{LcoOp, LcoSpec};
 pub use parcel::{decode_f64s, encode_f64s, ActionId, Parcel, Priority};
-pub use runtime::{Runtime, RuntimeConfig, RunReport, TaskCtx};
+pub use runtime::{RunReport, Runtime, RuntimeConfig, TaskCtx};
 pub use trace::{utilization_by_class, utilization_total, TraceEvent, TraceSet};

@@ -39,12 +39,22 @@ pub struct Parcel {
 impl Parcel {
     /// Construct a normal-priority parcel.
     pub fn new(action: ActionId, target: GlobalAddress, payload: Vec<u8>) -> Self {
-        Parcel { action, target, payload, priority: Priority::Normal }
+        Parcel {
+            action,
+            target,
+            payload,
+            priority: Priority::Normal,
+        }
     }
 
     /// Construct a high-priority parcel.
     pub fn high(action: ActionId, target: GlobalAddress, payload: Vec<u8>) -> Self {
-        Parcel { action, target, payload, priority: Priority::High }
+        Parcel {
+            action,
+            target,
+            payload,
+            priority: Priority::High,
+        }
     }
 
     /// Total bytes on the wire (header + payload), the quantity the
@@ -66,7 +76,10 @@ pub fn encode_f64s(values: &[f64], out: &mut Vec<u8>) {
 /// not a multiple of 8 — payload framing is the sender's responsibility.
 pub fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
     assert_eq!(bytes.len() % 8, 0, "payload is not a whole number of f64s");
-    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
 }
 
 #[cfg(test)]

@@ -151,7 +151,8 @@ impl Runtime {
         debug_assert_eq!(a0, ACTION_LCO_SET);
         let a1 = rt.register_action(Arc::new(|ctx: &TaskCtx, target, payload: &[u8]| {
             let (parcel, include_data) = decode_continuation(payload);
-            ctx.runtime().register_continuation_local(ctx, target, parcel, include_data);
+            ctx.runtime()
+                .register_continuation_local(ctx, target, parcel, include_data);
         }));
         debug_assert_eq!(a1, ACTION_REGISTER_CONT);
         rt
@@ -266,7 +267,10 @@ impl Runtime {
         parcel: Parcel,
         include_data: bool,
     ) {
-        debug_assert_eq!(addr.locality, ctx.locality, "continuation registration must be local");
+        debug_assert_eq!(
+            addr.locality, ctx.locality,
+            "continuation registration must be local"
+        );
         let cell = self.lco(addr);
         let mut st = cell.state.lock();
         if st.triggered {
@@ -285,8 +289,16 @@ impl Runtime {
     /// transitively spawn) has completed.  Returns run statistics.
     pub fn run(&self) -> RunReport {
         let t0 = Instant::now();
-        let msgs0: u64 = self.localities.iter().map(|l| l.msgs_sent.load(Ordering::Relaxed)).sum();
-        let bytes0: u64 = self.localities.iter().map(|l| l.bytes_sent.load(Ordering::Relaxed)).sum();
+        let msgs0: u64 = self
+            .localities
+            .iter()
+            .map(|l| l.msgs_sent.load(Ordering::Relaxed))
+            .sum();
+        let bytes0: u64 = self
+            .localities
+            .iter()
+            .map(|l| l.bytes_sent.load(Ordering::Relaxed))
+            .sum();
         let tasks0 = self.tasks_run.load(Ordering::Relaxed);
         let run_start_ns = self.epoch.elapsed().as_nanos() as u64;
         // Concurrent runs would share the pending counter and shutdown
@@ -303,8 +315,9 @@ impl Runtime {
             for (loc_id, loc) in self.localities.iter().enumerate() {
                 // Per-locality worker deques with intra-locality stealing
                 // (HPX-5 was configured with local randomized workstealing).
-                let workers: Vec<Worker<Task>> =
-                    (0..self.cfg.workers_per_locality).map(|_| Worker::new_lifo()).collect();
+                let workers: Vec<Worker<Task>> = (0..self.cfg.workers_per_locality)
+                    .map(|_| Worker::new_lifo())
+                    .collect();
                 let stealers: Arc<Vec<Stealer<Task>>> =
                     Arc::new(workers.iter().map(|w| w.stealer()).collect());
                 for (wid, w) in workers.into_iter().enumerate() {
@@ -330,8 +343,16 @@ impl Runtime {
             trace.push_worker(buf);
         }
         self.running.store(false, Ordering::SeqCst);
-        let msgs1: u64 = self.localities.iter().map(|l| l.msgs_sent.load(Ordering::Relaxed)).sum();
-        let bytes1: u64 = self.localities.iter().map(|l| l.bytes_sent.load(Ordering::Relaxed)).sum();
+        let msgs1: u64 = self
+            .localities
+            .iter()
+            .map(|l| l.msgs_sent.load(Ordering::Relaxed))
+            .sum();
+        let bytes1: u64 = self
+            .localities
+            .iter()
+            .map(|l| l.bytes_sent.load(Ordering::Relaxed))
+            .sum();
         RunReport {
             wall_ns: t0.elapsed().as_nanos() as u64,
             tasks: self.tasks_run.load(Ordering::Relaxed) - tasks0,
@@ -432,7 +453,10 @@ impl Runtime {
     fn execute(&self, ctx: &TaskCtx, task: Task) {
         match task {
             Task::Parcel(p) => {
-                debug_assert_eq!(p.target.locality, ctx.locality, "parcel delivered to wrong locality");
+                debug_assert_eq!(
+                    p.target.locality, ctx.locality,
+                    "parcel delivered to wrong locality"
+                );
                 let action = self.actions.read()[p.action.0 as usize].clone();
                 action(ctx, p.target, &p.payload);
             }
@@ -496,7 +520,9 @@ impl<'a> TaskCtx<'a> {
         self.rt.pending.fetch_add(1, Ordering::SeqCst);
         let task = Task::Local(Box::new(f), priority);
         if self.rt.cfg.priority_scheduling && priority == Priority::High {
-            self.rt.localities[self.locality as usize].injector_high.push(task);
+            self.rt.localities[self.locality as usize]
+                .injector_high
+                .push(task);
         } else {
             self.local.push(task);
         }
@@ -509,15 +535,19 @@ impl<'a> TaskCtx<'a> {
             self.rt.pending.fetch_add(1, Ordering::SeqCst);
             let task = Task::Parcel(parcel);
             if self.rt.cfg.priority_scheduling && task.priority() == Priority::High {
-                self.rt.localities[self.locality as usize].injector_high.push(task);
+                self.rt.localities[self.locality as usize]
+                    .injector_high
+                    .push(task);
             } else {
                 self.local.push(task);
             }
         } else {
             let src = &self.rt.localities[self.locality as usize];
             src.msgs_sent.fetch_add(1, Ordering::Relaxed);
-            src.bytes_sent.fetch_add(parcel.wire_bytes(), Ordering::Relaxed);
-            self.rt.enqueue(parcel.target.locality, Task::Parcel(parcel));
+            src.bytes_sent
+                .fetch_add(parcel.wire_bytes(), Ordering::Relaxed);
+            self.rt
+                .enqueue(parcel.target.locality, Task::Parcel(parcel));
         }
     }
 
@@ -550,7 +580,11 @@ impl<'a> TaskCtx<'a> {
             let fired = st.reduce(data);
             if let Some((class, start)) = t0 {
                 let end = self.now_ns();
-                self.trace.borrow_mut().push(TraceEvent { class, start_ns: start, end_ns: end });
+                self.trace.borrow_mut().push(TraceEvent {
+                    class,
+                    start_ns: start,
+                    end_ns: end,
+                });
             }
             fired
         };
@@ -581,14 +615,10 @@ impl<'a> TaskCtx<'a> {
     /// Register a continuation parcel to fire (once) when the LCO triggers;
     /// if it already has, the parcel is sent immediately.  `include_data`
     /// appends the LCO data to the parcel payload.
-    pub fn register_continuation(
-        &self,
-        addr: GlobalAddress,
-        parcel: Parcel,
-        include_data: bool,
-    ) {
+    pub fn register_continuation(&self, addr: GlobalAddress, parcel: Parcel, include_data: bool) {
         if addr.locality == self.locality {
-            self.rt.register_continuation_local(self, addr, parcel, include_data);
+            self.rt
+                .register_continuation_local(self, addr, parcel, include_data);
         } else {
             let mut payload = Vec::new();
             encode_continuation(&parcel, include_data, &mut payload);
@@ -609,7 +639,11 @@ impl<'a> TaskCtx<'a> {
         let start = self.now_ns();
         let r = f();
         let end = self.now_ns();
-        self.trace.borrow_mut().push(TraceEvent { class, start_ns: start, end_ns: end });
+        self.trace.borrow_mut().push(TraceEvent {
+            class,
+            start_ns: start,
+            end_ns: end,
+        });
         r
     }
 }
@@ -748,7 +782,11 @@ mod tests {
         });
         let rep = r.run();
         assert_eq!(r.lco_get(sum), Some(vec![1.0 + 4.0 + 9.0 + 16.0]));
-        assert!(rep.messages >= 3, "three remote parcels at least, got {}", rep.messages);
+        assert!(
+            rep.messages >= 3,
+            "three remote parcels at least, got {}",
+            rep.messages
+        );
     }
 
     #[test]
@@ -826,7 +864,9 @@ mod tests {
             tracing: true,
         });
         r.seed(0, |ctx| {
-            ctx.traced(3, || std::thread::sleep(std::time::Duration::from_millis(2)));
+            ctx.traced(3, || {
+                std::thread::sleep(std::time::Duration::from_millis(2))
+            });
         });
         let rep = r.run();
         let events: Vec<_> = rep.trace.all_events().collect();

@@ -31,7 +31,10 @@ impl TraceSet {
     /// of the utilization fraction counts *all* scheduler threads, busy or
     /// not).
     pub fn new(n_workers: usize) -> Self {
-        TraceSet { per_worker: Vec::new(), n_workers }
+        TraceSet {
+            per_worker: Vec::new(),
+            n_workers,
+        }
     }
 
     /// Number of scheduler threads.
@@ -94,9 +97,15 @@ fn accumulate(
 pub fn utilization_total(trace: &TraceSet, m: usize) -> Vec<f64> {
     let total = trace.span_ns().max(1);
     let mut out = vec![0.0; m];
-    accumulate(trace.all_events().copied(), total, m, trace.num_workers(), |k, _, v| {
-        out[k] += v;
-    });
+    accumulate(
+        trace.all_events().copied(),
+        total,
+        m,
+        trace.num_workers(),
+        |k, _, v| {
+            out[k] += v;
+        },
+    );
     out
 }
 
@@ -105,11 +114,17 @@ pub fn utilization_total(trace: &TraceSet, m: usize) -> Vec<f64> {
 pub fn utilization_by_class(trace: &TraceSet, m: usize, n_classes: usize) -> Vec<Vec<f64>> {
     let total = trace.span_ns().max(1);
     let mut out = vec![vec![0.0; m]; n_classes];
-    accumulate(trace.all_events().copied(), total, m, trace.num_workers(), |k, c, v| {
-        if (c as usize) < n_classes {
-            out[c as usize][k] += v;
-        }
-    });
+    accumulate(
+        trace.all_events().copied(),
+        total,
+        m,
+        trace.num_workers(),
+        |k, c, v| {
+            if (c as usize) < n_classes {
+                out[c as usize][k] += v;
+            }
+        },
+    );
     out
 }
 
@@ -125,7 +140,14 @@ mod tests {
 
     #[test]
     fn one_event_full_span_one_worker() {
-        let t = ts(vec![TraceEvent { class: 0, start_ns: 0, end_ns: 1000 }], 1);
+        let t = ts(
+            vec![TraceEvent {
+                class: 0,
+                start_ns: 0,
+                end_ns: 1000,
+            }],
+            1,
+        );
         let u = utilization_total(&t, 4);
         for v in u {
             assert!((v - 1.0).abs() < 1e-12);
@@ -134,7 +156,14 @@ mod tests {
 
     #[test]
     fn two_workers_halve_utilization() {
-        let t = ts(vec![TraceEvent { class: 0, start_ns: 0, end_ns: 1000 }], 2);
+        let t = ts(
+            vec![TraceEvent {
+                class: 0,
+                start_ns: 0,
+                end_ns: 1000,
+            }],
+            2,
+        );
         let u = utilization_total(&t, 2);
         for v in u {
             assert!((v - 0.5).abs() < 1e-12);
@@ -144,10 +173,21 @@ mod tests {
     #[test]
     fn partial_interval_overlap() {
         // Event covers [250, 750) of a 1000ns span split into 4 intervals.
-        let t = ts(vec![TraceEvent { class: 1, start_ns: 250, end_ns: 750 }], 1);
+        let t = ts(
+            vec![TraceEvent {
+                class: 1,
+                start_ns: 250,
+                end_ns: 750,
+            }],
+            1,
+        );
         // Force total span: add a zero-length marker at 1000.
         let mut t = t;
-        t.push_worker(vec![TraceEvent { class: 0, start_ns: 1000, end_ns: 1000 }]);
+        t.push_worker(vec![TraceEvent {
+            class: 0,
+            start_ns: 1000,
+            end_ns: 1000,
+        }]);
         let u = utilization_total(&t, 4);
         assert!((u[0] - 0.0).abs() < 1e-12);
         assert!((u[1] - 1.0).abs() < 1e-12);
@@ -159,8 +199,16 @@ mod tests {
     fn per_class_split() {
         let t = ts(
             vec![
-                TraceEvent { class: 0, start_ns: 0, end_ns: 500 },
-                TraceEvent { class: 1, start_ns: 500, end_ns: 1000 },
+                TraceEvent {
+                    class: 0,
+                    start_ns: 0,
+                    end_ns: 500,
+                },
+                TraceEvent {
+                    class: 1,
+                    start_ns: 500,
+                    end_ns: 1000,
+                },
             ],
             1,
         );
@@ -175,9 +223,21 @@ mod tests {
     fn class_sum_equals_total() {
         let t = ts(
             vec![
-                TraceEvent { class: 0, start_ns: 100, end_ns: 400 },
-                TraceEvent { class: 1, start_ns: 300, end_ns: 900 },
-                TraceEvent { class: 2, start_ns: 50, end_ns: 1000 },
+                TraceEvent {
+                    class: 0,
+                    start_ns: 100,
+                    end_ns: 400,
+                },
+                TraceEvent {
+                    class: 1,
+                    start_ns: 300,
+                    end_ns: 900,
+                },
+                TraceEvent {
+                    class: 2,
+                    start_ns: 50,
+                    end_ns: 1000,
+                },
             ],
             3,
         );
@@ -194,8 +254,16 @@ mod tests {
     fn utilization_bounded_by_one_per_worker() {
         // Two overlapping events on two workers: fraction ≤ 1.
         let mut t = TraceSet::new(2);
-        t.push_worker(vec![TraceEvent { class: 0, start_ns: 0, end_ns: 1000 }]);
-        t.push_worker(vec![TraceEvent { class: 0, start_ns: 0, end_ns: 1000 }]);
+        t.push_worker(vec![TraceEvent {
+            class: 0,
+            start_ns: 0,
+            end_ns: 1000,
+        }]);
+        t.push_worker(vec![TraceEvent {
+            class: 0,
+            start_ns: 0,
+            end_ns: 1000,
+        }]);
         let u = utilization_total(&t, 5);
         for v in u {
             assert!(v <= 1.0 + 1e-12);

@@ -5,9 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dashmm_amt::{
-    encode_f64s, GlobalAddress, LcoSpec, Parcel, Priority, Runtime, RuntimeConfig,
-};
+use dashmm_amt::{encode_f64s, GlobalAddress, LcoSpec, Parcel, Priority, Runtime, RuntimeConfig};
 
 fn rt(localities: usize, workers: usize, priority: bool) -> Arc<Runtime> {
     Runtime::new(RuntimeConfig {
@@ -34,10 +32,16 @@ fn work_is_stolen_across_workers() {
         });
     }
     r.run();
-    let counts: Vec<u64> = per_worker.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    let counts: Vec<u64> = per_worker
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .collect();
     assert_eq!(counts.iter().sum::<u64>(), 64);
     let active = counts.iter().filter(|&&c| c > 0).count();
-    assert!(active >= 2, "expected work to involve ≥ 2 workers: {counts:?}");
+    assert!(
+        active >= 2,
+        "expected work to involve ≥ 2 workers: {counts:?}"
+    );
 }
 
 #[test]
@@ -51,10 +55,7 @@ fn single_worker_priority_order() {
     r.seed(0, move |ctx| {
         for i in 0..5u32 {
             let o2 = Arc::clone(&o);
-            ctx.spawn_with_priority(
-                move |_| o2.lock().unwrap().push(i),
-                Priority::Normal,
-            );
+            ctx.spawn_with_priority(move |_| o2.lock().unwrap().push(i), Priority::Normal);
         }
         let o3 = Arc::clone(&o);
         ctx.spawn_with_priority(move |_| o3.lock().unwrap().push(100), Priority::High);
@@ -78,7 +79,10 @@ fn wide_fan_in_reduction() {
     let rep = r.run();
     let want = (0..2000u64).sum::<u64>() as f64;
     assert_eq!(r.lco_get(sum), Some(vec![want]));
-    assert!(rep.messages >= 1000, "three quarters of the sets are remote");
+    assert!(
+        rep.messages >= 1000,
+        "three quarters of the sets are remote"
+    );
 }
 
 #[test]
@@ -101,14 +105,22 @@ fn fan_out_tree_across_localities() {
             } else {
                 for k in 0..2u32 {
                     let loc = (ctx.locality + 1 + k) % 3;
-                    ctx.send(Parcel::new(action, GlobalAddress::new(loc, 0), vec![depth - 1]));
+                    ctx.send(Parcel::new(
+                        action,
+                        GlobalAddress::new(loc, 0),
+                        vec![depth - 1],
+                    ));
                 }
             }
         }));
         *r2.lock().unwrap() = Some(action);
         action
     };
-    r.seed_parcel(Parcel::new(spawn_action, GlobalAddress::new(0, 0), vec![10]));
+    r.seed_parcel(Parcel::new(
+        spawn_action,
+        GlobalAddress::new(0, 0),
+        vec![10],
+    ));
     let rep = r.run();
     assert_eq!(r.lco_get(sum), Some(vec![leaves as f64]));
     assert!(rep.tasks as usize >= 2 * leaves - 1);
@@ -140,7 +152,10 @@ fn continuation_chain_across_localities() {
     r.seed(first.locality, move |ctx| ctx.lco_set(first, &[42.0]));
     let rep = r.run();
     assert_eq!(r.lco_get(futs[hops]), Some(vec![42.0]));
-    assert!(rep.messages >= hops as u64 - 2, "most hops cross localities");
+    assert!(
+        rep.messages >= hops as u64 - 2,
+        "most hops cross localities"
+    );
 }
 
 #[test]

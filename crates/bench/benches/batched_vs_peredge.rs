@@ -1,0 +1,74 @@
+//! Criterion comparison of the per-edge operator loop against the batched
+//! (blocked multi-RHS GEMM) entry points, at several batch sizes.
+//!
+//! The per-edge side runs the public per-edge operator — including the
+//! operator-cache lookup the runtime pays on every edge — and the batched
+//! side pays for gather and column scatter, so the comparison reflects the
+//! real hot-path alternatives in `dashmm-core`'s executor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dashmm_bench::opbench::{bench_tables, random_expansions};
+use dashmm_expansion::{batch, ops, BatchWorkspace};
+use dashmm_kernels::{Kernel, Laplace, Yukawa};
+
+const BATCH_SIZES: [usize; 3] = [32, 256, 1024];
+
+fn bench_kernel<K: Kernel>(c: &mut Criterion, kernel: K) {
+    let name = kernel.name();
+    let t = bench_tables(&kernel);
+    let n = t.expansion_len();
+    let offset = (2i8, 1i8, 0i8);
+    drop(t.m2l(&kernel, offset)); // warm the M2L cache
+
+    let mut g = c.benchmark_group(format!("batched_vs_peredge/{name}"));
+    for &edges in &BATCH_SIZES {
+        let srcs = random_expansions(edges, n, edges as u64);
+        let refs: Vec<&[f64]> = srcs.iter().map(|s| s.as_slice()).collect();
+        let mut outs = vec![vec![0.0; n]; edges];
+
+        g.bench_function(BenchmarkId::new("m2l_per_edge", edges), |b| {
+            b.iter(|| {
+                for (src, out) in srcs.iter().zip(outs.iter_mut()) {
+                    out.fill(0.0);
+                    ops::m2l(&kernel, &t, offset, src, out);
+                }
+            })
+        });
+        let mut ws = BatchWorkspace::new();
+        g.bench_function(BenchmarkId::new("m2l_batched", edges), |b| {
+            b.iter(|| {
+                batch::m2l_batch(&kernel, &t, offset, &refs, &mut ws, |i, col| {
+                    outs[i].copy_from_slice(col)
+                })
+            })
+        });
+
+        g.bench_function(BenchmarkId::new("m2m_per_edge", edges), |b| {
+            b.iter(|| {
+                for (src, out) in srcs.iter().zip(outs.iter_mut()) {
+                    out.fill(0.0);
+                    ops::m2m(&t, 3, src, out);
+                }
+            })
+        });
+        let mut ws = BatchWorkspace::new();
+        g.bench_function(BenchmarkId::new("m2m_batched", edges), |b| {
+            b.iter(|| {
+                batch::m2m_batch(&t, 3, &refs, &mut ws, |i, col| outs[i].copy_from_slice(col))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn batched_vs_peredge(c: &mut Criterion) {
+    bench_kernel(c, Laplace);
+    bench_kernel(c, Yukawa::new(1.0));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
+    targets = batched_vs_peredge
+}
+criterion_main!(benches);

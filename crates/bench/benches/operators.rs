@@ -16,8 +16,9 @@ fn cloud(center: Point3, side: f64, n: usize) -> (Vec<Point3>, Vec<f64>) {
         state ^= state << 17;
         (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
     };
-    let pts =
-        (0..n).map(|_| center + Point3::new(next() * side, next() * side, next() * side)).collect();
+    let pts = (0..n)
+        .map(|_| center + Point3::new(next() * side, next() * side, next() * side))
+        .collect();
     let charges = (0..n).map(|_| next()).collect();
     (pts, charges)
 }
@@ -79,7 +80,16 @@ fn bench_kernel_ops<K: Kernel>(c: &mut Criterion, kernel: K) {
     });
     g.bench_function(BenchmarkId::from_parameter("L2T"), |b| {
         let mut out = vec![0.0; tgt.len()];
-        b.iter(|| ops::l2t(&kernel, &t, Point3::new(2.0 * SIDE, 0.0, 0.0), &m, &tgt, &mut out));
+        b.iter(|| {
+            ops::l2t(
+                &kernel,
+                &t,
+                Point3::new(2.0 * SIDE, 0.0, 0.0),
+                &m,
+                &tgt,
+                &mut out,
+            )
+        });
     });
     g.bench_function(BenchmarkId::from_parameter("S2T_60x60"), |b| {
         let mut out = vec![0.0; tgt.len()];

@@ -14,7 +14,10 @@ fn pipeline(c: &mut Criterion) {
     let sources = uniform_cube(N, 1);
     let targets = uniform_cube(N, 2);
     let charges = vec![1.0; N];
-    let params = BuildParams { threshold: 60, max_level: 20 };
+    let params = BuildParams {
+        threshold: 60,
+        max_level: 20,
+    };
 
     let mut g = c.benchmark_group("pipeline");
     g.bench_function(BenchmarkId::new("dual_tree_build", N), |b| {

@@ -29,12 +29,17 @@ fn main() {
     for localities in [2usize, 4, 16, 64] {
         distribute(&w.problem, &mut w.asm, localities as u32);
         let run = |coalesce: bool| {
-            let net = NetworkModel { coalesce, ..NetworkModel::gemini() };
+            let net = NetworkModel {
+                coalesce,
+                ..NetworkModel::gemini()
+            };
             let cfg = SimConfig {
                 localities,
                 cores_per_locality: CORES_PER_LOCALITY,
                 priority: false,
-                trace: false, levelwise: false };
+                trace: false,
+                levelwise: false,
+            };
             simulate(&w.asm.dag, &cost, &net, &cfg)
         };
         let on = run(true);
@@ -51,9 +56,15 @@ fn main() {
         );
         if localities == 16 {
             checked = true;
-            check("coalescing sends far fewer messages", off.messages > 2 * on.messages);
+            check(
+                "coalescing sends far fewer messages",
+                off.messages > 2 * on.messages,
+            );
             check("coalescing sends fewer bytes", off.bytes > on.bytes);
-            check("coalescing is not slower", off.makespan_us >= on.makespan_us * 0.99);
+            check(
+                "coalescing is not slower",
+                off.makespan_us >= on.makespan_us * 0.99,
+            );
         }
     }
     assert!(checked);

@@ -33,7 +33,11 @@ fn main() {
     let net = NetworkModel::gemini();
     let mut advantages = Vec::new();
     for (dist, kernel, label) in configs {
-        let opts = Opts { dist, kernel, ..base.clone() };
+        let opts = Opts {
+            dist,
+            kernel,
+            ..base.clone()
+        };
         let mut w = build_workload(&opts, 1);
         let cost = cost_model(&opts, opts.cost);
         println!("\n### {label}");
@@ -70,9 +74,18 @@ fn main() {
     }
     println!("\n--- shape checks ---");
     let best = advantages.iter().cloned().fold(0.0f64, f64::max);
-    println!("best dataflow advantage at ≥ 512 cores: {:.1}%", best * 100.0);
-    check("dataflow is never slower than levelwise", advantages.iter().all(|&a| a >= -1e-9));
-    check("dataflow advantage is material at scale (≥ 10%)", best >= 0.10);
+    println!(
+        "best dataflow advantage at ≥ 512 cores: {:.1}%",
+        best * 100.0
+    );
+    check(
+        "dataflow is never slower than levelwise",
+        advantages.iter().all(|&a| a >= -1e-9),
+    );
+    check(
+        "dataflow advantage is material at scale (≥ 10%)",
+        best >= 0.10,
+    );
 }
 
 fn check(what: &str, ok: bool) {

@@ -34,16 +34,27 @@ fn main() {
     let problem = &w.problem;
     let owner = |class: NodeClass, box_id: u32| -> u32 {
         match class {
-            NodeClass::S | NodeClass::M | NodeClass::Is => {
-                block_owner(problem.tree.source().node(box_id).first, src_n, LOCALITIES as u32)
-            }
-            _ => block_owner(problem.tree.target().node(box_id).first, tgt_n, LOCALITIES as u32),
+            NodeClass::S | NodeClass::M | NodeClass::Is => block_owner(
+                problem.tree.source().node(box_id).first,
+                src_n,
+                LOCALITIES as u32,
+            ),
+            _ => block_owner(
+                problem.tree.target().node(box_id).first,
+                tgt_n,
+                LOCALITIES as u32,
+            ),
         }
     };
 
     let policies: Vec<(&str, Box<dyn DistributionPolicy>)> = vec![
         ("block (owner)", Box::new(BlockPolicy)),
-        ("fmm/target-it", Box::new(FmmPolicy { it_placement: ItPlacement::TargetOwner })),
+        (
+            "fmm/target-it",
+            Box::new(FmmPolicy {
+                it_placement: ItPlacement::TargetOwner,
+            }),
+        ),
         ("fmm/majority-it", Box::new(FmmPolicy::default())),
         ("load-balanced", Box::new(LoadBalancedPolicy)),
     ];

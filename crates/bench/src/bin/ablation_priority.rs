@@ -45,7 +45,11 @@ fn main() {
     let mut estimates = Vec::new();
     let mut direct_gains = Vec::new();
     for (dist, kernel, label) in configs {
-        let opts = Opts { dist, kernel, ..base.clone() };
+        let opts = Opts {
+            dist,
+            kernel,
+            ..base.clone()
+        };
         let mut w = build_workload(&opts, 1);
         let cost = cost_model(&opts, opts.cost);
         println!("\n### {label}");
@@ -60,7 +64,9 @@ fn main() {
                     localities,
                     cores_per_locality: CORES_PER_LOCALITY,
                     priority,
-                    trace, levelwise: false };
+                    trace,
+                    levelwise: false,
+                };
                 simulate(&w.asm.dag, &cost, &net, &cfg)
             };
             let fifo = mk(false, true);
@@ -87,14 +93,19 @@ fn main() {
         "best high-core-count estimated gain: {:.1}% (paper estimate: ≥ 10%)",
         best_est * 100.0
     );
-    check("the starved-region estimate is material (≥ 5%)", best_est >= 0.05);
+    check(
+        "the starved-region estimate is material (≥ 5%)",
+        best_est >= 0.05,
+    );
     check(
         "direct priority scheduling never hurts materially",
         direct_gains.iter().all(|&g| g > -0.05),
     );
     check(
         "estimates grow with core count within each configuration",
-        estimates.chunks(2).all(|c| c.len() < 2 || c[1] >= c[0] * 0.8),
+        estimates
+            .chunks(2)
+            .all(|c| c.len() < 2 || c[1] >= c[0] * 0.8),
     );
 }
 

@@ -1,0 +1,125 @@
+//! Batched vs per-edge operator microbenchmark → `BENCH_operators.json`.
+//!
+//! Measures every batched operator (M2L, M2M, L2L, I2I) for Laplace and
+//! Yukawa against the per-edge loop the runtime used to run, prints a
+//! table, and writes the machine-readable JSON artifact.  With
+//! `--min-m2l-speedup X` the binary exits non-zero when any M2L case
+//! falls below `X`× — the CI gate that keeps the batched hot path honest.
+//!
+//! `DASHMM_BENCH_FAST=1` shrinks the repetition count for smoke runs.
+
+use std::path::PathBuf;
+
+use dashmm_bench::{banner, opbench};
+
+struct Args {
+    edges: usize,
+    out: PathBuf,
+    min_m2l_speedup: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        edges: 1024,
+        out: PathBuf::from("BENCH_operators.json"),
+        min_m2l_speedup: None,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let usage = |msg: &str| -> ! {
+        eprintln!("error: {msg}");
+        eprintln!(
+            "usage: {} [--edges N] [--out PATH] [--min-m2l-speedup X]",
+            argv.first()
+                .map(String::as_str)
+                .unwrap_or("bench_operators")
+        );
+        std::process::exit(2);
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        let value = |flag: &str| -> &str {
+            match argv.get(i + 1) {
+                Some(v) => v,
+                None => usage(&format!("{flag} expects a value")),
+            }
+        };
+        match argv[i].as_str() {
+            "--edges" => {
+                a.edges = value("--edges")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--edges expects an integer"));
+                i += 2;
+            }
+            "--out" => {
+                a.out = PathBuf::from(value("--out"));
+                i += 2;
+            }
+            "--min-m2l-speedup" => {
+                a.min_m2l_speedup = Some(
+                    value("--min-m2l-speedup")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--min-m2l-speedup expects a number")),
+                );
+                i += 2;
+            }
+            other => usage(&format!("unknown option {other}")),
+        }
+    }
+    a
+}
+
+fn main() {
+    let args = parse_args();
+    let fast = std::env::var("DASHMM_BENCH_FAST").is_ok_and(|v| v == "1");
+    let reps = opbench::default_reps();
+    banner(
+        "Batched operator hot path: per-edge loop vs blocked multi-RHS GEMM",
+        &format!("edges={} reps={} fast_mode={}", args.edges, reps, fast),
+    );
+
+    let cases = opbench::run_all(args.edges, reps);
+
+    println!(
+        "{:<10} {:<10} {:>8} {:>14} {:>14} {:>9}",
+        "op", "kernel", "edges", "per-edge ns", "batched ns", "speedup"
+    );
+    for c in &cases {
+        println!(
+            "{:<10} {:<10} {:>8} {:>14.1} {:>14.1} {:>8.2}x",
+            c.op,
+            c.kernel,
+            c.edges,
+            c.per_edge_ns,
+            c.batched_ns,
+            c.speedup()
+        );
+    }
+
+    opbench::write_json(&args.out, &cases, args.edges, fast).expect("write BENCH_operators.json");
+    println!("\nwrote {}", args.out.display());
+
+    if let Some(min) = args.min_m2l_speedup {
+        let mut failed = false;
+        for c in cases.iter().filter(|c| c.op == "M2L") {
+            if c.speedup() < min {
+                eprintln!(
+                    "GATE FAIL: M2L/{} batched speedup {:.2}x below required {:.2}x",
+                    c.kernel,
+                    c.speedup(),
+                    min
+                );
+                failed = true;
+            } else {
+                println!(
+                    "GATE OK:   M2L/{} batched speedup {:.2}x >= {:.2}x",
+                    c.kernel,
+                    c.speedup(),
+                    min
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

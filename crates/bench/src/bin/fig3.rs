@@ -42,7 +42,11 @@ fn main() {
         (Distribution::Cube, KernelKind::Laplace, "cube laplace"),
         (Distribution::Cube, KernelKind::Yukawa(1.0), "cube yukawa"),
         (Distribution::Sphere, KernelKind::Laplace, "sphere laplace"),
-        (Distribution::Sphere, KernelKind::Yukawa(1.0), "sphere yukawa"),
+        (
+            Distribution::Sphere,
+            KernelKind::Yukawa(1.0),
+            "sphere yukawa",
+        ),
     ];
 
     let mut net = NetworkModel::gemini();
@@ -53,15 +57,27 @@ fn main() {
     for (dist, kernel, label) in configs {
         // Sphere data is denser locally; the paper correspondingly used a
         // smaller sphere problem (42 M vs 60 M).
-        let n = if dist == Distribution::Sphere { base.n * 7 / 10 } else { base.n };
-        let opts = Opts { n, dist, kernel, ..base.clone() };
+        let n = if dist == Distribution::Sphere {
+            base.n * 7 / 10
+        } else {
+            base.n
+        };
+        let opts = Opts {
+            n,
+            dist,
+            kernel,
+            ..base.clone()
+        };
         eprintln!("[{label}] building DAG (n={n})…");
         let mut w = build_workload(&opts, 1);
         eprintln!("[{label}] preparing cost model…");
         let cost = cost_model(&opts, opts.cost);
 
         println!("\n### {label} (n={n})");
-        println!("{:>6}  {:>12}  {:>9}  {:>10}", "cores", "t_n [ms]", "speedup", "efficiency");
+        println!(
+            "{:>6}  {:>12}  {:>9}  {:>10}",
+            "cores", "t_n [ms]", "speedup", "efficiency"
+        );
         let mut t32 = 0.0;
         let mut last_eff = 0.0;
         for &cores in &CORE_COUNTS {
@@ -71,7 +87,9 @@ fn main() {
                 localities,
                 cores_per_locality: CORES_PER_LOCALITY,
                 priority: false,
-                trace: false, levelwise: false };
+                trace: false,
+                levelwise: false,
+            };
             let r = simulate(&w.asm.dag, &cost, &net, &cfg);
             if cores == 32 {
                 t32 = r.makespan_us;
@@ -97,14 +115,24 @@ fn main() {
         final_eff.push((label, last_eff));
     }
     let csv = std::path::Path::new("results/fig3_strong_scaling.csv");
-    if write_csv(csv, &["config", "cores", "t_ms", "speedup", "efficiency"], csv_rows).is_ok() {
+    if write_csv(
+        csv,
+        &["config", "cores", "t_ms", "speedup", "efficiency"],
+        csv_rows,
+    )
+    .is_ok()
+    {
         eprintln!("wrote {}", csv.display());
     }
 
     println!("\n--- final efficiency at 4096 cores: this run vs paper ---");
     for ((label, eff), (plabel, peff)) in final_eff.iter().zip(PAPER_EFF.iter()) {
         assert_eq!(label, plabel);
-        println!("{label:<16} measured {:>5.1}%   paper {:>5.1}%", eff * 100.0, peff * 100.0);
+        println!(
+            "{label:<16} measured {:>5.1}%   paper {:>5.1}%",
+            eff * 100.0,
+            peff * 100.0
+        );
     }
     println!("\n--- shape checks ---");
     let eff = |l: &str| final_eff.iter().find(|(x, _)| *x == l).unwrap().1;
@@ -112,8 +140,14 @@ fn main() {
         "Yukawa scales better than Laplace (heavier grain size)",
         eff("cube yukawa") > eff("cube laplace") && eff("sphere yukawa") > eff("sphere laplace"),
     );
-    check("scaling efficiency degrades by 4096 cores", final_eff.iter().all(|(_, e)| *e < 0.98));
-    check("all configurations retain real speedup", final_eff.iter().all(|(_, e)| *e > 0.05));
+    check(
+        "scaling efficiency degrades by 4096 cores",
+        final_eff.iter().all(|(_, e)| *e < 0.98),
+    );
+    check(
+        "all configurations retain real speedup",
+        final_eff.iter().all(|(_, e)| *e > 0.05),
+    );
 }
 
 fn check(what: &str, ok: bool) {

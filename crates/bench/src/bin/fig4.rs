@@ -36,7 +36,9 @@ fn main() {
             localities,
             cores_per_locality: CORES_PER_LOCALITY,
             priority: false,
-            trace: true, levelwise: false };
+            trace: true,
+            levelwise: false,
+        };
         let r = simulate(&w.asm.dag, &cost, &net, &cfg);
         let u = utilization_total(&r.trace, INTERVALS);
         eprintln!(
@@ -49,14 +51,22 @@ fn main() {
         curves.push(u);
     }
     for k in 0..INTERVALS {
-        println!("{:>3}   {:>6.3}  {:>6.3}  {:>6.3}", k, curves[0][k], curves[1][k], curves[2][k]);
+        println!(
+            "{:>3}   {:>6.3}  {:>6.3}  {:>6.3}",
+            k, curves[0][k], curves[1][k], curves[2][k]
+        );
     }
     for (i, loc) in [64usize, 128, 512].iter().enumerate() {
         println!("n={loc:<4} {}", sparkline(&downsample(&curves[i], 50)));
     }
     let csv = std::path::Path::new("results/fig4_utilization.csv");
     let rows = (0..INTERVALS).map(|k| {
-        vec![k.to_string(), curves[0][k].to_string(), curves[1][k].to_string(), curves[2][k].to_string()]
+        vec![
+            k.to_string(),
+            curves[0][k].to_string(),
+            curves[1][k].to_string(),
+            curves[2][k].to_string(),
+        ]
     });
     if write_csv(csv, &["interval", "n64", "n128", "n512"], rows).is_ok() {
         eprintln!("wrote {}", csv.display());
@@ -68,14 +78,23 @@ fn main() {
         &w.asm.dag,
         &cost,
         &NetworkModel::ideal(),
-        &SimConfig { localities: 1, cores_per_locality: 32, priority: false, trace: true, levelwise: false },
+        &SimConfig {
+            localities: 1,
+            cores_per_locality: 32,
+            priority: false,
+            trace: true,
+            levelwise: false,
+        },
     );
     let u1 = utilization_total(&r1.trace, INTERVALS);
     let plateau1 = plateau(&u1);
     println!("\nsingle-locality plateau: {:.1}%", plateau1 * 100.0);
 
     println!("\n--- shape checks ---");
-    for (i, (loc, d)) in [(2, dips[0]), (4, dips[1]), (16, dips[2])].iter().enumerate() {
+    for (i, (loc, d)) in [(2, dips[0]), (4, dips[1]), (16, dips[2])]
+        .iter()
+        .enumerate()
+    {
         println!(
             "n={:<4} plateau {:>5.1}%  terminal-dip width {:>4.1}% of run",
             loc * 32,
@@ -83,12 +102,18 @@ fn main() {
             d * 100.0
         );
     }
-    check("plateaus are high (≥ 75%)", curves.iter().all(|u| plateau(u) > 0.75));
+    check(
+        "plateaus are high (≥ 75%)",
+        curves.iter().all(|u| plateau(u) > 0.75),
+    );
     check(
         "terminal dip width grows with locality count",
         dips[0] <= dips[1] + 0.02 && dips[1] <= dips[2] + 0.02 && dips[2] > dips[0],
     );
-    check("single-locality run is the most efficient", plateau1 >= plateau(&curves[2]));
+    check(
+        "single-locality run is the most efficient",
+        plateau1 >= plateau(&curves[2]),
+    );
 }
 
 /// Mean utilization over the middle of the run (intervals 20–60).

@@ -29,15 +29,27 @@ fn main() {
     let mut w = build_workload(&opts, 4);
     let cost = cost_model(&opts, opts.cost);
     distribute(&w.problem, &mut w.asm, 4);
-    let cfg = SimConfig { localities: 4, cores_per_locality: 32, priority: false, trace: true, levelwise: false };
+    let cfg = SimConfig {
+        localities: 4,
+        cores_per_locality: 32,
+        priority: false,
+        trace: true,
+        levelwise: false,
+    };
     let r = simulate(&w.asm.dag, &cost, &NetworkModel::gemini(), &cfg);
     let by = utilization_by_class(&r.trace, INTERVALS, 11);
     let total = utilization_total(&r.trace, INTERVALS);
 
     let panels: [(&str, &[EdgeOp]); 3] = [
         ("up the source tree", &[EdgeOp::S2M, EdgeOp::M2M]),
-        ("source tree → target tree", &[EdgeOp::M2I, EdgeOp::I2I, EdgeOp::I2L]),
-        ("final values at targets", &[EdgeOp::S2T, EdgeOp::L2L, EdgeOp::L2T]),
+        (
+            "source tree → target tree",
+            &[EdgeOp::M2I, EdgeOp::I2I, EdgeOp::I2L],
+        ),
+        (
+            "final values at targets",
+            &[EdgeOp::S2T, EdgeOp::L2L, EdgeOp::L2T],
+        ),
     ];
     for (title, ops) in panels {
         println!("\n### {title}");
@@ -76,19 +88,31 @@ fn main() {
     // 1. Up-sweep work is smeared late into the run under FIFO scheduling.
     let upsweep_last = last_active(&by[EdgeOp::S2M.index()], &by[EdgeOp::M2M.index()]);
     println!("up-sweep work still executing at {upsweep_last}% of the run");
-    check("up-sweep work persists past 40% of the run (paper: ~83%)", upsweep_last >= 40);
+    check(
+        "up-sweep work persists past 40% of the run (paper: ~83%)",
+        upsweep_last >= 40,
+    );
     // 2. The up-sweep's absolute share is small.
     let up_total: f64 = (0..INTERVALS)
         .map(|k| by[EdgeOp::S2M.index()][k] + by[EdgeOp::M2M.index()][k])
         .sum();
     let all_total: f64 = total.iter().sum();
-    println!("up-sweep share of all work: {:.1}%", 100.0 * up_total / all_total);
-    check("up-sweep is a small fraction of total work", up_total / all_total < 0.2);
+    println!(
+        "up-sweep share of all work: {:.1}%",
+        100.0 * up_total / all_total
+    );
+    check(
+        "up-sweep is a small fraction of total work",
+        up_total / all_total < 0.2,
+    );
     // 3. The final L→L/L→T burst concentrates at the end.
     let l2t = &by[EdgeOp::L2T.index()];
     let late: f64 = l2t[INTERVALS * 3 / 4..].iter().sum();
     let early: f64 = l2t[..INTERVALS / 4].iter().sum();
-    check("L→T work concentrates in the last quarter of the run", late > early);
+    check(
+        "L→T work concentrates in the last quarter of the run",
+        late > early,
+    );
     // 4. I→I holds a sustained plateau before the dip (latency well hidden).
     let i2i = &by[EdgeOp::I2I.index()];
     let mid: f64 = i2i[30..60].iter().sum::<f64>() / 30.0;

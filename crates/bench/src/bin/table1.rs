@@ -24,7 +24,10 @@ fn main() {
     let opts = Opts::parse();
     banner(
         "Table I — DAG node classes (count, size, degrees)",
-        &format!("workload: {:?} {:?} n={} threshold={}", opts.dist, opts.kernel, opts.n, opts.threshold),
+        &format!(
+            "workload: {:?} {:?} n={} threshold={}",
+            opts.dist, opts.kernel, opts.n, opts.threshold
+        ),
     );
     let w = build_workload(&opts, 4);
     w.asm.dag.validate().expect("assembled DAG must validate");
@@ -68,7 +71,10 @@ fn main() {
         let min = *counts.iter().min().unwrap() as f64;
         max / min < 3.0
     });
-    check("S sizes span 32 B to 60 points (paper: 32-1920)", s.size_min >= 32 && s.size_max <= 32 * 60);
+    check(
+        "S sizes span 32 B to 60 points (paper: 32-1920)",
+        s.size_min >= 32 && s.size_max <= 32 * 60,
+    );
     // The paper: "The intermediate nodes stand out both in message size and
     // connectivity".  In this realisation the merged slots live on Is (the
     // paper's layout concentrates them on It), so the standout class is an

@@ -29,7 +29,10 @@ fn main() {
     let opts = Opts::parse();
     banner(
         "Table II — DAG edge classes (count, size, measured t_avg)",
-        &format!("workload: {:?} {:?} n={} threshold={}", opts.dist, opts.kernel, opts.n, opts.threshold),
+        &format!(
+            "workload: {:?} {:?} n={} threshold={}",
+            opts.dist, opts.kernel, opts.n, opts.threshold
+        ),
     );
     let w = build_workload(&opts, 1);
     let stats = DagStats::compute(&w.asm.dag);
@@ -37,7 +40,10 @@ fn main() {
     // Measure per-operator times with a traced single-worker evaluation of
     // a smaller instance (time grows linearly; averages converge fast).
     let measure_n = opts.n.min(50_000);
-    let m_opts = Opts { n: measure_n, ..opts.clone() };
+    let m_opts = Opts {
+        n: measure_n,
+        ..opts.clone()
+    };
     let (sources, targets, charges) = m_opts.ensembles();
     eprintln!("measuring operator times on n={measure_n} (single worker, traced)…");
     let avg = match opts.kernel {
@@ -76,7 +82,9 @@ fn main() {
     let e = |o: EdgeOp| stats.edges[o.index()];
     check(
         "I→I is the single largest edge class (paper §V-B)",
-        EdgeOp::ALL.iter().all(|&o| e(EdgeOp::I2I).count >= e(o).count),
+        EdgeOp::ALL
+            .iter()
+            .all(|&o| e(EdgeOp::I2I).count >= e(o).count),
     );
     check("S→T is the second most numerous class", {
         EdgeOp::ALL

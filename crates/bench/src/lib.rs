@@ -5,6 +5,7 @@
 //! construction, a tiny CLI, cost-model calibration from traced runs, and
 //! the paper's reference numbers for side-by-side printing.
 
+pub mod opbench;
 pub mod report;
 
 use std::sync::Arc;
@@ -124,8 +125,9 @@ impl Opts {
     pub fn ensembles(&self) -> (Vec<Point3>, Vec<Point3>, Vec<f64>) {
         let sources = self.dist.generate(self.n, self.seed);
         let targets = self.dist.generate(self.n, self.seed + 1);
-        let charges: Vec<f64> =
-            (0..self.n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let charges: Vec<f64> = (0..self.n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         (sources, targets, charges)
     }
 }
@@ -155,7 +157,10 @@ fn build_workload_k<K: Kernel>(opts: &Opts, localities: u32, kernel: K) -> Workl
         &sources,
         &charges,
         &targets,
-        BuildParams { threshold: opts.threshold, max_level: 20 },
+        BuildParams {
+            threshold: opts.threshold,
+            max_level: 20,
+        },
     ));
     let kernel_name = kernel.name();
     let lib = OperatorLibrary::new(
@@ -166,9 +171,15 @@ fn build_workload_k<K: Kernel>(opts: &Opts, localities: u32, kernel: K) -> Workl
     );
     let mut asm = assemble(&problem, Method::AdvancedFmm, &lib);
     distribute(&problem, &mut asm, localities);
-    let label =
-        format!("{:?} {} n={} threshold={}", opts.dist, kernel_name, opts.n, opts.threshold);
-    Workload { problem, asm, label }
+    let label = format!(
+        "{:?} {} n={} threshold={}",
+        opts.dist, kernel_name, opts.n, opts.threshold
+    );
+    Workload {
+        problem,
+        asm,
+        label,
+    }
 }
 
 /// (Re-)distribute an assembly over a locality count with the FMM policy.
@@ -230,8 +241,13 @@ pub fn cost_model(opts: &Opts, mode: CostMode) -> CostModel {
                 KernelKind::Laplace => base,
                 KernelKind::Yukawa(_) => {
                     // Measured per-operator grain-size ratios.
-                    let lap =
-                        calibrate_cost_model(&Opts { kernel: KernelKind::Laplace, ..opts.clone() }, 20_000);
+                    let lap = calibrate_cost_model(
+                        &Opts {
+                            kernel: KernelKind::Laplace,
+                            ..opts.clone()
+                        },
+                        20_000,
+                    );
                     let yuk = calibrate_cost_model(opts, 20_000);
                     let mut scaled = base.clone();
                     for i in 0..scaled.op_us.len() {
@@ -250,7 +266,10 @@ pub fn cost_model(opts: &Opts, mode: CostMode) -> CostModel {
 /// execution times.  Classes the run never exercised fall back to the
 /// paper's Table II values.
 pub fn calibrate_cost_model(opts: &Opts, calib_n: usize) -> CostModel {
-    let calib = Opts { n: calib_n.min(opts.n), ..opts.clone() };
+    let calib = Opts {
+        n: calib_n.min(opts.n),
+        ..opts.clone()
+    };
     let (sources, targets, charges) = calib.ensembles();
     let out = match calib.kernel {
         KernelKind::Laplace => dashmm_core::DashmmBuilder::new(Laplace)
@@ -299,7 +318,10 @@ mod tests {
 
     #[test]
     fn ensembles_distinct_same_size() {
-        let o = Opts { n: 1000, ..Opts::default() };
+        let o = Opts {
+            n: 1000,
+            ..Opts::default()
+        };
         let (s, t, q) = o.ensembles();
         assert_eq!(s.len(), 1000);
         assert_eq!(t.len(), 1000);
@@ -309,7 +331,10 @@ mod tests {
 
     #[test]
     fn workload_builds_and_validates() {
-        let o = Opts { n: 3000, ..Opts::default() };
+        let o = Opts {
+            n: 3000,
+            ..Opts::default()
+        };
         let w = build_workload(&o, 4);
         w.asm.dag.validate().expect("valid DAG");
         // All localities used.
@@ -320,7 +345,10 @@ mod tests {
 
     #[test]
     fn calibration_produces_positive_costs() {
-        let o = Opts { n: 2000, ..Opts::default() };
+        let o = Opts {
+            n: 2000,
+            ..Opts::default()
+        };
         let cm = calibrate_cost_model(&o, 2000);
         for (i, &c) in cm.op_us.iter().enumerate() {
             assert!(c > 0.0, "op {i} has zero cost");

@@ -1,0 +1,313 @@
+//! Per-edge vs batched operator micro-measurements.
+//!
+//! Backs both the `batched_vs_peredge` criterion bench and the
+//! `bench_operators` binary that emits `BENCH_operators.json` — the CI
+//! artifact gating the batched hot path's speedup claim.
+//!
+//! Both paths do the full per-edge work: the baseline runs the public
+//! per-edge operator (including the operator-cache lookup the runtime
+//! pays on every edge), the batched path gathers the same sources, runs
+//! one blocked multi-RHS product, and copies each output column back
+//! out — so scatter cost is charged to the batched side.
+
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+use dashmm_expansion::{batch, ops, AccuracyParams, BatchWorkspace, LevelTables};
+use dashmm_kernels::{Kernel, Laplace, Yukawa};
+use dashmm_tree::{Direction, Point3};
+
+/// One operator's per-edge vs batched timing at a given batch size.
+#[derive(Clone, Debug)]
+pub struct OpBenchCase {
+    /// Operator name (`M2L`, `M2M`, `L2L`, `I2I`).
+    pub op: &'static str,
+    /// Kernel name (`laplace`, `yukawa`).
+    pub kernel: &'static str,
+    /// Number of edges in the batch.
+    pub edges: usize,
+    /// Nanoseconds per edge through the per-edge operator loop.
+    pub per_edge_ns: f64,
+    /// Nanoseconds per edge through the batched entry point.
+    pub batched_ns: f64,
+}
+
+impl OpBenchCase {
+    /// Per-edge time over batched time (higher is better for batching).
+    pub fn speedup(&self) -> f64 {
+        self.per_edge_ns / self.batched_ns
+    }
+}
+
+/// Deterministic random expansion coefficients (xorshift, no rand dep on
+/// the hot path).
+pub fn random_expansions(n: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    (0..n)
+        .map(|_| (0..len).map(|_| next() * 2.0).collect())
+        .collect()
+}
+
+/// Measurement repetitions; shrunk under `DASHMM_BENCH_FAST=1` so the CI
+/// smoke run stays cheap.
+pub fn default_reps() -> usize {
+    if std::env::var("DASHMM_BENCH_FAST").is_ok_and(|v| v == "1") {
+        7
+    } else {
+        30
+    }
+}
+
+/// Best-of-`reps` wall time of `f`, in nanoseconds (one untimed warmup).
+fn best_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Level tables shared by the dense-operator cases (plane-wave surfaces
+/// included so the I2I case can run off the same tables).
+pub fn bench_tables<K: Kernel>(kernel: &K) -> LevelTables {
+    LevelTables::build(kernel, &AccuracyParams::three_digit(), 3, 0.25, true)
+}
+
+/// `M→L`: the headline case — one cached translation matrix, many source
+/// multipoles.
+pub fn m2l_case<K: Kernel>(
+    kernel: &K,
+    kernel_name: &'static str,
+    t: &LevelTables,
+    edges: usize,
+    reps: usize,
+) -> OpBenchCase {
+    let n = t.expansion_len();
+    let offset = (2i8, 1i8, 0i8);
+    drop(t.m2l(kernel, offset)); // warm the cache: measure application, not assembly
+    let srcs = random_expansions(edges, n, 17);
+    let refs: Vec<&[f64]> = srcs.iter().map(|s| s.as_slice()).collect();
+    let mut outs = vec![vec![0.0; n]; edges];
+    let mut ws = BatchWorkspace::new();
+    let per_edge_ns = best_ns(reps, || {
+        for (src, out) in srcs.iter().zip(outs.iter_mut()) {
+            out.fill(0.0);
+            ops::m2l(kernel, t, offset, src, out);
+        }
+    }) / edges as f64;
+    let batched_ns = best_ns(reps, || {
+        batch::m2l_batch(kernel, t, offset, &refs, &mut ws, |i, col| {
+            outs[i].copy_from_slice(col)
+        });
+    }) / edges as f64;
+    OpBenchCase {
+        op: "M2L",
+        kernel: kernel_name,
+        edges,
+        per_edge_ns,
+        batched_ns,
+    }
+}
+
+/// `M→M`: one child-octant shift matrix, many child multipoles.
+pub fn m2m_case(
+    kernel_name: &'static str,
+    t: &LevelTables,
+    edges: usize,
+    reps: usize,
+) -> OpBenchCase {
+    let n = t.expansion_len();
+    let octant = 3u8;
+    let srcs = random_expansions(edges, n, 23);
+    let refs: Vec<&[f64]> = srcs.iter().map(|s| s.as_slice()).collect();
+    let mut outs = vec![vec![0.0; n]; edges];
+    let mut ws = BatchWorkspace::new();
+    let per_edge_ns = best_ns(reps, || {
+        for (src, out) in srcs.iter().zip(outs.iter_mut()) {
+            out.fill(0.0);
+            ops::m2m(t, octant, src, out);
+        }
+    }) / edges as f64;
+    let batched_ns = best_ns(reps, || {
+        batch::m2m_batch(t, octant, &refs, &mut ws, |i, col| {
+            outs[i].copy_from_slice(col)
+        });
+    }) / edges as f64;
+    OpBenchCase {
+        op: "M2M",
+        kernel: kernel_name,
+        edges,
+        per_edge_ns,
+        batched_ns,
+    }
+}
+
+/// `L→L`: one octant push-down matrix, many parent locals.
+pub fn l2l_case(
+    kernel_name: &'static str,
+    t: &LevelTables,
+    edges: usize,
+    reps: usize,
+) -> OpBenchCase {
+    let n = t.expansion_len();
+    let octant = 6u8;
+    let srcs = random_expansions(edges, n, 29);
+    let refs: Vec<&[f64]> = srcs.iter().map(|s| s.as_slice()).collect();
+    let mut outs = vec![vec![0.0; n]; edges];
+    let mut ws = BatchWorkspace::new();
+    let per_edge_ns = best_ns(reps, || {
+        for (src, out) in srcs.iter().zip(outs.iter_mut()) {
+            out.fill(0.0);
+            ops::l2l(t, octant, src, out);
+        }
+    }) / edges as f64;
+    let batched_ns = best_ns(reps, || {
+        batch::l2l_batch(t, octant, &refs, &mut ws, |i, col| {
+            outs[i].copy_from_slice(col)
+        });
+    }) / edges as f64;
+    OpBenchCase {
+        op: "L2L",
+        kernel: kernel_name,
+        edges,
+        per_edge_ns,
+        batched_ns,
+    }
+}
+
+/// `I→I`: the diagonal operator — no GEMM to win, recorded for honesty
+/// (batching only amortises the factor-cache lookup).
+pub fn i2i_case(
+    kernel_name: &'static str,
+    t: &LevelTables,
+    edges: usize,
+    reps: usize,
+) -> OpBenchCase {
+    let w = t.planewave_len();
+    let side = t.side();
+    let delta = Point3::new(side, 0.0, 2.0 * side);
+    let fac = t.i2i(Direction::Up, delta);
+    let srcs = random_expansions(edges, w, 31);
+    let refs: Vec<&[f64]> = srcs.iter().map(|s| s.as_slice()).collect();
+    let mut outs = vec![vec![0.0; w]; edges];
+    let mut ws = BatchWorkspace::new();
+    let per_edge_ns = best_ns(reps, || {
+        for (src, out) in srcs.iter().zip(outs.iter_mut()) {
+            out.fill(0.0);
+            let f = t.i2i(Direction::Up, delta);
+            ops::i2i_apply(&f, src, out);
+        }
+    }) / edges as f64;
+    let batched_ns = best_ns(reps, || {
+        batch::i2i_batch(&fac, &refs, &mut ws, |i, col| outs[i].copy_from_slice(col));
+    }) / edges as f64;
+    OpBenchCase {
+        op: "I2I",
+        kernel: kernel_name,
+        edges,
+        per_edge_ns,
+        batched_ns,
+    }
+}
+
+/// Run the full case matrix for one kernel.
+pub fn kernel_cases<K: Kernel>(
+    kernel: &K,
+    kernel_name: &'static str,
+    edges: usize,
+    reps: usize,
+) -> Vec<OpBenchCase> {
+    let t = bench_tables(kernel);
+    vec![
+        m2l_case(kernel, kernel_name, &t, edges, reps),
+        m2m_case(kernel_name, &t, edges, reps),
+        l2l_case(kernel_name, &t, edges, reps),
+        i2i_case(kernel_name, &t, edges, reps),
+    ]
+}
+
+/// Run the full matrix: Laplace and Yukawa over all batched operators.
+pub fn run_all(edges: usize, reps: usize) -> Vec<OpBenchCase> {
+    let mut cases = kernel_cases(&Laplace, "laplace", edges, reps);
+    cases.extend(kernel_cases(&Yukawa::new(1.0), "yukawa", edges, reps));
+    cases
+}
+
+/// Serialise cases to the machine-readable `BENCH_operators.json` schema.
+pub fn to_json(cases: &[OpBenchCase], edges: usize, fast: bool) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"operators\",\n");
+    s.push_str(&format!("  \"edges\": {edges},\n"));
+    s.push_str(&format!("  \"fast_mode\": {fast},\n"));
+    s.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"op\": \"{}\", \"kernel\": \"{}\", \"edges\": {}, \
+             \"per_edge_ns\": {:.1}, \"batched_ns\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            c.op,
+            c.kernel,
+            c.edges,
+            c.per_edge_ns,
+            c.batched_ns,
+            c.speedup(),
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Write `BENCH_operators.json`; creates parent directories.
+pub fn write_json(
+    path: &Path,
+    cases: &[OpBenchCase],
+    edges: usize,
+    fast: bool,
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json(cases, edges, fast).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m2l_case_produces_sane_timings() {
+        let t = bench_tables(&Laplace);
+        let c = m2l_case(&Laplace, "laplace", &t, 24, 2);
+        assert!(c.per_edge_ns > 0.0 && c.batched_ns > 0.0);
+        assert!(c.speedup() > 0.0);
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let cases = vec![OpBenchCase {
+            op: "M2L",
+            kernel: "laplace",
+            edges: 1024,
+            per_edge_ns: 1000.0,
+            batched_ns: 400.0,
+        }];
+        let j = to_json(&cases, 1024, true);
+        assert!(j.contains("\"bench\": \"operators\""));
+        assert!(j.contains("\"speedup\": 2.500"));
+        assert!(j.contains("\"fast_mode\": true"));
+        assert!(j.trim_end().ends_with('}'));
+    }
+}

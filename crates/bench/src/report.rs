@@ -39,7 +39,10 @@ pub fn sparkline(values: &[f64]) -> String {
 pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
     assert!(n > 0);
     let chunk = values.len().div_ceil(n);
-    values.chunks(chunk).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
+    values
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
 }
 
 #[cfg(test)]

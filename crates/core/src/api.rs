@@ -7,7 +7,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dashmm_amt::{Runtime, RuntimeConfig, RunReport};
+use dashmm_amt::{RunReport, Runtime, RuntimeConfig};
 use dashmm_dag::{
     BlockPolicy, Dag, DagStats, DistributionPolicy, FmmPolicy, NodeClass, SingleLocality,
 };
@@ -125,7 +125,10 @@ impl<K: Kernel> DashmmBuilder<K> {
             sources,
             charges,
             targets,
-            BuildParams { threshold: self.threshold, max_level: 20 },
+            BuildParams {
+                threshold: self.threshold,
+                max_level: 20,
+            },
         ));
         let tree_ms = t0.elapsed().as_secs_f64() * 1e3;
 
@@ -311,9 +314,19 @@ mod tests {
     }
 
     fn accuracy_case<K: Kernel>(kernel: K, method: Method, n: usize, sphere: bool) -> f64 {
-        let sources = if sphere { sphere_surface(n, 11) } else { uniform_cube(n, 11) };
-        let targets = if sphere { sphere_surface(n, 22) } else { uniform_cube(n, 22) };
-        let charges: Vec<f64> = (0..n).map(|i| if i % 3 == 0 { 1.0 } else { -0.5 }).collect();
+        let sources = if sphere {
+            sphere_surface(n, 11)
+        } else {
+            uniform_cube(n, 11)
+        };
+        let targets = if sphere {
+            sphere_surface(n, 22)
+        } else {
+            uniform_cube(n, 22)
+        };
+        let charges: Vec<f64> = (0..n)
+            .map(|i| if i % 3 == 0 { 1.0 } else { -0.5 })
+            .collect();
         let eval = DashmmBuilder::new(kernel.clone())
             .method(method)
             .threshold(20)
@@ -386,7 +399,10 @@ mod tests {
             .evaluate();
         let e = rel_err(&multi.potentials, &single.potentials);
         assert!(e < 1e-12, "distribution must not change results: {e:.2e}");
-        assert!(multi.report.messages > 0, "multi-locality run must communicate");
+        assert!(
+            multi.report.messages > 0,
+            "multi-locality run must communicate"
+        );
         assert_eq!(single.report.messages, 0);
     }
 
@@ -405,7 +421,10 @@ mod tests {
         // The trace must contain up-sweep, bridge and down-sweep classes.
         let classes: std::collections::HashSet<u8> =
             out.report.trace.all_events().map(|e| e.class).collect();
-        assert!(classes.len() >= 4, "expected several operator classes, got {classes:?}");
+        assert!(
+            classes.len() >= 4,
+            "expected several operator classes, got {classes:?}"
+        );
     }
 
     #[test]
@@ -414,7 +433,9 @@ mod tests {
         let sources = uniform_cube(n, 5);
         let targets = uniform_cube(n, 6);
         let charges = vec![1.0; n];
-        let eval = DashmmBuilder::new(Laplace).threshold(20).build(&sources, &charges, &targets);
+        let eval = DashmmBuilder::new(Laplace)
+            .threshold(20)
+            .build(&sources, &charges, &targets);
         let a = eval.evaluate();
         let b = eval.evaluate();
         for (x, y) in a.potentials.iter().zip(&b.potentials) {

@@ -68,7 +68,11 @@ pub fn pack_i2i(dir: usize, src_slot: u32, dst_slot: u32) -> u32 {
 
 /// Unpack an `I→I` edge tag.
 pub fn unpack_i2i(tag: u32) -> (usize, u32, u32) {
-    ((tag & 0xf) as usize, (tag >> 4) & 0x3fff, (tag >> 18) & 0x3fff)
+    (
+        (tag & 0xf) as usize,
+        (tag >> 4) & 0x3fff,
+        (tag >> 18) & 0x3fff,
+    )
 }
 
 /// The assembled explicit DAG plus the box↔node correspondence the executor
@@ -95,7 +99,11 @@ pub struct Assembly {
 impl Assembly {
     /// All seed nodes (zero in-degree, nonzero out-degree).
     pub fn seeds(&self) -> Vec<u32> {
-        self.dag.sources().into_iter().filter(|&i| self.dag.node(i).out_degree > 0).collect()
+        self.dag
+            .sources()
+            .into_iter()
+            .filter(|&i| self.dag.node(i).out_degree > 0)
+            .collect()
     }
 }
 
@@ -184,7 +192,10 @@ fn assemble_fmm<K: Kernel>(
             // The list records where the source sits relative to the
             // target; the expansion must propagate the opposite way.
             let dir = e.direction.opposite();
-            groups.entry((dir.index() as u8, parent as u32)).or_default().push(e.source);
+            groups
+                .entry((dir.index() as u8, parent as u32))
+                .or_default()
+                .push(e.source);
         }
         for ((dir_idx, parent), members) in std::mem::take(&mut groups) {
             let dir = Direction::ALL[dir_idx as usize];
@@ -193,14 +204,19 @@ fn assemble_fmm<K: Kernel>(
                 for &m in &members {
                     mask |= 1 << src.node(m).key.octant();
                 }
-                let info =
-                    merged_slots.entry((parent, dir_idx, mask)).or_insert_with(|| {
+                let info = merged_slots
+                    .entry((parent, dir_idx, mask))
+                    .or_insert_with(|| {
                         let slot = merged_count[parent as usize];
                         merged_count[parent as usize] += 1;
                         for &m in &members {
                             is_own[m as usize] = true;
                         }
-                        MergedSlotInfo { slot, members: members.clone(), dir }
+                        MergedSlotInfo {
+                            slot,
+                            members: members.clone(),
+                            dir,
+                        }
                     });
                 trans.push((parent, info.slot + 1, dir, t));
             } else {
@@ -233,9 +249,7 @@ fn assemble_fmm<K: Kernel>(
     let mut has_l = vec![false; nt];
     for t in 0..nt {
         let p = tgt.node(t as u32).parent;
-        has_l[t] = l_direct[t]
-            || it_needed[t]
-            || (p >= 0 && has_l[p as usize]);
+        has_l[t] = l_direct[t] || it_needed[t] || (p >= 0 && has_l[p as usize]);
     }
 
     // ---- Node creation -------------------------------------------------
@@ -257,8 +271,7 @@ fn assemble_fmm<K: Kernel>(
     }
     for s in 0..ns as u32 {
         if m_needed[s as usize] {
-            m_of[s as usize] =
-                b.add_node(NodeClass::M, s, src.node(s).key.level, exp_bytes) as i32;
+            m_of[s as usize] = b.add_node(NodeClass::M, s, src.node(s).key.level, exp_bytes) as i32;
         }
     }
     if advanced {
@@ -304,7 +317,13 @@ fn assemble_fmm<K: Kernel>(
         let node = src.node(s);
         // S→M.
         if s_of[s as usize] >= 0 && m_of[s as usize] >= 0 {
-            b.add_edge(s_of[s as usize] as u32, EdgeOp::S2M, m_of[s as usize] as u32, exp_bytes, 0);
+            b.add_edge(
+                s_of[s as usize] as u32,
+                EdgeOp::S2M,
+                m_of[s as usize] as u32,
+                exp_bytes,
+                0,
+            );
         }
         // M→M.
         let p = node.parent;
@@ -375,7 +394,13 @@ fn assemble_fmm<K: Kernel>(
         // I→L.
         if it_of[t as usize] >= 0 {
             debug_assert!(l_of[t as usize] >= 0);
-            b.add_edge(it_of[t as usize] as u32, EdgeOp::I2L, l_of[t as usize] as u32, exp_bytes, 0);
+            b.add_edge(
+                it_of[t as usize] as u32,
+                EdgeOp::I2L,
+                l_of[t as usize] as u32,
+                exp_bytes,
+                0,
+            );
         }
         // M→L (basic method).
         if !advanced {
@@ -391,11 +416,23 @@ fn assemble_fmm<K: Kernel>(
         }
         // S→L (list 4).
         for &s in &bl.l4 {
-            b.add_edge(s_of[s as usize] as u32, EdgeOp::S2L, l_of[t as usize] as u32, exp_bytes, 0);
+            b.add_edge(
+                s_of[s as usize] as u32,
+                EdgeOp::S2L,
+                l_of[t as usize] as u32,
+                exp_bytes,
+                0,
+            );
         }
         // M→T (list 3).
         for &s in &bl.l3 {
-            b.add_edge(m_of[s as usize] as u32, EdgeOp::M2T, t_of[t as usize] as u32, exp_bytes, 0);
+            b.add_edge(
+                m_of[s as usize] as u32,
+                EdgeOp::M2T,
+                t_of[t as usize] as u32,
+                exp_bytes,
+                0,
+            );
         }
         // S→T (list 1).
         for &s in &bl.l1 {
@@ -432,7 +469,16 @@ fn assemble_fmm<K: Kernel>(
         }
     }
 
-    Assembly { dag: b.finish(), s_of, m_of, is_of, it_of, l_of, t_of, is_layout }
+    Assembly {
+        dag: b.finish(),
+        s_of,
+        m_of,
+        is_of,
+        it_of,
+        l_of,
+        t_of,
+        is_layout,
+    }
 }
 
 /// Barnes–Hut assembly: an up-sweep of multipoles and, per target leaf, a
@@ -462,7 +508,9 @@ fn assemble_bh<K: Kernel>(problem: &Problem, theta: f64, lib: &OperatorLibrary<K
             let sh = src.half_of(s);
             let delta = sc - tc;
             // Max-norm distance from the source center to the target box.
-            let gap = (delta.x.abs() - th).max(delta.y.abs() - th).max(delta.z.abs() - th);
+            let gap = (delta.x.abs() - th)
+                .max(delta.y.abs() - th)
+                .max(delta.z.abs() - th);
             let dist = delta.norm();
             let accept = gap >= 2.96 * sh && 2.0 * sh <= theta * dist;
             if accept {
@@ -506,13 +554,22 @@ fn assemble_bh<K: Kernel>(problem: &Problem, theta: f64, lib: &OperatorLibrary<K
         }
     }
     for &t in &leaves {
-        t_of[t as usize] =
-            b.add_node(NodeClass::T, t, tgt.node(t).key.level, 40 * tgt.node(t).count as u32)
-                as i32;
+        t_of[t as usize] = b.add_node(
+            NodeClass::T,
+            t,
+            tgt.node(t).key.level,
+            40 * tgt.node(t).count as u32,
+        ) as i32;
     }
     for s in 0..ns as u32 {
         if s_of[s as usize] >= 0 && m_of[s as usize] >= 0 {
-            b.add_edge(s_of[s as usize] as u32, EdgeOp::S2M, m_of[s as usize] as u32, exp_bytes, 0);
+            b.add_edge(
+                s_of[s as usize] as u32,
+                EdgeOp::S2M,
+                m_of[s as usize] as u32,
+                exp_bytes,
+                0,
+            );
         }
         let p = src.node(s).parent;
         if m_of[s as usize] >= 0 && p >= 0 && m_of[p as usize] >= 0 {
@@ -527,7 +584,13 @@ fn assemble_bh<K: Kernel>(problem: &Problem, theta: f64, lib: &OperatorLibrary<K
     }
     for (t, s, multipole) in edges {
         if multipole {
-            b.add_edge(m_of[s as usize] as u32, EdgeOp::M2T, t_of[t as usize] as u32, exp_bytes, 0);
+            b.add_edge(
+                m_of[s as usize] as u32,
+                EdgeOp::M2T,
+                t_of[t as usize] as u32,
+                exp_bytes,
+                0,
+            );
         } else {
             b.add_edge(
                 s_of[s as usize] as u32,
@@ -566,7 +629,10 @@ mod tests {
             &sources,
             &charges,
             &targets,
-            BuildParams { threshold, max_level: 20 },
+            BuildParams {
+                threshold,
+                max_level: 20,
+            },
         );
         let lib = OperatorLibrary::new(
             Laplace,
@@ -602,15 +668,20 @@ mod tests {
         assert!(stats.edges[EdgeOp::M2I.index()].count > 0);
         assert!(stats.edges[EdgeOp::I2I.index()].count > 0);
         assert!(stats.edges[EdgeOp::I2L.index()].count > 0);
-        assert_eq!(stats.edges[EdgeOp::M2L.index()].count, 0, "advanced replaces M→L");
+        assert_eq!(
+            stats.edges[EdgeOp::M2L.index()].count,
+            0,
+            "advanced replaces M→L"
+        );
     }
 
     #[test]
     fn merge_and_shift_reduces_translations() {
         let (problem, asm) = build(20000, Method::AdvancedFmm, 60);
         let lists = problem.tree.interaction_lists();
-        let total_l2: usize =
-            (0..problem.tree.target().num_nodes() as u32).map(|t| lists.of(t).l2.len()).sum();
+        let total_l2: usize = (0..problem.tree.target().num_nodes() as u32)
+            .map(|t| lists.of(t).l2.len())
+            .sum();
         let stats = dashmm_dag::DagStats::compute(&asm.dag);
         let i2i = stats.edges[EdgeOp::I2I.index()].count as usize;
         assert!(
@@ -655,8 +726,9 @@ mod tests {
                             if me.dst == id && me.op == EdgeOp::I2I {
                                 let (mdir, _, dslot) = unpack_i2i(me.tag);
                                 if dslot == src_slot - 1 && mdir == dir_idx {
-                                    *covered.entry((asm.dag.node(mid).box_id, tbox)).or_insert(0) +=
-                                        1;
+                                    *covered
+                                        .entry((asm.dag.node(mid).box_id, tbox))
+                                        .or_insert(0) += 1;
                                 }
                             }
                         }
@@ -668,7 +740,11 @@ mod tests {
         for t in 0..nt as u32 {
             for e in &lists.of(t).l2 {
                 let c = covered.get(&(e.source, t)).copied().unwrap_or(0);
-                assert_eq!(c, 1, "L2 entry (src {}, tgt {t}) covered {c} times", e.source);
+                assert_eq!(
+                    c, 1,
+                    "L2 entry (src {}, tgt {t}) covered {c} times",
+                    e.source
+                );
             }
         }
     }
@@ -678,9 +754,16 @@ mod tests {
         let (_, asm) = build(3000, Method::BarnesHut { theta: 0.6 }, 60);
         asm.dag.validate().expect("valid DAG");
         let stats = dashmm_dag::DagStats::compute(&asm.dag);
-        assert!(stats.edges[EdgeOp::M2T.index()].count > 0, "BH must use multipole evals");
+        assert!(
+            stats.edges[EdgeOp::M2T.index()].count > 0,
+            "BH must use multipole evals"
+        );
         assert!(stats.edges[EdgeOp::S2T.index()].count > 0);
-        assert_eq!(stats.nodes[NodeClass::L.index()].count, 0, "BH has no local expansions");
+        assert_eq!(
+            stats.nodes[NodeClass::L.index()].count,
+            0,
+            "BH has no local expansions"
+        );
         assert_eq!(stats.edges[EdgeOp::L2L.index()].count, 0);
     }
 
@@ -701,7 +784,11 @@ mod tests {
 
     #[test]
     fn layout_offsets() {
-        let l = IsLayout { own_w: 10, merged_w: 6, n_merged: 3 };
+        let l = IsLayout {
+            own_w: 10,
+            merged_w: 6,
+            n_merged: 3,
+        };
         assert_eq!(l.own_offset(0), 0);
         assert_eq!(l.own_offset(5), 50);
         assert_eq!(l.merged_offset(0), 60);

@@ -9,20 +9,60 @@
 //! single parcel per destination locality carrying the expansion data and
 //! the edge descriptors, evaluated as normal on arrival.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use dashmm_amt::{
-    decode_f64s, encode_f64s, ActionId, GlobalAddress, LcoOp, LcoSpec, Parcel, Priority, Runtime,
-    TaskCtx,
+    decode_f64s, encode_f64s, ActionId, EdgeBatcher, GlobalAddress, LcoOp, LcoSpec, Parcel,
+    Priority, Runtime, TaskCtx, DEFAULT_BATCH_THRESHOLD,
 };
 use dashmm_dag::{DagEdge, EdgeOp, NodeClass};
-use dashmm_expansion::{ops, OperatorLibrary};
+use dashmm_expansion::{batch as opbatch, ops, BatchWorkspace, OperatorLibrary};
 use dashmm_kernels::Kernel;
 use dashmm_tree::Point3;
 use parking_lot::RwLock;
 
 use crate::assemble::{unpack_i2i, Assembly};
 use crate::problem::Problem;
+
+/// Operator identity shared by a batch of edges: everything needed to look
+/// up (or rebuild) the one matrix / factor vector the whole batch applies.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum BatchKey {
+    /// `M→M` into parents at `level` from children in `octant`.
+    M2M { level: u8, octant: u8 },
+    /// Same-level `M→L` at `level` for one integer box offset.
+    M2L { level: u8, offset: (i8, i8, i8) },
+    /// `L→L` into children at `level` in `octant`.
+    L2L { level: u8, octant: u8 },
+    /// Diagonal `I→I` at basis `level`, direction `dir`, quarter-box-side
+    /// quantised translation `delta`.
+    I2I {
+        level: u8,
+        dir: u8,
+        delta: (i16, i16, i16),
+    },
+}
+
+/// One deposited edge awaiting its batch.
+struct BatchEntry {
+    /// Source expansion, shared between all of the node's deposited edges.
+    src: Arc<[f64]>,
+    /// Window of `src` the operator consumes (an `I→I` slot; the whole
+    /// vector for the dense operators).
+    off: usize,
+    len: usize,
+    /// Destination LCO.
+    dst: GlobalAddress,
+    /// Destination slot prefix for `I→I` (offset-add LCOs); unused
+    /// otherwise.
+    slot: f64,
+}
+
+thread_local! {
+    /// Per-worker gather/result buffers for batched operator application.
+    static BATCH_WS: RefCell<BatchWorkspace> = RefCell::new(BatchWorkspace::new());
+}
 
 /// Shared execution context: everything a task needs to transform an
 /// expansion along an edge.
@@ -44,6 +84,10 @@ pub struct ExecCtx<K: Kernel> {
     lcos: RwLock<Vec<GlobalAddress>>,
     /// Action evaluating a coalesced remote-edge parcel.
     remote_action: RwLock<Option<ActionId>>,
+    /// Per-locality edge batchers grouping out-edges by shared operator;
+    /// expected counts are precomputed in [`ExecCtx::install`] so the last
+    /// deposit of every key always flushes.
+    batchers: RwLock<Vec<EdgeBatcher<BatchKey, BatchEntry>>>,
 }
 
 impl<K: Kernel> ExecCtx<K> {
@@ -70,6 +114,7 @@ impl<K: Kernel> ExecCtx<K> {
             charges,
             lcos: RwLock::new(Vec::new()),
             remote_action: RwLock::new(None),
+            batchers: RwLock::new(Vec::new()),
         })
     }
 
@@ -122,7 +167,72 @@ impl<K: Kernel> ExecCtx<K> {
             }
             lcos.push(rt.lco_new(locality, spec));
         }
+
+        // Pre-count the batched edges per (apply locality, operator): both
+        // local and coalesced remote edges apply at the destination LCO's
+        // locality, so a DAG sweep gives exact drain totals and the last
+        // deposit of every key is guaranteed to flush its batch.
+        let batchers: Vec<EdgeBatcher<BatchKey, BatchEntry>> = (0..n_loc)
+            .map(|_| EdgeBatcher::new(DEFAULT_BATCH_THRESHOLD))
+            .collect();
+        for id in 0..dag.num_nodes() as u32 {
+            for e in dag.out_edges(id) {
+                if let Some(key) = self.batch_key(id, e) {
+                    batchers[lcos[e.dst as usize].locality as usize].expect(key, 1);
+                }
+            }
+        }
+        *self.batchers.write() = batchers;
+
         *self.lcos.write() = lcos;
+    }
+
+    /// Batching key for an edge whose operator is applied batched, `None`
+    /// for the per-edge operators (source/target evaluation, `M→I`, `I→L`).
+    fn batch_key(&self, src_id: u32, e: &DagEdge) -> Option<BatchKey> {
+        let dag = &self.asm.dag;
+        let src_node = dag.node(src_id);
+        let dst_node = dag.node(e.dst);
+        match e.op {
+            EdgeOp::M2M => Some(BatchKey::M2M {
+                level: dst_node.level,
+                octant: e.tag as u8,
+            }),
+            EdgeOp::L2L => Some(BatchKey::L2L {
+                level: dst_node.level,
+                octant: e.tag as u8,
+            }),
+            EdgeOp::M2L => {
+                let stree = self.problem.tree.source();
+                let ttree = self.problem.tree.target();
+                let o = ttree
+                    .node(dst_node.box_id)
+                    .key
+                    .offset(&stree.node(src_node.box_id).key);
+                Some(BatchKey::M2L {
+                    level: src_node.level,
+                    offset: (o.0 as i8, o.1 as i8, o.2 as i8),
+                })
+            }
+            EdgeOp::I2I => {
+                let (dir_idx, src_slot, _) = unpack_i2i(e.tag);
+                let level = if src_slot == 0 {
+                    src_node.level
+                } else {
+                    src_node.level + 1
+                };
+                let quarter = self.lib.tables(level).side() * 0.25;
+                let delta = self.center_of(dst_node.class, dst_node.box_id)
+                    - self.center_of(src_node.class, src_node.box_id);
+                let quant = |x: f64| (x / quarter).round() as i16;
+                Some(BatchKey::I2I {
+                    level,
+                    dir: dir_idx as u8,
+                    delta: (quant(delta.x), quant(delta.y), quant(delta.z)),
+                })
+            }
+            _ => None,
+        }
     }
 
     /// Data length (in `f64`s) of a node's LCO.
@@ -169,7 +279,11 @@ impl<K: Kernel> ExecCtx<K> {
         let tgt = self.problem.tree.target();
         let n = tgt.points().len();
         let mut pot = vec![0.0; n];
-        let mut grad = if self.gradients { Some(vec![[0.0; 3]; n]) } else { None };
+        let mut grad = if self.gradients {
+            Some(vec![[0.0; 3]; n])
+        } else {
+            None
+        };
         for (tbox, &tid) in self.asm.t_of.iter().enumerate() {
             if tid < 0 {
                 continue;
@@ -228,6 +342,9 @@ impl<K: Kernel> ExecCtx<K> {
         let dag = &self.asm.dag;
         let node = dag.node(id);
         let lcos = self.lcos.read();
+        // Source data shared between this node's batched edges, built
+        // lazily on the first deposit.
+        let mut shared: Option<Arc<[f64]>> = None;
         // (locality, edge flat indices)
         let mut remote: Vec<(u32, Vec<u32>)> = Vec::new();
         for (i, e) in dag.out_edges(id).iter().enumerate() {
@@ -238,7 +355,7 @@ impl<K: Kernel> ExecCtx<K> {
             }
             let dst_loc = lcos[e.dst as usize].locality;
             if dst_loc == ctx.locality {
-                self.apply_edge(ctx, id, e, data, &lcos);
+                self.apply_edge(ctx, id, e, data, &mut shared, &lcos);
             } else {
                 match remote.iter_mut().find(|(l, _)| *l == dst_loc) {
                     Some((_, v)) => v.push(node.first_edge + i as u32),
@@ -269,13 +386,16 @@ impl<K: Kernel> ExecCtx<K> {
         let mut edge_ids = Vec::with_capacity(n);
         for i in 0..n {
             let off = 8 + i * 4;
-            edge_ids.push(u32::from_le_bytes(payload[off..off + 4].try_into().unwrap()));
+            edge_ids.push(u32::from_le_bytes(
+                payload[off..off + 4].try_into().unwrap(),
+            ));
         }
-        let data = decode_f64s(&payload[8 + n * 4..]);
+        let data: Arc<[f64]> = decode_f64s(&payload[8 + n * 4..]).into();
+        let mut shared = Some(Arc::clone(&data));
         let lcos = self.lcos.read();
         for eid in edge_ids {
             let e = self.asm.dag.edges()[eid as usize];
-            self.apply_edge(ctx, id, &e, &data, &lcos);
+            self.apply_edge(ctx, id, &e, &data, &mut shared, &lcos);
         }
     }
 
@@ -289,12 +409,22 @@ impl<K: Kernel> ExecCtx<K> {
     }
 
     /// Apply one edge: transform `data` and set the destination LCO.
+    ///
+    /// The operators that share one matrix per (operator, level) —
+    /// `M→M`, `M→L`, `L→L`, `I→I` — are not applied here; they deposit
+    /// into this locality's [`EdgeBatcher`] and the whole batch is flushed
+    /// through the blocked multi-RHS path when full (or when its last
+    /// expected edge arrives).  Each batched contribution is bitwise
+    /// independent of which batch the edge lands in, so only the LCO
+    /// reduction *order* can differ — exactly the freedom concurrent
+    /// per-edge application already had.
     fn apply_edge(
         &self,
         ctx: &TaskCtx,
         src_id: u32,
         e: &DagEdge,
         data: &[f64],
+        shared: &mut Option<Arc<[f64]>>,
         lcos: &[GlobalAddress],
     ) {
         let dag = &self.asm.dag;
@@ -306,6 +436,40 @@ impl<K: Kernel> ExecCtx<K> {
         let stree = self.problem.tree.source();
         let ttree = self.problem.tree.target();
         let prio = self.class_priority(dst_node.class);
+        if let Some(key) = self.batch_key(src_id, e) {
+            let (off, len, slot) = if e.op == EdgeOp::I2I {
+                let (dir_idx, src_slot, dst_slot) = unpack_i2i(e.tag);
+                let layout = self.asm.is_layout[&src_id];
+                let (src_off, w) = if src_slot == 0 {
+                    (layout.own_offset(dir_idx), layout.own_w as usize)
+                } else {
+                    (layout.merged_offset(src_slot - 1), layout.merged_w as usize)
+                };
+                let slot = if dst_node.class == NodeClass::It {
+                    (dir_idx * w) as f64
+                } else {
+                    self.asm.is_layout[&e.dst].merged_offset(dst_slot) as f64
+                };
+                (src_off, w, slot)
+            } else {
+                (0, data.len(), 0.0)
+            };
+            let src = Arc::clone(shared.get_or_insert_with(|| Arc::from(data)));
+            let entry = BatchEntry {
+                src,
+                off,
+                len,
+                dst,
+                slot,
+            };
+            ctx.traced(e.op.index() as u8, || {
+                let ready = self.batchers.read()[ctx.locality as usize].deposit(key, entry);
+                if let Some(batch) = ready {
+                    self.flush_batch(ctx, key, &batch);
+                }
+            });
+            return;
+        }
         ctx.traced(e.op.index() as u8, || match e.op {
             EdgeOp::S2M => {
                 let sb = stree.node(src_node.box_id);
@@ -316,24 +480,8 @@ impl<K: Kernel> ExecCtx<K> {
                 ops::s2m(kernel, &t, stree.center_of(src_node.box_id), pts, q, &mut m);
                 ctx.lco_set_with_priority(dst, &m, prio);
             }
-            EdgeOp::M2M => {
-                let t = self.lib.tables(dst_node.level);
-                let mut out = vec![0.0; n];
-                t.m2m(e.tag as u8).matvec_acc(data, &mut out);
-                ctx.lco_set_with_priority(dst, &out, prio);
-            }
-            EdgeOp::M2L => {
-                let t = self.lib.tables(src_node.level);
-                let offset = ttree.node(dst_node.box_id).key.offset(&stree.node(src_node.box_id).key);
-                let mut out = vec![0.0; n];
-                ops::m2l(
-                    kernel,
-                    &t,
-                    (offset.0 as i8, offset.1 as i8, offset.2 as i8),
-                    data,
-                    &mut out,
-                );
-                ctx.lco_set_with_priority(dst, &out, prio);
+            EdgeOp::M2M | EdgeOp::M2L | EdgeOp::L2L | EdgeOp::I2I => {
+                unreachable!("batched operators are deposited above")
             }
             EdgeOp::M2I => {
                 let t = self.lib.tables(src_node.level);
@@ -343,33 +491,6 @@ impl<K: Kernel> ExecCtx<K> {
                     let off = 1 + d.index() * w;
                     ops::m2i(&t, d, data, &mut out[off..off + w]);
                 }
-                ctx.lco_set_with_priority(dst, &out, prio);
-            }
-            EdgeOp::I2I => {
-                let (dir_idx, src_slot, dst_slot) = unpack_i2i(e.tag);
-                let dir = dashmm_tree::Direction::ALL[dir_idx];
-                let layout = self.asm.is_layout[&src_id];
-                let (basis_level, src_off, w) = if src_slot == 0 {
-                    (src_node.level, layout.own_offset(dir_idx), layout.own_w as usize)
-                } else {
-                    (
-                        src_node.level + 1,
-                        layout.merged_offset(src_slot - 1),
-                        layout.merged_w as usize,
-                    )
-                };
-                let t = self.lib.tables(basis_level);
-                let delta = self.center_of(dst_node.class, dst_node.box_id)
-                    - self.center_of(src_node.class, src_node.box_id);
-                let fac = t.i2i(dir, delta);
-                let mut out = vec![0.0; 1 + w];
-                ops::i2i_apply(&fac, &data[src_off..src_off + w], &mut out[1..]);
-                // Destination slot offset.
-                out[0] = if dst_node.class == NodeClass::It {
-                    (dir_idx * w) as f64
-                } else {
-                    self.asm.is_layout[&e.dst].merged_offset(dst_slot) as f64
-                };
                 ctx.lco_set_with_priority(dst, &out, prio);
             }
             EdgeOp::I2L => {
@@ -382,19 +503,20 @@ impl<K: Kernel> ExecCtx<K> {
                 }
                 ctx.lco_set_with_priority(dst, &out, prio);
             }
-            EdgeOp::L2L => {
-                let t = self.lib.tables(dst_node.level);
-                let mut out = vec![0.0; n];
-                t.l2l(e.tag as u8).matvec_acc(data, &mut out);
-                ctx.lco_set_with_priority(dst, &out, prio);
-            }
             EdgeOp::S2L => {
                 let sb = stree.node(src_node.box_id);
                 let pts = stree.points_of(src_node.box_id);
                 let q = &self.charges[sb.first..sb.first + sb.count];
                 let t = self.lib.tables(dst_node.level);
                 let mut out = vec![0.0; n];
-                ops::s2l(kernel, &t, ttree.center_of(dst_node.box_id), pts, q, &mut out);
+                ops::s2l(
+                    kernel,
+                    &t,
+                    ttree.center_of(dst_node.box_id),
+                    pts,
+                    q,
+                    &mut out,
+                );
                 ctx.lco_set_with_priority(dst, &out, prio);
             }
             EdgeOp::L2T => {
@@ -438,6 +560,58 @@ impl<K: Kernel> ExecCtx<K> {
                     let mut out = vec![0.0; tpts.len()];
                     ops::p2p(kernel, spts, q, tpts, &mut out);
                     ctx.lco_set_with_priority(dst, &out, prio);
+                }
+            }
+        });
+    }
+
+    /// Apply one full batch of same-operator edges through the blocked
+    /// multi-RHS path and set every destination LCO.
+    fn flush_batch(&self, ctx: &TaskCtx, key: BatchKey, batch: &[BatchEntry]) {
+        BATCH_WS.with(|ws| {
+            let ws = &mut *ws.borrow_mut();
+            let refs: Vec<&[f64]> = batch.iter().map(|b| &b.src[b.off..b.off + b.len]).collect();
+            match key {
+                BatchKey::M2M { level, octant } => {
+                    let t = self.lib.tables(level);
+                    let prio = self.class_priority(NodeClass::M);
+                    opbatch::m2m_batch(&t, octant, &refs, ws, |i, col| {
+                        ctx.lco_set_with_priority(batch[i].dst, col, prio);
+                    });
+                }
+                BatchKey::L2L { level, octant } => {
+                    let t = self.lib.tables(level);
+                    let prio = self.class_priority(NodeClass::L);
+                    opbatch::l2l_batch(&t, octant, &refs, ws, |i, col| {
+                        ctx.lco_set_with_priority(batch[i].dst, col, prio);
+                    });
+                }
+                BatchKey::M2L { level, offset } => {
+                    let t = self.lib.tables(level);
+                    let prio = self.class_priority(NodeClass::L);
+                    opbatch::m2l_batch(self.lib.kernel(), &t, offset, &refs, ws, |i, col| {
+                        ctx.lco_set_with_priority(batch[i].dst, col, prio);
+                    });
+                }
+                BatchKey::I2I { level, dir, delta } => {
+                    let t = self.lib.tables(level);
+                    let quarter = t.side() * 0.25;
+                    let d = dashmm_tree::Direction::ALL[dir as usize];
+                    let delta = Point3::new(
+                        delta.0 as f64 * quarter,
+                        delta.1 as f64 * quarter,
+                        delta.2 as f64 * quarter,
+                    );
+                    let fac = t.i2i(d, delta);
+                    let prio = self.class_priority(NodeClass::Is);
+                    let mut out: Vec<f64> = Vec::new();
+                    opbatch::i2i_batch(&fac, &refs, ws, |i, col| {
+                        out.clear();
+                        out.reserve(1 + col.len());
+                        out.push(batch[i].slot);
+                        out.extend_from_slice(col);
+                        ctx.lco_set_with_priority(batch[i].dst, &out, prio);
+                    });
                 }
             }
         });

@@ -55,9 +55,21 @@ mod tests {
     fn averages_per_class() {
         let mut t = TraceSet::new(1);
         t.push_worker(vec![
-            TraceEvent { class: 0, start_ns: 0, end_ns: 2000 },
-            TraceEvent { class: 0, start_ns: 0, end_ns: 4000 },
-            TraceEvent { class: 3, start_ns: 0, end_ns: 1000 },
+            TraceEvent {
+                class: 0,
+                start_ns: 0,
+                end_ns: 2000,
+            },
+            TraceEvent {
+                class: 0,
+                start_ns: 0,
+                end_ns: 4000,
+            },
+            TraceEvent {
+                class: 3,
+                start_ns: 0,
+                end_ns: 1000,
+            },
         ]);
         let avg = per_op_avg_us(&t);
         assert!((avg[0] - 3.0).abs() < 1e-12);

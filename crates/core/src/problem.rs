@@ -61,9 +61,17 @@ impl Problem {
         assert_eq!(sources.len(), charges.len(), "one charge per source");
         assert!(!targets.is_empty(), "at least one target required");
         let tree = DualTree::build(sources, targets, params);
-        let permuted: Vec<f64> =
-            tree.source().permutation().iter().map(|&i| charges[i as usize]).collect();
-        Problem { tree, charges: permuted, n_targets: targets.len() }
+        let permuted: Vec<f64> = tree
+            .source()
+            .permutation()
+            .iter()
+            .map(|&i| charges[i as usize])
+            .collect();
+        Problem {
+            tree,
+            charges: permuted,
+            n_targets: targets.len(),
+        }
     }
 
     /// Scatter Morton-ordered potentials back to the original target order.
@@ -94,7 +102,10 @@ mod tests {
     fn method_parsing() {
         assert_eq!(Method::parse("fmm-ms"), Some(Method::AdvancedFmm));
         assert_eq!(Method::parse("basic"), Some(Method::BasicFmm));
-        assert!(matches!(Method::parse("bh"), Some(Method::BarnesHut { .. })));
+        assert!(matches!(
+            Method::parse("bh"),
+            Some(Method::BarnesHut { .. })
+        ));
         assert_eq!(Method::parse("pm"), None);
         assert!(Method::AdvancedFmm.uses_planewave());
         assert!(!Method::BasicFmm.uses_planewave());

@@ -70,7 +70,9 @@ pub struct FmmPolicy {
 
 impl Default for FmmPolicy {
     fn default() -> Self {
-        FmmPolicy { it_placement: ItPlacement::MajorityInput }
+        FmmPolicy {
+            it_placement: ItPlacement::MajorityInput,
+        }
     }
 }
 
@@ -102,8 +104,7 @@ impl DistributionPolicy for FmmPolicy {
                     // Out-edges of the It node itself also pin it: bytes it
                     // will send to its consumers count toward their owner.
                     if let Some(&w) = it_index.get(&i) {
-                        *weight[w].entry(dag.node(e.dst).locality).or_insert(0) +=
-                            e.bytes as u64;
+                        *weight[w].entry(dag.node(e.dst).locality).or_insert(0) += e.bytes as u64;
                     }
                 }
             }
@@ -206,7 +207,10 @@ mod tests {
         // count is higher — communication volume is what the policy trades.
         let remote_majority = d.remote_bytes();
         let mut d2 = sample();
-        FmmPolicy { it_placement: ItPlacement::TargetOwner }.assign(&mut d2, 2, &owner);
+        FmmPolicy {
+            it_placement: ItPlacement::TargetOwner,
+        }
+        .assign(&mut d2, 2, &owner);
         assert_eq!(d2.node(2).locality, 1);
         assert!(remote_majority < d2.remote_bytes());
     }

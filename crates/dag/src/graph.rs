@@ -23,8 +23,14 @@ pub enum NodeClass {
 
 impl NodeClass {
     /// All classes in the paper's Table I order.
-    pub const ALL: [NodeClass; 6] =
-        [NodeClass::S, NodeClass::M, NodeClass::Is, NodeClass::It, NodeClass::L, NodeClass::T];
+    pub const ALL: [NodeClass; 6] = [
+        NodeClass::S,
+        NodeClass::M,
+        NodeClass::Is,
+        NodeClass::It,
+        NodeClass::L,
+        NodeClass::T,
+    ];
 
     /// Index in `0..6` (Table I order).
     pub fn index(self) -> usize {
@@ -198,7 +204,9 @@ impl Dag {
 
     /// Ids of nodes with no inputs (the ready seeds of an evaluation).
     pub fn sources(&self) -> Vec<u32> {
-        (0..self.nodes.len() as u32).filter(|&i| self.node(i).in_degree == 0).collect()
+        (0..self.nodes.len() as u32)
+            .filter(|&i| self.node(i).in_degree == 0)
+            .collect()
     }
 
     /// Mutable locality assignment (used by distribution policies).
@@ -261,8 +269,9 @@ impl Dag {
             }
         }
         // Kahn's algorithm for acyclicity.
-        let mut ready: Vec<u32> =
-            (0..self.nodes.len() as u32).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut ready: Vec<u32> = (0..self.nodes.len() as u32)
+            .filter(|&i| indeg[i as usize] == 0)
+            .collect();
         let mut seen = 0usize;
         while let Some(id) = ready.pop() {
             seen += 1;
@@ -274,7 +283,11 @@ impl Dag {
             }
         }
         if seen != self.nodes.len() {
-            return Err(format!("cycle detected: {} of {} nodes ordered", seen, self.nodes.len()));
+            return Err(format!(
+                "cycle detected: {} of {} nodes ordered",
+                seen,
+                self.nodes.len()
+            ));
         }
         Ok(())
     }
@@ -284,8 +297,9 @@ impl Dag {
     pub fn critical_path_len(&self) -> usize {
         let mut indeg: Vec<u32> = self.nodes.iter().map(|n| n.in_degree).collect();
         let mut depth = vec![0usize; self.nodes.len()];
-        let mut ready: Vec<u32> =
-            (0..self.nodes.len() as u32).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut ready: Vec<u32> = (0..self.nodes.len() as u32)
+            .filter(|&i| indeg[i as usize] == 0)
+            .collect();
         let mut longest = 0;
         while let Some(id) = ready.pop() {
             let d = depth[id as usize];
@@ -337,7 +351,12 @@ impl DagBuilder {
     pub fn add_edge(&mut self, src: u32, op: EdgeOp, dst: u32, bytes: u32, tag: u32) {
         debug_assert!((src as usize) < self.nodes.len());
         debug_assert!((dst as usize) < self.nodes.len());
-        self.adj[src as usize].push(DagEdge { op, dst, bytes, tag });
+        self.adj[src as usize].push(DagEdge {
+            op,
+            dst,
+            bytes,
+            tag,
+        });
         self.nodes[dst as usize].in_degree += 1;
     }
 
@@ -356,7 +375,10 @@ impl DagBuilder {
             self.nodes[i].out_degree = out.len() as u32;
             edges.append(&mut out);
         }
-        Dag { nodes: self.nodes, edges }
+        Dag {
+            nodes: self.nodes,
+            edges,
+        }
     }
 }
 
@@ -442,7 +464,7 @@ mod tests {
         let mut d = diamond();
         assert_eq!(d.remote_edge_count(), 0);
         d.set_locality(1, 1); // M on another locality
-        // S→M, M→L, M→It become remote.
+                              // S→M, M→L, M→It become remote.
         assert_eq!(d.remote_edge_count(), 3);
     }
 

@@ -94,9 +94,8 @@ impl DagStats {
 
     /// Render the Table-I-shaped node table.
     pub fn node_table(&self) -> String {
-        let mut out = String::from(
-            "Type        Count     Size [B]        din min/max    dout min/max\n",
-        );
+        let mut out =
+            String::from("Type        Count     Size [B]        din min/max    dout min/max\n");
         for c in NodeClass::ALL {
             let s = self.nodes[c.index()];
             if s.count == 0 {

@@ -1,0 +1,279 @@
+//! Batched application of translation operators.
+//!
+//! The evaluation DAG applies one per-level operator matrix to many
+//! independent edges.  These entry points gather the edges' source
+//! expansions into a column panel, run one blocked multi-RHS product
+//! ([`dashmm_linalg::Matrix::matvec_batch_acc`]), and hand each output
+//! column to a caller-supplied sink for scatter into the destination
+//! accumulators.
+//!
+//! Determinism contract: every output column is computed from a zeroed
+//! accumulator by an ascending-`k` contraction that does not depend on the
+//! batch's width or composition, so each edge's contribution is **bitwise
+//! identical no matter how the runtime groups edges into batches** — the
+//! invariant the edge batcher relies on.  Relative to the per-edge path
+//! (`matvec_into` for the dense operators, [`ops::i2i_apply`] for the
+//! diagonal one) the results are bitwise equal under the portable GEMM
+//! kernel and differ only by the fused rounding of each multiply-add
+//! (O(ulp), deterministic per machine) when the AVX2+FMA register-tiled
+//! kernel is active; see `dashmm_linalg`'s `gemm` module docs.
+
+use dashmm_kernels::Kernel;
+use dashmm_linalg::Matrix;
+
+use crate::ops;
+use crate::tables::LevelTables;
+
+/// Reusable gather/result buffers for batched operator application.
+///
+/// One workspace per worker thread avoids both allocation on the hot path
+/// and false sharing between workers.
+#[derive(Default)]
+pub struct BatchWorkspace {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl BatchWorkspace {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gather `srcs` into the column panel, run `ys = op · xs`, and pass
+    /// each output column to `sink(edge_index, column)`.
+    fn run(&mut self, op: &Matrix, srcs: &[&[f64]], sink: &mut dyn FnMut(usize, &[f64])) {
+        let (m, k) = (op.rows(), op.cols());
+        let n = srcs.len();
+        self.xs.clear();
+        self.xs.reserve(k * n);
+        for s in srcs {
+            assert_eq!(s.len(), k, "source expansion length must equal op.cols()");
+            self.xs.extend_from_slice(s);
+        }
+        self.ys.clear();
+        self.ys.resize(m * n, 0.0);
+        op.matvec_batch_acc(&self.xs, &mut self.ys);
+        for (j, col) in self.ys.chunks_exact(m).enumerate() {
+            sink(j, col);
+        }
+    }
+}
+
+/// Batched `M→L`: apply one cached same-offset translation matrix to many
+/// source multipoles.  `sink(i, col)` receives edge `i`'s contribution to
+/// its target local expansion (caller scatter-adds).
+pub fn m2l_batch<K: Kernel>(
+    kernel: &K,
+    t: &LevelTables,
+    offset: (i8, i8, i8),
+    srcs: &[&[f64]],
+    ws: &mut BatchWorkspace,
+    mut sink: impl FnMut(usize, &[f64]),
+) {
+    if srcs.is_empty() {
+        return;
+    }
+    let op = t.m2l(kernel, offset);
+    ws.run(&op, srcs, &mut sink);
+}
+
+/// Batched `M→M`: one child octant's shift matrix applied to many child
+/// multipoles.  `t` is the *parent* level's tables.
+pub fn m2m_batch(
+    t: &LevelTables,
+    octant: u8,
+    srcs: &[&[f64]],
+    ws: &mut BatchWorkspace,
+    mut sink: impl FnMut(usize, &[f64]),
+) {
+    if srcs.is_empty() {
+        return;
+    }
+    ws.run(t.m2m(octant), srcs, &mut sink);
+}
+
+/// Batched `L→L`: one octant's push-down matrix applied to many parent
+/// locals.  `t` is the *child* level's tables.
+pub fn l2l_batch(
+    t: &LevelTables,
+    octant: u8,
+    srcs: &[&[f64]],
+    ws: &mut BatchWorkspace,
+    mut sink: impl FnMut(usize, &[f64]),
+) {
+    if srcs.is_empty() {
+        return;
+    }
+    ws.run(t.l2l(octant), srcs, &mut sink);
+}
+
+/// Batched `I→I`: apply one cached diagonal factor vector to many
+/// plane-wave coefficient vectors.  The diagonal operator has no GEMM to
+/// win, but batching amortises the factor-cache lookup and keeps `fac`
+/// cache-hot across edges.
+pub fn i2i_batch(
+    fac: &[f64],
+    srcs: &[&[f64]],
+    ws: &mut BatchWorkspace,
+    mut sink: impl FnMut(usize, &[f64]),
+) {
+    let m = fac.len();
+    ws.ys.clear();
+    ws.ys.resize(m, 0.0);
+    for (j, s) in srcs.iter().enumerate() {
+        ws.ys.fill(0.0);
+        ops::i2i_apply(fac, s, &mut ws.ys);
+        sink(j, &ws.ys);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::AccuracyParams;
+    use dashmm_kernels::Laplace;
+    use dashmm_tree::{Direction, Point3};
+
+    fn tables(pw: bool) -> LevelTables {
+        LevelTables::build(&Laplace, &AccuracyParams::three_digit(), 3, 0.5, pw)
+    }
+
+    fn sources(n: usize, len: usize, salt: u64) -> Vec<Vec<f64>> {
+        let mut state = salt.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n)
+            .map(|_| (0..len).map(|_| next() * 3.0).collect())
+            .collect()
+    }
+
+    fn assert_cols_close(got: &[f64], want: &[f64], what: &str) {
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            let scale = 1.0_f64.max(w.abs());
+            assert!((g - w).abs() <= 1e-13 * scale, "{what}[{i}]: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn m2l_batch_matches_per_edge_to_rounding() {
+        let t = tables(false);
+        let k = Laplace;
+        let offset = (2i8, -1i8, 0i8);
+        let n = t.expansion_len();
+        let srcs = sources(11, n, 1);
+        let refs: Vec<&[f64]> = srcs.iter().map(|s| s.as_slice()).collect();
+        let mut ws = BatchWorkspace::new();
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); srcs.len()];
+        m2l_batch(&k, &t, offset, &refs, &mut ws, |i, col| {
+            cols[i] = col.to_vec()
+        });
+        let op = t.m2l(&k, offset);
+        for (s, col) in srcs.iter().zip(&cols) {
+            let mut want = vec![0.0; n];
+            op.matvec_into(s, &mut want);
+            assert_cols_close(col, &want, "m2l");
+        }
+    }
+
+    #[test]
+    fn m2l_batch_composition_is_bitwise_invariant() {
+        let t = tables(false);
+        let k = Laplace;
+        let offset = (3i8, 0i8, -1i8);
+        let n = t.expansion_len();
+        let srcs = sources(13, n, 4);
+        let refs: Vec<&[f64]> = srcs.iter().map(|s| s.as_slice()).collect();
+        let mut ws = BatchWorkspace::new();
+        let mut whole: Vec<Vec<f64>> = vec![Vec::new(); srcs.len()];
+        m2l_batch(&k, &t, offset, &refs, &mut ws, |i, col| {
+            whole[i] = col.to_vec()
+        });
+        for split in [1usize, 2, 5, 8] {
+            let mut pieces: Vec<Vec<f64>> = vec![Vec::new(); srcs.len()];
+            let mut start = 0;
+            while start < refs.len() {
+                let end = (start + split).min(refs.len());
+                m2l_batch(&k, &t, offset, &refs[start..end], &mut ws, |i, col| {
+                    pieces[start + i] = col.to_vec()
+                });
+                start = end;
+            }
+            assert_eq!(whole, pieces, "split={split}");
+        }
+    }
+
+    #[test]
+    fn m2m_and_l2l_batch_match_per_edge_to_rounding() {
+        let t = tables(false);
+        let n = t.expansion_len();
+        let srcs = sources(9, n, 2);
+        let refs: Vec<&[f64]> = srcs.iter().map(|s| s.as_slice()).collect();
+        let mut ws = BatchWorkspace::new();
+        for oct in [0u8, 5, 7] {
+            let mut cols: Vec<Vec<f64>> = vec![Vec::new(); srcs.len()];
+            m2m_batch(&t, oct, &refs, &mut ws, |i, col| cols[i] = col.to_vec());
+            for (s, col) in srcs.iter().zip(&cols) {
+                let mut want = vec![0.0; n];
+                t.m2m(oct).matvec_into(s, &mut want);
+                assert_cols_close(col, &want, &format!("m2m octant {oct}"));
+            }
+            let mut cols: Vec<Vec<f64>> = vec![Vec::new(); srcs.len()];
+            l2l_batch(&t, oct, &refs, &mut ws, |i, col| cols[i] = col.to_vec());
+            for (s, col) in srcs.iter().zip(&cols) {
+                let mut want = vec![0.0; n];
+                t.l2l(oct).matvec_into(s, &mut want);
+                assert_cols_close(col, &want, &format!("l2l octant {oct}"));
+            }
+        }
+    }
+
+    #[test]
+    fn i2i_batch_bitwise_matches_per_edge() {
+        let t = tables(true);
+        let side = t.side();
+        let fac = t.i2i(Direction::Up, Point3::new(side, 0.0, 2.0 * side));
+        let srcs = sources(6, t.planewave_len(), 3);
+        let refs: Vec<&[f64]> = srcs.iter().map(|s| s.as_slice()).collect();
+        let mut ws = BatchWorkspace::new();
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); srcs.len()];
+        i2i_batch(&fac, &refs, &mut ws, |i, col| cols[i] = col.to_vec());
+        for (s, col) in srcs.iter().zip(&cols) {
+            let mut want = vec![0.0; t.planewave_len()];
+            ops::i2i_apply(&fac, s, &mut want);
+            assert_eq!(col, &want);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let t = tables(false);
+        let mut ws = BatchWorkspace::new();
+        let mut called = false;
+        m2l_batch(&Laplace, &t, (2, 0, 0), &[], &mut ws, |_, _| called = true);
+        m2m_batch(&t, 0, &[], &mut ws, |_, _| called = true);
+        l2l_batch(&t, 0, &[], &mut ws, |_, _| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_shapes() {
+        let t = tables(false);
+        let n = t.expansion_len();
+        let mut ws = BatchWorkspace::new();
+        for count in [1usize, 9, 3] {
+            let srcs = sources(count, n, count as u64);
+            let refs: Vec<&[f64]> = srcs.iter().map(|s| s.as_slice()).collect();
+            let mut seen = 0;
+            m2m_batch(&t, 2, &refs, &mut ws, |_, col| {
+                assert_eq!(col.len(), n);
+                seen += 1;
+            });
+            assert_eq!(seen, count);
+        }
+    }
+}

@@ -23,13 +23,21 @@
 //!
 //! All operators of Figure 1c are provided: `S→M`, `M→M`, `M→L`, `L→L`,
 //! `S→L`, `M→T`, `L→T`, `S→T` plus the advanced `M→I`, `I→I`, `I→L`.
+//!
+//! The [`batch`] module adds multi-edge entry points (`m2l_batch`,
+//! `m2m_batch`, `l2l_batch`, `i2i_batch`) that apply one shared operator
+//! matrix to many edges through a single blocked GEMM; each edge's
+//! contribution is bitwise independent of how the runtime groups edges
+//! into batches, and matches the per-edge loop to rounding (see `batch`).
 
+pub mod batch;
 pub mod library;
 pub mod ops;
 pub mod params;
 pub mod surface;
 pub mod tables;
 
+pub use batch::BatchWorkspace;
 pub use library::OperatorLibrary;
 pub use params::AccuracyParams;
 pub use surface::surface_lattice;

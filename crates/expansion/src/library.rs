@@ -113,8 +113,14 @@ mod tests {
         let t4 = lib.tables(4);
         let k2 = t2.quad().unwrap().spec().kappa;
         let k4 = t4.quad().unwrap().spec().kappa;
-        assert!((k2 - 1.0).abs() < 1e-12, "level 2 side 0.5 → κ̂ = 1, got {k2}");
-        assert!((k4 - 0.25).abs() < 1e-12, "level 4 side 0.125 → κ̂ = 0.25, got {k4}");
+        assert!(
+            (k2 - 1.0).abs() < 1e-12,
+            "level 2 side 0.5 → κ̂ = 1, got {k2}"
+        );
+        assert!(
+            (k4 - 0.25).abs() < 1e-12,
+            "level 4 side 0.125 → κ̂ = 0.25, got {k4}"
+        );
     }
 
     #[test]

@@ -314,8 +314,7 @@ mod tests {
     fn m2m_preserves_far_field() {
         let k = Laplace;
         let parent_t = tb(&k, false);
-        let child_t =
-            LevelTables::build(&k, &AccuracyParams::three_digit(), 4, SIDE * 0.5, false);
+        let child_t = LevelTables::build(&k, &AccuracyParams::three_digit(), 4, SIDE * 0.5, false);
         let pc = Point3::new(0.0, 0.0, 0.0);
         // Sources in child octant 5 (x+, y-, z+).
         let cc = pc + crate::tables::octant_offset(5, SIDE * 0.25);
@@ -368,8 +367,7 @@ mod tests {
     fn l2l_preserves_local_field() {
         let k = Laplace;
         let parent_t = tb(&k, false);
-        let child_t =
-            LevelTables::build(&k, &AccuracyParams::three_digit(), 4, SIDE * 0.5, false);
+        let child_t = LevelTables::build(&k, &AccuracyParams::three_digit(), 4, SIDE * 0.5, false);
         let pc = Point3::ZERO;
         // Far sources: ≥ 3 parent-halves away from the parent center.
         let far_c = Point3::new(2.5 * SIDE, 0.0, -2.0 * SIDE);
@@ -502,7 +500,13 @@ mod tests {
         let qsum: f64 = q.iter().map(|x| x.abs()).sum();
         for (i, tp) in tgt.iter().enumerate() {
             let want = direct(&k, &src, &q, tp);
-            check_err(out[i], want, qsum * k.eval(SIDE), 3e-3, &format!("s2l t{i}"));
+            check_err(
+                out[i],
+                want,
+                qsum * k.eval(SIDE),
+                3e-3,
+                &format!("s2l t{i}"),
+            );
         }
     }
 

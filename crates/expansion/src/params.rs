@@ -83,14 +83,23 @@ mod tests {
     fn surfaces_nested() {
         let a = AccuracyParams::default();
         assert!(a.inner_scale > 1.0, "equivalent surface must clear the box");
-        assert!(a.outer_scale < 3.0, "check surface must stay inside the near region");
+        assert!(
+            a.outer_scale < 3.0,
+            "check surface must stay inside the near region"
+        );
         assert!(a.inner_scale < a.outer_scale);
     }
 
     #[test]
     fn parse_presets() {
-        assert_eq!(AccuracyParams::parse("3"), Some(AccuracyParams::three_digit()));
-        assert_eq!(AccuracyParams::parse("six"), Some(AccuracyParams::six_digit()));
+        assert_eq!(
+            AccuracyParams::parse("3"),
+            Some(AccuracyParams::three_digit())
+        );
+        assert_eq!(
+            AccuracyParams::parse("six"),
+            Some(AccuracyParams::six_digit())
+        );
         assert_eq!(AccuracyParams::parse("9"), None);
     }
 }

@@ -60,7 +60,10 @@ mod tests {
     fn all_points_on_boundary() {
         let r = 1.3;
         for p in surface_lattice(5, r) {
-            assert!((p.norm_max() - r).abs() < 1e-12, "point {p:?} not on boundary");
+            assert!(
+                (p.norm_max() - r).abs() < 1e-12,
+                "point {p:?} not on boundary"
+            );
         }
     }
 

@@ -271,7 +271,10 @@ impl LevelTables {
             offset.2 as f64 * self.side,
         );
         let shifted: Vec<Point3> = self.ue_pts.iter().map(|p| *p + shift).collect();
-        let m = Arc::new(self.dc2de.matmul(&eval_matrix(kernel, &self.dc_pts, &shifted)));
+        let m = Arc::new(
+            self.dc2de
+                .matmul(&eval_matrix(kernel, &self.dc_pts, &shifted)),
+        );
         self.m2l_cache.lock().insert(offset, m.clone());
         m
     }
@@ -291,7 +294,12 @@ impl LevelTables {
             );
             r as i16
         };
-        let key = (d.index() as u8, quant(delta.x), quant(delta.y), quant(delta.z));
+        let key = (
+            d.index() as u8,
+            quant(delta.x),
+            quant(delta.y),
+            quant(delta.z),
+        );
         if let Some(v) = self.i2i_cache.lock().get(&key) {
             return v.clone();
         }
@@ -330,7 +338,9 @@ pub fn octant_offset(oct: usize, child_h: f64) -> Point3 {
 
 /// Kernel evaluation matrix `A[i][j] = K(|rows[i] − cols[j]|)`.
 pub fn eval_matrix<K: Kernel>(kernel: &K, rows: &[Point3], cols: &[Point3]) -> Matrix {
-    Matrix::from_fn(rows.len(), cols.len(), |i, j| kernel.eval(rows[i].dist(&cols[j])))
+    Matrix::from_fn(rows.len(), cols.len(), |i, j| {
+        kernel.eval(rows[i].dist(&cols[j]))
+    })
 }
 
 #[cfg(test)]

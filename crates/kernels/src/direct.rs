@@ -40,7 +40,9 @@ pub fn direct_sum<K: Kernel>(
 ) -> Vec<f64> {
     assert_eq!(sources.len(), charges.len(), "one charge per source");
     let nthreads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
         threads
     };

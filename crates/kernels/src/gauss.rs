@@ -80,8 +80,8 @@ mod tests {
         // n-point rule integrates x^(2n-1) exactly.
         for n in [2usize, 4, 8] {
             let deg = 2 * n - 1;
-            let exact = (1.0f64.powi(deg as i32 + 1) - (-1.0f64).powi(deg as i32 + 1))
-                / (deg as f64 + 1.0);
+            let exact =
+                (1.0f64.powi(deg as i32 + 1) - (-1.0f64).powi(deg as i32 + 1)) / (deg as f64 + 1.0);
             let got = integrate(n, -1.0, 1.0, |x| x.powi(deg as i32));
             assert!((got - exact).abs() < 1e-13, "n={n}");
         }

@@ -205,7 +205,10 @@ mod tests {
     fn kind_parsing() {
         assert_eq!(KernelKind::parse("laplace"), Some(KernelKind::Laplace));
         assert_eq!(KernelKind::parse("yukawa"), Some(KernelKind::Yukawa(1.0)));
-        assert_eq!(KernelKind::parse("yukawa:2.5"), Some(KernelKind::Yukawa(2.5)));
+        assert_eq!(
+            KernelKind::parse("yukawa:2.5"),
+            Some(KernelKind::Yukawa(2.5))
+        );
         assert_eq!(KernelKind::parse("coulomb"), None);
     }
 }

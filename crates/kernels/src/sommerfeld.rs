@@ -53,7 +53,13 @@ impl QuadSpec {
     /// surface points up to `0.525` sides from the box centers, so the
     /// region is padded accordingly (z ∈ [0.9, 4.1], ρ ≤ 4.1·√2).
     pub fn for_l2(eps: f64, kappa: f64) -> Self {
-        QuadSpec { eps, z_min: 0.9, z_max: 4.1, rho_max: 4.1 * std::f64::consts::SQRT_2, kappa }
+        QuadSpec {
+            eps,
+            z_min: 0.9,
+            z_max: 4.1,
+            rho_max: 4.1 * std::f64::consts::SQRT_2,
+            kappa,
+        }
     }
 
     /// Exact kernel in normalised coordinates.
@@ -141,8 +147,9 @@ impl PlaneWaveQuad {
         // Panel edges: uniform, plus an edge pinned at λ = κ — the Yukawa
         // weight λ/√(λ²+κ²) changes character there, and Gauss–Legendre
         // converges poorly across that scale when it sits mid-panel.
-        let mut edges: Vec<f64> =
-            (0..=n_panels).map(|p| p as f64 * lam_max / n_panels as f64).collect();
+        let mut edges: Vec<f64> = (0..=n_panels)
+            .map(|p| p as f64 * lam_max / n_panels as f64)
+            .collect();
         if spec.kappa > 0.0 && spec.kappa < lam_max {
             edges.push(spec.kappa);
             edges.sort_by(f64::total_cmp);
@@ -178,7 +185,15 @@ impl PlaneWaveQuad {
                 }
             }
         }
-        PlaneWaveQuad { spec, lambda, s, w, cos_a, sin_a, validated_error: f64::NAN }
+        PlaneWaveQuad {
+            spec,
+            lambda,
+            s,
+            w,
+            cos_a,
+            sin_a,
+            validated_error: f64::NAN,
+        }
     }
 
     /// Number of exponential basis terms (the length of an intermediate
@@ -220,8 +235,9 @@ impl PlaneWaveQuad {
         // The trapezoid-in-α discretisation makes the error azimuthally
         // structured; sweep the full quadrant (the rule has 4-fold + mirror
         // symmetry in α) rather than a few spot angles.
-        let angles: Vec<f64> =
-            (0..8).map(|i| std::f64::consts::FRAC_PI_2 * i as f64 / 7.0).collect();
+        let angles: Vec<f64> = (0..8)
+            .map(|i| std::f64::consts::FRAC_PI_2 * i as f64 / 7.0)
+            .collect();
         for iz in 0..=zs {
             let z = spec.z_min + (spec.z_max - spec.z_min) * iz as f64 / zs as f64;
             for ir in 0..=rs {
@@ -322,6 +338,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn absurd_spec_rejected() {
-        let _ = PlaneWaveQuad::build(QuadSpec { eps: 0.9, ..QuadSpec::for_l2(1e-3, 0.0) });
+        let _ = PlaneWaveQuad::build(QuadSpec {
+            eps: 0.9,
+            ..QuadSpec::for_l2(1e-3, 0.0)
+        });
     }
 }

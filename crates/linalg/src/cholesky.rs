@@ -105,7 +105,12 @@ mod tests {
         let f = cholesky(&a).unwrap();
         f.solve_in_place(&mut b);
         for i in 0..20 {
-            assert!((b[i] - x[i]).abs() < 1e-9, "component {i}: {} vs {}", b[i], x[i]);
+            assert!(
+                (b[i] - x[i]).abs() < 1e-9,
+                "component {i}: {} vs {}",
+                b[i],
+                x[i]
+            );
         }
     }
 

@@ -8,6 +8,11 @@
 //!
 //! * [`Matrix`] — a column-major dense matrix of `f64` with the usual
 //!   products and slicing helpers,
+//! * [`gemm_acc_panels`] / [`Matrix::matvec_batch_acc`] — a blocked
+//!   multi-RHS kernel (register-tiled AVX2+FMA when the CPU has it, a
+//!   portable panel kernel otherwise) whose per-column results are bitwise
+//!   independent of how edges are grouped into panels (see `gemm.rs` for
+//!   the determinism contract the batched operator path relies on),
 //! * [`cholesky`] / [`CholeskyFactor`] — SPD factorisation and solves,
 //! * [`svd_jacobi`] — a one-sided Jacobi SVD, accurate for the small
 //!   (≲ 1000²) operator matrices used here,
@@ -19,9 +24,11 @@
 //! buffers so the evaluation phase of the FMM performs no heap traffic.
 
 mod cholesky;
+mod gemm;
 mod matrix;
 mod svd;
 
 pub use cholesky::{cholesky, CholeskyFactor};
+pub use gemm::{fma_kernel_active, gemm_acc_panels, gemm_acc_portable, NR};
 pub use matrix::Matrix;
 pub use svd::{pinv, pinv_tikhonov, svd_jacobi, Svd};

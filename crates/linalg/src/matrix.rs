@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// Create a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create the `n × n` identity matrix.
@@ -90,23 +94,11 @@ impl Matrix {
         Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
     }
 
-    /// Dense product `self * other`.
+    /// Dense product `self * other`, via the blocked multi-RHS kernel.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for j in 0..other.cols {
-            let bcol = other.col(j);
-            let ocol = out.col_mut(j);
-            for (k, &bkj) in bcol.iter().enumerate() {
-                if bkj == 0.0 {
-                    continue;
-                }
-                let acol = self.col(k);
-                for i in 0..self.rows {
-                    ocol[i] += acol[i] * bkj;
-                }
-            }
-        }
+        crate::gemm::gemm_acc_panels(self, other.data(), out.data_mut());
         out
     }
 
@@ -165,21 +157,43 @@ impl Matrix {
     /// `self + other`.
     pub fn add(&self, other: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// `self - other`.
     pub fn sub(&self, other: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scale every entry by `s`.
     pub fn scale(&self, s: f64) -> Matrix {
         let data = self.data.iter().map(|a| a * s).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 

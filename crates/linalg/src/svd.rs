@@ -29,7 +29,11 @@ pub struct Svd {
 pub fn svd_jacobi(a: &Matrix) -> Svd {
     if a.rows() < a.cols() {
         let s = svd_jacobi(&a.transpose());
-        return Svd { u: s.v, sigma: s.sigma, v: s.u };
+        return Svd {
+            u: s.v,
+            sigma: s.sigma,
+            v: s.u,
+        };
     }
     let m = a.rows();
     let n = a.cols();
@@ -92,7 +96,11 @@ pub fn svd_jacobi(a: &Matrix) -> Svd {
             vs[(i, dst)] = v[(i, src)];
         }
     }
-    Svd { u: us, sigma, v: vs }
+    Svd {
+        u: us,
+        sigma,
+        v: vs,
+    }
 }
 
 fn rotate_cols(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
@@ -123,13 +131,7 @@ pub fn pinv_tikhonov(a: &Matrix, rel_alpha: f64) -> Matrix {
     let svd = svd_jacobi(a);
     let smax = svd.sigma.first().copied().unwrap_or(0.0);
     let alpha2 = (rel_alpha * smax) * (rel_alpha * smax);
-    filtered_inverse(&svd, |s| {
-        if s > 0.0 {
-            s / (s * s + alpha2)
-        } else {
-            0.0
-        }
-    })
+    filtered_inverse(&svd, |s| if s > 0.0 { s / (s * s + alpha2) } else { 0.0 })
 }
 
 fn filtered_inverse(svd: &Svd, f: impl Fn(f64) -> f64) -> Matrix {

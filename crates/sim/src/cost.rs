@@ -33,12 +33,18 @@ impl CostModel {
         op_us[EdgeOp::M2L.index()] = 9.5;
         op_us[EdgeOp::S2L.index()] = 10.9;
         op_us[EdgeOp::M2T.index()] = 13.5;
-        CostModel { op_us, task_overhead_us: 1.0 }
+        CostModel {
+            op_us,
+            task_overhead_us: 1.0,
+        }
     }
 
     /// A model from measured per-operator timings (µs).
     pub fn measured(op_us: [f64; 11], task_overhead_us: f64) -> Self {
-        CostModel { op_us, task_overhead_us }
+        CostModel {
+            op_us,
+            task_overhead_us,
+        }
     }
 
     /// Scale all operator costs (the paper's grain-size contrast: Yukawa

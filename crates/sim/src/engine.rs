@@ -180,10 +180,10 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
     let mut evs: Vec<Option<Ev>> = Vec::new();
     let mut seq = 0u64;
     let push = |heap: &mut BinaryHeap<(Reverse<Key>, usize)>,
-                    evs: &mut Vec<Option<Ev>>,
-                    seq: &mut u64,
-                    t: f64,
-                    ev: Ev| {
+                evs: &mut Vec<Option<Ev>>,
+                seq: &mut u64,
+                t: f64,
+                ev: Ev| {
         evs.push(Some(ev));
         heap.push((Reverse(Key(t, *seq)), evs.len() - 1));
         *seq += 1;
@@ -199,24 +199,40 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
             match (has_up, has_rest) {
                 (true, true) => {
                     return vec![
-                        SimTask { kind: TaskKind::Node(id, Part::UpOnly), high: true },
-                        SimTask { kind: TaskKind::Node(id, Part::RestOnly), high: false },
+                        SimTask {
+                            kind: TaskKind::Node(id, Part::UpOnly),
+                            high: true,
+                        },
+                        SimTask {
+                            kind: TaskKind::Node(id, Part::RestOnly),
+                            high: false,
+                        },
                     ]
                 }
                 (true, false) => {
-                    return vec![SimTask { kind: TaskKind::Node(id, Part::All), high: true }]
+                    return vec![SimTask {
+                        kind: TaskKind::Node(id, Part::All),
+                        high: true,
+                    }]
                 }
                 _ => {}
             }
         }
-        vec![SimTask { kind: TaskKind::Node(id, Part::All), high: false }]
+        vec![SimTask {
+            kind: TaskKind::Node(id, Part::All),
+            high: false,
+        }]
     };
 
     // Strict levelwise mode: every node task belongs to a phase; a phase's
     // tasks may only start once every earlier phase completed (a global
     // barrier).  Tasks becoming ready early are parked.
     let max_level = dag.nodes().iter().map(|nd| nd.level).max().unwrap_or(0);
-    let n_phases = if cfg.levelwise { 6 + 4 * max_level as u32 } else { 1 } as usize;
+    let n_phases = if cfg.levelwise {
+        6 + 4 * max_level as u32
+    } else {
+        1
+    } as usize;
     let phase_of = |id: u32| -> u32 {
         if cfg.levelwise {
             levelwise_phase(dag, id, max_level)
@@ -243,7 +259,13 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
     for id in 0..n as u32 {
         if remaining[id as usize] == 0 && dag.node(id).out_degree > 0 {
             for task in node_tasks(id) {
-                push(&mut heap, &mut evs, &mut seq, 0.0, Ev::Ready(node_loc(id), task));
+                push(
+                    &mut heap,
+                    &mut evs,
+                    &mut seq,
+                    0.0,
+                    Ev::Ready(node_loc(id), task),
+                );
             }
         }
     }
@@ -336,7 +358,10 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
                             Ev::Ready(
                                 dst_loc,
                                 SimTask {
-                                    kind: TaskKind::Remote { edges: list, phase: task_phase },
+                                    kind: TaskKind::Remote {
+                                        edges: list,
+                                        phase: task_phase,
+                                    },
                                     high: task.high,
                                 },
                             ),
@@ -364,7 +389,13 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
             }
             busy[loc] += t - now;
             makespan = makespan.max(t);
-            push(&mut heap, &mut evs, &mut seq, t, Ev::CoreFree(loc as u32, task_phase));
+            push(
+                &mut heap,
+                &mut evs,
+                &mut seq,
+                t,
+                Ev::CoreFree(loc as u32, task_phase),
+            );
         }};
     }
 
@@ -447,7 +478,14 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
     if cfg.trace {
         trace.push_worker(trace_events);
     }
-    SimResult { makespan_us: makespan, tasks, messages, bytes, busy_us: busy, trace }
+    SimResult {
+        makespan_us: makespan,
+        tasks,
+        messages,
+        bytes,
+        busy_us: busy,
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -460,7 +498,13 @@ mod tests {
     }
 
     fn cfg(localities: usize, cores: usize) -> SimConfig {
-        SimConfig { localities, cores_per_locality: cores, priority: false, trace: false, levelwise: false }
+        SimConfig {
+            localities,
+            cores_per_locality: cores,
+            priority: false,
+            trace: false,
+            levelwise: false,
+        }
     }
 
     /// chain S → M → L → T, all on locality 0.
@@ -481,7 +525,11 @@ mod tests {
         let d = chain();
         let r = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &cfg(1, 1));
         // 3 edge tasks of 10 µs each + final sink trigger (0 overhead).
-        assert!((r.makespan_us - 30.0).abs() < 1e-9, "makespan {}", r.makespan_us);
+        assert!(
+            (r.makespan_us - 30.0).abs() < 1e-9,
+            "makespan {}",
+            r.makespan_us
+        );
         assert_eq!(r.tasks, 4); // S, M, L continuations + T trigger
         assert_eq!(r.messages, 0);
     }
@@ -491,7 +539,11 @@ mod tests {
         let d = chain();
         let cost = CostModel::measured([10.0; 11], 2.0);
         let r = simulate(&d, &cost, &NetworkModel::ideal(), &cfg(1, 1));
-        assert!((r.makespan_us - 38.0).abs() < 1e-9, "makespan {}", r.makespan_us);
+        assert!(
+            (r.makespan_us - 38.0).abs() < 1e-9,
+            "makespan {}",
+            r.makespan_us
+        );
     }
 
     /// `w` independent two-node chains.
@@ -542,12 +594,22 @@ mod tests {
         let r = simulate(&d, &cm(1.0), &net, &cfg(2, 1));
         assert_eq!(r.messages, 1, "coalesced into one parcel");
         // S2M (1µs) + message (5µs + ~0 transfer) + 3 edges at dest = 9µs.
-        assert!((r.makespan_us - 9.0).abs() < 1e-5, "makespan {}", r.makespan_us);
+        assert!(
+            (r.makespan_us - 9.0).abs() < 1e-5,
+            "makespan {}",
+            r.makespan_us
+        );
 
-        let net2 = NetworkModel { coalesce: false, ..net };
+        let net2 = NetworkModel {
+            coalesce: false,
+            ..net
+        };
         let r2 = simulate(&d, &cm(1.0), &net2, &cfg(2, 1));
         assert_eq!(r2.messages, 3, "one message per edge without coalescing");
-        assert!(r2.bytes >= r.bytes, "uncoalesced sends at least as many bytes");
+        assert!(
+            r2.bytes >= r.bytes,
+            "uncoalesced sends at least as many bytes"
+        );
     }
 
     #[test]
@@ -567,7 +629,11 @@ mod tests {
         let d = b.finish();
         // With 2 cores: S (2 edges, 20µs), then m1 ∥ m2 (10µs), then L (10).
         let r = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &cfg(1, 2));
-        assert!((r.makespan_us - 40.0).abs() < 1e-9, "makespan {}", r.makespan_us);
+        assert!(
+            (r.makespan_us - 40.0).abs() < 1e-9,
+            "makespan {}",
+            r.makespan_us
+        );
     }
 
     #[test]
@@ -591,15 +657,37 @@ mod tests {
         // comparing makespans: with priority, the S chain completes early,
         // without, it finishes last — but total work is equal either way.
         let base = cfg(1, 1);
-        let with = SimConfig { priority: true, ..base.clone() };
+        let with = SimConfig {
+            priority: true,
+            ..base.clone()
+        };
         let r0 = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &base);
         let r1 = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &with);
-        assert!((r0.makespan_us - r1.makespan_us).abs() < 1e-9, "same total work");
+        assert!(
+            (r0.makespan_us - r1.makespan_us).abs() < 1e-9,
+            "same total work"
+        );
         // The discriminating observable: task count & utilization equal,
         // but the priority run must execute S before the It fan drains.
         // Reconstruct via traces.
-        let tr0 = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &SimConfig { trace: true, ..base });
-        let tr1 = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &SimConfig { trace: true, ..with });
+        let tr0 = simulate(
+            &d,
+            &cm(10.0),
+            &NetworkModel::ideal(),
+            &SimConfig {
+                trace: true,
+                ..base
+            },
+        );
+        let tr1 = simulate(
+            &d,
+            &cm(10.0),
+            &NetworkModel::ideal(),
+            &SimConfig {
+                trace: true,
+                ..with
+            },
+        );
         let first_s2m = |r: &SimResult| {
             r.trace
                 .all_events()
@@ -620,7 +708,12 @@ mod tests {
     fn trace_busy_consistency() {
         let d = wide(8);
         let c = cfg(1, 2);
-        let r = simulate(&d, &cm(5.0), &NetworkModel::ideal(), &SimConfig { trace: true, ..c });
+        let r = simulate(
+            &d,
+            &cm(5.0),
+            &NetworkModel::ideal(),
+            &SimConfig { trace: true, ..c },
+        );
         // Total traced time equals total edge work: 8 edges × 5 µs.
         let traced_ns: u64 = r.trace.all_events().map(|e| e.end_ns - e.start_ns).sum();
         assert_eq!(traced_ns, 8 * 5000);
@@ -632,7 +725,10 @@ mod tests {
     #[test]
     fn utilization_from_virtual_trace() {
         let d = wide(64);
-        let c = SimConfig { trace: true, ..cfg(1, 4) };
+        let c = SimConfig {
+            trace: true,
+            ..cfg(1, 4)
+        };
         let r = simulate(&d, &cm(5.0), &NetworkModel::ideal(), &c);
         let u = dashmm_amt::utilization_total(&r.trace, 10);
         // Perfectly parallel fan: near-full utilization except the tail.
@@ -671,7 +767,10 @@ mod tests {
             &d,
             &cm(10.0),
             &NetworkModel::ideal(),
-            &SimConfig { levelwise: true, ..base },
+            &SimConfig {
+                levelwise: true,
+                ..base
+            },
         )
         .makespan_us;
         // Dataflow: M3's task (the M→M edge) overlaps the S2T fan; the five
@@ -691,7 +790,10 @@ mod tests {
             &d,
             &cm(7.0),
             &NetworkModel::ideal(),
-            &SimConfig { levelwise: true, ..base },
+            &SimConfig {
+                levelwise: true,
+                ..base
+            },
         );
         let ba: f64 = a.busy_us.iter().sum();
         let bb: f64 = b.busy_us.iter().sum();
@@ -703,7 +805,11 @@ mod tests {
     #[should_panic]
     fn levelwise_excludes_priority() {
         let d = wide(2);
-        let c = SimConfig { levelwise: true, priority: true, ..cfg(1, 1) };
+        let c = SimConfig {
+            levelwise: true,
+            priority: true,
+            ..cfg(1, 1)
+        };
         let _ = simulate(&d, &cm(1.0), &NetworkModel::ideal(), &c);
     }
 }

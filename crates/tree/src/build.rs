@@ -21,7 +21,10 @@ pub struct BuildParams {
 impl Default for BuildParams {
     fn default() -> Self {
         // The paper's refinement threshold.
-        BuildParams { threshold: 60, max_level: MAX_LEVEL }
+        BuildParams {
+            threshold: 60,
+            max_level: MAX_LEVEL,
+        }
     }
 }
 
@@ -202,7 +205,10 @@ impl Octree {
 
     /// Node indices at a given level.
     pub fn level_nodes(&self, level: u8) -> &[u32] {
-        self.levels.get(level as usize).map(|v| v.as_slice()).unwrap_or(&[])
+        self.levels
+            .get(level as usize)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Deepest level present in the tree.
@@ -228,7 +234,14 @@ mod tests {
 
     fn build(points: &[Point3], threshold: usize) -> Octree {
         let domain = Domain::containing(&[points], 1e-4);
-        Octree::build(domain, points, BuildParams { threshold, max_level: MAX_LEVEL })
+        Octree::build(
+            domain,
+            points,
+            BuildParams {
+                threshold,
+                max_level: MAX_LEVEL,
+            },
+        )
     }
 
     #[test]
@@ -288,12 +301,14 @@ mod tests {
             }
             let mut total = 0;
             let mut next = n.first;
-            let mut kids: Vec<&OctreeNode> =
-                n.child_ids().map(|c| t.node(c)).collect();
+            let mut kids: Vec<&OctreeNode> = n.child_ids().map(|c| t.node(c)).collect();
             kids.sort_by_key(|k| k.first);
             for k in kids {
                 assert_eq!(k.first, next, "children must tile the parent range");
-                assert_eq!(k.parent, t.nodes().iter().position(|m| std::ptr::eq(m, n)).unwrap() as i32);
+                assert_eq!(
+                    k.parent,
+                    t.nodes().iter().position(|m| std::ptr::eq(m, n)).unwrap() as i32
+                );
                 next = k.first + k.count;
                 total += k.count;
             }
@@ -319,8 +334,11 @@ mod tests {
 
     #[test]
     fn sphere_tree_deeper_than_cube_tree() {
-        // The paper: sphere data produces much more non-uniform (deeper) trees.
-        let n = 20000;
+        // The paper: sphere data produces much more non-uniform (deeper)
+        // trees.  At 20k points a uniform cube sits right at the depth-4/5
+        // boundary and the comparison depends on the RNG stream; 40k gives
+        // the property a full level of margin.
+        let n = 40000;
         let cube = build(&uniform_cube(n, 7), 60);
         let sphere = build(&sphere_surface(n, 7), 60);
         assert!(
@@ -338,7 +356,10 @@ mod tests {
         let depths: Vec<u8> = t.leaves().iter().map(|&l| t.node(l).key.level).collect();
         let min = *depths.iter().min().unwrap();
         let max = *depths.iter().max().unwrap();
-        assert!(max - min <= 1, "cube leaves should be nearly uniform: {min}..{max}");
+        assert!(
+            max - min <= 1,
+            "cube leaves should be nearly uniform: {min}..{max}"
+        );
     }
 
     #[test]
@@ -354,7 +375,14 @@ mod tests {
     fn coincident_points_capped_by_max_level() {
         let pts = vec![Point3::new(0.1, 0.1, 0.1); 100];
         let domain = Domain::new(Point3::ZERO, 1.0);
-        let t = Octree::build(domain, &pts, BuildParams { threshold: 10, max_level: 4 });
+        let t = Octree::build(
+            domain,
+            &pts,
+            BuildParams {
+                threshold: 10,
+                max_level: 4,
+            },
+        );
         assert!(t.depth() <= 4);
         for leaf in t.leaves() {
             assert_eq!(t.node(leaf).count, 100);

@@ -17,7 +17,10 @@ pub struct Domain {
 impl Domain {
     /// Build a domain from an explicit center and half-width.
     pub fn new(center: Point3, half: f64) -> Self {
-        assert!(half > 0.0 && half.is_finite(), "domain half-width must be positive");
+        assert!(
+            half > 0.0 && half.is_finite(),
+            "domain half-width must be positive"
+        );
         Domain { center, half }
     }
 
@@ -74,7 +77,11 @@ impl Domain {
             let idx = ((c - (c0 - self.half)) * s).floor() as i64;
             idx.clamp(0, n as i64 - 1) as u32
         };
-        (f(p.x, self.center.x), f(p.y, self.center.y), f(p.z, self.center.z))
+        (
+            f(p.x, self.center.x),
+            f(p.y, self.center.y),
+            f(p.z, self.center.z),
+        )
     }
 
     /// Center of the box with integer coordinates `(i, j, k)` at `level`.

@@ -202,11 +202,7 @@ pub struct DualTree {
 
 impl DualTree {
     /// Build both trees over the smallest common cube.
-    pub fn build(
-        sources: &[Point3],
-        targets: &[Point3],
-        params: BuildParams,
-    ) -> Self {
+    pub fn build(sources: &[Point3], targets: &[Point3], params: BuildParams) -> Self {
         let domain = Domain::containing(&[sources, targets], 1e-4);
         DualTree {
             source: Octree::build(domain, sources, params),
@@ -303,7 +299,14 @@ mod tests {
     fn dual(n: usize, threshold: usize) -> DualTree {
         let src = uniform_cube(n, 11);
         let tgt = uniform_cube(n, 22);
-        DualTree::build(&src, &tgt, BuildParams { threshold, max_level: 20 })
+        DualTree::build(
+            &src,
+            &tgt,
+            BuildParams {
+                threshold,
+                max_level: 20,
+            },
+        )
     }
 
     /// Brute-force check: every (source point, target point) pair must be
@@ -312,7 +315,14 @@ mod tests {
     fn lists_cover_every_pair_exactly_once() {
         let src = uniform_cube(300, 11);
         let tgt = uniform_cube(300, 22);
-        let dt = DualTree::build(&src, &tgt, BuildParams { threshold: 10, max_level: 20 });
+        let dt = DualTree::build(
+            &src,
+            &tgt,
+            BuildParams {
+                threshold: 10,
+                max_level: 20,
+            },
+        );
         let lists = dt.interaction_lists();
 
         // count[i][j] = how many list entries cover source point i and
@@ -390,7 +400,10 @@ mod tests {
             .max()
             .unwrap();
         assert!(max <= 189, "max |L2| = {max}");
-        assert!(max > 100, "interior boxes should approach the 189 bound, got {max}");
+        assert!(
+            max > 100,
+            "interior boxes should approach the 189 bound, got {max}"
+        );
     }
 
     #[test]
@@ -417,7 +430,14 @@ mod tests {
     fn l3_l4_level_relations() {
         let src = sphere_surface(8000, 5);
         let tgt = uniform_cube(8000, 6);
-        let dt = DualTree::build(&src, &tgt, BuildParams { threshold: 30, max_level: 20 });
+        let dt = DualTree::build(
+            &src,
+            &tgt,
+            BuildParams {
+                threshold: 30,
+                max_level: 20,
+            },
+        );
         let lists = dt.interaction_lists();
         let mut saw_l3 = false;
         let mut saw_l4 = false;
@@ -435,10 +455,16 @@ mod tests {
                 let sk = dt.source().node(s).key;
                 assert!(sk.level < tk.level);
                 assert!(sk.well_separated(&tk));
-                assert!(sk.adjacent(&tk.parent()), "L4 source must touch the target's parent");
+                assert!(
+                    sk.adjacent(&tk.parent()),
+                    "L4 source must touch the target's parent"
+                );
             }
         }
-        assert!(saw_l3 && saw_l4, "non-uniform dual trees must produce L3/L4 entries");
+        assert!(
+            saw_l3 && saw_l4,
+            "non-uniform dual trees must produce L3/L4 entries"
+        );
     }
 
     #[test]
@@ -482,7 +508,14 @@ mod tests {
         // Identical uniform trees refine identically, so W/X lists are rare;
         // with an exactly shared tree they appear only via depth jitter.
         let pts = uniform_cube(2000, 3);
-        let dt = DualTree::build(&pts, &pts, BuildParams { threshold: 60, max_level: 20 });
+        let dt = DualTree::build(
+            &pts,
+            &pts,
+            BuildParams {
+                threshold: 60,
+                max_level: 20,
+            },
+        );
         let lists = dt.interaction_lists();
         // The L1 list of every leaf must contain the co-located source box.
         for t in 0..dt.target().num_nodes() as u32 {
@@ -532,7 +565,14 @@ mod tests {
         for p in &mut tgt {
             p.x = p.x * 0.1 + 0.9; // cluster near x = +0.9
         }
-        let dt = DualTree::build(&src, &tgt, BuildParams { threshold: 60, max_level: 20 });
+        let dt = DualTree::build(
+            &src,
+            &tgt,
+            BuildParams {
+                threshold: 60,
+                max_level: 20,
+            },
+        );
         let lists = dt.interaction_lists();
         let entries = lists.total_entries();
         // Full pairwise coverage with two distant clusters should collapse

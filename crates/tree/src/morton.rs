@@ -23,7 +23,12 @@ pub struct MortonKey {
 
 impl MortonKey {
     /// The root box.
-    pub const ROOT: MortonKey = MortonKey { level: 0, x: 0, y: 0, z: 0 };
+    pub const ROOT: MortonKey = MortonKey {
+        level: 0,
+        x: 0,
+        y: 0,
+        z: 0,
+    };
 
     /// Construct, asserting coordinates fit the level grid.
     pub fn new(level: u8, x: u32, y: u32, z: u32) -> Self {
@@ -166,12 +171,7 @@ mod tests {
         for dx in -3i64..=3 {
             for dy in -3i64..=3 {
                 for dz in -3i64..=3 {
-                    let b = MortonKey::new(
-                        4,
-                        (8 + dx) as u32,
-                        (8 + dy) as u32,
-                        (8 + dz) as u32,
-                    );
+                    let b = MortonKey::new(4, (8 + dx) as u32, (8 + dy) as u32, (8 + dz) as u32);
                     let expect = dx.abs() <= 1 && dy.abs() <= 1 && dz.abs() <= 1;
                     assert_eq!(a.adjacent(&b), expect, "offset ({dx},{dy},{dz})");
                     assert_eq!(a.well_separated(&b), !expect);

@@ -54,13 +54,21 @@ impl Point3 {
     /// Component-wise minimum.
     #[inline]
     pub fn min(&self, other: &Point3) -> Point3 {
-        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+        Point3::new(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.z.min(other.z),
+        )
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn max(&self, other: &Point3) -> Point3 {
-        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+        Point3::new(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.z.max(other.z),
+        )
     }
 
     /// Component by axis index (0 = x, 1 = y, 2 = z).

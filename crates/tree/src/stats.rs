@@ -41,8 +41,9 @@ impl TreeStats {
             total_pts += n.count;
             max_pts = max_pts.max(n.count);
         }
-        let boxes_per_level =
-            (0..=tree.depth()).map(|l| tree.level_nodes(l).len()).collect();
+        let boxes_per_level = (0..=tree.depth())
+            .map(|l| tree.level_nodes(l).len())
+            .collect();
         TreeStats {
             boxes: tree.num_nodes(),
             leaves: leaves.len(),
@@ -71,8 +72,14 @@ mod tests {
 
     fn stats_for(points: &[crate::Point3], threshold: usize) -> TreeStats {
         let domain = Domain::containing(&[points], 1e-4);
-        let tree =
-            Octree::build(domain, points, BuildParams { threshold, max_level: 20 });
+        let tree = Octree::build(
+            domain,
+            points,
+            BuildParams {
+                threshold,
+                max_level: 20,
+            },
+        );
         TreeStats::compute(&tree)
     }
 
@@ -93,7 +100,11 @@ mod tests {
         let n = 30000;
         let cube = stats_for(&uniform_cube(n, 2), 60);
         let sphere = stats_for(&sphere_surface(n, 2), 60);
-        assert!(cube.leaf_depth_spread() <= 1, "cube spread {}", cube.leaf_depth_spread());
+        assert!(
+            cube.leaf_depth_spread() <= 1,
+            "cube spread {}",
+            cube.leaf_depth_spread()
+        );
         assert!(
             sphere.leaf_depth_spread() >= cube.leaf_depth_spread(),
             "sphere {} vs cube {}",
@@ -108,8 +119,15 @@ mod tests {
         // In a uniform cube tree, box counts grow roughly 8x per level
         // until the leaf level.
         let s = stats_for(&uniform_cube(40000, 3), 60);
-        for w in s.boxes_per_level.windows(2).take(s.boxes_per_level.len() - 1) {
-            assert!(w[1] >= w[0], "level counts should not shrink before the leaves");
+        for w in s
+            .boxes_per_level
+            .windows(2)
+            .take(s.boxes_per_level.len() - 1)
+        {
+            assert!(
+                w[1] >= w[0],
+                "level counts should not shrink before the leaves"
+            );
         }
     }
 }

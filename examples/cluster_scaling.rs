@@ -39,7 +39,10 @@ fn main() {
 
     let cost = CostModel::paper_table2();
     let net = NetworkModel::gemini();
-    println!("\n{:>6} {:>12} {:>9} {:>11} {:>10} {:>12}", "cores", "t_n [ms]", "speedup", "efficiency", "messages", "remote MB");
+    println!(
+        "\n{:>6} {:>12} {:>9} {:>11} {:>10} {:>12}",
+        "cores", "t_n [ms]", "speedup", "efficiency", "messages", "remote MB"
+    );
     let mut t32 = 0.0;
     for localities in [1usize, 2, 4, 8, 16, 32, 64] {
         // Redistribute for this machine size.
@@ -47,15 +50,27 @@ fn main() {
         let tgt_n = problem.tree.target().points().len();
         let owner = |class: NodeClass, box_id: u32| -> u32 {
             match class {
-                NodeClass::S | NodeClass::M | NodeClass::Is => {
-                    block_owner(problem.tree.source().node(box_id).first, src_n, localities as u32)
-                }
-                _ => block_owner(problem.tree.target().node(box_id).first, tgt_n, localities as u32),
+                NodeClass::S | NodeClass::M | NodeClass::Is => block_owner(
+                    problem.tree.source().node(box_id).first,
+                    src_n,
+                    localities as u32,
+                ),
+                _ => block_owner(
+                    problem.tree.target().node(box_id).first,
+                    tgt_n,
+                    localities as u32,
+                ),
             }
         };
         FmmPolicy::default().assign(&mut asm.dag, localities as u32, &owner);
 
-        let cfg = SimConfig { localities, cores_per_locality: 32, priority: false, trace: false, levelwise: false };
+        let cfg = SimConfig {
+            localities,
+            cores_per_locality: 32,
+            priority: false,
+            trace: false,
+            levelwise: false,
+        };
         let r = simulate(&asm.dag, &cost, &net, &cfg);
         if localities == 1 {
             t32 = r.makespan_us;
@@ -71,5 +86,7 @@ fn main() {
             r.bytes as f64 / 1e6
         );
     }
-    println!("\nnear-ideal scaling until the DAG runs out of concurrent tasks — Figure 3 in miniature.");
+    println!(
+        "\nnear-ideal scaling until the DAG runs out of concurrent tasks — Figure 3 in miniature."
+    );
 }

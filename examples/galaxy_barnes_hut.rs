@@ -25,7 +25,10 @@ fn main() {
         .map(|&i| direct_sum_at(&Laplace, &src_arr, &masses, &src_arr[i]))
         .collect();
 
-    println!("{:<22} {:>10} {:>10} {:>10} {:>12}", "method", "nodes", "edges", "tasks", "worst rel.err");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>12}",
+        "method", "nodes", "edges", "tasks", "worst rel.err"
+    );
     for (label, method) in [
         ("barnes-hut θ=0.7", Method::BarnesHut { theta: 0.7 }),
         ("barnes-hut θ=0.4", Method::BarnesHut { theta: 0.4 }),
@@ -53,7 +56,10 @@ fn main() {
             Method::BarnesHut { theta } => 0.02 * theta, // θ-controlled
             _ => 1e-3,
         };
-        assert!(worst < bound, "{label}: error {worst:.2e} above bound {bound:.2e}");
+        assert!(
+            worst < bound,
+            "{label}: error {worst:.2e} above bound {bound:.2e}"
+        );
     }
     println!("\nsmaller θ tightens Barnes–Hut toward the FMM at higher cost;");
     println!("the FMM reaches 3-digit accuracy with O(N) work.");

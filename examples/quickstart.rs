@@ -47,7 +47,10 @@ fn main() {
         let exact = direct_sum_at(&Laplace, &src_arr, &charges, &t);
         let rel = ((out.potentials[i] - exact) / exact).abs();
         worst = worst.max(rel);
-        println!("  phi[{i:>5}] = {:>12.6}   exact {:>12.6}   rel.err {rel:.2e}", out.potentials[i], exact);
+        println!(
+            "  phi[{i:>5}] = {:>12.6}   exact {:>12.6}   rel.err {rel:.2e}",
+            out.potentials[i], exact
+        );
     }
     println!("worst sampled relative error: {worst:.2e} (target: 1e-3)");
     assert!(worst < 1e-3, "accuracy regression");

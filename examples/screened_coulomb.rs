@@ -20,7 +20,9 @@ fn main() {
     let sources = uniform_cube(n, 7);
     let targets = uniform_cube(n, 8);
     // Alternating charges, like an ionic melt.
-    let charges: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let charges: Vec<f64> = (0..n)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
     let src_arr: Vec<[f64; 3]> = sources.iter().map(|p| [p.x, p.y, p.z]).collect();
 
     for lambda in [0.5, 1.0, 2.0] {
@@ -32,7 +34,11 @@ fn main() {
         print!("plane-wave terms by level:");
         for level in 2..=5u8 {
             let t = lib.tables(level);
-            print!("  L{level}: {} (κ·side = {:.2})", t.planewave_len() / 2, kernel.scaled_screening(t.side()));
+            print!(
+                "  L{level}: {} (κ·side = {:.2})",
+                t.planewave_len() / 2,
+                kernel.scaled_screening(t.side())
+            );
         }
         println!();
 
@@ -41,7 +47,10 @@ fn main() {
             .threshold(40)
             .build(&sources, &charges, &targets);
         let out = eval.evaluate();
-        println!("evaluated in {:.1} ms ({} tasks)", out.eval_ms, out.report.tasks);
+        println!(
+            "evaluated in {:.1} ms ({} tasks)",
+            out.eval_ms, out.report.tasks
+        );
 
         // With alternating charges the potential is a small residual of
         // large cancelling sums, so errors are measured against the RMS

@@ -1,0 +1,287 @@
+//! Offline shim for the slice of `criterion` this workspace uses: groups,
+//! `Bencher::iter`, `BenchmarkId`, the `criterion_group!`/`criterion_main!`
+//! macros and `black_box`.
+//!
+//! Each benchmark runs a warm-up, then `sample_size` timed samples within
+//! the measurement window, and prints one line with the median and mean
+//! nanoseconds per iteration.  Setting `DASHMM_BENCH_FAST=1` shrinks the
+//! warm-up and measurement windows for CI smoke runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher<'a> {
+    samples_ns: &'a mut Vec<f64>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher<'_> {
+    /// Time `f`, collecting one duration sample per batch of iterations.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || iters == 0 {
+            black_box(f());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters as f64;
+        // Batch so one sample costs roughly measurement/sample_size.
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)).round() as u64).max(1);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t0.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Config {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Config {
+    fn fast_mode() -> bool {
+        std::env::var("DASHMM_BENCH_FAST")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    }
+
+    fn effective(&self) -> Config {
+        if Config::fast_mode() {
+            Config {
+                sample_size: self.sample_size.min(5),
+                warm_up: self.warm_up.min(Duration::from_millis(20)),
+                measurement: self.measurement.min(Duration::from_millis(100)),
+            }
+        } else {
+            self.clone()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 100,
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The benchmark manager.
+#[derive(Default)]
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up = d;
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement = d;
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: self.cfg.clone(),
+            _parent: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let cfg = self.cfg.clone();
+        run_one("", &cfg, &id.into(), f);
+        self
+    }
+}
+
+/// A named group sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Override the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        run_one(&self.name, &self.cfg, &id.into(), f);
+        self
+    }
+
+    /// Finish the group (printing is per-benchmark; nothing buffered).
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, cfg: &Config, id: &BenchmarkId, mut f: impl FnMut(&mut Bencher<'_>)) {
+    let cfg = cfg.effective();
+    let mut samples = Vec::with_capacity(cfg.sample_size);
+    let mut b = Bencher {
+        samples_ns: &mut samples,
+        sample_size: cfg.sample_size,
+        warm_up: cfg.warm_up,
+        measurement: cfg.measurement,
+    };
+    f(&mut b);
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = if samples.is_empty() {
+        0.0
+    } else {
+        samples[samples.len() / 2]
+    };
+    let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+    let label = if group.is_empty() {
+        id.label.clone()
+    } else {
+        format!("{group}/{}", id.label)
+    };
+    println!("bench {label:<40} median {median:>12.1} ns/iter  mean {mean:>12.1} ns/iter");
+}
+
+/// Collect benchmark targets into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = quick();
+        let mut count = 0u64;
+        c.bench_function("counting", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut hits = 0u64;
+        g.bench_function(BenchmarkId::from_parameter("x"), |b| b.iter(|| hits += 1));
+        g.finish();
+        assert!(hits >= 2);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("op", 42).label, "op/42");
+        assert_eq!(BenchmarkId::from_parameter("S2M").label, "S2M");
+    }
+}

@@ -1,0 +1,262 @@
+//! Offline shim for the slices of `crossbeam` this workspace uses:
+//! scoped threads (`thread::scope`) and work-stealing deques
+//! (`deque::{Injector, Worker, Stealer, Steal}`).
+//!
+//! The deques are lock-based (a `Mutex<VecDeque>` per queue) rather than
+//! the lock-free Chase–Lev deques of real crossbeam.  The worker's own
+//! queue mutex is uncontended except during steals, which keeps the
+//! scheduler hot path cheap at this workspace's scale.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to [`scope`] and to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; the closure receives the scope, so
+        /// spawned threads can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Create a scope for spawned threads; joins them all before returning.
+    ///
+    /// Unlike real crossbeam this cannot observe child panics as an `Err`
+    /// (std's scope resumes the unwind at join instead), so the `Ok` arm is
+    /// the only one produced; the signature is kept for call-site
+    /// compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// A race was lost; the caller may retry.
+        Retry,
+    }
+
+    enum Order {
+        Lifo,
+        Fifo,
+    }
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        order: Order,
+    }
+
+    /// The owner side of a worker deque.
+    pub struct Worker<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Worker<T> {
+        /// New deque whose owner pops most-recently-pushed first.
+        pub fn new_lifo() -> Self {
+            Worker {
+                shared: Arc::new(Shared {
+                    queue: Mutex::new(VecDeque::new()),
+                    order: Order::Lifo,
+                }),
+            }
+        }
+
+        /// New deque whose owner pops oldest-first.
+        pub fn new_fifo() -> Self {
+            Worker {
+                shared: Arc::new(Shared {
+                    queue: Mutex::new(VecDeque::new()),
+                    order: Order::Fifo,
+                }),
+            }
+        }
+
+        /// Push a task onto the owner end.
+        pub fn push(&self, task: T) {
+            self.shared.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Pop a task from the owner end.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.shared.queue.lock().unwrap();
+            match self.shared.order {
+                Order::Lifo => q.pop_back(),
+                Order::Fifo => q.pop_front(),
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.shared.queue.lock().unwrap().is_empty()
+        }
+
+        /// Create a stealer handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    /// The thief side of a worker deque.
+    pub struct Stealer<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task from the opposite end of the owner.
+        pub fn steal(&self) -> Steal<T> {
+            match self.shared.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    /// A shared FIFO injection queue.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// New empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Steal one task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steal a batch of tasks, moving all but the first into `worker`
+        /// and returning the first.
+        pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
+            const BATCH: usize = 16;
+            let batch: Vec<T> = {
+                let mut q = self.queue.lock().unwrap();
+                let take = q.len().min(BATCH);
+                q.drain(..take).collect()
+            };
+            let mut it = batch.into_iter();
+            match it.next() {
+                None => Steal::Empty,
+                Some(first) => {
+                    for t in it {
+                        worker.push(t);
+                    }
+                    Steal::Success(first)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn lifo_worker_order() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_oldest() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_batch_refills_worker() {
+        let inj = Injector::new();
+        let w = Worker::new_fifo();
+        for i in 0..5 {
+            inj.push(i);
+        }
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert_eq!(w.pop(), Some(1));
+        assert!(!w.is_empty());
+        assert_eq!(inj.steal_batch_and_pop(&Worker::new_fifo()), Steal::Empty);
+    }
+
+    #[test]
+    fn scoped_threads_join() {
+        let mut data = vec![0u64; 4];
+        super::thread::scope(|scope| {
+            for (i, d) in data.iter_mut().enumerate() {
+                scope.spawn(move |_| *d = i as u64 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

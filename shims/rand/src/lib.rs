@@ -1,0 +1,159 @@
+//! Offline shim for the slice of `rand` 0.8 used by this workspace: a
+//! seedable RNG (`StdRng`) and uniform `f64` sampling.  The generator is
+//! xoshiro256++ seeded through splitmix64 — deterministic per seed, but the
+//! sequences differ from upstream rand's ChaCha12-based `StdRng`.
+
+/// Core RNG interface (the subset of `rand_core::RngCore` we need).
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (the subset of `rand::SeedableRng` we need).
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed, expanded to full generator state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256++ generator standing in for rand's `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// Types that produce samples from an RNG.
+    pub trait Distribution<T> {
+        /// Draw one sample.
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform `f64` distribution over a half-open or closed interval.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform {
+        lo: f64,
+        span: f64,
+        inclusive: bool,
+    }
+
+    impl Uniform {
+        /// Uniform over `[lo, hi)`.
+        pub fn new(lo: f64, hi: f64) -> Self {
+            assert!(lo < hi, "Uniform::new requires lo < hi");
+            Uniform {
+                lo,
+                span: hi - lo,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over `[lo, hi]`.
+        pub fn new_inclusive(lo: f64, hi: f64) -> Self {
+            assert!(lo <= hi, "Uniform::new_inclusive requires lo <= hi");
+            Uniform {
+                lo,
+                span: hi - lo,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl Distribution<f64> for Uniform {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+            let bits = rng.next_u64() >> 11; // 53 significant bits
+            let unit = if self.inclusive {
+                bits as f64 / ((1u64 << 53) - 1) as f64 // [0, 1]
+            } else {
+                bits as f64 / (1u64 << 53) as f64 // [0, 1)
+            };
+            self.lo + unit * self.span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_sequences_reproduce() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let u = Uniform::new(-1.0, 1.0);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = u.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn inclusive_upper_bound_allowed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = Uniform::new_inclusive(0.0, 1.0);
+        for _ in 0..1000 {
+            let x = u.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+}

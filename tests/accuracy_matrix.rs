@@ -24,8 +24,9 @@ fn run_case<K: Kernel>(
     tol: f64,
     label: &str,
 ) {
-    let charges: Vec<f64> =
-        (0..sources.len()).map(|i| if i % 3 == 0 { 1.0 } else { -0.4 }).collect();
+    let charges: Vec<f64> = (0..sources.len())
+        .map(|i| if i % 3 == 0 { 1.0 } else { -0.4 })
+        .collect();
     let eval = DashmmBuilder::new(kernel.clone())
         .method(method)
         .threshold(20)
@@ -34,7 +35,10 @@ fn run_case<K: Kernel>(
     let out = eval.evaluate();
     let want = direct_sum(&kernel, &p3(sources), &charges, &p3(targets), 0);
     let err = rel_l2(&out.potentials, &want);
-    assert!(err < tol, "{label}: relative L2 error {err:.2e} exceeds {tol:.0e}");
+    assert!(
+        err < tol,
+        "{label}: relative L2 error {err:.2e} exceeds {tol:.0e}"
+    );
 }
 
 const N: usize = 900;
@@ -128,7 +132,14 @@ fn identical_ensembles_self_interaction_excluded() {
     // Traditional N-body: sources == targets; the potential at a point
     // must exclude that point's own charge.
     let pts = uniform_cube(700, 15);
-    run_case(Laplace, Method::AdvancedFmm, &pts, &pts, 1e-3, "advanced/identical");
+    run_case(
+        Laplace,
+        Method::AdvancedFmm,
+        &pts,
+        &pts,
+        1e-3,
+        "advanced/identical",
+    );
 }
 
 #[test]
@@ -143,7 +154,14 @@ fn disjoint_ensembles() {
     for p in &mut targets {
         p.x = p.x * 0.3 + 0.7;
     }
-    run_case(Laplace, Method::AdvancedFmm, &sources, &targets, 1e-3, "advanced/disjoint");
+    run_case(
+        Laplace,
+        Method::AdvancedFmm,
+        &sources,
+        &targets,
+        1e-3,
+        "advanced/disjoint",
+    );
 }
 
 #[test]
@@ -153,7 +171,14 @@ fn partially_overlapping_ensembles() {
     for p in &mut targets {
         p.x += 0.8; // shifted cube: partial overlap
     }
-    run_case(Laplace, Method::AdvancedFmm, &sources, &targets, 1e-3, "advanced/overlap");
+    run_case(
+        Laplace,
+        Method::AdvancedFmm,
+        &sources,
+        &targets,
+        1e-3,
+        "advanced/overlap",
+    );
 }
 
 #[test]
@@ -173,5 +198,8 @@ fn six_digit_preset_is_tighter() {
     let e3 = err(dashmm::expansion::AccuracyParams::three_digit());
     let e6 = err(dashmm::expansion::AccuracyParams::six_digit());
     assert!(e6 < 1e-5, "six-digit preset: {e6:.2e}");
-    assert!(e6 < e3 / 10.0, "six digits ({e6:.2e}) must beat three ({e3:.2e}) by ≥ 10x");
+    assert!(
+        e6 < e3 / 10.0,
+        "six digits ({e6:.2e}) must beat three ({e3:.2e}) by ≥ 10x"
+    );
 }

@@ -67,7 +67,9 @@ fn random_dag() -> impl Strategy<Value = RandomDag> {
             let _ = start;
             layer_start = in_edges.len();
         }
-        let seeds = (0..in_edges.len()).map(|i| (i as f64) * 0.5 + 1.0).collect();
+        let seeds = (0..in_edges.len())
+            .map(|i| (i as f64) * 0.5 + 1.0)
+            .collect();
         RandomDag { in_edges, seeds }
     })
 }
@@ -122,7 +124,11 @@ fn run_on_runtime(dag: &RandomDag, localities: usize, workers: usize, priority: 
             action: forward,
             target: lcos[i],
             payload: std::mem::take(&mut payload),
-            priority: if priority && i % 2 == 0 { Priority::High } else { Priority::Normal },
+            priority: if priority && i % 2 == 0 {
+                Priority::High
+            } else {
+                Priority::Normal
+            },
         };
         let lco = lcos[i];
         rt.seed(lco.locality, {
@@ -139,7 +145,9 @@ fn run_on_runtime(dag: &RandomDag, localities: usize, workers: usize, priority: 
         }
     }
     rt.run();
-    (0..n).map(|i| rt.lco_get(lcos[i]).expect("all LCOs must trigger")[0]).collect()
+    (0..n)
+        .map(|i| rt.lco_get(lcos[i]).expect("all LCOs must trigger")[0])
+        .collect()
 }
 
 proptest! {

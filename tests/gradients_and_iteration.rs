@@ -52,7 +52,12 @@ fn gradient_case<K: Kernel>(kernel: K, tol: f64) {
     let mut num = 0.0;
     let mut den = 0.0;
     for i in (0..n).step_by(7) {
-        let (p, g) = direct_grad(&kernel, &src, &charges, &[targets[i].x, targets[i].y, targets[i].z]);
+        let (p, g) = direct_grad(
+            &kernel,
+            &src,
+            &charges,
+            &[targets[i].x, targets[i].y, targets[i].z],
+        );
         assert!(
             (out.potentials[i] - p).abs() / p.abs().max(1.0) < tol,
             "potential at {i}: {} vs {}",
@@ -98,12 +103,17 @@ fn iterative_reevaluation_with_new_charges() {
     let sources = uniform_cube(n, 45);
     let targets = uniform_cube(n, 46);
     let q0 = vec![1.0; n];
-    let eval = DashmmBuilder::new(Laplace).threshold(25).machine(2, 2).build(&sources, &q0, &targets);
+    let eval = DashmmBuilder::new(Laplace)
+        .threshold(25)
+        .machine(2, 2)
+        .build(&sources, &q0, &targets);
     let setup_heavy = eval.tree_ms + eval.dag_ms;
     let _ = setup_heavy;
 
     for step in 1..4u32 {
-        let q: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.01).sin() * step as f64).collect();
+        let q: Vec<f64> = (0..n)
+            .map(|i| ((i as f64) * 0.01).sin() * step as f64)
+            .collect();
         let got = eval.evaluate_with_charges(&q);
         let fresh = DashmmBuilder::new(Laplace)
             .threshold(25)
@@ -130,7 +140,9 @@ fn reevaluation_linearity_shortcut() {
     let targets = uniform_cube(n, 48);
     let q: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
     let q2: Vec<f64> = q.iter().map(|x| 2.0 * x).collect();
-    let eval = DashmmBuilder::new(Laplace).threshold(20).build(&sources, &q, &targets);
+    let eval = DashmmBuilder::new(Laplace)
+        .threshold(20)
+        .build(&sources, &q, &targets);
     let a = eval.evaluate_with_charges(&q);
     let b = eval.evaluate_with_charges(&q2);
     let scale = a.potentials.iter().map(|x| x.abs()).fold(1.0, f64::max);

@@ -28,7 +28,10 @@ fn evaluate(
 }
 
 fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 /// Scale for comparing potentials (they are O(N) in magnitude).
@@ -46,7 +49,10 @@ fn invariant_under_machine_shape() {
     for (loc, wrk) in [(1, 3), (2, 2), (4, 1), (3, 2)] {
         let other = evaluate(&sources, &targets, &charges, loc, wrk, Policy::Fmm, false);
         let d = max_abs_diff(&base, &other) / scale(&base);
-        assert!(d < 1e-12, "machine ({loc},{wrk}) changed results by {d:.2e}");
+        assert!(
+            d < 1e-12,
+            "machine ({loc},{wrk}) changed results by {d:.2e}"
+        );
     }
 }
 

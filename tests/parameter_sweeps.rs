@@ -81,7 +81,11 @@ fn barnes_hut_error_decreases_with_theta() {
         errors[1] <= errors[0] * 1.2 && errors[2] <= errors[1] * 1.2,
         "errors not improving with θ: {errors:?}"
     );
-    assert!(errors[2] < 2e-3, "θ = 0.3 should be quite accurate: {:.2e}", errors[2]);
+    assert!(
+        errors[2] < 2e-3,
+        "θ = 0.3 should be quite accurate: {:.2e}",
+        errors[2]
+    );
 }
 
 #[test]
@@ -100,7 +104,10 @@ fn barnes_hut_work_grows_as_theta_shrinks() {
     };
     let loose = edges(0.8);
     let tight = edges(0.3);
-    assert!(tight > loose, "tighter θ must do more work: {tight} vs {loose}");
+    assert!(
+        tight > loose,
+        "tighter θ must do more work: {tight} vs {loose}"
+    );
 }
 
 #[test]

@@ -37,7 +37,16 @@ fn traced_real_run_supports_utilization_analysis() {
         assert!((s - u[k]).abs() < 1e-9);
     }
     // The advanced FMM exercises the expected operator classes.
-    for op in [EdgeOp::S2M, EdgeOp::M2M, EdgeOp::M2I, EdgeOp::I2I, EdgeOp::I2L, EdgeOp::L2L, EdgeOp::L2T, EdgeOp::S2T] {
+    for op in [
+        EdgeOp::S2M,
+        EdgeOp::M2M,
+        EdgeOp::M2I,
+        EdgeOp::I2I,
+        EdgeOp::I2L,
+        EdgeOp::L2L,
+        EdgeOp::L2T,
+        EdgeOp::S2T,
+    ] {
         let active: f64 = by[op.index()].iter().sum();
         assert!(active > 0.0, "{} never appeared in the trace", op.name());
     }
@@ -62,8 +71,28 @@ fn measured_operator_costs_have_the_papers_ordering() {
     let avg = per_op_avg_us(&out.report.trace);
     let g = |o: EdgeOp| avg[o.index()];
     assert!(g(EdgeOp::I2I) > 0.0 && g(EdgeOp::M2I) > 0.0);
-    assert!(g(EdgeOp::I2I) < g(EdgeOp::M2I), "I→I {} vs M→I {}", g(EdgeOp::I2I), g(EdgeOp::M2I));
-    assert!(g(EdgeOp::I2I) < g(EdgeOp::I2L), "I→I {} vs I→L {}", g(EdgeOp::I2I), g(EdgeOp::I2L));
-    assert!(g(EdgeOp::M2M) < g(EdgeOp::M2I), "M→M {} vs M→I {}", g(EdgeOp::M2M), g(EdgeOp::M2I));
-    assert!(g(EdgeOp::L2L) < g(EdgeOp::I2L), "L→L {} vs I→L {}", g(EdgeOp::L2L), g(EdgeOp::I2L));
+    assert!(
+        g(EdgeOp::I2I) < g(EdgeOp::M2I),
+        "I→I {} vs M→I {}",
+        g(EdgeOp::I2I),
+        g(EdgeOp::M2I)
+    );
+    assert!(
+        g(EdgeOp::I2I) < g(EdgeOp::I2L),
+        "I→I {} vs I→L {}",
+        g(EdgeOp::I2I),
+        g(EdgeOp::I2L)
+    );
+    assert!(
+        g(EdgeOp::M2M) < g(EdgeOp::M2I),
+        "M→M {} vs M→I {}",
+        g(EdgeOp::M2M),
+        g(EdgeOp::M2I)
+    );
+    assert!(
+        g(EdgeOp::L2L) < g(EdgeOp::I2L),
+        "L→L {} vs I→L {}",
+        g(EdgeOp::L2L),
+        g(EdgeOp::I2L)
+    );
 }

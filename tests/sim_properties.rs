@@ -22,7 +22,11 @@ fn random_dag() -> impl Strategy<Value = Dag> {
             let count = 1 + (next() as usize) % width;
             let mut cur = Vec::new();
             for _ in 0..count {
-                let class = if layer == 0 { NodeClass::S } else { NodeClass::M };
+                let class = if layer == 0 {
+                    NodeClass::S
+                } else {
+                    NodeClass::M
+                };
                 let id = b.add_node(class, all.len() as u32, layer as u8, 64);
                 if layer > 0 {
                     let k = 1 + (next() as usize) % 2.min(prev.len());
@@ -45,7 +49,13 @@ fn unit_cost() -> CostModel {
 }
 
 fn cfg(cores: usize) -> SimConfig {
-    SimConfig { localities: 1, cores_per_locality: cores, priority: false, trace: false, levelwise: false }
+    SimConfig {
+        localities: 1,
+        cores_per_locality: cores,
+        priority: false,
+        trace: false,
+        levelwise: false,
+    }
 }
 
 /// Total edge work in µs.
@@ -135,9 +145,19 @@ fn remote_latency_adds_to_chain() {
         remote_edge_overhead_us: 0.0,
         coalesce: true,
     };
-    let two = SimConfig { localities: 2, cores_per_locality: 1, priority: false, trace: false, levelwise: false };
+    let two = SimConfig {
+        localities: 2,
+        cores_per_locality: 1,
+        priority: false,
+        trace: false,
+        levelwise: false,
+    };
     let r = simulate(&dag, &unit_cost(), &net, &two);
     // Two hops of 100 µs latency plus 2×10 µs of edge work.
-    assert!((r.makespan_us - 220.0).abs() < 1e-6, "makespan {}", r.makespan_us);
+    assert!(
+        (r.makespan_us - 220.0).abs() < 1e-6,
+        "makespan {}",
+        r.makespan_us
+    );
     assert_eq!(r.messages, 2);
 }

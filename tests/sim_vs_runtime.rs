@@ -43,7 +43,10 @@ fn simulator_and_runtime_execute_identical_edge_sets() {
         &sources,
         &charges,
         &targets,
-        BuildParams { threshold: 40, max_level: 20 },
+        BuildParams {
+            threshold: 40,
+            max_level: 20,
+        },
     );
     let lib = OperatorLibrary::new(
         Laplace,
@@ -59,7 +62,12 @@ fn simulator_and_runtime_execute_identical_edge_sets() {
         levelwise: false,
         trace: true,
     };
-    let sim = simulate(&asm.dag, &CostModel::paper_table2(), &NetworkModel::gemini(), &cfg);
+    let sim = simulate(
+        &asm.dag,
+        &CostModel::paper_table2(),
+        &NetworkModel::gemini(),
+        &cfg,
+    );
     let sim_counts = class_counts(&sim.trace);
 
     for op in EdgeOp::ALL {
@@ -91,8 +99,15 @@ fn simulator_work_conservation_matches_cost_model() {
     let sources = uniform_cube(n, 83);
     let targets = uniform_cube(n, 84);
     let charges = vec![1.0; n];
-    let problem =
-        Problem::new(&sources, &charges, &targets, BuildParams { threshold: 40, max_level: 20 });
+    let problem = Problem::new(
+        &sources,
+        &charges,
+        &targets,
+        BuildParams {
+            threshold: 40,
+            max_level: 20,
+        },
+    );
     let lib = OperatorLibrary::new(
         Laplace,
         AccuracyParams::three_digit(),
@@ -109,13 +124,19 @@ fn simulator_work_conservation_matches_cost_model() {
         trace: true,
     };
     let r = simulate(&asm.dag, &cost, &NetworkModel::ideal(), &cfg);
-    let traced_us: f64 =
-        r.trace.all_events().map(|e| (e.end_ns - e.start_ns) as f64 / 1000.0).sum();
+    let traced_us: f64 = r
+        .trace
+        .all_events()
+        .map(|e| (e.end_ns - e.start_ns) as f64 / 1000.0)
+        .sum();
     let stats = dashmm::dag::DagStats::compute(&asm.dag);
     let expected: f64 = EdgeOp::ALL
         .iter()
         .map(|&op| stats.edges[op.index()].count as f64 * cost.op_us[op.index()])
         .sum();
     let rel = (traced_us - expected).abs() / expected;
-    assert!(rel < 1e-6, "traced {traced_us} vs expected {expected} (rel {rel:.2e})");
+    assert!(
+        rel < 1e-6,
+        "traced {traced_us} vs expected {expected} (rel {rel:.2e})"
+    );
 }
