@@ -13,6 +13,13 @@
 //! with scheduling order; callers must ensure (as the batched operators
 //! do) that per-edge results do not depend on which batch an edge lands
 //! in.
+//!
+//! In a multi-process run, every edge is applied — and therefore
+//! deposited — at the locality owning its destination LCO.  The sweep
+//! must register expectations **only for edges applied at localities this
+//! process hosts**: an edge applied at a remote process drains at *its*
+//! batcher, and counting it here would hold the local drain count
+//! ([`EdgeBatcher::remaining`]) open forever.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -87,6 +94,14 @@ impl<K: Eq + Hash, E> EdgeBatcher<K, E> {
     pub fn parked(&self) -> usize {
         self.buckets.lock().values().map(|b| b.entries.len()).sum()
     }
+
+    /// Deposits still outstanding across all keys — the open drain count.
+    /// Zero after a complete run; permanently nonzero if expectations were
+    /// registered for edges that drain at another process (see the module
+    /// docs).
+    pub fn remaining(&self) -> usize {
+        self.buckets.lock().values().map(|b| b.remaining).sum()
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +150,20 @@ mod tests {
         assert_eq!(b.parked(), 2);
         assert_eq!(b.deposit(1, 101), Some(vec![100, 101]));
         assert_eq!(b.deposit(2, 201), Some(vec![200, 201]));
+    }
+
+    #[test]
+    fn drain_count_closes_only_when_every_expected_edge_lands() {
+        let b: EdgeBatcher<u8, i32> = EdgeBatcher::new(4);
+        b.expect(1, 2);
+        b.expect(2, 1);
+        assert_eq!(b.remaining(), 3);
+        let _ = b.deposit(1, 0);
+        let _ = b.deposit(1, 1);
+        assert_eq!(b.remaining(), 1, "key 2 still holds the drain open");
+        let _ = b.deposit(2, 9);
+        assert_eq!(b.remaining(), 0);
+        assert_eq!(b.parked(), 0);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod lco;
 pub mod parcel;
 pub mod runtime;
 pub mod trace;
+pub mod transport;
 
 pub use addr::GlobalAddress;
 pub use batch::{EdgeBatcher, DEFAULT_BATCH_THRESHOLD};
@@ -42,3 +43,4 @@ pub use lco::{LcoOp, LcoSpec};
 pub use parcel::{decode_f64s, encode_f64s, ActionId, Parcel, Priority};
 pub use runtime::{RunReport, Runtime, RuntimeConfig, TaskCtx};
 pub use trace::{utilization_by_class, utilization_total, TraceEvent, TraceSet};
+pub use transport::{CoalesceConfig, SharedMem, Transport, TransportHooks, TransportStats};

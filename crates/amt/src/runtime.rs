@@ -12,6 +12,7 @@ use crate::addr::GlobalAddress;
 use crate::lco::{LcoCell, LcoSpec};
 use crate::parcel::{decode_f64s, encode_f64s, ActionId, Parcel, Priority};
 use crate::trace::{TraceEvent, TraceSet};
+use crate::transport::{SharedMem, Transport, TransportHooks};
 
 /// Runtime configuration.
 #[derive(Clone, Debug)]
@@ -125,12 +126,32 @@ pub struct Runtime {
     running: AtomicBool,
     epoch: Instant,
     trace_sink: Mutex<Vec<Vec<TraceEvent>>>,
+    transport: Arc<dyn Transport>,
 }
 
 impl Runtime {
-    /// Create a runtime; localities and workers are fixed for its lifetime.
+    /// Create a single-process runtime; every locality is a thread group in
+    /// this process (the [`SharedMem`] transport).
     pub fn new(cfg: RuntimeConfig) -> Arc<Self> {
+        let localities = cfg.localities as u32;
+        Self::with_transport(cfg, Arc::new(SharedMem::new(localities)))
+    }
+
+    /// Create a runtime whose remote parcels travel over `transport`.
+    ///
+    /// The transport spans `cfg.localities` localities total; only the
+    /// ones `transport.is_local` reports get worker threads here.  All
+    /// processes of a distributed run must build identical runtimes (same
+    /// config, same LCO allocation order, same action registration order)
+    /// so that global addresses and action ids agree — the SPMD discipline
+    /// of the paper's runtime.
+    pub fn with_transport(cfg: RuntimeConfig, transport: Arc<dyn Transport>) -> Arc<Self> {
         assert!(cfg.localities >= 1 && cfg.workers_per_locality >= 1);
+        assert_eq!(
+            cfg.localities,
+            transport.num_ranks() as usize,
+            "transport must span exactly the configured localities"
+        );
         let localities = (0..cfg.localities).map(|_| Locality::new()).collect();
         let rt = Arc::new(Runtime {
             cfg,
@@ -142,6 +163,34 @@ impl Runtime {
             running: AtomicBool::new(false),
             epoch: Instant::now(),
             trace_sink: Mutex::new(Vec::new()),
+            transport,
+        });
+        // Wire the transport back into the scheduler.  Weak: the runtime
+        // owns the transport, and progress threads may outlive a run.
+        let weak = Arc::downgrade(&rt);
+        let deliver = {
+            let weak = weak.clone();
+            Box::new(move |p: Parcel| {
+                if let Some(rt) = weak.upgrade() {
+                    debug_assert!(rt.is_local(p.target.locality));
+                    rt.enqueue(p.target.locality, Task::Parcel(p));
+                }
+            })
+        };
+        let locally_idle = {
+            let weak = weak.clone();
+            Box::new(move || {
+                weak.upgrade()
+                    .map(|rt| rt.pending.load(Ordering::SeqCst) == 0)
+                    .unwrap_or(true)
+            })
+        };
+        let epoch = rt.epoch;
+        let now_ns = Box::new(move || epoch.elapsed().as_nanos() as u64);
+        rt.transport.attach(TransportHooks {
+            deliver,
+            locally_idle,
+            now_ns,
         });
         // Built-in actions.
         let a0 = rt.register_action(Arc::new(|ctx: &TaskCtx, target, payload: &[u8]| {
@@ -166,6 +215,17 @@ impl Runtime {
     /// Number of localities.
     pub fn num_localities(&self) -> u32 {
         self.cfg.localities as u32
+    }
+
+    /// Whether `locality` is hosted by this process (always true with the
+    /// default [`SharedMem`] transport).
+    pub fn is_local(&self, locality: u32) -> bool {
+        self.transport.is_local(locality)
+    }
+
+    /// The transport carrying remote parcels.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// Register an action; must happen before the parcels using it are sent.
@@ -239,18 +299,32 @@ impl Runtime {
         b[offset..offset + len].to_vec()
     }
 
-    /// Enqueue a seed task before (or during) a run.
+    /// Enqueue a seed task before (or during) a run.  In a distributed
+    /// (SPMD) run every process executes the same seeding code; seeds for
+    /// localities another process hosts are dropped here, because that
+    /// process seeds them itself.
     pub fn seed(&self, locality: u32, f: impl FnOnce(&TaskCtx) + Send + 'static) {
+        if !self.is_local(locality) {
+            return;
+        }
         self.enqueue(locality, Task::Local(Box::new(f), Priority::Normal));
     }
 
-    /// Enqueue a seed parcel.
+    /// Enqueue a seed parcel (dropped for localities hosted elsewhere, as
+    /// with [`Runtime::seed`]).
     pub fn seed_parcel(&self, parcel: Parcel) {
         let loc = parcel.target.locality;
+        if !self.is_local(loc) {
+            return;
+        }
         self.enqueue(loc, Task::Parcel(parcel));
     }
 
     fn enqueue(&self, locality: u32, task: Task) {
+        debug_assert!(
+            self.is_local(locality),
+            "enqueue targets locality {locality}, which another process hosts"
+        );
         self.pending.fetch_add(1, Ordering::SeqCst);
         let l = &self.localities[locality as usize];
         if self.cfg.priority_scheduling && task.priority() == Priority::High {
@@ -286,7 +360,8 @@ impl Runtime {
     }
 
     /// Execute until quiescence: every enqueued task (and everything they
-    /// transitively spawn) has completed.  Returns run statistics.
+    /// transitively spawn) has completed — on *every* participating
+    /// process when the transport is distributed.  Returns run statistics.
     pub fn run(&self) -> RunReport {
         let t0 = Instant::now();
         let msgs0: u64 = self
@@ -299,6 +374,7 @@ impl Runtime {
             .iter()
             .map(|l| l.bytes_sent.load(Ordering::Relaxed))
             .sum();
+        let net0 = self.transport.stats();
         let tasks0 = self.tasks_run.load(Ordering::Relaxed);
         let run_start_ns = self.epoch.elapsed().as_nanos() as u64;
         // Concurrent runs would share the pending counter and shutdown
@@ -310,9 +386,21 @@ impl Runtime {
             "Runtime::run() is already active on another thread"
         );
         self.shutdown.store(false, Ordering::SeqCst);
+        if self.cfg.tracing {
+            // Discard communication spans from before this run.
+            let _ = self.transport.drain_trace();
+        }
+        // New run epoch: parcels that raced ahead of this run are released
+        // into the scheduler now.
+        self.transport.begin_run();
 
         std::thread::scope(|scope| {
+            let mut n_local = 0usize;
             for (loc_id, loc) in self.localities.iter().enumerate() {
+                if !self.transport.is_local(loc_id as u32) {
+                    continue;
+                }
+                n_local += 1;
                 // Per-locality worker deques with intra-locality stealing
                 // (HPX-5 was configured with local randomized workstealing).
                 let workers: Vec<Worker<Task>> = (0..self.cfg.workers_per_locality)
@@ -327,20 +415,43 @@ impl Runtime {
                     });
                 }
             }
-            // Quiescence monitor.
-            while self.pending.load(Ordering::SeqCst) > 0 {
+            assert!(n_local > 0, "no locality of this runtime is local");
+            // Quiescence monitor: local idleness alone with the shared-
+            // memory transport; global termination detection otherwise.
+            loop {
+                let idle = self.pending.load(Ordering::SeqCst) == 0;
+                if self.transport.poll_quiescence(idle) {
+                    break;
+                }
                 std::thread::sleep(std::time::Duration::from_micros(200));
             }
             self.shutdown.store(true, Ordering::SeqCst);
         });
 
-        let mut trace = TraceSet::new(self.cfg.localities * self.cfg.workers_per_locality);
-        for mut buf in self.trace_sink.lock().drain(..) {
-            for e in &mut buf {
+        let local_workers = (0..self.cfg.localities as u32)
+            .filter(|&l| self.transport.is_local(l))
+            .count()
+            * self.cfg.workers_per_locality;
+        let rebase = |buf: &mut Vec<TraceEvent>| {
+            for e in buf.iter_mut() {
                 e.start_ns = e.start_ns.saturating_sub(run_start_ns);
                 e.end_ns = e.end_ns.saturating_sub(run_start_ns);
             }
+        };
+        let mut comm = if self.cfg.tracing {
+            self.transport.drain_trace()
+        } else {
+            Vec::new()
+        };
+        // The progress thread counts as one more lane when it traced.
+        let mut trace = TraceSet::new(local_workers + usize::from(!comm.is_empty()));
+        for mut buf in self.trace_sink.lock().drain(..) {
+            rebase(&mut buf);
             trace.push_worker(buf);
+        }
+        if !comm.is_empty() {
+            rebase(&mut comm);
+            trace.push_worker(comm);
         }
         self.running.store(false, Ordering::SeqCst);
         let msgs1: u64 = self
@@ -353,11 +464,12 @@ impl Runtime {
             .iter()
             .map(|l| l.bytes_sent.load(Ordering::Relaxed))
             .sum();
+        let net1 = self.transport.stats();
         RunReport {
             wall_ns: t0.elapsed().as_nanos() as u64,
             tasks: self.tasks_run.load(Ordering::Relaxed) - tasks0,
-            messages: msgs1 - msgs0,
-            bytes: bytes1 - bytes0,
+            messages: (msgs1 - msgs0) + (net1.parcels_sent - net0.parcels_sent),
+            bytes: (bytes1 - bytes0) + (net1.bytes_sent - net0.bytes_sent),
             trace,
         }
     }
@@ -528,8 +640,9 @@ impl<'a> TaskCtx<'a> {
         }
     }
 
-    /// Send a parcel; local targets are enqueued directly, remote targets
-    /// cross the (counted) network.
+    /// Send a parcel; local targets are enqueued directly, other
+    /// localities of this process cross the (counted) in-process network,
+    /// and localities hosted elsewhere go through the transport.
     pub fn send(&self, parcel: Parcel) {
         if parcel.target.locality == self.locality {
             self.rt.pending.fetch_add(1, Ordering::SeqCst);
@@ -541,13 +654,17 @@ impl<'a> TaskCtx<'a> {
             } else {
                 self.local.push(task);
             }
-        } else {
+        } else if self.rt.is_local(parcel.target.locality) {
             let src = &self.rt.localities[self.locality as usize];
             src.msgs_sent.fetch_add(1, Ordering::Relaxed);
             src.bytes_sent
                 .fetch_add(parcel.wire_bytes(), Ordering::Relaxed);
             self.rt
                 .enqueue(parcel.target.locality, Task::Parcel(parcel));
+        } else {
+            // The transport counts parcels and bytes itself; counting here
+            // too would double-book the run report.
+            self.rt.transport.send(parcel);
         }
     }
 

@@ -8,7 +8,7 @@
 //! Run: `cargo run --release -p dashmm-bench --bin ablation_coalesce [--n N]`
 
 use dashmm_bench::{banner, build_workload, cost_model, distribute, Opts};
-use dashmm_sim::{simulate, NetworkModel, SimConfig};
+use dashmm_sim::{simulate, CoalesceConfig, NetworkModel, SimConfig};
 
 const CORES_PER_LOCALITY: usize = 32;
 
@@ -30,7 +30,11 @@ fn main() {
         distribute(&w.problem, &mut w.asm, localities as u32);
         let run = |coalesce: bool| {
             let net = NetworkModel {
-                coalesce,
+                coalesce: if coalesce {
+                    CoalesceConfig::default()
+                } else {
+                    CoalesceConfig::disabled()
+                },
                 ..NetworkModel::gemini()
             };
             let cfg = SimConfig {

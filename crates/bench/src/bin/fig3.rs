@@ -50,7 +50,7 @@ fn main() {
     ];
 
     let mut net = NetworkModel::gemini();
-    net.coalesce = !base.no_coalesce;
+    net.coalesce.enabled = !base.no_coalesce;
 
     let mut final_eff = Vec::new();
     let mut csv_rows: Vec<Vec<String>> = Vec::new();

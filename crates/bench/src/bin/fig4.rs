@@ -8,10 +8,16 @@
 //! scaling inefficiency of Figure 3.
 //!
 //! Run: `cargo run --release -p dashmm-bench --bin fig4 [--n N]`
+//!
+//! With `--localities L --transport socket` the utilization study is
+//! replaced by a *measured* multi-process run: L OS processes evaluate
+//! the same workload over loopback TCP, rank 0 verifies the merged
+//! potentials against a single-process reference and prints the measured
+//! communication next to the simulator's prediction for the same machine.
 
 use dashmm_amt::utilization_total;
 use dashmm_bench::report::{downsample, sparkline, write_csv};
-use dashmm_bench::{banner, build_workload, cost_model, distribute, Opts};
+use dashmm_bench::{banner, build_workload, cost_model, distribute, socket, Opts};
 use dashmm_sim::{simulate, NetworkModel, SimConfig};
 
 const INTERVALS: usize = 100;
@@ -19,6 +25,9 @@ const CORES_PER_LOCALITY: usize = 32;
 
 fn main() {
     let opts = Opts::parse();
+    if socket::maybe_run(&opts, true) {
+        return;
+    }
     banner(
         "Figure 4 — total utilization fraction f_k over 100 intervals",
         &format!("workload: cube laplace n={} (paper: 30 M)", opts.n),

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p dashmm-bench --bin table1 [--n N] [--dist cube|sphere]`
 
-use dashmm_bench::{banner, build_workload, Opts};
+use dashmm_bench::{banner, build_workload, socket, Opts};
 use dashmm_dag::{DagStats, NodeClass};
 
 /// Paper Table I, for reference printing.
@@ -22,6 +22,12 @@ const PAPER: [(&str, u64, &str, u32, u32, u32, u32); 6] = [
 
 fn main() {
     let opts = Opts::parse();
+    // `--transport socket`: measure the real communication footprint of
+    // this DAG's distribution (per-destination parcels/bytes) with one
+    // process per locality before printing the node table.
+    if socket::maybe_run(&opts, false) {
+        return;
+    }
     banner(
         "Table I — DAG node classes (count, size, degrees)",
         &format!(

@@ -7,6 +7,7 @@
 
 pub mod opbench;
 pub mod report;
+pub mod socket;
 
 use std::sync::Arc;
 
@@ -35,6 +36,33 @@ pub struct Opts {
     pub no_coalesce: bool,
     /// Cost-model selection for the simulator binaries.
     pub cost: CostMode,
+    /// Localities for a measured (multi-process) run.
+    pub localities: usize,
+    /// Workers per locality for a measured run.
+    pub workers: usize,
+    /// How localities are realised in a measured run.
+    pub transport: TransportMode,
+}
+
+/// How localities are realised when a binary actually evaluates (rather
+/// than simulates).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportMode {
+    /// All localities inside this process (threads only).
+    Shared,
+    /// One OS process per locality over loopback TCP (`dashmm-net`).
+    Socket,
+}
+
+impl TransportMode {
+    /// Parse `shared` / `socket`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "shared" => Some(TransportMode::Shared),
+            "socket" => Some(TransportMode::Socket),
+            _ => None,
+        }
+    }
 }
 
 impl Default for Opts {
@@ -47,14 +75,18 @@ impl Default for Opts {
             seed: 42,
             no_coalesce: false,
             cost: CostMode::Paper,
+            localities: 2,
+            workers: 2,
+            transport: TransportMode::Shared,
         }
     }
 }
 
 impl Opts {
     /// Parse `--n`, `--dist`, `--kernel`, `--threshold`, `--seed`,
-    /// `--no-coalesce`, `--cost` from `std::env::args`.  Invalid usage
-    /// prints a message and exits with status 2.
+    /// `--no-coalesce`, `--cost`, `--localities`, `--workers`,
+    /// `--transport` from `std::env::args`.  Invalid usage prints a
+    /// message and exits with status 2.
     pub fn parse() -> Self {
         let mut o = Opts::default();
         let args: Vec<String> = std::env::args().collect();
@@ -63,7 +95,8 @@ impl Opts {
             eprintln!(
                 "usage: {} [--n N] [--dist cube|sphere|plummer] \
        [--kernel laplace|yukawa[:λ]] [--threshold T] [--seed S] \
-       [--cost paper|measured] [--no-coalesce]",
+       [--cost paper|measured] [--no-coalesce] \
+       [--localities L] [--workers W] [--transport shared|socket]",
                 args.first().map(String::as_str).unwrap_or("bench")
             );
             std::process::exit(2);
@@ -112,6 +145,23 @@ impl Opts {
                 "--cost" => {
                     o.cost = CostMode::parse(value(i, "--cost"))
                         .unwrap_or_else(|| usage("--cost expects paper|measured"));
+                    i += 2;
+                }
+                "--localities" => {
+                    o.localities = value(i, "--localities")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--localities expects an integer"));
+                    i += 2;
+                }
+                "--workers" => {
+                    o.workers = value(i, "--workers")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--workers expects an integer"));
+                    i += 2;
+                }
+                "--transport" => {
+                    o.transport = TransportMode::parse(value(i, "--transport"))
+                        .unwrap_or_else(|| usage("--transport expects shared|socket"));
                     i += 2;
                 }
                 other => usage(&format!("unknown option {other}")),

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dashmm_amt::{RunReport, Runtime, RuntimeConfig};
+use dashmm_amt::{RunReport, Runtime, RuntimeConfig, Transport};
 use dashmm_dag::{
     BlockPolicy, Dag, DagStats, DistributionPolicy, FmmPolicy, NodeClass, SingleLocality,
 };
@@ -43,6 +43,7 @@ pub struct DashmmBuilder<K: Kernel> {
     tracing: bool,
     gradients: bool,
     policy: Policy,
+    transport: Option<Arc<dyn Transport>>,
 }
 
 impl<K: Kernel> DashmmBuilder<K> {
@@ -60,6 +61,7 @@ impl<K: Kernel> DashmmBuilder<K> {
             tracing: false,
             gradients: false,
             policy: Policy::Fmm,
+            transport: None,
         }
     }
 
@@ -116,6 +118,17 @@ impl<K: Kernel> DashmmBuilder<K> {
         self
     }
 
+    /// Run the localities over an explicit [`Transport`] (e.g. a
+    /// `dashmm-net` socket transport in a multi-process run).  Overrides
+    /// the locality count given to [`DashmmBuilder::machine`] with the
+    /// transport's world size; every process must build the identical
+    /// evaluation (SPMD), and each hosts only its own rank's workers.
+    pub fn transport(mut self, t: Arc<dyn Transport>) -> Self {
+        self.localities = t.num_ranks() as usize;
+        self.transport = Some(t);
+        self
+    }
+
     /// Build the trees, assemble and distribute the explicit DAG, and stand
     /// up the runtime.  The returned [`Evaluation`] can be evaluated
     /// repeatedly (the paper's iterative use case).
@@ -162,12 +175,16 @@ impl<K: Kernel> DashmmBuilder<K> {
             }
         }
 
-        let runtime = Runtime::new(RuntimeConfig {
+        let rt_cfg = RuntimeConfig {
             localities: self.localities,
             workers_per_locality: self.workers,
             priority_scheduling: self.priority,
             tracing: self.tracing,
-        });
+        };
+        let runtime = match self.transport {
+            Some(t) => Runtime::with_transport(rt_cfg, t),
+            None => Runtime::new(rt_cfg),
+        };
         Evaluation {
             problem,
             lib,

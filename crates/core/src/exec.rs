@@ -171,14 +171,20 @@ impl<K: Kernel> ExecCtx<K> {
         // Pre-count the batched edges per (apply locality, operator): both
         // local and coalesced remote edges apply at the destination LCO's
         // locality, so a DAG sweep gives exact drain totals and the last
-        // deposit of every key is guaranteed to flush its batch.
+        // deposit of every key is guaranteed to flush its batch.  Only
+        // localities this process hosts get expectations — an edge applied
+        // at a remote process deposits into *its* batcher, and counting it
+        // here would hold the local drain count open forever.
         let batchers: Vec<EdgeBatcher<BatchKey, BatchEntry>> = (0..n_loc)
             .map(|_| EdgeBatcher::new(DEFAULT_BATCH_THRESHOLD))
             .collect();
         for id in 0..dag.num_nodes() as u32 {
             for e in dag.out_edges(id) {
                 if let Some(key) = self.batch_key(id, e) {
-                    batchers[lcos[e.dst as usize].locality as usize].expect(key, 1);
+                    let apply_loc = lcos[e.dst as usize].locality;
+                    if rt.is_local(apply_loc) {
+                        batchers[apply_loc as usize].expect(key, 1);
+                    }
                 }
             }
         }

@@ -109,7 +109,14 @@ impl DistributionPolicy for FmmPolicy {
                 }
             }
             for (&id, &w) in &it_index {
-                if let Some((&loc, _)) = weight[w].iter().max_by_key(|(_, &b)| b) {
+                // Ties break toward the smallest locality id: HashMap
+                // iteration order is seeded per process, and a multi-process
+                // SPMD run needs every rank to compute the identical
+                // distribution.
+                let best = weight[w]
+                    .iter()
+                    .max_by_key(|(&loc, &b)| (b, std::cmp::Reverse(loc)));
+                if let Some((&loc, _)) = best {
                     dag.set_locality(id, loc);
                 }
             }

@@ -1,0 +1,239 @@
+//! Per-destination parcel coalescing (paper §IV).
+//!
+//! Remote parcels are encoded into a per-destination buffer and shipped as
+//! one [`FrameKind::Parcels`](crate::wire::FrameKind::Parcels) frame when
+//! the buffer reaches the byte threshold, when its oldest parcel ages past
+//! the flush interval, when the locality goes idle, or at shutdown.  The
+//! thresholds come from the [`CoalesceConfig`] the simulator's network
+//! model shares, so predicted and measured runs coalesce identically.
+//!
+//! The coalescer is pure bookkeeping — no sockets, no clock of its own —
+//! which keeps it unit-testable; the transport's progress engine owns the
+//! I/O and feeds it timestamps.
+
+use dashmm_amt::{CoalesceConfig, Parcel};
+
+use crate::metrics::FlushReason;
+use crate::wire::{encode_frame, encode_parcel, parcel_wire_len, parcels_body, FrameKind};
+
+/// One frame the coalescer decided to ship.
+#[derive(Debug)]
+pub struct Flush {
+    /// Destination rank.
+    pub dest: u32,
+    /// Complete frame bytes (header included), ready for the socket.
+    pub frame: Vec<u8>,
+    /// Parcels inside.
+    pub parcels: u32,
+    /// What triggered the flush.
+    pub reason: FlushReason,
+}
+
+#[derive(Default)]
+struct DestBuf {
+    encoded: Vec<u8>,
+    count: u32,
+    first_ns: u64,
+}
+
+/// Per-destination coalescing buffers.
+pub struct Coalescer {
+    cfg: CoalesceConfig,
+    rank: u16,
+    epoch: u32,
+    bufs: Vec<DestBuf>,
+}
+
+impl Coalescer {
+    /// Buffers for `ranks` destinations, sending as `rank`.
+    pub fn new(ranks: u32, rank: u32, cfg: CoalesceConfig) -> Self {
+        Coalescer {
+            cfg,
+            rank: rank as u16,
+            epoch: 0,
+            bufs: (0..ranks).map(|_| DestBuf::default()).collect(),
+        }
+    }
+
+    /// Stamp subsequent frames with a new run epoch.  Must only be called
+    /// with all buffers empty (epochs never straddle a frame).
+    pub fn set_epoch(&mut self, epoch: u32) {
+        debug_assert!(self.is_empty(), "epoch change with parcels buffered");
+        self.epoch = epoch;
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CoalesceConfig {
+        &self.cfg
+    }
+
+    fn seal(&mut self, dest: u32, reason: FlushReason) -> Flush {
+        let buf = &mut self.bufs[dest as usize];
+        let body = parcels_body(self.epoch, buf.count, &buf.encoded);
+        let flush = Flush {
+            dest,
+            frame: encode_frame(FrameKind::Parcels, self.rank, &body),
+            parcels: buf.count,
+            reason,
+        };
+        buf.encoded.clear();
+        buf.count = 0;
+        flush
+    }
+
+    /// Add one parcel bound for `dest`.  Returns the frames (0, 1 or 2)
+    /// this push forces out: with coalescing disabled the parcel ships
+    /// alone; otherwise a push that would overflow `max_bytes` first seals
+    /// the standing buffer, and a parcel that alone reaches the threshold
+    /// ships immediately.
+    pub fn push(&mut self, dest: u32, parcel: &Parcel, now_ns: u64) -> Vec<Flush> {
+        debug_assert_eq!(dest, parcel.target.locality);
+        let mut out = Vec::new();
+        if !self.cfg.enabled {
+            let mut encoded = Vec::with_capacity(parcel_wire_len(parcel));
+            encode_parcel(parcel, &mut encoded);
+            let body = parcels_body(self.epoch, 1, &encoded);
+            out.push(Flush {
+                dest,
+                frame: encode_frame(FrameKind::Parcels, self.rank, &body),
+                parcels: 1,
+                reason: FlushReason::Unbatched,
+            });
+            return out;
+        }
+        let add = parcel_wire_len(parcel);
+        if self.bufs[dest as usize].count > 0
+            && self.bufs[dest as usize].encoded.len() + add > self.cfg.max_bytes
+        {
+            out.push(self.seal(dest, FlushReason::Size));
+        }
+        let buf = &mut self.bufs[dest as usize];
+        if buf.count == 0 {
+            buf.first_ns = now_ns;
+        }
+        encode_parcel(parcel, &mut buf.encoded);
+        buf.count += 1;
+        if buf.encoded.len() >= self.cfg.max_bytes {
+            out.push(self.seal(dest, FlushReason::Size));
+        }
+        out
+    }
+
+    /// Seal every buffer whose oldest parcel is older than the flush
+    /// interval.
+    pub fn flush_aged(&mut self, now_ns: u64) -> Vec<Flush> {
+        let deadline = self.cfg.max_delay_us * 1_000;
+        let due: Vec<u32> = (0..self.bufs.len() as u32)
+            .filter(|&d| {
+                let b = &self.bufs[d as usize];
+                b.count > 0 && now_ns.saturating_sub(b.first_ns) >= deadline
+            })
+            .collect();
+        due.into_iter()
+            .map(|d| self.seal(d, FlushReason::Interval))
+            .collect()
+    }
+
+    /// Seal every non-empty buffer (idle or shutdown drain).
+    pub fn flush_all(&mut self, reason: FlushReason) -> Vec<Flush> {
+        let due: Vec<u32> = (0..self.bufs.len() as u32)
+            .filter(|&d| self.bufs[d as usize].count > 0)
+            .collect();
+        due.into_iter().map(|d| self.seal(d, reason)).collect()
+    }
+
+    /// Encoded bytes currently buffered across destinations.
+    pub fn buffered_bytes(&self) -> usize {
+        self.bufs.iter().map(|b| b.encoded.len()).sum()
+    }
+
+    /// Whether every buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.iter().all(|b| b.count == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode_frame_exact, decode_parcels_body};
+    use dashmm_amt::{ActionId, GlobalAddress};
+
+    fn parcel(dest: u32, len: usize) -> Parcel {
+        Parcel::new(ActionId(1), GlobalAddress::new(dest, 0), vec![0xAA; len])
+    }
+
+    fn cfg(max_bytes: usize) -> CoalesceConfig {
+        CoalesceConfig {
+            max_bytes,
+            ..CoalesceConfig::default()
+        }
+    }
+
+    #[test]
+    fn small_parcels_accumulate_until_size_flush() {
+        let mut c = Coalescer::new(2, 0, cfg(200));
+        let mut flushes = Vec::new();
+        for _ in 0..10 {
+            flushes.extend(c.push(1, &parcel(1, 30), 0));
+        }
+        // 47 encoded bytes each: four fit under 200, the fifth overflows.
+        assert!(!flushes.is_empty());
+        let f = &flushes[0];
+        assert_eq!(f.dest, 1);
+        assert_eq!(f.reason, FlushReason::Size);
+        assert!(f.parcels >= 2, "coalesced {} parcels", f.parcels);
+        let frame = decode_frame_exact(&f.frame).unwrap();
+        let (_, ps) = decode_parcels_body(&frame.body).unwrap();
+        assert_eq!(ps.len() as u32, f.parcels);
+    }
+
+    #[test]
+    fn disabled_ships_every_parcel_alone() {
+        let mut c = Coalescer::new(2, 0, CoalesceConfig::disabled());
+        for _ in 0..3 {
+            let fs = c.push(1, &parcel(1, 8), 0);
+            assert_eq!(fs.len(), 1);
+            assert_eq!(fs[0].parcels, 1);
+            assert_eq!(fs[0].reason, FlushReason::Unbatched);
+        }
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn aged_buffers_flush_on_interval() {
+        let mut c = Coalescer::new(3, 0, cfg(1 << 20));
+        assert!(c.push(2, &parcel(2, 8), 1_000).is_empty());
+        assert!(c.flush_aged(10_000).is_empty(), "not yet aged");
+        let aged = c.flush_aged(1_000 + 200 * 1_000);
+        assert_eq!(aged.len(), 1);
+        assert_eq!(aged[0].reason, FlushReason::Interval);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn oversize_parcel_seals_standing_buffer_first() {
+        let mut c = Coalescer::new(2, 0, cfg(100));
+        assert!(c.push(1, &parcel(1, 10), 0).is_empty());
+        // 200-byte payload exceeds max_bytes on its own: the 10-byte
+        // buffer seals, then the big parcel ships alone.
+        let fs = c.push(1, &parcel(1, 200), 0);
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[0].parcels, 1);
+        assert_eq!(fs[1].parcels, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn epoch_stamped_into_frames() {
+        let mut c = Coalescer::new(2, 1, cfg(1 << 20));
+        c.set_epoch(7);
+        c.push(0, &parcel(0, 4), 0);
+        let fs = c.flush_all(FlushReason::Shutdown);
+        let frame = decode_frame_exact(&fs[0].frame).unwrap();
+        assert_eq!(frame.src, 1);
+        let (epoch, ps) = decode_parcels_body(&frame.body).unwrap();
+        assert_eq!(epoch, 7);
+        assert_eq!(ps.len(), 1);
+    }
+}

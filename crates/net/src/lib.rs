@@ -1,0 +1,85 @@
+//! dashmm-net: a real multi-process transport for the DASHMM runtime.
+//!
+//! The simulator (`dashmm-sim`) predicts what distributed runs would do;
+//! this crate actually does it, on one machine: each locality is an OS
+//! process, parcels travel as length-prefixed checksummed frames over
+//! loopback TCP, and a per-locality progress thread coalesces, ships and
+//! delivers them (paper §IV's network model, made concrete).
+//!
+//! - [`wire`] — the versioned little-endian frame and parcel encoding.
+//! - [`coalesce`] — per-destination buffers with byte-size and
+//!   flush-interval thresholds, sharing [`CoalesceConfig`] with the
+//!   simulator's network model.
+//! - [`transport`] — [`SocketTransport`]: the progress engine,
+//!   backpressure, distributed termination detection, barrier and gather.
+//! - [`launcher`] — [`bootstrap`]: self-re-execution, rendezvous and mesh
+//!   construction.
+//! - [`metrics`] — per-destination parcel/byte/frame counters, the
+//!   coalesced-batch histogram and flush-reason tallies.
+//!
+//! A binary becomes multi-process by calling [`bootstrap`] early and
+//! handing the returned transport to
+//! `dashmm_amt::Runtime::with_transport` (or the `dashmm-core` builder):
+//!
+//! ```no_run
+//! use dashmm_amt::CoalesceConfig;
+//! use dashmm_net::{bootstrap, Role};
+//!
+//! match bootstrap(2, CoalesceConfig::default()).unwrap() {
+//!     Role::Launcher(report) => assert!(report.success()),
+//!     Role::Rank(transport) => {
+//!         // ... build the runtime on `transport`, run, then:
+//!         transport.barrier().unwrap();
+//!         transport.shutdown();
+//!     }
+//! }
+//! ```
+
+pub mod coalesce;
+pub mod launcher;
+pub mod metrics;
+pub mod transport;
+pub mod wire;
+
+pub use coalesce::{Coalescer, Flush};
+pub use dashmm_amt::CoalesceConfig;
+pub use launcher::{bootstrap, env_rank, net_timeout, LaunchReport, Role};
+pub use metrics::{CommMetrics, DestMetrics, FlushReason};
+pub use transport::{SocketTransport, TRACE_CLASS_RX, TRACE_CLASS_TX};
+pub use wire::{FrameKind, WireError};
+
+/// Element-wise sum of per-rank partial results gathered as raw little-
+/// endian `f64` blobs (the reduction used to merge distributed potentials).
+pub fn merge_sum_f64(parts: &[Vec<u8>]) -> Vec<f64> {
+    let n = parts.first().map_or(0, |p| p.len() / 8);
+    let mut acc = vec![0.0f64; n];
+    for part in parts {
+        assert_eq!(part.len(), n * 8, "ranks gathered differing lengths");
+        for (i, chunk) in part.chunks_exact(8).enumerate() {
+            acc[i] += f64::from_le_bytes(chunk.try_into().unwrap());
+        }
+    }
+    acc
+}
+
+/// Encode a slice of `f64` as the little-endian blob [`merge_sum_f64`]
+/// consumes.
+pub fn f64s_to_bytes(xs: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(xs.len() * 8);
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_elementwise() {
+        let a = f64s_to_bytes(&[1.0, 2.0, 3.0]);
+        let b = f64s_to_bytes(&[0.5, -2.0, 10.0]);
+        assert_eq!(merge_sum_f64(&[a, b]), vec![1.5, 0.0, 13.0]);
+    }
+}

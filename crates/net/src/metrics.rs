@@ -1,0 +1,184 @@
+//! Communication metrics: what the transport did, per destination.
+//!
+//! The counters answer the questions the paper's coalescing ablation asks
+//! of a real run: how many parcels went where, how well did they coalesce
+//! (batch-size histogram), why did buffers flush, and how deep did the
+//! send queue get under backpressure.
+
+/// Why a coalescing buffer was flushed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum FlushReason {
+    /// The byte threshold (`CoalesceConfig::max_bytes`) was reached.
+    Size = 0,
+    /// The oldest parcel aged past `CoalesceConfig::max_delay_us`.
+    Interval = 1,
+    /// The locality went idle with parcels still buffered.
+    Idle = 2,
+    /// Coalescing disabled: every parcel ships alone.
+    Unbatched = 3,
+    /// Transport shutdown drained the buffer.
+    Shutdown = 4,
+}
+
+/// Number of [`FlushReason`] variants.
+pub const FLUSH_REASONS: usize = 5;
+
+const REASON_NAMES: [&str; FLUSH_REASONS] = ["size", "interval", "idle", "unbatched", "shutdown"];
+
+/// Log₂ histogram buckets for parcels-per-frame.
+pub const BATCH_HIST_BUCKETS: usize = 16;
+
+/// Per-destination send counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DestMetrics {
+    /// Parcels queued toward this destination.
+    pub parcels: u64,
+    /// Encoded parcel bytes (frame headers excluded).
+    pub bytes: u64,
+    /// Frames shipped.
+    pub frames: u64,
+}
+
+/// A snapshot of the transport's communication counters.
+#[derive(Clone, Debug, Default)]
+pub struct CommMetrics {
+    /// Send counters indexed by destination rank (the own-rank slot stays
+    /// zero).
+    pub per_dest: Vec<DestMetrics>,
+    /// Histogram of parcels per coalesced frame: bucket `i` counts frames
+    /// carrying `[2^i, 2^(i+1))` parcels (last bucket is open-ended).
+    pub batch_hist: [u64; BATCH_HIST_BUCKETS],
+    /// Flush counts indexed by [`FlushReason`].
+    pub flush_reasons: [u64; FLUSH_REASONS],
+    /// High-water mark of bytes queued toward peers awaiting socket writes.
+    pub max_queued_bytes: usize,
+    /// Times a sender blocked on the bounded queue.
+    pub backpressure_stalls: u64,
+    /// Parcel frames received.
+    pub rx_frames: u64,
+    /// Parcels delivered into the scheduler.
+    pub rx_parcels: u64,
+    /// Parcel body bytes received.
+    pub rx_bytes: u64,
+}
+
+impl CommMetrics {
+    /// Metrics for a transport spanning `ranks` destinations.
+    pub fn new(ranks: usize) -> Self {
+        CommMetrics {
+            per_dest: vec![DestMetrics::default(); ranks],
+            ..CommMetrics::default()
+        }
+    }
+
+    /// Record one frame of `count` parcels flushed for `reason`.
+    pub fn record_flush(&mut self, dest: usize, count: u64, reason: FlushReason) {
+        self.per_dest[dest].frames += 1;
+        self.flush_reasons[reason as usize] += 1;
+        let bucket = (63 - count.max(1).leading_zeros() as usize).min(BATCH_HIST_BUCKETS - 1);
+        self.batch_hist[bucket] += 1;
+    }
+
+    /// Total parcels sent across destinations.
+    pub fn parcels_sent(&self) -> u64 {
+        self.per_dest.iter().map(|d| d.parcels).sum()
+    }
+
+    /// Total frames sent across destinations.
+    pub fn frames_sent(&self) -> u64 {
+        self.per_dest.iter().map(|d| d.frames).sum()
+    }
+
+    /// Mean parcels per sent frame.
+    pub fn mean_batch(&self) -> f64 {
+        let frames = self.frames_sent();
+        if frames == 0 {
+            0.0
+        } else {
+            self.parcels_sent() as f64 / frames as f64
+        }
+    }
+
+    /// Multi-line human-readable summary, prefixed per line with `[rank r]`.
+    pub fn summary(&self, rank: u32) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (d, m) in self.per_dest.iter().enumerate() {
+            if m.parcels == 0 && m.frames == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                s,
+                "[rank {rank}] -> rank {d}: {} parcels, {} bytes, {} frames ({:.1} parcels/frame)",
+                m.parcels,
+                m.bytes,
+                m.frames,
+                if m.frames > 0 {
+                    m.parcels as f64 / m.frames as f64
+                } else {
+                    0.0
+                },
+            );
+        }
+        let hist: Vec<String> = self
+            .batch_hist
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| format!("2^{i}:{c}"))
+            .collect();
+        let _ = writeln!(s, "[rank {rank}] batch-size histogram: {}", hist.join(" "));
+        let reasons: Vec<String> = self
+            .flush_reasons
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| format!("{}:{c}", REASON_NAMES[i]))
+            .collect();
+        let _ = writeln!(
+            s,
+            "[rank {rank}] flushes: {}; max queued {} B; {} backpressure stalls",
+            reasons.join(" "),
+            self.max_queued_bytes,
+            self.backpressure_stalls,
+        );
+        let _ = writeln!(
+            s,
+            "[rank {rank}] rx: {} frames, {} parcels, {} bytes",
+            self.rx_frames, self.rx_parcels, self.rx_bytes,
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut m = CommMetrics::new(2);
+        m.record_flush(1, 1, FlushReason::Size);
+        m.record_flush(1, 2, FlushReason::Size);
+        m.record_flush(1, 3, FlushReason::Interval);
+        m.record_flush(1, 17, FlushReason::Idle);
+        assert_eq!(m.batch_hist[0], 1);
+        assert_eq!(m.batch_hist[1], 2);
+        assert_eq!(m.batch_hist[4], 1);
+        assert_eq!(m.flush_reasons[FlushReason::Size as usize], 2);
+        assert_eq!(m.per_dest[1].frames, 4);
+    }
+
+    #[test]
+    fn summary_mentions_active_destinations_only() {
+        let mut m = CommMetrics::new(3);
+        m.per_dest[2].parcels = 5;
+        m.per_dest[2].bytes = 500;
+        m.record_flush(2, 5, FlushReason::Size);
+        let s = m.summary(0);
+        assert!(s.contains("-> rank 2"));
+        assert!(!s.contains("-> rank 1"));
+        assert!((m.mean_batch() - 5.0).abs() < 1e-12);
+    }
+}

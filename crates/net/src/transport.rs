@@ -1,0 +1,952 @@
+//! The socket transport: one locality per OS process, one progress thread
+//! per locality.
+//!
+//! Outbound parcels pass through the per-destination [`Coalescer`] into
+//! bounded per-peer write queues; a worker that outruns the network blocks
+//! on [`CoalesceConfig::max_queue_bytes`] (backpressure) instead of growing
+//! the queue without bound.  The progress thread owns all socket I/O: it
+//! drains reads through a streaming [`FrameDecoder`] into the scheduler
+//! (honouring parcel priority — delivery goes through the runtime's
+//! priority-aware enqueue), retires write queues, ages out coalescing
+//! buffers, and runs distributed termination detection.
+//!
+//! ## Termination
+//!
+//! Quiescence of a distributed run is detected with a coordinator-based
+//! double-confirmation protocol (in the family of Safra's algorithm).
+//! Whenever a rank is locally idle (no task queued or executing — an exact
+//! probe, not a cached flag) with empty outbound buffers, it reports
+//! `STATUS(epoch, seq, sent, recv)` to rank 0, where `sent`/`recv` are
+//! cumulative parcel counters and `seq` increments per report.  Rank 0
+//! declares the epoch finished once two consecutive complete snapshots
+//! agree: all ranks at the current epoch, `Σsent == Σrecv`, per-rank
+//! counters unchanged between the snapshots, and every rank's `seq`
+//! strictly advanced (so both snapshots postdate the counters they
+//! confirm).  A parcel in flight between the snapshots would change
+//! `recv` on delivery and void the match, so a `DONE` broadcast proves a
+//! moment of global quiescence existed — and quiescence is stable, because
+//! new work arises only from running tasks or parcel delivery.
+//!
+//! ## Run epochs
+//!
+//! Ranks leave a run as soon as `DONE` arrives, so a fast rank may start
+//! the next evaluation — and send parcels for it — while a slow rank still
+//! sits in the previous one.  Parcel frames therefore carry the sender's
+//! run epoch: frames from the future are staged and only delivered (and
+//! counted as received) when the local `begin_run` enters that epoch,
+//! keeping both the scheduler's pending counter and the termination
+//! counters consistent across back-to-back runs.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use dashmm_amt::{CoalesceConfig, Parcel, TraceEvent, Transport, TransportHooks, TransportStats};
+use parking_lot::Mutex;
+
+use crate::coalesce::{Coalescer, Flush};
+use crate::metrics::{CommMetrics, FlushReason};
+use crate::wire::{decode_parcels_body, encode_frame, parcel_wire_len, FrameDecoder, FrameKind};
+
+/// Trace class of socket-write spans (follows the 11 `EdgeOp` classes).
+pub const TRACE_CLASS_TX: u8 = 11;
+/// Trace class of receive-and-deliver spans.
+pub const TRACE_CLASS_RX: u8 = 12;
+
+/// Cap on buffered trace events (a run that never drains cannot leak).
+const TRACE_CAP: usize = 1 << 20;
+/// Minimum interval between STATUS reports from an idle rank.
+const STATUS_INTERVAL_NS: u64 = 200_000;
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("dashmm-net fatal: {msg}");
+    std::process::exit(86);
+}
+
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct RankStatus {
+    epoch: u32,
+    seq: u64,
+    sent: u64,
+    recv: u64,
+}
+
+/// Rank-0 coordinator state.
+#[derive(Default)]
+struct Coord {
+    status: Vec<RankStatus>,
+    candidate: Option<Vec<RankStatus>>,
+    done_sent_epoch: u32,
+    barrier_arrived: Vec<u32>,
+    barrier_released: u32,
+    gather_parts: HashMap<u32, Vec<Option<Vec<u8>>>>,
+}
+
+/// Client-side synchronisation state (barrier releases, finished gathers).
+#[derive(Default)]
+struct SyncState {
+    barrier_release_gen: u32,
+    gather_ready: HashMap<u32, Vec<Vec<u8>>>,
+}
+
+struct Peer {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    closed: bool,
+}
+
+struct Outbound {
+    coalescer: Coalescer,
+    /// Per-destination frames awaiting socket writes (`is_parcels` marks
+    /// frames that count toward parcel-emptiness).
+    queues: Vec<VecDeque<(Vec<u8>, bool)>>,
+    /// Write offset into the front frame of each queue.
+    offsets: Vec<usize>,
+    /// Unwritten bytes across all queues (the backpressure quantity).
+    queued_bytes: usize,
+    /// Queued frames that carry parcels.
+    parcel_frames: usize,
+}
+
+struct Shared {
+    rank: u32,
+    ranks: u32,
+    cfg: CoalesceConfig,
+    peers: Vec<Option<Mutex<Peer>>>,
+    out: StdMutex<Outbound>,
+    out_cv: Condvar,
+    hooks: OnceLock<TransportHooks>,
+    epoch: AtomicU32,
+    done_epoch: AtomicU32,
+    sent: AtomicU64,
+    recv: AtomicU64,
+    stat_bytes_sent: AtomicU64,
+    stat_frames_sent: AtomicU64,
+    stat_bytes_recv: AtomicU64,
+    metrics: Mutex<CommMetrics>,
+    trace: Mutex<Vec<TraceEvent>>,
+    staged: Mutex<Vec<(u32, Vec<Parcel>)>>,
+    coord: Mutex<Coord>,
+    sync: StdMutex<SyncState>,
+    sync_cv: Condvar,
+    barrier_gen: AtomicU32,
+    gather_gen: AtomicU32,
+    stop: AtomicBool,
+    timeout: Duration,
+}
+
+/// The multi-process transport (see module docs).
+pub struct SocketTransport {
+    shared: Arc<Shared>,
+    progress: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl SocketTransport {
+    /// Build a transport for `rank` of `ranks` over an established full
+    /// mesh (`peers[r]` connected to rank `r`, own slot `None`).
+    pub fn new(
+        rank: u32,
+        ranks: u32,
+        peers: Vec<Option<TcpStream>>,
+        cfg: CoalesceConfig,
+        timeout: Duration,
+    ) -> Self {
+        assert_eq!(peers.len(), ranks as usize);
+        assert!(rank < ranks && peers[rank as usize].is_none());
+        let peers = peers
+            .into_iter()
+            .map(|s| {
+                s.map(|stream| {
+                    stream.set_nonblocking(true).expect("set_nonblocking");
+                    stream.set_nodelay(true).ok();
+                    Mutex::new(Peer {
+                        stream,
+                        decoder: FrameDecoder::new(),
+                        closed: false,
+                    })
+                })
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            rank,
+            ranks,
+            cfg,
+            peers,
+            out: StdMutex::new(Outbound {
+                coalescer: Coalescer::new(ranks, rank, cfg),
+                queues: (0..ranks).map(|_| VecDeque::new()).collect(),
+                offsets: vec![0; ranks as usize],
+                queued_bytes: 0,
+                parcel_frames: 0,
+            }),
+            out_cv: Condvar::new(),
+            hooks: OnceLock::new(),
+            epoch: AtomicU32::new(0),
+            done_epoch: AtomicU32::new(0),
+            sent: AtomicU64::new(0),
+            recv: AtomicU64::new(0),
+            stat_bytes_sent: AtomicU64::new(0),
+            stat_frames_sent: AtomicU64::new(0),
+            stat_bytes_recv: AtomicU64::new(0),
+            metrics: Mutex::new(CommMetrics::new(ranks as usize)),
+            trace: Mutex::new(Vec::new()),
+            staged: Mutex::new(Vec::new()),
+            coord: Mutex::new(Coord {
+                status: vec![RankStatus::default(); ranks as usize],
+                barrier_arrived: vec![0; ranks as usize],
+                ..Coord::default()
+            }),
+            sync: StdMutex::new(SyncState::default()),
+            sync_cv: Condvar::new(),
+            barrier_gen: AtomicU32::new(0),
+            gather_gen: AtomicU32::new(0),
+            stop: AtomicBool::new(false),
+            timeout,
+        });
+        SocketTransport {
+            shared,
+            progress: Mutex::new(None),
+        }
+    }
+
+    /// This rank's coalescing configuration.
+    pub fn coalesce_config(&self) -> CoalesceConfig {
+        self.shared.cfg
+    }
+
+    /// Snapshot of the communication metrics.
+    pub fn metrics(&self) -> CommMetrics {
+        self.shared.metrics.lock().clone()
+    }
+
+    /// Block until every rank reached this barrier (generation-numbered;
+    /// call it the same number of times on every rank).
+    pub fn barrier(&self) -> std::io::Result<()> {
+        let s = &self.shared;
+        let gen = s.barrier_gen.fetch_add(1, Ordering::SeqCst) + 1;
+        if s.rank == 0 {
+            let mut c = s.coord.lock();
+            c.barrier_arrived[0] = gen;
+        } else {
+            enqueue_control(s, 0, FrameKind::Barrier, &gen.to_le_bytes());
+        }
+        let deadline = Instant::now() + s.timeout;
+        let mut sync = s.sync.lock().unwrap();
+        while sync.barrier_release_gen < gen {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("barrier generation {gen} timed out"),
+                ));
+            }
+            let (g, _) = s
+                .sync_cv
+                .wait_timeout(sync, left.min(Duration::from_millis(20)))
+                .unwrap();
+            sync = g;
+        }
+        Ok(())
+    }
+
+    /// Gather one byte blob per rank at rank 0.  Returns `Some(parts)`
+    /// (indexed by rank) on rank 0, `None` elsewhere.  Call it the same
+    /// number of times on every rank.
+    pub fn gather(&self, part: &[u8]) -> std::io::Result<Option<Vec<Vec<u8>>>> {
+        let s = &self.shared;
+        let gen = s.gather_gen.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut body = Vec::with_capacity(8 + part.len());
+        body.extend_from_slice(&gen.to_le_bytes());
+        body.extend_from_slice(&(part.len() as u32).to_le_bytes());
+        body.extend_from_slice(part);
+        if s.rank != 0 {
+            enqueue_control(s, 0, FrameKind::Gather, &body);
+            return Ok(None);
+        }
+        {
+            let mut c = s.coord.lock();
+            let ranks = s.ranks as usize;
+            c.gather_parts
+                .entry(gen)
+                .or_insert_with(|| vec![None; ranks])[0] = Some(part.to_vec());
+        }
+        check_gather_complete(s, gen);
+        let deadline = Instant::now() + s.timeout;
+        let mut sync = s.sync.lock().unwrap();
+        loop {
+            if let Some(parts) = sync.gather_ready.remove(&gen) {
+                return Ok(Some(parts));
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("gather generation {gen} timed out"),
+                ));
+            }
+            let (g, _) = s
+                .sync_cv
+                .wait_timeout(sync, left.min(Duration::from_millis(20)))
+                .unwrap();
+            sync = g;
+        }
+    }
+
+    /// Drain outbound buffers, say goodbye to the peers and stop the
+    /// progress thread.  Idempotent.  Call after a final [`barrier`]
+    /// (`SocketTransport::barrier`) so no peer still expects parcels.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.progress.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Transport for SocketTransport {
+    fn num_ranks(&self) -> u32 {
+        self.shared.ranks
+    }
+
+    fn rank(&self) -> u32 {
+        self.shared.rank
+    }
+
+    fn is_local(&self, locality: u32) -> bool {
+        locality == self.shared.rank
+    }
+
+    fn attach(&self, hooks: TransportHooks) {
+        if self.shared.hooks.set(hooks).is_err() {
+            fatal("transport attached twice");
+        }
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("dashmm-net-r{}", self.shared.rank))
+            .spawn(move || progress_loop(&shared))
+            .expect("spawn progress thread");
+        *self.progress.lock() = Some(handle);
+    }
+
+    fn begin_run(&self) {
+        let s = &self.shared;
+        let epoch = s.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        {
+            let mut out = s.out.lock().unwrap();
+            out.coalescer.set_epoch(epoch);
+        }
+        // Release parcels that raced ahead of this run.
+        let due: Vec<(u32, Vec<Parcel>)> = {
+            let mut staged = s.staged.lock();
+            let (due, keep) = std::mem::take(&mut *staged)
+                .into_iter()
+                .partition(|(e, _)| *e <= epoch);
+            *staged = keep;
+            due
+        };
+        for (_, parcels) in due {
+            deliver_parcels(s, parcels);
+        }
+    }
+
+    fn send(&self, parcel: Parcel) {
+        let s = &self.shared;
+        let hooks = s.hooks.get().unwrap_or_else(|| fatal("send before attach"));
+        let dest = parcel.target.locality;
+        debug_assert!(dest != s.rank && dest < s.ranks);
+        let now = (hooks.now_ns)();
+        let mut out = s.out.lock().unwrap();
+        let mut stalled = false;
+        while out.queued_bytes > s.cfg.max_queue_bytes && !s.stop.load(Ordering::Relaxed) {
+            if !stalled {
+                stalled = true;
+                s.metrics.lock().backpressure_stalls += 1;
+            }
+            let (g, _) = s
+                .out_cv
+                .wait_timeout(out, Duration::from_millis(1))
+                .unwrap();
+            out = g;
+        }
+        s.sent.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut m = s.metrics.lock();
+            let d = &mut m.per_dest[dest as usize];
+            d.parcels += 1;
+            d.bytes += parcel_wire_len(&parcel) as u64;
+        }
+        let flushes = out.coalescer.push(dest, &parcel, now);
+        for f in flushes {
+            enqueue_flush(s, &mut out, f);
+        }
+    }
+
+    fn poll_quiescence(&self, locally_idle: bool) -> bool {
+        let s = &self.shared;
+        locally_idle && s.done_epoch.load(Ordering::SeqCst) >= s.epoch.load(Ordering::SeqCst)
+    }
+
+    fn stats(&self) -> TransportStats {
+        let s = &self.shared;
+        TransportStats {
+            parcels_sent: s.sent.load(Ordering::SeqCst),
+            bytes_sent: s.stat_bytes_sent.load(Ordering::SeqCst),
+            frames_sent: s.stat_frames_sent.load(Ordering::SeqCst),
+            parcels_received: s.recv.load(Ordering::SeqCst),
+            bytes_received: s.stat_bytes_recv.load(Ordering::SeqCst),
+        }
+    }
+
+    fn drain_trace(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.shared.trace.lock())
+    }
+}
+
+/// Queue a sealed coalescer flush (metrics + stats + write queue).
+fn enqueue_flush(s: &Shared, out: &mut Outbound, f: Flush) {
+    let len = f.frame.len();
+    {
+        let mut m = s.metrics.lock();
+        m.record_flush(f.dest as usize, f.parcels as u64, f.reason);
+        m.max_queued_bytes = m.max_queued_bytes.max(out.queued_bytes + len);
+    }
+    s.stat_frames_sent.fetch_add(1, Ordering::SeqCst);
+    s.stat_bytes_sent.fetch_add(len as u64, Ordering::SeqCst);
+    out.queues[f.dest as usize].push_back((f.frame, true));
+    out.queued_bytes += len;
+    out.parcel_frames += 1;
+}
+
+/// Queue a control frame (bypasses the coalescer and parcel accounting).
+fn enqueue_control(s: &Shared, dest: u32, kind: FrameKind, body: &[u8]) {
+    debug_assert_ne!(dest, s.rank);
+    let frame = encode_frame(kind, s.rank as u16, body);
+    let mut out = s.out.lock().unwrap();
+    out.queued_bytes += frame.len();
+    out.queues[dest as usize].push_back((frame, false));
+}
+
+/// Deliver decoded parcels into the scheduler, counting them received.
+fn deliver_parcels(s: &Shared, parcels: Vec<Parcel>) {
+    let hooks = s
+        .hooks
+        .get()
+        .unwrap_or_else(|| fatal("deliver before attach"));
+    let n = parcels.len() as u64;
+    for p in parcels {
+        (hooks.deliver)(p);
+    }
+    s.recv.fetch_add(n, Ordering::SeqCst);
+}
+
+fn push_trace(s: &Shared, class: u8, start_ns: u64, end_ns: u64) {
+    let mut t = s.trace.lock();
+    if t.len() < TRACE_CAP {
+        t.push(TraceEvent {
+            class,
+            start_ns,
+            end_ns,
+        });
+    }
+}
+
+/// Move a completed gather to the client side if all parts arrived.
+fn check_gather_complete(s: &Shared, gen: u32) {
+    let parts = {
+        let mut c = s.coord.lock();
+        match c.gather_parts.get(&gen) {
+            Some(parts) if parts.iter().all(|p| p.is_some()) => c
+                .gather_parts
+                .remove(&gen)
+                .map(|ps| ps.into_iter().map(|p| p.unwrap()).collect::<Vec<_>>()),
+            _ => None,
+        }
+    };
+    if let Some(parts) = parts {
+        s.sync.lock().unwrap().gather_ready.insert(gen, parts);
+        s.sync_cv.notify_all();
+    }
+}
+
+/// Handle one inbound frame on the progress thread.
+fn handle_frame(s: &Shared, src: u32, kind: FrameKind, body: Vec<u8>, peer_closed: &mut bool) {
+    let le_u32 = |b: &[u8]| u32::from_le_bytes(b[..4].try_into().unwrap());
+    let le_u64 = |b: &[u8]| u64::from_le_bytes(b[..8].try_into().unwrap());
+    match kind {
+        FrameKind::Parcels => {
+            let start = s.hooks.get().map(|h| (h.now_ns)()).unwrap_or(0);
+            let (epoch, parcels) = match decode_parcels_body(&body) {
+                Ok(x) => x,
+                Err(e) => fatal(&format!(
+                    "rank {}: bad parcels frame from {src}: {e}",
+                    s.rank
+                )),
+            };
+            {
+                let mut m = s.metrics.lock();
+                m.rx_frames += 1;
+                m.rx_parcels += parcels.len() as u64;
+                m.rx_bytes += body.len() as u64;
+            }
+            s.stat_bytes_recv
+                .fetch_add(body.len() as u64, Ordering::SeqCst);
+            let cur = s.epoch.load(Ordering::SeqCst);
+            if epoch > cur {
+                s.staged.lock().push((epoch, parcels));
+            } else {
+                debug_assert_eq!(epoch, cur, "parcel frame from a finished epoch");
+                deliver_parcels(s, parcels);
+                if let Some(h) = s.hooks.get() {
+                    push_trace(s, TRACE_CLASS_RX, start, (h.now_ns)());
+                }
+            }
+        }
+        FrameKind::Status => {
+            if body.len() != 28 {
+                fatal(&format!(
+                    "rank {}: bad STATUS length {}",
+                    s.rank,
+                    body.len()
+                ));
+            }
+            let st = RankStatus {
+                epoch: le_u32(&body),
+                seq: le_u64(&body[4..]),
+                sent: le_u64(&body[12..]),
+                recv: le_u64(&body[20..]),
+            };
+            let mut c = s.coord.lock();
+            if st.seq >= c.status[src as usize].seq {
+                c.status[src as usize] = st;
+            }
+        }
+        FrameKind::Done => {
+            let epoch = le_u32(&body);
+            s.done_epoch.fetch_max(epoch, Ordering::SeqCst);
+        }
+        FrameKind::Barrier => {
+            let gen = le_u32(&body);
+            let mut c = s.coord.lock();
+            c.barrier_arrived[src as usize] = c.barrier_arrived[src as usize].max(gen);
+        }
+        FrameKind::Gather => {
+            let gen = le_u32(&body);
+            let len = le_u32(&body[4..]) as usize;
+            let part = body[8..8 + len].to_vec();
+            {
+                let mut c = s.coord.lock();
+                let ranks = s.ranks as usize;
+                c.gather_parts
+                    .entry(gen)
+                    .or_insert_with(|| vec![None; ranks])[src as usize] = Some(part);
+            }
+            check_gather_complete(s, gen);
+        }
+        FrameKind::BarrierRelease => {
+            let gen = le_u32(&body);
+            let mut sync = s.sync.lock().unwrap();
+            sync.barrier_release_gen = sync.barrier_release_gen.max(gen);
+            drop(sync);
+            s.sync_cv.notify_all();
+        }
+        FrameKind::Bye => {
+            *peer_closed = true;
+        }
+        FrameKind::Hello | FrameKind::PortMap => {
+            fatal(&format!(
+                "rank {}: unexpected {kind:?} after rendezvous",
+                s.rank
+            ));
+        }
+    }
+}
+
+/// Rank-0 only: evaluate termination and release due barriers.
+fn coordinate(s: &Shared) {
+    let cur = s.epoch.load(Ordering::SeqCst);
+    let mut c = s.coord.lock();
+    // Termination detection (see module docs).
+    if cur > 0 && c.done_sent_epoch < cur {
+        let snapshot = c.status.clone();
+        if snapshot.iter().all(|st| st.epoch == cur) {
+            let sent: u64 = snapshot.iter().map(|st| st.sent).sum();
+            let recv: u64 = snapshot.iter().map(|st| st.recv).sum();
+            if sent == recv {
+                let confirmed = c.candidate.as_ref().is_some_and(|prev| {
+                    prev.iter()
+                        .zip(&snapshot)
+                        .all(|(a, b)| a.sent == b.sent && a.recv == b.recv && b.seq > a.seq)
+                });
+                if confirmed {
+                    c.done_sent_epoch = cur;
+                    c.candidate = None;
+                    drop(c);
+                    s.done_epoch.fetch_max(cur, Ordering::SeqCst);
+                    for dest in 1..s.ranks {
+                        enqueue_control(s, dest, FrameKind::Done, &cur.to_le_bytes());
+                    }
+                    c = s.coord.lock();
+                } else {
+                    c.candidate = Some(snapshot);
+                }
+            } else {
+                c.candidate = None;
+            }
+        }
+    }
+    // Barrier release.
+    let next = c.barrier_released + 1;
+    if c.barrier_arrived.iter().all(|&g| g >= next) {
+        c.barrier_released = next;
+        drop(c);
+        for dest in 1..s.ranks {
+            enqueue_control(s, dest, FrameKind::BarrierRelease, &next.to_le_bytes());
+        }
+        let mut sync = s.sync.lock().unwrap();
+        sync.barrier_release_gen = sync.barrier_release_gen.max(next);
+        drop(sync);
+        s.sync_cv.notify_all();
+    }
+}
+
+/// Non-blocking read pump for one peer; returns whether bytes arrived.
+fn pump_reads(s: &Shared, r: u32) -> bool {
+    let peer_cell = match &s.peers[r as usize] {
+        Some(p) => p,
+        None => return false,
+    };
+    let mut progressed = false;
+    let mut frames = Vec::new();
+    // A clean goodbye and the EOF often land in the same pump; the verdict
+    // on a hangup must wait until the buffered frames (the Bye among them)
+    // have been handled.
+    let mut hangup: Option<String> = None;
+    {
+        let mut peer = peer_cell.lock();
+        if peer.closed {
+            return false;
+        }
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match peer.stream.read(&mut buf) {
+                Ok(0) => {
+                    hangup = Some("hung up".into());
+                    break;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    peer.decoder.push(&buf[..n]);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    hangup = Some(format!("read failed: {e}"));
+                    break;
+                }
+            }
+        }
+        loop {
+            match peer.decoder.next_frame() {
+                Ok(Some(f)) => frames.push(f),
+                Ok(None) => break,
+                Err(e) => fatal(&format!(
+                    "rank {}: stream from rank {r} corrupt: {e}",
+                    s.rank
+                )),
+            }
+        }
+    }
+    for f in frames {
+        let mut closed = false;
+        handle_frame(s, r, f.kind, f.body, &mut closed);
+        if closed {
+            peer_cell.lock().closed = true;
+        }
+    }
+    if let Some(why) = hangup {
+        let mut peer = peer_cell.lock();
+        // Only a hangup while the current epoch's work is still open is a
+        // crash; once termination is detected the ranks race each other
+        // through barrier/shutdown and a peer may exit before our own stop
+        // flag is raised.  A premature exit still surfaces through the
+        // launcher's exit-status collection.
+        let done = s.done_epoch.load(Ordering::SeqCst) >= s.epoch.load(Ordering::SeqCst);
+        if !peer.closed && !done && !s.stop.load(Ordering::Relaxed) {
+            fatal(&format!(
+                "rank {}: rank {r} {why} mid-run (epoch {} done {})",
+                s.rank,
+                s.epoch.load(Ordering::SeqCst),
+                s.done_epoch.load(Ordering::SeqCst)
+            ));
+        }
+        peer.closed = true;
+    }
+    progressed
+}
+
+/// Write pump: retire queued frames; returns whether bytes moved.
+fn pump_writes(s: &Shared) -> bool {
+    let mut progressed = false;
+    let mut out = s.out.lock().unwrap();
+    let start = s.hooks.get().map(|h| (h.now_ns)());
+    for r in 0..s.ranks {
+        if r == s.rank {
+            continue;
+        }
+        let peer_cell = match &s.peers[r as usize] {
+            Some(p) => p,
+            None => continue,
+        };
+        let mut peer = peer_cell.lock();
+        while let Some((frame, is_parcels)) = out.queues[r as usize].pop_front() {
+            let off = out.offsets[r as usize];
+            match peer.stream.write(&frame[off..]) {
+                Ok(0) => fatal(&format!("rank {}: zero-length write to rank {r}", s.rank)),
+                Ok(n) => {
+                    progressed = true;
+                    out.queued_bytes -= n;
+                    if off + n == frame.len() {
+                        out.offsets[r as usize] = 0;
+                        if is_parcels {
+                            out.parcel_frames -= 1;
+                        }
+                    } else {
+                        out.offsets[r as usize] = off + n;
+                        out.queues[r as usize].push_front((frame, is_parcels));
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    out.queues[r as usize].push_front((frame, is_parcels));
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    out.queues[r as usize].push_front((frame, is_parcels));
+                    continue;
+                }
+                Err(e) => {
+                    if s.stop.load(Ordering::Relaxed) || peer.closed {
+                        // Peer already gone at shutdown: drop its queue.
+                        let mut dropped = frame.len() - off;
+                        dropped += out.queues[r as usize]
+                            .iter()
+                            .map(|(f, _)| f.len())
+                            .sum::<usize>();
+                        out.queued_bytes -= dropped;
+                        out.parcel_frames -=
+                            out.queues[r as usize].iter().filter(|(_, p)| *p).count()
+                                + usize::from(is_parcels);
+                        out.offsets[r as usize] = 0;
+                        out.queues[r as usize].clear();
+                        break;
+                    }
+                    fatal(&format!("rank {}: write to rank {r}: {e}", s.rank));
+                }
+            }
+        }
+    }
+    if progressed {
+        if let (Some(start), Some(h)) = (start, s.hooks.get()) {
+            push_trace(s, TRACE_CLASS_TX, start, (h.now_ns)());
+        }
+        s.out_cv.notify_all();
+    }
+    progressed
+}
+
+/// The per-locality progress engine.
+fn progress_loop(s: &Shared) {
+    let mut last_status_ns = 0u64;
+    let mut own_seq = 0u64;
+    let mut bye_sent = false;
+    loop {
+        let mut progressed = false;
+        for r in 0..s.ranks {
+            if r != s.rank {
+                progressed |= pump_reads(s, r);
+            }
+        }
+        if let Some(h) = s.hooks.get() {
+            let now = (h.now_ns)();
+            let stopping = s.stop.load(Ordering::Relaxed);
+            // Age out coalescing buffers; drain them entirely when idle.
+            let (flushes, empty) = {
+                let mut out = s.out.lock().unwrap();
+                let mut flushes = out.coalescer.flush_aged(now);
+                if (h.locally_idle)() || stopping {
+                    let reason = if stopping {
+                        FlushReason::Shutdown
+                    } else {
+                        FlushReason::Idle
+                    };
+                    flushes.extend(out.coalescer.flush_all(reason));
+                }
+                for f in flushes.drain(..) {
+                    progressed = true;
+                    enqueue_flush(s, &mut out, f);
+                }
+                (0, out.coalescer.is_empty() && out.parcel_frames == 0)
+            };
+            let _ = flushes;
+            // Report idle status to the coordinator.
+            if !stopping
+                && empty
+                && (h.locally_idle)()
+                && now.saturating_sub(last_status_ns) >= STATUS_INTERVAL_NS
+            {
+                last_status_ns = now;
+                own_seq += 1;
+                let st = RankStatus {
+                    epoch: s.epoch.load(Ordering::SeqCst),
+                    seq: own_seq,
+                    sent: s.sent.load(Ordering::SeqCst),
+                    recv: s.recv.load(Ordering::SeqCst),
+                };
+                if s.rank == 0 {
+                    s.coord.lock().status[0] = st;
+                } else {
+                    let mut body = Vec::with_capacity(28);
+                    body.extend_from_slice(&st.epoch.to_le_bytes());
+                    body.extend_from_slice(&st.seq.to_le_bytes());
+                    body.extend_from_slice(&st.sent.to_le_bytes());
+                    body.extend_from_slice(&st.recv.to_le_bytes());
+                    enqueue_control(s, 0, FrameKind::Status, &body);
+                }
+            }
+        }
+        if s.rank == 0 {
+            coordinate(s);
+        }
+        if s.stop.load(Ordering::Relaxed) && !bye_sent {
+            bye_sent = true;
+            for r in 0..s.ranks {
+                if r != s.rank && s.peers[r as usize].is_some() {
+                    enqueue_control(s, r, FrameKind::Bye, &[]);
+                }
+            }
+            s.out_cv.notify_all();
+        }
+        progressed |= pump_writes(s);
+        if bye_sent && s.out.lock().unwrap().queued_bytes == 0 {
+            break;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(30));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashmm_amt::{ActionId, GlobalAddress};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = l.accept().unwrap();
+        (a, b)
+    }
+
+    fn transport(rank: u32, stream: TcpStream, cfg: CoalesceConfig) -> Arc<SocketTransport> {
+        let mut peers = vec![None, None];
+        peers[(1 - rank) as usize] = Some(stream);
+        Arc::new(SocketTransport::new(
+            rank,
+            2,
+            peers,
+            cfg,
+            Duration::from_secs(30),
+        ))
+    }
+
+    fn attach_counting(
+        t: &SocketTransport,
+        delivered: Arc<Mutex<Vec<Parcel>>>,
+        idle: Arc<AtomicBool>,
+    ) {
+        let epoch = Instant::now();
+        t.attach(TransportHooks {
+            deliver: Box::new(move |p| delivered.lock().push(p)),
+            locally_idle: Box::new(move || idle.load(Ordering::SeqCst)),
+            now_ns: Box::new(move || epoch.elapsed().as_nanos() as u64),
+        });
+    }
+
+    /// Two transports over a real socket pair: parcels sent from rank 0
+    /// arrive at rank 1, coalesced, and the pair detects termination.
+    #[test]
+    fn two_rank_delivery_and_termination() {
+        let (a, b) = pair();
+        let t0 = transport(0, a, CoalesceConfig::default());
+        let t1 = transport(1, b, CoalesceConfig::default());
+        let d0 = Arc::new(Mutex::new(Vec::new()));
+        let d1 = Arc::new(Mutex::new(Vec::new()));
+        let idle0 = Arc::new(AtomicBool::new(false));
+        let idle1 = Arc::new(AtomicBool::new(true));
+        attach_counting(&t0, d0.clone(), idle0.clone());
+        attach_counting(&t1, d1.clone(), idle1.clone());
+        t0.begin_run();
+        t1.begin_run();
+        for i in 0..100u32 {
+            t0.send(Parcel::new(
+                ActionId(3),
+                GlobalAddress::new(1, i),
+                vec![i as u8; 24],
+            ));
+        }
+        idle0.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !(t0.poll_quiescence(true) && t1.poll_quiescence(true)) {
+            assert!(Instant::now() < deadline, "termination not detected");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(d1.lock().len(), 100);
+        assert!(d0.lock().is_empty());
+        let m = t0.metrics();
+        assert_eq!(m.per_dest[1].parcels, 100);
+        assert!(m.frames_sent() < 100, "parcels were coalesced");
+        assert!(t0.stats().parcels_sent == 100 && t1.stats().parcels_received == 100);
+        let b1 = std::thread::spawn({
+            let t1 = Arc::clone(&t1);
+            move || t1.barrier().unwrap()
+        });
+        t0.barrier().unwrap();
+        b1.join().unwrap();
+        t0.shutdown();
+        t1.shutdown();
+    }
+
+    /// Gather collects every rank's blob at rank 0.
+    #[test]
+    fn gather_collects_parts() {
+        let (a, b) = pair();
+        let t0 = transport(0, a, CoalesceConfig::default());
+        let t1 = transport(1, b, CoalesceConfig::default());
+        let idle = Arc::new(AtomicBool::new(true));
+        attach_counting(&t0, Arc::new(Mutex::new(Vec::new())), idle.clone());
+        attach_counting(&t1, Arc::new(Mutex::new(Vec::new())), idle.clone());
+        let from1 = std::thread::spawn({
+            let t1 = Arc::clone(&t1);
+            move || t1.gather(b"from-one").unwrap()
+        });
+        let parts = t0.gather(b"from-zero").unwrap().expect("rank 0 gets parts");
+        assert_eq!(parts[0], b"from-zero");
+        assert_eq!(parts[1], b"from-one");
+        assert_eq!(from1.join().unwrap(), None);
+        t0.shutdown();
+        t1.shutdown();
+    }
+}

@@ -1,0 +1,482 @@
+//! The versioned little-endian wire format.
+//!
+//! Everything crossing a socket is a length-prefixed **frame**:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  "DNET" (0x444E4554, little endian on the wire)
+//!      4     1  format version (1)
+//!      5     1  frame kind
+//!      6     2  source rank
+//!      8     4  body length in bytes
+//!     12     4  CRC-32 (IEEE) of the body
+//!     16     …  body
+//! ```
+//!
+//! Parcel-carrying frames ([`FrameKind::Parcels`]) hold a run epoch, a
+//! parcel count, and that many encoded parcels:
+//!
+//! ```text
+//! body:    epoch u32 | count u32 | parcel*
+//! parcel:  action u32 | target u64 | priority u8 | payload_len u32 | payload
+//! ```
+//!
+//! Decoding never panics: malformed input of any kind maps to a
+//! [`WireError`].  A frame's integrity is protected end to end — a flipped
+//! bit anywhere in the body fails the checksum, and a corrupted length
+//! field either exceeds [`MAX_FRAME_BODY`] (rejected as [`WireError::Oversize`])
+//! or misaligns the magic of the following frame.
+
+use std::fmt;
+
+use dashmm_amt::{ActionId, GlobalAddress, Parcel, Priority};
+
+/// Frame magic: "DNET" read as a little-endian `u32`.
+pub const MAGIC: u32 = 0x444E_4554;
+/// Wire-format version this build speaks.
+pub const VERSION: u8 = 1;
+/// Bytes in a frame header.
+pub const HEADER_BYTES: usize = 16;
+/// Fixed bytes of one encoded parcel before its payload.
+pub const PARCEL_HEADER_BYTES: usize = 17;
+/// Upper bound on a frame body; larger lengths are treated as corruption
+/// rather than honoured as allocations.
+pub const MAX_FRAME_BODY: usize = 64 << 20;
+
+/// What a frame carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Rendezvous/mesh handshake: `rank u32 | listen_port u16`.
+    Hello = 1,
+    /// Launcher → rank: `count u32 | port u16 × count`.
+    PortMap = 2,
+    /// Coalesced parcels (see module docs).
+    Parcels = 3,
+    /// Termination report to rank 0: `epoch u32 | seq u64 | sent u64 | recv u64`.
+    Status = 4,
+    /// Rank 0 → all: the epoch in the body has quiesced globally.
+    Done = 5,
+    /// Barrier arrival at rank 0: `generation u32`.
+    Barrier = 6,
+    /// Rank 0 → all: barrier generation released.
+    BarrierRelease = 7,
+    /// Gather contribution to rank 0: `generation u32 | len u32 | bytes`.
+    Gather = 8,
+    /// Orderly connection close.
+    Bye = 9,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Option<FrameKind> {
+        Some(match v {
+            1 => FrameKind::Hello,
+            2 => FrameKind::PortMap,
+            3 => FrameKind::Parcels,
+            4 => FrameKind::Status,
+            5 => FrameKind::Done,
+            6 => FrameKind::Barrier,
+            7 => FrameKind::BarrierRelease,
+            8 => FrameKind::Gather,
+            9 => FrameKind::Bye,
+            _ => return None,
+        })
+    }
+}
+
+/// Decode failure.  Every variant is an error return, never a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The magic bytes are wrong — the stream is misaligned or foreign.
+    BadMagic,
+    /// A version this build does not speak.
+    BadVersion(u8),
+    /// Unknown frame kind.
+    BadKind(u8),
+    /// Body length exceeds [`MAX_FRAME_BODY`].
+    Oversize(usize),
+    /// Checksum mismatch.
+    Corrupt,
+    /// The input ends mid-structure (only a terminal condition for whole
+    /// buffers; the streaming decoder just waits for more bytes).
+    Truncated,
+    /// A parcel inside a `Parcels` body is malformed.
+    BadParcel,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Oversize(n) => write!(f, "frame body of {n} bytes exceeds limit"),
+            WireError::Corrupt => write!(f, "frame checksum mismatch"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadParcel => write!(f, "malformed parcel in frame body"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Sending rank.
+    pub src: u16,
+    /// Frame body.
+    pub body: Vec<u8>,
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), the checksum guarding frame
+/// bodies.  Implemented locally: the workspace builds offline.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Encode one frame (header + body) into a fresh buffer.
+pub fn encode_frame(kind: FrameKind, src: u16, body: &[u8]) -> Vec<u8> {
+    assert!(
+        body.len() <= MAX_FRAME_BODY,
+        "frame body over the wire limit"
+    );
+    let mut out = Vec::with_capacity(HEADER_BYTES + body.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(VERSION);
+    out.push(kind as u8);
+    out.extend_from_slice(&src.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().unwrap())
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+/// Decode one frame from the front of `buf`.  `Ok(Some((frame, consumed)))`
+/// on success, `Ok(None)` when `buf` holds a valid prefix that needs more
+/// bytes, `Err` on structural corruption.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+    if buf.len() < HEADER_BYTES {
+        // Reject garbage early even before a full header arrives.
+        if !MAGIC.to_le_bytes().starts_with(&buf[..buf.len().min(4)]) {
+            return Err(WireError::BadMagic);
+        }
+        return Ok(None);
+    }
+    if le_u32(buf) != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if buf[4] != VERSION {
+        return Err(WireError::BadVersion(buf[4]));
+    }
+    let kind = FrameKind::from_u8(buf[5]).ok_or(WireError::BadKind(buf[5]))?;
+    let src = u16::from_le_bytes(buf[6..8].try_into().unwrap());
+    let len = le_u32(&buf[8..]) as usize;
+    if len > MAX_FRAME_BODY {
+        return Err(WireError::Oversize(len));
+    }
+    if buf.len() < HEADER_BYTES + len {
+        return Ok(None);
+    }
+    let body = &buf[HEADER_BYTES..HEADER_BYTES + len];
+    if crc32(body) != le_u32(&buf[12..]) {
+        return Err(WireError::Corrupt);
+    }
+    Ok(Some((
+        Frame {
+            kind,
+            src,
+            body: body.to_vec(),
+        },
+        HEADER_BYTES + len,
+    )))
+}
+
+/// Decode a complete buffer holding exactly one frame; trailing input or a
+/// partial frame is an error (the strict form the property tests exercise).
+pub fn decode_frame_exact(buf: &[u8]) -> Result<Frame, WireError> {
+    match decode_frame(buf)? {
+        Some((f, used)) if used == buf.len() => Ok(f),
+        Some(_) => Err(WireError::BadMagic), // trailing bytes: misframed
+        None => Err(WireError::Truncated),
+    }
+}
+
+/// Streaming frame decoder: feed arbitrary chunks, take whole frames out.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// Empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Append received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily so the buffer does not grow without bound.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Take the next complete frame, `Ok(None)` when more bytes are needed.
+    /// After an `Err` the stream is unrecoverable (TCP does not lose bytes,
+    /// so misalignment means corruption, not loss).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        match decode_frame(&self.buf[self.pos..])? {
+            Some((f, used)) => {
+                self.pos += used;
+                Ok(Some(f))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Encoded size of one parcel.
+pub fn parcel_wire_len(p: &Parcel) -> usize {
+    PARCEL_HEADER_BYTES + p.payload.len()
+}
+
+/// Append one encoded parcel.
+pub fn encode_parcel(p: &Parcel, out: &mut Vec<u8>) {
+    out.reserve(parcel_wire_len(p));
+    out.extend_from_slice(&p.action.0.to_le_bytes());
+    out.extend_from_slice(&p.target.pack().to_le_bytes());
+    out.push(match p.priority {
+        Priority::Normal => 0,
+        Priority::High => 1,
+    });
+    out.extend_from_slice(&(p.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&p.payload);
+}
+
+/// Decode one parcel from the front of `buf`; returns it plus the bytes
+/// consumed.
+pub fn decode_parcel(buf: &[u8]) -> Result<(Parcel, usize), WireError> {
+    if buf.len() < PARCEL_HEADER_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let action = ActionId(le_u32(buf));
+    let target = GlobalAddress::unpack(le_u64(&buf[4..]));
+    let priority = match buf[12] {
+        0 => Priority::Normal,
+        1 => Priority::High,
+        _ => return Err(WireError::BadParcel),
+    };
+    let plen = le_u32(&buf[13..]) as usize;
+    if plen > MAX_FRAME_BODY || buf.len() < PARCEL_HEADER_BYTES + plen {
+        return Err(WireError::Truncated);
+    }
+    let payload = buf[PARCEL_HEADER_BYTES..PARCEL_HEADER_BYTES + plen].to_vec();
+    let mut p = Parcel::new(action, target, payload);
+    p.priority = priority;
+    Ok((p, PARCEL_HEADER_BYTES + plen))
+}
+
+/// Build a [`FrameKind::Parcels`] body around already-encoded parcels.
+pub fn parcels_body(epoch: u32, count: u32, encoded: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(8 + encoded.len());
+    body.extend_from_slice(&epoch.to_le_bytes());
+    body.extend_from_slice(&count.to_le_bytes());
+    body.extend_from_slice(encoded);
+    body
+}
+
+/// Decode a [`FrameKind::Parcels`] body into its epoch and parcels.
+pub fn decode_parcels_body(body: &[u8]) -> Result<(u32, Vec<Parcel>), WireError> {
+    if body.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let epoch = le_u32(body);
+    let count = le_u32(&body[4..]) as usize;
+    let mut parcels = Vec::with_capacity(count.min(1024));
+    let mut at = 8;
+    for _ in 0..count {
+        let (p, used) = decode_parcel(&body[at..])?;
+        at += used;
+        parcels.push(p);
+    }
+    if at != body.len() {
+        return Err(WireError::BadParcel);
+    }
+    Ok((epoch, parcels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parcel(prio: Priority, payload: Vec<u8>) -> Parcel {
+        let mut p = Parcel::new(ActionId(7), GlobalAddress::new(3, 41), payload);
+        p.priority = prio;
+        p
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let buf = encode_frame(FrameKind::Status, 5, &[1, 2, 3]);
+        let f = decode_frame_exact(&buf).unwrap();
+        assert_eq!(f.kind, FrameKind::Status);
+        assert_eq!(f.src, 5);
+        assert_eq!(f.body, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn corrupt_body_detected() {
+        let mut buf = encode_frame(FrameKind::Parcels, 0, &[9; 32]);
+        buf[HEADER_BYTES + 7] ^= 0x10;
+        assert_eq!(decode_frame_exact(&buf), Err(WireError::Corrupt));
+    }
+
+    #[test]
+    fn bad_magic_version_kind() {
+        let good = encode_frame(FrameKind::Done, 0, &[0, 0, 0, 0]);
+        let mut b = good.clone();
+        b[0] ^= 1;
+        assert_eq!(decode_frame_exact(&b), Err(WireError::BadMagic));
+        let mut b = good.clone();
+        b[4] = 9;
+        assert_eq!(decode_frame_exact(&b), Err(WireError::BadVersion(9)));
+        let mut b = good.clone();
+        b[5] = 200;
+        assert_eq!(decode_frame_exact(&b), Err(WireError::BadKind(200)));
+    }
+
+    #[test]
+    fn oversize_length_rejected_not_allocated() {
+        let mut buf = encode_frame(FrameKind::Parcels, 0, &[]);
+        buf[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame_exact(&buf),
+            Err(WireError::Oversize(_))
+        ));
+    }
+
+    #[test]
+    fn parcel_roundtrip_preserves_priority() {
+        for prio in [Priority::Normal, Priority::High] {
+            let p = parcel(prio, vec![1, 2, 3, 4, 5]);
+            let mut buf = Vec::new();
+            encode_parcel(&p, &mut buf);
+            assert_eq!(buf.len(), parcel_wire_len(&p));
+            let (q, used) = decode_parcel(&buf).unwrap();
+            assert_eq!(used, buf.len());
+            assert_eq!(q.action, p.action);
+            assert_eq!(q.target, p.target);
+            assert_eq!(q.priority, p.priority);
+            assert_eq!(q.payload, p.payload);
+        }
+    }
+
+    #[test]
+    fn bad_priority_byte_rejected() {
+        let mut buf = Vec::new();
+        encode_parcel(&parcel(Priority::Normal, vec![]), &mut buf);
+        buf[12] = 2;
+        assert_eq!(decode_parcel(&buf).unwrap_err(), WireError::BadParcel);
+    }
+
+    #[test]
+    fn parcels_body_roundtrip() {
+        let ps = [
+            parcel(Priority::High, vec![1; 9]),
+            parcel(Priority::Normal, vec![]),
+            parcel(Priority::Normal, vec![7; 100]),
+        ];
+        let mut blob = Vec::new();
+        for p in &ps {
+            encode_parcel(p, &mut blob);
+        }
+        let body = parcels_body(42, ps.len() as u32, &blob);
+        let (epoch, out) = decode_parcels_body(&body).unwrap();
+        assert_eq!(epoch, 42);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].payload, vec![1; 9]);
+        assert_eq!(out[2].payload.len(), 100);
+    }
+
+    #[test]
+    fn parcels_body_trailing_bytes_rejected() {
+        let body = parcels_body(1, 0, &[0xAB]);
+        assert_eq!(
+            decode_parcels_body(&body).unwrap_err(),
+            WireError::BadParcel
+        );
+    }
+
+    #[test]
+    fn streaming_decoder_reassembles_split_frames() {
+        let a = encode_frame(FrameKind::Status, 1, &[1; 40]);
+        let b = encode_frame(FrameKind::Done, 1, &[2; 4]);
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for chunk in stream.chunks(7) {
+            dec.push(chunk);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].kind, FrameKind::Status);
+        assert_eq!(got[1].kind, FrameKind::Done);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn streaming_decoder_flags_garbage() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&[0xFF, 0xFF, 0xFF]);
+        assert!(dec.next_frame().is_err());
+    }
+}

@@ -1,5 +1,6 @@
 //! Cost and network models for the simulator.
 
+use dashmm_amt::CoalesceConfig;
 use dashmm_dag::EdgeOp;
 
 /// Per-operator execution costs in microseconds (per edge application),
@@ -80,9 +81,12 @@ pub struct NetworkModel {
     /// (§V-B: ~90% plateau multi-locality vs ~98% on one node).
     pub remote_edge_overhead_us: f64,
     /// Coalesce all remote edges of a task per destination locality into a
-    /// single parcel (DASHMM's optimisation, paper §IV).  Disable for the
-    /// ablation.
-    pub coalesce: bool,
+    /// single parcel (DASHMM's optimisation, paper §IV), subject to the
+    /// byte threshold.  This is the *same* struct the real transport
+    /// (`dashmm-net`) is configured with, so simulated predictions and
+    /// measured multi-process runs are parameterised identically.  Set
+    /// `enabled: false` for the ablation.
+    pub coalesce: CoalesceConfig,
 }
 
 impl NetworkModel {
@@ -94,7 +98,7 @@ impl NetworkModel {
             bytes_per_us: 6000.0,
             send_overhead_us: 0.3,
             remote_edge_overhead_us: 1.0,
-            coalesce: true,
+            coalesce: CoalesceConfig::default(),
         }
     }
 
@@ -105,7 +109,7 @@ impl NetworkModel {
             bytes_per_us: f64::INFINITY,
             send_overhead_us: 0.0,
             remote_edge_overhead_us: 0.0,
-            coalesce: true,
+            coalesce: CoalesceConfig::default(),
         }
     }
 
@@ -141,7 +145,7 @@ mod tests {
             bytes_per_us: 1000.0,
             send_overhead_us: 0.0,
             remote_edge_overhead_us: 0.0,
-            coalesce: true,
+            coalesce: CoalesceConfig::default(),
         };
         assert!((n.transfer_us(5000) - 7.0).abs() < 1e-12);
         let ideal = NetworkModel::ideal();

@@ -314,10 +314,16 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
                                 });
                             }
                             push(&mut heap, &mut evs, &mut seq, t, Ev::Deliver(e.dst));
-                        } else if net.coalesce {
+                        } else if net.coalesce.enabled {
                             // One parcel per destination: the expansion data
-                            // travels once, plus a small descriptor per edge.
-                            match remote.iter_mut().find(|(l, _, _)| *l == dst_loc) {
+                            // travels once, plus a small descriptor per edge —
+                            // until the shared byte threshold closes the
+                            // parcel and a fresh one starts (mirroring the
+                            // real coalescer's size-triggered flush).
+                            let max = net.coalesce.max_bytes as u64;
+                            match remote.iter_mut().rev().find(|(l, _, b)| {
+                                *l == dst_loc && *b + EDGE_DESCRIPTOR_BYTES <= max
+                            }) {
                                 Some((_, list, b)) => {
                                     list.push(first + i as u32);
                                     *b += EDGE_DESCRIPTOR_BYTES;
@@ -491,6 +497,7 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dashmm_amt::CoalesceConfig;
     use dashmm_dag::{DagBuilder, EdgeOp, NodeClass};
 
     fn cm(us: f64) -> CostModel {
@@ -589,7 +596,7 @@ mod tests {
             bytes_per_us: 1e9,
             send_overhead_us: 0.0,
             remote_edge_overhead_us: 0.0,
-            coalesce: true,
+            coalesce: CoalesceConfig::default(),
         };
         let r = simulate(&d, &cm(1.0), &net, &cfg(2, 1));
         assert_eq!(r.messages, 1, "coalesced into one parcel");
@@ -601,7 +608,7 @@ mod tests {
         );
 
         let net2 = NetworkModel {
-            coalesce: false,
+            coalesce: CoalesceConfig::disabled(),
             ..net
         };
         let r2 = simulate(&d, &cm(1.0), &net2, &cfg(2, 1));

@@ -26,4 +26,5 @@ pub mod cost;
 pub mod engine;
 
 pub use cost::{CostModel, NetworkModel};
+pub use dashmm_amt::CoalesceConfig;
 pub use engine::{simulate, SimConfig, SimResult};

@@ -2,7 +2,7 @@
 //! list-scheduling bounds and determinism, over random DAGs.
 
 use dashmm::dag::{Dag, DagBuilder, EdgeOp, NodeClass};
-use dashmm::sim::{simulate, CostModel, NetworkModel, SimConfig};
+use dashmm::sim::{simulate, CoalesceConfig, CostModel, NetworkModel, SimConfig};
 use proptest::prelude::*;
 
 /// Random layered DAG with unit-ish costs, everything on locality 0.
@@ -143,7 +143,7 @@ fn remote_latency_adds_to_chain() {
         bytes_per_us: f64::INFINITY,
         send_overhead_us: 0.0,
         remote_edge_overhead_us: 0.0,
-        coalesce: true,
+        coalesce: CoalesceConfig::default(),
     };
     let two = SimConfig {
         localities: 2,
