@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 
 use crate::parcel::Parcel;
 use crate::runtime::TaskCtx;
+use crate::trace::CLASS_NONE;
 
 /// How an arriving input is folded into the stored data.
 pub enum LcoOp {
@@ -42,8 +43,8 @@ pub struct LcoSpec {
     pub op: LcoOp,
     /// Optional local continuation closure (DASHMM's out-edge processor).
     pub on_trigger: Option<TriggerFn>,
-    /// Trace class recorded for input reductions into this LCO (`u8::MAX`
-    /// disables tracing for this LCO).
+    /// Trace class recorded for input reductions into this LCO
+    /// ([`CLASS_NONE`] disables tracing for this LCO).
     pub trace_class: u8,
 }
 
@@ -55,7 +56,7 @@ impl LcoSpec {
             inputs: 1,
             op: LcoOp::Overwrite,
             on_trigger: None,
-            trace_class: u8::MAX,
+            trace_class: CLASS_NONE,
         }
     }
 
@@ -66,7 +67,7 @@ impl LcoSpec {
             inputs: n,
             op: LcoOp::Gate,
             on_trigger: None,
-            trace_class: u8::MAX,
+            trace_class: CLASS_NONE,
         }
     }
 
@@ -77,7 +78,7 @@ impl LcoSpec {
             inputs: n,
             op: LcoOp::Add,
             on_trigger: None,
-            trace_class: u8::MAX,
+            trace_class: CLASS_NONE,
         }
     }
 
@@ -219,7 +220,7 @@ mod tests {
             inputs: 2,
             op: LcoOp::Custom(Box::new(|d, i| d[0] = d[0].max(i[0]))),
             on_trigger: None,
-            trace_class: u8::MAX,
+            trace_class: CLASS_NONE,
         };
         let cell = LcoCell::new(spec);
         let mut st = cell.state.lock();

@@ -42,5 +42,9 @@ pub use batch::{EdgeBatcher, DEFAULT_BATCH_THRESHOLD};
 pub use lco::{LcoOp, LcoSpec};
 pub use parcel::{decode_f64s, encode_f64s, ActionId, Parcel, Priority};
 pub use runtime::{RunReport, Runtime, RuntimeConfig, TaskCtx};
-pub use trace::{utilization_by_class, utilization_total, TraceEvent, TraceSet};
+pub use trace::{
+    class_name, utilization_by_class, utilization_total, ClassCounters, ObsLevel, TraceEvent,
+    TraceSet, CLASS_LCO_TRIGGER, CLASS_NET_RX, CLASS_NET_TX, CLASS_NONE, CLASS_PARCEL_FLUSH,
+    NO_TAG,
+};
 pub use transport::{CoalesceConfig, SharedMem, Transport, TransportHooks, TransportStats};

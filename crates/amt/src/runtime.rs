@@ -3,7 +3,7 @@
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Instant, SystemTime};
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Mutex, RwLock};
@@ -11,7 +11,9 @@ use parking_lot::{Mutex, RwLock};
 use crate::addr::GlobalAddress;
 use crate::lco::{LcoCell, LcoSpec};
 use crate::parcel::{decode_f64s, encode_f64s, ActionId, Parcel, Priority};
-use crate::trace::{TraceEvent, TraceSet};
+use crate::trace::{
+    ClassCounters, ObsLevel, SpanRing, TraceEvent, TraceSet, CLASS_LCO_TRIGGER, CLASS_NONE, NO_TAG,
+};
 use crate::transport::{SharedMem, Transport, TransportHooks};
 
 /// Runtime configuration.
@@ -26,8 +28,9 @@ pub struct RuntimeConfig {
     /// scheduler is oblivious to priorities, reproducing the behaviour the
     /// paper measures.
     pub priority_scheduling: bool,
-    /// Record trace events (paper §V-B).
-    pub tracing: bool,
+    /// How much the run records (paper §V-B): nothing, per-class counters,
+    /// or full span rings for timeline export.
+    pub obs: ObsLevel,
 }
 
 impl Default for RuntimeConfig {
@@ -36,7 +39,7 @@ impl Default for RuntimeConfig {
             localities: 1,
             workers_per_locality: 2,
             priority_scheduling: false,
-            tracing: false,
+            obs: ObsLevel::Off,
         }
     }
 }
@@ -97,8 +100,16 @@ pub struct RunReport {
     pub messages: u64,
     /// Inter-locality bytes sent (headers included).
     pub bytes: u64,
-    /// Collected trace events (empty unless tracing was enabled).
+    /// Collected trace events (empty unless the obs level kept spans).
     pub trace: TraceSet,
+    /// Per-class event counters aggregated over all workers (populated at
+    /// obs levels `counters` and `full`).
+    pub counters: ClassCounters,
+    /// Span events overwritten because a worker's ring filled up.
+    pub trace_dropped: u64,
+    /// Realtime clock at run start (ns since the unix epoch) — the anchor
+    /// cross-process trace merging aligns rank clocks with.
+    pub run_start_unix_ns: u64,
 }
 
 /// The AMT runtime.
@@ -125,7 +136,7 @@ pub struct Runtime {
     shutdown: AtomicBool,
     running: AtomicBool,
     epoch: Instant,
-    trace_sink: Mutex<Vec<Vec<TraceEvent>>>,
+    trace_sink: Mutex<Vec<(u32, usize, SpanRing)>>,
     transport: Arc<dyn Transport>,
 }
 
@@ -377,6 +388,12 @@ impl Runtime {
         let net0 = self.transport.stats();
         let tasks0 = self.tasks_run.load(Ordering::Relaxed);
         let run_start_ns = self.epoch.elapsed().as_nanos() as u64;
+        // Captured at the same instant as the monotonic run clock: the
+        // realtime anchor cross-process trace merging aligns ranks with.
+        let run_start_unix_ns = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
         // Concurrent runs would share the pending counter and shutdown
         // flag, silently corrupting quiescence detection — refuse early.
         assert!(
@@ -386,7 +403,7 @@ impl Runtime {
             "Runtime::run() is already active on another thread"
         );
         self.shutdown.store(false, Ordering::SeqCst);
-        if self.cfg.tracing {
+        if self.cfg.obs.enabled() {
             // Discard communication spans from before this run.
             let _ = self.transport.drain_trace();
         }
@@ -428,30 +445,42 @@ impl Runtime {
             self.shutdown.store(true, Ordering::SeqCst);
         });
 
-        let local_workers = (0..self.cfg.localities as u32)
+        let local_localities: Vec<u32> = (0..self.cfg.localities as u32)
             .filter(|&l| self.transport.is_local(l))
-            .count()
-            * self.cfg.workers_per_locality;
+            .collect();
+        let local_workers = local_localities.len() * self.cfg.workers_per_locality;
         let rebase = |buf: &mut Vec<TraceEvent>| {
             for e in buf.iter_mut() {
                 e.start_ns = e.start_ns.saturating_sub(run_start_ns);
                 e.end_ns = e.end_ns.saturating_sub(run_start_ns);
             }
         };
-        let mut comm = if self.cfg.tracing {
+        let mut comm = if self.cfg.obs.enabled() {
             self.transport.drain_trace()
         } else {
             Vec::new()
         };
         // The progress thread counts as one more lane when it traced.
         let mut trace = TraceSet::new(local_workers + usize::from(!comm.is_empty()));
-        for mut buf in self.trace_sink.lock().drain(..) {
+        let mut counters = ClassCounters::default();
+        let mut trace_dropped = 0u64;
+        let mut rings: Vec<(u32, usize, SpanRing)> = self.trace_sink.lock().drain(..).collect();
+        rings.sort_by_key(|(loc, wid, _)| (*loc, *wid));
+        for (loc, wid, ring) in rings {
+            let (mut buf, ring_counters, dropped) = ring.into_parts();
+            counters.merge(&ring_counters);
+            trace_dropped += dropped;
             rebase(&mut buf);
-            trace.push_worker(buf);
+            let label = if local_localities.len() > 1 {
+                format!("L{loc}.w{wid}")
+            } else {
+                format!("w{wid}")
+            };
+            trace.push_lane(label, buf);
         }
         if !comm.is_empty() {
             rebase(&mut comm);
-            trace.push_worker(comm);
+            trace.push_lane("net", comm);
         }
         self.running.store(false, Ordering::SeqCst);
         let msgs1: u64 = self
@@ -471,6 +500,9 @@ impl Runtime {
             messages: (msgs1 - msgs0) + (net1.parcels_sent - net0.parcels_sent),
             bytes: (bytes1 - bytes0) + (net1.bytes_sent - net0.bytes_sent),
             trace,
+            counters,
+            trace_dropped,
+            run_start_unix_ns,
         }
     }
 
@@ -487,7 +519,7 @@ impl Runtime {
             locality,
             worker,
             local,
-            trace: RefCell::new(Vec::new()),
+            trace: RefCell::new(SpanRing::with_level(self.cfg.obs)),
         };
         let mut idle = 0u32;
         loop {
@@ -510,8 +542,10 @@ impl Runtime {
                 std::thread::sleep(std::time::Duration::from_micros(50));
             }
         }
-        if self.cfg.tracing {
-            self.trace_sink.lock().push(ctx.trace.into_inner());
+        if self.cfg.obs.enabled() {
+            self.trace_sink
+                .lock()
+                .push((locality, worker, ctx.trace.into_inner()));
         }
     }
 
@@ -609,7 +643,7 @@ pub struct TaskCtx<'a> {
     /// Worker index within the locality.
     pub worker: usize,
     local: Worker<Task>,
-    trace: RefCell<Vec<TraceEvent>>,
+    trace: RefCell<SpanRing>,
 }
 
 impl<'a> TaskCtx<'a> {
@@ -689,7 +723,7 @@ impl<'a> TaskCtx<'a> {
         let cell = self.rt.lco(addr);
         let fired = {
             let mut st = cell.state.lock();
-            let t0 = if self.rt.cfg.tracing && st.trace_class != u8::MAX {
+            let t0 = if self.rt.cfg.obs.enabled() && st.trace_class != CLASS_NONE {
                 Some((st.trace_class, self.now_ns()))
             } else {
                 None
@@ -697,15 +731,19 @@ impl<'a> TaskCtx<'a> {
             let fired = st.reduce(data);
             if let Some((class, start)) = t0 {
                 let end = self.now_ns();
-                self.trace.borrow_mut().push(TraceEvent {
-                    class,
-                    start_ns: start,
-                    end_ns: end,
-                });
+                self.trace
+                    .borrow_mut()
+                    .record_span(class, NO_TAG, start, end);
             }
             fired
         };
         if fired {
+            if self.rt.cfg.obs.spans() {
+                let now = self.now_ns();
+                self.trace
+                    .borrow_mut()
+                    .record_instant(CLASS_LCO_TRIGGER, now);
+            }
             let cell2 = Arc::clone(&cell);
             self.spawn_with_priority(
                 move |ctx| {
@@ -748,20 +786,45 @@ impl<'a> TaskCtx<'a> {
         self.rt.epoch.elapsed().as_nanos() as u64
     }
 
+    /// The recording level this runtime was configured with.
+    pub fn obs_level(&self) -> ObsLevel {
+        self.rt.cfg.obs
+    }
+
     /// Record a traced span around `f`, tagged with an event class.
     pub fn traced<R>(&self, class: u8, f: impl FnOnce() -> R) -> R {
-        if !self.rt.cfg.tracing {
+        self.traced_tagged(class, NO_TAG, f)
+    }
+
+    /// [`TaskCtx::traced`] attributing the span to DAG edge `tag`.
+    pub fn traced_tagged<R>(&self, class: u8, tag: u32, f: impl FnOnce() -> R) -> R {
+        if !self.rt.cfg.obs.enabled() {
             return f();
         }
         let start = self.now_ns();
         let r = f();
         let end = self.now_ns();
-        self.trace.borrow_mut().push(TraceEvent {
-            class,
-            start_ns: start,
-            end_ns: end,
-        });
+        self.trace.borrow_mut().record_span(class, tag, start, end);
         r
+    }
+
+    /// Record an explicit span (timestamps from [`TaskCtx::now_ns`]) —
+    /// for call sites that can't wrap the work in a closure, such as the
+    /// batched operator path attributing one flush across its edges.
+    pub fn record_span(&self, class: u8, tag: u32, start_ns: u64, end_ns: u64) {
+        if self.rt.cfg.obs.enabled() {
+            self.trace
+                .borrow_mut()
+                .record_span(class, tag, start_ns, end_ns);
+        }
+    }
+
+    /// Record a zero-duration marker at the current time.
+    pub fn record_instant(&self, class: u8) {
+        if self.rt.cfg.obs.enabled() {
+            let now = self.now_ns();
+            self.trace.borrow_mut().record_instant(class, now);
+        }
     }
 }
 
@@ -775,7 +838,7 @@ mod tests {
             localities,
             workers_per_locality: workers,
             priority_scheduling: false,
-            tracing: false,
+            obs: ObsLevel::Off,
         })
     }
 
@@ -978,10 +1041,10 @@ mod tests {
             localities: 1,
             workers_per_locality: 2,
             priority_scheduling: false,
-            tracing: true,
+            obs: ObsLevel::Full,
         });
         r.seed(0, |ctx| {
-            ctx.traced(3, || {
+            ctx.traced_tagged(3, 17, || {
                 std::thread::sleep(std::time::Duration::from_millis(2))
             });
         });
@@ -989,7 +1052,51 @@ mod tests {
         let events: Vec<_> = rep.trace.all_events().collect();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].class, 3);
+        assert_eq!(events[0].tag, 17);
         assert!(events[0].end_ns > events[0].start_ns);
+        // The aggregated counters saw the same event, and the worker lanes
+        // carry stable labels.
+        assert_eq!(rep.counters.0[3].count, 1);
+        assert_eq!(rep.trace_dropped, 0);
+        assert!(rep.run_start_unix_ns > 0);
+        let labels: Vec<&str> = rep.trace.lanes().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["w0", "w1"]);
+    }
+
+    #[test]
+    fn counters_level_counts_without_spans() {
+        let r = Runtime::new(RuntimeConfig {
+            localities: 1,
+            workers_per_locality: 1,
+            priority_scheduling: false,
+            obs: ObsLevel::Counters,
+        });
+        r.seed(0, |ctx| {
+            ctx.traced(5, || {});
+            ctx.traced(5, || {});
+        });
+        let rep = r.run();
+        assert!(rep.trace.is_empty());
+        assert_eq!(rep.counters.0[5].count, 2);
+    }
+
+    #[test]
+    fn lco_trigger_instants_recorded_at_full() {
+        let r = Runtime::new(RuntimeConfig {
+            localities: 1,
+            workers_per_locality: 1,
+            priority_scheduling: false,
+            obs: ObsLevel::Full,
+        });
+        let fut = r.lco_new(0, LcoSpec::future(1));
+        r.seed(0, move |ctx| ctx.lco_set(fut, &[1.0]));
+        let rep = r.run();
+        let triggers = rep
+            .trace
+            .all_events()
+            .filter(|e| e.class == CLASS_LCO_TRIGGER)
+            .count();
+        assert_eq!(triggers, 1);
     }
 
     #[test]

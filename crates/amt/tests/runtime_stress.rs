@@ -5,14 +5,16 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dashmm_amt::{encode_f64s, GlobalAddress, LcoSpec, Parcel, Priority, Runtime, RuntimeConfig};
+use dashmm_amt::{
+    encode_f64s, GlobalAddress, LcoSpec, ObsLevel, Parcel, Priority, Runtime, RuntimeConfig,
+};
 
 fn rt(localities: usize, workers: usize, priority: bool) -> Arc<Runtime> {
     Runtime::new(RuntimeConfig {
         localities,
         workers_per_locality: workers,
         priority_scheduling: priority,
-        tracing: false,
+        obs: ObsLevel::Off,
     })
 }
 

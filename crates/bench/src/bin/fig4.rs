@@ -17,7 +17,7 @@
 
 use dashmm_amt::utilization_total;
 use dashmm_bench::report::{downsample, sparkline, write_csv};
-use dashmm_bench::{banner, build_workload, cost_model, distribute, socket, Opts};
+use dashmm_bench::{banner, build_workload, cost_model, distribute, obsout, socket, Opts};
 use dashmm_sim::{simulate, NetworkModel, SimConfig};
 
 const INTERVALS: usize = 100;
@@ -25,7 +25,7 @@ const CORES_PER_LOCALITY: usize = 32;
 
 fn main() {
     let opts = Opts::parse();
-    if socket::maybe_run(&opts, true) {
+    if socket::maybe_run("fig4", &opts, true) {
         return;
     }
     banner(
@@ -123,6 +123,13 @@ fn main() {
         "single-locality run is the most efficient",
         plateau1 >= plateau(&curves[2]),
     );
+
+    // `--obs counters|full`: run the workload on the real runtime, export
+    // the Chrome trace / run_summary.json, report the observed critical
+    // path, and self-check the tracing overhead (`--obs-gate` enforces).
+    if !obsout::obs_study("fig4", &opts) {
+        std::process::exit(1);
+    }
 }
 
 /// Mean utilization over the middle of the run (intervals 20–60).

@@ -37,7 +37,7 @@ fn main() {
         levelwise: false,
     };
     let r = simulate(&w.asm.dag, &cost, &NetworkModel::gemini(), &cfg);
-    let by = utilization_by_class(&r.trace, INTERVALS, 11);
+    let by = utilization_by_class(&r.trace, INTERVALS, EdgeOp::COUNT);
     let total = utilization_total(&r.trace, INTERVALS);
 
     let panels: [(&str, &[EdgeOp]); 3] = [
@@ -82,6 +82,30 @@ fn main() {
     });
     if write_csv(csv, &header_refs, rows).is_ok() {
         eprintln!("wrote {}", csv.display());
+    }
+
+    // Machine-readable summary in the shared run_summary.json schema.
+    {
+        use dashmm_obs::json::{obj, Value};
+        use dashmm_obs::summary::{
+            per_op_section, per_op_stats, utilization_section, write_summary,
+        };
+        let summary = obj(vec![
+            (
+                "workload",
+                obj(vec![
+                    ("name", Value::from("fig5")),
+                    ("n", Value::from(opts.n)),
+                    ("cores", Value::from(128u64)),
+                ]),
+            ),
+            ("utilization", utilization_section(&r.trace, INTERVALS)),
+            ("per_op", per_op_section(&per_op_stats(&r.trace))),
+        ]);
+        let path = std::path::Path::new("results/fig5_run_summary.json");
+        if write_summary(path, &summary).is_ok() {
+            eprintln!("wrote {}", path.display());
+        }
     }
 
     println!("\n--- shape checks ---");

@@ -25,7 +25,7 @@ fn main() {
     // `--transport socket`: measure the real communication footprint of
     // this DAG's distribution (per-destination parcels/bytes) with one
     // process per locality before printing the node table.
-    if socket::maybe_run(&opts, false) {
+    if socket::maybe_run("table1", &opts, false) {
         return;
     }
     banner(

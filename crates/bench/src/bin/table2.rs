@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p dashmm-bench --bin table2 [--n N]`
 
-use dashmm_bench::{banner, build_workload, Opts};
+use dashmm_bench::{banner, build_workload, obsout, Opts};
 use dashmm_core::{per_op_avg_us, DashmmBuilder, Method};
 use dashmm_dag::{DagStats, EdgeOp};
 use dashmm_kernels::{KernelKind, Laplace, Yukawa};
@@ -46,28 +46,24 @@ fn main() {
     };
     let (sources, targets, charges) = m_opts.ensembles();
     eprintln!("measuring operator times on n={measure_n} (single worker, traced)…");
-    let avg = match opts.kernel {
-        KernelKind::Laplace => {
-            let out = DashmmBuilder::new(Laplace)
-                .method(Method::AdvancedFmm)
-                .threshold(opts.threshold)
-                .machine(1, 1)
-                .tracing(true)
-                .build(&sources, &charges, &targets)
-                .evaluate();
-            per_op_avg_us(&out.report.trace)
-        }
-        KernelKind::Yukawa(lam) => {
-            let out = DashmmBuilder::new(Yukawa::new(lam))
-                .method(Method::AdvancedFmm)
-                .threshold(opts.threshold)
-                .machine(1, 1)
-                .tracing(true)
-                .build(&sources, &charges, &targets)
-                .evaluate();
-            per_op_avg_us(&out.report.trace)
-        }
+    let out = match opts.kernel {
+        KernelKind::Laplace => DashmmBuilder::new(Laplace)
+            .method(Method::AdvancedFmm)
+            .threshold(opts.threshold)
+            .machine(1, 1)
+            .tracing(true)
+            .build(&sources, &charges, &targets)
+            .evaluate(),
+        KernelKind::Yukawa(lam) => DashmmBuilder::new(Yukawa::new(lam))
+            .method(Method::AdvancedFmm)
+            .threshold(opts.threshold)
+            .machine(1, 1)
+            .tracing(true)
+            .build(&sources, &charges, &targets)
+            .evaluate(),
     };
+    let avg = per_op_avg_us(&out.report.trace);
+    obsout::write_measured_summary("table2", &m_opts, &out);
 
     println!("\n--- this implementation ---");
     print!("{}", stats.edge_table(Some(&avg)));

@@ -5,12 +5,14 @@
 //! construction, a tiny CLI, cost-model calibration from traced runs, and
 //! the paper's reference numbers for side-by-side printing.
 
+pub mod obsout;
 pub mod opbench;
 pub mod report;
 pub mod socket;
 
 use std::sync::Arc;
 
+use dashmm_amt::ObsLevel;
 use dashmm_core::{assemble, per_op_avg_us, Assembly, Method, Problem};
 use dashmm_dag::{DistributionPolicy, FmmPolicy, NodeClass};
 use dashmm_expansion::{AccuracyParams, OperatorLibrary};
@@ -42,6 +44,11 @@ pub struct Opts {
     pub workers: usize,
     /// How localities are realised in a measured run.
     pub transport: TransportMode,
+    /// Observability level for measured runs (`--obs off|counters|full`).
+    pub obs: ObsLevel,
+    /// Maximum tolerated full-tracing overhead in percent (`--obs-gate`);
+    /// the observability self-check exits nonzero beyond it.
+    pub obs_gate: Option<f64>,
 }
 
 /// How localities are realised when a binary actually evaluates (rather
@@ -78,6 +85,8 @@ impl Default for Opts {
             localities: 2,
             workers: 2,
             transport: TransportMode::Shared,
+            obs: ObsLevel::Off,
+            obs_gate: None,
         }
     }
 }
@@ -85,8 +94,8 @@ impl Default for Opts {
 impl Opts {
     /// Parse `--n`, `--dist`, `--kernel`, `--threshold`, `--seed`,
     /// `--no-coalesce`, `--cost`, `--localities`, `--workers`,
-    /// `--transport` from `std::env::args`.  Invalid usage prints a
-    /// message and exits with status 2.
+    /// `--transport`, `--obs`, `--obs-gate` from `std::env::args`.
+    /// Invalid usage prints a message and exits with status 2.
     pub fn parse() -> Self {
         let mut o = Opts::default();
         let args: Vec<String> = std::env::args().collect();
@@ -96,7 +105,8 @@ impl Opts {
                 "usage: {} [--n N] [--dist cube|sphere|plummer] \
        [--kernel laplace|yukawa[:λ]] [--threshold T] [--seed S] \
        [--cost paper|measured] [--no-coalesce] \
-       [--localities L] [--workers W] [--transport shared|socket]",
+       [--localities L] [--workers W] [--transport shared|socket] \
+       [--obs off|counters|full] [--obs-gate PCT]",
                 args.first().map(String::as_str).unwrap_or("bench")
             );
             std::process::exit(2);
@@ -162,6 +172,19 @@ impl Opts {
                 "--transport" => {
                     o.transport = TransportMode::parse(value(i, "--transport"))
                         .unwrap_or_else(|| usage("--transport expects shared|socket"));
+                    i += 2;
+                }
+                "--obs" => {
+                    o.obs = ObsLevel::parse(value(i, "--obs"))
+                        .unwrap_or_else(|| usage("--obs expects off|counters|full"));
+                    i += 2;
+                }
+                "--obs-gate" => {
+                    o.obs_gate = Some(
+                        value(i, "--obs-gate")
+                            .parse()
+                            .unwrap_or_else(|_| usage("--obs-gate expects a percentage")),
+                    );
                     i += 2;
                 }
                 other => usage(&format!("unknown option {other}")),

@@ -18,6 +18,9 @@ use dashmm_amt::{CoalesceConfig, Transport};
 use dashmm_core::{DashmmBuilder, Method};
 use dashmm_kernels::{Kernel, KernelKind, Laplace, Yukawa};
 use dashmm_net::{bootstrap, f64s_to_bytes, merge_sum_f64, Role, SocketTransport};
+use dashmm_obs::json::{obj, Value};
+use dashmm_obs::summary::{utilization_section, write_summary};
+use dashmm_obs::{encode_rank_trace, merged_chrome_trace, validate_chrome_trace};
 use dashmm_sim::{simulate, NetworkModel, SimConfig};
 
 use crate::{cost_model, Opts, TransportMode};
@@ -33,7 +36,8 @@ fn rel_err(got: &[f64], want: &[f64]) -> f64 {
 /// multi-process evaluation and return `true` (the caller should stop);
 /// rank children never return.  With `with_sim`, rank 0 also prints the
 /// simulator's prediction for the same machine next to the measurement.
-pub fn maybe_run(opts: &Opts, with_sim: bool) -> bool {
+/// `name` labels the exported observability artifacts (`--obs full`).
+pub fn maybe_run(name: &str, opts: &Opts, with_sim: bool) -> bool {
     if opts.transport != TransportMode::Socket {
         return false;
     }
@@ -62,7 +66,7 @@ pub fn maybe_run(opts: &Opts, with_sim: bool) -> bool {
             );
             true
         }
-        Ok(Role::Rank(transport)) => rank_main(opts, transport, with_sim),
+        Ok(Role::Rank(transport)) => rank_main(name, opts, transport, with_sim),
         Err(e) => {
             eprintln!("multi-process bootstrap failed: {e}");
             std::process::exit(1);
@@ -70,10 +74,10 @@ pub fn maybe_run(opts: &Opts, with_sim: bool) -> bool {
     }
 }
 
-fn rank_main(opts: &Opts, transport: Arc<SocketTransport>, with_sim: bool) -> ! {
+fn rank_main(name: &str, opts: &Opts, transport: Arc<SocketTransport>, with_sim: bool) -> ! {
     let ok = match opts.kernel {
-        KernelKind::Laplace => rank_eval(opts, &transport, with_sim, Laplace),
-        KernelKind::Yukawa(lam) => rank_eval(opts, &transport, with_sim, Yukawa::new(lam)),
+        KernelKind::Laplace => rank_eval(name, opts, &transport, with_sim, Laplace),
+        KernelKind::Yukawa(lam) => rank_eval(name, opts, &transport, with_sim, Yukawa::new(lam)),
     };
     // Every rank holds its sockets open until all are done comparing.
     transport.barrier().expect("final barrier");
@@ -82,6 +86,7 @@ fn rank_main(opts: &Opts, transport: Arc<SocketTransport>, with_sim: bool) -> ! 
 }
 
 fn rank_eval<K: Kernel>(
+    name: &str,
     opts: &Opts,
     transport: &Arc<SocketTransport>,
     with_sim: bool,
@@ -93,6 +98,7 @@ fn rank_eval<K: Kernel>(
         .method(Method::AdvancedFmm)
         .threshold(opts.threshold)
         .machine(opts.localities, opts.workers)
+        .obs(opts.obs)
         .transport(Arc::clone(transport) as Arc<dyn Transport>)
         .build(&sources, &charges, &targets);
     let t0 = Instant::now();
@@ -110,7 +116,18 @@ fn rank_eval<K: Kernel>(
         m.per_dest.iter().map(|d| d.bytes).sum::<u64>() as f64,
     ]);
     let traffic = transport.gather(&my_traffic).expect("traffic gather");
-    print!("{}", m.summary(rank));
+    println!("{}", m.digest(rank));
+
+    // Gather every rank's span trace at rank 0 (collective, so all ranks
+    // participate even though only rank 0 keeps the result).  Each rank
+    // records against its own monotonic clock; the unix-epoch anchor
+    // captured at run start aligns them into one merged timeline.
+    let trace_parts = if opts.obs.spans() {
+        let blob = encode_rank_trace(rank, out.report.run_start_unix_ns, &out.report.trace);
+        transport.gather(&blob).expect("trace gather")
+    } else {
+        None
+    };
 
     let mut ok = true;
     if let Some(parts) = parts {
@@ -153,6 +170,51 @@ fn rank_eval<K: Kernel>(
         let sums = merge_sum_f64(&traffic.expect("rank 0 gets traffic parts"));
         let (msgs, bytes) = (sums[0] as u64, sums[1] as u64);
         println!("[rank 0] measured: {wall_ms:.1} ms wall, {msgs} parcels, {bytes} payload bytes");
+        if let Some(blobs) = trace_parts {
+            let _ = std::fs::create_dir_all("results");
+            let path = std::path::Path::new("results").join(format!("{name}_socket_trace.json"));
+            match merged_chrome_trace(&blobs) {
+                Ok(json) => {
+                    let valid = validate_chrome_trace(&json).is_ok();
+                    ok &= valid;
+                    let written = std::fs::write(&path, &json).is_ok();
+                    ok &= written;
+                    println!(
+                        "[rank 0] merged {}-rank clock-aligned trace -> {} [{}]",
+                        opts.localities,
+                        path.display(),
+                        if valid && written { "ok" } else { "MISMATCH" }
+                    );
+                }
+                Err(e) => {
+                    ok = false;
+                    println!("[rank 0] trace merge failed: {e} [MISMATCH]");
+                }
+            }
+        }
+        if opts.obs.enabled() {
+            let mut sections = vec![
+                (
+                    "workload",
+                    obj(vec![
+                        ("name", Value::from(name)),
+                        ("n", Value::from(opts.n)),
+                        ("localities", Value::from(opts.localities)),
+                        ("workers", Value::from(opts.workers)),
+                        ("wall_ms", Value::from(wall_ms)),
+                    ]),
+                ),
+                ("comm", m.to_json()),
+            ];
+            if opts.obs.spans() {
+                sections.push(("utilization", utilization_section(&out.report.trace, 100)));
+            }
+            let path = std::path::Path::new("results").join(format!("{name}_socket_summary.json"));
+            match write_summary(&path, &obj(sections)) {
+                Ok(()) => println!("[rank 0] wrote {}", path.display()),
+                Err(e) => eprintln!("[rank 0] failed to write {}: {e}", path.display()),
+            }
+        }
         if with_sim {
             let cost = cost_model(opts, opts.cost);
             let mut net = NetworkModel::gemini();

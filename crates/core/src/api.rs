@@ -7,7 +7,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dashmm_amt::{RunReport, Runtime, RuntimeConfig, Transport};
+use dashmm_amt::{ObsLevel, RunReport, Runtime, RuntimeConfig, Transport};
 use dashmm_dag::{
     BlockPolicy, Dag, DagStats, DistributionPolicy, FmmPolicy, NodeClass, SingleLocality,
 };
@@ -40,7 +40,7 @@ pub struct DashmmBuilder<K: Kernel> {
     localities: usize,
     workers: usize,
     priority: bool,
-    tracing: bool,
+    obs: ObsLevel,
     gradients: bool,
     policy: Policy,
     transport: Option<Arc<dyn Transport>>,
@@ -58,7 +58,7 @@ impl<K: Kernel> DashmmBuilder<K> {
             localities: 1,
             workers: 2,
             priority: false,
-            tracing: false,
+            obs: ObsLevel::Off,
             gradients: false,
             policy: Policy::Fmm,
             transport: None,
@@ -98,9 +98,18 @@ impl<K: Kernel> DashmmBuilder<K> {
         self
     }
 
-    /// Record operator traces (paper §V-B).
+    /// Record operator traces (paper §V-B).  Shorthand for
+    /// [`DashmmBuilder::obs`] with [`ObsLevel::Full`] / [`ObsLevel::Off`].
     pub fn tracing(mut self, on: bool) -> Self {
-        self.tracing = on;
+        self.obs = if on { ObsLevel::Full } else { ObsLevel::Off };
+        self
+    }
+
+    /// Select the observability level: `Off` (no instrumentation),
+    /// `Counters` (per-class tallies, no spans), or `Full` (span traces
+    /// for timeline export and critical-path analysis).
+    pub fn obs(mut self, level: ObsLevel) -> Self {
+        self.obs = level;
         self
     }
 
@@ -179,7 +188,7 @@ impl<K: Kernel> DashmmBuilder<K> {
             localities: self.localities,
             workers_per_locality: self.workers,
             priority_scheduling: self.priority,
-            tracing: self.tracing,
+            obs: self.obs,
         };
         let runtime = match self.transport {
             Some(t) => Runtime::with_transport(rt_cfg, t),

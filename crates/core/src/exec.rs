@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use dashmm_amt::{
     decode_f64s, encode_f64s, ActionId, EdgeBatcher, GlobalAddress, LcoOp, LcoSpec, Parcel,
-    Priority, Runtime, TaskCtx, DEFAULT_BATCH_THRESHOLD,
+    Priority, Runtime, TaskCtx, CLASS_NONE, DEFAULT_BATCH_THRESHOLD,
 };
 use dashmm_dag::{DagEdge, EdgeOp, NodeClass};
 use dashmm_expansion::{batch as opbatch, ops, BatchWorkspace, OperatorLibrary};
@@ -46,6 +46,9 @@ enum BatchKey {
 
 /// One deposited edge awaiting its batch.
 struct BatchEntry {
+    /// Flat DAG edge index, tagged onto the flush span so the observed
+    /// critical path can attribute batched work to individual edges.
+    eid: u32,
     /// Source expansion, shared between all of the node's deposited edges.
     src: Arc<[f64]>,
     /// Window of `src` the operator consumes (an `I→I` slot; the whole
@@ -157,7 +160,7 @@ impl<K: Kernel> ExecCtx<K> {
                 inputs: node.in_degree,
                 op,
                 on_trigger: None,
-                trace_class: u8::MAX,
+                trace_class: CLASS_NONE,
             };
             if node.out_degree > 0 {
                 let this = Arc::clone(self);
@@ -361,7 +364,15 @@ impl<K: Kernel> ExecCtx<K> {
             }
             let dst_loc = lcos[e.dst as usize].locality;
             if dst_loc == ctx.locality {
-                self.apply_edge(ctx, id, e, data, &mut shared, &lcos);
+                self.apply_edge(
+                    ctx,
+                    id,
+                    node.first_edge + i as u32,
+                    e,
+                    data,
+                    &mut shared,
+                    &lcos,
+                );
             } else {
                 match remote.iter_mut().find(|(l, _)| *l == dst_loc) {
                     Some((_, v)) => v.push(node.first_edge + i as u32),
@@ -401,7 +412,7 @@ impl<K: Kernel> ExecCtx<K> {
         let lcos = self.lcos.read();
         for eid in edge_ids {
             let e = self.asm.dag.edges()[eid as usize];
-            self.apply_edge(ctx, id, &e, &data, &mut shared, &lcos);
+            self.apply_edge(ctx, id, eid, &e, &data, &mut shared, &lcos);
         }
     }
 
@@ -424,10 +435,12 @@ impl<K: Kernel> ExecCtx<K> {
     /// independent of which batch the edge lands in, so only the LCO
     /// reduction *order* can differ — exactly the freedom concurrent
     /// per-edge application already had.
+    #[allow(clippy::too_many_arguments)]
     fn apply_edge(
         &self,
         ctx: &TaskCtx,
         src_id: u32,
+        eid: u32,
         e: &DagEdge,
         data: &[f64],
         shared: &mut Option<Arc<[f64]>>,
@@ -462,21 +475,25 @@ impl<K: Kernel> ExecCtx<K> {
             };
             let src = Arc::clone(shared.get_or_insert_with(|| Arc::from(data)));
             let entry = BatchEntry {
+                eid,
                 src,
                 off,
                 len,
                 dst,
                 slot,
             };
-            ctx.traced(e.op.index() as u8, || {
-                let ready = self.batchers.read()[ctx.locality as usize].deposit(key, entry);
-                if let Some(batch) = ready {
-                    self.flush_batch(ctx, key, &batch);
-                }
-            });
+            // Batched edges are traced at flush time only: the flush's
+            // chained per-edge spans are the single account of each edge
+            // (exactly one event per DAG edge, no double-counted busy
+            // time in Eq. 2).  The deposit itself is a hash insert —
+            // negligible and untraced.
+            let ready = self.batchers.read()[ctx.locality as usize].deposit(key, entry);
+            if let Some(batch) = ready {
+                self.flush_batch(ctx, key, &batch);
+            }
             return;
         }
-        ctx.traced(e.op.index() as u8, || match e.op {
+        ctx.traced_tagged(e.op.index() as u8, eid, || match e.op {
             EdgeOp::S2M => {
                 let sb = stree.node(src_node.box_id);
                 let pts = stree.points_of(src_node.box_id);
@@ -572,8 +589,23 @@ impl<K: Kernel> ExecCtx<K> {
     }
 
     /// Apply one full batch of same-operator edges through the blocked
-    /// multi-RHS path and set every destination LCO.
+    /// multi-RHS path and set every destination LCO.  The batch's wall
+    /// time is split into chained per-edge spans (each starting where the
+    /// previous ended), so traces attribute batched work to individual
+    /// DAG edges without double-counting busy time.
     fn flush_batch(&self, ctx: &TaskCtx, key: BatchKey, batch: &[BatchEntry]) {
+        let class = match key {
+            BatchKey::M2M { .. } => EdgeOp::M2M.index() as u8,
+            BatchKey::L2L { .. } => EdgeOp::L2L.index() as u8,
+            BatchKey::M2L { .. } => EdgeOp::M2L.index() as u8,
+            BatchKey::I2I { .. } => EdgeOp::I2I.index() as u8,
+        };
+        let mut prev = ctx.now_ns();
+        let mut mark = |i: usize| {
+            let now = ctx.now_ns();
+            ctx.record_span(class, batch[i].eid, prev, now);
+            prev = now;
+        };
         BATCH_WS.with(|ws| {
             let ws = &mut *ws.borrow_mut();
             let refs: Vec<&[f64]> = batch.iter().map(|b| &b.src[b.off..b.off + b.len]).collect();
@@ -583,6 +615,7 @@ impl<K: Kernel> ExecCtx<K> {
                     let prio = self.class_priority(NodeClass::M);
                     opbatch::m2m_batch(&t, octant, &refs, ws, |i, col| {
                         ctx.lco_set_with_priority(batch[i].dst, col, prio);
+                        mark(i);
                     });
                 }
                 BatchKey::L2L { level, octant } => {
@@ -590,6 +623,7 @@ impl<K: Kernel> ExecCtx<K> {
                     let prio = self.class_priority(NodeClass::L);
                     opbatch::l2l_batch(&t, octant, &refs, ws, |i, col| {
                         ctx.lco_set_with_priority(batch[i].dst, col, prio);
+                        mark(i);
                     });
                 }
                 BatchKey::M2L { level, offset } => {
@@ -597,6 +631,7 @@ impl<K: Kernel> ExecCtx<K> {
                     let prio = self.class_priority(NodeClass::L);
                     opbatch::m2l_batch(self.lib.kernel(), &t, offset, &refs, ws, |i, col| {
                         ctx.lco_set_with_priority(batch[i].dst, col, prio);
+                        mark(i);
                     });
                 }
                 BatchKey::I2I { level, dir, delta } => {
@@ -617,6 +652,7 @@ impl<K: Kernel> ExecCtx<K> {
                         out.push(batch[i].slot);
                         out.extend_from_slice(col);
                         ctx.lco_set_with_priority(batch[i].dst, &out, prio);
+                        mark(i);
                     });
                 }
             }

@@ -10,18 +10,18 @@ use dashmm_dag::EdgeOp;
 /// Average execution time (µs) per operator class from a trace; classes
 /// with no events report 0.  Returned array is indexed by
 /// [`EdgeOp::index`].
-pub fn per_op_avg_us(trace: &TraceSet) -> [f64; 11] {
-    let mut sum = [0.0f64; 11];
-    let mut count = [0u64; 11];
+pub fn per_op_avg_us(trace: &TraceSet) -> [f64; EdgeOp::COUNT] {
+    let mut sum = [0.0f64; EdgeOp::COUNT];
+    let mut count = [0u64; EdgeOp::COUNT];
     for e in trace.all_events() {
         let c = e.class as usize;
-        if c < 11 {
+        if c < EdgeOp::COUNT {
             sum[c] += (e.end_ns - e.start_ns) as f64 / 1000.0;
             count[c] += 1;
         }
     }
-    let mut out = [0.0; 11];
-    for i in 0..11 {
+    let mut out = [0.0; EdgeOp::COUNT];
+    for i in 0..EdgeOp::COUNT {
         if count[i] > 0 {
             out[i] = sum[i] / count[i] as f64;
         }
@@ -30,11 +30,11 @@ pub fn per_op_avg_us(trace: &TraceSet) -> [f64; 11] {
 }
 
 /// Event counts per operator class.
-pub fn per_op_counts(trace: &TraceSet) -> [u64; 11] {
-    let mut count = [0u64; 11];
+pub fn per_op_counts(trace: &TraceSet) -> [u64; EdgeOp::COUNT] {
+    let mut count = [0u64; EdgeOp::COUNT];
     for e in trace.all_events() {
         let c = e.class as usize;
-        if c < 11 {
+        if c < EdgeOp::COUNT {
             count[c] += 1;
         }
     }
@@ -55,21 +55,9 @@ mod tests {
     fn averages_per_class() {
         let mut t = TraceSet::new(1);
         t.push_worker(vec![
-            TraceEvent {
-                class: 0,
-                start_ns: 0,
-                end_ns: 2000,
-            },
-            TraceEvent {
-                class: 0,
-                start_ns: 0,
-                end_ns: 4000,
-            },
-            TraceEvent {
-                class: 3,
-                start_ns: 0,
-                end_ns: 1000,
-            },
+            TraceEvent::span(0, 0, 2000),
+            TraceEvent::span(0, 0, 4000),
+            TraceEvent::span(3, 0, 1000),
         ]);
         let avg = per_op_avg_us(&t);
         assert!((avg[0] - 3.0).abs() < 1e-12);

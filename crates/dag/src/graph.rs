@@ -76,8 +76,12 @@ pub enum EdgeOp {
 }
 
 impl EdgeOp {
+    /// Number of operator classes.  Trace class indices `0..COUNT` are
+    /// operator spans; higher values are runtime/transport event classes.
+    pub const COUNT: usize = 11;
+
     /// All operator classes, Table II order first.
-    pub const ALL: [EdgeOp; 11] = [
+    pub const ALL: [EdgeOp; Self::COUNT] = [
         EdgeOp::S2T,
         EdgeOp::S2M,
         EdgeOp::M2M,
@@ -91,7 +95,7 @@ impl EdgeOp {
         EdgeOp::M2T,
     ];
 
-    /// Index in `0..11`.
+    /// Index in `0..COUNT`.
     pub fn index(self) -> usize {
         Self::ALL.iter().position(|&o| o == self).unwrap()
     }

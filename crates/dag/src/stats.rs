@@ -29,7 +29,7 @@ pub struct DagStats {
     /// Indexed by [`NodeClass::index`].
     pub nodes: [NodeClassStats; 6],
     /// Indexed by [`EdgeOp::index`].
-    pub edges: [EdgeClassStats; 11],
+    pub edges: [EdgeClassStats; EdgeOp::COUNT],
     /// Total node count.
     pub total_nodes: u64,
     /// Total edge count.
@@ -65,7 +65,7 @@ impl DagStats {
             }
         }
 
-        let mut edges = [EdgeClassStats::default(); 11];
+        let mut edges = [EdgeClassStats::default(); EdgeOp::COUNT];
         for s in &mut edges {
             s.bytes_min = u32::MAX;
         }
@@ -122,7 +122,7 @@ impl DagStats {
 
     /// Render the Table-II-shaped edge table, with optional measured mean
     /// execution times in microseconds per operator class.
-    pub fn edge_table(&self, avg_time_us: Option<&[f64; 11]>) -> String {
+    pub fn edge_table(&self, avg_time_us: Option<&[f64; EdgeOp::COUNT]>) -> String {
         let mut out = String::from("Type     Count       Size [B]        t_avg [µs]\n");
         for o in EdgeOp::ALL {
             let s = self.edges[o.index()];
@@ -202,7 +202,7 @@ mod tests {
         let nt = st.node_table();
         assert!(nt.contains('S') && nt.contains("1920"));
         assert!(!nt.contains("Is"), "empty classes omitted");
-        let et = st.edge_table(Some(&[1.5; 11]));
+        let et = st.edge_table(Some(&[1.5; EdgeOp::COUNT]));
         assert!(et.contains("S→M") && et.contains("1.500"));
         let et2 = st.edge_table(None);
         assert!(et2.contains('-'));

@@ -100,6 +100,78 @@ impl CommMetrics {
         }
     }
 
+    /// One-line digest of the run's communication, for end-of-run output.
+    pub fn digest(&self, rank: u32) -> String {
+        let tx_bytes: u64 = self.per_dest.iter().map(|d| d.bytes).sum();
+        let reasons: Vec<String> = self
+            .flush_reasons
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| format!("{}:{c}", REASON_NAMES[i]))
+            .collect();
+        format!(
+            "[rank {rank}] comm: tx {} parcels / {} frames ({:.1}/frame, {} B), \
+             rx {} parcels / {} frames ({} B), flushes {}, max queued {} B, {} stalls",
+            self.parcels_sent(),
+            self.frames_sent(),
+            self.mean_batch(),
+            tx_bytes,
+            self.rx_parcels,
+            self.rx_frames,
+            self.rx_bytes,
+            if reasons.is_empty() {
+                "-".to_string()
+            } else {
+                reasons.join(" ")
+            },
+            self.max_queued_bytes,
+            self.backpressure_stalls,
+        )
+    }
+
+    /// Machine-readable form for `run_summary.json`.
+    pub fn to_json(&self) -> dashmm_obs::json::Value {
+        use dashmm_obs::json::{obj, Value};
+        let dests: Vec<Value> = self
+            .per_dest
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.parcels > 0 || d.frames > 0)
+            .map(|(rank, d)| {
+                obj(vec![
+                    ("rank", Value::from(rank)),
+                    ("parcels", Value::from(d.parcels)),
+                    ("bytes", Value::from(d.bytes)),
+                    ("frames", Value::from(d.frames)),
+                ])
+            })
+            .collect();
+        let reasons: Vec<Value> = REASON_NAMES
+            .iter()
+            .zip(&self.flush_reasons)
+            .map(|(name, &count)| {
+                obj(vec![
+                    ("reason", Value::from(*name)),
+                    ("count", Value::from(count)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("parcels_sent", Value::from(self.parcels_sent())),
+            ("frames_sent", Value::from(self.frames_sent())),
+            ("mean_batch", Value::from(self.mean_batch())),
+            ("per_dest", Value::Arr(dests)),
+            ("batch_hist", Value::from(self.batch_hist.to_vec())),
+            ("flush_reasons", Value::Arr(reasons)),
+            ("max_queued_bytes", Value::from(self.max_queued_bytes)),
+            ("backpressure_stalls", Value::from(self.backpressure_stalls)),
+            ("rx_frames", Value::from(self.rx_frames)),
+            ("rx_parcels", Value::from(self.rx_parcels)),
+            ("rx_bytes", Value::from(self.rx_bytes)),
+        ])
+    }
+
     /// Multi-line human-readable summary, prefixed per line with `[rank r]`.
     pub fn summary(&self, rank: u32) -> String {
         use std::fmt::Write as _;
@@ -180,5 +252,33 @@ mod tests {
         assert!(s.contains("-> rank 2"));
         assert!(!s.contains("-> rank 1"));
         assert!((m.mean_batch() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_is_one_line() {
+        let mut m = CommMetrics::new(2);
+        m.per_dest[1].parcels = 8;
+        m.record_flush(1, 8, FlushReason::Size);
+        let d = m.digest(0);
+        assert_eq!(d.lines().count(), 1);
+        assert!(d.contains("tx 8 parcels / 1 frames"));
+        assert!(d.contains("size:1"));
+    }
+
+    #[test]
+    fn json_round_trips_counters() {
+        let mut m = CommMetrics::new(3);
+        m.per_dest[2].parcels = 5;
+        m.per_dest[2].bytes = 500;
+        m.record_flush(2, 5, FlushReason::Idle);
+        m.rx_parcels = 4;
+        let v = m.to_json();
+        let text = v.to_json();
+        let back = dashmm_obs::json::parse(&text).expect("valid JSON");
+        assert_eq!(back.get("parcels_sent").and_then(|v| v.as_f64()), Some(5.0));
+        assert_eq!(back.get("rx_parcels").and_then(|v| v.as_f64()), Some(4.0));
+        let dests = back.get("per_dest").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(dests.len(), 1);
+        assert_eq!(dests[0].get("rank").and_then(|v| v.as_f64()), Some(2.0));
     }
 }

@@ -45,17 +45,20 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use dashmm_amt::{CoalesceConfig, Parcel, TraceEvent, Transport, TransportHooks, TransportStats};
+use dashmm_amt::{
+    CoalesceConfig, Parcel, TraceEvent, Transport, TransportHooks, TransportStats,
+    CLASS_PARCEL_FLUSH,
+};
 use parking_lot::Mutex;
 
 use crate::coalesce::{Coalescer, Flush};
 use crate::metrics::{CommMetrics, FlushReason};
 use crate::wire::{decode_parcels_body, encode_frame, parcel_wire_len, FrameDecoder, FrameKind};
 
-/// Trace class of socket-write spans (follows the 11 `EdgeOp` classes).
-pub const TRACE_CLASS_TX: u8 = 11;
+/// Trace class of socket-write spans (owned by `dashmm-obs`).
+pub const TRACE_CLASS_TX: u8 = dashmm_amt::CLASS_NET_TX;
 /// Trace class of receive-and-deliver spans.
-pub const TRACE_CLASS_RX: u8 = 12;
+pub const TRACE_CLASS_RX: u8 = dashmm_amt::CLASS_NET_RX;
 
 /// Cap on buffered trace events (a run that never drains cannot leak).
 const TRACE_CAP: usize = 1 << 20;
@@ -425,6 +428,10 @@ fn enqueue_flush(s: &Shared, out: &mut Outbound, f: Flush) {
     out.queues[f.dest as usize].push_back((f.frame, true));
     out.queued_bytes += len;
     out.parcel_frames += 1;
+    if let Some(h) = s.hooks.get() {
+        let now = (h.now_ns)();
+        push_trace(s, CLASS_PARCEL_FLUSH, now, now);
+    }
 }
 
 /// Queue a control frame (bypasses the coalescer and parcel accounting).
@@ -452,11 +459,7 @@ fn deliver_parcels(s: &Shared, parcels: Vec<Parcel>) {
 fn push_trace(s: &Shared, class: u8, start_ns: u64, end_ns: u64) {
     let mut t = s.trace.lock();
     if t.len() < TRACE_CAP {
-        t.push(TraceEvent {
-            class,
-            start_ns,
-            end_ns,
-        });
+        t.push(TraceEvent::span(class, start_ns, end_ns));
     }
 }
 

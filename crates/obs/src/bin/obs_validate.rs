@@ -1,0 +1,65 @@
+//! `obs-validate`: CI schema check for exported observability files.
+//!
+//! Usage: `obs-validate <trace.json>... [--summary <run_summary.json>]...`
+//!
+//! Positional arguments are Chrome Trace Event files; `--summary` flags
+//! name `run_summary.json` files.  Exits nonzero (with a diagnostic) on
+//! the first file that fails its schema check.
+
+use dashmm_obs::{validate_chrome_trace, validate_run_summary};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: obs-validate <trace.json>... [--summary <run_summary.json>]...");
+        std::process::exit(2);
+    }
+    let mut checked = 0usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let (path, is_summary) = if arg == "--summary" {
+            match it.next() {
+                Some(p) => (p.as_str(), true),
+                None => {
+                    eprintln!("--summary needs a file argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            (arg.as_str(), false)
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("obs-validate: {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if is_summary {
+            match validate_run_summary(&text) {
+                Ok(()) => println!("ok: {path} (run summary)"),
+                Err(e) => {
+                    eprintln!("obs-validate: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            match validate_chrome_trace(&text) {
+                Ok(stats) => println!(
+                    "ok: {path} ({} spans, {} instants, {} metadata, {} process{})",
+                    stats.spans,
+                    stats.instants,
+                    stats.metadata,
+                    stats.processes,
+                    if stats.processes == 1 { "" } else { "es" }
+                ),
+                Err(e) => {
+                    eprintln!("obs-validate: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        checked += 1;
+    }
+    println!("obs-validate: {checked} file(s) ok");
+}

@@ -1,0 +1,177 @@
+//! Chrome Trace Event JSON export (Perfetto / chrome://tracing).
+//!
+//! Emits the JSON-object form (`{"traceEvents": [...]}`) with one process
+//! per locality and one thread track per trace lane.  Operator spans
+//! become complete ("X") events; zero-duration markers (parcel flushes,
+//! LCO triggers) become instant ("i") events; lane and process names are
+//! emitted as metadata ("M") events, so the timeline opens pre-labelled.
+
+use std::fmt::Write as _;
+
+use crate::event::{class_name, TraceEvent, NO_TAG};
+use crate::json::write_str;
+use crate::trace::TraceSet;
+
+/// One process (locality) worth of lanes in the exported timeline.
+pub struct ChromePart<'a> {
+    /// Process id in the trace (use the locality rank).
+    pub pid: u32,
+    /// Process label, e.g. `"locality 0"`.
+    pub name: String,
+    /// Added to every timestamp — aligns ranks onto one clock.
+    pub shift_ns: u64,
+    /// The recorded lanes.
+    pub trace: &'a TraceSet,
+}
+
+/// Render a single-process trace.
+pub fn chrome_trace(trace: &TraceSet) -> String {
+    chrome_trace_parts(&[ChromePart {
+        pid: 0,
+        name: "locality 0".to_string(),
+        shift_ns: 0,
+        trace,
+    }])
+}
+
+/// Render a multi-process timeline, one pid per part.
+pub fn chrome_trace_parts(parts: &[ChromePart<'_>]) -> String {
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+    for part in parts {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":",
+            part.pid
+        );
+        write_str(&mut out, &part.name);
+        out.push_str("}}");
+        for (tid, (label, events)) in part.trace.lanes().enumerate() {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{tid},\"args\":{{\"name\":",
+                part.pid
+            );
+            write_str(&mut out, label);
+            out.push_str("}}");
+            for e in events {
+                sep(&mut out);
+                write_event(&mut out, part.pid, tid, part.shift_ns, e);
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn write_event(out: &mut String, pid: u32, tid: usize, shift_ns: u64, e: &TraceEvent) {
+    let ts = (e.start_ns + shift_ns) as f64 / 1e3;
+    out.push_str("{\"name\":");
+    write_str(out, class_name(e.class));
+    let _ = write!(out, ",\"cat\":\"dashmm\",\"pid\":{pid},\"tid\":{tid}");
+    if e.is_instant() {
+        let _ = write!(out, ",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts:.3}");
+    } else {
+        let dur = e.dur_ns() as f64 / 1e3;
+        let _ = write!(out, ",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3}");
+    }
+    if e.tag != NO_TAG {
+        let _ = write!(out, ",\"args\":{{\"edge\":{}}}", e.tag);
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CLASS_PARCEL_FLUSH;
+    use crate::json::{parse, Value};
+
+    #[test]
+    fn export_parses_and_labels_tracks() {
+        let mut t = TraceSet::new(2);
+        t.push_worker(vec![
+            TraceEvent::span(0, 1_000, 3_000),
+            TraceEvent::tagged(8, 7, 3_000, 9_500),
+        ]);
+        t.push_lane("net", vec![TraceEvent::instant(CLASS_PARCEL_FLUSH, 4_000)]);
+        let text = chrome_trace(&t);
+        let v = parse(&text).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 process_name + 2 thread_name + 2 spans + 1 instant.
+        assert_eq!(events.len(), 6);
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(names, vec!["locality 0", "w0", "net"]);
+        let x: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(x.len(), 2);
+        assert_eq!(x[0].get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(x[0].get("dur").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            x[1].get("args").unwrap().get("edge").unwrap().as_f64(),
+            Some(7.0)
+        );
+        let instants: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("i"))
+            .collect();
+        assert_eq!(instants.len(), 1);
+        assert_eq!(
+            instants[0].get("name").unwrap().as_str(),
+            Some("parcel-flush")
+        );
+    }
+
+    #[test]
+    fn shift_aligns_ranks() {
+        let mut t0 = TraceSet::new(1);
+        t0.push_worker(vec![TraceEvent::span(0, 0, 1_000)]);
+        let mut t1 = TraceSet::new(1);
+        t1.push_worker(vec![TraceEvent::span(0, 0, 1_000)]);
+        let text = chrome_trace_parts(&[
+            ChromePart {
+                pid: 0,
+                name: "locality 0".into(),
+                shift_ns: 0,
+                trace: &t0,
+            },
+            ChromePart {
+                pid: 1,
+                name: "locality 1".into(),
+                shift_ns: 5_000,
+                trace: &t1,
+            },
+        ]);
+        let v = crate::json::parse(&text).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let spans: Vec<f64> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .map(|e| e.get("ts").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(spans, vec![0.0, 5.0]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Critical-path attribution over the *executed* DAG.
+//!
+//! The paper's Figure 4 shows a long low-utilization tail and attributes
+//! it to the root-bound M→M/M→L chain; this module makes that diagnosis
+//! quantitative.  Trace spans tagged with their flat DAG edge index give
+//! each edge an observed completion time; starting from the last-finishing
+//! edge into a target (`T`) node, the walk repeatedly steps to the
+//! in-edge of the current span's source node that finished last.  The
+//! result is the observed chain of operator executions that bounded the
+//! run, with per-class time on the path and a histogram of the *slack*
+//! between consecutive path spans (time an operator sat ready but
+//! unscheduled — the quantity priority scheduling attacks).
+
+use dashmm_dag::{Dag, NodeClass};
+
+use crate::event::{class_name, TraceEvent, CLASS_COUNT, NO_TAG};
+use crate::trace::TraceSet;
+
+/// One hop of the observed critical path.
+#[derive(Clone, Copy, Debug)]
+pub struct PathStep {
+    /// Flat DAG edge index.
+    pub edge: u32,
+    /// Trace class (operator index).
+    pub class: u8,
+    /// Observed span start, ns.
+    pub start_ns: u64,
+    /// Observed span end, ns.
+    pub end_ns: u64,
+}
+
+/// Slack histogram bucket upper bounds, in microseconds (last is open).
+pub const SLACK_BUCKETS_US: [f64; 6] = [1.0, 10.0, 100.0, 1_000.0, 10_000.0, f64::INFINITY];
+
+/// The observed critical path and its attribution.
+#[derive(Clone, Debug)]
+pub struct CriticalPathReport {
+    /// Steps in execution order (first executed first).
+    pub steps: Vec<PathStep>,
+    /// Wall time covered by the path: last end − first start, ns.
+    pub wall_ns: u64,
+    /// Nanoseconds of execution on the path, per trace class.
+    pub per_class_ns: [u64; CLASS_COUNT],
+    /// Total slack (gaps between consecutive path spans), ns.
+    pub slack_ns: u64,
+    /// Slack occurrences bucketed per [`SLACK_BUCKETS_US`].
+    pub slack_hist: [u64; SLACK_BUCKETS_US.len()],
+}
+
+impl CriticalPathReport {
+    /// Path length in executed operators.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the walk found no attributable spans.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Classes ranked by time on the path (descending, nonzero only).
+    pub fn dominant_classes(&self) -> Vec<(u8, u64)> {
+        let mut ranked: Vec<(u8, u64)> = self
+            .per_class_ns
+            .iter()
+            .enumerate()
+            .filter(|(_, &ns)| ns > 0)
+            .map(|(c, &ns)| (c as u8, ns))
+            .collect();
+        ranked.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
+        ranked
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "critical path: {} ops, {:.2} ms wall ({:.2} ms busy, {:.2} ms slack)",
+            self.len(),
+            self.wall_ns as f64 / 1e6,
+            self.per_class_ns.iter().sum::<u64>() as f64 / 1e6,
+            self.slack_ns as f64 / 1e6,
+        );
+        for (class, ns) in self.dominant_classes() {
+            let _ = writeln!(
+                out,
+                "  {:>12}: {:>9.2} ms on path",
+                class_name(class),
+                ns as f64 / 1e6
+            );
+        }
+        let _ = write!(out, "  slack histogram (µs):");
+        let mut lo = 0.0;
+        for (i, &hi) in SLACK_BUCKETS_US.iter().enumerate() {
+            if hi.is_infinite() {
+                let _ = write!(out, " ≥{lo:.0}:{}", self.slack_hist[i]);
+            } else {
+                let _ = write!(out, " {lo:.0}–{hi:.0}:{}", self.slack_hist[i]);
+            }
+            lo = hi;
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Walk the observed critical path.  Returns `None` when the trace holds
+/// no edge-tagged spans (e.g. level `counters` or an untagged source).
+pub fn critical_path(dag: &Dag, trace: &TraceSet) -> Option<CriticalPathReport> {
+    let n_edges = dag.num_edges();
+    // Latest-observed span per edge (batched edges record a deposit span
+    // and a flush-chain span under the same tag; completion is the max).
+    let mut span_of: Vec<Option<TraceEvent>> = vec![None; n_edges];
+    let mut any = false;
+    for e in trace.all_events() {
+        if e.tag == NO_TAG || e.is_instant() {
+            continue;
+        }
+        let i = e.tag as usize;
+        if i >= n_edges {
+            continue;
+        }
+        any = true;
+        match &mut span_of[i] {
+            slot @ None => *slot = Some(*e),
+            Some(prev) if e.end_ns > prev.end_ns => *prev = *e,
+            _ => {}
+        }
+    }
+    if !any {
+        return None;
+    }
+    // Source node of each flat edge.
+    let mut src_of = vec![0u32; n_edges];
+    for (id, n) in dag.nodes().iter().enumerate() {
+        for i in n.first_edge..n.first_edge + n.out_degree {
+            src_of[i as usize] = id as u32;
+        }
+    }
+    // Observed in-edge completion per node: keep only the latest.
+    let mut last_in: Vec<Option<u32>> = vec![None; dag.num_nodes()];
+    let edges = dag.edges();
+    for (i, span) in span_of.iter().enumerate() {
+        let Some(span) = span else { continue };
+        let dst = edges[i].dst as usize;
+        match last_in[dst] {
+            None => last_in[dst] = Some(i as u32),
+            Some(prev) => {
+                if span.end_ns > span_of[prev as usize].unwrap().end_ns {
+                    last_in[dst] = Some(i as u32);
+                }
+            }
+        }
+    }
+    // Start from the last-finishing edge into a T node (fall back to the
+    // globally last edge if no target span was captured).
+    let start_edge = dag
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.class == NodeClass::T)
+        .filter_map(|(id, _)| last_in[id])
+        .max_by_key(|&i| span_of[i as usize].unwrap().end_ns)
+        .or_else(|| {
+            (0..n_edges as u32)
+                .filter(|&i| span_of[i as usize].is_some())
+                .max_by_key(|&i| span_of[i as usize].unwrap().end_ns)
+        })?;
+    // Walk back: from the source node of the current edge, follow its
+    // last-finishing observed in-edge.
+    let mut rev = Vec::new();
+    let mut cur = start_edge;
+    loop {
+        let span = span_of[cur as usize].unwrap();
+        rev.push(PathStep {
+            edge: cur,
+            class: span.class,
+            start_ns: span.start_ns,
+            end_ns: span.end_ns,
+        });
+        let src = src_of[cur as usize] as usize;
+        match last_in[src] {
+            // Guard against ill-formed cycles from clock ties.
+            Some(next) if next != cur && rev.len() <= n_edges => cur = next,
+            _ => break,
+        }
+    }
+    rev.reverse();
+    let mut per_class_ns = [0u64; CLASS_COUNT];
+    let mut slack_ns = 0u64;
+    let mut slack_hist = [0u64; SLACK_BUCKETS_US.len()];
+    for (i, step) in rev.iter().enumerate() {
+        per_class_ns[(step.class as usize).min(CLASS_COUNT - 1)] +=
+            step.end_ns.saturating_sub(step.start_ns);
+        if i > 0 {
+            let gap = step.start_ns.saturating_sub(rev[i - 1].end_ns);
+            slack_ns += gap;
+            let gap_us = gap as f64 / 1e3;
+            let bucket = SLACK_BUCKETS_US
+                .iter()
+                .position(|&hi| gap_us < hi)
+                .unwrap_or(SLACK_BUCKETS_US.len() - 1);
+            slack_hist[bucket] += 1;
+        }
+    }
+    let wall_ns = rev
+        .last()
+        .map(|s| s.end_ns.saturating_sub(rev[0].start_ns))
+        .unwrap_or(0);
+    Some(CriticalPathReport {
+        steps: rev,
+        wall_ns,
+        per_class_ns,
+        slack_ns,
+        slack_hist,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashmm_dag::{DagBuilder, EdgeOp};
+
+    /// A 4-node chain S→M→L→T with a side branch S'→M, so node M has two
+    /// in-edges with different finish times.
+    fn chain_dag() -> Dag {
+        let mut b = DagBuilder::new();
+        let s = b.add_node(NodeClass::S, 0, 0, 8);
+        let s2 = b.add_node(NodeClass::S, 1, 0, 8);
+        let m = b.add_node(NodeClass::M, 0, 0, 8);
+        let l = b.add_node(NodeClass::L, 0, 0, 8);
+        let t = b.add_node(NodeClass::T, 0, 0, 8);
+        b.add_edge(s, EdgeOp::S2M, m, 8, 0); // edge 0
+        b.add_edge(s2, EdgeOp::S2M, m, 8, 0); // edge 1
+        b.add_edge(m, EdgeOp::M2L, l, 8, 0); // edge 2
+        b.add_edge(l, EdgeOp::L2T, t, 8, 0); // edge 3
+        b.finish()
+    }
+
+    fn tagged(class: EdgeOp, edge: u32, start: u64, end: u64) -> TraceEvent {
+        TraceEvent::tagged(class.index() as u8, edge, start, end)
+    }
+
+    #[test]
+    fn walks_back_through_latest_in_edges() {
+        let dag = chain_dag();
+        // Edge ids follow node insertion order: s(0), s2(1), m(2), l(3).
+        let edge_ids: Vec<u32> = (0..dag.num_edges() as u32).collect();
+        assert_eq!(edge_ids.len(), 4);
+        let mut trace = TraceSet::new(1);
+        trace.push_worker(vec![
+            tagged(EdgeOp::S2M, 0, 0, 100),
+            tagged(EdgeOp::S2M, 1, 0, 300), // the slower S→M bounds M
+            tagged(EdgeOp::M2L, 2, 500, 700), // 200 ns slack after edge 1
+            tagged(EdgeOp::L2T, 3, 700, 900),
+        ]);
+        let report = critical_path(&dag, &trace).expect("path found");
+        let path: Vec<u32> = report.steps.iter().map(|s| s.edge).collect();
+        assert_eq!(path, vec![1, 2, 3]);
+        assert_eq!(report.wall_ns, 900);
+        assert_eq!(report.slack_ns, 200);
+        assert_eq!(report.per_class_ns[EdgeOp::S2M.index()], 300);
+        assert_eq!(report.per_class_ns[EdgeOp::M2L.index()], 200);
+        assert_eq!(report.per_class_ns[EdgeOp::L2T.index()], 200);
+        // 200 ns = 0.2 µs slack lands in the first (<1 µs) bucket; the
+        // edge-1→edge-2 gap is the only nonzero one (700→700 gap is 0,
+        // also first bucket).
+        assert_eq!(report.slack_hist[0], 2);
+        assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn untagged_trace_has_no_path() {
+        let dag = chain_dag();
+        let mut trace = TraceSet::new(1);
+        trace.push_worker(vec![TraceEvent::span(0, 0, 10)]);
+        assert!(critical_path(&dag, &trace).is_none());
+    }
+}

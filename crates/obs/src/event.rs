@@ -1,0 +1,116 @@
+//! Trace events and the class-index space shared by every layer.
+//!
+//! Classes `0..EdgeOp::COUNT` are operator spans (indexed by
+//! [`EdgeOp::index`]); the transport and runtime append their own classes
+//! above that range so one trace carries compute, communication and
+//! scheduling events in a single timeline.
+
+use dashmm_dag::EdgeOp;
+
+/// Transport send span (coalescer + socket write progress).
+pub const CLASS_NET_TX: u8 = EdgeOp::COUNT as u8;
+/// Transport receive span (frame decode + parcel delivery).
+pub const CLASS_NET_RX: u8 = EdgeOp::COUNT as u8 + 1;
+/// Instant: the coalescer flushed a frame towards a destination.
+pub const CLASS_PARCEL_FLUSH: u8 = EdgeOp::COUNT as u8 + 2;
+/// Instant: an LCO reached its trigger count and fired its continuations.
+pub const CLASS_LCO_TRIGGER: u8 = EdgeOp::COUNT as u8 + 3;
+/// Total number of trace classes (operators + runtime/transport classes).
+pub const CLASS_COUNT: usize = EdgeOp::COUNT + 4;
+/// Sentinel class meaning "do not trace this LCO".
+pub const CLASS_NONE: u8 = u8::MAX;
+
+/// Tag value for spans not attributable to a specific DAG edge.
+pub const NO_TAG: u32 = u32::MAX;
+
+/// Human-readable name of a trace class.
+pub fn class_name(class: u8) -> &'static str {
+    match class {
+        c if (c as usize) < EdgeOp::COUNT => EdgeOp::ALL[c as usize].name(),
+        CLASS_NET_TX => "net-tx",
+        CLASS_NET_RX => "net-rx",
+        CLASS_PARCEL_FLUSH => "parcel-flush",
+        CLASS_LCO_TRIGGER => "lco-trigger",
+        _ => "?",
+    }
+}
+
+/// One traced span, in nanoseconds relative to the start of the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event class (an `EdgeOp` index or one of the `CLASS_*` constants).
+    pub class: u8,
+    /// Flat DAG edge index this span executed, or [`NO_TAG`].
+    pub tag: u32,
+    /// Start of the span.
+    pub start_ns: u64,
+    /// End of the span.
+    pub end_ns: u64,
+}
+
+impl TraceEvent {
+    /// An untagged span.
+    pub fn span(class: u8, start_ns: u64, end_ns: u64) -> Self {
+        TraceEvent {
+            class,
+            tag: NO_TAG,
+            start_ns,
+            end_ns,
+        }
+    }
+
+    /// A span attributed to DAG edge `tag`.
+    pub fn tagged(class: u8, tag: u32, start_ns: u64, end_ns: u64) -> Self {
+        TraceEvent {
+            class,
+            tag,
+            start_ns,
+            end_ns,
+        }
+    }
+
+    /// A zero-duration marker event.
+    pub fn instant(class: u8, at_ns: u64) -> Self {
+        Self::span(class, at_ns, at_ns)
+    }
+
+    /// Span duration (saturating; instants report 0).
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Whether this is a zero-duration marker.
+    pub fn is_instant(&self) -> bool {
+        self.end_ns <= self.start_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_space_is_consistent() {
+        assert_eq!(CLASS_NET_TX, 11);
+        assert_eq!(CLASS_NET_RX, 12);
+        assert_eq!(CLASS_PARCEL_FLUSH, 13);
+        assert_eq!(CLASS_LCO_TRIGGER, 14);
+        assert_eq!(CLASS_COUNT, 15);
+        assert_eq!(class_name(2), "M→M");
+        assert_eq!(class_name(CLASS_NET_RX), "net-rx");
+        assert_eq!(class_name(200), "?");
+    }
+
+    #[test]
+    fn constructors() {
+        let e = TraceEvent::span(3, 10, 40);
+        assert_eq!(e.tag, NO_TAG);
+        assert_eq!(e.dur_ns(), 30);
+        assert!(!e.is_instant());
+        let i = TraceEvent::instant(CLASS_LCO_TRIGGER, 7);
+        assert!(i.is_instant());
+        assert_eq!(i.dur_ns(), 0);
+        let t = TraceEvent::tagged(0, 42, 0, 1);
+        assert_eq!(t.tag, 42);
+    }
+}

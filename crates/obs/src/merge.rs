@@ -1,0 +1,202 @@
+//! Cross-process trace collection: per-rank encoding, clock alignment and
+//! the merged multi-locality timeline.
+//!
+//! Each locality records its spans against its own monotonic clock,
+//! rebased to the start of its run.  To merge, every rank also captures a
+//! realtime anchor (`run_start_unix_ns`, taken at the same instant the
+//! monotonic run clock starts — the same epoch the Hello/PortMap
+//! rendezvous synchronised the processes on).  Rank 0 gathers the encoded
+//! blobs with the transport's `gather` collective and shifts rank *r* by
+//! `anchor_r − min(anchors)`: all ranks of a run share the host clock, so
+//! this aligns the per-rank monotonic timelines onto one axis.
+
+use crate::chrome::{chrome_trace_parts, ChromePart};
+use crate::event::TraceEvent;
+use crate::trace::TraceSet;
+
+const MAGIC: u32 = 0x4f42_5354; // "OBST"
+
+/// One rank's recorded trace plus its clock anchor.
+#[derive(Debug)]
+pub struct RankTrace {
+    /// Locality rank.
+    pub rank: u32,
+    /// Realtime clock at run start (ns since the unix epoch).
+    pub anchor_unix_ns: u64,
+    /// The recorded lanes.
+    pub trace: TraceSet,
+}
+
+/// Encode one rank's trace for the gather collective.
+pub fn encode_rank_trace(rank: u32, anchor_unix_ns: u64, trace: &TraceSet) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + trace.len() * 21);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&rank.to_le_bytes());
+    out.extend_from_slice(&anchor_unix_ns.to_le_bytes());
+    out.extend_from_slice(&(trace.num_workers() as u32).to_le_bytes());
+    let lanes: Vec<_> = trace.lanes().collect();
+    out.extend_from_slice(&(lanes.len() as u32).to_le_bytes());
+    for (label, events) in lanes {
+        let name = label.as_bytes();
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&(events.len() as u32).to_le_bytes());
+        for e in events {
+            out.push(e.class);
+            out.extend_from_slice(&e.tag.to_le_bytes());
+            out.extend_from_slice(&e.start_ns.to_le_bytes());
+            out.extend_from_slice(&e.end_ns.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], String> {
+    if buf.len() < n {
+        return Err("trace blob truncated".into());
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32, String> {
+    Ok(u32::from_le_bytes(take(buf, 4)?.try_into().unwrap()))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, String> {
+    Ok(u64::from_le_bytes(take(buf, 8)?.try_into().unwrap()))
+}
+
+/// Decode a blob produced by [`encode_rank_trace`].
+pub fn decode_rank_trace(mut buf: &[u8]) -> Result<RankTrace, String> {
+    let buf = &mut buf;
+    if take_u32(buf)? != MAGIC {
+        return Err("not a rank trace blob".into());
+    }
+    let rank = take_u32(buf)?;
+    let anchor_unix_ns = take_u64(buf)?;
+    let n_workers = take_u32(buf)? as usize;
+    let n_lanes = take_u32(buf)? as usize;
+    let mut trace = TraceSet::new(n_workers);
+    for _ in 0..n_lanes {
+        let name_len = take_u32(buf)? as usize;
+        let label = String::from_utf8(take(buf, name_len)?.to_vec())
+            .map_err(|_| "lane label not UTF-8".to_string())?;
+        let n_events = take_u32(buf)? as usize;
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let class = take(buf, 1)?[0];
+            let tag = take_u32(buf)?;
+            let start_ns = take_u64(buf)?;
+            let end_ns = take_u64(buf)?;
+            events.push(TraceEvent::tagged(class, tag, start_ns, end_ns));
+        }
+        trace.push_lane(label, events);
+    }
+    if !buf.is_empty() {
+        return Err("trailing bytes in trace blob".into());
+    }
+    Ok(RankTrace {
+        rank,
+        anchor_unix_ns,
+        trace,
+    })
+}
+
+/// Decode every rank's blob and compute the per-rank shift that puts all
+/// timelines on the earliest rank's clock.
+pub fn align_ranks(blobs: &[Vec<u8>]) -> Result<Vec<(RankTrace, u64)>, String> {
+    let mut ranks: Vec<RankTrace> = blobs
+        .iter()
+        .map(|b| decode_rank_trace(b))
+        .collect::<Result<_, _>>()?;
+    ranks.sort_by_key(|r| r.rank);
+    let base = ranks
+        .iter()
+        .map(|r| r.anchor_unix_ns)
+        .min()
+        .ok_or_else(|| "no ranks to merge".to_string())?;
+    Ok(ranks
+        .into_iter()
+        .map(|r| {
+            let shift = r.anchor_unix_ns - base;
+            (r, shift)
+        })
+        .collect())
+}
+
+/// One clock-aligned Chrome trace for a gathered multi-process run.
+pub fn merged_chrome_trace(blobs: &[Vec<u8>]) -> Result<String, String> {
+    let aligned = align_ranks(blobs)?;
+    let parts: Vec<ChromePart<'_>> = aligned
+        .iter()
+        .map(|(r, shift)| ChromePart {
+            pid: r.rank,
+            name: format!("locality {}", r.rank),
+            shift_ns: *shift,
+            trace: &r.trace,
+        })
+        .collect();
+    Ok(chrome_trace_parts(&parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn rank_trace(rank: u32, anchor: u64, start: u64) -> Vec<u8> {
+        let mut t = TraceSet::new(1);
+        t.push_worker(vec![TraceEvent::span(0, start, start + 100)]);
+        encode_rank_trace(rank, anchor, &t)
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut t = TraceSet::new(3);
+        t.push_worker(vec![TraceEvent::tagged(4, 9, 10, 20)]);
+        t.push_lane("net", vec![TraceEvent::instant(13, 15)]);
+        let blob = encode_rank_trace(7, 123_456, &t);
+        let back = decode_rank_trace(&blob).unwrap();
+        assert_eq!(back.rank, 7);
+        assert_eq!(back.anchor_unix_ns, 123_456);
+        assert_eq!(back.trace.num_workers(), 3);
+        let lanes: Vec<_> = back.trace.lanes().collect();
+        assert_eq!(lanes[0].0, "w0");
+        assert_eq!(lanes[1].0, "net");
+        assert_eq!(lanes[0].1[0], TraceEvent::tagged(4, 9, 10, 20));
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_blobs() {
+        assert!(decode_rank_trace(&[1, 2, 3]).is_err());
+        let mut blob = rank_trace(0, 0, 0);
+        blob.truncate(blob.len() - 3);
+        assert!(decode_rank_trace(&blob).is_err());
+    }
+
+    #[test]
+    fn merge_aligns_clocks() {
+        // Rank 1 started its run 2 µs after rank 0 (later anchor): its
+        // events shift right by 2000 ns in the merged timeline.
+        let blobs = vec![rank_trace(0, 1_000_000, 0), rank_trace(1, 1_002_000, 0)];
+        let aligned = align_ranks(&blobs).unwrap();
+        assert_eq!(aligned[0].1, 0);
+        assert_eq!(aligned[1].1, 2_000);
+        let text = merged_chrome_trace(&blobs).unwrap();
+        let v = parse(&text).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let ts: Vec<(f64, f64)> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .map(|e| {
+                (
+                    e.get("pid").unwrap().as_f64().unwrap(),
+                    e.get("ts").unwrap().as_f64().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(ts, vec![(0.0, 0.0), (1.0, 2.0)]);
+    }
+}

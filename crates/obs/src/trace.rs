@@ -1,0 +1,268 @@
+//! Trace sets and utilization analysis (paper §V-B).
+//!
+//! DASHMM marks the beginning and end of every operator execution; the
+//! traces measure the fraction of available core time spent doing the
+//! application's work rather than runtime management.  [`utilization_total`]
+//! implements Equation (2) of the paper: the fraction of time spent in
+//! traced events out of `n · Δt_k` for `M` uniform intervals of the total
+//! evaluation time; [`utilization_by_class`] is Equation (1), resolved per
+//! event class (per operator — the data behind Figure 5).
+
+use crate::event::TraceEvent;
+
+/// Trace events grouped by lane (one lane per scheduler thread, plus
+/// optional extra lanes such as the transport progress thread).
+#[derive(Debug, Default)]
+pub struct TraceSet {
+    lanes: Vec<Vec<TraceEvent>>,
+    labels: Vec<String>,
+    n_workers: usize,
+}
+
+impl TraceSet {
+    /// Empty set declaring how many workers participated (the denominator
+    /// of the utilization fraction counts *all* scheduler threads, busy or
+    /// not).
+    pub fn new(n_workers: usize) -> Self {
+        TraceSet {
+            lanes: Vec::new(),
+            labels: Vec::new(),
+            n_workers,
+        }
+    }
+
+    /// Number of scheduler threads.  Never less than the number of pushed
+    /// lanes: pushing more lanes than declared saturates the declaration
+    /// upward so the Eq.-2 denominator cannot under-count.
+    pub fn num_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Append one worker's events with an auto-generated `w<i>` label.
+    pub fn push_worker(&mut self, events: Vec<TraceEvent>) {
+        let label = format!("w{}", self.lanes.len());
+        self.push_lane(label, events);
+    }
+
+    /// Append one lane of events under an explicit track label.
+    pub fn push_lane(&mut self, label: impl Into<String>, events: Vec<TraceEvent>) {
+        self.lanes.push(events);
+        self.labels.push(label.into());
+        // A TraceSet::new(n) that receives more than n lanes would divide
+        // Eq. 2 by too few workers and report utilization > 1; saturate
+        // the declared count instead of silently skewing the denominator.
+        self.n_workers = self.n_workers.max(self.lanes.len());
+    }
+
+    /// Lanes with their labels, in push order.
+    pub fn lanes(&self) -> impl Iterator<Item = (&str, &[TraceEvent])> {
+        self.labels
+            .iter()
+            .map(String::as_str)
+            .zip(self.lanes.iter().map(Vec::as_slice))
+    }
+
+    /// Iterate over all events.
+    pub fn all_events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.lanes.iter().flatten()
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(|v| v.len()).sum()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Latest event end (the evaluation span used for interval binning).
+    pub fn span_ns(&self) -> u64 {
+        self.all_events().map(|e| e.end_ns).max().unwrap_or(0)
+    }
+}
+
+/// Split `[0, total_ns)` into `m` uniform intervals and accumulate the
+/// overlap of each event with each interval, divided by `n_workers · Δt`.
+fn accumulate(
+    events: impl Iterator<Item = TraceEvent>,
+    total_ns: u64,
+    m: usize,
+    n_workers: usize,
+    mut sink: impl FnMut(usize, u8, f64),
+) {
+    assert!(m > 0 && total_ns > 0 && n_workers > 0);
+    let dt = total_ns as f64 / m as f64;
+    for e in events {
+        let (s, t) = (e.start_ns as f64, (e.end_ns.max(e.start_ns)) as f64);
+        let first = ((s / dt).floor() as usize).min(m - 1);
+        let last = ((t / dt).floor() as usize).min(m - 1);
+        for k in first..=last {
+            let lo = s.max(k as f64 * dt);
+            let hi = t.min((k + 1) as f64 * dt);
+            if hi > lo {
+                sink(k, e.class, (hi - lo) / (dt * n_workers as f64));
+            }
+        }
+    }
+}
+
+/// Total utilization fraction `f_k` per interval (paper Eq. 2).
+pub fn utilization_total(trace: &TraceSet, m: usize) -> Vec<f64> {
+    let total = trace.span_ns().max(1);
+    let mut out = vec![0.0; m];
+    accumulate(
+        trace.all_events().copied(),
+        total,
+        m,
+        trace.num_workers(),
+        |k, _, v| {
+            out[k] += v;
+        },
+    );
+    out
+}
+
+/// Per-class utilization fractions `f_k^{(i)}` (paper Eq. 1): a row per
+/// class index `0..n_classes`, each of length `m`.
+pub fn utilization_by_class(trace: &TraceSet, m: usize, n_classes: usize) -> Vec<Vec<f64>> {
+    let total = trace.span_ns().max(1);
+    let mut out = vec![vec![0.0; m]; n_classes];
+    accumulate(
+        trace.all_events().copied(),
+        total,
+        m,
+        trace.num_workers(),
+        |k, c, v| {
+            if (c as usize) < n_classes {
+                out[c as usize][k] += v;
+            }
+        },
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(events: Vec<TraceEvent>, workers: usize) -> TraceSet {
+        let mut t = TraceSet::new(workers);
+        t.push_worker(events);
+        t
+    }
+
+    #[test]
+    fn one_event_full_span_one_worker() {
+        let t = ts(vec![TraceEvent::span(0, 0, 1000)], 1);
+        let u = utilization_total(&t, 4);
+        for v in u {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_workers_halve_utilization() {
+        let t = ts(vec![TraceEvent::span(0, 0, 1000)], 2);
+        let u = utilization_total(&t, 2);
+        for v in u {
+            assert!((v - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn partial_interval_overlap() {
+        // Event covers [250, 750) of a 1000ns span split into 4 intervals;
+        // a zero-length marker at 1000 in the same lane forces the span.
+        let t = ts(
+            vec![TraceEvent::span(1, 250, 750), TraceEvent::instant(0, 1000)],
+            1,
+        );
+        let u = utilization_total(&t, 4);
+        assert!((u[0] - 0.0).abs() < 1e-12);
+        assert!((u[1] - 1.0).abs() < 1e-12);
+        assert!((u[2] - 1.0).abs() < 1e-12);
+        assert!((u[3] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_class_split() {
+        let t = ts(
+            vec![TraceEvent::span(0, 0, 500), TraceEvent::span(1, 500, 1000)],
+            1,
+        );
+        let by = utilization_by_class(&t, 2, 2);
+        assert!((by[0][0] - 1.0).abs() < 1e-12);
+        assert!((by[0][1] - 0.0).abs() < 1e-12);
+        assert!((by[1][0] - 0.0).abs() < 1e-12);
+        assert!((by[1][1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_sum_equals_total() {
+        let t = ts(
+            vec![
+                TraceEvent::span(0, 100, 400),
+                TraceEvent::span(1, 300, 900),
+                TraceEvent::span(2, 50, 1000),
+            ],
+            3,
+        );
+        let m = 10;
+        let total = utilization_total(&t, m);
+        let by = utilization_by_class(&t, m, 3);
+        for k in 0..m {
+            let s: f64 = by.iter().map(|row| row[k]).sum();
+            assert!((s - total[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn utilization_bounded_by_one_per_worker() {
+        // Two overlapping events on two workers: fraction ≤ 1.
+        let mut t = TraceSet::new(2);
+        t.push_worker(vec![TraceEvent::span(0, 0, 1000)]);
+        t.push_worker(vec![TraceEvent::span(0, 0, 1000)]);
+        let u = utilization_total(&t, 5);
+        for v in u {
+            assert!(v <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = TraceSet::new(4);
+        assert!(t.is_empty());
+        let u = utilization_total(&t, 3);
+        assert_eq!(u, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn push_worker_saturates_declared_count() {
+        // Regression: two fully-busy lanes pushed into a set declared for
+        // one worker must report utilization 1.0, not 2.0 — the extra lane
+        // bumps the denominator.
+        let mut t = TraceSet::new(1);
+        t.push_worker(vec![TraceEvent::span(0, 0, 1000)]);
+        t.push_worker(vec![TraceEvent::span(0, 0, 1000)]);
+        assert_eq!(t.num_workers(), 2);
+        let u = utilization_total(&t, 4);
+        for v in u {
+            assert!((v - 1.0).abs() < 1e-12, "got {v}");
+        }
+        // Fewer lanes than declared stays at the declaration (idle workers
+        // still count in the denominator).
+        let t2 = ts(vec![TraceEvent::span(0, 0, 1000)], 4);
+        assert_eq!(t2.num_workers(), 4);
+    }
+
+    #[test]
+    fn lane_labels() {
+        let mut t = TraceSet::new(2);
+        t.push_worker(vec![]);
+        t.push_lane("net", vec![TraceEvent::span(11, 0, 10)]);
+        let labels: Vec<&str> = t.lanes().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["w0", "net"]);
+    }
+}

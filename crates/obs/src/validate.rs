@@ -1,0 +1,158 @@
+//! Minimal schema validation for exported trace files — the CI smoke
+//! check behind the `obs-validate` binary.
+
+use crate::json::{parse, Value};
+
+/// What a valid Chrome trace contained.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Complete ("X") span events.
+    pub spans: usize,
+    /// Instant ("i") events.
+    pub instants: usize,
+    /// Metadata ("M") events.
+    pub metadata: usize,
+    /// Distinct pids seen.
+    pub processes: usize,
+}
+
+/// Validate Chrome Trace Event JSON against the minimal schema Perfetto
+/// needs: a `traceEvents` array whose members each carry `name`, a known
+/// `ph`, numeric non-negative `ts` (except metadata), and `pid`/`tid`;
+/// "X" events additionally need a non-negative `dur`.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let v = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = v
+        .get("traceEvents")
+        .ok_or("missing \"traceEvents\" key")?
+        .as_arr()
+        .ok_or("\"traceEvents\" is not an array")?;
+    if events.is_empty() {
+        return Err("empty traceEvents".into());
+    }
+    let mut stats = TraceStats::default();
+    let mut pids = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let at = |msg: &str| format!("event {i}: {msg}");
+        if !e.is_obj() {
+            return Err(at("not an object"));
+        }
+        e.get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| at("missing string \"name\""))?;
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| at("missing string \"ph\""))?;
+        let pid = e
+            .get("pid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| at("missing numeric \"pid\""))?;
+        e.get("tid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| at("missing numeric \"tid\""))?;
+        if !pids.contains(&(pid as i64)) {
+            pids.push(pid as i64);
+        }
+        match ph {
+            "M" => stats.metadata += 1,
+            "X" | "i" => {
+                let ts = e
+                    .get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| at("missing numeric \"ts\""))?;
+                if ts < 0.0 {
+                    return Err(at("negative ts"));
+                }
+                if ph == "X" {
+                    let dur = e
+                        .get("dur")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| at("missing numeric \"dur\""))?;
+                    if dur < 0.0 {
+                        return Err(at("negative dur"));
+                    }
+                    stats.spans += 1;
+                } else {
+                    stats.instants += 1;
+                }
+            }
+            other => return Err(at(&format!("unknown ph {other:?}"))),
+        }
+    }
+    stats.processes = pids.len();
+    Ok(stats)
+}
+
+/// Validate a `run_summary.json`: must be a JSON object carrying at least
+/// a `"utilization"` section with Eq.-2 fractions in `[0, 1]`.
+pub fn validate_run_summary(text: &str) -> Result<(), String> {
+    let v = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if !v.is_obj() {
+        return Err("summary is not a JSON object".into());
+    }
+    let util = v
+        .get("utilization")
+        .ok_or("missing \"utilization\" section")?;
+    let total = util
+        .get("total")
+        .and_then(Value::as_arr)
+        .ok_or("utilization.total is not an array")?;
+    if total.is_empty() {
+        return Err("utilization.total is empty".into());
+    }
+    for (k, f) in total.iter().enumerate() {
+        let f = f
+            .as_f64()
+            .ok_or_else(|| format!("utilization.total[{k}] not a number"))?;
+        if !(0.0..=1.0 + 1e-9).contains(&f) {
+            return Err(format!("utilization.total[{k}] = {f} outside [0, 1]"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::chrome_trace;
+    use crate::event::TraceEvent;
+    use crate::trace::TraceSet;
+
+    #[test]
+    fn accepts_our_exporter_output() {
+        let mut t = TraceSet::new(1);
+        t.push_worker(vec![
+            TraceEvent::span(0, 0, 1_000),
+            TraceEvent::instant(14, 500),
+        ]);
+        let stats = validate_chrome_trace(&chrome_trace(&t)).unwrap();
+        assert_eq!(
+            stats,
+            TraceStats {
+                spans: 1,
+                instants: 1,
+                metadata: 2,
+                processes: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_traces() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[]}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        // X event without dur.
+        let bad = "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":1}]}";
+        assert!(validate_chrome_trace(bad).is_err());
+    }
+
+    #[test]
+    fn summary_schema() {
+        assert!(validate_run_summary("{\"utilization\":{\"total\":[0.5,1.0]}}").is_ok());
+        assert!(validate_run_summary("{\"utilization\":{\"total\":[1.5]}}").is_err());
+        assert!(validate_run_summary("{}").is_err());
+        assert!(validate_run_summary("[1]").is_err());
+    }
+}

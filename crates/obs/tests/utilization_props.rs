@@ -1,0 +1,145 @@
+//! Property tests for the utilization analysis (paper Eq. 1–2): the
+//! binning must be invariant under event reordering and worker
+//! permutation, report exactly 1.0 for a fully-packed trace, and conserve
+//! busy time for spans straddling interval boundaries.
+
+use dashmm_obs::{utilization_by_class, utilization_total, TraceEvent, TraceSet};
+use proptest::prelude::*;
+
+const SPAN_NS: u64 = 1_000_000;
+
+/// Random non-overlapping-per-worker events: each worker walks forward in
+/// time emitting spans with random gaps, plus an end marker pinning the
+/// trace span so every generated set bins over the same `[0, SPAN_NS)`.
+fn random_workers(seed: u64, n_workers: usize) -> Vec<Vec<TraceEvent>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n_workers)
+        .map(|w| {
+            let mut t = next() % (SPAN_NS / 4);
+            let mut events = Vec::new();
+            while t < SPAN_NS - 1 {
+                let dur = 1 + next() % (SPAN_NS / 7);
+                let end = (t + dur).min(SPAN_NS);
+                events.push(TraceEvent::span((next() % 11) as u8, t, end));
+                t = end + next() % (SPAN_NS / 5);
+            }
+            if w == 0 {
+                events.push(TraceEvent::instant(0, SPAN_NS));
+            }
+            events
+        })
+        .collect()
+}
+
+fn build(workers: &[Vec<TraceEvent>]) -> TraceSet {
+    let mut t = TraceSet::new(workers.len());
+    for w in workers {
+        t.push_worker(w.clone());
+    }
+    t
+}
+
+fn assert_close(a: &[f64], b: &[f64]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        prop_assert!((x - y).abs() < 1e-9, "{x} != {y}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Eq. 2 is a sum over events: shuffling events within workers and
+    /// permuting whole workers must not change any interval fraction.
+    #[test]
+    fn invariant_under_reordering_and_permutation(
+        seed in any::<u64>(),
+        n_workers in 1usize..5,
+        m in 1usize..40,
+        rot in any::<u64>(),
+    ) {
+        let workers = random_workers(seed, n_workers);
+        let base = utilization_total(&build(&workers), m);
+
+        // Reverse each worker's event order and rotate the worker list.
+        let mut shuffled: Vec<Vec<TraceEvent>> = workers
+            .iter()
+            .map(|w| w.iter().rev().copied().collect())
+            .collect();
+        shuffled.rotate_left((rot as usize) % n_workers.max(1));
+        assert_close(&base, &utilization_total(&build(&shuffled), m))?;
+
+        // Per-class rows obey the same invariance.
+        let by_a = utilization_by_class(&build(&workers), m, 11);
+        let by_b = utilization_by_class(&build(&shuffled), m, 11);
+        for (ra, rb) in by_a.iter().zip(&by_b) {
+            assert_close(ra, rb)?;
+        }
+    }
+
+    /// A trace where every worker is busy for the whole span reports
+    /// exactly 1.0 in every interval, for any interval count.
+    #[test]
+    fn fully_packed_is_one(n_workers in 1usize..6, m in 1usize..50) {
+        let workers: Vec<Vec<TraceEvent>> = (0..n_workers)
+            .map(|w| vec![TraceEvent::span(w as u8, 0, SPAN_NS)])
+            .collect();
+        let u = utilization_total(&build(&workers), m);
+        for v in u {
+            prop_assert!((v - 1.0).abs() < 1e-9, "fully packed interval = {v}");
+        }
+    }
+
+    /// Busy time is conserved across interval boundaries: the sum of
+    /// per-interval fractions times `n·Δt` equals the true busy time, no
+    /// matter how spans straddle the bin edges.
+    #[test]
+    fn straddling_spans_conserve_busy_time(
+        seed in any::<u64>(),
+        n_workers in 1usize..5,
+        m in 1usize..60,
+    ) {
+        let workers = random_workers(seed, n_workers);
+        let t = build(&workers);
+        let busy_ns: u64 = workers
+            .iter()
+            .flatten()
+            .map(|e| e.end_ns - e.start_ns)
+            .sum();
+        let dt = SPAN_NS as f64 / m as f64;
+        let u = utilization_total(&t, m);
+        let recovered: f64 = u.iter().map(|f| f * dt * n_workers as f64).sum();
+        prop_assert!(
+            (recovered - busy_ns as f64).abs() < 1e-3 * busy_ns.max(1) as f64 + 1e-6,
+            "recovered {recovered} vs busy {busy_ns}"
+        );
+        // And every fraction stays within [0, 1].
+        for v in &u {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(v), "fraction {v}");
+        }
+    }
+
+    /// One span crossing a single interior boundary splits its time
+    /// exactly across the two intervals.
+    #[test]
+    fn single_boundary_split_is_exact(cut in 1u64..999, m in 2usize..3) {
+        // Span [cut-1, cut+1) over a [0, 1000) trace with m=2: the two
+        // halves land in different bins unless cut == 500.
+        let events = vec![
+            TraceEvent::span(0, cut.saturating_sub(1), cut + 1),
+            TraceEvent::instant(0, 1000),
+        ];
+        let t = build(&[events]);
+        let u = utilization_total(&t, m);
+        let total: f64 = u.iter().sum::<f64>() * (1000.0 / m as f64);
+        let want = (cut + 1 - cut.saturating_sub(1)) as f64;
+        prop_assert!((total - want).abs() < 1e-9, "{total} vs {want}");
+    }
+}

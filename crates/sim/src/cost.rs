@@ -8,7 +8,7 @@ use dashmm_dag::EdgeOp;
 #[derive(Clone, Debug)]
 pub struct CostModel {
     /// Cost of one edge application, indexed by [`EdgeOp::index`].
-    pub op_us: [f64; 11],
+    pub op_us: [f64; EdgeOp::COUNT],
     /// Runtime-management overhead charged once per task (LCO trigger,
     /// scheduling) — the source of the ~10% utilization deficit the paper
     /// attributes to memory management and dynamic out-edge handling.
@@ -22,7 +22,7 @@ impl CostModel {
     /// table omits (the cube runs exercised none) are filled with values
     /// consistent with their composition.
     pub fn paper_table2() -> Self {
-        let mut op_us = [0.0; 11];
+        let mut op_us = [0.0; EdgeOp::COUNT];
         op_us[EdgeOp::S2T.index()] = 1.89;
         op_us[EdgeOp::S2M.index()] = 10.9;
         op_us[EdgeOp::M2M.index()] = 4.60;
@@ -41,7 +41,7 @@ impl CostModel {
     }
 
     /// A model from measured per-operator timings (µs).
-    pub fn measured(op_us: [f64; 11], task_overhead_us: f64) -> Self {
+    pub fn measured(op_us: [f64; EdgeOp::COUNT], task_overhead_us: f64) -> Self {
         CostModel {
             op_us,
             task_overhead_us,

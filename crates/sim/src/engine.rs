@@ -307,11 +307,12 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
                             let start = t;
                             t += cost.edge_us(e.op);
                             if cfg.trace {
-                                trace_events.push(TraceEvent {
-                                    class: e.op.index() as u8,
-                                    start_ns: (start * 1000.0) as u64,
-                                    end_ns: (t * 1000.0) as u64,
-                                });
+                                trace_events.push(TraceEvent::tagged(
+                                    e.op.index() as u8,
+                                    first + i as u32,
+                                    (start * 1000.0) as u64,
+                                    (t * 1000.0) as u64,
+                                ));
                             }
                             push(&mut heap, &mut evs, &mut seq, t, Ev::Deliver(e.dst));
                         } else if net.coalesce.enabled {
@@ -383,11 +384,12 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
                         let start = t;
                         t += cost.edge_us(e.op);
                         if cfg.trace {
-                            trace_events.push(TraceEvent {
-                                class: e.op.index() as u8,
-                                start_ns: (start * 1000.0) as u64,
-                                end_ns: (t * 1000.0) as u64,
-                            });
+                            trace_events.push(TraceEvent::tagged(
+                                e.op.index() as u8,
+                                ei,
+                                (start * 1000.0) as u64,
+                                (t * 1000.0) as u64,
+                            ));
                         }
                         push(&mut heap, &mut evs, &mut seq, t, Ev::Deliver(e.dst));
                     }
@@ -501,7 +503,7 @@ mod tests {
     use dashmm_dag::{DagBuilder, EdgeOp, NodeClass};
 
     fn cm(us: f64) -> CostModel {
-        CostModel::measured([us; 11], 0.0)
+        CostModel::measured([us; EdgeOp::COUNT], 0.0)
     }
 
     fn cfg(localities: usize, cores: usize) -> SimConfig {
@@ -544,7 +546,7 @@ mod tests {
     #[test]
     fn task_overhead_charged_per_task() {
         let d = chain();
-        let cost = CostModel::measured([10.0; 11], 2.0);
+        let cost = CostModel::measured([10.0; EdgeOp::COUNT], 2.0);
         let r = simulate(&d, &cost, &NetworkModel::ideal(), &cfg(1, 1));
         assert!(
             (r.makespan_us - 38.0).abs() < 1e-9,

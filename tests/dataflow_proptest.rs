@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use dashmm::runtime::{LcoSpec, Parcel, Priority, Runtime, RuntimeConfig, TaskCtx};
+use dashmm::runtime::{LcoSpec, ObsLevel, Parcel, Priority, Runtime, RuntimeConfig, TaskCtx};
 use proptest::prelude::*;
 
 /// A random layered DAG: `layers` of up to `width` nodes; each non-seed
@@ -80,7 +80,7 @@ fn run_on_runtime(dag: &RandomDag, localities: usize, workers: usize, priority: 
         localities,
         workers_per_locality: workers,
         priority_scheduling: priority,
-        tracing: false,
+        obs: ObsLevel::Off,
     });
     let n = dag.in_edges.len();
     // Out-edge lists (the runtime is producer-driven, like DASHMM).

@@ -31,7 +31,7 @@ fn traced_real_run_supports_utilization_analysis() {
         assert!((0.0..=1.0 + 1e-9).contains(&f), "f[{k}] = {f}");
     }
     // The per-class split sums to the total.
-    let by = utilization_by_class(trace, m, 11);
+    let by = utilization_by_class(trace, m, EdgeOp::COUNT);
     for k in 0..m {
         let s: f64 = by.iter().map(|row| row[k]).sum();
         assert!((s - u[k]).abs() < 1e-9);

@@ -10,10 +10,10 @@ use dashmm::sim::{simulate, CostModel, NetworkModel, SimConfig};
 use dashmm::tree::{uniform_cube, BuildParams};
 use dashmm::{assemble, DashmmBuilder, Method, Problem};
 
-fn class_counts(trace: &dashmm::runtime::TraceSet) -> [u64; 11] {
-    let mut counts = [0u64; 11];
+fn class_counts(trace: &dashmm::runtime::TraceSet) -> [u64; EdgeOp::COUNT] {
+    let mut counts = [0u64; EdgeOp::COUNT];
     for e in trace.all_events() {
-        if (e.class as usize) < 11 {
+        if (e.class as usize) < EdgeOp::COUNT {
             counts[e.class as usize] += 1;
         }
     }
