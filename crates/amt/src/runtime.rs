@@ -110,6 +110,19 @@ pub struct RunReport {
     /// Realtime clock at run start (ns since the unix epoch) — the anchor
     /// cross-process trace merging aligns rank clocks with.
     pub run_start_unix_ns: u64,
+    /// Set when the run aborted because the transport declared this peer
+    /// locality dead ([`Transport::failed_peer`]).  The run's outputs are
+    /// partial: local work drained, but parcels to and from the lost
+    /// locality (and everything downstream of them in the DAG) never
+    /// executed.  `None` is a normal run to quiescence.
+    pub lost_peer: Option<u32>,
+}
+
+impl RunReport {
+    /// Whether the run completed normally (no peer was lost).
+    pub fn completed(&self) -> bool {
+        self.lost_peer.is_none()
+    }
 }
 
 /// The AMT runtime.
@@ -411,6 +424,7 @@ impl Runtime {
         // into the scheduler now.
         self.transport.begin_run();
 
+        let mut lost_peer: Option<u32> = None;
         std::thread::scope(|scope| {
             let mut n_local = 0usize;
             for (loc_id, loc) in self.localities.iter().enumerate() {
@@ -435,15 +449,45 @@ impl Runtime {
             assert!(n_local > 0, "no locality of this runtime is local");
             // Quiescence monitor: local idleness alone with the shared-
             // memory transport; global termination detection otherwise.
+            // A transport that declares a peer dead aborts the run instead
+            // of spinning here forever waiting for parcels that will never
+            // arrive; the caller sees the loss in `RunReport::lost_peer`.
             loop {
                 let idle = self.pending.load(Ordering::SeqCst) == 0;
                 if self.transport.poll_quiescence(idle) {
+                    break;
+                }
+                if let Some(dead) = self.transport.failed_peer() {
+                    lost_peer = Some(dead);
                     break;
                 }
                 std::thread::sleep(std::time::Duration::from_micros(200));
             }
             self.shutdown.store(true, Ordering::SeqCst);
         });
+        if lost_peer.is_some() {
+            // The progress thread may still deliver parcels from surviving
+            // peers after the workers exited; discard whatever is queued so
+            // the pending counter returns to zero and `reset()` (and a
+            // subsequent recovery run) stay usable after the abort.
+            for loc in &self.localities {
+                loop {
+                    match loc.injector_high.steal() {
+                        Steal::Success(_) => {}
+                        Steal::Empty => break,
+                        Steal::Retry => {}
+                    }
+                }
+                loop {
+                    match loc.injector.steal() {
+                        Steal::Success(_) => {}
+                        Steal::Empty => break,
+                        Steal::Retry => {}
+                    }
+                }
+            }
+            self.pending.store(0, Ordering::SeqCst);
+        }
 
         let local_localities: Vec<u32> = (0..self.cfg.localities as u32)
             .filter(|&l| self.transport.is_local(l))
@@ -503,6 +547,7 @@ impl Runtime {
             counters,
             trace_dropped,
             run_start_unix_ns,
+            lost_peer,
         }
     }
 
@@ -1115,6 +1160,61 @@ mod tests {
         assert_eq!(r.lco_get(b), Some(vec![2.0]));
         // Built-in actions survive the reset (lco_set above crossed the
         // network via ACTION_LCO_SET).
+    }
+
+    #[test]
+    fn run_aborts_cleanly_when_transport_loses_a_peer() {
+        use crate::transport::TransportStats;
+        // A transport that never reaches global quiescence (a remote peer
+        // holds work) and declares that peer dead shortly into the run:
+        // `run()` must return with `lost_peer` set instead of hanging.
+        struct DyingTransport {
+            start: Instant,
+        }
+        impl Transport for DyingTransport {
+            fn num_ranks(&self) -> u32 {
+                2
+            }
+            fn rank(&self) -> u32 {
+                0
+            }
+            fn is_local(&self, locality: u32) -> bool {
+                locality == 0
+            }
+            fn attach(&self, _hooks: TransportHooks) {}
+            fn begin_run(&self) {}
+            fn send(&self, _parcel: Parcel) {}
+            fn poll_quiescence(&self, _locally_idle: bool) -> bool {
+                false
+            }
+            fn stats(&self) -> TransportStats {
+                TransportStats::default()
+            }
+            fn failed_peer(&self) -> Option<u32> {
+                (self.start.elapsed().as_millis() >= 20).then_some(1)
+            }
+        }
+        let r = Runtime::with_transport(
+            RuntimeConfig {
+                localities: 2,
+                workers_per_locality: 1,
+                ..Default::default()
+            },
+            Arc::new(DyingTransport {
+                start: Instant::now(),
+            }),
+        );
+        let ran = Arc::new(AtomicU64::new(0));
+        let ran2 = ran.clone();
+        r.seed(0, move |_| {
+            ran2.fetch_add(1, Ordering::SeqCst);
+        });
+        let rep = r.run();
+        assert_eq!(rep.lost_peer, Some(1));
+        assert!(!rep.completed());
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "local work still drained");
+        // The abort leaves the runtime reusable.
+        r.reset();
     }
 
     #[test]

@@ -132,6 +132,14 @@ pub trait Transport: Send + Sync {
     fn drain_trace(&self) -> Vec<TraceEvent> {
         Vec::new()
     }
+
+    /// The first peer locality declared dead (heartbeat suspicion expired
+    /// or mid-run hangup), if any.  The runtime polls this alongside
+    /// quiescence so a dead peer aborts the run cleanly instead of hanging
+    /// it.  Default: peers never fail (in-process transports).
+    fn failed_peer(&self) -> Option<u32> {
+        None
+    }
 }
 
 /// The in-process transport: all localities are thread groups in this

@@ -49,6 +49,13 @@ pub struct Opts {
     /// Maximum tolerated full-tracing overhead in percent (`--obs-gate`);
     /// the observability self-check exits nonzero beyond it.
     pub obs_gate: Option<f64>,
+    /// Fault-plan spec for measured runs (`--faults SPEC`, see
+    /// `dashmm_amt::FaultPlan`); exported as `DASHMM_FAULTS` so the
+    /// re-executed rank processes inherit it.
+    pub faults: Option<String>,
+    /// Wall-clock budget in seconds for chaos runs (`--budget-s`); a
+    /// watchdog aborts the process beyond it so a faulty run never hangs.
+    pub budget_s: Option<u64>,
 }
 
 /// How localities are realised when a binary actually evaluates (rather
@@ -87,6 +94,8 @@ impl Default for Opts {
             transport: TransportMode::Shared,
             obs: ObsLevel::Off,
             obs_gate: None,
+            faults: None,
+            budget_s: None,
         }
     }
 }
@@ -94,8 +103,9 @@ impl Default for Opts {
 impl Opts {
     /// Parse `--n`, `--dist`, `--kernel`, `--threshold`, `--seed`,
     /// `--no-coalesce`, `--cost`, `--localities`, `--workers`,
-    /// `--transport`, `--obs`, `--obs-gate` from `std::env::args`.
-    /// Invalid usage prints a message and exits with status 2.
+    /// `--transport`, `--obs`, `--obs-gate`, `--faults`, `--budget-s`
+    /// from `std::env::args`.  Invalid usage prints a message and exits
+    /// with status 2.
     pub fn parse() -> Self {
         let mut o = Opts::default();
         let args: Vec<String> = std::env::args().collect();
@@ -106,7 +116,8 @@ impl Opts {
        [--kernel laplace|yukawa[:λ]] [--threshold T] [--seed S] \
        [--cost paper|measured] [--no-coalesce] \
        [--localities L] [--workers W] [--transport shared|socket] \
-       [--obs off|counters|full] [--obs-gate PCT]",
+       [--obs off|counters|full] [--obs-gate PCT] \
+       [--faults SPEC] [--budget-s SECS]",
                 args.first().map(String::as_str).unwrap_or("bench")
             );
             std::process::exit(2);
@@ -184,6 +195,22 @@ impl Opts {
                         value(i, "--obs-gate")
                             .parse()
                             .unwrap_or_else(|_| usage("--obs-gate expects a percentage")),
+                    );
+                    i += 2;
+                }
+                "--faults" => {
+                    let spec = value(i, "--faults");
+                    if let Err(e) = dashmm_amt::FaultPlan::parse(spec) {
+                        usage(&format!("--faults: {e}"));
+                    }
+                    o.faults = Some(spec.to_string());
+                    i += 2;
+                }
+                "--budget-s" => {
+                    o.budget_s = Some(
+                        value(i, "--budget-s")
+                            .parse()
+                            .unwrap_or_else(|_| usage("--budget-s expects seconds")),
                     );
                     i += 2;
                 }

@@ -45,6 +45,12 @@ pub fn maybe_run(name: &str, opts: &Opts, with_sim: bool) -> bool {
         eprintln!("error: --transport socket needs --localities 2 or more");
         std::process::exit(2);
     }
+    // The launcher re-executes this binary once per rank with the
+    // environment inherited, so exporting the plan here reaches every
+    // rank's transport.
+    if let Some(spec) = &opts.faults {
+        std::env::set_var(dashmm_amt::ENV_FAULTS, spec);
+    }
     let cfg = if opts.no_coalesce {
         CoalesceConfig::disabled()
     } else {

@@ -14,15 +14,18 @@
 use dashmm_amt::{CoalesceConfig, Parcel};
 
 use crate::metrics::FlushReason;
-use crate::wire::{encode_frame, encode_parcel, parcel_wire_len, parcels_body, FrameKind};
+use crate::wire::{encode_parcel, parcel_wire_len, parcels_body};
 
-/// One frame the coalescer decided to ship.
+/// One parcels body the coalescer decided to ship.  The transport wraps it
+/// in a frame — stamping the reliability layer's sequence number and
+/// piggybacked ack at transmission time, which is why the coalescer emits
+/// bodies rather than finished frames.
 #[derive(Debug)]
 pub struct Flush {
     /// Destination rank.
     pub dest: u32,
-    /// Complete frame bytes (header included), ready for the socket.
-    pub frame: Vec<u8>,
+    /// Parcels body (`epoch | count | parcels`), unframed.
+    pub body: Vec<u8>,
     /// Parcels inside.
     pub parcels: u32,
     /// What triggered the flush.
@@ -39,17 +42,16 @@ struct DestBuf {
 /// Per-destination coalescing buffers.
 pub struct Coalescer {
     cfg: CoalesceConfig,
-    rank: u16,
     epoch: u32,
     bufs: Vec<DestBuf>,
 }
 
 impl Coalescer {
-    /// Buffers for `ranks` destinations, sending as `rank`.
-    pub fn new(ranks: u32, rank: u32, cfg: CoalesceConfig) -> Self {
+    /// Buffers for `ranks` destinations, sending as `rank` (the sender
+    /// identity is stamped by the transport's framing, not here).
+    pub fn new(ranks: u32, _rank: u32, cfg: CoalesceConfig) -> Self {
         Coalescer {
             cfg,
-            rank: rank as u16,
             epoch: 0,
             bufs: (0..ranks).map(|_| DestBuf::default()).collect(),
         }
@@ -69,10 +71,9 @@ impl Coalescer {
 
     fn seal(&mut self, dest: u32, reason: FlushReason) -> Flush {
         let buf = &mut self.bufs[dest as usize];
-        let body = parcels_body(self.epoch, buf.count, &buf.encoded);
         let flush = Flush {
             dest,
-            frame: encode_frame(FrameKind::Parcels, self.rank, &body),
+            body: parcels_body(self.epoch, buf.count, &buf.encoded),
             parcels: buf.count,
             reason,
         };
@@ -92,10 +93,9 @@ impl Coalescer {
         if !self.cfg.enabled {
             let mut encoded = Vec::with_capacity(parcel_wire_len(parcel));
             encode_parcel(parcel, &mut encoded);
-            let body = parcels_body(self.epoch, 1, &encoded);
             out.push(Flush {
                 dest,
-                frame: encode_frame(FrameKind::Parcels, self.rank, &body),
+                body: parcels_body(self.epoch, 1, &encoded),
                 parcels: 1,
                 reason: FlushReason::Unbatched,
             });
@@ -156,7 +156,7 @@ impl Coalescer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wire::{decode_frame_exact, decode_parcels_body};
+    use crate::wire::decode_parcels_body;
     use dashmm_amt::{ActionId, GlobalAddress};
 
     fn parcel(dest: u32, len: usize) -> Parcel {
@@ -183,8 +183,7 @@ mod tests {
         assert_eq!(f.dest, 1);
         assert_eq!(f.reason, FlushReason::Size);
         assert!(f.parcels >= 2, "coalesced {} parcels", f.parcels);
-        let frame = decode_frame_exact(&f.frame).unwrap();
-        let (_, ps) = decode_parcels_body(&frame.body).unwrap();
+        let (_, ps) = decode_parcels_body(&f.body).unwrap();
         assert_eq!(ps.len() as u32, f.parcels);
     }
 
@@ -230,9 +229,7 @@ mod tests {
         c.set_epoch(7);
         c.push(0, &parcel(0, 4), 0);
         let fs = c.flush_all(FlushReason::Shutdown);
-        let frame = decode_frame_exact(&fs[0].frame).unwrap();
-        assert_eq!(frame.src, 1);
-        let (epoch, ps) = decode_parcels_body(&frame.body).unwrap();
+        let (epoch, ps) = decode_parcels_body(&fs[0].body).unwrap();
         assert_eq!(epoch, 7);
         assert_eq!(ps.len(), 1);
     }

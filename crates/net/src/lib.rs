@@ -38,14 +38,19 @@
 pub mod coalesce;
 pub mod launcher;
 pub mod metrics;
+pub mod reliable;
 pub mod transport;
 pub mod wire;
 
 pub use coalesce::{Coalescer, Flush};
-pub use dashmm_amt::CoalesceConfig;
+pub use dashmm_amt::{CoalesceConfig, FaultPlan};
 pub use launcher::{bootstrap, env_rank, net_timeout, LaunchReport, Role};
 pub use metrics::{CommMetrics, DestMetrics, FlushReason};
-pub use transport::{SocketTransport, TRACE_CLASS_RX, TRACE_CLASS_TX};
+pub use reliable::{RetransmitConfig, SeqReceiver, SeqSender};
+pub use transport::{
+    SocketTransport, KILL_EXIT_CODE, TRACE_CLASS_ACK, TRACE_CLASS_HEARTBEAT,
+    TRACE_CLASS_RETRANSMIT, TRACE_CLASS_RX, TRACE_CLASS_TX,
+};
 pub use wire::{FrameKind, WireError};
 
 /// Element-wise sum of per-rank partial results gathered as raw little-

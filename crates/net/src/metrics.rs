@@ -61,6 +61,26 @@ pub struct CommMetrics {
     pub rx_parcels: u64,
     /// Parcel body bytes received.
     pub rx_bytes: u64,
+    /// Parcel frames retransmitted after ack timeout.
+    pub retransmit_frames: u64,
+    /// Standalone cumulative-ack frames sent (piggybacked acks excluded).
+    pub acks_tx: u64,
+    /// Duplicate parcel frames suppressed by the receive sequencer.
+    pub dup_frames_rx: u64,
+    /// Checksum-failed frames discarded by the decoder (injected
+    /// corruption downgraded to loss).
+    pub corrupt_frames_rx: u64,
+    /// Frames rejected for declaring a body over the decoder's cap.
+    pub oversize_rejected: u64,
+    /// Idle/aged coalescer flushes deferred because the destination's
+    /// write queue was over budget (send-side backpressure: an unwritable
+    /// socket must not grow the queue without bound).
+    pub idle_deferrals: u64,
+    /// Liveness heartbeats sent.
+    pub heartbeats_tx: u64,
+    /// Fault-injector decisions taken on this rank's outbound frames:
+    /// `[drops, dups, corrupts, delays, reorders]`.
+    pub injected: [u64; 5],
 }
 
 impl CommMetrics {
@@ -100,6 +120,11 @@ impl CommMetrics {
         }
     }
 
+    /// Total fault-injector decisions across fault kinds.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
     /// One-line digest of the run's communication, for end-of-run output.
     pub fn digest(&self, rank: u32) -> String {
         let tx_bytes: u64 = self.per_dest.iter().map(|d| d.bytes).sum();
@@ -110,7 +135,7 @@ impl CommMetrics {
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| format!("{}:{c}", REASON_NAMES[i]))
             .collect();
-        format!(
+        let mut line = format!(
             "[rank {rank}] comm: tx {} parcels / {} frames ({:.1}/frame, {} B), \
              rx {} parcels / {} frames ({} B), flushes {}, max queued {} B, {} stalls",
             self.parcels_sent(),
@@ -127,7 +152,27 @@ impl CommMetrics {
             },
             self.max_queued_bytes,
             self.backpressure_stalls,
-        )
+        );
+        if self.retransmit_frames + self.dup_frames_rx + self.corrupt_frames_rx + self.acks_tx > 0 {
+            line.push_str(&format!(
+                ", rtx {} / dup {} / corrupt {} / acks {}",
+                self.retransmit_frames, self.dup_frames_rx, self.corrupt_frames_rx, self.acks_tx
+            ));
+        }
+        if self.injected_total() > 0 {
+            line.push_str(&format!(
+                ", injected d:{} u:{} c:{} y:{} r:{}",
+                self.injected[0],
+                self.injected[1],
+                self.injected[2],
+                self.injected[3],
+                self.injected[4]
+            ));
+        }
+        if self.idle_deferrals > 0 {
+            line.push_str(&format!(", {} idle deferrals", self.idle_deferrals));
+        }
+        line
     }
 
     /// Machine-readable form for `run_summary.json`.
@@ -169,6 +214,14 @@ impl CommMetrics {
             ("rx_frames", Value::from(self.rx_frames)),
             ("rx_parcels", Value::from(self.rx_parcels)),
             ("rx_bytes", Value::from(self.rx_bytes)),
+            ("retransmit_frames", Value::from(self.retransmit_frames)),
+            ("acks_tx", Value::from(self.acks_tx)),
+            ("dup_frames_rx", Value::from(self.dup_frames_rx)),
+            ("corrupt_frames_rx", Value::from(self.corrupt_frames_rx)),
+            ("oversize_rejected", Value::from(self.oversize_rejected)),
+            ("idle_deferrals", Value::from(self.idle_deferrals)),
+            ("heartbeats_tx", Value::from(self.heartbeats_tx)),
+            ("injected", Value::from(self.injected.to_vec())),
         ])
     }
 
@@ -220,6 +273,26 @@ impl CommMetrics {
             "[rank {rank}] rx: {} frames, {} parcels, {} bytes",
             self.rx_frames, self.rx_parcels, self.rx_bytes,
         );
+        if self.retransmit_frames + self.dup_frames_rx + self.corrupt_frames_rx + self.acks_tx > 0
+            || self.injected_total() > 0
+        {
+            let _ = writeln!(
+                s,
+                "[rank {rank}] reliability: {} retransmits, {} dup frames suppressed, \
+                 {} corrupt frames discarded, {} standalone acks, {} heartbeats; \
+                 injected drop:{} dup:{} corrupt:{} delay:{} reorder:{}",
+                self.retransmit_frames,
+                self.dup_frames_rx,
+                self.corrupt_frames_rx,
+                self.acks_tx,
+                self.heartbeats_tx,
+                self.injected[0],
+                self.injected[1],
+                self.injected[2],
+                self.injected[3],
+                self.injected[4],
+            );
+        }
         s
     }
 }
@@ -263,6 +336,37 @@ mod tests {
         assert_eq!(d.lines().count(), 1);
         assert!(d.contains("tx 8 parcels / 1 frames"));
         assert!(d.contains("size:1"));
+    }
+
+    #[test]
+    fn reliability_counters_surface_in_digest_and_json() {
+        let mut m = CommMetrics::new(2);
+        m.retransmit_frames = 3;
+        m.dup_frames_rx = 2;
+        m.injected = [5, 1, 0, 0, 0];
+        m.idle_deferrals = 4;
+        let d = m.digest(1);
+        assert!(d.contains("rtx 3"), "digest missing retransmits: {d}");
+        assert!(d.contains("injected d:5"), "digest missing injection: {d}");
+        assert!(
+            d.contains("4 idle deferrals"),
+            "digest missing deferrals: {d}"
+        );
+        let back = dashmm_obs::json::parse(&m.to_json().to_json()).expect("valid JSON");
+        assert_eq!(
+            back.get("retransmit_frames").and_then(|v| v.as_f64()),
+            Some(3.0)
+        );
+        assert_eq!(
+            back.get("injected")
+                .and_then(|v| v.as_arr())
+                .map(|a| a.len()),
+            Some(5)
+        );
+        // A fault-free run keeps the digest terse.
+        let clean = CommMetrics::new(2).digest(0);
+        assert!(!clean.contains("rtx"));
+        assert!(!clean.contains("injected"));
     }
 
     #[test]

@@ -10,6 +10,30 @@
 //! priority-aware enqueue), retires write queues, ages out coalescing
 //! buffers, and runs distributed termination detection.
 //!
+//! ## Reliability
+//!
+//! Parcel frames travel as [`FrameKind::SeqParcels`] under the ARQ layer in
+//! [`crate::reliable`]: per-destination sequence numbers, cumulative acks
+//! piggybacked on reverse-path parcel frames (or shipped standalone by the
+//! progress thread), a retransmit queue with timeout + capped exponential
+//! backoff + jitter, and exactly-once in-order delivery at the receiver.
+//! TCP already provides this for a healthy socket — the layer exists so
+//! the deterministic [`FaultPlan`] injector can drop / duplicate / corrupt
+//! / delay / reorder parcel frames (modelling a lossy interconnect) and
+//! the run still completes with the right answer.  Injection is gated on
+//! one `Option` check, so a fault-free run pays nothing.
+//!
+//! ## Failure detection
+//!
+//! Every locality heartbeats its peers; a peer silent past the suspicion
+//! timeout (`DASHMM_SUSPICION_MS`, default 1000) or hanging up mid-run is
+//! marked **down** and surfaced through [`Transport::failed_peer`] instead
+//! of hanging the run: the runtime aborts cleanly with a partial summary,
+//! and blocked collectives (barrier/gather) fail fast.  An injected
+//! `kill` exits the victim abruptly (no goodbye, no flush) with code 113;
+//! an injected `stall` freezes the victim's progress thread — survivors
+//! must ride it out through retransmission.
+//!
 //! ## Termination
 //!
 //! Quiescence of a distributed run is detected with a coordinator-based
@@ -27,6 +51,13 @@
 //! moment of global quiescence existed — and quiescence is stable, because
 //! new work arises only from running tasks or parcel delivery.
 //!
+//! Under loss the counters must stay honest: a rank reports **only acked
+//! parcels** as `sent` — it withholds STATUS until its coalescer, write
+//! queues, injector holds and retransmit queues are all empty, at which
+//! point acked == sent.  A dropped frame therefore keeps its parcels out
+//! of Σsent *and* Σrecv, and the snapshots cannot spuriously balance
+//! while repair is outstanding.
+//!
 //! ## Run epochs
 //!
 //! Ranks leave a run as soon as `DONE` arrives, so a fast rank may start
@@ -36,6 +67,8 @@
 //! counted as received) when the local `begin_run` enters that epoch,
 //! keeping both the scheduler's pending counter and the termination
 //! counters consistent across back-to-back runs.
+//!
+//! [`FrameKind::SeqParcels`]: crate::wire::FrameKind::SeqParcels
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -46,24 +79,40 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use dashmm_amt::{
-    CoalesceConfig, Parcel, TraceEvent, Transport, TransportHooks, TransportStats,
+    CoalesceConfig, FaultPlan, Parcel, TraceEvent, Transport, TransportHooks, TransportStats,
     CLASS_PARCEL_FLUSH,
 };
 use parking_lot::Mutex;
 
 use crate::coalesce::{Coalescer, Flush};
 use crate::metrics::{CommMetrics, FlushReason};
-use crate::wire::{decode_parcels_body, encode_frame, parcel_wire_len, FrameDecoder, FrameKind};
+use crate::reliable::{RetransmitConfig, SeqReceiver, SeqSender};
+use crate::wire::{
+    ack_body, decode_ack_body, decode_parcels_body, decode_seq_parcels_body, encode_frame,
+    parcel_wire_len, seq_parcels_body, FrameDecoder, FrameKind, HEADER_BYTES,
+};
 
 /// Trace class of socket-write spans (owned by `dashmm-obs`).
 pub const TRACE_CLASS_TX: u8 = dashmm_amt::CLASS_NET_TX;
 /// Trace class of receive-and-deliver spans.
 pub const TRACE_CLASS_RX: u8 = dashmm_amt::CLASS_NET_RX;
+/// Trace class of retransmission instants.
+pub const TRACE_CLASS_RETRANSMIT: u8 = dashmm_amt::CLASS_NET_RETRANSMIT;
+/// Trace class of standalone-ack instants.
+pub const TRACE_CLASS_ACK: u8 = dashmm_amt::CLASS_NET_ACK;
+/// Trace class of heartbeat instants.
+pub const TRACE_CLASS_HEARTBEAT: u8 = dashmm_amt::CLASS_NET_HEARTBEAT;
 
 /// Cap on buffered trace events (a run that never drains cannot leak).
 const TRACE_CAP: usize = 1 << 20;
 /// Minimum interval between STATUS reports from an idle rank.
 const STATUS_INTERVAL_NS: u64 = 200_000;
+/// Sentinel for "no peer down".
+const PEER_NONE: u32 = u32::MAX;
+/// Default suspicion timeout (override with `DASHMM_SUSPICION_MS`).
+const DEFAULT_SUSPICION_MS: u64 = 1_000;
+/// Process exit code of an injected locality kill.
+pub const KILL_EXIT_CODE: i32 = 113;
 
 fn fatal(msg: &str) -> ! {
     eprintln!("dashmm-net fatal: {msg}");
@@ -100,6 +149,25 @@ struct Peer {
     stream: TcpStream,
     decoder: FrameDecoder,
     closed: bool,
+    /// The peer hung up without a goodbye while no epoch was open (e.g. a
+    /// crash during workload build, before `run()` raised the epoch).  The
+    /// suspicion sweep promotes a dirty close to peer-down the moment an
+    /// epoch opens, so the death cannot be swallowed as a clean shutdown.
+    dirty: bool,
+    /// Last time any bytes arrived from this peer (liveness evidence).
+    last_rx: Instant,
+}
+
+/// Per-link ARQ state (see [`crate::reliable`]).
+struct ArqState {
+    senders: Vec<SeqSender>,
+    receivers: Vec<SeqReceiver>,
+    /// Highest cumulative ack shipped to each peer (piggyback or
+    /// standalone); an advance past this schedules a standalone ack.
+    acked_sent: Vec<u64>,
+    /// Force a standalone ack even without an advance (a duplicate
+    /// arrived, so a previous ack was evidently lost).
+    ack_due: Vec<bool>,
 }
 
 struct Outbound {
@@ -113,18 +181,32 @@ struct Outbound {
     queued_bytes: usize,
     /// Queued frames that carry parcels.
     parcel_frames: usize,
+    /// Injector holds: frames delayed in flight, `(release_ns, dest,
+    /// frame)`.
+    delayed: Vec<(u64, u32, Vec<u8>)>,
+    /// Injector holds: one-slot reorder pockets per destination (a
+    /// pocketed frame ships after its successor).
+    pocket: Vec<Option<Vec<u8>>>,
+    /// Idle/aged coalescer flushes deferred on per-destination queue
+    /// pressure (satellite: an unwritable socket must not grow the queue).
+    deferred: VecDeque<Flush>,
 }
 
 struct Shared {
     rank: u32,
     ranks: u32,
     cfg: CoalesceConfig,
+    faults: Option<FaultPlan>,
+    rcfg: RetransmitConfig,
+    suspicion: Duration,
     peers: Vec<Option<Mutex<Peer>>>,
     out: StdMutex<Outbound>,
     out_cv: Condvar,
+    arq: Mutex<ArqState>,
     hooks: OnceLock<TransportHooks>,
     epoch: AtomicU32,
     done_epoch: AtomicU32,
+    peer_down: AtomicU32,
     sent: AtomicU64,
     recv: AtomicU64,
     stat_bytes_sent: AtomicU64,
@@ -148,9 +230,18 @@ pub struct SocketTransport {
     progress: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
+fn env_ms(name: &str, default_ms: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_ms)
+}
+
 impl SocketTransport {
     /// Build a transport for `rank` of `ranks` over an established full
-    /// mesh (`peers[r]` connected to rank `r`, own slot `None`).
+    /// mesh (`peers[r]` connected to rank `r`, own slot `None`).  Reads
+    /// the fault plan from [`dashmm_amt::ENV_FAULTS`] and the suspicion
+    /// timeout from `DASHMM_SUSPICION_MS`.
     pub fn new(
         rank: u32,
         ranks: u32,
@@ -158,18 +249,48 @@ impl SocketTransport {
         cfg: CoalesceConfig,
         timeout: Duration,
     ) -> Self {
+        let faults = FaultPlan::from_env().filter(|p| p.active());
+        let mut rcfg = RetransmitConfig::default();
+        if let Some(us) = std::env::var("DASHMM_RTO_US")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            rcfg.timeout_us = us;
+        }
+        let suspicion = Duration::from_millis(env_ms("DASHMM_SUSPICION_MS", DEFAULT_SUSPICION_MS));
+        Self::with_options(rank, ranks, peers, cfg, timeout, faults, rcfg, suspicion)
+    }
+
+    /// [`SocketTransport::new`] with every fault-tolerance knob explicit
+    /// (tests and the chaos harness).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_options(
+        rank: u32,
+        ranks: u32,
+        peers: Vec<Option<TcpStream>>,
+        cfg: CoalesceConfig,
+        timeout: Duration,
+        faults: Option<FaultPlan>,
+        rcfg: RetransmitConfig,
+        suspicion: Duration,
+    ) -> Self {
         assert_eq!(peers.len(), ranks as usize);
         assert!(rank < ranks && peers[rank as usize].is_none());
-        let peers = peers
+        let corrupting = faults.is_some_and(|p| p.corrupt > 0.0);
+        let peers: Vec<Option<Mutex<Peer>>> = peers
             .into_iter()
             .map(|s| {
                 s.map(|stream| {
                     stream.set_nonblocking(true).expect("set_nonblocking");
                     stream.set_nodelay(true).ok();
+                    let mut decoder = FrameDecoder::new();
+                    decoder.set_skip_corrupt(corrupting);
                     Mutex::new(Peer {
                         stream,
-                        decoder: FrameDecoder::new(),
+                        decoder,
                         closed: false,
+                        dirty: false,
+                        last_rx: Instant::now(),
                     })
                 })
             })
@@ -178,6 +299,9 @@ impl SocketTransport {
             rank,
             ranks,
             cfg,
+            faults,
+            rcfg,
+            suspicion,
             peers,
             out: StdMutex::new(Outbound {
                 coalescer: Coalescer::new(ranks, rank, cfg),
@@ -185,11 +309,21 @@ impl SocketTransport {
                 offsets: vec![0; ranks as usize],
                 queued_bytes: 0,
                 parcel_frames: 0,
+                delayed: Vec::new(),
+                pocket: (0..ranks).map(|_| None).collect(),
+                deferred: VecDeque::new(),
             }),
             out_cv: Condvar::new(),
+            arq: Mutex::new(ArqState {
+                senders: (0..ranks).map(|_| SeqSender::new()).collect(),
+                receivers: (0..ranks).map(|_| SeqReceiver::new()).collect(),
+                acked_sent: vec![0; ranks as usize],
+                ack_due: vec![false; ranks as usize],
+            }),
             hooks: OnceLock::new(),
             epoch: AtomicU32::new(0),
             done_epoch: AtomicU32::new(0),
+            peer_down: AtomicU32::new(PEER_NONE),
             sent: AtomicU64::new(0),
             recv: AtomicU64::new(0),
             stat_bytes_sent: AtomicU64::new(0),
@@ -221,13 +355,42 @@ impl SocketTransport {
         self.shared.cfg
     }
 
-    /// Snapshot of the communication metrics.
+    /// The fault plan in force, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.shared.faults
+    }
+
+    /// Snapshot of the communication metrics (decoder-side counters are
+    /// folded in at snapshot time).
     pub fn metrics(&self) -> CommMetrics {
-        self.shared.metrics.lock().clone()
+        let mut m = self.shared.metrics.lock().clone();
+        m.corrupt_frames_rx = 0;
+        m.oversize_rejected = 0;
+        for p in self.shared.peers.iter().flatten() {
+            let p = p.lock();
+            m.corrupt_frames_rx += p.decoder.corrupt_skipped();
+            m.oversize_rejected += p.decoder.oversize_rejected();
+        }
+        let arq = self.shared.arq.lock();
+        m.retransmit_frames = arq.senders.iter().map(|t| t.retransmits()).sum();
+        m.dup_frames_rx = arq.receivers.iter().map(|r| r.duplicates()).sum();
+        m
+    }
+
+    fn check_peer_down(&self, what: &str) -> std::io::Result<()> {
+        let down = self.shared.peer_down.load(Ordering::SeqCst);
+        if down != PEER_NONE {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                format!("{what} aborted: rank {down} is down"),
+            ));
+        }
+        Ok(())
     }
 
     /// Block until every rank reached this barrier (generation-numbered;
-    /// call it the same number of times on every rank).
+    /// call it the same number of times on every rank).  Fails fast if a
+    /// peer has been declared down.
     pub fn barrier(&self) -> std::io::Result<()> {
         let s = &self.shared;
         let gen = s.barrier_gen.fetch_add(1, Ordering::SeqCst) + 1;
@@ -240,6 +403,12 @@ impl SocketTransport {
         let deadline = Instant::now() + s.timeout;
         let mut sync = s.sync.lock().unwrap();
         while sync.barrier_release_gen < gen {
+            drop(sync);
+            self.check_peer_down("barrier")?;
+            sync = s.sync.lock().unwrap();
+            if sync.barrier_release_gen >= gen {
+                break;
+            }
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 return Err(std::io::Error::new(
@@ -258,7 +427,7 @@ impl SocketTransport {
 
     /// Gather one byte blob per rank at rank 0.  Returns `Some(parts)`
     /// (indexed by rank) on rank 0, `None` elsewhere.  Call it the same
-    /// number of times on every rank.
+    /// number of times on every rank.  Fails fast if a peer is down.
     pub fn gather(&self, part: &[u8]) -> std::io::Result<Option<Vec<Vec<u8>>>> {
         let s = &self.shared;
         let gen = s.gather_gen.fetch_add(1, Ordering::SeqCst) + 1;
@@ -281,6 +450,12 @@ impl SocketTransport {
         let deadline = Instant::now() + s.timeout;
         let mut sync = s.sync.lock().unwrap();
         loop {
+            if let Some(parts) = sync.gather_ready.remove(&gen) {
+                return Ok(Some(parts));
+            }
+            drop(sync);
+            self.check_peer_down("gather")?;
+            sync = s.sync.lock().unwrap();
             if let Some(parts) = sync.gather_ready.remove(&gen) {
                 return Ok(Some(parts));
             }
@@ -370,7 +545,10 @@ impl Transport for SocketTransport {
         let now = (hooks.now_ns)();
         let mut out = s.out.lock().unwrap();
         let mut stalled = false;
-        while out.queued_bytes > s.cfg.max_queue_bytes && !s.stop.load(Ordering::Relaxed) {
+        while out.queued_bytes > s.cfg.max_queue_bytes
+            && !s.stop.load(Ordering::Relaxed)
+            && s.peer_down.load(Ordering::Relaxed) == PEER_NONE
+        {
             if !stalled {
                 stalled = true;
                 s.metrics.lock().backpressure_stalls += 1;
@@ -413,32 +591,155 @@ impl Transport for SocketTransport {
     fn drain_trace(&self) -> Vec<TraceEvent> {
         std::mem::take(&mut *self.shared.trace.lock())
     }
+
+    fn failed_peer(&self) -> Option<u32> {
+        let p = self.shared.peer_down.load(Ordering::SeqCst);
+        (p != PEER_NONE).then_some(p)
+    }
 }
 
-/// Queue a sealed coalescer flush (metrics + stats + write queue).
-fn enqueue_flush(s: &Shared, out: &mut Outbound, f: Flush) {
-    let len = f.frame.len();
+/// Declare `r` dead: close its lane, unblock collectives and senders.
+/// The runtime observes this through [`Transport::failed_peer`].
+fn mark_peer_down(s: &Shared, r: u32, why: &str) {
+    if s.peer_down
+        .compare_exchange(PEER_NONE, r, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
     {
-        let mut m = s.metrics.lock();
-        m.record_flush(f.dest as usize, f.parcels as u64, f.reason);
-        m.max_queued_bytes = m.max_queued_bytes.max(out.queued_bytes + len);
+        eprintln!(
+            "dashmm-net: rank {}: peer rank {r} down: {why} (epoch {}, done {})",
+            s.rank,
+            s.epoch.load(Ordering::SeqCst),
+            s.done_epoch.load(Ordering::SeqCst)
+        );
     }
+    if let Some(p) = &s.peers[r as usize] {
+        p.lock().closed = true;
+    }
+    s.sync_cv.notify_all();
+    s.out_cv.notify_all();
+}
+
+/// Append a ready-to-write frame to `dest`'s queue (stats + accounting).
+fn enqueue_raw(s: &Shared, out: &mut Outbound, dest: u32, frame: Vec<u8>, is_parcels: bool) {
+    let len = frame.len();
     s.stat_frames_sent.fetch_add(1, Ordering::SeqCst);
     s.stat_bytes_sent.fetch_add(len as u64, Ordering::SeqCst);
-    out.queues[f.dest as usize].push_back((f.frame, true));
+    {
+        let mut m = s.metrics.lock();
+        m.max_queued_bytes = m.max_queued_bytes.max(out.queued_bytes + len);
+    }
+    out.queues[dest as usize].push_back((frame, is_parcels));
     out.queued_bytes += len;
-    out.parcel_frames += 1;
-    if let Some(h) = s.hooks.get() {
-        let now = (h.now_ns)();
-        push_trace(s, CLASS_PARCEL_FLUSH, now, now);
+    if is_parcels {
+        out.parcel_frames += 1;
     }
 }
 
-/// Queue a control frame (bypasses the coalescer and parcel accounting).
+/// Put one sequenced parcel frame on the wire, applying the fault plan.
+/// `seq`/`attempt` key the injector's deterministic per-frame decision —
+/// the same roll the simulator's network model makes, which is what the
+/// sim/runtime parity check compares.
+fn transmit_parcel_frame(
+    s: &Shared,
+    out: &mut Outbound,
+    dest: u32,
+    seq: u64,
+    attempt: u32,
+    mut frame: Vec<u8>,
+) {
+    if let Some(plan) = &s.faults {
+        let fate = plan.fate(s.rank, dest, seq, attempt);
+        if fate.any() {
+            let mut m = s.metrics.lock();
+            for (slot, hit) in [
+                fate.drop,
+                fate.dup,
+                fate.corrupt,
+                fate.delay_us > 0,
+                fate.reorder,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                if hit {
+                    m.injected[slot] += 1;
+                }
+            }
+        }
+        if fate.drop {
+            // Never reaches the peer; the retransmit queue recovers it.
+            return;
+        }
+        if fate.corrupt {
+            // Flip a body bit but leave the header intact, so the receiver
+            // can skip the frame by its length and resynchronise.
+            let at = HEADER_BYTES + (seq as usize % (frame.len() - HEADER_BYTES).max(1));
+            if at < frame.len() {
+                frame[at] ^= 0x55;
+            }
+        }
+        if fate.dup {
+            enqueue_raw(s, out, dest, frame.clone(), true);
+        }
+        if fate.delay_us > 0 {
+            let now = s.hooks.get().map(|h| (h.now_ns)()).unwrap_or(0);
+            out.delayed.push((now + fate.delay_us * 1_000, dest, frame));
+            return;
+        }
+        if fate.reorder {
+            // Hold this frame back behind the next one to the same peer.
+            if let Some(prev) = out.pocket[dest as usize].replace(frame) {
+                enqueue_raw(s, out, dest, prev, true);
+            }
+            return;
+        }
+        // Shipping a frame releases any pocketed predecessor after it —
+        // the adjacent swap the reorder fault models.
+        enqueue_raw(s, out, dest, frame, true);
+        if let Some(held) = out.pocket[dest as usize].take() {
+            enqueue_raw(s, out, dest, held, true);
+        }
+        return;
+    }
+    enqueue_raw(s, out, dest, frame, true);
+}
+
+/// Queue a sealed coalescer flush: assign its sequence number, wrap it as
+/// a [`FrameKind::SeqParcels`] frame with a piggybacked ack, and transmit.
+fn enqueue_flush(s: &Shared, out: &mut Outbound, f: Flush) {
+    let now = s.hooks.get().map(|h| (h.now_ns)()).unwrap_or(0);
+    s.metrics
+        .lock()
+        .record_flush(f.dest as usize, f.parcels as u64, f.reason);
+    let dest = f.dest;
+    let (seq, frame) = {
+        let mut arq = s.arq.lock();
+        let ack = arq.receivers[dest as usize].cum_ack();
+        arq.acked_sent[dest as usize] = arq.acked_sent[dest as usize].max(ack);
+        let sender = &mut arq.senders[dest as usize];
+        // The frame body must be built before `on_send` takes ownership of
+        // the parcels body; the sequence it will assign is known.
+        let body = seq_parcels_body(sender.frames_sent() + 1, ack, &f.body);
+        let seq = sender.on_send(f.body, f.parcels as u64, now, &s.rcfg);
+        debug_assert_eq!(seq, decode_seq_parcels_body(&body).unwrap().0);
+        (
+            seq,
+            encode_frame(FrameKind::SeqParcels, s.rank as u16, &body),
+        )
+    };
+    push_trace(s, CLASS_PARCEL_FLUSH, now, now);
+    transmit_parcel_frame(s, out, dest, seq, 0, frame);
+}
+
+/// Queue a control frame (bypasses the coalescer, ARQ and injector).
 fn enqueue_control(s: &Shared, dest: u32, kind: FrameKind, body: &[u8]) {
+    let mut out = s.out.lock().unwrap();
+    enqueue_control_locked(s, &mut out, dest, kind, body);
+}
+
+fn enqueue_control_locked(s: &Shared, out: &mut Outbound, dest: u32, kind: FrameKind, body: &[u8]) {
     debug_assert_ne!(dest, s.rank);
     let frame = encode_frame(kind, s.rank as u16, body);
-    let mut out = s.out.lock().unwrap();
     out.queued_bytes += frame.len();
     out.queues[dest as usize].push_back((frame, false));
 }
@@ -481,38 +782,81 @@ fn check_gather_complete(s: &Shared, gen: u32) {
     }
 }
 
+/// Decode one delivered parcels body: meter it, stage or deliver by epoch.
+fn process_parcels_body(s: &Shared, src: u32, body: &[u8], start: u64) {
+    let (epoch, parcels) = match decode_parcels_body(body) {
+        Ok(x) => x,
+        Err(e) => fatal(&format!(
+            "rank {}: bad parcels frame from {src}: {e}",
+            s.rank
+        )),
+    };
+    {
+        let mut m = s.metrics.lock();
+        m.rx_parcels += parcels.len() as u64;
+        m.rx_bytes += body.len() as u64;
+    }
+    s.stat_bytes_recv
+        .fetch_add(body.len() as u64, Ordering::SeqCst);
+    let cur = s.epoch.load(Ordering::SeqCst);
+    if epoch > cur {
+        s.staged.lock().push((epoch, parcels));
+    } else {
+        debug_assert_eq!(epoch, cur, "parcel frame from a finished epoch");
+        deliver_parcels(s, parcels);
+        if let Some(h) = s.hooks.get() {
+            push_trace(s, TRACE_CLASS_RX, start, (h.now_ns)());
+        }
+    }
+}
+
 /// Handle one inbound frame on the progress thread.
 fn handle_frame(s: &Shared, src: u32, kind: FrameKind, body: Vec<u8>, peer_closed: &mut bool) {
     let le_u32 = |b: &[u8]| u32::from_le_bytes(b[..4].try_into().unwrap());
     let le_u64 = |b: &[u8]| u64::from_le_bytes(b[..8].try_into().unwrap());
     match kind {
-        FrameKind::Parcels => {
+        FrameKind::SeqParcels => {
             let start = s.hooks.get().map(|h| (h.now_ns)()).unwrap_or(0);
-            let (epoch, parcels) = match decode_parcels_body(&body) {
+            let (seq, ack, inner) = match decode_seq_parcels_body(&body) {
                 Ok(x) => x,
                 Err(e) => fatal(&format!(
-                    "rank {}: bad parcels frame from {src}: {e}",
+                    "rank {}: bad seq-parcels frame from {src}: {e}",
                     s.rank
                 )),
             };
-            {
-                let mut m = s.metrics.lock();
-                m.rx_frames += 1;
-                m.rx_parcels += parcels.len() as u64;
-                m.rx_bytes += body.len() as u64;
-            }
-            s.stat_bytes_recv
-                .fetch_add(body.len() as u64, Ordering::SeqCst);
-            let cur = s.epoch.load(Ordering::SeqCst);
-            if epoch > cur {
-                s.staged.lock().push((epoch, parcels));
-            } else {
-                debug_assert_eq!(epoch, cur, "parcel frame from a finished epoch");
-                deliver_parcels(s, parcels);
-                if let Some(h) = s.hooks.get() {
-                    push_trace(s, TRACE_CLASS_RX, start, (h.now_ns)());
+            let outcome = {
+                let mut arq = s.arq.lock();
+                arq.senders[src as usize].on_ack(ack);
+                let outcome = arq.receivers[src as usize].on_frame(seq, inner.to_vec(), &s.rcfg);
+                if outcome.duplicate || outcome.overflow {
+                    // Our ack (or reorder window) evidently lagged; re-ack
+                    // so the sender stops retransmitting.
+                    arq.ack_due[src as usize] = true;
                 }
+                outcome
+            };
+            s.metrics.lock().rx_frames += 1;
+            for inner_body in outcome.deliver {
+                process_parcels_body(s, src, &inner_body, start);
             }
+        }
+        FrameKind::Ack => {
+            let ack = match decode_ack_body(&body) {
+                Ok(a) => a,
+                Err(e) => fatal(&format!("rank {}: bad ack from {src}: {e}", s.rank)),
+            };
+            s.arq.lock().senders[src as usize].on_ack(ack);
+        }
+        FrameKind::Heartbeat => {
+            // Liveness is tracked on any received bytes (`Peer::last_rx`);
+            // the frame itself needs no handling.
+        }
+        FrameKind::Parcels => {
+            // Legacy unsequenced path (not emitted by this build, but the
+            // wire format still admits it).
+            let start = s.hooks.get().map(|h| (h.now_ns)()).unwrap_or(0);
+            s.metrics.lock().rx_frames += 1;
+            process_parcels_body(s, src, &body, start);
         }
         FrameKind::Status => {
             if body.len() != 28 {
@@ -648,6 +992,7 @@ fn pump_reads(s: &Shared, r: u32) -> bool {
                 }
                 Ok(n) => {
                     progressed = true;
+                    peer.last_rx = Instant::now();
                     peer.decoder.push(&buf[..n]);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -662,10 +1007,13 @@ fn pump_reads(s: &Shared, r: u32) -> bool {
             match peer.decoder.next_frame() {
                 Ok(Some(f)) => frames.push(f),
                 Ok(None) => break,
-                Err(e) => fatal(&format!(
-                    "rank {}: stream from rank {r} corrupt: {e}",
-                    s.rank
-                )),
+                Err(e) => {
+                    // Structural corruption is unrecoverable for this
+                    // connection (the decoder stays poisoned): hard-fail
+                    // the *link*, not the process.
+                    hangup = Some(format!("stream corrupt: {e}"));
+                    break;
+                }
             }
         }
     }
@@ -685,12 +1033,16 @@ fn pump_reads(s: &Shared, r: u32) -> bool {
         // launcher's exit-status collection.
         let done = s.done_epoch.load(Ordering::SeqCst) >= s.epoch.load(Ordering::SeqCst);
         if !peer.closed && !done && !s.stop.load(Ordering::Relaxed) {
-            fatal(&format!(
-                "rank {}: rank {r} {why} mid-run (epoch {} done {})",
-                s.rank,
-                s.epoch.load(Ordering::SeqCst),
-                s.done_epoch.load(Ordering::SeqCst)
-            ));
+            peer.closed = true;
+            drop(peer);
+            mark_peer_down(s, r, &why);
+            return progressed;
+        }
+        // `done` also holds before the first epoch opens (0 >= 0), so a
+        // crash during workload build lands here; remember it as dirty and
+        // let the suspicion sweep convict once an epoch is running.
+        if !peer.closed && !s.stop.load(Ordering::Relaxed) {
+            peer.dirty = true;
         }
         peer.closed = true;
     }
@@ -738,8 +1090,12 @@ fn pump_writes(s: &Shared) -> bool {
                     continue;
                 }
                 Err(e) => {
-                    if s.stop.load(Ordering::Relaxed) || peer.closed {
-                        // Peer already gone at shutdown: drop its queue.
+                    if s.stop.load(Ordering::Relaxed)
+                        || peer.closed
+                        || s.peer_down.load(Ordering::Relaxed) == r
+                    {
+                        // Peer gone (shutdown race or declared down): drop
+                        // its queue.
                         let mut dropped = frame.len() - off;
                         dropped += out.queues[r as usize]
                             .iter()
@@ -767,12 +1123,119 @@ fn pump_writes(s: &Shared) -> bool {
     progressed
 }
 
+/// Per-iteration reliability maintenance: release injector holds, fire due
+/// retransmissions, ship standalone acks.  Returns whether anything moved.
+fn pump_reliability(s: &Shared, now: u64) -> bool {
+    let mut progressed = false;
+    let mut out = s.out.lock().unwrap();
+    // Release delay holds whose time has come.
+    let mut i = 0;
+    while i < out.delayed.len() {
+        if out.delayed[i].0 <= now {
+            let (_, dest, frame) = out.delayed.swap_remove(i);
+            enqueue_raw(s, &mut out, dest, frame, true);
+            progressed = true;
+        } else {
+            i += 1;
+        }
+    }
+    // Release any reorder pocket that found no successor this iteration —
+    // the hold must be an adjacent swap, never a stall.
+    for d in 0..s.ranks as usize {
+        if let Some(frame) = out.pocket[d].take() {
+            enqueue_raw(s, &mut out, d as u32, frame, true);
+            progressed = true;
+        }
+    }
+    // Retransmissions + standalone acks.
+    let mut acks: Vec<(u32, u64)> = Vec::new();
+    {
+        let mut arq = s.arq.lock();
+        for r in 0..s.ranks {
+            if r == s.rank || s.peers[r as usize].is_none() {
+                continue;
+            }
+            if s.peer_down.load(Ordering::Relaxed) == r {
+                continue;
+            }
+            let due = arq.senders[r as usize].due_retransmits(now, &s.rcfg);
+            if !due.is_empty() {
+                let ack = arq.receivers[r as usize].cum_ack();
+                arq.acked_sent[r as usize] = arq.acked_sent[r as usize].max(ack);
+                let count = due.len() as u64;
+                for rt in due {
+                    let frame = encode_frame(
+                        FrameKind::SeqParcels,
+                        s.rank as u16,
+                        &seq_parcels_body(rt.seq, ack, &rt.body),
+                    );
+                    transmit_parcel_frame(s, &mut out, r, rt.seq, rt.attempt, frame);
+                }
+                s.metrics.lock().retransmit_frames += count;
+                push_trace(s, TRACE_CLASS_RETRANSMIT, now, now);
+                progressed = true;
+            }
+            let cur = arq.receivers[r as usize].cum_ack();
+            if cur > arq.acked_sent[r as usize] || arq.ack_due[r as usize] {
+                arq.acked_sent[r as usize] = cur;
+                arq.ack_due[r as usize] = false;
+                acks.push((r, cur));
+            }
+        }
+    }
+    for (r, ack) in acks {
+        enqueue_control_locked(s, &mut out, r, FrameKind::Ack, &ack_body(ack));
+        s.metrics.lock().acks_tx += 1;
+        push_trace(s, TRACE_CLASS_ACK, now, now);
+        progressed = true;
+    }
+    progressed
+}
+
+/// Whether every outbound lane is drained *and acknowledged* — the gate on
+/// STATUS reports that keeps termination loss-safe.
+fn outbound_clear(s: &Shared, out: &Outbound) -> bool {
+    out.coalescer.is_empty()
+        && out.parcel_frames == 0
+        && out.delayed.is_empty()
+        && out.pocket.iter().all(Option::is_none)
+        && out.deferred.is_empty()
+        && s.arq.lock().senders.iter().all(|t| t.all_acked())
+}
+
 /// The per-locality progress engine.
 fn progress_loop(s: &Shared) {
+    let started = Instant::now();
     let mut last_status_ns = 0u64;
     let mut own_seq = 0u64;
     let mut bye_sent = false;
+    let mut stall_done = false;
+    let mut last_heartbeat = Instant::now();
+    let heartbeat_every = (s.suspicion / 8).max(Duration::from_millis(5));
     loop {
+        // Scheduled locality faults (the injected kill never says goodbye).
+        if let Some(plan) = &s.faults {
+            let elapsed_ms = started.elapsed().as_millis() as u64;
+            if let Some(k) = plan.kill {
+                if k.rank == s.rank && elapsed_ms >= k.at_ms {
+                    eprintln!(
+                        "dashmm-net: rank {}: injected kill at +{}ms",
+                        s.rank, elapsed_ms
+                    );
+                    std::process::exit(KILL_EXIT_CODE);
+                }
+            }
+            if let Some(st) = plan.stall {
+                if st.rank == s.rank && !stall_done && elapsed_ms >= st.at_ms {
+                    eprintln!(
+                        "dashmm-net: rank {}: injected stall for {}ms at +{}ms",
+                        s.rank, st.dur_ms, elapsed_ms
+                    );
+                    std::thread::sleep(Duration::from_millis(st.dur_ms));
+                    stall_done = true;
+                }
+            }
+        }
         let mut progressed = false;
         for r in 0..s.ranks {
             if r != s.rank {
@@ -782,26 +1245,39 @@ fn progress_loop(s: &Shared) {
         if let Some(h) = s.hooks.get() {
             let now = (h.now_ns)();
             let stopping = s.stop.load(Ordering::Relaxed);
+            progressed |= pump_reliability(s, now);
             // Age out coalescing buffers; drain them entirely when idle.
-            let (flushes, empty) = {
+            // A destination whose write queue is over budget defers its
+            // idle/aged flushes (send-side backpressure) instead of
+            // growing the queue against an unwritable socket.
+            let empty = {
                 let mut out = s.out.lock().unwrap();
-                let mut flushes = out.coalescer.flush_aged(now);
+                let mut candidates: Vec<Flush> = out.deferred.drain(..).collect();
+                candidates.extend(out.coalescer.flush_aged(now));
                 if (h.locally_idle)() || stopping {
                     let reason = if stopping {
                         FlushReason::Shutdown
                     } else {
                         FlushReason::Idle
                     };
-                    flushes.extend(out.coalescer.flush_all(reason));
+                    candidates.extend(out.coalescer.flush_all(reason));
                 }
-                for f in flushes.drain(..) {
-                    progressed = true;
-                    enqueue_flush(s, &mut out, f);
+                for f in candidates {
+                    let dest = f.dest as usize;
+                    let dest_bytes: usize = out.queues[dest].iter().map(|(fr, _)| fr.len()).sum();
+                    if !stopping && dest_bytes > s.cfg.max_queue_bytes {
+                        s.metrics.lock().idle_deferrals += 1;
+                        out.deferred.push_back(f);
+                    } else {
+                        progressed = true;
+                        enqueue_flush(s, &mut out, f);
+                    }
                 }
-                (0, out.coalescer.is_empty() && out.parcel_frames == 0)
+                outbound_clear(s, &out)
             };
-            let _ = flushes;
-            // Report idle status to the coordinator.
+            // Report idle status to the coordinator.  `sent` is the acked
+            // parcel count — `outbound_clear` guarantees acked == sent, so
+            // unrepaired loss withholds the report entirely.
             if !stopping
                 && empty
                 && (h.locally_idle)()
@@ -809,10 +1285,14 @@ fn progress_loop(s: &Shared) {
             {
                 last_status_ns = now;
                 own_seq += 1;
+                let sent_acked: u64 = {
+                    let arq = s.arq.lock();
+                    arq.senders.iter().map(|t| t.acked_parcels()).sum()
+                };
                 let st = RankStatus {
                     epoch: s.epoch.load(Ordering::SeqCst),
                     seq: own_seq,
-                    sent: s.sent.load(Ordering::SeqCst),
+                    sent: sent_acked,
                     recv: s.recv.load(Ordering::SeqCst),
                 };
                 if s.rank == 0 {
@@ -824,6 +1304,48 @@ fn progress_loop(s: &Shared) {
                     body.extend_from_slice(&st.sent.to_le_bytes());
                     body.extend_from_slice(&st.recv.to_le_bytes());
                     enqueue_control(s, 0, FrameKind::Status, &body);
+                }
+            }
+            // Heartbeats + suspicion.
+            if !stopping && last_heartbeat.elapsed() >= heartbeat_every {
+                last_heartbeat = Instant::now();
+                let mut out = s.out.lock().unwrap();
+                for r in 0..s.ranks {
+                    if r == s.rank || s.peers[r as usize].is_none() {
+                        continue;
+                    }
+                    let closed = s.peers[r as usize].as_ref().unwrap().lock().closed;
+                    if !closed {
+                        enqueue_control_locked(s, &mut out, r, FrameKind::Heartbeat, &[]);
+                        s.metrics.lock().heartbeats_tx += 1;
+                        push_trace(s, TRACE_CLASS_HEARTBEAT, now, now);
+                    }
+                }
+                drop(out);
+                let open_epoch =
+                    s.done_epoch.load(Ordering::SeqCst) < s.epoch.load(Ordering::SeqCst);
+                for r in 0..s.ranks {
+                    if r == s.rank {
+                        continue;
+                    }
+                    if let Some(p) = &s.peers[r as usize] {
+                        let (closed, dirty, silent_for) = {
+                            let p = p.lock();
+                            (p.closed, p.dirty, p.last_rx.elapsed())
+                        };
+                        if !closed && silent_for > s.suspicion {
+                            mark_peer_down(
+                                s,
+                                r,
+                                &format!("no traffic for {}ms", silent_for.as_millis()),
+                            );
+                        } else if closed && dirty && open_epoch {
+                            // Crashed before the epoch opened (the hangup was
+                            // provisionally treated as benign); now that work
+                            // depends on this peer, convict it.
+                            mark_peer_down(s, r, "hung up before the epoch opened");
+                        }
+                    }
                 }
             }
         }
@@ -864,14 +1386,30 @@ mod tests {
     }
 
     fn transport(rank: u32, stream: TcpStream, cfg: CoalesceConfig) -> Arc<SocketTransport> {
+        transport_with(rank, stream, cfg, None)
+    }
+
+    fn transport_with(
+        rank: u32,
+        stream: TcpStream,
+        cfg: CoalesceConfig,
+        faults: Option<FaultPlan>,
+    ) -> Arc<SocketTransport> {
         let mut peers = vec![None, None];
         peers[(1 - rank) as usize] = Some(stream);
-        Arc::new(SocketTransport::new(
+        let rcfg = RetransmitConfig {
+            timeout_us: 1_000,
+            ..RetransmitConfig::default()
+        };
+        Arc::new(SocketTransport::with_options(
             rank,
             2,
             peers,
             cfg,
             Duration::from_secs(30),
+            faults,
+            rcfg,
+            Duration::from_secs(5),
         ))
     }
 
@@ -922,6 +1460,7 @@ mod tests {
         assert_eq!(m.per_dest[1].parcels, 100);
         assert!(m.frames_sent() < 100, "parcels were coalesced");
         assert!(t0.stats().parcels_sent == 100 && t1.stats().parcels_received == 100);
+        assert_eq!(t0.failed_peer(), None);
         let b1 = std::thread::spawn({
             let t1 = Arc::clone(&t1);
             move || t1.barrier().unwrap()
@@ -949,6 +1488,117 @@ mod tests {
         assert_eq!(parts[0], b"from-zero");
         assert_eq!(parts[1], b"from-one");
         assert_eq!(from1.join().unwrap(), None);
+        t0.shutdown();
+        t1.shutdown();
+    }
+
+    /// A seeded lossy/duplicating/corrupting/reordering link still delivers
+    /// every parcel exactly once and reaches termination — the tentpole's
+    /// end-to-end property at the transport level.
+    #[test]
+    fn faulty_link_delivers_exactly_once_and_terminates() {
+        let plan = FaultPlan::parse("seed=11,drop=0.15,dup=0.1,corrupt=0.05,reorder=0.1").unwrap();
+        let (a, b) = pair();
+        // Disable coalescing so every parcel rides its own frame — many
+        // frames, many independent fault rolls.
+        let cfg = CoalesceConfig::disabled();
+        let t0 = transport_with(0, a, cfg, Some(plan));
+        let t1 = transport_with(1, b, cfg, Some(plan));
+        let d1 = Arc::new(Mutex::new(Vec::new()));
+        let idle0 = Arc::new(AtomicBool::new(false));
+        let idle1 = Arc::new(AtomicBool::new(true));
+        attach_counting(&t0, Arc::new(Mutex::new(Vec::new())), idle0.clone());
+        attach_counting(&t1, d1.clone(), idle1.clone());
+        t0.begin_run();
+        t1.begin_run();
+        for i in 0..200u32 {
+            t0.send(Parcel::new(
+                ActionId(3),
+                GlobalAddress::new(1, i),
+                vec![(i % 251) as u8; 16],
+            ));
+        }
+        idle0.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_secs(25);
+        while !(t0.poll_quiescence(true) && t1.poll_quiescence(true)) {
+            assert!(
+                Instant::now() < deadline,
+                "termination not detected under faults (rtx {})",
+                t0.metrics().retransmit_frames
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let got = d1.lock();
+        assert_eq!(got.len(), 200, "exactly-once delivery violated");
+        let mut indices: Vec<u32> = got.iter().map(|p| p.target.index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..200).collect::<Vec<_>>());
+        drop(got);
+        let m0 = t0.metrics();
+        assert!(
+            m0.retransmit_frames > 0,
+            "a 15% drop rate must force retransmissions"
+        );
+        assert!(m0.injected_total() > 0);
+        t0.shutdown();
+        t1.shutdown();
+    }
+
+    /// A peer that vanishes mid-run (no goodbye) is surfaced as a failed
+    /// peer instead of hanging or killing the process, and collectives
+    /// fail fast.
+    #[test]
+    fn midrun_hangup_surfaces_peer_down() {
+        let (a, b) = pair();
+        let t0 = transport(0, a, CoalesceConfig::default());
+        let idle = Arc::new(AtomicBool::new(false));
+        attach_counting(&t0, Arc::new(Mutex::new(Vec::new())), idle.clone());
+        t0.begin_run();
+        // Rank 1 "crashes": the raw socket drops with the run still open.
+        drop(b);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while t0.failed_peer().is_none() {
+            assert!(Instant::now() < deadline, "peer death not detected");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(t0.failed_peer(), Some(1));
+        let err = t0.barrier().expect_err("barrier must fail fast");
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        t0.shutdown();
+    }
+
+    /// With faults disabled the ARQ layer is pure bookkeeping: no
+    /// retransmits, no duplicates, no injected events.
+    #[test]
+    fn fault_free_run_is_clean() {
+        let (a, b) = pair();
+        let t0 = transport(0, a, CoalesceConfig::default());
+        let t1 = transport(1, b, CoalesceConfig::default());
+        let d1 = Arc::new(Mutex::new(Vec::new()));
+        let idle0 = Arc::new(AtomicBool::new(false));
+        let idle1 = Arc::new(AtomicBool::new(true));
+        attach_counting(&t0, Arc::new(Mutex::new(Vec::new())), idle0.clone());
+        attach_counting(&t1, d1.clone(), idle1.clone());
+        t0.begin_run();
+        t1.begin_run();
+        for i in 0..50u32 {
+            t0.send(Parcel::new(
+                ActionId(1),
+                GlobalAddress::new(1, i),
+                vec![0; 8],
+            ));
+        }
+        idle0.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !(t0.poll_quiescence(true) && t1.poll_quiescence(true)) {
+            assert!(Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let m = t0.metrics();
+        assert_eq!(m.retransmit_frames, 0);
+        assert_eq!(m.injected_total(), 0);
+        assert_eq!(t1.metrics().dup_frames_rx, 0);
+        assert_eq!(t1.metrics().corrupt_frames_rx, 0);
         t0.shutdown();
         t1.shutdown();
     }

@@ -65,6 +65,16 @@ pub enum FrameKind {
     Gather = 8,
     /// Orderly connection close.
     Bye = 9,
+    /// Reliable coalesced parcels: `seq u64 | ack u64 | parcels-body`.
+    /// `seq` numbers this sender→receiver parcel frame; `ack` piggybacks
+    /// the cumulative highest in-order `seq` the sender has received on the
+    /// reverse link.
+    SeqParcels = 10,
+    /// Standalone cumulative acknowledgement: `ack u64`.
+    Ack = 11,
+    /// Liveness beacon (empty body); absence beyond the suspicion timeout
+    /// marks the peer down.
+    Heartbeat = 12,
 }
 
 impl FrameKind {
@@ -79,6 +89,9 @@ impl FrameKind {
             7 => FrameKind::BarrierRelease,
             8 => FrameKind::Gather,
             9 => FrameKind::Bye,
+            10 => FrameKind::SeqParcels,
+            11 => FrameKind::Ack,
+            12 => FrameKind::Heartbeat,
             _ => return None,
         })
     }
@@ -186,6 +199,17 @@ fn le_u64(b: &[u8]) -> u64 {
 /// on success, `Ok(None)` when `buf` holds a valid prefix that needs more
 /// bytes, `Err` on structural corruption.
 pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+    decode_frame_capped(buf, MAX_FRAME_BODY)
+}
+
+/// [`decode_frame`] with a caller-chosen body cap.  A declared length over
+/// `max_body` is rejected the moment the header arrives — the hostile case
+/// where a peer advertises a huge frame must fail the connection rather
+/// than commit the receiver to buffering it.
+pub fn decode_frame_capped(
+    buf: &[u8],
+    max_body: usize,
+) -> Result<Option<(Frame, usize)>, WireError> {
     if buf.len() < HEADER_BYTES {
         // Reject garbage early even before a full header arrives.
         if !MAGIC.to_le_bytes().starts_with(&buf[..buf.len().min(4)]) {
@@ -202,7 +226,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
     let kind = FrameKind::from_u8(buf[5]).ok_or(WireError::BadKind(buf[5]))?;
     let src = u16::from_le_bytes(buf[6..8].try_into().unwrap());
     let len = le_u32(&buf[8..]) as usize;
-    if len > MAX_FRAME_BODY {
+    if len > max_body.min(MAX_FRAME_BODY) {
         return Err(WireError::Oversize(len));
     }
     if buf.len() < HEADER_BYTES + len {
@@ -233,16 +257,50 @@ pub fn decode_frame_exact(buf: &[u8]) -> Result<Frame, WireError> {
 }
 
 /// Streaming frame decoder: feed arbitrary chunks, take whole frames out.
-#[derive(Default)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
     pos: usize,
+    max_body: usize,
+    poisoned: Option<WireError>,
+    skip_corrupt: bool,
+    corrupt_skipped: u64,
+    oversize_rejected: u64,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
 }
 
 impl FrameDecoder {
-    /// Empty decoder.
+    /// Empty decoder with the wire-format default body cap.
     pub fn new() -> Self {
-        FrameDecoder::default()
+        FrameDecoder::with_max_body(MAX_FRAME_BODY)
+    }
+
+    /// Empty decoder rejecting declared bodies over `max_body` bytes (the
+    /// effective cap never exceeds [`MAX_FRAME_BODY`]).
+    pub fn with_max_body(max_body: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            max_body: max_body.min(MAX_FRAME_BODY),
+            poisoned: None,
+            skip_corrupt: false,
+            corrupt_skipped: 0,
+            oversize_rejected: 0,
+        }
+    }
+
+    /// Tolerate body-checksum failures by discarding the offending frame
+    /// and resynchronising on the next header (possible because the length
+    /// field still framed the stream).  This is how injected corruption
+    /// degrades to a loss the retransmit layer repairs, instead of killing
+    /// the connection.  Structural damage (bad magic/version/kind,
+    /// oversize) remains fatal.
+    pub fn set_skip_corrupt(&mut self, skip: bool) {
+        self.skip_corrupt = skip;
     }
 
     /// Append received bytes.
@@ -256,21 +314,52 @@ impl FrameDecoder {
     }
 
     /// Take the next complete frame, `Ok(None)` when more bytes are needed.
-    /// After an `Err` the stream is unrecoverable (TCP does not lose bytes,
-    /// so misalignment means corruption, not loss).
+    /// After an `Err` the decoder is poisoned and keeps returning the same
+    /// error (TCP does not lose bytes, so misalignment means corruption,
+    /// not loss) — except checksum failures under
+    /// [`FrameDecoder::set_skip_corrupt`], which are skipped and counted.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
-        match decode_frame(&self.buf[self.pos..])? {
-            Some((f, used)) => {
-                self.pos += used;
-                Ok(Some(f))
+        if let Some(e) = self.poisoned {
+            return Err(e);
+        }
+        loop {
+            match decode_frame_capped(&self.buf[self.pos..], self.max_body) {
+                Ok(Some((f, used))) => {
+                    self.pos += used;
+                    return Ok(Some(f));
+                }
+                Ok(None) => return Ok(None),
+                Err(WireError::Corrupt) if self.skip_corrupt => {
+                    // The header (magic/version/kind/length) validated, so
+                    // the frame's extent is trustworthy: hop over it.
+                    let len = le_u32(&self.buf[self.pos + 8..]) as usize;
+                    self.pos += HEADER_BYTES + len;
+                    self.corrupt_skipped += 1;
+                }
+                Err(e) => {
+                    if matches!(e, WireError::Oversize(_)) {
+                        self.oversize_rejected += 1;
+                    }
+                    self.poisoned = Some(e);
+                    return Err(e);
+                }
             }
-            None => Ok(None),
         }
     }
 
     /// Bytes buffered but not yet consumed.
     pub fn pending_bytes(&self) -> usize {
         self.buf.len() - self.pos
+    }
+
+    /// Checksum-failed frames discarded under corrupt-skip.
+    pub fn corrupt_skipped(&self) -> u64 {
+        self.corrupt_skipped
+    }
+
+    /// Frames rejected for declaring a body over the configured cap.
+    pub fn oversize_rejected(&self) -> u64 {
+        self.oversize_rejected
     }
 }
 
@@ -342,6 +431,41 @@ pub fn decode_parcels_body(body: &[u8]) -> Result<(u32, Vec<Parcel>), WireError>
         return Err(WireError::BadParcel);
     }
     Ok((epoch, parcels))
+}
+
+/// Bytes prefixed to a [`FrameKind::SeqParcels`] body ahead of the inner
+/// parcels body: `seq u64 | ack u64`.
+pub const SEQ_HEADER_BYTES: usize = 16;
+
+/// Build a [`FrameKind::SeqParcels`] body: sequence number, piggybacked
+/// cumulative ack, then an ordinary parcels body.
+pub fn seq_parcels_body(seq: u64, ack: u64, parcels: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(SEQ_HEADER_BYTES + parcels.len());
+    body.extend_from_slice(&seq.to_le_bytes());
+    body.extend_from_slice(&ack.to_le_bytes());
+    body.extend_from_slice(parcels);
+    body
+}
+
+/// Split a [`FrameKind::SeqParcels`] body into `(seq, ack, parcels body)`.
+pub fn decode_seq_parcels_body(body: &[u8]) -> Result<(u64, u64, &[u8]), WireError> {
+    if body.len() < SEQ_HEADER_BYTES {
+        return Err(WireError::Truncated);
+    }
+    Ok((le_u64(body), le_u64(&body[8..]), &body[SEQ_HEADER_BYTES..]))
+}
+
+/// Build a [`FrameKind::Ack`] body.
+pub fn ack_body(ack: u64) -> Vec<u8> {
+    ack.to_le_bytes().to_vec()
+}
+
+/// Decode a [`FrameKind::Ack`] body.
+pub fn decode_ack_body(body: &[u8]) -> Result<u64, WireError> {
+    if body.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(le_u64(body))
 }
 
 #[cfg(test)]
@@ -478,5 +602,74 @@ mod tests {
         let mut dec = FrameDecoder::new();
         dec.push(&[0xFF, 0xFF, 0xFF]);
         assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn hostile_declared_length_rejected_at_header() {
+        // A header declaring a body far over the configured cap must fail
+        // the moment the 16 header bytes arrive — no buffering of the
+        // claimed payload, no waiting for bytes that may never come.
+        let mut dec = FrameDecoder::with_max_body(1024);
+        let mut hostile = encode_frame(FrameKind::Parcels, 0, &[]);
+        hostile[8..12].copy_from_slice(&(8u32 << 20).to_le_bytes());
+        dec.push(&hostile[..HEADER_BYTES]);
+        assert!(matches!(dec.next_frame(), Err(WireError::Oversize(_))));
+        assert_eq!(dec.oversize_rejected(), 1);
+        // Poisoned: the connection is dead, every further poll fails.
+        dec.push(&[0u8; 64]);
+        assert!(matches!(dec.next_frame(), Err(WireError::Oversize(_))));
+        assert_eq!(dec.oversize_rejected(), 1);
+    }
+
+    #[test]
+    fn decoder_cap_admits_frames_under_it() {
+        let mut dec = FrameDecoder::with_max_body(1024);
+        dec.push(&encode_frame(FrameKind::Status, 2, &[7; 512]));
+        let f = dec.next_frame().unwrap().unwrap();
+        assert_eq!(f.body.len(), 512);
+        assert_eq!(dec.oversize_rejected(), 0);
+    }
+
+    #[test]
+    fn corrupt_skip_resynchronises_on_next_frame() {
+        let mut bad = encode_frame(FrameKind::SeqParcels, 0, &[5; 64]);
+        bad[HEADER_BYTES + 10] ^= 0x40; // body bit-flip; header intact
+        let good = encode_frame(FrameKind::Status, 0, &[1, 2, 3]);
+        let mut dec = FrameDecoder::new();
+        dec.set_skip_corrupt(true);
+        dec.push(&bad);
+        dec.push(&good);
+        let f = dec.next_frame().unwrap().unwrap();
+        assert_eq!(f.kind, FrameKind::Status);
+        assert_eq!(dec.corrupt_skipped(), 1);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn corrupt_without_skip_stays_fatal() {
+        let mut bad = encode_frame(FrameKind::SeqParcels, 0, &[5; 64]);
+        bad[HEADER_BYTES + 10] ^= 0x40;
+        let mut dec = FrameDecoder::new();
+        dec.push(&bad);
+        assert_eq!(dec.next_frame(), Err(WireError::Corrupt));
+    }
+
+    #[test]
+    fn seq_parcels_body_roundtrip() {
+        let inner = parcels_body(3, 0, &[]);
+        let body = seq_parcels_body(42, 17, &inner);
+        let (seq, ack, rest) = decode_seq_parcels_body(&body).unwrap();
+        assert_eq!((seq, ack), (42, 17));
+        assert_eq!(rest, &inner[..]);
+        assert_eq!(
+            decode_seq_parcels_body(&body[..8]),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn ack_body_roundtrip() {
+        assert_eq!(decode_ack_body(&ack_body(u64::MAX)).unwrap(), u64::MAX);
+        assert_eq!(decode_ack_body(&[1, 2]), Err(WireError::Truncated));
     }
 }

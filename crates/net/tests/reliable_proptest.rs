@@ -1,0 +1,141 @@
+//! Property tests of the ARQ sequencing layer (`dashmm_net::reliable`):
+//! under arbitrary interleavings of frame drop, duplication and reordering
+//! — on data frames and acks alike — [`SeqSender`]/[`SeqReceiver`] deliver
+//! every body exactly once, in order, and the protocol quiesces (all
+//! frames acked) once the adversary's budget runs out.
+
+use dashmm_net::{RetransmitConfig, SeqReceiver, SeqSender};
+use proptest::prelude::*;
+
+/// Tight timers so every simulated step makes all unacked frames due.
+fn cfg(reorder_window: usize) -> RetransmitConfig {
+    RetransmitConfig {
+        timeout_us: 10,
+        max_backoff_us: 40,
+        jitter_frac: 0.0,
+        reorder_window,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The main exactly-once/termination property.  `chaos` is the
+    /// adversary's budget: while it lasts, any transmission (data or ack)
+    /// may be dropped or duplicated and in-flight frames are delivered in
+    /// an arbitrary order; once it is exhausted the channel behaves, and
+    /// the retransmit machinery must converge.  A small reorder window
+    /// forces overflow drops into the mix as well.
+    #[test]
+    fn lossy_interleavings_deliver_exactly_once_in_order(
+        bodies in prop::collection::vec(prop::collection::vec(0u8..=255, 0..16), 1..32),
+        chaos in prop::collection::vec(0u8..=255, 0..256),
+        picks in prop::collection::vec(any::<usize>(), 0..512),
+    ) {
+        let cfg = cfg(8);
+        let mut tx = SeqSender::new();
+        let mut rx = SeqReceiver::new();
+        let mut wire: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut acks: Vec<u64> = Vec::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let mut chaos = chaos.into_iter();
+        let mut picks = picks.into_iter();
+        let mut pending = bodies.clone().into_iter();
+        let mut now_ns = 0u64;
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            prop_assert!(steps < 10_000, "protocol failed to quiesce");
+            now_ns += cfg.timeout_us * 1_000;
+            if let Some(b) = pending.next() {
+                let seq = tx.on_send(b.clone(), 1, now_ns, &cfg);
+                wire.push((seq, b));
+            }
+            for r in tx.due_retransmits(now_ns, &cfg) {
+                wire.push((r.seq, r.body));
+            }
+            // Deliver this step's in-flight data frames in arbitrary order.
+            for _ in 0..wire.len() {
+                let i = picks.next().unwrap_or(0) % wire.len();
+                let (seq, body) = wire.swap_remove(i);
+                let fate = chaos.next().unwrap_or(0);
+                if fate & 0b11 == 0b11 {
+                    continue; // dropped in flight
+                }
+                let copies = if fate & 0b100 != 0 { 2 } else { 1 };
+                for _ in 0..copies {
+                    let out = rx.on_frame(seq, body.clone(), &cfg);
+                    got.extend(out.deliver);
+                }
+                acks.push(rx.cum_ack());
+            }
+            // Acks are lossy and reorderable too.
+            while !acks.is_empty() {
+                let i = picks.next().unwrap_or(0) % acks.len();
+                let a = acks.swap_remove(i);
+                if chaos.next().unwrap_or(0) & 0b11 == 0b11 {
+                    continue;
+                }
+                tx.on_ack(a);
+            }
+            if tx.all_acked() && pending.len() == 0 && wire.is_empty() {
+                break;
+            }
+        }
+        prop_assert_eq!(&got, &bodies, "bodies must arrive exactly once, in order");
+        prop_assert_eq!(tx.acked_parcels(), bodies.len() as u64);
+        prop_assert_eq!(rx.cum_ack(), bodies.len() as u64);
+    }
+
+    /// Pure duplication + reordering (no loss, window large enough that
+    /// nothing overflows): every frame arrives twice in a shuffled order,
+    /// yet each body is released exactly once and every second copy is
+    /// counted as a suppressed duplicate.
+    #[test]
+    fn duplicated_shuffled_frames_release_each_body_once(
+        bodies in prop::collection::vec(prop::collection::vec(0u8..=255, 0..12), 1..24),
+        picks in prop::collection::vec(any::<usize>(), 0..128),
+    ) {
+        let cfg = cfg(64);
+        let mut tx = SeqSender::new();
+        let mut rx = SeqReceiver::new();
+        let mut wire: Vec<(u64, Vec<u8>)> = Vec::new();
+        for b in &bodies {
+            let seq = tx.on_send(b.clone(), 1, 0, &cfg);
+            wire.push((seq, b.clone()));
+            wire.push((seq, b.clone()));
+        }
+        let mut picks = picks.into_iter();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        while !wire.is_empty() {
+            let i = picks.next().unwrap_or(0) % wire.len();
+            let (seq, body) = wire.swap_remove(i);
+            got.extend(rx.on_frame(seq, body, &cfg).deliver);
+        }
+        prop_assert_eq!(&got, &bodies);
+        prop_assert_eq!(rx.duplicates(), bodies.len() as u64);
+        tx.on_ack(rx.cum_ack());
+        prop_assert!(tx.all_acked());
+    }
+
+    /// Cumulative acks are monotone and never run ahead of what was sent,
+    /// no matter how stale or shuffled the acks the sender consumes are.
+    #[test]
+    fn stale_and_shuffled_acks_are_safe(
+        n in 1u64..40,
+        acks in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let cfg = cfg(64);
+        let mut tx = SeqSender::new();
+        for i in 0..n {
+            tx.on_send(vec![i as u8], 1, 0, &cfg);
+        }
+        for a in acks {
+            let before = tx.acked_seq();
+            tx.on_ack(a % (n + 8)); // includes acks beyond what was sent
+            prop_assert!(tx.acked_seq() >= before, "ack regression");
+            prop_assert!(tx.acked_seq() <= n, "acked more than was sent");
+            prop_assert!(tx.acked_parcels() <= n);
+        }
+    }
+}

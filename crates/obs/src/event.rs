@@ -15,8 +15,14 @@ pub const CLASS_NET_RX: u8 = EdgeOp::COUNT as u8 + 1;
 pub const CLASS_PARCEL_FLUSH: u8 = EdgeOp::COUNT as u8 + 2;
 /// Instant: an LCO reached its trigger count and fired its continuations.
 pub const CLASS_LCO_TRIGGER: u8 = EdgeOp::COUNT as u8 + 3;
+/// Instant: the reliability layer retransmitted an unacked parcel frame.
+pub const CLASS_NET_RETRANSMIT: u8 = EdgeOp::COUNT as u8 + 4;
+/// Instant: a standalone cumulative ack was sent.
+pub const CLASS_NET_ACK: u8 = EdgeOp::COUNT as u8 + 5;
+/// Instant: a liveness heartbeat was sent.
+pub const CLASS_NET_HEARTBEAT: u8 = EdgeOp::COUNT as u8 + 6;
 /// Total number of trace classes (operators + runtime/transport classes).
-pub const CLASS_COUNT: usize = EdgeOp::COUNT + 4;
+pub const CLASS_COUNT: usize = EdgeOp::COUNT + 7;
 /// Sentinel class meaning "do not trace this LCO".
 pub const CLASS_NONE: u8 = u8::MAX;
 
@@ -31,6 +37,9 @@ pub fn class_name(class: u8) -> &'static str {
         CLASS_NET_RX => "net-rx",
         CLASS_PARCEL_FLUSH => "parcel-flush",
         CLASS_LCO_TRIGGER => "lco-trigger",
+        CLASS_NET_RETRANSMIT => "net-retransmit",
+        CLASS_NET_ACK => "net-ack",
+        CLASS_NET_HEARTBEAT => "net-heartbeat",
         _ => "?",
     }
 }
@@ -95,9 +104,13 @@ mod tests {
         assert_eq!(CLASS_NET_RX, 12);
         assert_eq!(CLASS_PARCEL_FLUSH, 13);
         assert_eq!(CLASS_LCO_TRIGGER, 14);
-        assert_eq!(CLASS_COUNT, 15);
+        assert_eq!(CLASS_NET_RETRANSMIT, 15);
+        assert_eq!(CLASS_NET_ACK, 16);
+        assert_eq!(CLASS_NET_HEARTBEAT, 17);
+        assert_eq!(CLASS_COUNT, 18);
         assert_eq!(class_name(2), "M→M");
         assert_eq!(class_name(CLASS_NET_RX), "net-rx");
+        assert_eq!(class_name(CLASS_NET_RETRANSMIT), "net-retransmit");
         assert_eq!(class_name(200), "?");
     }
 

@@ -1,6 +1,6 @@
 //! Cost and network models for the simulator.
 
-use dashmm_amt::CoalesceConfig;
+use dashmm_amt::{CoalesceConfig, FaultPlan};
 use dashmm_dag::EdgeOp;
 
 /// Per-operator execution costs in microseconds (per edge application),
@@ -87,6 +87,18 @@ pub struct NetworkModel {
     /// measured multi-process runs are parameterised identically.  Set
     /// `enabled: false` for the ablation.
     pub coalesce: CoalesceConfig,
+    /// Frame-level fault injection, sharing the seeded [`FaultPlan`] (and
+    /// its deterministic per-frame hash) with the real transport so a
+    /// simulated lossy run and a measured one under the same plan make the
+    /// *same* drop decisions — the sim/runtime parity check in the `chaos`
+    /// bench compares their retransmit counts.  The sim models the frame
+    /// fates (drop, corrupt-as-loss, delay, duplicate); locality kill and
+    /// stall are runtime-only.  `None` (the default) is a perfect network.
+    pub faults: Option<FaultPlan>,
+    /// Retransmission timeout in µs a lost simulated frame waits before
+    /// each resend (doubling per attempt, capped — mirroring the real
+    /// transport's `RetransmitConfig`).
+    pub retransmit_timeout_us: f64,
 }
 
 impl NetworkModel {
@@ -99,6 +111,8 @@ impl NetworkModel {
             send_overhead_us: 0.3,
             remote_edge_overhead_us: 1.0,
             coalesce: CoalesceConfig::default(),
+            faults: None,
+            retransmit_timeout_us: 25_000.0,
         }
     }
 
@@ -110,7 +124,15 @@ impl NetworkModel {
             send_overhead_us: 0.0,
             remote_edge_overhead_us: 0.0,
             coalesce: CoalesceConfig::default(),
+            faults: None,
+            retransmit_timeout_us: 25_000.0,
         }
+    }
+
+    /// This model with the given fault plan injected.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan.active().then_some(plan);
+        self
     }
 
     /// Transfer delay of a message of `bytes`.
@@ -143,9 +165,7 @@ mod tests {
         let n = NetworkModel {
             latency_us: 2.0,
             bytes_per_us: 1000.0,
-            send_overhead_us: 0.0,
-            remote_edge_overhead_us: 0.0,
-            coalesce: CoalesceConfig::default(),
+            ..NetworkModel::ideal()
         };
         assert!((n.transfer_us(5000) - 7.0).abs() < 1e-12);
         let ideal = NetworkModel::ideal();

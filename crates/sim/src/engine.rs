@@ -46,6 +46,11 @@ pub struct SimResult {
     pub messages: u64,
     /// Inter-locality bytes.
     pub bytes: u64,
+    /// Simulated frame retransmissions forced by the injected fault plan
+    /// (0 on a perfect network).  Comparable — within a tolerance band —
+    /// to the real transport's `retransmit_frames` counter under the same
+    /// seeded plan, which is the sim/runtime parity check.
+    pub retransmits: u64,
     /// Busy core-µs per locality (load-balance diagnostics).
     pub busy_us: Vec<f64>,
     /// Virtual trace (empty unless requested).
@@ -116,6 +121,10 @@ impl Ord for Key {
 /// Wire size of one out-edge descriptor inside a coalesced parcel
 /// (operation type + target global address, paper Figure 2).
 const EDGE_DESCRIPTOR_BYTES: u64 = 16;
+
+/// Retransmission backoff cap, matching the real transport's
+/// `RetransmitConfig::max_backoff_us` default.
+const SIM_MAX_BACKOFF_US: f64 = 400_000.0;
 
 struct LocState {
     idle_cores: usize,
@@ -274,8 +283,13 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
     let mut tasks = 0u64;
     let mut messages = 0u64;
     let mut bytes = 0u64;
+    let mut retransmits = 0u64;
     let mut busy = vec![0.0f64; cfg.localities];
     let mut trace_events: Vec<TraceEvent> = Vec::new();
+    // Per-link frame sequence numbers (first frame on a link is 1), the
+    // same numbering the real transport's ARQ layer uses — keyed into the
+    // fault plan's deterministic hash so both make the same fate rolls.
+    let mut link_seq = vec![vec![0u64; cfg.localities]; cfg.localities];
 
     // Start a task on a core of `loc` at `now`; returns events it causes.
     // (Implemented as a closure-free function to keep borrows simple.)
@@ -356,7 +370,34 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
                             // barrier waits for its completion.
                             phase_outstanding[task_phase as usize] += 1;
                         }
-                        let arrive = t + net.transfer_us(b);
+                        let mut arrive = t + net.transfer_us(b);
+                        if let Some(plan) = &net.faults {
+                            // Roll the frame's fate exactly as the real
+                            // transport does, attempt by attempt: a lost
+                            // frame (dropped, or corrupted and discarded)
+                            // waits out the doubling retransmit timeout and
+                            // rolls again with the next attempt number.
+                            link_seq[loc][dst_loc as usize] += 1;
+                            let seq = link_seq[loc][dst_loc as usize];
+                            let mut attempt = 0u32;
+                            loop {
+                                let fate = plan.fate(loc as u32, dst_loc, seq, attempt);
+                                if fate.lost() {
+                                    retransmits += 1;
+                                    let backoff = (net.retransmit_timeout_us
+                                        * (1u64 << attempt.min(20)) as f64)
+                                        .min(SIM_MAX_BACKOFF_US.max(net.retransmit_timeout_us));
+                                    arrive += backoff + net.transfer_us(b);
+                                    attempt += 1;
+                                    continue;
+                                }
+                                // Delivered: a delay hold adds latency;
+                                // duplicates and reordering are absorbed by
+                                // the receiver's sequencer at no cost.
+                                arrive += fate.delay_us as f64;
+                                break;
+                            }
+                        }
                         push(
                             &mut heap,
                             &mut evs,
@@ -491,6 +532,7 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
         tasks,
         messages,
         bytes,
+        retransmits,
         busy_us: busy,
         trace,
     }
@@ -596,9 +638,7 @@ mod tests {
         let net = NetworkModel {
             latency_us: 5.0,
             bytes_per_us: 1e9,
-            send_overhead_us: 0.0,
-            remote_edge_overhead_us: 0.0,
-            coalesce: CoalesceConfig::default(),
+            ..NetworkModel::ideal()
         };
         let r = simulate(&d, &cm(1.0), &net, &cfg(2, 1));
         assert_eq!(r.messages, 1, "coalesced into one parcel");
@@ -808,6 +848,75 @@ mod tests {
         let bb: f64 = b.busy_us.iter().sum();
         assert!((ba - bb).abs() < 1e-9, "work must be schedule-invariant");
         assert!(b.makespan_us + 1e-9 >= a.makespan_us, "barriers never help");
+    }
+
+    /// Cross-locality DAG for fault tests: `w` chains from locality 0 to 1.
+    fn cross(w: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        let mut targets = Vec::new();
+        for i in 0..w {
+            let s = b.add_node(NodeClass::S, i as u32, 2, 8);
+            let t = b.add_node(NodeClass::T, i as u32, 2, 8);
+            b.add_edge(s, EdgeOp::S2T, t, 8, 0);
+            targets.push(t);
+        }
+        let mut d = b.finish();
+        for t in targets {
+            d.set_locality(t, 1);
+        }
+        d
+    }
+
+    #[test]
+    fn injected_drops_force_retransmits_and_stretch_makespan() {
+        let d = cross(64);
+        let base = NetworkModel {
+            latency_us: 1.0,
+            bytes_per_us: 1e9,
+            coalesce: CoalesceConfig::disabled(),
+            ..NetworkModel::ideal()
+        };
+        let plan = dashmm_amt::FaultPlan::parse("seed=5,drop=0.3").unwrap();
+        let lossy = base.clone().with_faults(plan);
+        let clean = simulate(&d, &cm(1.0), &base, &cfg(2, 4));
+        let faulty = simulate(&d, &cm(1.0), &lossy, &cfg(2, 4));
+        assert_eq!(clean.retransmits, 0);
+        assert!(
+            faulty.retransmits > 0,
+            "a 30% drop rate must force retransmissions"
+        );
+        assert!(
+            faulty.makespan_us > clean.makespan_us,
+            "repair takes virtual time: {} vs {}",
+            faulty.makespan_us,
+            clean.makespan_us
+        );
+        // The answer-shaped outputs are unaffected: same tasks, messages
+        // counted once per original send, same bytes.
+        assert_eq!(faulty.tasks, clean.tasks);
+        assert_eq!(faulty.messages, clean.messages);
+        assert_eq!(faulty.bytes, clean.bytes);
+    }
+
+    #[test]
+    fn fault_rolls_are_deterministic_per_seed() {
+        let d = cross(32);
+        let base = NetworkModel {
+            coalesce: CoalesceConfig::disabled(),
+            ..NetworkModel::ideal()
+        };
+        let plan = dashmm_amt::FaultPlan::parse("seed=9,drop=0.2,delay=0.1:50").unwrap();
+        let a = simulate(&d, &cm(1.0), &base.clone().with_faults(plan), &cfg(2, 2));
+        let b = simulate(&d, &cm(1.0), &base.clone().with_faults(plan), &cfg(2, 2));
+        assert_eq!(a.retransmits, b.retransmits);
+        assert_eq!(a.makespan_us, b.makespan_us);
+        let other = dashmm_amt::FaultPlan::parse("seed=10,drop=0.2,delay=0.1:50").unwrap();
+        let c = simulate(&d, &cm(1.0), &base.with_faults(other), &cfg(2, 2));
+        assert_ne!(
+            (a.retransmits, a.makespan_us),
+            (c.retransmits, c.makespan_us),
+            "a different seed must roll differently"
+        );
     }
 
     #[test]

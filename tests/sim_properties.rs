@@ -144,6 +144,7 @@ fn remote_latency_adds_to_chain() {
         send_overhead_us: 0.0,
         remote_edge_overhead_us: 0.0,
         coalesce: CoalesceConfig::default(),
+        ..NetworkModel::ideal()
     };
     let two = SimConfig {
         localities: 2,
