@@ -2,7 +2,7 @@
 //! per-edge costs behind Table II and the simulator's cost model.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dashmm_expansion::{ops, AccuracyParams, LevelTables};
+use dashmm_expansion::{ops, AccuracyParams, BatchWorkspace, LevelTables};
 use dashmm_kernels::{Kernel, Laplace, Yukawa};
 use dashmm_tree::{Direction, Point3};
 
@@ -32,8 +32,9 @@ fn bench_kernel_ops<K: Kernel>(c: &mut Criterion, kernel: K) {
     let (src, q) = cloud(center, SIDE, 60);
     let (tgt, _) = cloud(Point3::new(2.0 * SIDE, 0.0, 0.0), SIDE, 60);
 
+    let mut ws = BatchWorkspace::new();
     let mut m = vec![0.0; n];
-    ops::s2m(&kernel, &t, center, &src, &q, &mut m);
+    ops::s2m(&kernel, &t, center, &src, &q, &mut ws, &mut m);
     let mut wv = vec![0.0; w];
     ops::m2i(&t, Direction::Up, &m, &mut wv);
     let fac = t.i2i(Direction::Up, Point3::new(0.0, 0.0, 2.0 * SIDE));
@@ -44,7 +45,8 @@ fn bench_kernel_ops<K: Kernel>(c: &mut Criterion, kernel: K) {
     let mut g = c.benchmark_group(format!("ops/{name}"));
     g.bench_function(BenchmarkId::from_parameter("S2M"), |b| {
         let mut out = vec![0.0; n];
-        b.iter(|| ops::s2m(&kernel, &t, center, &src, &q, &mut out));
+        let mut ws = BatchWorkspace::new();
+        b.iter(|| ops::s2m(&kernel, &t, center, &src, &q, &mut ws, &mut out));
     });
     g.bench_function(BenchmarkId::from_parameter("M2M"), |b| {
         let mut out = vec![0.0; n];
@@ -80,6 +82,7 @@ fn bench_kernel_ops<K: Kernel>(c: &mut Criterion, kernel: K) {
     });
     g.bench_function(BenchmarkId::from_parameter("L2T"), |b| {
         let mut out = vec![0.0; tgt.len()];
+        let mut ws = BatchWorkspace::new();
         b.iter(|| {
             ops::l2t(
                 &kernel,
@@ -87,13 +90,15 @@ fn bench_kernel_ops<K: Kernel>(c: &mut Criterion, kernel: K) {
                 Point3::new(2.0 * SIDE, 0.0, 0.0),
                 &m,
                 &tgt,
+                &mut ws,
                 &mut out,
             )
         });
     });
     g.bench_function(BenchmarkId::from_parameter("S2T_60x60"), |b| {
         let mut out = vec![0.0; tgt.len()];
-        b.iter(|| ops::p2p(&kernel, &src, &q, &tgt, &mut out));
+        let mut ws = BatchWorkspace::new();
+        b.iter(|| ops::p2p(&kernel, &src, &q, &tgt, &mut ws, &mut out));
     });
     g.finish();
 }

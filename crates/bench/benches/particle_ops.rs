@@ -1,0 +1,61 @@
+//! Criterion bench of the SoA particle-operator engine: scalar per-pair
+//! replicas of the old loops vs the batched tile paths, for the fused
+//! near field (`S→T`), the check-surface projection (`S→M`), and local
+//! evaluation at targets (`L→T`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dashmm_bench::opbench;
+use dashmm_kernels::{Kernel, Laplace, Yukawa};
+
+fn bench_particle<K: Kernel + Clone>(c: &mut Criterion, kernel: K) {
+    let name = kernel.name();
+    let leaf = 60;
+    let mut g = c.benchmark_group(format!("particle_ops/{name}"));
+    // Each opbench case runs both sides once per criterion iteration; the
+    // case constructors are cheap relative to the measured bodies, so the
+    // split is reported through the case's own best-of timing.
+    for (op, runner) in [
+        (
+            "S2T_fused",
+            Box::new({
+                let k = kernel.clone();
+                move || opbench::s2t_case(&k, "bench", leaf, 26, 1).batched_ns
+            }) as Box<dyn Fn() -> f64>,
+        ),
+        (
+            "S2T_scalar",
+            Box::new({
+                let k = kernel.clone();
+                move || opbench::s2t_case(&k, "bench", leaf, 26, 1).scalar_ns
+            }),
+        ),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(op), |b| {
+            b.iter(&runner);
+        });
+    }
+    g.finish();
+
+    // S2M / L2T through the shared tables.
+    let t = opbench::bench_tables(&kernel);
+    let mut g = c.benchmark_group(format!("particle_ops/{name}/surface"));
+    g.bench_function(BenchmarkId::from_parameter("S2M"), |b| {
+        b.iter(|| opbench::s2m_particle_case(&kernel, "bench", &t, leaf, 1).batched_ns);
+    });
+    g.bench_function(BenchmarkId::from_parameter("L2T"), |b| {
+        b.iter(|| opbench::l2t_particle_case(&kernel, "bench", &t, leaf, 1).batched_ns);
+    });
+    g.finish();
+}
+
+fn particle_ops(c: &mut Criterion) {
+    bench_particle(c, Laplace);
+    bench_particle(c, Yukawa::new(1.0));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
+    targets = particle_ops
+}
+criterion_main!(benches);

@@ -2,7 +2,12 @@
 //!
 //! Backs both the `batched_vs_peredge` criterion bench and the
 //! `bench_operators` binary that emits `BENCH_operators.json` — the CI
-//! artifact gating the batched hot path's speedup claim.
+//! artifact gating the batched hot path's speedup claim.  Alongside the
+//! expansion operators, the particle-class operators (`S→T`, `S→M`,
+//! `L→T`) are measured as scalar per-pair replicas of the loops the SoA
+//! tile engine replaced vs the batched-kernel path, reported per
+//! application, per kernel pair, and per target point — the numbers the
+//! simulator's particle-cost refresh splices into its Table II baseline.
 //!
 //! Both paths do the full per-edge work: the baseline runs the public
 //! per-edge operator (including the operator-cache lookup the runtime
@@ -220,6 +225,225 @@ pub fn i2i_case(
     }
 }
 
+/// One particle-class operator's scalar-replica vs batched-engine timing.
+#[derive(Clone, Debug)]
+pub struct ParticleBenchCase {
+    /// Operator name (`S2T`, `S2M`, `L2T`).
+    pub op: &'static str,
+    /// Kernel name (`laplace`, `yukawa`).
+    pub kernel: &'static str,
+    /// Kernel evaluations (source–target pairs) per application.
+    pub pairs: usize,
+    /// Output points (targets or surface densities) per application.
+    pub points: usize,
+    /// Nanoseconds per application through the scalar per-pair loop the
+    /// SoA engine replaced.
+    pub scalar_ns: f64,
+    /// Nanoseconds per application through the batched tile engine.
+    pub batched_ns: f64,
+}
+
+impl ParticleBenchCase {
+    /// Scalar time over batched time (higher is better for the engine).
+    pub fn speedup(&self) -> f64 {
+        self.scalar_ns / self.batched_ns
+    }
+
+    /// Batched cost per source–target pair.
+    pub fn per_pair_ns(&self) -> f64 {
+        self.batched_ns / self.pairs as f64
+    }
+
+    /// Batched cost per output point.
+    pub fn per_point_ns(&self) -> f64 {
+        self.batched_ns / self.points as f64
+    }
+}
+
+/// Deterministic point cloud in a box (xorshift; matches the operator
+/// tests' generator).
+fn particle_cloud(center: Point3, side: f64, n: usize, salt: u64) -> (Vec<Point3>, Vec<f64>) {
+    let mut state = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let pts = (0..n)
+        .map(|_| center + Point3::new(next() * side, next() * side, next() * side))
+        .collect();
+    let charges = (0..n).map(|_| next() * 2.0).collect();
+    (pts, charges)
+}
+
+/// The scalar per-pair near-field loop the tile engine replaced.
+fn scalar_p2p<K: Kernel>(k: &K, src: &[Point3], q: &[f64], tgt: &[Point3], out: &mut [f64]) {
+    for (tp, o) in tgt.iter().zip(out.iter_mut()) {
+        let mut acc = 0.0;
+        for (s, &w) in src.iter().zip(q) {
+            acc += w * k.eval(tp.dist(s));
+        }
+        *o += acc;
+    }
+}
+
+/// `S→T`: one target leaf against its full near-field list (the fused
+/// evaluation the executor's S2T batcher performs), vs per-box scalar
+/// per-pair loops.
+pub fn s2t_case<K: Kernel>(
+    kernel: &K,
+    kernel_name: &'static str,
+    leaf: usize,
+    boxes: usize,
+    reps: usize,
+) -> ParticleBenchCase {
+    let side = 0.25;
+    let (tgt, _) = particle_cloud(Point3::ZERO, side, leaf, 2);
+    let blocks: Vec<(Vec<Point3>, Vec<f64>)> = (0..boxes)
+        .map(|b| {
+            let c = Point3::new(
+                ((b % 3) as f64 - 1.0) * side,
+                (((b / 3) % 3) as f64 - 1.0) * side,
+                ((b / 9) as f64 - 1.0) * side,
+            );
+            particle_cloud(c, side, leaf, 100 + b as u64)
+        })
+        .collect();
+    let mut out = vec![0.0; leaf];
+    let scalar_ns = best_ns(reps, || {
+        out.fill(0.0);
+        for (pts, q) in &blocks {
+            scalar_p2p(kernel, pts, q, &tgt, &mut out);
+        }
+    });
+    let mut ws = BatchWorkspace::new();
+    let batched_ns = best_ns(reps, || {
+        out.fill(0.0);
+        ops::p2p_fused(
+            kernel,
+            blocks.iter().map(|(p, q)| (p.as_slice(), q.as_slice())),
+            &tgt,
+            &mut ws,
+            &mut out,
+        );
+    });
+    ParticleBenchCase {
+        op: "S2T",
+        kernel: kernel_name,
+        pairs: boxes * leaf * leaf,
+        points: leaf,
+        scalar_ns,
+        batched_ns,
+    }
+}
+
+/// `S→M`: one leaf's check-surface projection, scalar per-pair replica vs
+/// the SoA engine (both end in the same `uc2ue` solve).
+pub fn s2m_particle_case<K: Kernel>(
+    kernel: &K,
+    kernel_name: &'static str,
+    t: &LevelTables,
+    leaf: usize,
+    reps: usize,
+) -> ParticleBenchCase {
+    let c = Point3::ZERO;
+    let (src, q) = particle_cloud(c, t.side(), leaf, 11);
+    let n = t.expansion_len();
+    let mut check = vec![0.0; n];
+    let mut m = vec![0.0; n];
+    let scalar_ns = best_ns(reps, || {
+        for (i, cp) in t.uc_pts().iter().enumerate() {
+            let p = c + *cp;
+            let mut acc = 0.0;
+            for (s, &w) in src.iter().zip(&q) {
+                acc += w * kernel.eval(p.dist(s));
+            }
+            check[i] = acc;
+        }
+        t.uc2ue().matvec_into(&check, &mut m);
+    });
+    let mut ws = BatchWorkspace::new();
+    let batched_ns = best_ns(reps, || {
+        ops::s2m(kernel, t, c, &src, &q, &mut ws, &mut m);
+    });
+    ParticleBenchCase {
+        op: "S2M",
+        kernel: kernel_name,
+        pairs: t.uc_pts().len() * leaf,
+        points: n,
+        scalar_ns,
+        batched_ns,
+    }
+}
+
+/// `L→T`: evaluate a local expansion at a leaf's targets, scalar per-pair
+/// replica vs the SoA engine.
+pub fn l2t_particle_case<K: Kernel>(
+    kernel: &K,
+    kernel_name: &'static str,
+    t: &LevelTables,
+    leaf: usize,
+    reps: usize,
+) -> ParticleBenchCase {
+    let c = Point3::ZERO;
+    let (tgt, _) = particle_cloud(c, t.side(), leaf, 13);
+    let n = t.expansion_len();
+    let l = random_expansions(1, n, 41).pop().unwrap();
+    let mut out = vec![0.0; leaf];
+    let scalar_ns = best_ns(reps, || {
+        out.fill(0.0);
+        for (tp, o) in tgt.iter().zip(out.iter_mut()) {
+            let mut acc = 0.0;
+            for (j, ep) in t.de_pts().iter().enumerate() {
+                acc += l[j] * kernel.eval(tp.dist(&(c + *ep)));
+            }
+            *o += acc;
+        }
+    });
+    let mut ws = BatchWorkspace::new();
+    let batched_ns = best_ns(reps, || {
+        out.fill(0.0);
+        ops::l2t(kernel, t, c, &l, &tgt, &mut ws, &mut out);
+    });
+    ParticleBenchCase {
+        op: "L2T",
+        kernel: kernel_name,
+        pairs: t.de_pts().len() * leaf,
+        points: leaf,
+        scalar_ns,
+        batched_ns,
+    }
+}
+
+/// Run the particle-operator matrix for one kernel at leaf occupancy
+/// `leaf` (the refinement threshold).
+pub fn particle_kernel_cases<K: Kernel>(
+    kernel: &K,
+    kernel_name: &'static str,
+    leaf: usize,
+    reps: usize,
+) -> Vec<ParticleBenchCase> {
+    let t = bench_tables(kernel);
+    vec![
+        s2t_case(kernel, kernel_name, leaf, 26, reps),
+        s2m_particle_case(kernel, kernel_name, &t, leaf, reps),
+        l2t_particle_case(kernel, kernel_name, &t, leaf, reps),
+    ]
+}
+
+/// Particle matrix: Laplace and Yukawa over `S→T`, `S→M`, `L→T`.
+pub fn particle_run_all(leaf: usize, reps: usize) -> Vec<ParticleBenchCase> {
+    let mut cases = particle_kernel_cases(&Laplace, "laplace", leaf, reps);
+    cases.extend(particle_kernel_cases(
+        &Yukawa::new(1.0),
+        "yukawa",
+        leaf,
+        reps,
+    ));
+    cases
+}
+
 /// Run the full case matrix for one kernel.
 pub fn kernel_cases<K: Kernel>(
     kernel: &K,
@@ -244,10 +468,24 @@ pub fn run_all(edges: usize, reps: usize) -> Vec<OpBenchCase> {
 }
 
 /// Serialise cases to the machine-readable `BENCH_operators.json` schema.
-pub fn to_json(cases: &[OpBenchCase], edges: usize, fast: bool) -> String {
+/// `particle` adds a `particle_cases` section with the SoA engine's
+/// per-pair and per-point costs (empty slice = omitted values but the
+/// section is always present for schema stability).
+pub fn to_json(
+    cases: &[OpBenchCase],
+    particle: &[ParticleBenchCase],
+    edges: usize,
+    leaf: usize,
+    fast: bool,
+) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"bench\": \"operators\",\n");
     s.push_str(&format!("  \"edges\": {edges},\n"));
+    s.push_str(&format!("  \"leaf\": {leaf},\n"));
+    s.push_str(&format!(
+        "  \"simd_kernels\": {},\n",
+        dashmm_kernels::simd_kernels_active()
+    ));
     s.push_str(&format!("  \"fast_mode\": {fast},\n"));
     s.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
@@ -263,6 +501,25 @@ pub fn to_json(cases: &[OpBenchCase], edges: usize, fast: bool) -> String {
             if i + 1 < cases.len() { "," } else { "" }
         ));
     }
+    s.push_str("  ],\n");
+    s.push_str("  \"particle_cases\": [\n");
+    for (i, c) in particle.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"op\": \"{}\", \"kernel\": \"{}\", \"pairs\": {}, \"points\": {}, \
+             \"scalar_ns\": {:.1}, \"batched_ns\": {:.1}, \"per_pair_ns\": {:.3}, \
+             \"per_point_ns\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            c.op,
+            c.kernel,
+            c.pairs,
+            c.points,
+            c.scalar_ns,
+            c.batched_ns,
+            c.per_pair_ns(),
+            c.per_point_ns(),
+            c.speedup(),
+            if i + 1 < particle.len() { "," } else { "" }
+        ));
+    }
     s.push_str("  ]\n}\n");
     s
 }
@@ -271,7 +528,9 @@ pub fn to_json(cases: &[OpBenchCase], edges: usize, fast: bool) -> String {
 pub fn write_json(
     path: &Path,
     cases: &[OpBenchCase],
+    particle: &[ParticleBenchCase],
     edges: usize,
+    leaf: usize,
     fast: bool,
 ) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
@@ -280,7 +539,7 @@ pub fn write_json(
         }
     }
     let mut f = std::fs::File::create(path)?;
-    f.write_all(to_json(cases, edges, fast).as_bytes())
+    f.write_all(to_json(cases, particle, edges, leaf, fast).as_bytes())
 }
 
 #[cfg(test)]
@@ -304,10 +563,36 @@ mod tests {
             per_edge_ns: 1000.0,
             batched_ns: 400.0,
         }];
-        let j = to_json(&cases, 1024, true);
+        let particle = vec![ParticleBenchCase {
+            op: "S2T",
+            kernel: "laplace",
+            pairs: 93_600,
+            points: 60,
+            scalar_ns: 200_000.0,
+            batched_ns: 50_000.0,
+        }];
+        let j = to_json(&cases, &particle, 1024, 60, true);
         assert!(j.contains("\"bench\": \"operators\""));
         assert!(j.contains("\"speedup\": 2.500"));
         assert!(j.contains("\"fast_mode\": true"));
+        assert!(j.contains("\"particle_cases\""));
+        assert!(j.contains("\"pairs\": 93600"));
+        assert!(j.contains("\"speedup\": 4.000"));
         assert!(j.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn s2t_case_produces_sane_timings() {
+        let c = s2t_case(&Laplace, "laplace", 20, 4, 2);
+        assert!(c.scalar_ns > 0.0 && c.batched_ns > 0.0);
+        assert_eq!(c.pairs, 4 * 20 * 20);
+        assert!(c.per_pair_ns() > 0.0);
+    }
+
+    #[test]
+    fn particle_cases_cover_all_ops() {
+        let cases = particle_kernel_cases(&Laplace, "laplace", 16, 1);
+        let ops: Vec<&str> = cases.iter().map(|c| c.op).collect();
+        assert_eq!(ops, vec!["S2T", "S2M", "L2T"]);
     }
 }

@@ -42,6 +42,9 @@ enum BatchKey {
         dir: u8,
         delta: (i16, i16, i16),
     },
+    /// Near-field `S→T` into the target leaf DAG node `dst`: all source
+    /// leaves of one target block fuse into a single SoA evaluation.
+    S2T { dst: u32 },
 }
 
 /// One deposited edge awaiting its batch.
@@ -60,11 +63,31 @@ struct BatchEntry {
     /// Destination slot prefix for `I→I` (offset-add LCOs); unused
     /// otherwise.
     slot: f64,
+    /// Source-tree box of the edge's source node (`S→T` gathers particle
+    /// blocks from the tree rather than from `src`); unused otherwise.
+    src_box: u32,
 }
 
 thread_local! {
     /// Per-worker gather/result buffers for batched operator application.
     static BATCH_WS: RefCell<BatchWorkspace> = RefCell::new(BatchWorkspace::new());
+    /// Per-worker result buffer for the per-edge operators, so the hot
+    /// path stops allocating one `Vec` per applied edge.
+    static EDGE_OUT: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with the worker's operator workspace and a zeroed result
+/// buffer of `len` elements.  Both retain capacity across edges, so
+/// steady-state operator application performs no heap allocation.
+fn with_scratch<R>(len: usize, f: impl FnOnce(&mut BatchWorkspace, &mut Vec<f64>) -> R) -> R {
+    BATCH_WS.with(|ws| {
+        EDGE_OUT.with(|out| {
+            let out = &mut *out.borrow_mut();
+            out.clear();
+            out.resize(len, 0.0);
+            f(&mut ws.borrow_mut(), out)
+        })
+    })
 }
 
 /// Shared execution context: everything a task needs to transform an
@@ -141,6 +164,18 @@ impl<K: Kernel> ExecCtx<K> {
 
         let dag = &self.asm.dag;
         let n_loc = rt.num_localities();
+        // `S→T` edges arrive fused: one LCO contribution per *flushed
+        // batch* instead of one per edge, so a target leaf with `e`
+        // near-field edges expects `⌈e/threshold⌉` inputs from them.
+        // The DAG itself is untouched — only the LCO accounting changes.
+        let mut s2t_in = vec![0u32; dag.num_nodes()];
+        for id in 0..dag.num_nodes() as u32 {
+            for e in dag.out_edges(id) {
+                if e.op == EdgeOp::S2T {
+                    s2t_in[e.dst as usize] += 1;
+                }
+            }
+        }
         let mut lcos = Vec::with_capacity(dag.num_nodes());
         for id in 0..dag.num_nodes() as u32 {
             let node = dag.node(id);
@@ -155,9 +190,11 @@ impl<K: Kernel> ExecCtx<K> {
                 NodeClass::Is | NodeClass::It => LcoOp::Custom(Box::new(offset_add)),
                 _ => LcoOp::Add,
             };
+            let e_s2t = s2t_in[id as usize];
+            let inputs = node.in_degree - e_s2t + e_s2t.div_ceil(DEFAULT_BATCH_THRESHOLD as u32);
             let mut spec = LcoSpec {
                 size,
-                inputs: node.in_degree,
+                inputs,
                 op,
                 on_trigger: None,
                 trace_class: CLASS_NONE,
@@ -197,7 +234,9 @@ impl<K: Kernel> ExecCtx<K> {
     }
 
     /// Batching key for an edge whose operator is applied batched, `None`
-    /// for the per-edge operators (source/target evaluation, `M→I`, `I→L`).
+    /// for the per-edge operators (`S→M`, `S→L`, `M→T`, `L→T`, `M→I`,
+    /// `I→L`).  Near-field `S→T` edges batch per target leaf so one fused
+    /// SoA evaluation covers all of its source boxes.
     fn batch_key(&self, src_id: u32, e: &DagEdge) -> Option<BatchKey> {
         let dag = &self.asm.dag;
         let src_node = dag.node(src_id);
@@ -223,6 +262,7 @@ impl<K: Kernel> ExecCtx<K> {
                     offset: (o.0 as i8, o.1 as i8, o.2 as i8),
                 })
             }
+            EdgeOp::S2T => Some(BatchKey::S2T { dst: e.dst }),
             EdgeOp::I2I => {
                 let (dir_idx, src_slot, _) = unpack_i2i(e.tag);
                 let level = if src_slot == 0 {
@@ -428,10 +468,11 @@ impl<K: Kernel> ExecCtx<K> {
     /// Apply one edge: transform `data` and set the destination LCO.
     ///
     /// The operators that share one matrix per (operator, level) —
-    /// `M→M`, `M→L`, `L→L`, `I→I` — are not applied here; they deposit
+    /// `M→M`, `M→L`, `L→L`, `I→I` — and the near-field `S→T` edges
+    /// (which share a target leaf) are not applied here; they deposit
     /// into this locality's [`EdgeBatcher`] and the whole batch is flushed
-    /// through the blocked multi-RHS path when full (or when its last
-    /// expected edge arrives).  Each batched contribution is bitwise
+    /// through the blocked multi-RHS (or fused SoA near-field) path when
+    /// full (or when its last expected edge arrives).  Each batched contribution is bitwise
     /// independent of which batch the edge lands in, so only the LCO
     /// reduction *order* can differ — exactly the freedom concurrent
     /// per-edge application already had.
@@ -481,6 +522,7 @@ impl<K: Kernel> ExecCtx<K> {
                 len,
                 dst,
                 slot,
+                src_box: src_node.box_id,
             };
             // Batched edges are traced at flush time only: the flush's
             // chained per-edge spans are the single account of each edge
@@ -499,9 +541,10 @@ impl<K: Kernel> ExecCtx<K> {
                 let pts = stree.points_of(src_node.box_id);
                 let q = &self.charges[sb.first..sb.first + sb.count];
                 let t = self.lib.tables(src_node.level);
-                let mut m = vec![0.0; n];
-                ops::s2m(kernel, &t, stree.center_of(src_node.box_id), pts, q, &mut m);
-                ctx.lco_set_with_priority(dst, &m, prio);
+                with_scratch(n, |ws, m| {
+                    ops::s2m(kernel, &t, stree.center_of(src_node.box_id), pts, q, ws, m);
+                    ctx.lco_set_with_priority(dst, m, prio);
+                });
             }
             EdgeOp::M2M | EdgeOp::M2L | EdgeOp::L2L | EdgeOp::I2I => {
                 unreachable!("batched operators are deposited above")
@@ -509,51 +552,57 @@ impl<K: Kernel> ExecCtx<K> {
             EdgeOp::M2I => {
                 let t = self.lib.tables(src_node.level);
                 let w = t.planewave_len();
-                let mut out = vec![0.0; 1 + 6 * w];
-                for d in dashmm_tree::Direction::ALL {
-                    let off = 1 + d.index() * w;
-                    ops::m2i(&t, d, data, &mut out[off..off + w]);
-                }
-                ctx.lco_set_with_priority(dst, &out, prio);
+                with_scratch(1 + 6 * w, |_, out| {
+                    for d in dashmm_tree::Direction::ALL {
+                        let off = 1 + d.index() * w;
+                        ops::m2i(&t, d, data, &mut out[off..off + w]);
+                    }
+                    ctx.lco_set_with_priority(dst, out, prio);
+                });
             }
             EdgeOp::I2L => {
                 let t = self.lib.tables(src_node.level);
                 let w = t.planewave_len();
-                let mut out = vec![0.0; n];
-                for d in dashmm_tree::Direction::ALL {
-                    let off = d.index() * w;
-                    ops::i2l(&t, d, &data[off..off + w], &mut out);
-                }
-                ctx.lco_set_with_priority(dst, &out, prio);
+                with_scratch(n, |_, out| {
+                    for d in dashmm_tree::Direction::ALL {
+                        let off = d.index() * w;
+                        ops::i2l(&t, d, &data[off..off + w], out);
+                    }
+                    ctx.lco_set_with_priority(dst, out, prio);
+                });
             }
             EdgeOp::S2L => {
                 let sb = stree.node(src_node.box_id);
                 let pts = stree.points_of(src_node.box_id);
                 let q = &self.charges[sb.first..sb.first + sb.count];
                 let t = self.lib.tables(dst_node.level);
-                let mut out = vec![0.0; n];
-                ops::s2l(
-                    kernel,
-                    &t,
-                    ttree.center_of(dst_node.box_id),
-                    pts,
-                    q,
-                    &mut out,
-                );
-                ctx.lco_set_with_priority(dst, &out, prio);
+                with_scratch(n, |ws, out| {
+                    ops::s2l(
+                        kernel,
+                        &t,
+                        ttree.center_of(dst_node.box_id),
+                        pts,
+                        q,
+                        ws,
+                        out,
+                    );
+                    ctx.lco_set_with_priority(dst, out, prio);
+                });
             }
             EdgeOp::L2T => {
                 let t = self.lib.tables(src_node.level);
                 let pts = ttree.points_of(dst_node.box_id);
                 let center = ttree.center_of(src_node.box_id);
                 if self.gradients {
-                    let mut out = vec![0.0; 4 * pts.len()];
-                    ops::l2t_grad(kernel, &t, center, data, pts, &mut out);
-                    ctx.lco_set_with_priority(dst, &out, prio);
+                    with_scratch(4 * pts.len(), |ws, out| {
+                        ops::l2t_grad(kernel, &t, center, data, pts, ws, out);
+                        ctx.lco_set_with_priority(dst, out, prio);
+                    });
                 } else {
-                    let mut out = vec![0.0; pts.len()];
-                    ops::l2t(kernel, &t, center, data, pts, &mut out);
-                    ctx.lco_set_with_priority(dst, &out, prio);
+                    with_scratch(pts.len(), |ws, out| {
+                        ops::l2t(kernel, &t, center, data, pts, ws, out);
+                        ctx.lco_set_with_priority(dst, out, prio);
+                    });
                 }
             }
             EdgeOp::M2T => {
@@ -561,29 +610,19 @@ impl<K: Kernel> ExecCtx<K> {
                 let pts = ttree.points_of(dst_node.box_id);
                 let center = stree.center_of(src_node.box_id);
                 if self.gradients {
-                    let mut out = vec![0.0; 4 * pts.len()];
-                    ops::m2t_grad(kernel, &t, center, data, pts, &mut out);
-                    ctx.lco_set_with_priority(dst, &out, prio);
+                    with_scratch(4 * pts.len(), |ws, out| {
+                        ops::m2t_grad(kernel, &t, center, data, pts, ws, out);
+                        ctx.lco_set_with_priority(dst, out, prio);
+                    });
                 } else {
-                    let mut out = vec![0.0; pts.len()];
-                    ops::m2t(kernel, &t, center, data, pts, &mut out);
-                    ctx.lco_set_with_priority(dst, &out, prio);
+                    with_scratch(pts.len(), |ws, out| {
+                        ops::m2t(kernel, &t, center, data, pts, ws, out);
+                        ctx.lco_set_with_priority(dst, out, prio);
+                    });
                 }
             }
             EdgeOp::S2T => {
-                let sb = stree.node(src_node.box_id);
-                let spts = stree.points_of(src_node.box_id);
-                let q = &self.charges[sb.first..sb.first + sb.count];
-                let tpts = ttree.points_of(dst_node.box_id);
-                if self.gradients {
-                    let mut out = vec![0.0; 4 * tpts.len()];
-                    ops::p2p_grad(kernel, spts, q, tpts, &mut out);
-                    ctx.lco_set_with_priority(dst, &out, prio);
-                } else {
-                    let mut out = vec![0.0; tpts.len()];
-                    ops::p2p(kernel, spts, q, tpts, &mut out);
-                    ctx.lco_set_with_priority(dst, &out, prio);
-                }
+                unreachable!("near-field edges are deposited into the S2T batcher above")
             }
         });
     }
@@ -599,8 +638,10 @@ impl<K: Kernel> ExecCtx<K> {
             BatchKey::L2L { .. } => EdgeOp::L2L.index() as u8,
             BatchKey::M2L { .. } => EdgeOp::M2L.index() as u8,
             BatchKey::I2I { .. } => EdgeOp::I2I.index() as u8,
+            BatchKey::S2T { .. } => EdgeOp::S2T.index() as u8,
         };
         let mut prev = ctx.now_ns();
+        let start = prev;
         let mut mark = |i: usize| {
             let now = ctx.now_ns();
             ctx.record_span(class, batch[i].eid, prev, now);
@@ -654,6 +695,47 @@ impl<K: Kernel> ExecCtx<K> {
                         ctx.lco_set_with_priority(batch[i].dst, &out, prio);
                         mark(i);
                     });
+                }
+                BatchKey::S2T { dst } => {
+                    // All entries share one target leaf: gather every
+                    // source block into the workspace's SoA buffers and
+                    // evaluate the fused near field in one pass, then make
+                    // a single LCO contribution for the whole batch (the
+                    // LCO's input count was reduced accordingly in
+                    // `install`).  The fused evaluation is one
+                    // indivisible interval, so it is attributed to the
+                    // edges as evenly split chained spans.
+                    let kernel = self.lib.kernel();
+                    let stree = self.problem.tree.source();
+                    let dst_node = self.asm.dag.node(dst);
+                    let tpts = self.problem.tree.target().points_of(dst_node.box_id);
+                    let prio = self.class_priority(NodeClass::T);
+                    let blocks = batch.iter().map(|b| {
+                        let sb = stree.node(b.src_box);
+                        (
+                            stree.points_of(b.src_box),
+                            &self.charges[sb.first..sb.first + sb.count],
+                        )
+                    });
+                    let per = if self.gradients { 4 } else { 1 };
+                    EDGE_OUT.with(|out| {
+                        let out = &mut *out.borrow_mut();
+                        out.clear();
+                        out.resize(per * tpts.len(), 0.0);
+                        if self.gradients {
+                            ops::p2p_grad_fused(kernel, blocks, tpts, ws, out);
+                        } else {
+                            ops::p2p_fused(kernel, blocks, tpts, ws, out);
+                        }
+                        ctx.lco_set_with_priority(batch[0].dst, out, prio);
+                    });
+                    let end = ctx.now_ns();
+                    let m = batch.len() as u64;
+                    for (i, b) in batch.iter().enumerate() {
+                        let a = start + (end - start) * i as u64 / m;
+                        let z = start + (end - start) * (i as u64 + 1) / m;
+                        ctx.record_span(class, b.eid, a, z);
+                    }
                 }
             }
         });

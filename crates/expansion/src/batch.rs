@@ -17,6 +17,14 @@
 //! kernel and differ only by the fused rounding of each multiply-add
 //! (O(ulp), deterministic per machine) when the AVX2+FMA register-tiled
 //! kernel is active; see `dashmm_linalg`'s `gemm` module docs.
+//!
+//! The **fused near-field** path (`ops::p2p_fused`) is the one batched
+//! operator whose output depends on batch composition: it sums all source
+//! blocks of a target leaf in deposit order, so grouping S→T edges
+//! differently reorders the floating-point accumulation (O(ulp) per
+//! contribution).  That is exactly the freedom the destination LCOs'
+//! unordered reduction already grants every per-edge operator, so the
+//! executor's determinism tolerances are unchanged.
 
 use dashmm_kernels::Kernel;
 use dashmm_linalg::Matrix;
@@ -27,17 +35,59 @@ use crate::tables::LevelTables;
 /// Reusable gather/result buffers for batched operator application.
 ///
 /// One workspace per worker thread avoids both allocation on the hot path
-/// and false sharing between workers.
+/// and false sharing between workers.  Besides the column panels of the
+/// matrix operators it owns the SoA coordinate/weight buffers and the
+/// squared-separation, kernel-value and displacement tiles of the
+/// particle-facing operators (`ops::p2p`, `ops::s2m`, …), plus the check-
+/// surface scratch those operators used to allocate per call — after the
+/// first call at a given problem shape, repeat applications perform zero
+/// allocations (pinned by `scratch_bytes` and the capacity-stability
+/// test in `tests/particle_ops_proptest.rs`).
 #[derive(Default)]
 pub struct BatchWorkspace {
-    xs: Vec<f64>,
-    ys: Vec<f64>,
+    pub(crate) xs: Vec<f64>,
+    pub(crate) ys: Vec<f64>,
+    /// SoA source coordinates and weights for particle-operator tiles.
+    pub(crate) sx: Vec<f64>,
+    pub(crate) sy: Vec<f64>,
+    pub(crate) sz: Vec<f64>,
+    pub(crate) sw: Vec<f64>,
+    /// Squared-separation / kernel-value / scaled-derivative tiles.
+    pub(crate) r2: Vec<f64>,
+    pub(crate) kv: Vec<f64>,
+    pub(crate) dv: Vec<f64>,
+    /// Displacement tiles for the gradient accumulations.
+    pub(crate) dx: Vec<f64>,
+    pub(crate) dy: Vec<f64>,
+    pub(crate) dz: Vec<f64>,
+    /// Check-surface potentials for `s2m`/`s2l` (was a per-call `vec!`).
+    pub(crate) check: Vec<f64>,
 }
 
 impl BatchWorkspace {
     /// Fresh, empty workspace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Total bytes currently reserved across all scratch buffers.  Test
+    /// hook for the zero-per-edge-allocation contract: once warmed up at a
+    /// problem shape, repeat operator applications must leave this value
+    /// unchanged.
+    pub fn scratch_bytes(&self) -> usize {
+        8 * (self.xs.capacity()
+            + self.ys.capacity()
+            + self.sx.capacity()
+            + self.sy.capacity()
+            + self.sz.capacity()
+            + self.sw.capacity()
+            + self.r2.capacity()
+            + self.kv.capacity()
+            + self.dv.capacity()
+            + self.dx.capacity()
+            + self.dy.capacity()
+            + self.dz.capacity()
+            + self.check.capacity())
     }
 
     /// Gather `srcs` into the column panel, run `ys = op · xs`, and pass

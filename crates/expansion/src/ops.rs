@@ -4,11 +4,169 @@
 //! runtime schedules them, the tables supply the matrices, and the buffers
 //! are owned by the caller (expansion LCOs), so the hot path allocates
 //! nothing beyond what the operator caches build once per level.
+//!
+//! The particle-facing operators (`p2p`, `s2m`, `s2l`, `m2t`, `l2t` and
+//! their gradient variants) are blocked tile evaluations: sources are
+//! gathered once into the workspace's SoA coordinate buffers, each target
+//! row computes a squared-separation tile, makes **one** batched kernel
+//! call ([`Kernel::eval_into`] — AVX2+FMA on capable hardware), and
+//! accumulates.  All scratch comes from the caller's per-worker
+//! [`BatchWorkspace`]; no per-call `vec!` remains on the hot path.
 
 use dashmm_kernels::Kernel;
 use dashmm_tree::{Direction, Point3};
 
+use crate::batch::BatchWorkspace;
 use crate::tables::LevelTables;
+
+/// Tile width of the blocked particle-operator loops: large enough to
+/// amortise the batched kernel dispatch, small enough that the four SoA
+/// tiles stay L1-resident.
+const TILE: usize = 1024;
+
+/// Drop the workspace's gathered sources.
+fn soa_clear(ws: &mut BatchWorkspace) {
+    ws.sx.clear();
+    ws.sy.clear();
+    ws.sz.clear();
+    ws.sw.clear();
+}
+
+/// Append `pts` (translated by `shift`) with `weights` to the workspace's
+/// SoA source buffers.  Capacity is retained across calls, so steady-state
+/// gathers allocate nothing.
+fn soa_push(ws: &mut BatchWorkspace, pts: &[Point3], weights: &[f64], shift: Point3) {
+    debug_assert_eq!(pts.len(), weights.len());
+    ws.sx.extend(pts.iter().map(|p| p.x + shift.x));
+    ws.sy.extend(pts.iter().map(|p| p.y + shift.y));
+    ws.sz.extend(pts.iter().map(|p| p.z + shift.z));
+    ws.sw.extend_from_slice(weights);
+}
+
+/// Ensure the per-tile scratch is at capacity (stable after first use).
+fn soa_reserve_tiles(ws: &mut BatchWorkspace, grad: bool) {
+    if ws.r2.len() < TILE {
+        ws.r2.resize(TILE, 0.0);
+        ws.kv.resize(TILE, 0.0);
+    }
+    if grad && ws.dv.len() < TILE {
+        ws.dv.resize(TILE, 0.0);
+        ws.dx.resize(TILE, 0.0);
+        ws.dy.resize(TILE, 0.0);
+        ws.dz.resize(TILE, 0.0);
+    }
+}
+
+/// `out[i] += Σⱼ wⱼ·K(|tᵢ + shift − sⱼ|)` over the gathered SoA sources.
+///
+/// One row per target: distance tile → one batched kernel eval →
+/// four-way unrolled weighted reduction.  `r2 = 0` lanes contribute `0`
+/// (the kernel contract), which is the self-interaction exclusion.
+fn potential_rows<K: Kernel>(
+    kernel: &K,
+    ws: &mut BatchWorkspace,
+    targets: &[Point3],
+    shift: Point3,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(targets.len(), out.len());
+    soa_reserve_tiles(ws, false);
+    let n = ws.sx.len();
+    for (t, o) in targets.iter().zip(out.iter_mut()) {
+        let (tx, ty, tz) = (t.x + shift.x, t.y + shift.y, t.z + shift.z);
+        let mut acc = 0.0;
+        let mut j = 0;
+        while j < n {
+            let w = (n - j).min(TILE);
+            {
+                let sx = &ws.sx[j..j + w];
+                let sy = &ws.sy[j..j + w];
+                let sz = &ws.sz[j..j + w];
+                let r2 = &mut ws.r2[..w];
+                for i in 0..w {
+                    let dx = tx - sx[i];
+                    let dy = ty - sy[i];
+                    let dz = tz - sz[i];
+                    r2[i] = dx * dx + dy * dy + dz * dz;
+                }
+            }
+            kernel.eval_into(&ws.r2[..w], &mut ws.kv[..w]);
+            let sw = &ws.sw[j..j + w];
+            let kv = &ws.kv[..w];
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let mut i = 0;
+            while i + 4 <= w {
+                a0 += sw[i] * kv[i];
+                a1 += sw[i + 1] * kv[i + 1];
+                a2 += sw[i + 2] * kv[i + 2];
+                a3 += sw[i + 3] * kv[i + 3];
+                i += 4;
+            }
+            while i < w {
+                a0 += sw[i] * kv[i];
+                i += 1;
+            }
+            acc += (a0 + a1) + (a2 + a3);
+            j += w;
+        }
+        *o += acc;
+    }
+}
+
+/// Gradient companion of [`potential_rows`]: `out` holds 4 values per
+/// target, accumulated as `(φ, ∂φ/∂x, ∂φ/∂y, ∂φ/∂z)`.  Uses the kernels'
+/// batched scaled derivative `K'(r)/r`, which is `0` at `r = 0` — the
+/// self-interaction skip of the scalar loop this replaces.
+fn grad_rows<K: Kernel>(
+    kernel: &K,
+    ws: &mut BatchWorkspace,
+    targets: &[Point3],
+    shift: Point3,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(out.len(), 4 * targets.len());
+    soa_reserve_tiles(ws, true);
+    let n = ws.sx.len();
+    for (ti, t) in targets.iter().enumerate() {
+        let (tx, ty, tz) = (t.x + shift.x, t.y + shift.y, t.z + shift.z);
+        let (mut p, mut gx, mut gy, mut gz) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let mut j = 0;
+        while j < n {
+            let w = (n - j).min(TILE);
+            {
+                let sx = &ws.sx[j..j + w];
+                let sy = &ws.sy[j..j + w];
+                let sz = &ws.sz[j..j + w];
+                let r2 = &mut ws.r2[..w];
+                let dx = &mut ws.dx[..w];
+                let dy = &mut ws.dy[..w];
+                let dz = &mut ws.dz[..w];
+                for i in 0..w {
+                    dx[i] = tx - sx[i];
+                    dy[i] = ty - sy[i];
+                    dz[i] = tz - sz[i];
+                    r2[i] = dx[i] * dx[i] + dy[i] * dy[i] + dz[i] * dz[i];
+                }
+            }
+            kernel.eval_into(&ws.r2[..w], &mut ws.kv[..w]);
+            kernel.deriv_into(&ws.r2[..w], &mut ws.dv[..w]);
+            let sw = &ws.sw[j..j + w];
+            for i in 0..w {
+                let wk = sw[i];
+                p += wk * ws.kv[i];
+                let c = wk * ws.dv[i];
+                gx += c * ws.dx[i];
+                gy += c * ws.dy[i];
+                gz += c * ws.dz[i];
+            }
+            j += w;
+        }
+        out[4 * ti] += p;
+        out[4 * ti + 1] += gx;
+        out[4 * ti + 2] += gy;
+        out[4 * ti + 3] += gz;
+    }
+}
 
 /// `S→M`: project the sources of a leaf box onto its upward equivalent
 /// densities.  `sources` are world positions; `out` (length
@@ -19,20 +177,19 @@ pub fn s2m<K: Kernel>(
     center: Point3,
     sources: &[Point3],
     charges: &[f64],
+    ws: &mut BatchWorkspace,
     out: &mut [f64],
 ) {
     debug_assert_eq!(sources.len(), charges.len());
     debug_assert_eq!(out.len(), t.expansion_len());
-    let mut check = vec![0.0; t.expansion_len()];
-    for (i, cp) in t.uc_pts().iter().enumerate() {
-        let p = center + *cp;
-        let mut acc = 0.0;
-        for (s, &q) in sources.iter().zip(charges) {
-            acc += q * kernel.eval(p.dist(s));
-        }
-        check[i] = acc;
-    }
+    soa_clear(ws);
+    soa_push(ws, sources, charges, Point3::new(0.0, 0.0, 0.0));
+    let mut check = std::mem::take(&mut ws.check);
+    check.clear();
+    check.resize(t.expansion_len(), 0.0);
+    potential_rows(kernel, ws, t.uc_pts(), center, &mut check);
     t.uc2ue().matvec_into(&check, out);
+    ws.check = check;
 }
 
 /// `M→M`: accumulate a child multipole into its parent.  `t` is the
@@ -68,18 +225,17 @@ pub fn s2l<K: Kernel>(
     tgt_center: Point3,
     sources: &[Point3],
     charges: &[f64],
+    ws: &mut BatchWorkspace,
     tgt_l: &mut [f64],
 ) {
-    let mut check = vec![0.0; t.expansion_len()];
-    for (i, cp) in t.dc_pts().iter().enumerate() {
-        let p = tgt_center + *cp;
-        let mut acc = 0.0;
-        for (s, &q) in sources.iter().zip(charges) {
-            acc += q * kernel.eval(p.dist(s));
-        }
-        check[i] = acc;
-    }
+    soa_clear(ws);
+    soa_push(ws, sources, charges, Point3::new(0.0, 0.0, 0.0));
+    let mut check = std::mem::take(&mut ws.check);
+    check.clear();
+    check.resize(t.expansion_len(), 0.0);
+    potential_rows(kernel, ws, t.dc_pts(), tgt_center, &mut check);
     t.dc2de().matvec_acc(&check, tgt_l);
+    ws.check = check;
 }
 
 /// `M→T`: evaluate a multipole expansion at target points (`L3`).
@@ -90,16 +246,13 @@ pub fn m2t<K: Kernel>(
     src_center: Point3,
     m: &[f64],
     targets: &[Point3],
+    ws: &mut BatchWorkspace,
     out: &mut [f64],
 ) {
     debug_assert_eq!(targets.len(), out.len());
-    for (tp, o) in targets.iter().zip(out.iter_mut()) {
-        let mut acc = 0.0;
-        for (j, ep) in t.ue_pts().iter().enumerate() {
-            acc += m[j] * kernel.eval(tp.dist(&(src_center + *ep)));
-        }
-        *o += acc;
-    }
+    soa_clear(ws);
+    soa_push(ws, t.ue_pts(), m, src_center);
+    potential_rows(kernel, ws, targets, Point3::new(0.0, 0.0, 0.0), out);
 }
 
 /// `L→T`: evaluate a local expansion at the targets of a leaf box.
@@ -110,16 +263,13 @@ pub fn l2t<K: Kernel>(
     tgt_center: Point3,
     l: &[f64],
     targets: &[Point3],
+    ws: &mut BatchWorkspace,
     out: &mut [f64],
 ) {
     debug_assert_eq!(targets.len(), out.len());
-    for (tp, o) in targets.iter().zip(out.iter_mut()) {
-        let mut acc = 0.0;
-        for (j, ep) in t.de_pts().iter().enumerate() {
-            acc += l[j] * kernel.eval(tp.dist(&(tgt_center + *ep)));
-        }
-        *o += acc;
-    }
+    soa_clear(ws);
+    soa_push(ws, t.de_pts(), l, tgt_center);
+    potential_rows(kernel, ws, targets, Point3::new(0.0, 0.0, 0.0), out);
 }
 
 /// `S→T`: direct near-field interaction (`L1`).
@@ -128,16 +278,37 @@ pub fn p2p<K: Kernel>(
     sources: &[Point3],
     charges: &[f64],
     targets: &[Point3],
+    ws: &mut BatchWorkspace,
     out: &mut [f64],
 ) {
+    p2p_fused(kernel, [(sources, charges)], targets, ws, out);
+}
+
+/// Fused `S→T`: one near-field evaluation of *several* source leaves
+/// against a single target block.  The executor's S2T batcher routes all
+/// near-field edges of a target leaf here, so the sources are gathered
+/// into one SoA buffer and each target row makes `⌈n/TILE⌉` batched
+/// kernel calls instead of one tiny call per source box.
+///
+/// Summation order follows block deposit order, so results may differ
+/// from edge-at-a-time accumulation by O(ulp) — the same freedom the
+/// LCOs' unordered contribution reduction already has.
+pub fn p2p_fused<'a, K, I>(
+    kernel: &K,
+    blocks: I,
+    targets: &[Point3],
+    ws: &mut BatchWorkspace,
+    out: &mut [f64],
+) where
+    K: Kernel,
+    I: IntoIterator<Item = (&'a [Point3], &'a [f64])>,
+{
     debug_assert_eq!(targets.len(), out.len());
-    for (tp, o) in targets.iter().zip(out.iter_mut()) {
-        let mut acc = 0.0;
-        for (s, &q) in sources.iter().zip(charges) {
-            acc += q * kernel.eval(tp.dist(s));
-        }
-        *o += acc;
+    soa_clear(ws);
+    for (pts, q) in blocks {
+        soa_push(ws, pts, q, Point3::new(0.0, 0.0, 0.0));
     }
+    potential_rows(kernel, ws, targets, Point3::new(0.0, 0.0, 0.0), out);
 }
 
 /// Accumulate potential *and* gradient of a set of weighted kernel sources
@@ -150,28 +321,13 @@ pub fn eval_grad_acc<K: Kernel>(
     positions: &[Point3],
     weights: &[f64],
     targets: &[Point3],
+    ws: &mut BatchWorkspace,
     out: &mut [f64],
 ) {
     debug_assert_eq!(out.len(), 4 * targets.len());
-    for (ti, tp) in targets.iter().enumerate() {
-        let (mut p, mut gx, mut gy, mut gz) = (0.0, 0.0, 0.0, 0.0);
-        for (s, &w) in positions.iter().zip(weights) {
-            let d = *tp - *s;
-            let r = d.norm();
-            if r == 0.0 {
-                continue;
-            }
-            p += w * kernel.eval(r);
-            let dr = w * kernel.deriv(r) / r;
-            gx += dr * d.x;
-            gy += dr * d.y;
-            gz += dr * d.z;
-        }
-        out[4 * ti] += p;
-        out[4 * ti + 1] += gx;
-        out[4 * ti + 2] += gy;
-        out[4 * ti + 3] += gz;
-    }
+    soa_clear(ws);
+    soa_push(ws, positions, weights, Point3::new(0.0, 0.0, 0.0));
+    grad_rows(kernel, ws, targets, Point3::new(0.0, 0.0, 0.0), out);
 }
 
 /// `S→T` with gradients.
@@ -180,9 +336,29 @@ pub fn p2p_grad<K: Kernel>(
     sources: &[Point3],
     charges: &[f64],
     targets: &[Point3],
+    ws: &mut BatchWorkspace,
     out: &mut [f64],
 ) {
-    eval_grad_acc(kernel, sources, charges, targets, out);
+    eval_grad_acc(kernel, sources, charges, targets, ws, out);
+}
+
+/// Fused `S→T` with gradients — the 4-wide companion of [`p2p_fused`].
+pub fn p2p_grad_fused<'a, K, I>(
+    kernel: &K,
+    blocks: I,
+    targets: &[Point3],
+    ws: &mut BatchWorkspace,
+    out: &mut [f64],
+) where
+    K: Kernel,
+    I: IntoIterator<Item = (&'a [Point3], &'a [f64])>,
+{
+    debug_assert_eq!(out.len(), 4 * targets.len());
+    soa_clear(ws);
+    for (pts, q) in blocks {
+        soa_push(ws, pts, q, Point3::new(0.0, 0.0, 0.0));
+    }
+    grad_rows(kernel, ws, targets, Point3::new(0.0, 0.0, 0.0), out);
 }
 
 /// `M→T` with gradients: evaluate the multipole's equivalent sources.
@@ -192,10 +368,13 @@ pub fn m2t_grad<K: Kernel>(
     src_center: Point3,
     m: &[f64],
     targets: &[Point3],
+    ws: &mut BatchWorkspace,
     out: &mut [f64],
 ) {
-    let pts: Vec<Point3> = t.ue_pts().iter().map(|p| *p + src_center).collect();
-    eval_grad_acc(kernel, &pts, m, targets, out);
+    debug_assert_eq!(out.len(), 4 * targets.len());
+    soa_clear(ws);
+    soa_push(ws, t.ue_pts(), m, src_center);
+    grad_rows(kernel, ws, targets, Point3::new(0.0, 0.0, 0.0), out);
 }
 
 /// `L→T` with gradients: evaluate the local expansion's equivalent sources.
@@ -205,10 +384,13 @@ pub fn l2t_grad<K: Kernel>(
     tgt_center: Point3,
     l: &[f64],
     targets: &[Point3],
+    ws: &mut BatchWorkspace,
     out: &mut [f64],
 ) {
-    let pts: Vec<Point3> = t.de_pts().iter().map(|p| *p + tgt_center).collect();
-    eval_grad_acc(kernel, &pts, l, targets, out);
+    debug_assert_eq!(out.len(), 4 * targets.len());
+    soa_clear(ws);
+    soa_push(ws, t.de_pts(), l, tgt_center);
+    grad_rows(kernel, ws, targets, Point3::new(0.0, 0.0, 0.0), out);
 }
 
 /// `M→I`: form the outgoing plane-wave coefficients of a box in one
@@ -287,12 +469,13 @@ mod tests {
 
     #[test]
     fn s2m_then_m2t_matches_direct_laplace() {
+        let mut ws = BatchWorkspace::default();
         let k = Laplace;
         let t = tb(&k, false);
         let c = Point3::new(0.25, 0.25, 0.25);
         let (src, q) = cloud(c, SIDE, 40, 1);
         let mut m = vec![0.0; t.expansion_len()];
-        s2m(&k, &t, c, &src, &q, &mut m);
+        s2m(&k, &t, c, &src, &q, &mut ws, &mut m);
         // Evaluate at points ≥ 2 boxes away (the L2/L3 validity region).
         for (i, tp) in [
             Point3::new(0.25 + 2.0 * SIDE, 0.25, 0.25),
@@ -303,7 +486,7 @@ mod tests {
         .enumerate()
         {
             let mut out = [0.0];
-            m2t(&k, &t, c, &m, &[*tp], &mut out);
+            m2t(&k, &t, c, &m, &[*tp], &mut ws, &mut out);
             let want = direct(&k, &src, &q, tp);
             let qsum: f64 = q.iter().map(|x| x.abs()).sum();
             check_err(out[0], want, qsum / SIDE, 2e-3, &format!("target {i}"));
@@ -312,6 +495,7 @@ mod tests {
 
     #[test]
     fn m2m_preserves_far_field() {
+        let mut ws = BatchWorkspace::default();
         let k = Laplace;
         let parent_t = tb(&k, false);
         let child_t = LevelTables::build(&k, &AccuracyParams::three_digit(), 4, SIDE * 0.5, false);
@@ -320,12 +504,12 @@ mod tests {
         let cc = pc + crate::tables::octant_offset(5, SIDE * 0.25);
         let (src, q) = cloud(cc, SIDE * 0.5, 30, 2);
         let mut child_m = vec![0.0; child_t.expansion_len()];
-        s2m(&k, &child_t, cc, &src, &q, &mut child_m);
+        s2m(&k, &child_t, cc, &src, &q, &mut ws, &mut child_m);
         let mut parent_m = vec![0.0; parent_t.expansion_len()];
         m2m(&parent_t, 5, &child_m, &mut parent_m);
         let tp = Point3::new(2.2 * SIDE, -1.1 * SIDE, 2.0 * SIDE);
         let mut out = [0.0];
-        m2t(&k, &parent_t, pc, &parent_m, &[tp], &mut out);
+        m2t(&k, &parent_t, pc, &parent_m, &[tp], &mut ws, &mut out);
         let want = direct(&k, &src, &q, &tp);
         let qsum: f64 = q.iter().map(|x| x.abs()).sum();
         check_err(out[0], want, qsum / SIDE, 2e-3, "m2m far field");
@@ -333,6 +517,7 @@ mod tests {
 
     fn m2l_case<K: Kernel>(k: K, name: &str) {
         let t = tb(&k, false);
+        let mut ws = BatchWorkspace::default();
         // Source box two boxes east, one south, three up of the target box.
         let tc = Point3::new(0.1, 0.2, -0.3);
         let src_offset = (2i8, -1i8, 3i8);
@@ -344,11 +529,11 @@ mod tests {
         let (src, q) = cloud(sc, SIDE, 35, 3);
         let (tgt, _) = cloud(tc, SIDE, 10, 4);
         let mut m = vec![0.0; t.expansion_len()];
-        s2m(&k, &t, sc, &src, &q, &mut m);
+        s2m(&k, &t, sc, &src, &q, &mut ws, &mut m);
         let mut l = vec![0.0; t.expansion_len()];
         m2l(&k, &t, src_offset, &m, &mut l);
         let mut out = vec![0.0; tgt.len()];
-        l2t(&k, &t, tc, &l, &tgt, &mut out);
+        l2t(&k, &t, tc, &l, &tgt, &mut ws, &mut out);
         let qsum: f64 = q.iter().map(|x| x.abs()).sum();
         let scale = qsum * k.eval(SIDE);
         for (i, tp) in tgt.iter().enumerate() {
@@ -365,6 +550,7 @@ mod tests {
 
     #[test]
     fn l2l_preserves_local_field() {
+        let mut ws = BatchWorkspace::default();
         let k = Laplace;
         let parent_t = tb(&k, false);
         let child_t = LevelTables::build(&k, &AccuracyParams::three_digit(), 4, SIDE * 0.5, false);
@@ -374,14 +560,14 @@ mod tests {
         let (src, q) = cloud(far_c, SIDE, 30, 5);
         // Build the parent local directly from the far sources.
         let mut parent_l = vec![0.0; parent_t.expansion_len()];
-        s2l(&k, &parent_t, pc, &src, &q, &mut parent_l);
+        s2l(&k, &parent_t, pc, &src, &q, &mut ws, &mut parent_l);
         // Push down to child octant 3 and evaluate at its targets.
         let cc = pc + crate::tables::octant_offset(3, SIDE * 0.25);
         let mut child_l = vec![0.0; child_t.expansion_len()];
         l2l(&child_t, 3, &parent_l, &mut child_l);
         let (tgt, _) = cloud(cc, SIDE * 0.5, 8, 6);
         let mut out = vec![0.0; tgt.len()];
-        l2t(&k, &child_t, cc, &child_l, &tgt, &mut out);
+        l2t(&k, &child_t, cc, &child_l, &tgt, &mut ws, &mut out);
         let qsum: f64 = q.iter().map(|x| x.abs()).sum();
         for (i, tp) in tgt.iter().enumerate() {
             let want = direct(&k, &src, &q, tp);
@@ -399,6 +585,7 @@ mod tests {
 
     fn planewave_case<K: Kernel>(k: K, name: &str) {
         let t = tb(&k, true);
+        let mut ws = BatchWorkspace::default();
         let sc = Point3::new(0.0, 0.0, 0.0);
         let d = Direction::Up;
         // Target 2 boxes up, 1 east: direction Up offset (1, 0, 2).
@@ -407,7 +594,7 @@ mod tests {
         let (tgt, _) = cloud(tc, SIDE, 8, 8);
 
         let mut m = vec![0.0; t.expansion_len()];
-        s2m(&k, &t, sc, &src, &q, &mut m);
+        s2m(&k, &t, sc, &src, &q, &mut ws, &mut m);
         let mut w = vec![0.0; t.planewave_len()];
         m2i(&t, d, &m, &mut w);
         let mut w_in = vec![0.0; t.planewave_len()];
@@ -416,7 +603,7 @@ mod tests {
         let mut l = vec![0.0; t.expansion_len()];
         i2l(&t, d, &w_in, &mut l);
         let mut out = vec![0.0; tgt.len()];
-        l2t(&k, &t, tc, &l, &tgt, &mut out);
+        l2t(&k, &t, tc, &l, &tgt, &mut ws, &mut out);
 
         let qsum: f64 = q.iter().map(|x| x.abs()).sum();
         let scale = qsum * k.eval(SIDE) * SIDE / SIDE; // kernel at one box side
@@ -428,6 +615,7 @@ mod tests {
 
     #[test]
     fn merge_and_shift_is_exact_algebra() {
+        let mut ws = BatchWorkspace::default();
         // Shifting a child's outgoing expansion to the parent center and
         // translating from there must equal translating directly.
         let k = Laplace;
@@ -438,7 +626,7 @@ mod tests {
         let tc = cc + Point3::new(0.0, SIDE, 3.0 * SIDE);
         let (src, q) = cloud(cc, SIDE, 20, 9);
         let mut m = vec![0.0; t.expansion_len()];
-        s2m(&k, &t, cc, &src, &q, &mut m);
+        s2m(&k, &t, cc, &src, &q, &mut ws, &mut m);
         let mut w = vec![0.0; t.planewave_len()];
         m2i(&t, d, &m, &mut w);
 
@@ -458,12 +646,13 @@ mod tests {
 
     #[test]
     fn all_six_directions_reproduce_the_kernel() {
+        let mut ws = BatchWorkspace::default();
         let k = Laplace;
         let t = tb(&k, true);
         let sc = Point3::ZERO;
         let (src, q) = cloud(sc, SIDE, 15, 10);
         let mut m = vec![0.0; t.expansion_len()];
-        s2m(&k, &t, sc, &src, &q, &mut m);
+        s2m(&k, &t, sc, &src, &q, &mut ws, &mut m);
         let qsum: f64 = q.iter().map(|x| x.abs()).sum();
         for d in Direction::ALL {
             // Target center 2 boxes along the direction axis.
@@ -478,7 +667,7 @@ mod tests {
             i2l(&t, d, &w_in, &mut l);
             let tp = tc + Point3::new(0.1 * SIDE, -0.15 * SIDE, 0.05 * SIDE);
             let mut out = [0.0];
-            l2t(&k, &t, tc, &l, &[tp], &mut out);
+            l2t(&k, &t, tc, &l, &[tp], &mut ws, &mut out);
             let want = direct(&k, &src, &q, &tp);
             check_err(out[0], want, qsum / SIDE, 3e-3, &format!("direction {d:?}"));
         }
@@ -486,6 +675,7 @@ mod tests {
 
     #[test]
     fn s2l_matches_direct() {
+        let mut ws = BatchWorkspace::default();
         let k = Yukawa::new(0.8);
         let t = tb(&k, false);
         let tc = Point3::new(-0.1, 0.05, 0.2);
@@ -493,10 +683,10 @@ mod tests {
         let far = Point3::new(tc.x + 2.4 * SIDE, tc.y - 1.8 * SIDE, tc.z);
         let (src, q) = cloud(far, SIDE, 25, 11);
         let mut l = vec![0.0; t.expansion_len()];
-        s2l(&k, &t, tc, &src, &q, &mut l);
+        s2l(&k, &t, tc, &src, &q, &mut ws, &mut l);
         let (tgt, _) = cloud(tc, SIDE * 0.9, 6, 12);
         let mut out = vec![0.0; tgt.len()];
-        l2t(&k, &t, tc, &l, &tgt, &mut out);
+        l2t(&k, &t, tc, &l, &tgt, &mut ws, &mut out);
         let qsum: f64 = q.iter().map(|x| x.abs()).sum();
         for (i, tp) in tgt.iter().enumerate() {
             let want = direct(&k, &src, &q, tp);
@@ -512,11 +702,12 @@ mod tests {
 
     #[test]
     fn p2p_is_exact() {
+        let mut ws = BatchWorkspace::default();
         let k = Laplace;
         let (src, q) = cloud(Point3::ZERO, 1.0, 20, 13);
         let (tgt, _) = cloud(Point3::new(0.2, 0.0, 0.1), 1.0, 7, 14);
         let mut out = vec![0.0; tgt.len()];
-        p2p(&k, &src, &q, &tgt, &mut out);
+        p2p(&k, &src, &q, &tgt, &mut ws, &mut out);
         for (i, tp) in tgt.iter().enumerate() {
             let want = direct(&k, &src, &q, tp);
             assert!((out[i] - want).abs() < 1e-12 * (1.0 + want.abs()));
@@ -525,18 +716,19 @@ mod tests {
 
     #[test]
     fn gradient_ops_match_finite_differences() {
+        let mut ws = BatchWorkspace::default();
         let k = Laplace;
         let t = tb(&k, false);
         let sc = Point3::ZERO;
         let (src, q) = cloud(sc, SIDE, 25, 15);
         let mut m = vec![0.0; t.expansion_len()];
-        s2m(&k, &t, sc, &src, &q, &mut m);
+        s2m(&k, &t, sc, &src, &q, &mut ws, &mut m);
         let tp = Point3::new(2.2 * SIDE, 0.4 * SIDE, -1.9 * SIDE);
         // m2t_grad potential must agree with m2t, gradient with central FD.
         let mut g = vec![0.0; 4];
-        m2t_grad(&k, &t, sc, &m, &[tp], &mut g);
+        m2t_grad(&k, &t, sc, &m, &[tp], &mut ws, &mut g);
         let mut p = [0.0];
-        m2t(&k, &t, sc, &m, &[tp], &mut p);
+        m2t(&k, &t, sc, &m, &[tp], &mut ws, &mut p);
         assert!((g[0] - p[0]).abs() < 1e-12);
         let h = 1e-5;
         for axis in 0..3 {
@@ -547,8 +739,8 @@ mod tests {
                 _ => dp.z = h,
             }
             let (mut a, mut b) = ([0.0], [0.0]);
-            m2t(&k, &t, sc, &m, &[tp + dp], &mut a);
-            m2t(&k, &t, sc, &m, &[tp + dp * -1.0], &mut b);
+            m2t(&k, &t, sc, &m, &[tp + dp], &mut ws, &mut a);
+            m2t(&k, &t, sc, &m, &[tp + dp * -1.0], &mut ws, &mut b);
             let fd = (a[0] - b[0]) / (2.0 * h);
             assert!(
                 (g[1 + axis] - fd).abs() < 1e-5 * (1.0 + fd.abs()),
@@ -560,12 +752,13 @@ mod tests {
 
     #[test]
     fn p2p_grad_matches_analytic_two_body() {
+        let mut ws = BatchWorkspace::default();
         let k = Laplace;
         let src = vec![Point3::ZERO];
         let q = vec![2.0];
         let tp = Point3::new(2.0, 0.0, 0.0);
         let mut out = vec![0.0; 4];
-        p2p_grad(&k, &src, &q, &[tp], &mut out);
+        p2p_grad(&k, &src, &q, &[tp], &mut ws, &mut out);
         assert!((out[0] - 1.0).abs() < 1e-14); // 2/2
         assert!((out[1] + 0.5).abs() < 1e-14); // d(2/r)/dx = -2/r² = -0.5
         assert!(out[2].abs() < 1e-14 && out[3].abs() < 1e-14);

@@ -5,7 +5,10 @@
 //! scale-variant **Yukawa** kernel `e^{-λr}/r` (screened Coulomb).  This
 //! crate provides:
 //!
-//! * the [`Kernel`] trait with [`Laplace`] and [`Yukawa`] implementations,
+//! * the [`Kernel`] trait with [`Laplace`], [`Yukawa`] and [`Gauss`]
+//!   implementations — including batched `eval_into`/`deriv_into` slice
+//!   APIs over squared separations with runtime-detected AVX2+FMA
+//!   vectorizations ([`simd`]) and portable scalar fallbacks,
 //! * a parallel **direct summation** oracle ([`direct::direct_sum`]) used to
 //!   validate every multipole method against the exact O(N²) answer,
 //! * [`gauss::gauss_legendre`] nodes/weights,
@@ -17,9 +20,11 @@
 pub mod direct;
 pub mod gauss;
 pub mod kernel;
+pub mod simd;
 pub mod sommerfeld;
 
 pub use direct::{direct_sum, direct_sum_at};
 pub use gauss::gauss_legendre;
-pub use kernel::{Kernel, KernelKind, Laplace, Yukawa};
+pub use kernel::{Gauss, Kernel, KernelKind, Laplace, Yukawa};
+pub use simd::simd_kernels_active;
 pub use sommerfeld::{PlaneWaveQuad, QuadSpec};

@@ -1,0 +1,138 @@
+//! Property tests: the batched `eval_into`/`deriv_into` kernel APIs match
+//! the scalar `eval`/`deriv` path to ≤ 1e-14 relative error for every
+//! built-in kernel, across random squared separations **including** the
+//! `r = 0` self-interaction exclusion, denormal-range inputs, and values
+//! far outside the f32 range the AVX2 rsqrt estimate can represent.
+//!
+//! On machines without AVX2+FMA the batch APIs fall back to the scalar
+//! loop and these tests degenerate to exact identities — they are kept
+//! unconditional so the contract is pinned on every platform.
+
+use dashmm_kernels::{Gauss, Kernel, Laplace, Yukawa};
+use proptest::prelude::*;
+
+/// Scalar reference for `eval_into`: `K(√r2)`.
+fn scalar_eval<K: Kernel>(k: &K, r2: f64) -> f64 {
+    k.eval(r2.sqrt())
+}
+
+/// Scalar reference for `deriv_into`: `K'(r)/r` (0 at r = 0).
+fn scalar_deriv_over_r<K: Kernel>(k: &K, r2: f64) -> f64 {
+    let r = r2.sqrt();
+    if r > 0.0 {
+        k.deriv(r) / r
+    } else {
+        0.0
+    }
+}
+
+/// Relative agreement that tolerates exactly equal extremes (0, ±inf,
+/// subnormal flushes handled by the scalar fix-up path).
+fn assert_close(got: f64, want: f64, what: &str, r2: f64) {
+    if got.to_bits() == want.to_bits() {
+        return;
+    }
+    let scale = want.abs().max(f64::MIN_POSITIVE);
+    let err = (got - want).abs() / scale;
+    assert!(
+        err <= 1e-14,
+        "{what} at r2={r2:e}: got {got:e}, want {want:e}, rel err {err:e}"
+    );
+}
+
+/// A batch of squared separations: random log-uniform magnitudes salted
+/// with the adversarial cases — zeros, denormals, f32-underflow-range and
+/// f32-overflow-range values — at positions that exercise both full SIMD
+/// blocks and scalar tails.
+fn r2_batch() -> impl Strategy<Value = Vec<f64>> {
+    (1usize..80, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut v: Vec<f64> = (0..n).map(|_| 10f64.powf(-8.0 + 12.0 * next())).collect();
+        let extremes = [
+            0.0, 5e-324, // smallest subnormal f64
+            1e-320, 1e-300, 1e-45, // subnormal as f32
+            1.1e-38, 1.3e-38, // straddling the normal-f32 floor
+            3.3e38,  // above f32::MAX
+            1e300,
+        ];
+        for (i, &e) in extremes.iter().enumerate() {
+            let pos = (seed as usize).wrapping_mul(31).wrapping_add(i * 7) % (v.len() + 1);
+            v.insert(pos.min(v.len()), e);
+        }
+        v
+    })
+}
+
+fn check_kernel<K: Kernel>(k: &K, r2: &[f64]) {
+    let mut out = vec![f64::NAN; r2.len()];
+    k.eval_into(r2, &mut out);
+    for (i, &d2) in r2.iter().enumerate() {
+        assert_close(
+            out[i],
+            scalar_eval(k, d2),
+            &format!("{} eval", k.name()),
+            d2,
+        );
+    }
+    let mut out = vec![f64::NAN; r2.len()];
+    k.deriv_into(r2, &mut out);
+    for (i, &d2) in r2.iter().enumerate() {
+        assert_close(
+            out[i],
+            scalar_deriv_over_r(k, d2),
+            &format!("{} deriv", k.name()),
+            d2,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn laplace_batch_matches_scalar(r2 in r2_batch()) {
+        check_kernel(&Laplace, &r2);
+    }
+
+    #[test]
+    fn yukawa_batch_matches_scalar(r2 in r2_batch(), lambda in 0.2f64..4.0) {
+        check_kernel(&Yukawa::new(lambda), &r2);
+    }
+
+    #[test]
+    fn gauss_batch_matches_scalar(r2 in r2_batch(), sigma in 0.3f64..3.0) {
+        check_kernel(&Gauss::new(sigma), &r2);
+    }
+}
+
+#[test]
+fn zero_separation_is_excluded_in_batches() {
+    let r2 = vec![0.0; 9];
+    let mut out = vec![f64::NAN; 9];
+    Laplace.eval_into(&r2, &mut out);
+    assert!(out.iter().all(|&x| x == 0.0));
+    Yukawa::new(1.0).deriv_into(&r2, &mut out);
+    assert!(out.iter().all(|&x| x == 0.0));
+    Gauss::new(1.0).eval_into(&r2, &mut out);
+    assert!(out.iter().all(|&x| x == 0.0));
+}
+
+#[test]
+fn batch_length_tails_are_covered() {
+    // 1..=9 elements: exercises the pure-tail, one-block, and
+    // block-plus-tail shapes of the vector drivers.
+    for n in 1..=9usize {
+        let r2: Vec<f64> = (0..n).map(|i| 0.25 + i as f64).collect();
+        let mut out = vec![f64::NAN; n];
+        Laplace.eval_into(&r2, &mut out);
+        for (i, &d2) in r2.iter().enumerate() {
+            assert_close(out[i], scalar_eval(&Laplace, d2), "tail eval", d2);
+        }
+    }
+}

@@ -59,6 +59,23 @@ impl CostModel {
         m
     }
 
+    /// This model with the particle-class rows replaced by refreshed
+    /// measurements.  The vectorized SoA near-field engine changes
+    /// exactly these entries, so simulator tables built from the paper
+    /// baseline can splice in current-hardware particle costs without
+    /// touching the expansion-operator rows.  `S→L` shares `S→M`'s cost
+    /// (the same check-surface projection) and `M→T` shares `L→T`'s (the
+    /// same equivalent-surface evaluation at targets), matching how the
+    /// paper's Table II treats the adaptive-list operators.
+    pub fn with_particle_us(mut self, s2t: f64, s2m: f64, l2t: f64) -> Self {
+        self.op_us[EdgeOp::S2T.index()] = s2t;
+        self.op_us[EdgeOp::S2M.index()] = s2m;
+        self.op_us[EdgeOp::S2L.index()] = s2m;
+        self.op_us[EdgeOp::L2T.index()] = l2t;
+        self.op_us[EdgeOp::M2T.index()] = l2t;
+        self
+    }
+
     /// Cost of one edge.
     #[inline]
     pub fn edge_us(&self, op: EdgeOp) -> f64 {
@@ -152,6 +169,20 @@ mod tests {
         assert_eq!(m.edge_us(EdgeOp::I2L), 38.4);
         assert_eq!(m.edge_us(EdgeOp::S2T), 1.89);
         assert_eq!(m.edge_us(EdgeOp::I2I), 1.75);
+    }
+
+    #[test]
+    fn particle_refresh_touches_only_particle_rows() {
+        let m = CostModel::paper_table2().with_particle_us(0.9, 5.0, 6.5);
+        assert_eq!(m.edge_us(EdgeOp::S2T), 0.9);
+        assert_eq!(m.edge_us(EdgeOp::S2M), 5.0);
+        assert_eq!(m.edge_us(EdgeOp::S2L), 5.0);
+        assert_eq!(m.edge_us(EdgeOp::L2T), 6.5);
+        assert_eq!(m.edge_us(EdgeOp::M2T), 6.5);
+        // Expansion rows untouched.
+        assert_eq!(m.edge_us(EdgeOp::M2L), 9.5);
+        assert_eq!(m.edge_us(EdgeOp::M2I), 29.6);
+        assert_eq!(m.edge_us(EdgeOp::I2L), 38.4);
     }
 
     #[test]
