@@ -1,0 +1,429 @@
+//! `load_test` — hammer the resident evaluation server and gate on
+//! latency, correctness and shed counts → `BENCH_service.json`.
+//!
+//! Spawns a `serve` child (or targets `--addr`), then drives it with
+//! `--clients` concurrent connections issuing `--requests` total
+//! evaluation requests of `--batch` targets each.  Every `Ok` response is
+//! verified element-wise against a locally built reference engine (bit-
+//! identical workload, see `dashmm_bench::service`), so the server's
+//! request aggregation across clients must reproduce single-shot results.
+//!
+//! Gates (each exits non-zero):
+//! - any response failing the `--rel-err` bound (default 1e-12),
+//! - any shed or errored request (unless `--allow-shed`),
+//! - `--p99-gate-us X`: client-observed p99 latency must stay under `X`,
+//! - `--budget-s S`: a watchdog aborts a hung run after `S` seconds.
+//!
+//! ```text
+//! load_test [--clients N] [--requests M] [--batch B] [--tenants T]
+//!           [--addr HOST:PORT | --points N --seed S --theta X ...]
+//!           [--tile N] [--workers W] [--budget-s S] [--p99-gate-us X]
+//!           [--rel-err E] [--allow-shed] [--no-verify] [--out PATH]
+//! ```
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dashmm_bench::service::{parse_ready_line, ServiceWorkload};
+use dashmm_core::ResidentFmm;
+use dashmm_kernels::Laplace;
+use dashmm_net::service::{EvalClient, RespStatus};
+use dashmm_obs::json::{obj, Value};
+use dashmm_obs::summary::write_summary;
+use dashmm_obs::LatencySummary;
+
+struct Args {
+    workload: ServiceWorkload,
+    clients: u32,
+    requests: u32,
+    batch: usize,
+    tenants: u32,
+    addr: Option<String>,
+    tile: usize,
+    workers: usize,
+    budget_s: u64,
+    p99_gate_us: Option<f64>,
+    rel_err: f64,
+    allow_shed: bool,
+    verify: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        workload: ServiceWorkload::default(),
+        clients: 64,
+        requests: 2000,
+        batch: 16,
+        tenants: 8,
+        addr: None,
+        tile: 1024,
+        workers: 2,
+        budget_s: 60,
+        p99_gate_us: None,
+        rel_err: 1e-12,
+        allow_shed: false,
+        verify: true,
+        out: PathBuf::from("BENCH_service.json"),
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let usage = |msg: &str| -> ! {
+        eprintln!("error: {msg}");
+        eprintln!(
+            "usage: {} [--clients N] [--requests M] [--batch B] [--tenants T] \
+             [--addr HOST:PORT] [--points N] [--seed S] [--theta X] [--threshold T] \
+             [--tile N] [--workers W] [--budget-s S] [--p99-gate-us X] \
+             [--rel-err E] [--allow-shed] [--no-verify] [--out PATH]",
+            argv.first().map(String::as_str).unwrap_or("load_test")
+        );
+        std::process::exit(2);
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        let value = |flag: &str| -> &str {
+            match argv.get(i + 1) {
+                Some(v) => v,
+                None => usage(&format!("{flag} expects a value")),
+            }
+        };
+        macro_rules! num {
+            ($flag:expr) => {
+                value($flag)
+                    .parse()
+                    .unwrap_or_else(|_| usage(concat!($flag, " expects a number")))
+            };
+        }
+        match argv[i].as_str() {
+            "--clients" => a.clients = num!("--clients"),
+            "--requests" => a.requests = num!("--requests"),
+            "--batch" => a.batch = num!("--batch"),
+            "--tenants" => a.tenants = num!("--tenants"),
+            "--addr" => a.addr = Some(value("--addr").to_string()),
+            "--points" => a.workload.points = num!("--points"),
+            "--seed" => a.workload.seed = num!("--seed"),
+            "--theta" => a.workload.theta = num!("--theta"),
+            "--threshold" => a.workload.threshold = num!("--threshold"),
+            "--tile" => a.tile = num!("--tile"),
+            "--workers" => a.workers = num!("--workers"),
+            "--budget-s" => a.budget_s = num!("--budget-s"),
+            "--p99-gate-us" => a.p99_gate_us = Some(num!("--p99-gate-us")),
+            "--rel-err" => a.rel_err = num!("--rel-err"),
+            "--out" => a.out = PathBuf::from(value("--out")),
+            "--allow-shed" => {
+                a.allow_shed = true;
+                i += 1;
+                continue;
+            }
+            "--no-verify" => {
+                a.verify = false;
+                i += 1;
+                continue;
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    if a.clients == 0 || a.tenants == 0 || a.batch == 0 {
+        usage("--clients, --tenants and --batch must be positive");
+    }
+    a
+}
+
+/// Start the sibling `serve` binary and parse its ready line.
+fn spawn_server(args: &Args) -> (Child, String) {
+    let serve = std::env::current_exe()
+        .expect("own path")
+        .with_file_name("serve");
+    let mut child = Command::new(&serve)
+        .args([
+            "--points",
+            &args.workload.points.to_string(),
+            "--seed",
+            &args.workload.seed.to_string(),
+            "--theta",
+            &args.workload.theta.to_string(),
+            "--threshold",
+            &args.workload.threshold.to_string(),
+            "--tile",
+            &args.tile.to_string(),
+            "--workers",
+            &args.workers.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("load_test: failed to spawn {}: {e}", serve.display());
+            std::process::exit(1);
+        });
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    for line in &mut lines {
+        let line = line.unwrap_or_default();
+        if let Some(port) = parse_ready_line(&line) {
+            // Drain any further child stdout in the background so the
+            // pipe never fills.
+            std::thread::spawn(move || for _ in lines {});
+            return (child, format!("127.0.0.1:{port}"));
+        }
+    }
+    let _ = child.kill();
+    eprintln!("load_test: server exited before its ready line");
+    std::process::exit(1);
+}
+
+#[derive(Default)]
+struct ClientOutcome {
+    latencies_us: Vec<f64>,
+    completed: u64,
+    shed: u64,
+    errors: u64,
+    max_rel_err: f64,
+    worst: Option<String>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    id: u32,
+    n_requests: u32,
+    addr: &str,
+    args: &Args,
+    reference: Option<&ResidentFmm<Laplace>>,
+) -> ClientOutcome {
+    let mut out = ClientOutcome::default();
+    let mut client = match EvalClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            out.errors = u64::from(n_requests);
+            out.worst = Some(format!("client {id}: connect failed: {e}"));
+            return out;
+        }
+    };
+    let tenant = id % args.tenants;
+    let mut expect = vec![0.0f64; args.batch];
+    for req in 0..n_requests {
+        let targets = args.workload.request_targets(id, req, args.batch);
+        let t0 = Instant::now();
+        let resp = match client.eval(tenant, &targets) {
+            Ok(r) => r,
+            Err(e) => {
+                out.errors += 1;
+                out.worst
+                    .get_or_insert_with(|| format!("client {id} req {req}: io error: {e}"));
+                return out;
+            }
+        };
+        out.latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        match resp.status {
+            RespStatus::Ok => {
+                out.completed += 1;
+                if let Some(fmm) = reference {
+                    fmm.evaluate(&targets, &mut expect);
+                    for (k, (&got, &want)) in resp.potentials.iter().zip(&expect).enumerate() {
+                        let err = (got - want).abs() / want.abs().max(1.0);
+                        if err > out.max_rel_err {
+                            out.max_rel_err = err;
+                            if err > args.rel_err {
+                                out.worst = Some(format!(
+                                    "client {id} req {req} target {k}: got {got}, want {want} (rel err {err:.3e})"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            RespStatus::Shed => out.shed += 1,
+            status => {
+                out.errors += 1;
+                out.worst
+                    .get_or_insert_with(|| format!("client {id} req {req}: {status:?}"));
+            }
+        }
+    }
+    let _ = client.close();
+    out
+}
+
+fn main() {
+    let args = Arc::new(parse_args());
+
+    // Watchdog: a hung server must not hang CI.
+    let budget = args.budget_s;
+    std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_secs(budget));
+        eprintln!("load_test: exceeded --budget-s {budget}, aborting");
+        std::process::exit(3);
+    });
+
+    let reference = if args.verify {
+        eprintln!(
+            "load_test: building reference engine ({} points)",
+            args.workload.points
+        );
+        Some(Arc::new(args.workload.build_engine()))
+    } else {
+        None
+    };
+
+    let (mut child, addr) = match &args.addr {
+        Some(addr) => {
+            eprintln!("load_test: targeting external server at {addr}");
+            (None, addr.clone())
+        }
+        None => {
+            let (child, addr) = spawn_server(&args);
+            (Some(child), addr)
+        }
+    };
+
+    eprintln!(
+        "load_test: {} clients x {} requests ({} targets each) against {addr}",
+        args.clients, args.requests, args.batch
+    );
+    let wall0 = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|id| {
+                let per =
+                    args.requests / args.clients + u32::from(id < args.requests % args.clients);
+                let args = Arc::clone(&args);
+                let reference = reference.clone();
+                let addr = addr.clone();
+                scope.spawn(move || run_client(id, per, &addr, &args, reference.as_deref()))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_s = wall0.elapsed().as_secs_f64();
+
+    // Ask the server to drain and exit, then reap the child.
+    if let Ok(mut admin) = EvalClient::connect(&addr) {
+        let _ = admin.send_shutdown();
+        let _ = admin.close();
+    }
+    let mut server_clean = true;
+    if let Some(child) = child.as_mut() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("load_test: server exited with {status}");
+                server_clean = false;
+            }
+            Err(e) => {
+                eprintln!("load_test: failed to reap server: {e}");
+                server_clean = false;
+            }
+        }
+    }
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let (mut completed, mut shed, mut errors) = (0u64, 0u64, 0u64);
+    let mut max_rel_err = 0.0f64;
+    let mut worst: Option<&str> = None;
+    for o in &outcomes {
+        latencies.extend_from_slice(&o.latencies_us);
+        completed += o.completed;
+        shed += o.shed;
+        errors += o.errors;
+        if o.max_rel_err > max_rel_err {
+            max_rel_err = o.max_rel_err;
+        }
+        if worst.is_none() {
+            worst = o.worst.as_deref();
+        }
+    }
+    let latency = LatencySummary::from_samples(&mut latencies);
+    let throughput = completed as f64 / wall_s;
+
+    println!("== service load test ==");
+    println!(
+        "requests: {completed} ok, {shed} shed, {errors} errors ({} asked)",
+        args.requests
+    );
+    println!(
+        "latency us: p50 {:.0}  p95 {:.0}  p99 {:.0}  max {:.0}  mean {:.0}",
+        latency.p50_us, latency.p95_us, latency.p99_us, latency.max_us, latency.mean_us
+    );
+    println!("throughput: {throughput:.0} req/s over {wall_s:.2}s");
+    if args.verify {
+        println!("max rel err vs reference: {max_rel_err:.3e}");
+    }
+    if let Some(w) = worst {
+        eprintln!("load_test: first failure: {w}");
+    }
+
+    let summary = obj(vec![
+        (
+            "params",
+            obj(vec![
+                ("clients", Value::from(u64::from(args.clients))),
+                ("requests", Value::from(u64::from(args.requests))),
+                ("batch", Value::from(args.batch)),
+                ("tenants", Value::from(u64::from(args.tenants))),
+                ("points", Value::from(args.workload.points)),
+                ("seed", Value::from(args.workload.seed)),
+                ("theta", Value::from(args.workload.theta)),
+                ("tile", Value::from(args.tile)),
+                ("workers", Value::from(args.workers)),
+            ]),
+        ),
+        ("completed", Value::from(completed)),
+        ("shed", Value::from(shed)),
+        ("errors", Value::from(errors)),
+        ("verified", Value::from(args.verify)),
+        ("max_rel_err", Value::from(max_rel_err)),
+        ("latency", latency.to_json()),
+        ("throughput_rps", Value::from(throughput)),
+        ("wall_s", Value::from(wall_s)),
+    ]);
+    if let Err(e) = write_summary(&args.out, &summary) {
+        eprintln!("load_test: failed to write {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    eprintln!("load_test: wrote {}", args.out.display());
+
+    let mut failed = false;
+    if errors > 0 {
+        eprintln!("FAIL: {errors} requests errored");
+        failed = true;
+    }
+    if completed + shed + errors < u64::from(args.requests) {
+        eprintln!(
+            "FAIL: only {completed} of {} requests answered",
+            args.requests
+        );
+        failed = true;
+    }
+    if shed > 0 && !args.allow_shed {
+        eprintln!("FAIL: {shed} requests shed (pass --allow-shed to tolerate)");
+        failed = true;
+    }
+    if args.verify && max_rel_err > args.rel_err {
+        eprintln!(
+            "FAIL: max rel err {max_rel_err:.3e} over the {:.1e} bound",
+            args.rel_err
+        );
+        failed = true;
+    }
+    if let Some(gate) = args.p99_gate_us {
+        if latency.p99_us > gate {
+            eprintln!(
+                "FAIL: p99 {:.0}us over the {gate:.0}us gate",
+                latency.p99_us
+            );
+            failed = true;
+        }
+    }
+    if !server_clean {
+        eprintln!("FAIL: server did not exit cleanly");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

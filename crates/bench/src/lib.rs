@@ -8,6 +8,7 @@
 pub mod obsout;
 pub mod opbench;
 pub mod report;
+pub mod service;
 pub mod socket;
 
 use std::sync::Arc;

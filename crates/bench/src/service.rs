@@ -1,0 +1,114 @@
+//! Shared state for the `serve` / `load_test` binary pair.
+//!
+//! The load tester verifies every server response against a locally built
+//! reference engine, so both processes must construct **bit-identical**
+//! resident state and both sides of a request must agree on its target
+//! batch.  This module is that common ground: one deterministic workload
+//! description (`--points/--seed/--theta/--threshold`), one engine
+//! constructor, and one per-request target generator keyed by
+//! `(seed, client, request)`.
+
+use dashmm_core::{ResidentConfig, ResidentFmm};
+use dashmm_kernels::Laplace;
+use dashmm_tree::{uniform_cube, BuildParams};
+
+/// The deterministic service workload both binaries rebuild.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceWorkload {
+    /// Source count.
+    pub points: usize,
+    /// Seed for sources, charges and query batches.
+    pub seed: u64,
+    /// Barnes–Hut acceptance parameter.
+    pub theta: f64,
+    /// Octree refinement threshold.
+    pub threshold: usize,
+}
+
+impl Default for ServiceWorkload {
+    fn default() -> Self {
+        ServiceWorkload {
+            points: 20_000,
+            seed: 42,
+            theta: 0.5,
+            threshold: 60,
+        }
+    }
+}
+
+impl ServiceWorkload {
+    /// Alternating unit charges (same convention as the accuracy tests).
+    pub fn charges(&self) -> Vec<f64> {
+        (0..self.points)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect()
+    }
+
+    /// Build the resident engine this workload describes.  Called by the
+    /// server once at startup and by the load tester for its reference.
+    pub fn build_engine(&self) -> ResidentFmm<Laplace> {
+        let sources = uniform_cube(self.points, self.seed);
+        let charges = self.charges();
+        let cfg = ResidentConfig {
+            theta: self.theta,
+            build: BuildParams {
+                threshold: self.threshold,
+                ..BuildParams::default()
+            },
+            ..ResidentConfig::default()
+        };
+        ResidentFmm::build(Laplace, &sources, &charges, cfg)
+    }
+
+    /// The target batch of request `req` from client `client`: both sides
+    /// derive it from the workload seed, so the load tester never ships
+    /// its reference targets over the wire.
+    pub fn request_targets(&self, client: u32, req: u32, batch: usize) -> Vec<[f64; 3]> {
+        use rand::distributions::{Distribution, Uniform};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // splitmix-style mix of (seed, client, req) into one stream seed.
+        let mix = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((u64::from(client) << 32) | u64::from(req));
+        let mut rng = StdRng::seed_from_u64(mix);
+        let u = Uniform::new_inclusive(-1.0, 1.0);
+        (0..batch)
+            .map(|_| [u.sample(&mut rng), u.sample(&mut rng), u.sample(&mut rng)])
+            .collect()
+    }
+}
+
+/// The ready line `serve` prints once it is listening; `load_test` parses
+/// the port out of it.
+pub const READY_PREFIX: &str = "SERVE ready port=";
+
+/// Parse the port from a [`READY_PREFIX`] line.
+pub fn parse_ready_line(line: &str) -> Option<u16> {
+    let rest = line.strip_prefix(READY_PREFIX)?;
+    rest.split_whitespace().next()?.parse().ok()
+}
+
+#[cfg(test)]
+mod service_tests {
+    use super::*;
+
+    #[test]
+    fn request_targets_are_deterministic_and_distinct() {
+        let w = ServiceWorkload::default();
+        let a = w.request_targets(3, 7, 16);
+        let b = w.request_targets(3, 7, 16);
+        let c = w.request_targets(3, 8, 16);
+        assert_eq!(a, b, "same (client, req) must reproduce");
+        assert_ne!(a, c, "different requests must differ");
+        assert!(a.iter().flatten().all(|x| x.abs() <= 1.0));
+    }
+
+    #[test]
+    fn ready_line_roundtrip() {
+        let line = format!("{}{} points=100 depth=3", READY_PREFIX, 54321);
+        assert_eq!(parse_ready_line(&line), Some(54321));
+        assert_eq!(parse_ready_line("garbage"), None);
+    }
+}

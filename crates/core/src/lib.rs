@@ -41,10 +41,12 @@ pub mod assemble;
 pub mod exec;
 pub mod measure;
 pub mod problem;
+pub mod resident;
 pub mod verify;
 
 pub use api::{DashmmBuilder, EvalOutput, Evaluation, Policy};
 pub use assemble::{assemble, Assembly};
 pub use measure::per_op_avg_us;
 pub use problem::{block_owner, Method, Problem};
+pub use resident::{ResidentConfig, ResidentFmm};
 pub use verify::{check_accuracy, AccuracyReport};

@@ -1,0 +1,419 @@
+//! Resident FMM state: build the source tree and its upward-pass
+//! expansions **once**, then answer arbitrary target-batch queries against
+//! the cached multipoles.
+//!
+//! The one-shot pipeline ([`crate::DashmmBuilder`]) couples sources and
+//! targets: the DAG it assembles bakes the target leaves in, so a new
+//! target set means a full re-assembly.  A long-lived evaluation service
+//! has the opposite shape — one source ensemble, an open-ended stream of
+//! small target batches — so [`ResidentFmm`] splits the work:
+//!
+//! 1. **Build** (once): octree over the sources, charges permuted to tree
+//!    order, `S→M` at every leaf, `M→M` up to the root.  The flat
+//!    multipole arena (`num_nodes × expansion_len`) is the cached state.
+//! 2. **Query** (per batch): a treecode descent from the root under the
+//!    same `θ` acceptance criterion the one-shot Barnes–Hut assembly uses,
+//!    batching accepted boxes through `M→T` and leaf neighbours through
+//!    `S→T` with the vectorized particle operators.
+//!
+//! **Batch-composition invariance** is the load-bearing property: each
+//! target's (box, operator) interaction set and accumulation order is a
+//! function of that target's position alone — the descent partitions the
+//! active target set per node, it never lets one target's acceptance
+//! decision steer another's path, and the batched operators evaluate
+//! independent per-target rows.  A service may therefore fuse requests
+//! from different clients into one tile and still hand every client
+//! exactly what a single-shot evaluation of its own batch would produce.
+
+use std::cell::RefCell;
+
+use dashmm_expansion::{ops, AccuracyParams, BatchWorkspace, OperatorLibrary};
+use dashmm_kernels::Kernel;
+use dashmm_tree::{BuildParams, Domain, Octree, Point3};
+
+/// Configuration of a resident evaluation engine.
+#[derive(Clone, Copy, Debug)]
+pub struct ResidentConfig {
+    /// Barnes–Hut acceptance parameter (smaller = more accurate).
+    pub theta: f64,
+    /// Expansion accuracy preset.
+    pub accuracy: AccuracyParams,
+    /// Octree refinement parameters.
+    pub build: BuildParams,
+    /// Relative padding of the bounding domain.
+    pub pad: f64,
+}
+
+impl Default for ResidentConfig {
+    fn default() -> Self {
+        ResidentConfig {
+            theta: 0.5,
+            accuracy: AccuracyParams::three_digit(),
+            build: BuildParams::default(),
+            pad: 0.05,
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread gather/result buffers, so concurrent query threads of a
+    /// service share the cached expansions without sharing scratch.
+    static QUERY_WS: RefCell<BatchWorkspace> = RefCell::new(BatchWorkspace::new());
+}
+
+/// The cached source-side state of a resident FMM evaluation service.
+pub struct ResidentFmm<K: Kernel> {
+    tree: Octree,
+    /// Charges in tree (Morton) order.
+    charges: Vec<f64>,
+    lib: OperatorLibrary<K>,
+    theta: f64,
+    /// Flat multipole arena: node `i`'s expansion is
+    /// `multipoles[i*n_exp .. (i+1)*n_exp]` (zeros for empty boxes).
+    multipoles: Vec<f64>,
+    n_exp: usize,
+}
+
+impl<K: Kernel> ResidentFmm<K> {
+    /// Build the tree and run the upward pass; everything a query needs is
+    /// cached on return.
+    pub fn build(kernel: K, sources: &[Point3], charges: &[f64], cfg: ResidentConfig) -> Self {
+        assert_eq!(sources.len(), charges.len(), "one charge per source");
+        assert!(!sources.is_empty(), "at least one source required");
+        assert!(cfg.theta > 0.0, "theta must be positive");
+        let domain = Domain::containing(&[sources], cfg.pad);
+        let tree = Octree::build(domain, sources, cfg.build);
+        let permuted: Vec<f64> = tree
+            .permutation()
+            .iter()
+            .map(|&i| charges[i as usize])
+            .collect();
+        let lib = OperatorLibrary::new(kernel, cfg.accuracy, domain.side(), false);
+        let n_exp = cfg.accuracy.surface_points();
+        let mut multipoles = vec![0.0f64; tree.num_nodes() * n_exp];
+        let mut ws = BatchWorkspace::new();
+        let mut child_m = vec![0.0f64; n_exp];
+        // Bottom-up by level: leaves project their sources (`S→M`),
+        // interior boxes accumulate their children (`M→M`, parent-level
+        // tables).
+        for level in (0..=tree.depth()).rev() {
+            for &id in tree.level_nodes(level) {
+                let node = tree.node(id);
+                if node.count == 0 {
+                    continue;
+                }
+                if node.is_leaf() {
+                    let t = lib.tables(level);
+                    let out = &mut multipoles[id as usize * n_exp..(id as usize + 1) * n_exp];
+                    ops::s2m(
+                        lib.kernel(),
+                        &t,
+                        tree.center_of(id),
+                        tree.points_of(id),
+                        &permuted[node.first..node.first + node.count],
+                        &mut ws,
+                        out,
+                    );
+                } else {
+                    let t = lib.tables(level);
+                    let children: Vec<u32> = node.child_ids().collect();
+                    for c in children {
+                        let cn = tree.node(c);
+                        if cn.count == 0 {
+                            continue;
+                        }
+                        child_m.copy_from_slice(
+                            &multipoles[c as usize * n_exp..(c as usize + 1) * n_exp],
+                        );
+                        let parent =
+                            &mut multipoles[id as usize * n_exp..(id as usize + 1) * n_exp];
+                        ops::m2m(&t, cn.key.octant(), &child_m, parent);
+                    }
+                }
+            }
+        }
+        ResidentFmm {
+            tree,
+            charges: permuted,
+            lib,
+            theta: cfg.theta,
+            multipoles,
+            n_exp,
+        }
+    }
+
+    /// Number of cached sources.
+    pub fn num_sources(&self) -> usize {
+        self.charges.len()
+    }
+
+    /// Depth of the cached tree.
+    pub fn depth(&self) -> u8 {
+        self.tree.depth()
+    }
+
+    /// Boxes in the cached tree.
+    pub fn num_nodes(&self) -> usize {
+        self.tree.num_nodes()
+    }
+
+    /// Length of one cached multipole expansion.
+    pub fn expansion_len(&self) -> usize {
+        self.n_exp
+    }
+
+    /// The acceptance parameter queries run under.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    fn multipole(&self, id: u32) -> &[f64] {
+        &self.multipoles[id as usize * self.n_exp..(id as usize + 1) * self.n_exp]
+    }
+
+    fn charges_of(&self, id: u32) -> &[f64] {
+        let node = self.tree.node(id);
+        &self.charges[node.first..node.first + node.count]
+    }
+
+    /// Evaluate the potential at each target, overwriting `out`
+    /// (`out.len() == targets.len()`), using the caller's workspace.
+    pub fn eval_points(&self, targets: &[Point3], ws: &mut BatchWorkspace, out: &mut [f64]) {
+        assert_eq!(targets.len(), out.len(), "one output per target");
+        out.fill(0.0);
+        if targets.is_empty() {
+            return;
+        }
+        // Treecode descent with per-node partitioning of the active target
+        // set.  Every acceptance decision reads one target's position and
+        // one box, so each target follows the path it would follow alone —
+        // the invariance the module docs promise.
+        let mut stack: Vec<(u32, Vec<u32>)> = vec![(0, (0..targets.len() as u32).collect())];
+        let mut far: Vec<u32> = Vec::new();
+        let mut near: Vec<u32> = Vec::new();
+        let mut batch_pts: Vec<Point3> = Vec::new();
+        let mut batch_out: Vec<f64> = Vec::new();
+        while let Some((s, active)) = stack.pop() {
+            let node = self.tree.node(s);
+            let sc = self.tree.center_of(s);
+            let sh = self.tree.half_of(s);
+            far.clear();
+            near.clear();
+            for &ti in &active {
+                let delta = sc - targets[ti as usize];
+                // Point targets: the max-norm gap test of the one-shot BH
+                // assembly with a zero target half-width.
+                let gap = delta.x.abs().max(delta.y.abs()).max(delta.z.abs());
+                let dist = delta.norm();
+                if gap >= 2.96 * sh && 2.0 * sh <= self.theta * dist {
+                    far.push(ti);
+                } else {
+                    near.push(ti);
+                }
+            }
+            if !far.is_empty() {
+                // Well-separated: one batched M→T over the accepted
+                // targets against this box's cached multipole.
+                let t = self.lib.tables(node.key.level);
+                batch_pts.clear();
+                batch_pts.extend(far.iter().map(|&i| targets[i as usize]));
+                batch_out.clear();
+                batch_out.resize(far.len(), 0.0);
+                ops::m2t(
+                    self.lib.kernel(),
+                    &t,
+                    sc,
+                    self.multipole(s),
+                    &batch_pts,
+                    ws,
+                    &mut batch_out,
+                );
+                for (k, &ti) in far.iter().enumerate() {
+                    out[ti as usize] += batch_out[k];
+                }
+            }
+            if !near.is_empty() {
+                if node.is_leaf() {
+                    batch_pts.clear();
+                    batch_pts.extend(near.iter().map(|&i| targets[i as usize]));
+                    batch_out.clear();
+                    batch_out.resize(near.len(), 0.0);
+                    ops::p2p(
+                        self.lib.kernel(),
+                        self.tree.points_of(s),
+                        self.charges_of(s),
+                        &batch_pts,
+                        ws,
+                        &mut batch_out,
+                    );
+                    for (k, &ti) in near.iter().enumerate() {
+                        out[ti as usize] += batch_out[k];
+                    }
+                } else {
+                    for c in node.child_ids() {
+                        if self.tree.node(c).count > 0 {
+                            stack.push((c, near.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluate at raw `[x, y, z]` targets (the service wire shape),
+    /// overwriting `out`.  Uses a per-thread workspace, so a server may
+    /// call this from several worker threads concurrently.
+    pub fn evaluate(&self, targets: &[[f64; 3]], out: &mut [f64]) {
+        let pts: Vec<Point3> = targets
+            .iter()
+            .map(|t| Point3::new(t[0], t[1], t[2]))
+            .collect();
+        QUERY_WS.with(|ws| self.eval_points(&pts, &mut ws.borrow_mut(), out));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dashmm_kernels::{direct_sum, Laplace, Yukawa};
+    use dashmm_tree::uniform_cube;
+
+    fn rel_err(approx: &[f64], exact: &[f64]) -> f64 {
+        let num: f64 = approx
+            .iter()
+            .zip(exact)
+            .map(|(a, e)| (a - e) * (a - e))
+            .sum();
+        let den: f64 = exact.iter().map(|e| e * e).sum();
+        (num / den).sqrt()
+    }
+
+    fn charges(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect()
+    }
+
+    fn raw(pts: &[Point3]) -> Vec<[f64; 3]> {
+        pts.iter().map(|p| [p.x, p.y, p.z]).collect()
+    }
+
+    #[test]
+    fn matches_direct_sum_laplace() {
+        let n = 1500;
+        let sources = uniform_cube(n, 11);
+        let q = charges(n);
+        let fmm = ResidentFmm::build(Laplace, &sources, &q, ResidentConfig::default());
+        let targets = uniform_cube(200, 99);
+        let mut ws = BatchWorkspace::new();
+        let mut got = vec![0.0; targets.len()];
+        fmm.eval_points(&targets, &mut ws, &mut got);
+        let want = direct_sum(&Laplace, &raw(&sources), &q, &raw(&targets), 1);
+        assert!(
+            rel_err(&got, &want) < 5e-3,
+            "rel err {} over BH tolerance",
+            rel_err(&got, &want)
+        );
+    }
+
+    #[test]
+    fn matches_direct_sum_yukawa() {
+        let n = 800;
+        let sources = uniform_cube(n, 3);
+        let q = charges(n);
+        let fmm = ResidentFmm::build(Yukawa::new(1.0), &sources, &q, ResidentConfig::default());
+        let targets = uniform_cube(100, 7);
+        let mut ws = BatchWorkspace::new();
+        let mut got = vec![0.0; targets.len()];
+        fmm.eval_points(&targets, &mut ws, &mut got);
+        let want = direct_sum(&Yukawa::new(1.0), &raw(&sources), &q, &raw(&targets), 1);
+        assert!(
+            rel_err(&got, &want) < 5e-3,
+            "rel err {} over BH tolerance",
+            rel_err(&got, &want)
+        );
+    }
+
+    #[test]
+    fn batch_composition_invariant() {
+        let n = 1000;
+        let sources = uniform_cube(n, 5);
+        let q = charges(n);
+        let fmm = ResidentFmm::build(Laplace, &sources, &q, ResidentConfig::default());
+        let targets: Vec<[f64; 3]> = uniform_cube(96, 21)
+            .iter()
+            .map(|p| [p.x, p.y, p.z])
+            .collect();
+
+        // One fused batch.
+        let mut fused = vec![0.0; targets.len()];
+        fmm.evaluate(&targets, &mut fused);
+
+        // The same targets one at a time.
+        let mut single = vec![0.0; targets.len()];
+        for (i, t) in targets.iter().enumerate() {
+            let mut one = [0.0];
+            fmm.evaluate(std::slice::from_ref(t), &mut one);
+            single[i] = one[0];
+        }
+
+        // And in ragged sub-batches.
+        let mut ragged = vec![0.0; targets.len()];
+        let mut off = 0;
+        for chunk in [7usize, 1, 30, 19, 39] {
+            let mut part = vec![0.0; chunk];
+            fmm.evaluate(&targets[off..off + chunk], &mut part);
+            ragged[off..off + chunk].copy_from_slice(&part);
+            off += chunk;
+        }
+        assert_eq!(off, targets.len());
+
+        for i in 0..targets.len() {
+            let scale = fused[i].abs().max(1.0);
+            assert!(
+                (fused[i] - single[i]).abs() / scale <= 1e-12,
+                "target {i}: fused {} vs single {}",
+                fused[i],
+                single[i]
+            );
+            assert!(
+                (fused[i] - ragged[i]).abs() / scale <= 1e-12,
+                "target {i}: fused {} vs ragged {}",
+                fused[i],
+                ragged[i]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let sources = uniform_cube(100, 1);
+        let q = charges(100);
+        let fmm = ResidentFmm::build(Laplace, &sources, &q, ResidentConfig::default());
+        let mut out: [f64; 0] = [];
+        fmm.evaluate(&[], &mut out);
+    }
+
+    #[test]
+    fn single_leaf_tree_uses_pure_s2t() {
+        // A tree that never refines (few points) serves queries straight
+        // from the leaf's sources; targets inside the box must be exact.
+        let sources = vec![
+            Point3::new(0.1, 0.2, 0.3),
+            Point3::new(-0.4, 0.1, -0.2),
+            Point3::new(0.3, -0.3, 0.0),
+        ];
+        let q = [2.0, -1.0, 0.5];
+        let fmm = ResidentFmm::build(Laplace, &sources, &q, ResidentConfig::default());
+        assert_eq!(fmm.depth(), 0, "three points must not refine");
+        let target = [0.05, 0.05, 0.05];
+        let mut out = [0.0];
+        fmm.evaluate(&[target], &mut out);
+        let want = dashmm_kernels::direct_sum_at(&Laplace, &raw(&sources), &q, &target);
+        assert!(
+            (out[0] - want).abs() <= 1e-12 * want.abs().max(1.0),
+            "pure S→T must be exact: got {}, want {want}",
+            out[0]
+        );
+    }
+}

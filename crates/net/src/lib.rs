@@ -16,6 +16,9 @@
 //!   construction.
 //! - [`metrics`] — per-destination parcel/byte/frame counters, the
 //!   coalesced-batch histogram and flush-reason tallies.
+//! - [`service`] — the resident multi-tenant evaluation server: request
+//!   aggregation into fused tiles, per-tenant admission control with
+//!   shed-on-overload, and the framed query protocol.
 //!
 //! A binary becomes multi-process by calling [`bootstrap`] early and
 //! handing the returned transport to
@@ -39,6 +42,7 @@ pub mod coalesce;
 pub mod launcher;
 pub mod metrics;
 pub mod reliable;
+pub mod service;
 pub mod transport;
 pub mod wire;
 
@@ -47,6 +51,11 @@ pub use dashmm_amt::{CoalesceConfig, FaultPlan};
 pub use launcher::{bootstrap, env_rank, net_timeout, LaunchReport, Role};
 pub use metrics::{CommMetrics, DestMetrics, FlushReason};
 pub use reliable::{RetransmitConfig, SeqReceiver, SeqSender};
+pub use service::{
+    decode_request, decode_response, encode_request, encode_response, AdmissionConfig, EvalClient,
+    EvalEngine, EvalRequestMsg, EvalResponseMsg, EvalServer, RespStatus, ServiceConfig,
+    ServiceStats, MAX_REQUEST_TARGETS,
+};
 pub use transport::{
     SocketTransport, KILL_EXIT_CODE, TRACE_CLASS_ACK, TRACE_CLASS_HEARTBEAT,
     TRACE_CLASS_RETRANSMIT, TRACE_CLASS_RX, TRACE_CLASS_TX,

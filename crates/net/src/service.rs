@@ -1,0 +1,1485 @@
+//! FMM-as-a-service: a resident multi-tenant evaluation server.
+//!
+//! Every bench binary used to build a tree, run one evaluation, and exit.
+//! This module keeps the expensive state — the source tree and its
+//! upward-pass expansions — resident behind a TCP endpoint and serves
+//! streams of *query requests* (arbitrary target batches) from many
+//! concurrent clients:
+//!
+//! ```text
+//! client ──EvalRequest──▶ reader ──▶ admission ──▶ aggregator ─┐
+//!                                      (shed)                  │ fused
+//! client ◀─EvalResponse── writer ◀─── segments ◀── engine ◀────┘ tile
+//! ```
+//!
+//! - **Framing** rides the PR-2 wire format: requests and responses are
+//!   CRC-32-checked, versioned [`FrameKind::EvalRequest`] /
+//!   [`FrameKind::EvalResponse`] frames, decoded by the same hostile-input
+//!   hardened [`FrameDecoder`] the transport uses — garbage never panics,
+//!   it kills the one connection that sent it.
+//! - **Aggregation**: small target batches from many clients are coalesced
+//!   into one fused SoA tile (up to [`ServiceConfig::tile_targets`]
+//!   targets) before hitting the particle engine, so the per-call cost of
+//!   the batched kernels is amortised across tenants the way the
+//!   `EdgeBatcher` amortises DAG edges.  Accounting is exact: every
+//!   admitted target is eventually drained, answered, or purged with its
+//!   connection, and the three tallies reconcile
+//!   ([`RequestAggregator::accounting`]).
+//! - **Admission control**: per-tenant and global bounds on queued
+//!   targets.  A request that would overflow its bound is *shed* with an
+//!   immediate [`RespStatus::Shed`] response instead of queueing without
+//!   bound — the same philosophy as the transport's bounded send queues,
+//!   but surfaced to the client as an explicit retry signal.
+//! - **Observability**: per-request spans (queue delay, fused-tile engine
+//!   time, end-to-end latency) land in a bounded
+//!   [`dashmm_obs::RequestTrace`]; per-tenant counters ride the
+//!   [`ServiceStats`] snapshot and its JSON form.
+//!
+//! The numerical engine is abstracted behind [`EvalEngine`], so this
+//! module stays free of kernel/expansion dependencies and unit tests can
+//! drive the full server with a closed-form engine.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use dashmm_obs::json::{obj, Value};
+use dashmm_obs::{LatencySummary, RequestSpan, RequestTrace};
+
+use crate::wire::{encode_frame, Frame, FrameDecoder, FrameKind, WireError};
+
+/// Upper bound on targets in one request; a declared count beyond it is
+/// rejected as hostile before any allocation, mirroring the frame
+/// decoder's body cap.
+pub const MAX_REQUEST_TARGETS: usize = 1 << 16;
+
+/// Fixed bytes of a request body ahead of its packed coordinates.
+pub const REQUEST_HEADER_BYTES: usize = 16;
+
+/// Fixed bytes of a response body ahead of its packed potentials.
+pub const RESPONSE_HEADER_BYTES: usize = 13;
+
+/// Body cap for service connections: the largest legal request frame
+/// (response frames are smaller).
+const SERVICE_MAX_BODY: usize = REQUEST_HEADER_BYTES + 24 * MAX_REQUEST_TARGETS;
+
+// ---------------------------------------------------------------------------
+// Request/response body codec
+// ---------------------------------------------------------------------------
+
+/// One decoded evaluation request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalRequestMsg {
+    /// Client-chosen request id, echoed in the response.
+    pub req_id: u64,
+    /// Tenant the request is accounted against.
+    pub tenant: u32,
+    /// Target positions to evaluate the cached expansions at.
+    pub targets: Vec<[f64; 3]>,
+}
+
+/// Response status byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RespStatus {
+    /// Potentials follow, one per requested target.
+    Ok = 0,
+    /// Admission control shed the request (tenant or global queue bound);
+    /// the client should back off and retry.
+    Shed = 1,
+    /// The request body was malformed.
+    BadRequest = 2,
+    /// The server is draining for shutdown.
+    ShuttingDown = 3,
+}
+
+impl RespStatus {
+    fn from_u8(v: u8) -> Option<RespStatus> {
+        Some(match v {
+            0 => RespStatus::Ok,
+            1 => RespStatus::Shed,
+            2 => RespStatus::BadRequest,
+            3 => RespStatus::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded evaluation response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalResponseMsg {
+    /// Echo of the request id.
+    pub req_id: u64,
+    /// Outcome.
+    pub status: RespStatus,
+    /// Potentials in request target order (empty unless
+    /// [`RespStatus::Ok`]).
+    pub potentials: Vec<f64>,
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().unwrap())
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+/// Encode an [`FrameKind::EvalRequest`] body:
+/// `req_id u64 | tenant u32 | count u32 | (x, y, z) f64 × count`.
+pub fn encode_request(req_id: u64, tenant: u32, targets: &[[f64; 3]]) -> Vec<u8> {
+    assert!(
+        targets.len() <= MAX_REQUEST_TARGETS,
+        "request over the target limit"
+    );
+    let mut body = Vec::with_capacity(REQUEST_HEADER_BYTES + 24 * targets.len());
+    body.extend_from_slice(&req_id.to_le_bytes());
+    body.extend_from_slice(&tenant.to_le_bytes());
+    body.extend_from_slice(&(targets.len() as u32).to_le_bytes());
+    for t in targets {
+        body.extend_from_slice(&t[0].to_le_bytes());
+        body.extend_from_slice(&t[1].to_le_bytes());
+        body.extend_from_slice(&t[2].to_le_bytes());
+    }
+    body
+}
+
+/// Decode an [`FrameKind::EvalRequest`] body.  Never panics: a declared
+/// count over [`MAX_REQUEST_TARGETS`] is [`WireError::Oversize`] *before*
+/// any allocation, and a length that disagrees with the count is
+/// [`WireError::Truncated`] / [`WireError::BadParcel`].
+pub fn decode_request(body: &[u8]) -> Result<EvalRequestMsg, WireError> {
+    if body.len() < REQUEST_HEADER_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let req_id = le_u64(body);
+    let tenant = le_u32(&body[8..]);
+    let count = le_u32(&body[12..]) as usize;
+    if count > MAX_REQUEST_TARGETS {
+        return Err(WireError::Oversize(count));
+    }
+    let want = REQUEST_HEADER_BYTES + 24 * count;
+    if body.len() < want {
+        return Err(WireError::Truncated);
+    }
+    if body.len() > want {
+        return Err(WireError::BadParcel);
+    }
+    let mut targets = Vec::with_capacity(count);
+    for chunk in body[REQUEST_HEADER_BYTES..].chunks_exact(24) {
+        targets.push([
+            f64::from_le_bytes(chunk[..8].try_into().unwrap()),
+            f64::from_le_bytes(chunk[8..16].try_into().unwrap()),
+            f64::from_le_bytes(chunk[16..24].try_into().unwrap()),
+        ]);
+    }
+    Ok(EvalRequestMsg {
+        req_id,
+        tenant,
+        targets,
+    })
+}
+
+/// Encode an [`FrameKind::EvalResponse`] body:
+/// `req_id u64 | status u8 | count u32 | potential f64 × count`.
+pub fn encode_response(req_id: u64, status: RespStatus, potentials: &[f64]) -> Vec<u8> {
+    debug_assert!(status == RespStatus::Ok || potentials.is_empty());
+    let mut body = Vec::with_capacity(RESPONSE_HEADER_BYTES + 8 * potentials.len());
+    body.extend_from_slice(&req_id.to_le_bytes());
+    body.push(status as u8);
+    body.extend_from_slice(&(potentials.len() as u32).to_le_bytes());
+    for p in potentials {
+        body.extend_from_slice(&p.to_le_bytes());
+    }
+    body
+}
+
+/// Decode an [`FrameKind::EvalResponse`] body (same hardening rules as
+/// [`decode_request`]).
+pub fn decode_response(body: &[u8]) -> Result<EvalResponseMsg, WireError> {
+    if body.len() < RESPONSE_HEADER_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let req_id = le_u64(body);
+    let status = RespStatus::from_u8(body[8]).ok_or(WireError::BadParcel)?;
+    let count = le_u32(&body[9..]) as usize;
+    if count > MAX_REQUEST_TARGETS {
+        return Err(WireError::Oversize(count));
+    }
+    let want = RESPONSE_HEADER_BYTES + 8 * count;
+    if body.len() < want {
+        return Err(WireError::Truncated);
+    }
+    if body.len() > want {
+        return Err(WireError::BadParcel);
+    }
+    let potentials = body[RESPONSE_HEADER_BYTES..]
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok(EvalResponseMsg {
+        req_id,
+        status,
+        potentials,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Engine abstraction
+// ---------------------------------------------------------------------------
+
+/// The numerical back end the server fans fused tiles into: evaluate the
+/// cached source expansions at arbitrary target positions.
+///
+/// The contract the aggregator relies on: each output element depends only
+/// on its own target position (per-target rows over a shared source
+/// gather), so splitting or fusing batches differently must not change any
+/// individual result.  `dashmm-core`'s `ResidentFmm` satisfies this.
+pub trait EvalEngine: Send + Sync + 'static {
+    /// Write the potential at each of `targets` into `out`
+    /// (`out.len() == targets.len()`, overwritten).
+    fn evaluate(&self, targets: &[[f64; 3]], out: &mut [f64]);
+}
+
+impl<F> EvalEngine for F
+where
+    F: Fn(&[[f64; 3]], &mut [f64]) + Send + Sync + 'static,
+{
+    fn evaluate(&self, targets: &[[f64; 3]], out: &mut [f64]) {
+        self(targets, out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request aggregation
+// ---------------------------------------------------------------------------
+
+/// One admitted request waiting for a tile slot.
+#[derive(Debug)]
+struct PendingRequest {
+    conn: u64,
+    req_id: u64,
+    tenant: u32,
+    targets: Vec<[f64; 3]>,
+    admitted: Instant,
+}
+
+/// One request's slice of a fused tile.
+#[derive(Debug)]
+pub struct Segment {
+    /// Connection the response goes back to.
+    pub conn: u64,
+    /// Request id to echo.
+    pub req_id: u64,
+    /// Tenant for accounting release.
+    pub tenant: u32,
+    /// Offset of this request's targets in the tile.
+    pub offset: usize,
+    /// Number of targets.
+    pub len: usize,
+    /// When admission accepted the request.
+    pub admitted: Instant,
+}
+
+/// A fused SoA tile: the concatenated targets of one or more requests plus
+/// the segments mapping results back to them.
+#[derive(Debug)]
+pub struct Tile {
+    /// Concatenated target positions.
+    pub targets: Vec<[f64; 3]>,
+    /// Per-request slices of `targets`.
+    pub segments: Vec<Segment>,
+}
+
+/// Exact-accounting tallies of the aggregator (all in targets):
+/// `enqueued == drained + purged + queued` at every instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AggregatorAccounting {
+    /// Targets ever admitted into the queue.
+    pub enqueued: u64,
+    /// Targets handed to the engine in fused tiles.
+    pub drained: u64,
+    /// Targets dropped because their connection died while queued.
+    pub purged: u64,
+    /// Targets currently waiting.
+    pub queued: u64,
+}
+
+impl AggregatorAccounting {
+    /// Whether the tallies reconcile.
+    pub fn balanced(&self) -> bool {
+        self.enqueued == self.drained + self.purged + self.queued
+    }
+}
+
+/// FIFO of admitted requests with fused-tile draining and exact drain
+/// accounting (the service-side sibling of the runtime's `EdgeBatcher`:
+/// deposits are registered, drains are counted, nothing strands).
+#[derive(Debug, Default)]
+pub struct RequestAggregator {
+    queue: VecDeque<PendingRequest>,
+    acct: AggregatorAccounting,
+}
+
+impl RequestAggregator {
+    /// Empty aggregator.
+    pub fn new() -> Self {
+        RequestAggregator::default()
+    }
+
+    fn push(&mut self, req: PendingRequest) {
+        self.acct.enqueued += req.targets.len() as u64;
+        self.acct.queued += req.targets.len() as u64;
+        self.queue.push_back(req);
+    }
+
+    /// Coalesce queued requests into one fused tile of at most
+    /// `max_targets` targets (whole requests only; a single request larger
+    /// than the budget ships as its own tile).  `None` when idle.
+    pub fn drain_tile(&mut self, max_targets: usize) -> Option<Tile> {
+        let mut targets = Vec::new();
+        let mut segments = Vec::new();
+        while let Some(front) = self.queue.front() {
+            let n = front.targets.len();
+            if !targets.is_empty() && targets.len() + n > max_targets {
+                break;
+            }
+            let req = self.queue.pop_front().expect("front exists");
+            segments.push(Segment {
+                conn: req.conn,
+                req_id: req.req_id,
+                tenant: req.tenant,
+                offset: targets.len(),
+                len: n,
+                admitted: req.admitted,
+            });
+            targets.extend_from_slice(&req.targets);
+            self.acct.queued -= n as u64;
+            self.acct.drained += n as u64;
+            if targets.len() >= max_targets {
+                break;
+            }
+        }
+        if segments.is_empty() {
+            None
+        } else {
+            Some(Tile { targets, segments })
+        }
+    }
+
+    /// Drop every queued request belonging to `conn` (its socket died),
+    /// returning `(tenant, targets)` per dropped request so admission can
+    /// release the bounds.
+    pub fn purge_conn(&mut self, conn: u64) -> Vec<(u32, usize)> {
+        let mut dropped = Vec::new();
+        self.queue.retain(|req| {
+            if req.conn == conn {
+                dropped.push((req.tenant, req.targets.len()));
+                false
+            } else {
+                true
+            }
+        });
+        for &(_, n) in &dropped {
+            self.acct.queued -= n as u64;
+            self.acct.purged += n as u64;
+        }
+        dropped
+    }
+
+    /// Requests currently queued.
+    pub fn queued_requests(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The accounting snapshot.
+    pub fn accounting(&self) -> AggregatorAccounting {
+        self.acct
+    }
+
+    /// Drop all queued state and zero the tallies (only meaningful between
+    /// runs; in-flight tiles must have drained).
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.acct = AggregatorAccounting::default();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// Backpressure bounds for admission control.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Most targets one tenant may have queued (further requests shed).
+    pub max_tenant_targets: usize,
+    /// Most targets queued across all tenants.
+    pub max_total_targets: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_tenant_targets: 16_384,
+            max_total_targets: 131_072,
+        }
+    }
+}
+
+/// Per-tenant counters (a [`ServiceStats`] row).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Targets currently queued.
+    pub queued_targets: usize,
+    /// Requests admitted.
+    pub admitted_requests: u64,
+    /// Targets admitted.
+    pub admitted_targets: u64,
+    /// Requests shed by admission control.
+    pub shed_requests: u64,
+    /// Requests answered with potentials.
+    pub completed_requests: u64,
+    /// Requests whose connection died before the answer.
+    pub dropped_requests: u64,
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    queued: usize,
+    admitted_requests: u64,
+    admitted_targets: u64,
+    shed_requests: u64,
+    completed_requests: u64,
+    dropped_requests: u64,
+}
+
+/// Why admission released targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Release {
+    /// Evaluated and answered.
+    Completed,
+    /// Connection died before the answer.
+    Dropped,
+}
+
+/// Per-tenant bounded admission with shed-on-overload.
+#[derive(Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    total_queued: usize,
+    tenants: HashMap<u32, TenantState>,
+}
+
+impl Admission {
+    /// Admission under `cfg`.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Admission {
+            cfg,
+            total_queued: 0,
+            tenants: HashMap::new(),
+        }
+    }
+
+    /// Admit `n` targets for `tenant`, or record a shed and refuse.
+    pub fn try_admit(&mut self, tenant: u32, n: usize) -> bool {
+        let st = self.tenants.entry(tenant).or_default();
+        if st.queued + n > self.cfg.max_tenant_targets
+            || self.total_queued + n > self.cfg.max_total_targets
+        {
+            st.shed_requests += 1;
+            return false;
+        }
+        st.queued += n;
+        st.admitted_requests += 1;
+        st.admitted_targets += n as u64;
+        self.total_queued += n;
+        true
+    }
+
+    fn release(&mut self, tenant: u32, n: usize, how: Release) {
+        let st = self
+            .tenants
+            .get_mut(&tenant)
+            .expect("release for unknown tenant");
+        assert!(st.queued >= n, "released more targets than admitted");
+        st.queued -= n;
+        self.total_queued -= n;
+        match how {
+            Release::Completed => st.completed_requests += 1,
+            Release::Dropped => st.dropped_requests += 1,
+        }
+    }
+
+    /// Targets currently admitted but unanswered, across tenants.
+    pub fn total_queued(&self) -> usize {
+        self.total_queued
+    }
+
+    /// Counter rows, sorted by tenant id.
+    pub fn snapshot(&self) -> Vec<TenantCounters> {
+        let mut rows: Vec<TenantCounters> = self
+            .tenants
+            .iter()
+            .map(|(&tenant, st)| TenantCounters {
+                tenant,
+                queued_targets: st.queued,
+                admitted_requests: st.admitted_requests,
+                admitted_targets: st.admitted_targets,
+                shed_requests: st.shed_requests,
+                completed_requests: st.completed_requests,
+                dropped_requests: st.dropped_requests,
+            })
+            .collect();
+        rows.sort_by_key(|r| r.tenant);
+        rows
+    }
+
+    /// Forget every tenant and zero the bounds.
+    pub fn reset(&mut self) {
+        self.total_queued = 0;
+        self.tenants.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Fused-tile budget: queued requests are coalesced into engine calls
+    /// of at most this many targets.
+    pub tile_targets: usize,
+    /// Admission bounds.
+    pub admission: AdmissionConfig,
+    /// Evaluation worker threads draining the aggregator.
+    pub eval_workers: usize,
+    /// Request-span ring capacity.
+    pub trace_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            tile_targets: 1024,
+            admission: AdmissionConfig::default(),
+            eval_workers: 1,
+            trace_capacity: dashmm_obs::DEFAULT_REQUEST_TRACE_CAPACITY,
+        }
+    }
+}
+
+/// Aggregate service counters (the non-per-tenant half of
+/// [`ServiceStats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceTotals {
+    /// Requests admitted.
+    pub admitted_requests: u64,
+    /// Requests shed.
+    pub shed_requests: u64,
+    /// Requests answered Ok.
+    pub completed_requests: u64,
+    /// Targets evaluated.
+    pub evaluated_targets: u64,
+    /// Fused tiles run through the engine.
+    pub tiles: u64,
+    /// Requests per tile, accumulated (for the mean).
+    pub tile_requests: u64,
+    /// Malformed request bodies answered `BadRequest`.
+    pub bad_requests: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections torn down on decode errors.
+    pub protocol_errors: u64,
+}
+
+/// A point-in-time snapshot of everything the server counts.
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Aggregate counters.
+    pub totals: ServiceTotals,
+    /// Per-tenant rows.
+    pub tenants: Vec<TenantCounters>,
+    /// End-to-end request latency (admission → response written).
+    pub latency: LatencySummary,
+    /// Aggregator accounting.
+    pub accounting: AggregatorAccounting,
+}
+
+impl ServiceStats {
+    /// Mean requests fused per engine tile.
+    pub fn mean_tile_requests(&self) -> f64 {
+        if self.totals.tiles == 0 {
+            0.0
+        } else {
+            self.totals.tile_requests as f64 / self.totals.tiles as f64
+        }
+    }
+
+    /// JSON object for `BENCH_service.json` / run summaries.
+    pub fn to_json(&self) -> Value {
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| {
+                obj(vec![
+                    ("tenant", Value::from(u64::from(t.tenant))),
+                    ("admitted_requests", Value::from(t.admitted_requests)),
+                    ("admitted_targets", Value::from(t.admitted_targets)),
+                    ("shed_requests", Value::from(t.shed_requests)),
+                    ("completed_requests", Value::from(t.completed_requests)),
+                    ("dropped_requests", Value::from(t.dropped_requests)),
+                    ("queued_targets", Value::from(t.queued_targets)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            (
+                "admitted_requests",
+                Value::from(self.totals.admitted_requests),
+            ),
+            ("shed_requests", Value::from(self.totals.shed_requests)),
+            (
+                "completed_requests",
+                Value::from(self.totals.completed_requests),
+            ),
+            (
+                "evaluated_targets",
+                Value::from(self.totals.evaluated_targets),
+            ),
+            ("tiles", Value::from(self.totals.tiles)),
+            ("mean_tile_requests", Value::from(self.mean_tile_requests())),
+            ("bad_requests", Value::from(self.totals.bad_requests)),
+            ("connections", Value::from(self.totals.connections)),
+            ("protocol_errors", Value::from(self.totals.protocol_errors)),
+            ("latency", self.latency.to_json()),
+            ("tenants", Value::Arr(tenants)),
+        ])
+    }
+}
+
+/// Everything the worker/reader threads share under one lock, so the
+/// admit → aggregate → drain → release chain is atomic.
+struct Core {
+    agg: RequestAggregator,
+    adm: Admission,
+    totals: ServiceTotals,
+    trace: RequestTrace,
+    /// Shutdown requested (admin frame or [`EvalServer::shutdown`]).
+    draining: bool,
+}
+
+struct ConnHandle {
+    stream: Mutex<TcpStream>,
+    alive: AtomicBool,
+}
+
+impl ConnHandle {
+    /// Write a whole frame; `true` iff the bytes reached the socket.  On
+    /// failure the connection is marked dead (the reader will notice the
+    /// closed socket and purge).  The return value — not a re-read of
+    /// `alive` — decides delivery accounting: a client may receive its
+    /// answer and close the connection before the worker looks again.
+    fn send(&self, kind: FrameKind, body: &[u8]) -> bool {
+        if !self.alive.load(Ordering::Acquire) {
+            return false;
+        }
+        let frame = encode_frame(kind, 0, body);
+        let mut stream = self.stream.lock().expect("conn stream lock");
+        if stream.write_all(&frame).is_err() {
+            self.alive.store(false, Ordering::Release);
+            let _ = stream.shutdown(SockShutdown::Both);
+            return false;
+        }
+        true
+    }
+}
+
+struct Shared {
+    cfg: ServiceConfig,
+    engine: Arc<dyn EvalEngine>,
+    core: Mutex<Core>,
+    work_cv: Condvar,
+    /// Signals [`EvalServer::wait`]ers that draining finished.
+    done_cv: Condvar,
+    conns: Mutex<HashMap<u64, Arc<ConnHandle>>>,
+    accepting: AtomicBool,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    /// Answer `req_id` on `conn` with a bare status (no potentials).
+    fn send_status(&self, conn: &ConnHandle, req_id: u64, status: RespStatus) {
+        conn.send(
+            FrameKind::EvalResponse,
+            &encode_response(req_id, status, &[]),
+        );
+    }
+}
+
+/// The resident evaluation server.  Owns a TCP listener, one reader
+/// thread per connection, and [`ServiceConfig::eval_workers`] evaluation
+/// threads draining the aggregator.
+pub struct EvalServer {
+    shared: Arc<Shared>,
+    port: u16,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl EvalServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving `engine`.
+    pub fn bind(
+        addr: &str,
+        engine: Arc<dyn EvalEngine>,
+        cfg: ServiceConfig,
+    ) -> std::io::Result<EvalServer> {
+        assert!(cfg.tile_targets > 0, "tile budget must be positive");
+        assert!(cfg.eval_workers > 0, "need at least one eval worker");
+        let listener = TcpListener::bind(addr)?;
+        let port = listener.local_addr()?.port();
+        let shared = Arc::new(Shared {
+            cfg,
+            engine,
+            core: Mutex::new(Core {
+                agg: RequestAggregator::new(),
+                adm: Admission::new(cfg.admission),
+                totals: ServiceTotals::default(),
+                trace: RequestTrace::new(cfg.trace_capacity),
+                draining: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            conns: Mutex::new(HashMap::new()),
+            accepting: AtomicBool::new(true),
+            next_conn: AtomicU64::new(1),
+        });
+        let readers = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let readers = Arc::clone(&readers);
+            std::thread::Builder::new()
+                .name("svc-accept".into())
+                .spawn(move || accept_loop(listener, shared, readers))
+                .expect("spawn accept thread")
+        };
+        let workers = (0..cfg.eval_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("svc-eval-{i}"))
+                    .spawn(move || eval_loop(shared))
+                    .expect("spawn eval worker")
+            })
+            .collect();
+        Ok(EvalServer {
+            shared,
+            port,
+            accept_thread: Some(accept_thread),
+            workers,
+            readers,
+        })
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Snapshot the counters, per-tenant rows and latency percentiles.
+    pub fn stats(&self) -> ServiceStats {
+        let core = self.shared.core.lock().expect("core lock");
+        ServiceStats {
+            totals: core.totals,
+            tenants: core.adm.snapshot(),
+            latency: dashmm_obs::request_latency(&core.trace),
+            accounting: core.agg.accounting(),
+        }
+    }
+
+    /// The `service` run-summary section (request-span latency ring).
+    pub fn service_section(&self) -> Value {
+        let core = self.shared.core.lock().expect("core lock");
+        dashmm_obs::service_section(&core.trace)
+    }
+
+    /// Block until a client's [`FrameKind::Shutdown`] frame (or a local
+    /// [`EvalServer::shutdown`]) has drained the queue.
+    pub fn wait(&self) {
+        let mut core = self.shared.core.lock().expect("core lock");
+        while !(core.draining && core.agg.accounting().queued == 0) {
+            core = self.shared.done_cv.wait(core).expect("done wait");
+        }
+    }
+
+    /// Stop accepting, drain, close every connection, and join all
+    /// threads.  Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut core = self.shared.core.lock().expect("core lock");
+            core.draining = true;
+            self.shared.work_cv.notify_all();
+            self.shared.done_cv.notify_all();
+        }
+        // Unblock the accept loop with a dummy connection.
+        self.shared.accepting.store(false, Ordering::Release);
+        let _ = TcpStream::connect(SocketAddr::from(([127, 0, 0, 1], self.port)));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        // Close live connections so their readers see EOF.
+        for conn in self.shared.conns.lock().expect("conn map").values() {
+            conn.alive.store(false, Ordering::Release);
+            let _ = conn
+                .stream
+                .lock()
+                .expect("conn stream lock")
+                .shutdown(SockShutdown::Both);
+        }
+        let handles: Vec<_> = self
+            .readers
+            .lock()
+            .expect("reader list")
+            .drain(..)
+            .collect();
+        for t in handles {
+            let _ = t.join();
+        }
+    }
+
+    /// Clear aggregator, admission and counters so the resident tree can
+    /// serve a fresh run.  Callable after [`EvalServer::shutdown`] (the
+    /// regression path: a client that vanished mid-batch must leave
+    /// nothing behind) — panics if targets are still queued, which would
+    /// mean the purge accounting leaked.
+    pub fn reset(&mut self) {
+        let mut core = self.shared.core.lock().expect("core lock");
+        let acct = core.agg.accounting();
+        assert!(
+            acct.balanced(),
+            "aggregator accounting leaked: {acct:?} does not reconcile"
+        );
+        assert_eq!(
+            core.adm.total_queued(),
+            acct.queued as usize,
+            "admission and aggregator disagree about queued targets"
+        );
+        core.agg.reset();
+        core.adm.reset();
+        core.totals = ServiceTotals::default();
+        core.trace.clear();
+    }
+}
+
+impl Drop for EvalServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if !shared.accepting.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        let handle = Arc::new(ConnHandle {
+            stream: Mutex::new(stream.try_clone().expect("clone service stream")),
+            alive: AtomicBool::new(true),
+        });
+        shared
+            .conns
+            .lock()
+            .expect("conn map")
+            .insert(conn_id, Arc::clone(&handle));
+        {
+            let mut core = shared.core.lock().expect("core lock");
+            core.totals.connections += 1;
+        }
+        let shared2 = Arc::clone(&shared);
+        let reader = std::thread::Builder::new()
+            .name(format!("svc-conn-{conn_id}"))
+            .spawn(move || reader_loop(stream, conn_id, handle, shared2))
+            .expect("spawn reader");
+        readers.lock().expect("reader list").push(reader);
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, conn_id: u64, handle: Arc<ConnHandle>, shared: Arc<Shared>) {
+    let mut dec = FrameDecoder::with_max_body(SERVICE_MAX_BODY);
+    let mut buf = [0u8; 64 * 1024];
+    'io: loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        dec.push(&buf[..n]);
+        loop {
+            match dec.next_frame() {
+                Ok(Some(frame)) => {
+                    if !handle_frame(frame, conn_id, &handle, &shared) {
+                        break 'io;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Garbage (bad magic, oversize declaration, corrupt
+                    // body): never panic, never trust the stream again.
+                    let mut core = shared.core.lock().expect("core lock");
+                    core.totals.protocol_errors += 1;
+                    break 'io;
+                }
+            }
+        }
+    }
+    // Tear down: whatever this connection still has queued is purged and
+    // its admission released, so a client dying mid-batch cannot wedge
+    // the bounded queues (the regression the reset() path guards).
+    handle.alive.store(false, Ordering::Release);
+    let _ = stream.shutdown(SockShutdown::Both);
+    {
+        let mut core = shared.core.lock().expect("core lock");
+        for (tenant, n) in core.agg.purge_conn(conn_id) {
+            core.adm.release(tenant, n, Release::Dropped);
+        }
+        shared.done_cv.notify_all();
+    }
+    shared.conns.lock().expect("conn map").remove(&conn_id);
+}
+
+/// Handle one decoded frame; `false` ends the connection.
+fn handle_frame(frame: Frame, conn_id: u64, handle: &ConnHandle, shared: &Shared) -> bool {
+    match frame.kind {
+        FrameKind::EvalRequest => {
+            let req = match decode_request(&frame.body) {
+                Ok(req) => req,
+                Err(_) => {
+                    // Salvage the request id when the header made it.
+                    let req_id = if frame.body.len() >= 8 {
+                        le_u64(&frame.body)
+                    } else {
+                        0
+                    };
+                    let mut core = shared.core.lock().expect("core lock");
+                    core.totals.bad_requests += 1;
+                    drop(core);
+                    shared.send_status(handle, req_id, RespStatus::BadRequest);
+                    return true;
+                }
+            };
+            let verdict = {
+                let mut core = shared.core.lock().expect("core lock");
+                if core.draining {
+                    Some(RespStatus::ShuttingDown)
+                } else if req.targets.is_empty() {
+                    // Zero-target requests complete immediately.
+                    core.totals.admitted_requests += 1;
+                    core.totals.completed_requests += 1;
+                    Some(RespStatus::Ok)
+                } else if core.adm.try_admit(req.tenant, req.targets.len()) {
+                    core.totals.admitted_requests += 1;
+                    core.agg.push(PendingRequest {
+                        conn: conn_id,
+                        req_id: req.req_id,
+                        tenant: req.tenant,
+                        targets: req.targets,
+                        admitted: Instant::now(),
+                    });
+                    shared.work_cv.notify_one();
+                    None
+                } else {
+                    core.totals.shed_requests += 1;
+                    Some(RespStatus::Shed)
+                }
+            };
+            if let Some(status) = verdict {
+                shared.send_status(handle, req.req_id, status);
+            }
+            true
+        }
+        FrameKind::Shutdown => {
+            let mut core = shared.core.lock().expect("core lock");
+            core.draining = true;
+            shared.work_cv.notify_all();
+            shared.done_cv.notify_all();
+            true
+        }
+        FrameKind::Bye => false,
+        // Any other (valid) frame kind is not part of the service
+        // protocol; drop the connection rather than guess.
+        _ => {
+            let mut core = shared.core.lock().expect("core lock");
+            core.totals.protocol_errors += 1;
+            false
+        }
+    }
+}
+
+fn eval_loop(shared: Arc<Shared>) {
+    let mut out: Vec<f64> = Vec::new();
+    loop {
+        let tile = {
+            let mut core = shared.core.lock().expect("core lock");
+            loop {
+                if let Some(tile) = core.agg.drain_tile(shared.cfg.tile_targets) {
+                    break Some(tile);
+                }
+                if core.draining {
+                    shared.done_cv.notify_all();
+                    break None;
+                }
+                core = shared.work_cv.wait(core).expect("work wait");
+            }
+        };
+        let Some(tile) = tile else { return };
+        let t0 = Instant::now();
+        out.clear();
+        out.resize(tile.targets.len(), 0.0);
+        shared.engine.evaluate(&tile.targets, &mut out);
+        let eval_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        // Route each request's slice back to its connection and release
+        // its admission, recording the span.
+        let conns = {
+            let map = shared.conns.lock().expect("conn map");
+            tile.segments
+                .iter()
+                .map(|s| map.get(&s.conn).cloned())
+                .collect::<Vec<_>>()
+        };
+        let done = Instant::now();
+        let mut core = shared.core.lock().expect("core lock");
+        core.totals.tiles += 1;
+        core.totals.tile_requests += tile.segments.len() as u64;
+        core.totals.evaluated_targets += tile.targets.len() as u64;
+        for (seg, conn) in tile.segments.iter().zip(&conns) {
+            let delivered = match conn {
+                // Responses must be released in admission order per
+                // tenant, and the frame write is a memcpy into the kernel
+                // buffer, so writing under the core lock is acceptable.
+                Some(conn) => conn.send(
+                    FrameKind::EvalResponse,
+                    &encode_response(
+                        seg.req_id,
+                        RespStatus::Ok,
+                        &out[seg.offset..seg.offset + seg.len],
+                    ),
+                ),
+                None => false,
+            };
+            core.adm.release(
+                seg.tenant,
+                seg.len,
+                if delivered {
+                    Release::Completed
+                } else {
+                    Release::Dropped
+                },
+            );
+            if delivered {
+                core.totals.completed_requests += 1;
+            }
+            core.trace.push(RequestSpan {
+                tenant: seg.tenant,
+                targets: seg.len as u32,
+                queue_us: (t0 - seg.admitted).as_secs_f64() * 1e6,
+                eval_us,
+                total_us: (done - seg.admitted).as_secs_f64() * 1e6,
+            });
+        }
+        shared.done_cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// A blocking service client: one TCP connection, pipelined requests,
+/// frame-decoded responses.
+pub struct EvalClient {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    next_req: u64,
+}
+
+impl EvalClient {
+    /// Connect to a server.
+    pub fn connect(addr: &str) -> std::io::Result<EvalClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(EvalClient {
+            stream,
+            dec: FrameDecoder::with_max_body(SERVICE_MAX_BODY),
+            next_req: 1,
+        })
+    }
+
+    /// Send one request without waiting; returns its request id.
+    pub fn send(&mut self, tenant: u32, targets: &[[f64; 3]]) -> std::io::Result<u64> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let frame = encode_frame(
+            FrameKind::EvalRequest,
+            0,
+            &encode_request(req_id, tenant, targets),
+        );
+        self.stream.write_all(&frame)?;
+        Ok(req_id)
+    }
+
+    /// Block until the next response frame arrives.
+    pub fn recv(&mut self) -> std::io::Result<EvalResponseMsg> {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match self.dec.next_frame() {
+                Ok(Some(frame)) if frame.kind == FrameKind::EvalResponse => {
+                    return decode_response(&frame.body).map_err(|e| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                    });
+                }
+                Ok(Some(_)) => continue, // tolerate non-response frames
+                Ok(None) => {
+                    let n = self.stream.read(&mut buf)?;
+                    if n == 0 {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "server closed the connection",
+                        ));
+                    }
+                    self.dec.push(&buf[..n]);
+                }
+                Err(e) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        e.to_string(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Send one request and wait for its response (single-shot RPC).
+    pub fn eval(&mut self, tenant: u32, targets: &[[f64; 3]]) -> std::io::Result<EvalResponseMsg> {
+        let req_id = self.send(tenant, targets)?;
+        loop {
+            let resp = self.recv()?;
+            if resp.req_id == req_id {
+                return Ok(resp);
+            }
+        }
+    }
+
+    /// Ask the server to drain and exit its run loop.
+    pub fn send_shutdown(&mut self) -> std::io::Result<()> {
+        self.stream
+            .write_all(&encode_frame(FrameKind::Shutdown, 0, &[]))
+    }
+
+    /// Orderly close.
+    pub fn close(mut self) -> std::io::Result<()> {
+        let _ = self.stream.write_all(&encode_frame(FrameKind::Bye, 0, &[]));
+        self.stream.shutdown(SockShutdown::Both)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize, base: f64) -> Vec<[f64; 3]> {
+        (0..n)
+            .map(|i| [base + i as f64, 2.0 * i as f64, -(i as f64)])
+            .collect()
+    }
+
+    #[test]
+    fn request_codec_roundtrip() {
+        let targets = pts(5, 0.25);
+        let body = encode_request(42, 7, &targets);
+        let req = decode_request(&body).unwrap();
+        assert_eq!(req.req_id, 42);
+        assert_eq!(req.tenant, 7);
+        assert_eq!(req.targets, targets);
+    }
+
+    #[test]
+    fn request_hostile_count_rejected_before_allocation() {
+        let mut body = encode_request(1, 0, &pts(2, 0.0));
+        body[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_request(&body), Err(WireError::Oversize(_))));
+    }
+
+    #[test]
+    fn request_truncated_and_trailing_rejected() {
+        let body = encode_request(1, 0, &pts(3, 0.0));
+        assert_eq!(
+            decode_request(&body[..body.len() - 1]),
+            Err(WireError::Truncated)
+        );
+        let mut long = body.clone();
+        long.push(0);
+        assert_eq!(decode_request(&long), Err(WireError::BadParcel));
+        assert_eq!(decode_request(&body[..10]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn response_codec_roundtrip_and_bad_status() {
+        let body = encode_response(9, RespStatus::Ok, &[1.5, -2.5]);
+        let resp = decode_response(&body).unwrap();
+        assert_eq!(resp.req_id, 9);
+        assert_eq!(resp.status, RespStatus::Ok);
+        assert_eq!(resp.potentials, vec![1.5, -2.5]);
+        let shed = decode_response(&encode_response(3, RespStatus::Shed, &[])).unwrap();
+        assert_eq!(shed.status, RespStatus::Shed);
+        assert!(shed.potentials.is_empty());
+        let mut bad = encode_response(1, RespStatus::Ok, &[]);
+        bad[8] = 77;
+        assert_eq!(decode_response(&bad), Err(WireError::BadParcel));
+    }
+
+    #[test]
+    fn aggregator_fuses_whole_requests_up_to_budget() {
+        let mut agg = RequestAggregator::new();
+        let now = Instant::now();
+        for (i, n) in [3usize, 4, 5].iter().enumerate() {
+            agg.push(PendingRequest {
+                conn: 1,
+                req_id: i as u64,
+                tenant: 0,
+                targets: pts(*n, i as f64),
+                admitted: now,
+            });
+        }
+        // Budget 8 fuses the first two requests (3+4), not the third.
+        let tile = agg.drain_tile(8).unwrap();
+        assert_eq!(tile.targets.len(), 7);
+        assert_eq!(tile.segments.len(), 2);
+        assert_eq!(tile.segments[0].offset, 0);
+        assert_eq!(tile.segments[1].offset, 3);
+        let tile2 = agg.drain_tile(8).unwrap();
+        assert_eq!(tile2.targets.len(), 5);
+        assert!(agg.drain_tile(8).is_none());
+        let acct = agg.accounting();
+        assert!(acct.balanced());
+        assert_eq!(acct.drained, 12);
+    }
+
+    #[test]
+    fn aggregator_oversize_request_ships_alone() {
+        let mut agg = RequestAggregator::new();
+        agg.push(PendingRequest {
+            conn: 1,
+            req_id: 0,
+            tenant: 0,
+            targets: pts(100, 0.0),
+            admitted: Instant::now(),
+        });
+        let tile = agg.drain_tile(16).unwrap();
+        assert_eq!(tile.targets.len(), 100, "over-budget request ships whole");
+    }
+
+    #[test]
+    fn aggregator_purge_releases_only_that_conn() {
+        let mut agg = RequestAggregator::new();
+        let now = Instant::now();
+        for conn in [1u64, 2, 1] {
+            agg.push(PendingRequest {
+                conn,
+                req_id: conn,
+                tenant: conn as u32,
+                targets: pts(2, 0.0),
+                admitted: now,
+            });
+        }
+        let dropped = agg.purge_conn(1);
+        assert_eq!(dropped, vec![(1, 2), (1, 2)]);
+        let acct = agg.accounting();
+        assert_eq!(acct.purged, 4);
+        assert_eq!(acct.queued, 2);
+        assert!(acct.balanced());
+        assert_eq!(agg.drain_tile(100).unwrap().segments[0].conn, 2);
+    }
+
+    #[test]
+    fn admission_sheds_over_tenant_and_global_bounds() {
+        let mut adm = Admission::new(AdmissionConfig {
+            max_tenant_targets: 10,
+            max_total_targets: 15,
+        });
+        assert!(adm.try_admit(1, 8));
+        assert!(!adm.try_admit(1, 3), "tenant bound sheds");
+        assert!(adm.try_admit(2, 7));
+        assert!(!adm.try_admit(3, 1), "global bound sheds");
+        adm.release(1, 8, Release::Completed);
+        assert!(adm.try_admit(3, 1), "release reopens the bound");
+        let rows = adm.snapshot();
+        assert_eq!(rows.len(), 3);
+        let t1 = rows.iter().find(|r| r.tenant == 1).unwrap();
+        assert_eq!(t1.shed_requests, 1);
+        assert_eq!(t1.completed_requests, 1);
+        assert_eq!(t1.queued_targets, 0);
+    }
+
+    /// Closed-form engine for server tests: φ(t) = x + 10y + 100z.
+    fn plane_engine() -> Arc<dyn EvalEngine> {
+        Arc::new(|targets: &[[f64; 3]], out: &mut [f64]| {
+            for (t, o) in targets.iter().zip(out.iter_mut()) {
+                *o = t[0] + 10.0 * t[1] + 100.0 * t[2];
+            }
+        })
+    }
+
+    #[test]
+    fn server_round_trip_single_client() {
+        let mut server =
+            EvalServer::bind("127.0.0.1:0", plane_engine(), ServiceConfig::default()).unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        let mut client = EvalClient::connect(&addr).unwrap();
+        let targets = pts(17, 0.5);
+        let resp = client.eval(3, &targets).unwrap();
+        assert_eq!(resp.status, RespStatus::Ok);
+        assert_eq!(resp.potentials.len(), 17);
+        for (t, p) in targets.iter().zip(&resp.potentials) {
+            assert_eq!(*p, t[0] + 10.0 * t[1] + 100.0 * t[2]);
+        }
+        client.close().unwrap();
+        server.shutdown();
+        let stats = server.stats();
+        assert_eq!(stats.totals.completed_requests, 1);
+        assert_eq!(stats.totals.evaluated_targets, 17);
+        assert!(stats.accounting.balanced());
+        assert_eq!(stats.latency.count, 1);
+    }
+
+    #[test]
+    fn server_rejects_garbage_without_dying() {
+        let mut server =
+            EvalServer::bind("127.0.0.1:0", plane_engine(), ServiceConfig::default()).unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        // A raw socket spews garbage; the server must drop it and live.
+        {
+            let mut s = TcpStream::connect(&addr).unwrap();
+            s.write_all(&[0xFF; 256]).unwrap();
+            // Server closes on us; either write error or EOF is fine.
+            let mut buf = [0u8; 16];
+            let _ = s.read(&mut buf);
+        }
+        // A well-formed client still gets service.
+        let mut client = EvalClient::connect(&addr).unwrap();
+        let resp = client.eval(0, &pts(2, 1.0)).unwrap();
+        assert_eq!(resp.status, RespStatus::Ok);
+        client.close().unwrap();
+        server.shutdown();
+        assert!(server.stats().totals.protocol_errors >= 1);
+    }
+
+    #[test]
+    fn shed_response_when_admission_full() {
+        let cfg = ServiceConfig {
+            admission: AdmissionConfig {
+                max_tenant_targets: 4,
+                max_total_targets: 4,
+            },
+            ..ServiceConfig::default()
+        };
+        // An engine slow enough that the queue stays occupied while the
+        // second request arrives.
+        let engine: Arc<dyn EvalEngine> = Arc::new(|targets: &[[f64; 3]], out: &mut [f64]| {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            for (t, o) in targets.iter().zip(out.iter_mut()) {
+                *o = t[0];
+            }
+        });
+        let mut server = EvalServer::bind("127.0.0.1:0", engine, cfg).unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        let mut a = EvalClient::connect(&addr).unwrap();
+        let mut b = EvalClient::connect(&addr).unwrap();
+        // Fill the bound, then overflow it from the second client before
+        // the first tile finishes.
+        let id_a = a.send(0, &pts(4, 0.0)).unwrap();
+        // Give the worker a moment to pick up the first batch so the
+        // second lands while the tenant's 4 targets are still in flight.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let resp_b = b.eval(0, &pts(4, 9.0)).unwrap();
+        assert_eq!(resp_b.status, RespStatus::Shed);
+        let resp_a = a.recv().unwrap();
+        assert_eq!(resp_a.req_id, id_a);
+        assert_eq!(resp_a.status, RespStatus::Ok);
+        a.close().unwrap();
+        b.close().unwrap();
+        server.shutdown();
+        let stats = server.stats();
+        assert_eq!(stats.totals.shed_requests, 1);
+        let row = &stats.tenants[0];
+        assert_eq!(row.shed_requests, 1);
+        assert_eq!(row.completed_requests, 1);
+    }
+
+    #[test]
+    fn zero_target_request_is_ok_and_empty() {
+        let mut server =
+            EvalServer::bind("127.0.0.1:0", plane_engine(), ServiceConfig::default()).unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        let mut client = EvalClient::connect(&addr).unwrap();
+        let resp = client.eval(0, &[]).unwrap();
+        assert_eq!(resp.status, RespStatus::Ok);
+        assert!(resp.potentials.is_empty());
+        client.close().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_frame_drains_and_wait_returns() {
+        let mut server =
+            EvalServer::bind("127.0.0.1:0", plane_engine(), ServiceConfig::default()).unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        let mut client = EvalClient::connect(&addr).unwrap();
+        let resp = client.eval(1, &pts(3, 0.0)).unwrap();
+        assert_eq!(resp.status, RespStatus::Ok);
+        client.send_shutdown().unwrap();
+        server.wait();
+        // Requests after the drain began are refused.
+        let resp = client.eval(1, &pts(1, 0.0)).unwrap();
+        assert_eq!(resp.status, RespStatus::ShuttingDown);
+        client.close().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_json_has_tenant_rows() {
+        let mut server =
+            EvalServer::bind("127.0.0.1:0", plane_engine(), ServiceConfig::default()).unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        let mut client = EvalClient::connect(&addr).unwrap();
+        client.eval(5, &pts(2, 0.0)).unwrap();
+        client.eval(9, &pts(3, 0.0)).unwrap();
+        client.close().unwrap();
+        server.shutdown();
+        let v = server.stats().to_json();
+        let tenants = v.get("tenants").and_then(Value::as_arr).unwrap();
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(
+            v.get("completed_requests").and_then(Value::as_f64),
+            Some(2.0)
+        );
+        assert!(v.get("latency").is_some());
+    }
+}

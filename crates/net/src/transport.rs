@@ -915,6 +915,14 @@ fn handle_frame(s: &Shared, src: u32, kind: FrameKind, body: Vec<u8>, peer_close
                 s.rank
             ));
         }
+        FrameKind::EvalRequest | FrameKind::EvalResponse | FrameKind::Shutdown => {
+            // Service-protocol frames belong to `service::EvalServer`
+            // endpoints, never to the rank mesh.
+            fatal(&format!(
+                "rank {}: service frame {kind:?} on the transport mesh",
+                s.rank
+            ));
+        }
     }
 }
 

@@ -75,6 +75,15 @@ pub enum FrameKind {
     /// Liveness beacon (empty body); absence beyond the suspicion timeout
     /// marks the peer down.
     Heartbeat = 12,
+    /// Service query (client → server): `req_id u64 | tenant u32 |
+    /// count u32 | (x, y, z) f64 × count` (see `service::encode_request`).
+    EvalRequest = 13,
+    /// Service reply (server → client): `req_id u64 | status u8 |
+    /// count u32 | potential f64 × count`.
+    EvalResponse = 14,
+    /// Administrative shutdown of a resident evaluation server (empty
+    /// body); the server finishes in-flight work and exits its run loop.
+    Shutdown = 15,
 }
 
 impl FrameKind {
@@ -92,6 +101,9 @@ impl FrameKind {
             10 => FrameKind::SeqParcels,
             11 => FrameKind::Ack,
             12 => FrameKind::Heartbeat,
+            13 => FrameKind::EvalRequest,
+            14 => FrameKind::EvalResponse,
+            15 => FrameKind::Shutdown,
             _ => return None,
         })
     }
@@ -652,6 +664,19 @@ mod tests {
         let mut dec = FrameDecoder::new();
         dec.push(&bad);
         assert_eq!(dec.next_frame(), Err(WireError::Corrupt));
+    }
+
+    #[test]
+    fn service_frame_kinds_roundtrip() {
+        for kind in [
+            FrameKind::EvalRequest,
+            FrameKind::EvalResponse,
+            FrameKind::Shutdown,
+        ] {
+            let buf = encode_frame(kind, 3, &[1, 2, 3, 4]);
+            let f = decode_frame_exact(&buf).unwrap();
+            assert_eq!(f.kind, kind);
+        }
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Property tests of the service request/response codec: arbitrary
+//! messages survive an encode/decode roundtrip bitwise-identically, and
+//! truncated, trailing-garbage or hostile-length bodies are rejected with
+//! a [`WireError`] — never a panic, never an attacker-sized allocation
+//! (mirroring the `FrameDecoder` body-cap discipline of the transport
+//! wire format).
+
+use dashmm_net::service::{
+    decode_request, decode_response, encode_request, encode_response, RespStatus,
+    MAX_REQUEST_TARGETS,
+};
+use dashmm_net::wire::{encode_frame, FrameDecoder, FrameKind, WireError};
+use proptest::prelude::*;
+
+fn arb_targets() -> impl Strategy<Value = Vec<[f64; 3]>> {
+    prop::collection::vec(
+        (any::<f64>(), any::<f64>(), any::<f64>()).prop_map(|(x, y, z)| [x, y, z]),
+        0..64,
+    )
+}
+
+fn arb_status() -> impl Strategy<Value = RespStatus> {
+    (0u8..4).prop_map(|v| match v {
+        0 => RespStatus::Ok,
+        1 => RespStatus::Shed,
+        2 => RespStatus::BadRequest,
+        _ => RespStatus::ShuttingDown,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn request_roundtrip_bitwise(
+        req_id in any::<u64>(),
+        tenant in any::<u32>(),
+        targets in arb_targets(),
+    ) {
+        let body = encode_request(req_id, tenant, &targets);
+        let msg = decode_request(&body).expect("well-formed body decodes");
+        prop_assert_eq!(msg.req_id, req_id);
+        prop_assert_eq!(msg.tenant, tenant);
+        // Bitwise equality (NaNs included): compare the re-encoding.
+        prop_assert_eq!(encode_request(msg.req_id, msg.tenant, &msg.targets), body);
+    }
+
+    #[test]
+    fn response_roundtrip_bitwise(
+        req_id in any::<u64>(),
+        status in arb_status(),
+        pots in prop::collection::vec(any::<f64>(), 0..64),
+    ) {
+        // Non-Ok statuses carry no payload by protocol contract.
+        let pots = if status == RespStatus::Ok { pots } else { Vec::new() };
+        let body = encode_response(req_id, status, &pots);
+        let msg = decode_response(&body).expect("well-formed body decodes");
+        prop_assert_eq!(msg.req_id, req_id);
+        prop_assert_eq!(msg.status, status);
+        prop_assert_eq!(encode_response(msg.req_id, msg.status, &msg.potentials), body);
+    }
+
+    #[test]
+    fn truncated_request_rejected(
+        req_id in any::<u64>(),
+        tenant in any::<u32>(),
+        targets in arb_targets(),
+        cut in 0usize..100_000,
+    ) {
+        let body = encode_request(req_id, tenant, &targets);
+        let cut = cut % body.len();
+        prop_assert_eq!(decode_request(&body[..cut]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected(
+        req_id in any::<u64>(),
+        targets in arb_targets(),
+        extra in prop::collection::vec(0u8..=255, 1..16),
+    ) {
+        let mut body = encode_request(req_id, 0, &targets);
+        body.extend_from_slice(&extra);
+        prop_assert_eq!(decode_request(&body), Err(WireError::BadParcel));
+    }
+
+    #[test]
+    fn hostile_count_rejected_without_allocation(
+        declared in (MAX_REQUEST_TARGETS as u32 + 1)..=u32::MAX,
+    ) {
+        // A tiny body declaring an enormous target count must be refused
+        // by the count cap, not by attempting the allocation.
+        let mut body = encode_request(1, 2, &[[0.0; 3]; 2]);
+        body[12..16].copy_from_slice(&declared.to_le_bytes());
+        prop_assert_eq!(
+            decode_request(&body),
+            Err(WireError::Oversize(declared as usize))
+        );
+    }
+
+    #[test]
+    fn hostile_response_count_rejected(
+        declared in (MAX_REQUEST_TARGETS as u32 + 1)..=u32::MAX,
+    ) {
+        let mut body = encode_response(1, RespStatus::Ok, &[1.0, 2.0]);
+        body[9..13].copy_from_slice(&declared.to_le_bytes());
+        prop_assert_eq!(
+            decode_response(&body),
+            Err(WireError::Oversize(declared as usize))
+        );
+    }
+
+    #[test]
+    fn framed_request_survives_arbitrary_chunking(
+        req_id in any::<u64>(),
+        tenant in any::<u32>(),
+        targets in arb_targets(),
+        chunk in 1usize..48,
+    ) {
+        // The full wire path: body → CRC frame → streaming decoder fed in
+        // arbitrary chunk sizes.
+        let body = encode_request(req_id, tenant, &targets);
+        let frame = encode_frame(FrameKind::EvalRequest, 0, &body);
+        let mut dec = FrameDecoder::new();
+        let mut got = None;
+        for piece in frame.chunks(chunk) {
+            dec.push(piece);
+            if let Some(f) = dec.next_frame().expect("clean stream") {
+                got = Some(f);
+            }
+        }
+        let f = got.expect("one frame out");
+        prop_assert_eq!(f.kind, FrameKind::EvalRequest);
+        let msg = decode_request(&f.body).expect("decodes");
+        prop_assert_eq!(msg.req_id, req_id);
+        prop_assert_eq!(encode_request(msg.req_id, msg.tenant, &msg.targets), body);
+    }
+
+    #[test]
+    fn corrupt_framed_request_never_panics(
+        targets in arb_targets(),
+        flip in 0usize..100_000,
+        bit in 0u8..8,
+    ) {
+        let body = encode_request(7, 1, &targets);
+        let mut frame = encode_frame(FrameKind::EvalRequest, 0, &body);
+        let at = flip % frame.len();
+        frame[at] ^= 1 << bit;
+        let mut dec = FrameDecoder::new();
+        dec.push(&frame);
+        // Either an error (header/CRC damage caught), or a frame whose
+        // body the request decoder then vets; no path may panic.
+        if let Ok(Some(f)) = dec.next_frame() {
+            let _ = decode_request(&f.body);
+        }
+    }
+}

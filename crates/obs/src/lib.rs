@@ -21,6 +21,7 @@ pub mod event;
 pub mod json;
 pub mod merge;
 pub mod recorder;
+pub mod service;
 pub mod summary;
 pub mod trace;
 pub mod validate;
@@ -35,5 +36,9 @@ pub use merge::{
     align_ranks, decode_rank_trace, encode_rank_trace, merged_chrome_trace, RankTrace,
 };
 pub use recorder::{ClassCounters, ClassStat, ObsLevel, SpanRing, DEFAULT_RING_CAPACITY};
+pub use service::{
+    request_latency, service_section, LatencySummary, RequestSpan, RequestTrace,
+    DEFAULT_REQUEST_TRACE_CAPACITY,
+};
 pub use trace::{utilization_by_class, utilization_total, TraceSet};
 pub use validate::{validate_chrome_trace, validate_run_summary, TraceStats};

@@ -1,0 +1,253 @@
+//! Request-level observability for the resident evaluation service.
+//!
+//! The service (`dashmm-net::service`) handles many small requests per
+//! second, so per-request instrumentation follows the same rules as the
+//! runtime's span rings: bounded memory (a saturating ring of
+//! [`RequestSpan`]s), cheap recording, and a machine-readable summary
+//! section for `BENCH_service.json` / run summaries.  Latency percentiles
+//! use the nearest-rank definition on the retained samples.
+
+use crate::json::{obj, Value};
+
+/// One served (or shed) request, as the server observed it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RequestSpan {
+    /// Tenant the request belonged to.
+    pub tenant: u32,
+    /// Targets in the request.
+    pub targets: u32,
+    /// Microseconds from admission to the start of its fused-tile
+    /// evaluation (queueing + aggregation delay).
+    pub queue_us: f64,
+    /// Microseconds of engine time for the fused tile the request rode in
+    /// (shared across the tile's requests, reported per request).
+    pub eval_us: f64,
+    /// Microseconds from admission to the response being written.
+    pub total_us: f64,
+}
+
+/// Fixed-capacity ring of request spans.  Recording past capacity
+/// overwrites the oldest span and counts the loss, so a long-lived server
+/// keeps the most recent window without unbounded growth.
+#[derive(Clone, Debug)]
+pub struct RequestTrace {
+    spans: Vec<RequestSpan>,
+    cap: usize,
+    next: usize,
+    /// Spans overwritten after the ring filled.
+    pub overwritten: u64,
+    /// Spans ever recorded.
+    pub recorded: u64,
+}
+
+/// Default request-span ring capacity (per server).
+pub const DEFAULT_REQUEST_TRACE_CAPACITY: usize = 65_536;
+
+impl RequestTrace {
+    /// Empty ring holding at most `cap` spans.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "request trace capacity must be positive");
+        RequestTrace {
+            spans: Vec::new(),
+            cap,
+            next: 0,
+            overwritten: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Record one span (O(1), no allocation once the ring is full).
+    pub fn push(&mut self, span: RequestSpan) {
+        self.recorded += 1;
+        if self.spans.len() < self.cap {
+            self.spans.push(span);
+        } else {
+            self.spans[self.next] = span;
+            self.next = (self.next + 1) % self.cap;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Retained spans (insertion order is not meaningful once the ring has
+    /// wrapped).
+    pub fn spans(&self) -> &[RequestSpan] {
+        &self.spans
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Drop every span and zero the counters.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.next = 0;
+        self.overwritten = 0;
+        self.recorded = 0;
+    }
+}
+
+impl Default for RequestTrace {
+    fn default() -> Self {
+        RequestTrace::new(DEFAULT_REQUEST_TRACE_CAPACITY)
+    }
+}
+
+/// Latency distribution summary (microseconds, nearest-rank percentiles).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Samples the percentiles were computed over.
+    pub count: usize,
+    /// Mean.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Maximum.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarise a set of latency samples (sorts `samples` in place).
+    pub fn from_samples(samples: &mut [f64]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let n = samples.len();
+        let rank = |p: f64| -> f64 {
+            // Nearest-rank: the smallest sample with at least p·n samples
+            // at or below it.
+            let k = ((p * n as f64).ceil() as usize).clamp(1, n);
+            samples[k - 1]
+        };
+        LatencySummary {
+            count: n,
+            mean_us: samples.iter().sum::<f64>() / n as f64,
+            p50_us: rank(0.50),
+            p95_us: rank(0.95),
+            p99_us: rank(0.99),
+            max_us: samples[n - 1],
+        }
+    }
+
+    /// JSON object for summaries (`{count, mean_us, p50_us, ...}`).
+    pub fn to_json(&self) -> Value {
+        obj(vec![
+            ("count", Value::from(self.count)),
+            ("mean_us", Value::from(self.mean_us)),
+            ("p50_us", Value::from(self.p50_us)),
+            ("p95_us", Value::from(self.p95_us)),
+            ("p99_us", Value::from(self.p99_us)),
+            ("max_us", Value::from(self.max_us)),
+        ])
+    }
+}
+
+/// Summarise the end-to-end request latencies retained in a trace.
+pub fn request_latency(trace: &RequestTrace) -> LatencySummary {
+    let mut samples: Vec<f64> = trace.spans().iter().map(|s| s.total_us).collect();
+    LatencySummary::from_samples(&mut samples)
+}
+
+/// Summarise the queueing (admission → evaluation start) delays.
+pub fn queue_latency(trace: &RequestTrace) -> LatencySummary {
+    let mut samples: Vec<f64> = trace.spans().iter().map(|s| s.queue_us).collect();
+    LatencySummary::from_samples(&mut samples)
+}
+
+/// The `service` section of a run summary: request-level latency plus the
+/// ring's bookkeeping.  Per-tenant counters are appended by the server's
+/// stats snapshot, which owns them.
+pub fn service_section(trace: &RequestTrace) -> Value {
+    obj(vec![
+        ("latency", request_latency(trace).to_json()),
+        ("queue", queue_latency(trace).to_json()),
+        ("spans_recorded", Value::from(trace.recorded)),
+        ("spans_retained", Value::from(trace.len())),
+        ("spans_overwritten", Value::from(trace.overwritten)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(total: f64) -> RequestSpan {
+        RequestSpan {
+            tenant: 0,
+            targets: 8,
+            queue_us: total / 2.0,
+            eval_us: total / 4.0,
+            total_us: total,
+        }
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let l = LatencySummary::from_samples(&mut s);
+        assert_eq!(l.count, 100);
+        assert_eq!(l.p50_us, 50.0);
+        assert_eq!(l.p95_us, 95.0);
+        assert_eq!(l.p99_us, 99.0);
+        assert_eq!(l.max_us, 100.0);
+        assert!((l.mean_us - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_everywhere() {
+        let mut s = vec![7.0];
+        let l = LatencySummary::from_samples(&mut s);
+        assert_eq!(
+            (l.p50_us, l.p95_us, l.p99_us, l.max_us),
+            (7.0, 7.0, 7.0, 7.0)
+        );
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let l = LatencySummary::from_samples(&mut []);
+        assert_eq!(l.count, 0);
+        assert_eq!(l.p99_us, 0.0);
+    }
+
+    #[test]
+    fn ring_saturates_and_counts() {
+        let mut t = RequestTrace::new(4);
+        for i in 0..10 {
+            t.push(span(i as f64));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.recorded, 10);
+        assert_eq!(t.overwritten, 6);
+        // The retained window is the most recent 4 samples.
+        let mut kept: Vec<f64> = t.spans().iter().map(|s| s.total_us).collect();
+        kept.sort_by(f64::total_cmp);
+        assert_eq!(kept, vec![6.0, 7.0, 8.0, 9.0]);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.recorded, 0);
+    }
+
+    #[test]
+    fn section_has_latency_fields() {
+        let mut t = RequestTrace::new(16);
+        t.push(span(10.0));
+        t.push(span(20.0));
+        let v = service_section(&t);
+        let lat = v.get("latency").expect("latency");
+        assert_eq!(lat.get("count").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(lat.get("max_us").and_then(Value::as_f64), Some(20.0));
+        assert_eq!(v.get("spans_recorded").and_then(Value::as_f64), Some(2.0));
+    }
+}
