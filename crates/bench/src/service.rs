@@ -8,8 +8,11 @@
 //! constructor, and one per-request target generator keyed by
 //! `(seed, client, request)`.
 
+use std::sync::RwLock;
+
 use dashmm_core::{ResidentConfig, ResidentFmm};
 use dashmm_kernels::Laplace;
+use dashmm_refit::{ChargeUpdate, Displacement};
 use dashmm_tree::{uniform_cube, BuildParams};
 
 /// The deterministic service workload both binaries rebuild.
@@ -80,6 +83,53 @@ impl ServiceWorkload {
     }
 }
 
+/// A resident engine behind a reader–writer lock, servable *and*
+/// steppable: queries take the read side (many concurrent tiles), a
+/// [`StepSources`](dashmm_net::FrameKind::StepSources) update takes the
+/// write side and refits the tree in place.  This is the lock the
+/// [`StepEngine`](dashmm_net::StepEngine) contract asks the engine to
+/// provide — queries admitted concurrently with a step land on one side
+/// of it or the other.
+pub struct SteppingResident(pub RwLock<ResidentFmm<Laplace>>);
+
+impl SteppingResident {
+    /// Wrap a built engine.
+    pub fn new(fmm: ResidentFmm<Laplace>) -> Self {
+        SteppingResident(RwLock::new(fmm))
+    }
+}
+
+impl dashmm_net::EvalEngine for SteppingResident {
+    fn evaluate(&self, targets: &[[f64; 3]], out: &mut [f64]) {
+        self.0.read().expect("engine lock").evaluate(targets, out);
+    }
+}
+
+impl dashmm_net::StepEngine for SteppingResident {
+    fn step(&self, moves: &[(u32, [f64; 3])], charges: &[(u32, f64)]) -> bool {
+        let mut fmm = self.0.write().expect("engine lock");
+        let n = fmm.num_sources() as u32;
+        if moves
+            .iter()
+            .map(|(i, _)| *i)
+            .chain(charges.iter().map(|(i, _)| *i))
+            .any(|i| i >= n)
+        {
+            return false;
+        }
+        let moves: Vec<Displacement> = moves
+            .iter()
+            .map(|&(index, delta)| Displacement { index, delta })
+            .collect();
+        let charges: Vec<ChargeUpdate> = charges
+            .iter()
+            .map(|&(index, charge)| ChargeUpdate { index, charge })
+            .collect();
+        fmm.step(&moves, &charges);
+        true
+    }
+}
+
 /// The ready line `serve` prints once it is listening; `load_test` parses
 /// the port out of it.
 pub const READY_PREFIX: &str = "SERVE ready port=";
@@ -103,6 +153,49 @@ mod service_tests {
         assert_eq!(a, b, "same (client, req) must reproduce");
         assert_ne!(a, c, "different requests must differ");
         assert!(a.iter().flatten().all(|x| x.abs() <= 1.0));
+    }
+
+    #[test]
+    fn stepping_resident_serves_and_steps() {
+        use dashmm_net::{EvalEngine as _, StepEngine as _};
+        let w = ServiceWorkload {
+            points: 2000,
+            ..ServiceWorkload::default()
+        };
+        let engine = SteppingResident::new(w.build_engine());
+        let targets = w.request_targets(0, 0, 8);
+        let mut before = vec![0.0; 8];
+        engine.evaluate(&targets, &mut before);
+        // An out-of-range index is rejected and nothing is applied.
+        assert!(!engine.step(&[(u32::MAX, [0.0; 3])], &[]));
+        let mut same = vec![0.0; 8];
+        engine.evaluate(&targets, &mut same);
+        assert_eq!(before, same);
+        // A real update is applied and visible to the next query.
+        assert!(engine.step(&[(0, [0.01, 0.0, 0.0])], &[(1, 3.0)]));
+        let mut after = vec![0.0; 8];
+        engine.evaluate(&targets, &mut after);
+        assert_ne!(before, after, "step must change the answers");
+        // The stepped engine matches a from-scratch rebuild in the same
+        // domain over the updated sources.
+        let fmm = engine.0.read().unwrap();
+        let fresh = ResidentFmm::build_in_domain(
+            Laplace,
+            &fmm.current_sources(),
+            &fmm.current_charges(),
+            ResidentConfig {
+                theta: w.theta,
+                build: BuildParams {
+                    threshold: w.threshold,
+                    ..BuildParams::default()
+                },
+                ..ResidentConfig::default()
+            },
+            *fmm.domain(),
+        );
+        let mut want = vec![0.0; 8];
+        fresh.evaluate(&targets, &mut want);
+        assert_eq!(after, want);
     }
 
     #[test]

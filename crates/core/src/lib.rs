@@ -42,6 +42,7 @@ pub mod exec;
 pub mod measure;
 pub mod problem;
 pub mod resident;
+pub mod step;
 pub mod verify;
 
 pub use api::{DashmmBuilder, EvalOutput, Evaluation, Policy};
@@ -49,4 +50,5 @@ pub use assemble::{assemble, Assembly};
 pub use measure::per_op_avg_us;
 pub use problem::{block_owner, Method, Problem};
 pub use resident::{ResidentConfig, ResidentFmm};
+pub use step::{StepDag, StepReport};
 pub use verify::{check_accuracy, AccuracyReport};

@@ -10,11 +10,22 @@
 //!
 //! 1. **Build** (once): octree over the sources, charges permuted to tree
 //!    order, `S→M` at every leaf, `M→M` up to the root.  The flat
-//!    multipole arena (`num_nodes × expansion_len`) is the cached state.
+//!    multipole arena (`node slots × expansion_len`) is the cached state.
 //! 2. **Query** (per batch): a treecode descent from the root under the
 //!    same `θ` acceptance criterion the one-shot Barnes–Hut assembly uses,
 //!    batching accepted boxes through `M→T` and leaf neighbours through
 //!    `S→T` with the vectorized particle operators.
+//! 3. **Step** (optional, see [`crate::step`]): sparse displacements and
+//!    charge updates refit the tree in place and recompute only the
+//!    expansions reachable from dirty leaves; everything else — tree
+//!    buffers, interaction lists, the persistent step DAG, the arena
+//!    allocation — is reused verbatim.
+//!
+//! The tree lives in refit form ([`RefitTree`]) from the start: per-leaf
+//! point blocks whose initial order is exactly the builder's Morton
+//! order, so a never-stepped engine is bit-for-bit the old one-shot
+//! resident engine, and the multipole arena is indexed by node *slot* so
+//! stepping never moves an expansion.
 //!
 //! **Batch-composition invariance** is the load-bearing property: each
 //! target's (box, operator) interaction set and accumulation order is a
@@ -29,7 +40,10 @@ use std::cell::RefCell;
 
 use dashmm_expansion::{ops, AccuracyParams, BatchWorkspace, OperatorLibrary};
 use dashmm_kernels::Kernel;
+use dashmm_refit::{DirtySet, RefitTree, StepLists};
 use dashmm_tree::{BuildParams, Domain, Octree, Point3};
+
+use crate::step::StepDag;
 
 /// Configuration of a resident evaluation engine.
 #[derive(Clone, Copy, Debug)]
@@ -63,42 +77,67 @@ thread_local! {
 
 /// The cached source-side state of a resident FMM evaluation service.
 pub struct ResidentFmm<K: Kernel> {
-    tree: Octree,
-    /// Charges in tree (Morton) order.
-    charges: Vec<f64>,
-    lib: OperatorLibrary<K>,
-    theta: f64,
-    /// Flat multipole arena: node `i`'s expansion is
-    /// `multipoles[i*n_exp .. (i+1)*n_exp]` (zeros for empty boxes).
-    multipoles: Vec<f64>,
-    n_exp: usize,
+    pub(crate) tree: RefitTree,
+    pub(crate) lib: OperatorLibrary<K>,
+    pub(crate) theta: f64,
+    /// Flat multipole arena: node slot `i`'s expansion is
+    /// `multipoles[i*n_exp .. (i+1)*n_exp]` (stale for dead slots).
+    pub(crate) multipoles: Vec<f64>,
+    pub(crate) n_exp: usize,
+    /// Dirty flags of the most recent step (empty before any step).
+    pub(crate) dirty: DirtySet,
+    /// Per-box interaction lists, patched incrementally.
+    pub(crate) lists: StepLists,
+    /// Persistent step DAG over the current structure.
+    pub(crate) dag: StepDag,
+    pub(crate) invalidator: dashmm_dag::Invalidator,
+    pub(crate) recompute_scratch: Vec<u32>,
+    pub(crate) seed_scratch: Vec<u32>,
+    pub(crate) child_scratch: Vec<f64>,
+    pub(crate) upward_ws: BatchWorkspace,
 }
 
 impl<K: Kernel> ResidentFmm<K> {
-    /// Build the tree and run the upward pass; everything a query needs is
+    /// Build the tree over the smallest padded cube containing the
+    /// sources and run the upward pass; everything a query needs is
     /// cached on return.
     pub fn build(kernel: K, sources: &[Point3], charges: &[f64], cfg: ResidentConfig) -> Self {
+        assert!(!sources.is_empty(), "at least one source required");
+        let domain = Domain::containing(&[sources], cfg.pad);
+        Self::build_in_domain(kernel, sources, charges, cfg, domain)
+    }
+
+    /// Build inside an explicit `domain` (ignoring `cfg.pad`).  Stepping
+    /// verification depends on this: a from-scratch rebuild over the
+    /// *same* fixed domain is the reference a stepped engine is compared
+    /// against, box for box.
+    pub fn build_in_domain(
+        kernel: K,
+        sources: &[Point3],
+        charges: &[f64],
+        cfg: ResidentConfig,
+        domain: Domain,
+    ) -> Self {
         assert_eq!(sources.len(), charges.len(), "one charge per source");
         assert!(!sources.is_empty(), "at least one source required");
         assert!(cfg.theta > 0.0, "theta must be positive");
-        let domain = Domain::containing(&[sources], cfg.pad);
-        let tree = Octree::build(domain, sources, cfg.build);
-        let permuted: Vec<f64> = tree
+        let octree = Octree::build(domain, sources, cfg.build);
+        let permuted: Vec<f64> = octree
             .permutation()
             .iter()
             .map(|&i| charges[i as usize])
             .collect();
         let lib = OperatorLibrary::new(kernel, cfg.accuracy, domain.side(), false);
         let n_exp = cfg.accuracy.surface_points();
-        let mut multipoles = vec![0.0f64; tree.num_nodes() * n_exp];
+        let mut multipoles = vec![0.0f64; octree.num_nodes() * n_exp];
         let mut ws = BatchWorkspace::new();
         let mut child_m = vec![0.0f64; n_exp];
         // Bottom-up by level: leaves project their sources (`S→M`),
         // interior boxes accumulate their children (`M→M`, parent-level
         // tables).
-        for level in (0..=tree.depth()).rev() {
-            for &id in tree.level_nodes(level) {
-                let node = tree.node(id);
+        for level in (0..=octree.depth()).rev() {
+            for &id in octree.level_nodes(level) {
+                let node = octree.node(id);
                 if node.count == 0 {
                     continue;
                 }
@@ -108,8 +147,8 @@ impl<K: Kernel> ResidentFmm<K> {
                     ops::s2m(
                         lib.kernel(),
                         &t,
-                        tree.center_of(id),
-                        tree.points_of(id),
+                        octree.center_of(id),
+                        octree.points_of(id),
                         &permuted[node.first..node.first + node.count],
                         &mut ws,
                         out,
@@ -118,7 +157,7 @@ impl<K: Kernel> ResidentFmm<K> {
                     let t = lib.tables(level);
                     let children: Vec<u32> = node.child_ids().collect();
                     for c in children {
-                        let cn = tree.node(c);
+                        let cn = octree.node(c);
                         if cn.count == 0 {
                             continue;
                         }
@@ -132,19 +171,29 @@ impl<K: Kernel> ResidentFmm<K> {
                 }
             }
         }
+        let tree = RefitTree::from_octree(&octree, charges);
+        let lists = StepLists::build(&tree);
+        let dag = StepDag::assemble(&tree, &lists, n_exp);
         ResidentFmm {
             tree,
-            charges: permuted,
             lib,
             theta: cfg.theta,
             multipoles,
             n_exp,
+            dirty: DirtySet::new(),
+            lists,
+            dag,
+            invalidator: dashmm_dag::Invalidator::new(),
+            recompute_scratch: Vec::new(),
+            seed_scratch: Vec::new(),
+            child_scratch: Vec::new(),
+            upward_ws: ws,
         }
     }
 
     /// Number of cached sources.
     pub fn num_sources(&self) -> usize {
-        self.charges.len()
+        self.tree.num_points()
     }
 
     /// Depth of the cached tree.
@@ -152,9 +201,9 @@ impl<K: Kernel> ResidentFmm<K> {
         self.tree.depth()
     }
 
-    /// Boxes in the cached tree.
+    /// Live boxes in the cached tree.
     pub fn num_nodes(&self) -> usize {
-        self.tree.num_nodes()
+        self.tree.num_alive_boxes()
     }
 
     /// Length of one cached multipole expansion.
@@ -167,13 +216,50 @@ impl<K: Kernel> ResidentFmm<K> {
         self.theta
     }
 
-    fn multipole(&self, id: u32) -> &[f64] {
+    /// The resident tree in refit form.
+    pub fn tree(&self) -> &RefitTree {
+        &self.tree
+    }
+
+    /// The fixed computational domain.
+    pub fn domain(&self) -> &Domain {
+        self.tree.domain()
+    }
+
+    /// The cached multipole expansion of a (live) box slot.
+    pub fn multipole(&self, id: u32) -> &[f64] {
         &self.multipoles[id as usize * self.n_exp..(id as usize + 1) * self.n_exp]
     }
 
-    fn charges_of(&self, id: u32) -> &[f64] {
-        let node = self.tree.node(id);
-        &self.charges[node.first..node.first + node.count]
+    /// Dirty-reason bits of a box from the most recent
+    /// [`step`](Self::step) (0 = clean / never stepped).
+    pub fn dirty_reason(&self, id: u32) -> u8 {
+        self.dirty.reason(id)
+    }
+
+    /// Current source positions in original index order.
+    pub fn current_sources(&self) -> Vec<Point3> {
+        (0..self.tree.num_points() as u32)
+            .map(|i| self.tree.position_of(i))
+            .collect()
+    }
+
+    /// Current charges in original index order.
+    pub fn current_charges(&self) -> Vec<f64> {
+        (0..self.tree.num_points() as u32)
+            .map(|i| self.tree.charge_of(i))
+            .collect()
+    }
+
+    /// Bytes of held capacity across every persistent structure of the
+    /// engine (the step-loop footprint-stability probe).
+    pub fn resident_bytes(&self) -> usize {
+        self.tree.footprint_bytes()
+            + self.lists.footprint_bytes()
+            + self.dirty.scratch_bytes()
+            + self.invalidator.scratch_bytes()
+            + 8 * (self.multipoles.capacity() + self.child_scratch.capacity())
+            + 4 * (self.recompute_scratch.capacity() + self.seed_scratch.capacity())
     }
 
     /// Evaluate the potential at each target, overwriting `out`
@@ -234,18 +320,12 @@ impl<K: Kernel> ResidentFmm<K> {
             }
             if !near.is_empty() {
                 if node.is_leaf() {
+                    let (pts, q) = self.tree.leaf_points(s);
                     batch_pts.clear();
                     batch_pts.extend(near.iter().map(|&i| targets[i as usize]));
                     batch_out.clear();
                     batch_out.resize(near.len(), 0.0);
-                    ops::p2p(
-                        self.lib.kernel(),
-                        self.tree.points_of(s),
-                        self.charges_of(s),
-                        &batch_pts,
-                        ws,
-                        &mut batch_out,
-                    );
+                    ops::p2p(self.lib.kernel(), pts, q, &batch_pts, ws, &mut batch_out);
                     for (k, &ti) in near.iter().enumerate() {
                         out[ti as usize] += batch_out[k];
                     }

@@ -1,0 +1,205 @@
+//! Property tests of the incremental stepping engine against its ground
+//! truth, a from-scratch rebuild in the same domain:
+//!
+//! - **equivalence** — after arbitrary displacement/charge steps, probe
+//!   potentials of the stepped engine equal the rebuild's bitwise (the
+//!   sorted-leaf-block invariant makes every expansion identical, so no
+//!   tolerance is needed),
+//! - **dirty-set soundness** — every box whose multipole expansion
+//!   differs from the same-key box of the rebuild carries a dirty reason
+//!   (nothing changes silently),
+//! - **footprint stability** — reversible step cycles leave
+//!   `resident_bytes` exactly flat after warm-up (steady-state stepping
+//!   allocates nothing).
+
+use std::collections::HashMap;
+
+use dashmm_core::{ResidentConfig, ResidentFmm};
+use dashmm_kernels::Laplace;
+use dashmm_refit::{ChargeUpdate, Displacement};
+use dashmm_tree::{uniform_cube, BuildParams, Domain, MortonKey, Point3};
+use proptest::prelude::*;
+
+fn cfg(threshold: usize) -> ResidentConfig {
+    ResidentConfig {
+        theta: 0.5,
+        build: BuildParams {
+            threshold,
+            ..BuildParams::default()
+        },
+        ..ResidentConfig::default()
+    }
+}
+
+fn charges(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect()
+}
+
+/// A deterministic displacement batch: every `stride`-th point kicked
+/// along a direction derived from its index, scaled by `frac` of the
+/// domain side (reflected into the domain by clamping).
+fn kicks(
+    engine: &ResidentFmm<Laplace>,
+    stride: usize,
+    frac: f64,
+    phase: usize,
+) -> Vec<Displacement> {
+    let domain = engine.domain();
+    let side = domain.side();
+    let lo = domain.center() - Point3::new(domain.half(), domain.half(), domain.half());
+    let hi = domain.center() + Point3::new(domain.half(), domain.half(), domain.half());
+    let pos = engine.current_sources();
+    (phase % stride..engine.num_sources())
+        .step_by(stride)
+        .map(|i| {
+            let dir = [
+                ((i * 73 + 11) % 17) as f64 / 17.0 - 0.5,
+                ((i * 131 + 5) % 19) as f64 / 19.0 - 0.5,
+                ((i * 197 + 3) % 23) as f64 / 23.0 - 0.5,
+            ];
+            let p = pos[i];
+            let delta = [
+                (p.x + dir[0] * frac * side).clamp(lo.x, hi.x) - p.x,
+                (p.y + dir[1] * frac * side).clamp(lo.y, hi.y) - p.y,
+                (p.z + dir[2] * frac * side).clamp(lo.z, hi.z) - p.z,
+            ];
+            Displacement {
+                index: i as u32,
+                delta,
+            }
+        })
+        .collect()
+}
+
+fn rebuild(engine: &ResidentFmm<Laplace>, threshold: usize) -> ResidentFmm<Laplace> {
+    ResidentFmm::build_in_domain(
+        Laplace,
+        &engine.current_sources(),
+        &engine.current_charges(),
+        cfg(threshold),
+        *engine.domain(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Stepped probe potentials equal the rebuild's exactly, for random
+    /// problem sizes, kick magnitudes (both sub-leaf jitter and
+    /// leaf-crossing jumps) and step counts.
+    #[test]
+    fn stepped_potentials_equal_rebuild(
+        seed in 0u64..1000,
+        n in 400usize..1200,
+        frac_ix in 0usize..3,
+        steps in 1usize..4,
+    ) {
+        let frac = [0.001, 0.02, 0.15][frac_ix];
+        let threshold = 30;
+        let sources = uniform_cube(n, seed);
+        let q = charges(n);
+        let domain = Domain::containing(&[&sources[..]], 0.05);
+        let mut engine =
+            ResidentFmm::build_in_domain(Laplace, &sources, &q, cfg(threshold), domain);
+        for s in 0..steps {
+            let moves = kicks(&engine, 5, frac, s);
+            let updates: Vec<ChargeUpdate> = (s % 41..n)
+                .step_by(41)
+                .map(|i| ChargeUpdate { index: i as u32, charge: -q[i] })
+                .collect();
+            engine.step(&moves, &updates);
+        }
+        let fresh = rebuild(&engine, threshold);
+        let probes: Vec<[f64; 3]> = uniform_cube(32, seed ^ 0xabcd)
+            .iter()
+            .map(|p| [p.x, p.y, p.z])
+            .collect();
+        let mut got = vec![0.0; probes.len()];
+        let mut want = vec![0.0; probes.len()];
+        engine.evaluate(&probes, &mut got);
+        fresh.evaluate(&probes, &mut want);
+        // Bitwise equality: the refit preserves the builder's point order
+        // inside every leaf, so all expansions and all sums agree exactly.
+        prop_assert_eq!(got, want);
+    }
+
+    /// Soundness: after a step, any box whose expansion differs from the
+    /// same-key box of a rebuild must be in the dirty set.  (Complete-
+    /// ness — dirty boxes actually differing — does not hold pointwise:
+    /// a kick can round-trip to bitwise-identical coordinates.)
+    #[test]
+    fn every_differing_expansion_is_marked_dirty(
+        seed in 0u64..1000,
+        frac_ix in 0usize..2,
+    ) {
+        let frac = [0.005, 0.1][frac_ix];
+        let (n, threshold) = (800, 30);
+        let sources = uniform_cube(n, seed);
+        let q = charges(n);
+        let domain = Domain::containing(&[&sources[..]], 0.05);
+        let mut engine =
+            ResidentFmm::build_in_domain(Laplace, &sources, &q, cfg(threshold), domain);
+        let moves = kicks(&engine, 7, frac, 0);
+        let updates: Vec<ChargeUpdate> = (0..n)
+            .step_by(97)
+            .map(|i| ChargeUpdate { index: i as u32, charge: 2.0 })
+            .collect();
+        engine.step(&moves, &updates);
+
+        let fresh = rebuild(&engine, threshold);
+        let fresh_by_key: HashMap<MortonKey, u32> = fresh
+            .tree()
+            .alive_ids()
+            .map(|id| (fresh.tree().node(id).key, id))
+            .collect();
+        let ids: Vec<u32> = engine.tree().alive_ids().collect();
+        for id in ids {
+            let key = engine.tree().node(id).key;
+            let fid = *fresh_by_key.get(&key).expect("topology must match rebuild");
+            if engine.multipole(id) != fresh.multipole(fid) {
+                prop_assert!(
+                    engine.dirty_reason(id) != 0,
+                    "box {:?} changed without a dirty mark",
+                    key
+                );
+            }
+        }
+    }
+
+    /// Reversible step cycles (kick, then exact inverse) leave the
+    /// engine's resident footprint exactly flat once warm.
+    #[test]
+    fn resident_footprint_stable_under_reversible_cycles(
+        seed in 0u64..1000,
+    ) {
+        let (n, threshold) = (600, 30);
+        let sources = uniform_cube(n, seed);
+        let q = charges(n);
+        let domain = Domain::containing(&[&sources[..]], 0.05);
+        let mut engine =
+            ResidentFmm::build_in_domain(Laplace, &sources, &q, cfg(threshold), domain);
+        let cycle = |engine: &mut ResidentFmm<Laplace>| {
+            // Big enough to force rebinning and structural churn.
+            let moves = kicks(engine, 3, 0.12, 0);
+            engine.step(&moves, &[]);
+            let inverse: Vec<Displacement> = moves
+                .iter()
+                .map(|m| Displacement {
+                    index: m.index,
+                    delta: [-m.delta[0], -m.delta[1], -m.delta[2]],
+                })
+                .collect();
+            engine.step(&inverse, &[]);
+        };
+        for _ in 0..3 {
+            cycle(&mut engine);
+        }
+        let warm = engine.resident_bytes();
+        for _ in 0..3 {
+            cycle(&mut engine);
+            prop_assert_eq!(engine.resident_bytes(), warm);
+        }
+    }
+}

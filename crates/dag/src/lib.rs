@@ -14,10 +14,12 @@
 
 pub mod dist;
 pub mod graph;
+pub mod reuse;
 pub mod stats;
 
 pub use dist::{
     BlockPolicy, DistributionPolicy, FmmPolicy, ItPlacement, LoadBalancedPolicy, SingleLocality,
 };
 pub use graph::{Dag, DagBuilder, DagEdge, DagNode, EdgeOp, NodeClass};
+pub use reuse::{InvalidationReport, Invalidator};
 pub use stats::{DagStats, EdgeClassStats, NodeClassStats};

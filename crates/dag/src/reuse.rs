@@ -1,0 +1,200 @@
+//! Subgraph invalidation and edge-reuse accounting for persistent DAGs.
+//!
+//! A time-stepping engine keeps one executed DAG alive across steps: the
+//! allocation, placement and interaction structure are reused verbatim,
+//! and only the part *reachable from dirty inputs* must re-execute.  This
+//! module computes that part.  Given seed nodes (the `S`/`M` nodes of
+//! boxes whose sources moved or whose charges changed), the forward
+//! closure over out-edges is the invalidated subgraph; an edge is counted
+//! **invalidated** when its destination re-executes (the destination
+//! re-gathers every input, matching how the upward pass re-accumulates
+//! all children of a dirty parent) and **reused** otherwise.
+//!
+//! The scratch lives in an [`Invalidator`] so a resident engine can run
+//! one closure per step without reallocating.
+
+use crate::graph::{Dag, EdgeOp};
+
+/// Per-step result of a subgraph invalidation: how much of the persistent
+/// DAG must re-execute, broken down by operator class.
+#[derive(Clone, Debug, Default)]
+pub struct InvalidationReport {
+    /// Seed nodes the closure started from.
+    pub seeds: usize,
+    /// Nodes in the forward closure (these re-execute).
+    pub invalidated_nodes: usize,
+    /// Nodes in the DAG.
+    pub total_nodes: usize,
+    /// Edges whose destination re-executes.
+    pub invalidated_edges: u64,
+    /// Edges reused verbatim from the previous step.
+    pub reused_edges: u64,
+    /// Invalidated edges per operator class (indexed by [`EdgeOp::index`]).
+    pub invalidated_by_op: [u64; EdgeOp::COUNT],
+    /// Reused edges per operator class.
+    pub reused_by_op: [u64; EdgeOp::COUNT],
+}
+
+impl InvalidationReport {
+    /// Fraction of edges that must re-execute (0 for an empty DAG).
+    pub fn dirty_edge_fraction(&self) -> f64 {
+        let total = self.invalidated_edges + self.reused_edges;
+        if total == 0 {
+            0.0
+        } else {
+            self.invalidated_edges as f64 / total as f64
+        }
+    }
+
+    /// Invalidated edge count of one operator class.
+    pub fn invalidated(&self, op: EdgeOp) -> u64 {
+        self.invalidated_by_op[op.index()]
+    }
+
+    /// Reused edge count of one operator class.
+    pub fn reused(&self, op: EdgeOp) -> u64 {
+        self.reused_by_op[op.index()]
+    }
+}
+
+/// Reusable scratch for per-step forward-closure computations.
+#[derive(Default)]
+pub struct Invalidator {
+    reached: Vec<bool>,
+    queue: Vec<u32>,
+}
+
+impl Invalidator {
+    /// Empty scratch; buffers grow to the DAG size on first use and are
+    /// reused afterwards.
+    pub fn new() -> Self {
+        Invalidator::default()
+    }
+
+    /// Bytes of held scratch capacity (for footprint-stability probes).
+    pub fn scratch_bytes(&self) -> usize {
+        self.reached.capacity() + 4 * self.queue.capacity()
+    }
+
+    /// Forward closure from `seeds` over out-edges, with per-op edge
+    /// accounting.  Seeds outside the DAG are ignored.
+    pub fn run(&mut self, dag: &Dag, seeds: impl IntoIterator<Item = u32>) -> InvalidationReport {
+        let n = dag.num_nodes();
+        self.reached.clear();
+        self.reached.resize(n, false);
+        self.queue.clear();
+
+        let mut report = InvalidationReport {
+            total_nodes: n,
+            ..InvalidationReport::default()
+        };
+        for s in seeds {
+            if (s as usize) < n {
+                report.seeds += 1;
+                if !self.reached[s as usize] {
+                    self.reached[s as usize] = true;
+                    self.queue.push(s);
+                }
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
+            for e in dag.out_edges(v) {
+                if !self.reached[e.dst as usize] {
+                    self.reached[e.dst as usize] = true;
+                    self.queue.push(e.dst);
+                }
+            }
+        }
+        report.invalidated_nodes = self.queue.len();
+
+        // Edge accounting: an edge re-fires iff its destination node
+        // re-executes (destinations re-gather all inputs).
+        for v in 0..n as u32 {
+            for e in dag.out_edges(v) {
+                if self.reached[e.dst as usize] {
+                    report.invalidated_edges += 1;
+                    report.invalidated_by_op[e.op.index()] += 1;
+                } else {
+                    report.reused_edges += 1;
+                    report.reused_by_op[e.op.index()] += 1;
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DagBuilder, NodeClass};
+
+    /// A two-leaf upward chain with an M2L bridge:
+    /// S0→M0→Mp←M1←S1, Mp→L (M2L).
+    fn chain() -> Dag {
+        let mut b = DagBuilder::new();
+        let s0 = b.add_node(NodeClass::S, 0, 2, 8);
+        let s1 = b.add_node(NodeClass::S, 1, 2, 8);
+        let m0 = b.add_node(NodeClass::M, 0, 2, 8);
+        let m1 = b.add_node(NodeClass::M, 1, 2, 8);
+        let mp = b.add_node(NodeClass::M, 2, 1, 8);
+        let l = b.add_node(NodeClass::L, 3, 1, 8);
+        b.add_edge(s0, EdgeOp::S2M, m0, 8, 0);
+        b.add_edge(s1, EdgeOp::S2M, m1, 8, 0);
+        b.add_edge(m0, EdgeOp::M2M, mp, 8, 0);
+        b.add_edge(m1, EdgeOp::M2M, mp, 8, 0);
+        b.add_edge(mp, EdgeOp::M2L, l, 8, 0);
+        b.finish()
+    }
+
+    #[test]
+    fn empty_seed_set_reuses_everything() {
+        let dag = chain();
+        let mut inv = Invalidator::new();
+        let r = inv.run(&dag, []);
+        assert_eq!(r.invalidated_nodes, 0);
+        assert_eq!(r.invalidated_edges, 0);
+        assert_eq!(r.reused_edges, dag.num_edges() as u64);
+        assert_eq!(r.dirty_edge_fraction(), 0.0);
+    }
+
+    #[test]
+    fn one_dirty_leaf_invalidates_its_chain_and_shares_the_parent() {
+        let dag = chain();
+        let mut inv = Invalidator::new();
+        // Seed S0: closure = {S0, M0, Mp, L}.
+        let r = inv.run(&dag, [0u32]);
+        assert_eq!(r.invalidated_nodes, 4);
+        // Dirty-destination edges: S0→M0, both M2M edges (Mp re-gathers
+        // all children), Mp→L.  Reused: S1→M1 only.
+        assert_eq!(r.invalidated(EdgeOp::S2M), 1);
+        assert_eq!(r.reused(EdgeOp::S2M), 1);
+        assert_eq!(r.invalidated(EdgeOp::M2M), 2);
+        assert_eq!(r.invalidated(EdgeOp::M2L), 1);
+        assert_eq!(r.invalidated_edges + r.reused_edges, dag.num_edges() as u64);
+    }
+
+    #[test]
+    fn scratch_is_stable_across_runs() {
+        let dag = chain();
+        let mut inv = Invalidator::new();
+        inv.run(&dag, [0u32, 1]);
+        let bytes = inv.scratch_bytes();
+        for _ in 0..16 {
+            inv.run(&dag, [1u32]);
+        }
+        assert_eq!(inv.scratch_bytes(), bytes, "closure scratch must not grow");
+    }
+
+    #[test]
+    fn out_of_range_seeds_are_ignored() {
+        let dag = chain();
+        let mut inv = Invalidator::new();
+        let r = inv.run(&dag, [999u32]);
+        assert_eq!(r.seeds, 0);
+        assert_eq!(r.invalidated_nodes, 0);
+    }
+}

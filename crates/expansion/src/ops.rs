@@ -198,6 +198,23 @@ pub fn m2m(t: &LevelTables, octant: u8, child_m: &[f64], parent_m: &mut [f64]) {
     t.m2m(octant).matvec_acc(child_m, parent_m);
 }
 
+/// Selective upward-pass recompute of one parent multipole: zero it and
+/// re-accumulate every child in the given order.
+///
+/// A time-stepping engine that refits the tree recomputes only the dirty
+/// interior boxes; re-gathering *all* cached children (rather than
+/// subtracting the stale contribution and adding the new one) keeps the
+/// accumulation identical to a from-scratch build, so clean boxes stay
+/// bitwise equal across a step and dirty ones differ from a rebuild only
+/// by leaf-level summation-order rounding.  Pass children in ascending
+/// octant order to match the build's accumulation order.
+pub fn m2m_refresh(t: &LevelTables, children: &[(u8, &[f64])], parent_m: &mut [f64]) {
+    parent_m.fill(0.0);
+    for &(octant, child_m) in children {
+        m2m(t, octant, child_m, parent_m);
+    }
+}
+
 /// `M→L`: accumulate a same-level well-separated multipole into a target
 /// local expansion.  `offset` is the integer grid offset (source minus
 /// target) in box widths.

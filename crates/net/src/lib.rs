@@ -52,9 +52,10 @@ pub use launcher::{bootstrap, env_rank, net_timeout, LaunchReport, Role};
 pub use metrics::{CommMetrics, DestMetrics, FlushReason};
 pub use reliable::{RetransmitConfig, SeqReceiver, SeqSender};
 pub use service::{
-    decode_request, decode_response, encode_request, encode_response, AdmissionConfig, EvalClient,
-    EvalEngine, EvalRequestMsg, EvalResponseMsg, EvalServer, RespStatus, ServiceConfig,
-    ServiceStats, MAX_REQUEST_TARGETS,
+    decode_request, decode_response, decode_step_request, encode_request, encode_response,
+    encode_step_request, AdmissionConfig, EvalClient, EvalEngine, EvalRequestMsg, EvalResponseMsg,
+    EvalServer, RespStatus, ServiceConfig, ServiceStats, StepEngine, StepRequestMsg,
+    MAX_REQUEST_TARGETS, MAX_STEP_UPDATES,
 };
 pub use transport::{
     SocketTransport, KILL_EXIT_CODE, TRACE_CLASS_ACK, TRACE_CLASS_HEARTBEAT,

@@ -62,8 +62,16 @@ pub const REQUEST_HEADER_BYTES: usize = 16;
 /// Fixed bytes of a response body ahead of its packed potentials.
 pub const RESPONSE_HEADER_BYTES: usize = 13;
 
+/// Upper bound on displacement *and* charge updates in one
+/// [`FrameKind::StepSources`] request; a declared count beyond it is
+/// rejected as hostile before any allocation.
+pub const MAX_STEP_UPDATES: usize = 1 << 15;
+
+/// Fixed bytes of a step-request body ahead of its packed updates.
+pub const STEP_HEADER_BYTES: usize = 20;
+
 /// Body cap for service connections: the largest legal request frame
-/// (response frames are smaller).
+/// (step and response frames are smaller: `20 + 40·2¹⁵ < 16 + 24·2¹⁶`).
 const SERVICE_MAX_BODY: usize = REQUEST_HEADER_BYTES + 24 * MAX_REQUEST_TARGETS;
 
 // ---------------------------------------------------------------------------
@@ -227,6 +235,101 @@ pub fn decode_response(body: &[u8]) -> Result<EvalResponseMsg, WireError> {
     })
 }
 
+/// One decoded source-update (time-step) request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepRequestMsg {
+    /// Client-chosen request id, echoed in the response.
+    pub req_id: u64,
+    /// Tenant the request is accounted against.
+    pub tenant: u32,
+    /// Per-source displacements `(source index, delta)`.
+    pub moves: Vec<(u32, [f64; 3])>,
+    /// Per-source charge replacements `(source index, new charge)`.
+    pub charges: Vec<(u32, f64)>,
+}
+
+/// Encode a [`FrameKind::StepSources`] body: `req_id u64 | tenant u32 |
+/// n_moves u32 | n_charges u32 | (idx u32, dx, dy, dz f64) × n_moves |
+/// (idx u32, q f64) × n_charges`.
+pub fn encode_step_request(
+    req_id: u64,
+    tenant: u32,
+    moves: &[(u32, [f64; 3])],
+    charges: &[(u32, f64)],
+) -> Vec<u8> {
+    assert!(
+        moves.len() <= MAX_STEP_UPDATES && charges.len() <= MAX_STEP_UPDATES,
+        "step request over the update limit"
+    );
+    let mut body = Vec::with_capacity(STEP_HEADER_BYTES + 28 * moves.len() + 12 * charges.len());
+    body.extend_from_slice(&req_id.to_le_bytes());
+    body.extend_from_slice(&tenant.to_le_bytes());
+    body.extend_from_slice(&(moves.len() as u32).to_le_bytes());
+    body.extend_from_slice(&(charges.len() as u32).to_le_bytes());
+    for (idx, d) in moves {
+        body.extend_from_slice(&idx.to_le_bytes());
+        body.extend_from_slice(&d[0].to_le_bytes());
+        body.extend_from_slice(&d[1].to_le_bytes());
+        body.extend_from_slice(&d[2].to_le_bytes());
+    }
+    for (idx, q) in charges {
+        body.extend_from_slice(&idx.to_le_bytes());
+        body.extend_from_slice(&q.to_le_bytes());
+    }
+    body
+}
+
+/// Decode a [`FrameKind::StepSources`] body (same hardening rules as
+/// [`decode_request`]: hostile counts are [`WireError::Oversize`] before
+/// any allocation, length disagreements are [`WireError::Truncated`] /
+/// [`WireError::BadParcel`]).
+pub fn decode_step_request(body: &[u8]) -> Result<StepRequestMsg, WireError> {
+    if body.len() < STEP_HEADER_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let req_id = le_u64(body);
+    let tenant = le_u32(&body[8..]);
+    let n_moves = le_u32(&body[12..]) as usize;
+    let n_charges = le_u32(&body[16..]) as usize;
+    if n_moves > MAX_STEP_UPDATES {
+        return Err(WireError::Oversize(n_moves));
+    }
+    if n_charges > MAX_STEP_UPDATES {
+        return Err(WireError::Oversize(n_charges));
+    }
+    let want = STEP_HEADER_BYTES + 28 * n_moves + 12 * n_charges;
+    if body.len() < want {
+        return Err(WireError::Truncated);
+    }
+    if body.len() > want {
+        return Err(WireError::BadParcel);
+    }
+    let mut moves = Vec::with_capacity(n_moves);
+    for chunk in body[STEP_HEADER_BYTES..STEP_HEADER_BYTES + 28 * n_moves].chunks_exact(28) {
+        moves.push((
+            le_u32(chunk),
+            [
+                f64::from_le_bytes(chunk[4..12].try_into().unwrap()),
+                f64::from_le_bytes(chunk[12..20].try_into().unwrap()),
+                f64::from_le_bytes(chunk[20..28].try_into().unwrap()),
+            ],
+        ));
+    }
+    let mut charges = Vec::with_capacity(n_charges);
+    for chunk in body[STEP_HEADER_BYTES + 28 * n_moves..].chunks_exact(12) {
+        charges.push((
+            le_u32(chunk),
+            f64::from_le_bytes(chunk[4..12].try_into().unwrap()),
+        ));
+    }
+    Ok(StepRequestMsg {
+        req_id,
+        tenant,
+        moves,
+        charges,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Engine abstraction
 // ---------------------------------------------------------------------------
@@ -251,6 +354,24 @@ where
     fn evaluate(&self, targets: &[[f64; 3]], out: &mut [f64]) {
         self(targets, out)
     }
+}
+
+/// An engine whose resident source state can be *stepped in place*
+/// between evaluations: apply per-source displacements and charge
+/// replacements, refit the cached tree/expansions incrementally, and keep
+/// serving queries.  `dashmm-core`'s `ResidentFmm::step` (behind a lock)
+/// satisfies this.
+///
+/// The engine must serialize `step` against concurrent `evaluate` calls
+/// itself; the server invokes `step` from the connection's reader thread
+/// while evaluation workers may be mid-tile.  Queries admitted before the
+/// step may therefore be answered from either the pre- or post-step
+/// state — tenants wanting a strict cut must quiesce their own queries
+/// around the step, as the timestep bench does.
+pub trait StepEngine: EvalEngine {
+    /// Apply the update; `false` rejects it (e.g. an index out of range),
+    /// answered to the client as [`RespStatus::BadRequest`].
+    fn step(&self, moves: &[(u32, [f64; 3])], charges: &[(u32, f64)]) -> bool;
 }
 
 // ---------------------------------------------------------------------------
@@ -594,6 +715,8 @@ pub struct ServiceTotals {
     pub tile_requests: u64,
     /// Malformed request bodies answered `BadRequest`.
     pub bad_requests: u64,
+    /// Source-update ([`FrameKind::StepSources`]) requests applied.
+    pub step_requests: u64,
     /// Connections accepted.
     pub connections: u64,
     /// Connections torn down on decode errors.
@@ -657,6 +780,7 @@ impl ServiceStats {
             ("tiles", Value::from(self.totals.tiles)),
             ("mean_tile_requests", Value::from(self.mean_tile_requests())),
             ("bad_requests", Value::from(self.totals.bad_requests)),
+            ("step_requests", Value::from(self.totals.step_requests)),
             ("connections", Value::from(self.totals.connections)),
             ("protocol_errors", Value::from(self.totals.protocol_errors)),
             ("latency", self.latency.to_json()),
@@ -705,6 +829,9 @@ impl ConnHandle {
 struct Shared {
     cfg: ServiceConfig,
     engine: Arc<dyn EvalEngine>,
+    /// Present iff the server was bound with [`EvalServer::bind_stepping`];
+    /// a [`FrameKind::StepSources`] frame without it is a `BadRequest`.
+    stepper: Option<Arc<dyn StepEngine>>,
     core: Mutex<Core>,
     work_cv: Condvar,
     /// Signals [`EvalServer::wait`]ers that draining finished.
@@ -742,6 +869,26 @@ impl EvalServer {
         engine: Arc<dyn EvalEngine>,
         cfg: ServiceConfig,
     ) -> std::io::Result<EvalServer> {
+        EvalServer::bind_inner(addr, engine, None, cfg)
+    }
+
+    /// Bind a *stepping* server: the engine additionally accepts
+    /// [`FrameKind::StepSources`] source updates between evaluations.
+    pub fn bind_stepping(
+        addr: &str,
+        engine: Arc<dyn StepEngine>,
+        cfg: ServiceConfig,
+    ) -> std::io::Result<EvalServer> {
+        let eval: Arc<dyn EvalEngine> = engine.clone();
+        EvalServer::bind_inner(addr, eval, Some(engine), cfg)
+    }
+
+    fn bind_inner(
+        addr: &str,
+        engine: Arc<dyn EvalEngine>,
+        stepper: Option<Arc<dyn StepEngine>>,
+        cfg: ServiceConfig,
+    ) -> std::io::Result<EvalServer> {
         assert!(cfg.tile_targets > 0, "tile budget must be positive");
         assert!(cfg.eval_workers > 0, "need at least one eval worker");
         let listener = TcpListener::bind(addr)?;
@@ -749,6 +896,7 @@ impl EvalServer {
         let shared = Arc::new(Shared {
             cfg,
             engine,
+            stepper,
             core: Mutex::new(Core {
                 agg: RequestAggregator::new(),
                 adm: Admission::new(cfg.admission),
@@ -1014,6 +1162,58 @@ fn handle_frame(frame: Frame, conn_id: u64, handle: &ConnHandle, shared: &Shared
             }
             true
         }
+        FrameKind::StepSources => {
+            let req = match decode_step_request(&frame.body) {
+                Ok(req) => req,
+                Err(_) => {
+                    let req_id = if frame.body.len() >= 8 {
+                        le_u64(&frame.body)
+                    } else {
+                        0
+                    };
+                    let mut core = shared.core.lock().expect("core lock");
+                    core.totals.bad_requests += 1;
+                    drop(core);
+                    shared.send_status(handle, req_id, RespStatus::BadRequest);
+                    return true;
+                }
+            };
+            let Some(stepper) = shared.stepper.as_ref() else {
+                // This server cannot mutate its sources; tell the client
+                // rather than silently ignoring the update.
+                let mut core = shared.core.lock().expect("core lock");
+                core.totals.bad_requests += 1;
+                drop(core);
+                shared.send_status(handle, req.req_id, RespStatus::BadRequest);
+                return true;
+            };
+            let draining = shared.core.lock().expect("core lock").draining;
+            if draining {
+                shared.send_status(handle, req.req_id, RespStatus::ShuttingDown);
+                return true;
+            }
+            // The engine serializes against in-flight tiles itself (see
+            // [`StepEngine`]); holding the core lock here would stall every
+            // reader behind the refit.
+            let applied = stepper.step(&req.moves, &req.charges);
+            let mut core = shared.core.lock().expect("core lock");
+            if applied {
+                core.totals.step_requests += 1;
+            } else {
+                core.totals.bad_requests += 1;
+            }
+            drop(core);
+            shared.send_status(
+                handle,
+                req.req_id,
+                if applied {
+                    RespStatus::Ok
+                } else {
+                    RespStatus::BadRequest
+                },
+            );
+            true
+        }
         FrameKind::Shutdown => {
             let mut core = shared.core.lock().expect("core lock");
             core.draining = true;
@@ -1187,6 +1387,31 @@ impl EvalClient {
         }
     }
 
+    /// Apply a source update on a stepping server and wait for the
+    /// outcome ([`RespStatus::Ok`] when applied; the response carries no
+    /// potentials).
+    pub fn step(
+        &mut self,
+        tenant: u32,
+        moves: &[(u32, [f64; 3])],
+        charges: &[(u32, f64)],
+    ) -> std::io::Result<EvalResponseMsg> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let frame = encode_frame(
+            FrameKind::StepSources,
+            0,
+            &encode_step_request(req_id, tenant, moves, charges),
+        );
+        self.stream.write_all(&frame)?;
+        loop {
+            let resp = self.recv()?;
+            if resp.req_id == req_id {
+                return Ok(resp);
+            }
+        }
+    }
+
     /// Ask the server to drain and exit its run loop.
     pub fn send_shutdown(&mut self) -> std::io::Result<()> {
         self.stream
@@ -1238,6 +1463,47 @@ mod tests {
         long.push(0);
         assert_eq!(decode_request(&long), Err(WireError::BadParcel));
         assert_eq!(decode_request(&body[..10]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn step_request_codec_roundtrip() {
+        let moves = vec![(3u32, [0.5, -1.0, 2.0]), (9, [0.0, 0.25, -0.125])];
+        let charges = vec![(1u32, -1.0), (7, 3.5), (11, 0.0)];
+        let body = encode_step_request(77, 4, &moves, &charges);
+        assert_eq!(body.len(), STEP_HEADER_BYTES + 28 * 2 + 12 * 3);
+        let req = decode_step_request(&body).unwrap();
+        assert_eq!(req.req_id, 77);
+        assert_eq!(req.tenant, 4);
+        assert_eq!(req.moves, moves);
+        assert_eq!(req.charges, charges);
+        // Empty updates are legal (a no-op step).
+        let empty = decode_step_request(&encode_step_request(1, 0, &[], &[])).unwrap();
+        assert!(empty.moves.is_empty() && empty.charges.is_empty());
+    }
+
+    #[test]
+    fn step_request_hostile_counts_rejected_before_allocation() {
+        let body = encode_step_request(1, 0, &[(0, [0.0; 3])], &[(0, 1.0)]);
+        let mut hostile_moves = body.clone();
+        hostile_moves[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_step_request(&hostile_moves),
+            Err(WireError::Oversize(_))
+        ));
+        let mut hostile_charges = body.clone();
+        hostile_charges[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_step_request(&hostile_charges),
+            Err(WireError::Oversize(_))
+        ));
+        assert_eq!(
+            decode_step_request(&body[..body.len() - 1]),
+            Err(WireError::Truncated)
+        );
+        let mut long = body.clone();
+        long.push(0);
+        assert_eq!(decode_step_request(&long), Err(WireError::BadParcel));
+        assert_eq!(decode_step_request(&body[..10]), Err(WireError::Truncated));
     }
 
     #[test]
@@ -1431,6 +1697,83 @@ mod tests {
         let row = &stats.tenants[0];
         assert_eq!(row.shed_requests, 1);
         assert_eq!(row.completed_requests, 1);
+    }
+
+    /// Steppable closed-form engine: φ(t) = x + k, where a step adds each
+    /// charge update's value to k (moves must stay in-range to be
+    /// accepted, mimicking the resident engine's index validation).
+    struct OffsetEngine {
+        k: Mutex<f64>,
+        num_sources: u32,
+    }
+
+    impl EvalEngine for OffsetEngine {
+        fn evaluate(&self, targets: &[[f64; 3]], out: &mut [f64]) {
+            let k = *self.k.lock().unwrap();
+            for (t, o) in targets.iter().zip(out.iter_mut()) {
+                *o = t[0] + k;
+            }
+        }
+    }
+
+    impl StepEngine for OffsetEngine {
+        fn step(&self, moves: &[(u32, [f64; 3])], charges: &[(u32, f64)]) -> bool {
+            if moves
+                .iter()
+                .map(|(i, _)| i)
+                .chain(charges.iter().map(|(i, _)| i))
+                .any(|&i| i >= self.num_sources)
+            {
+                return false;
+            }
+            *self.k.lock().unwrap() += charges.iter().map(|(_, q)| q).sum::<f64>();
+            true
+        }
+    }
+
+    #[test]
+    fn stepping_server_applies_updates_between_evals() {
+        let engine = Arc::new(OffsetEngine {
+            k: Mutex::new(0.0),
+            num_sources: 100,
+        });
+        let mut server =
+            EvalServer::bind_stepping("127.0.0.1:0", engine, ServiceConfig::default()).unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        let mut client = EvalClient::connect(&addr).unwrap();
+        let before = client.eval(0, &[[1.0, 0.0, 0.0]]).unwrap();
+        assert_eq!(before.potentials, vec![1.0]);
+        let resp = client
+            .step(0, &[(5, [0.1, 0.0, 0.0])], &[(2, 2.0), (3, 0.5)])
+            .unwrap();
+        assert_eq!(resp.status, RespStatus::Ok);
+        assert!(resp.potentials.is_empty());
+        let after = client.eval(0, &[[1.0, 0.0, 0.0]]).unwrap();
+        assert_eq!(after.potentials, vec![3.5], "eval sees the applied step");
+        // An out-of-range source index is rejected, not applied.
+        let bad = client.step(0, &[(999, [0.0; 3])], &[]).unwrap();
+        assert_eq!(bad.status, RespStatus::BadRequest);
+        client.close().unwrap();
+        server.shutdown();
+        let stats = server.stats();
+        assert_eq!(stats.totals.step_requests, 1);
+        assert_eq!(stats.totals.bad_requests, 1);
+    }
+
+    #[test]
+    fn step_on_non_stepping_server_is_bad_request() {
+        let mut server =
+            EvalServer::bind("127.0.0.1:0", plane_engine(), ServiceConfig::default()).unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        let mut client = EvalClient::connect(&addr).unwrap();
+        let resp = client.step(0, &[], &[(0, 1.0)]).unwrap();
+        assert_eq!(resp.status, RespStatus::BadRequest);
+        // The connection survives; evaluation still works.
+        let ok = client.eval(0, &pts(1, 2.0)).unwrap();
+        assert_eq!(ok.status, RespStatus::Ok);
+        client.close().unwrap();
+        server.shutdown();
+        assert_eq!(server.stats().totals.bad_requests, 1);
     }
 
     #[test]

@@ -915,7 +915,10 @@ fn handle_frame(s: &Shared, src: u32, kind: FrameKind, body: Vec<u8>, peer_close
                 s.rank
             ));
         }
-        FrameKind::EvalRequest | FrameKind::EvalResponse | FrameKind::Shutdown => {
+        FrameKind::EvalRequest
+        | FrameKind::EvalResponse
+        | FrameKind::Shutdown
+        | FrameKind::StepSources => {
             // Service-protocol frames belong to `service::EvalServer`
             // endpoints, never to the rank mesh.
             fatal(&format!(

@@ -84,6 +84,12 @@ pub enum FrameKind {
     /// Administrative shutdown of a resident evaluation server (empty
     /// body); the server finishes in-flight work and exits its run loop.
     Shutdown = 15,
+    /// Incremental source update (client → server): `req_id u64 |
+    /// tenant u32 | n_moves u32 | n_charges u32 | (idx u32, dx, dy, dz
+    /// f64) × n_moves | (idx u32, q f64) × n_charges` (see
+    /// `service::encode_step_request`).  Answered with an empty
+    /// [`FrameKind::EvalResponse`] carrying the outcome status.
+    StepSources = 16,
 }
 
 impl FrameKind {
@@ -104,6 +110,7 @@ impl FrameKind {
             13 => FrameKind::EvalRequest,
             14 => FrameKind::EvalResponse,
             15 => FrameKind::Shutdown,
+            16 => FrameKind::StepSources,
             _ => return None,
         })
     }

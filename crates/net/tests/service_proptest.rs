@@ -6,8 +6,8 @@
 //! wire format).
 
 use dashmm_net::service::{
-    decode_request, decode_response, encode_request, encode_response, RespStatus,
-    MAX_REQUEST_TARGETS,
+    decode_request, decode_response, decode_step_request, encode_request, encode_response,
+    encode_step_request, RespStatus, MAX_REQUEST_TARGETS, MAX_STEP_UPDATES,
 };
 use dashmm_net::wire::{encode_frame, FrameDecoder, FrameKind, WireError};
 use proptest::prelude::*;
@@ -105,6 +105,57 @@ proptest! {
         body[9..13].copy_from_slice(&declared.to_le_bytes());
         prop_assert_eq!(
             decode_response(&body),
+            Err(WireError::Oversize(declared as usize))
+        );
+    }
+
+    #[test]
+    fn step_request_roundtrip_bitwise(
+        req_id in any::<u64>(),
+        tenant in any::<u32>(),
+        moves in prop::collection::vec(
+            (any::<u32>(), any::<f64>(), any::<f64>(), any::<f64>())
+                .prop_map(|(i, x, y, z)| (i, [x, y, z])),
+            0..48,
+        ),
+        charges in prop::collection::vec((any::<u32>(), any::<f64>()), 0..48),
+    ) {
+        let body = encode_step_request(req_id, tenant, &moves, &charges);
+        let msg = decode_step_request(&body).expect("well-formed body decodes");
+        prop_assert_eq!(msg.req_id, req_id);
+        prop_assert_eq!(msg.tenant, tenant);
+        // Bitwise equality (NaNs included): compare the re-encoding.
+        prop_assert_eq!(
+            encode_step_request(msg.req_id, msg.tenant, &msg.moves, &msg.charges),
+            body
+        );
+    }
+
+    #[test]
+    fn step_request_truncation_and_hostile_counts_rejected(
+        moves in prop::collection::vec(
+            (any::<u32>(), any::<f64>(), any::<f64>(), any::<f64>())
+                .prop_map(|(i, x, y, z)| (i, [x, y, z])),
+            0..16,
+        ),
+        charges in prop::collection::vec((any::<u32>(), any::<f64>()), 0..16),
+        cut in 0usize..100_000,
+        declared in (MAX_STEP_UPDATES as u32 + 1)..=u32::MAX,
+        which in any::<bool>(),
+    ) {
+        let body = encode_step_request(1, 2, &moves, &charges);
+        let cut = cut % body.len();
+        prop_assert_eq!(decode_step_request(&body[..cut]), Err(WireError::Truncated));
+        let mut long = body.clone();
+        long.push(0);
+        prop_assert_eq!(decode_step_request(&long), Err(WireError::BadParcel));
+        // Either count field declaring beyond the cap is refused before
+        // any allocation.
+        let mut hostile = body;
+        let at = if which { 12 } else { 16 };
+        hostile[at..at + 4].copy_from_slice(&declared.to_le_bytes());
+        prop_assert_eq!(
+            decode_step_request(&hostile),
             Err(WireError::Oversize(declared as usize))
         );
     }

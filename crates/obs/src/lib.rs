@@ -21,6 +21,7 @@ pub mod event;
 pub mod json;
 pub mod merge;
 pub mod recorder;
+pub mod refit;
 pub mod service;
 pub mod summary;
 pub mod trace;
@@ -36,6 +37,7 @@ pub use merge::{
     align_ranks, decode_rank_trace, encode_rank_trace, merged_chrome_trace, RankTrace,
 };
 pub use recorder::{ClassCounters, ClassStat, ObsLevel, SpanRing, DEFAULT_RING_CAPACITY};
+pub use refit::{refit_section, StepObs};
 pub use service::{
     request_latency, service_section, LatencySummary, RequestSpan, RequestTrace,
     DEFAULT_REQUEST_TRACE_CAPACITY,

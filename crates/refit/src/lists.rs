@@ -1,0 +1,116 @@
+//! Interaction lists that survive time steps.
+//!
+//! [`StepLists`] keeps one [`BoxLists`] per node slot and, after a refit,
+//! re-derives lists only for targets that can *possibly* have changed.
+//! The localisation argument: every membership condition of the four
+//! lists (adjacency for `L1`, parent-adjacency + separation for `L2`,
+//! the `L3`/`L4` leaf conditions) implies that the source and target
+//! boxes have **adjacent parents**.  So if no created/deleted/split/
+//! merged box has a parent adjacent to `parent(t)`, the set of boxes
+//! visible to `t` is unchanged and its lists are reused verbatim.
+//! Targets that fail the test are recomputed from scratch with the
+//! single-target traversal [`box_lists_for`], which is independent of
+//! every other target.
+
+use dashmm_tree::{box_lists_for, BoxLists, MortonKey, TreeTopology};
+
+use crate::tree::RefitTree;
+
+/// Per-box interaction lists maintained incrementally across refits.
+#[derive(Default)]
+pub struct StepLists {
+    lists: Vec<BoxLists>,
+    /// Parent keys of changed boxes, deduplicated (scratch).
+    frontier: Vec<MortonKey>,
+}
+
+impl StepLists {
+    /// Lists for every live box of `tree`, computed from scratch.
+    pub fn build(tree: &RefitTree) -> Self {
+        let mut s = StepLists::default();
+        s.rebuild(tree);
+        s
+    }
+
+    /// Recompute every live box's lists (structural reset).
+    pub fn rebuild(&mut self, tree: &RefitTree) {
+        if self.lists.len() < tree.num_slots() {
+            self.lists.resize_with(tree.num_slots(), BoxLists::default);
+        }
+        for id in 0..tree.num_slots() as u32 {
+            if tree.is_alive(id) {
+                self.lists[id as usize] = box_lists_for(tree, tree, id);
+            } else {
+                self.clear_slot(id);
+            }
+        }
+    }
+
+    /// Patch the lists after a refit whose structural changes are
+    /// `changed_keys` (see `RefitStats::changed_keys`).  Returns the
+    /// number of targets recomputed; with no structural changes this is
+    /// zero and every list is reused.
+    pub fn patch(&mut self, tree: &RefitTree, changed_keys: &[MortonKey]) -> usize {
+        if self.lists.len() < tree.num_slots() {
+            self.lists.resize_with(tree.num_slots(), BoxLists::default);
+        }
+        if changed_keys.is_empty() {
+            return 0;
+        }
+        self.frontier.clear();
+        self.frontier
+            .extend(changed_keys.iter().map(|k| k.parent()));
+        self.frontier.sort_unstable();
+        self.frontier.dedup();
+        let mut recomputed = 0;
+        for id in 0..tree.num_slots() as u32 {
+            if !tree.is_alive(id) {
+                self.clear_slot(id);
+                continue;
+            }
+            let pk = tree.key_of(id).parent();
+            if self.frontier.iter().any(|f| f.adjacent(&pk)) {
+                self.lists[id as usize] = box_lists_for(tree, tree, id);
+                recomputed += 1;
+            }
+        }
+        recomputed
+    }
+
+    /// Lists of a live box.
+    pub fn of(&self, id: u32) -> &BoxLists {
+        &self.lists[id as usize]
+    }
+
+    /// Total list entries across all slots.
+    pub fn total_entries(&self) -> usize {
+        self.lists
+            .iter()
+            .map(|b| b.l1.len() + b.l2.len() + b.l3.len() + b.l4.len())
+            .sum()
+    }
+
+    /// Bytes of held capacity (footprint-stability probes).
+    pub fn footprint_bytes(&self) -> usize {
+        let per_list: usize = self
+            .lists
+            .iter()
+            .map(|b| {
+                4 * b.l1.capacity()
+                    + std::mem::size_of::<dashmm_tree::ListEntry>() * b.l2.capacity()
+                    + 4 * (b.l3.capacity() + b.l4.capacity())
+            })
+            .sum();
+        self.lists.capacity() * std::mem::size_of::<BoxLists>()
+            + per_list
+            + std::mem::size_of::<MortonKey>() * self.frontier.capacity()
+    }
+
+    fn clear_slot(&mut self, id: u32) {
+        let b = &mut self.lists[id as usize];
+        b.l1.clear();
+        b.l2.clear();
+        b.l3.clear();
+        b.l4.clear();
+    }
+}

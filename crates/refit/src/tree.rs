@@ -1,0 +1,790 @@
+//! An octree that can be *refitted* in place as points move.
+//!
+//! [`Octree`](dashmm_tree::Octree) stores points as one Morton-sorted
+//! array with contiguous `first..first+count` ranges per box — ideal for
+//! a one-shot build, hostile to incremental updates.  [`RefitTree`]
+//! trades that for per-leaf **blocks** (`ids`/`pts`/`q` triples) plus a
+//! point→(leaf, slot) index, so a time step touches exactly the leaves
+//! whose membership changed:
+//!
+//! * a displaced point that stays inside its leaf is updated in place,
+//! * a leaf-crossing point is removed (`swap_remove`) and re-binned by a
+//!   root descent over the level grids,
+//! * leaves whose occupancy crosses the refinement threshold are split
+//!   or merged with **exactly the builder's rules** (split while
+//!   `count > threshold && level < max_level`, collapse the topmost
+//!   ancestor whose subtree dropped to `≤ threshold`, delete emptied
+//!   subtrees), so the refitted topology is identical to what
+//!   `Octree::build` over the current positions would produce.
+//!
+//! That last invariant is what makes refit-vs-rebuild verification to
+//! 1e-12 possible: untouched leaves keep their points in the original
+//! Morton order (bitwise-equal expansions), and touched boxes differ
+//! from a rebuild only by in-leaf summation order.  Node and block slots
+//! are recycled through free lists and every buffer is reused across
+//! steps, so a converged stepping loop allocates nothing.
+
+use dashmm_tree::morton::{deep_code, MAX_LEVEL};
+use dashmm_tree::{BuildParams, Domain, MortonKey, Octree, Point3, TreeTopology};
+
+use crate::dirty::{reason, DirtySet};
+
+/// A sparse per-point displacement: `index` is the point's original
+/// (build-time) index.
+#[derive(Clone, Copy, Debug)]
+pub struct Displacement {
+    /// Original point index.
+    pub index: u32,
+    /// Position delta to apply.
+    pub delta: [f64; 3],
+}
+
+/// A sparse charge update, by original point index.
+#[derive(Clone, Copy, Debug)]
+pub struct ChargeUpdate {
+    /// Original point index.
+    pub index: u32,
+    /// New charge value.
+    pub charge: f64,
+}
+
+/// What one refit did to the tree.
+#[derive(Clone, Debug, Default)]
+pub struct RefitStats {
+    /// Points displaced this step.
+    pub moved: usize,
+    /// Displaced points that crossed a leaf boundary and were re-binned.
+    pub rebinned: usize,
+    /// Charges rewritten.
+    pub charge_updates: usize,
+    /// Leaves split into children.
+    pub splits: usize,
+    /// Interior boxes collapsed back into leaves.
+    pub merges: usize,
+    /// Boxes created (split children, new octant leaves).
+    pub created_boxes: usize,
+    /// Boxes deleted (emptied subtrees, merged descendants).
+    pub deleted_boxes: usize,
+    /// Keys of every box whose existence or leaf-ness changed: created,
+    /// deleted, split roots and merge roots.  Interaction lists of boxes
+    /// near these keys must be re-derived; empty means the step was
+    /// purely a content update and every list is reused verbatim.
+    pub changed_keys: Vec<MortonKey>,
+}
+
+impl RefitStats {
+    /// Whether the tree's structure (not just its contents) changed.
+    pub fn structural(&self) -> bool {
+        !self.changed_keys.is_empty()
+    }
+}
+
+/// Per-leaf point storage: parallel `ids`/`pts`/`q`/`codes` arrays, kept
+/// sorted by deep Morton code.  The sort order is the load-bearing
+/// invariant: it is exactly the order `Octree::build` visits a leaf's
+/// points, so expansions computed over blocks are *bitwise* equal to a
+/// from-scratch rebuild — not merely close — and step-vs-rebuild
+/// verification needs no rounding allowance from the tree's side.
+#[derive(Default)]
+struct LeafBlock {
+    ids: Vec<u32>,
+    pts: Vec<Point3>,
+    q: Vec<f64>,
+    codes: Vec<u64>,
+}
+
+impl LeafBlock {
+    fn clear(&mut self) {
+        self.ids.clear();
+        self.pts.clear();
+        self.q.clear();
+        self.codes.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Append; caller guarantees `code` ≥ every stored code (octant-order
+    /// gathers during split/merge preserve sortedness this way).
+    fn push_entry(&mut self, id: u32, p: Point3, q: f64, code: u64) {
+        debug_assert!(self.codes.last().is_none_or(|&c| c <= code));
+        self.ids.push(id);
+        self.pts.push(p);
+        self.q.push(q);
+        self.codes.push(code);
+    }
+
+    /// Insert at the sorted position; returns it.  Leaves hold at most
+    /// `threshold` points, so the shifts are trivially cheap.
+    fn insert_sorted(&mut self, id: u32, p: Point3, q: f64, code: u64) -> usize {
+        let pos = self.codes.partition_point(|&c| c < code);
+        self.ids.insert(pos, id);
+        self.pts.insert(pos, p);
+        self.q.insert(pos, q);
+        self.codes.insert(pos, code);
+        pos
+    }
+
+    /// Shift-remove (keeps the order of the remaining points).
+    fn remove_at(&mut self, slot: usize) -> (u32, Point3, f64) {
+        self.codes.remove(slot);
+        (
+            self.ids.remove(slot),
+            self.pts.remove(slot),
+            self.q.remove(slot),
+        )
+    }
+
+    fn capacity_bytes(&self) -> usize {
+        4 * self.ids.capacity()
+            + 24 * self.pts.capacity()
+            + 8 * self.q.capacity()
+            + 8 * self.codes.capacity()
+    }
+}
+
+/// One box of the refit tree.  `block >= 0` marks a leaf; dead slots
+/// (recycled through the free list) keep their parent pointer so dirty
+/// propagation can climb out of a deleted subtree.
+#[derive(Clone, Copy, Debug)]
+pub struct RefitNode {
+    /// Morton key of the box.
+    pub key: MortonKey,
+    /// Parent slot, `-1` at the root.
+    pub parent: i32,
+    /// Child slots per octant, `-1` when empty.
+    pub children: [i32; 8],
+    /// Points in this box's subtree.
+    pub count: usize,
+    /// Leaf block index, `-1` for interior boxes.
+    pub block: i32,
+    /// Whether the slot currently holds a live box.
+    pub alive: bool,
+}
+
+impl RefitNode {
+    /// Whether the box is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.block >= 0
+    }
+
+    /// Live child ids in ascending octant (Morton) order.
+    pub fn child_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.children.iter().filter(|&&c| c >= 0).map(|&c| c as u32)
+    }
+}
+
+/// The incrementally-maintained octree (see module docs).
+pub struct RefitTree {
+    domain: Domain,
+    params: BuildParams,
+    nodes: Vec<RefitNode>,
+    free_nodes: Vec<u32>,
+    blocks: Vec<LeafBlock>,
+    free_blocks: Vec<u32>,
+    /// Leaf slot holding each original point.
+    point_leaf: Vec<u32>,
+    /// Slot of each original point inside its leaf block.
+    point_slot: Vec<u32>,
+    num_alive: usize,
+    depth: u8,
+    rebin_scratch: Vec<(u32, Point3, f64, u64)>,
+    touched_scratch: Vec<u32>,
+    split_queue: Vec<u32>,
+}
+
+impl RefitTree {
+    /// Convert a freshly built [`Octree`] (plus charges in **original**
+    /// point order) into refit form.  Block contents start in the tree's
+    /// Morton order, so expansions computed over blocks are bitwise equal
+    /// to the contiguous-range build.
+    pub fn from_octree(tree: &Octree, charges: &[f64]) -> Self {
+        assert_eq!(
+            tree.points().len(),
+            charges.len(),
+            "one charge per source point"
+        );
+        let perm = tree.permutation();
+        let mut nodes = Vec::with_capacity(tree.num_nodes());
+        let mut blocks: Vec<LeafBlock> = Vec::new();
+        let mut point_leaf = vec![0u32; charges.len()];
+        let mut point_slot = vec![0u32; charges.len()];
+        for id in 0..tree.num_nodes() as u32 {
+            let n = tree.node(id);
+            let block = if n.is_leaf() {
+                let mut b = LeafBlock::default();
+                for (slot, k) in (n.first..n.first + n.count).enumerate() {
+                    let orig = perm[k];
+                    let p = tree.points()[k];
+                    let (dx, dy, dz) = tree.domain().grid_coords(&p, MAX_LEVEL);
+                    b.push_entry(orig, p, charges[orig as usize], deep_code(dx, dy, dz));
+                    point_leaf[orig as usize] = id;
+                    point_slot[orig as usize] = slot as u32;
+                }
+                blocks.push(b);
+                (blocks.len() - 1) as i32
+            } else {
+                -1
+            };
+            nodes.push(RefitNode {
+                key: n.key,
+                parent: n.parent,
+                children: n.children,
+                count: n.count,
+                block,
+                alive: true,
+            });
+        }
+        let num_alive = nodes.len();
+        RefitTree {
+            domain: *tree.domain(),
+            params: *tree.params(),
+            nodes,
+            free_nodes: Vec::new(),
+            blocks,
+            free_blocks: Vec::new(),
+            point_leaf,
+            point_slot,
+            num_alive,
+            depth: tree.depth(),
+            rebin_scratch: Vec::new(),
+            touched_scratch: Vec::new(),
+            split_queue: Vec::new(),
+        }
+    }
+
+    /// The fixed computational domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Refinement parameters (builder-identical split/merge rules).
+    pub fn params(&self) -> &BuildParams {
+        &self.params
+    }
+
+    /// Number of points (constant across steps).
+    pub fn num_points(&self) -> usize {
+        self.point_leaf.len()
+    }
+
+    /// Live boxes.
+    pub fn num_alive_boxes(&self) -> usize {
+        self.num_alive
+    }
+
+    /// Node slots (live + recycled); flat per-box arenas size to this.
+    pub fn num_slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Deepest live level.
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// A node by slot (callers must know the slot is live or tolerate
+    /// dead data).
+    #[inline]
+    pub fn node(&self, id: u32) -> &RefitNode {
+        &self.nodes[id as usize]
+    }
+
+    /// Whether a slot holds a live box.
+    #[inline]
+    pub fn is_alive(&self, id: u32) -> bool {
+        self.nodes[id as usize].alive
+    }
+
+    /// Parent slot even for dead nodes (`-1` at the root).
+    #[inline]
+    pub fn parent_raw(&self, id: u32) -> i32 {
+        self.nodes[id as usize].parent
+    }
+
+    /// Center of a box.
+    pub fn center_of(&self, id: u32) -> Point3 {
+        let k = self.nodes[id as usize].key;
+        self.domain.box_center(k.level, k.x, k.y, k.z)
+    }
+
+    /// Half-width of a box.
+    pub fn half_of(&self, id: u32) -> f64 {
+        0.5 * self.domain.side_at(self.nodes[id as usize].key.level)
+    }
+
+    /// Points and charges of a leaf, in block order.
+    pub fn leaf_points(&self, id: u32) -> (&[Point3], &[f64]) {
+        let b = self.nodes[id as usize].block;
+        assert!(b >= 0, "leaf_points on interior box {id}");
+        let blk = &self.blocks[b as usize];
+        (&blk.pts, &blk.q)
+    }
+
+    /// Original ids of a leaf's points, parallel to [`Self::leaf_points`].
+    pub fn leaf_ids(&self, id: u32) -> &[u32] {
+        let b = self.nodes[id as usize].block;
+        assert!(b >= 0, "leaf_ids on interior box {id}");
+        &self.blocks[b as usize].ids
+    }
+
+    /// Current position of a point by original index.
+    pub fn position_of(&self, index: u32) -> Point3 {
+        let leaf = self.point_leaf[index as usize] as usize;
+        let slot = self.point_slot[index as usize] as usize;
+        self.blocks[self.nodes[leaf].block as usize].pts[slot]
+    }
+
+    /// Current charge of a point by original index.
+    pub fn charge_of(&self, index: u32) -> f64 {
+        let leaf = self.point_leaf[index as usize] as usize;
+        let slot = self.point_slot[index as usize] as usize;
+        self.blocks[self.nodes[leaf].block as usize].q[slot]
+    }
+
+    /// Leaf currently holding a point.
+    pub fn leaf_of(&self, index: u32) -> u32 {
+        self.point_leaf[index as usize]
+    }
+
+    /// Live box slots, ascending.
+    pub fn alive_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Bytes of held capacity across every persistent buffer (the
+    /// footprint-stability probe: steps must stop growing this once the
+    /// structures are warm).
+    pub fn footprint_bytes(&self) -> usize {
+        let node_bytes = self.nodes.capacity() * std::mem::size_of::<RefitNode>();
+        let block_bytes: usize = self.blocks.iter().map(LeafBlock::capacity_bytes).sum();
+        node_bytes
+            + self.blocks.capacity() * std::mem::size_of::<LeafBlock>()
+            + block_bytes
+            + 4 * (self.free_nodes.capacity() + self.free_blocks.capacity())
+            + 4 * (self.point_leaf.capacity() + self.point_slot.capacity())
+            + std::mem::size_of::<(u32, Point3, f64, u64)>() * self.rebin_scratch.capacity()
+            + 4 * (self.touched_scratch.capacity() + self.split_queue.capacity())
+    }
+
+    /// Apply one step of sparse updates: charges first, then
+    /// displacements (a point that both moves and changes charge carries
+    /// its new charge to its new leaf), then the structural fix-ups that
+    /// restore the builder's topology invariants.  Leaves with changed
+    /// contents are marked in `dirty` (callers run
+    /// [`DirtySet::propagate`] afterwards).
+    pub fn apply_step(
+        &mut self,
+        moves: &[Displacement],
+        charges: &[ChargeUpdate],
+        dirty: &mut DirtySet,
+    ) -> RefitStats {
+        let mut stats = RefitStats::default();
+        dirty.begin_step(self.nodes.len());
+
+        for c in charges {
+            let i = c.index as usize;
+            assert!(i < self.point_leaf.len(), "charge index out of range");
+            let leaf = self.point_leaf[i];
+            let slot = self.point_slot[i] as usize;
+            let b = self.nodes[leaf as usize].block as usize;
+            self.blocks[b].q[slot] = c.charge;
+            dirty.mark(leaf, reason::CHARGE);
+            stats.charge_updates += 1;
+        }
+
+        // Displacements: the new deep code decides everything — leaf
+        // membership (compare its bit-prefix against the leaf key) and
+        // the sorted position.  In-leaf movers are repositioned inside
+        // their block; leaf-crossers are removed now and re-binned below.
+        debug_assert!(self.rebin_scratch.is_empty());
+        for m in moves {
+            let i = m.index as usize;
+            assert!(i < self.point_leaf.len(), "displacement index out of range");
+            let leaf = self.point_leaf[i];
+            let slot = self.point_slot[i] as usize;
+            let key = self.nodes[leaf as usize].key;
+            let b = self.nodes[leaf as usize].block as usize;
+            let p = self.blocks[b].pts[slot];
+            let np = Point3::new(p.x + m.delta[0], p.y + m.delta[1], p.z + m.delta[2]);
+            stats.moved += 1;
+            let (dx, dy, dz) = self.domain.grid_coords(&np, MAX_LEVEL);
+            let code = deep_code(dx, dy, dz);
+            let s = MAX_LEVEL - key.level;
+            if (dx >> s, dy >> s, dz >> s) == (key.x, key.y, key.z) {
+                let (id, _, q) = self.blocks[b].remove_at(slot);
+                let pos = self.blocks[b].insert_sorted(id, np, q, code);
+                self.refresh_slots(b, pos.min(slot));
+                dirty.mark(leaf, reason::GEOMETRY);
+            } else {
+                let (id, _, q) = self.remove_point(leaf, slot);
+                debug_assert_eq!(id, m.index);
+                dirty.mark(leaf, reason::MEMBERSHIP);
+                self.rebin_scratch.push((id, np, q, code));
+                stats.rebinned += 1;
+            }
+        }
+
+        // Re-bin by root descent along the new deep code's bit path (the
+        // very bits the builder's sort keys on, so binning is identical).
+        let rebin = std::mem::take(&mut self.rebin_scratch);
+        for &(id, p, q, code) in &rebin {
+            self.insert_point(id, p, q, code, dirty, &mut stats);
+        }
+        self.rebin_scratch = rebin;
+        self.rebin_scratch.clear();
+
+        // Structural fix-ups, driven by the leaves touched above.
+        debug_assert!(self.touched_scratch.is_empty());
+        let mut touched = std::mem::take(&mut self.touched_scratch);
+        touched.extend_from_slice(dirty.touched());
+
+        // (a) emptied subtrees vanish (the rebuild has no empty boxes).
+        for &id in &touched {
+            if self.nodes[id as usize].alive
+                && self.nodes[id as usize].is_leaf()
+                && self.nodes[id as usize].count == 0
+            {
+                self.delete_empty(id, dirty, &mut stats);
+            }
+        }
+
+        // (b) merge the topmost ancestor whose subtree dropped to the
+        // threshold — the rebuild would never have split it.
+        for &id in &touched {
+            let mut cur = id;
+            while !self.nodes[cur as usize].alive {
+                let p = self.nodes[cur as usize].parent;
+                if p < 0 {
+                    break;
+                }
+                cur = p as u32;
+            }
+            if !self.nodes[cur as usize].alive
+                || self.nodes[cur as usize].count > self.params.threshold
+            {
+                continue;
+            }
+            loop {
+                let p = self.nodes[cur as usize].parent;
+                if p >= 0 && self.nodes[p as usize].count <= self.params.threshold {
+                    cur = p as u32;
+                } else {
+                    break;
+                }
+            }
+            if !self.nodes[cur as usize].is_leaf() {
+                self.merge(cur, dirty, &mut stats);
+            }
+        }
+
+        // (c) split over-threshold leaves, cascading like the builder's
+        // recursive refine.
+        debug_assert!(self.split_queue.is_empty());
+        let mut queue = std::mem::take(&mut self.split_queue);
+        for &id in &touched {
+            let n = &self.nodes[id as usize];
+            if n.alive
+                && n.is_leaf()
+                && n.count > self.params.threshold
+                && n.key.level < self.params.max_level
+            {
+                queue.push(id);
+            }
+        }
+        while let Some(id) = queue.pop() {
+            let n = &self.nodes[id as usize];
+            if n.alive
+                && n.is_leaf()
+                && n.count > self.params.threshold
+                && n.key.level < self.params.max_level
+            {
+                self.split(id, dirty, &mut stats, &mut queue);
+            }
+        }
+        self.split_queue = queue;
+        touched.clear();
+        self.touched_scratch = touched;
+
+        if stats.structural() {
+            self.depth = self
+                .nodes
+                .iter()
+                .filter(|n| n.alive)
+                .map(|n| n.key.level)
+                .max()
+                .unwrap_or(0);
+        }
+        debug_assert_eq!(self.nodes[0].count, self.num_points());
+        stats
+    }
+
+    // -- internals ----------------------------------------------------
+
+    fn alloc_block(&mut self) -> i32 {
+        match self.free_blocks.pop() {
+            Some(b) => b as i32,
+            None => {
+                self.blocks.push(LeafBlock::default());
+                (self.blocks.len() - 1) as i32
+            }
+        }
+    }
+
+    fn free_block(&mut self, b: i32) {
+        self.blocks[b as usize].clear();
+        self.free_blocks.push(b as u32);
+    }
+
+    /// Allocate a new live leaf with an empty block.
+    fn new_leaf(&mut self, key: MortonKey, parent: u32) -> u32 {
+        let block = self.alloc_block();
+        let node = RefitNode {
+            key,
+            parent: parent as i32,
+            children: [-1; 8],
+            count: 0,
+            block,
+            alive: true,
+        };
+        self.num_alive += 1;
+        match self.free_nodes.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    fn kill_node(&mut self, id: u32, stats: &mut RefitStats) {
+        let node = &mut self.nodes[id as usize];
+        debug_assert!(node.alive);
+        node.alive = false;
+        stats.changed_keys.push(node.key);
+        stats.deleted_boxes += 1;
+        self.num_alive -= 1;
+        self.free_nodes.push(id);
+        let b = self.nodes[id as usize].block;
+        if b >= 0 {
+            self.nodes[id as usize].block = -1;
+            self.free_block(b);
+        }
+    }
+
+    /// Re-point `point_slot` for every entry of block `b` from position
+    /// `from` on (shift-inserts/removes move the tail by one).
+    fn refresh_slots(&mut self, b: usize, from: usize) {
+        for s in from..self.blocks[b].len() {
+            let id = self.blocks[b].ids[s];
+            self.point_slot[id as usize] = s as u32;
+        }
+    }
+
+    /// Remove the point at `slot` of `leaf` (order-preserving), fixing
+    /// shifted slots and decrementing subtree counts up to the root.
+    fn remove_point(&mut self, leaf: u32, slot: usize) -> (u32, Point3, f64) {
+        let b = self.nodes[leaf as usize].block as usize;
+        let out = self.blocks[b].remove_at(slot);
+        self.refresh_slots(b, slot);
+        let mut cur = leaf as i32;
+        while cur >= 0 {
+            self.nodes[cur as usize].count -= 1;
+            cur = self.nodes[cur as usize].parent;
+        }
+        out
+    }
+
+    /// Insert a point by descending the bit path of its deep `code`,
+    /// creating a leaf in a previously empty octant when needed (exactly
+    /// where the rebuild would place one: a parent that refines has a
+    /// child per occupied octant).
+    fn insert_point(
+        &mut self,
+        id: u32,
+        p: Point3,
+        q: f64,
+        code: u64,
+        dirty: &mut DirtySet,
+        stats: &mut RefitStats,
+    ) {
+        let mut n = 0u32;
+        loop {
+            self.nodes[n as usize].count += 1;
+            if self.nodes[n as usize].is_leaf() {
+                let b = self.nodes[n as usize].block as usize;
+                let pos = self.blocks[b].insert_sorted(id, p, q, code);
+                self.point_leaf[id as usize] = n;
+                self.refresh_slots(b, pos);
+                dirty.mark(n, reason::MEMBERSHIP);
+                return;
+            }
+            let key = self.nodes[n as usize].key;
+            let shift = 3 * (MAX_LEVEL - key.level - 1);
+            let oct = ((code >> shift) & 7) as usize;
+            let c = self.nodes[n as usize].children[oct];
+            n = if c >= 0 {
+                c as u32
+            } else {
+                let child = self.new_leaf(key.child(oct as u8), n);
+                self.nodes[n as usize].children[oct] = child as i32;
+                dirty.mark(child, reason::CREATED | reason::MEMBERSHIP);
+                stats.created_boxes += 1;
+                stats.changed_keys.push(self.nodes[child as usize].key);
+                child
+            };
+        }
+    }
+
+    /// Delete the topmost emptied ancestor of `leaf` and its whole (all
+    /// empty) subtree.
+    fn delete_empty(&mut self, leaf: u32, dirty: &mut DirtySet, stats: &mut RefitStats) {
+        debug_assert!(self.num_points() > 0);
+        let mut top = leaf;
+        loop {
+            let p = self.nodes[top as usize].parent;
+            debug_assert!(p >= 0, "the root cannot empty while points exist");
+            if self.nodes[p as usize].count == 0 {
+                top = p as u32;
+            } else {
+                break;
+            }
+        }
+        let parent = self.nodes[top as usize].parent;
+        let oct = self.nodes[top as usize].key.octant() as usize;
+        self.nodes[parent as usize].children[oct] = -1;
+        dirty.mark(parent as u32, reason::MEMBERSHIP);
+        // DFS kill of the empty subtree.
+        let mut stack = vec![top];
+        while let Some(id) = stack.pop() {
+            for c in self.nodes[id as usize].children {
+                if c >= 0 {
+                    stack.push(c as u32);
+                }
+            }
+            self.kill_node(id, stats);
+        }
+    }
+
+    /// Collapse interior box `a` (subtree count ≤ threshold) into a leaf,
+    /// gathering descendant points in octant (near-Morton) order.
+    fn merge(&mut self, a: u32, dirty: &mut DirtySet, stats: &mut RefitStats) {
+        let nb = self.alloc_block();
+        stats.merges += 1;
+        stats.changed_keys.push(self.nodes[a as usize].key);
+        let mut stack: Vec<u32> = Vec::new();
+        for c in self.nodes[a as usize].children.iter().rev() {
+            if *c >= 0 {
+                stack.push(*c as u32);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            if self.nodes[id as usize].is_leaf() {
+                let cb = self.nodes[id as usize].block;
+                let taken = std::mem::take(&mut self.blocks[cb as usize]);
+                {
+                    // Leaves arrive in octant (deep-code) order and each
+                    // block is sorted, so plain appends keep `nb` sorted.
+                    let dst = &mut self.blocks[nb as usize];
+                    for k in 0..taken.len() {
+                        let orig = taken.ids[k];
+                        self.point_leaf[orig as usize] = a;
+                        self.point_slot[orig as usize] = dst.len() as u32;
+                        dst.push_entry(orig, taken.pts[k], taken.q[k], taken.codes[k]);
+                    }
+                }
+                self.blocks[cb as usize] = taken;
+            } else {
+                for c in self.nodes[id as usize].children.iter().rev() {
+                    if *c >= 0 {
+                        stack.push(*c as u32);
+                    }
+                }
+            }
+            self.kill_node(id, stats);
+        }
+        let nlen = self.blocks[nb as usize].len();
+        let node = &mut self.nodes[a as usize];
+        node.children = [-1; 8];
+        node.block = nb;
+        debug_assert_eq!(node.count, nlen);
+        dirty.mark(a, reason::MEMBERSHIP);
+    }
+
+    /// Split an over-threshold leaf into per-octant children (cascades
+    /// via the caller's queue, mirroring the builder's recursion).
+    fn split(
+        &mut self,
+        l: u32,
+        dirty: &mut DirtySet,
+        stats: &mut RefitStats,
+        queue: &mut Vec<u32>,
+    ) {
+        let key = self.nodes[l as usize].key;
+        debug_assert!(key.level < MAX_LEVEL);
+        let bi = self.nodes[l as usize].block;
+        let taken = std::mem::take(&mut self.blocks[bi as usize]);
+        self.nodes[l as usize].block = -1;
+        stats.splits += 1;
+        stats.changed_keys.push(key);
+        let shift = 3 * (MAX_LEVEL - key.level - 1);
+        for k in 0..taken.len() {
+            let code = taken.codes[k];
+            let oct = ((code >> shift) & 7) as usize;
+            let c = self.nodes[l as usize].children[oct];
+            let child = if c >= 0 {
+                c as u32
+            } else {
+                let child = self.new_leaf(key.child(oct as u8), l);
+                self.nodes[l as usize].children[oct] = child as i32;
+                dirty.mark(child, reason::CREATED | reason::MEMBERSHIP);
+                stats.created_boxes += 1;
+                stats.changed_keys.push(self.nodes[child as usize].key);
+                child
+            };
+            self.nodes[child as usize].count += 1;
+            let orig = taken.ids[k];
+            let cb = self.nodes[child as usize].block as usize;
+            // A sorted parent partitions into sorted children (the octant
+            // bits are the leading bits of the remaining code).
+            let blk = &mut self.blocks[cb];
+            self.point_leaf[orig as usize] = child;
+            self.point_slot[orig as usize] = blk.len() as u32;
+            blk.push_entry(orig, taken.pts[k], taken.q[k], code);
+        }
+        self.blocks[bi as usize] = taken;
+        self.free_block(bi);
+        for c in self.nodes[l as usize].children {
+            if c >= 0 {
+                let cn = &self.nodes[c as usize];
+                if cn.count > self.params.threshold && cn.key.level < self.params.max_level {
+                    queue.push(c as u32);
+                }
+            }
+        }
+    }
+}
+
+impl TreeTopology for RefitTree {
+    fn key_of(&self, id: u32) -> MortonKey {
+        self.nodes[id as usize].key
+    }
+    fn is_leaf(&self, id: u32) -> bool {
+        self.nodes[id as usize].is_leaf()
+    }
+    fn children_of(&self, id: u32) -> [i32; 8] {
+        self.nodes[id as usize].children
+    }
+    fn parent_of(&self, id: u32) -> i32 {
+        self.nodes[id as usize].parent
+    }
+}

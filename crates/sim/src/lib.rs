@@ -25,6 +25,6 @@
 pub mod cost;
 pub mod engine;
 
-pub use cost::{CostModel, NetworkModel};
+pub use cost::{CostModel, NetworkModel, StepCounts};
 pub use dashmm_amt::CoalesceConfig;
 pub use engine::{simulate, SimConfig, SimResult};

@@ -31,7 +31,9 @@ pub mod stats;
 pub use build::{BuildParams, Octree, OctreeNode};
 pub use dist::{plummer, sphere_surface, uniform_cube, Distribution};
 pub use domain::Domain;
-pub use lists::{Direction, DualTree, InteractionLists, ListEntry};
+pub use lists::{
+    box_lists_for, BoxLists, Direction, DualTree, InteractionLists, ListEntry, TreeTopology,
+};
 pub use morton::MortonKey;
 pub use point::Point3;
 pub use stats::TreeStats;

@@ -20,6 +20,7 @@
 
 use crate::build::{BuildParams, Octree};
 use crate::domain::Domain;
+use crate::morton::MortonKey;
 use crate::point::Point3;
 
 /// One of the six axis directions used to partition `L2` for the plane-wave
@@ -182,6 +183,131 @@ impl InteractionLists {
     }
 }
 
+/// Topology access shared by every tree shape that wants interaction
+/// lists: the static [`Octree`] and the incremental refit tree both
+/// expose Morton keys, parent/child links and leaf-ness by node id.
+///
+/// Node ids must be dense `u32` handles with the root at
+/// [`TreeTopology::root`]; `children_of` returns the raw child-slot array
+/// (`-1` = empty octant) so callers can walk occupied octants in Morton
+/// order.
+pub trait TreeTopology {
+    /// Root node id (conventionally 0).
+    fn root(&self) -> u32 {
+        0
+    }
+    /// Morton key of a node.
+    fn key_of(&self, id: u32) -> MortonKey;
+    /// Whether the node is a leaf.
+    fn is_leaf(&self, id: u32) -> bool;
+    /// Child-slot array, `-1` for empty octants.
+    fn children_of(&self, id: u32) -> [i32; 8];
+    /// Parent id, `-1` at the root.
+    fn parent_of(&self, id: u32) -> i32;
+}
+
+impl TreeTopology for Octree {
+    fn key_of(&self, id: u32) -> MortonKey {
+        self.node(id).key
+    }
+    fn is_leaf(&self, id: u32) -> bool {
+        self.node(id).is_leaf()
+    }
+    fn children_of(&self, id: u32) -> [i32; 8] {
+        self.node(id).children
+    }
+    fn parent_of(&self, id: u32) -> i32 {
+        self.node(id).parent
+    }
+}
+
+/// Compute the four interaction lists of **one** target box without
+/// running the full lockstep traversal.
+///
+/// This restricts the dual-tree recursion to the single root→`t` target
+/// path: a source box descends alongside the target ancestors exactly as
+/// in [`DualTree::interaction_lists`], and only pairs whose target side
+/// *is* `t` classify into `t`'s lists — pairs that separate at a proper
+/// ancestor belong to that ancestor, pairs that stay adjacent past `t`
+/// belong to `t`'s descendants.  The result is identical to the
+/// corresponding [`BoxLists`] of the full traversal (property-tested
+/// below), at `O(|adjacent subtrees|)` cost, which is what makes
+/// incremental list *patching* after a tree refit affordable: only boxes
+/// near a structural change recompute their lists.
+pub fn box_lists_for<S: TreeTopology, T: TreeTopology>(source: &S, target: &T, t: u32) -> BoxLists {
+    // Ancestor path of the target, root first.
+    let mut path = vec![t];
+    let mut p = target.parent_of(t);
+    while p >= 0 {
+        path.push(p as u32);
+        p = target.parent_of(p as u32);
+    }
+    path.reverse();
+    let tk = target.key_of(t);
+    let target_is_leaf = target.is_leaf(t);
+    let last = path.len() - 1;
+
+    let mut out = BoxLists::default();
+    // (source id, index into the ancestor path).
+    let mut stack: Vec<(u32, usize)> = vec![(source.root(), 0)];
+    while let Some((s, d)) = stack.pop() {
+        let sk = source.key_of(s);
+        let ak = target.key_of(path[d]);
+        if sk.well_separated(&ak) {
+            if d == last {
+                // Separated exactly at `t`: same classification as the
+                // lockstep traversal.
+                use std::cmp::Ordering;
+                match sk.level.cmp(&tk.level) {
+                    Ordering::Equal => {
+                        let (dx, dy, dz) = tk.offset(&sk);
+                        let direction = Direction::from_offset(dx, dy, dz)
+                            .expect("well-separated same-level pair must have an axis ≥ 2");
+                        out.l2.push(ListEntry {
+                            source: s,
+                            direction,
+                            offset: (dx as i8, dy as i8, dz as i8),
+                        });
+                    }
+                    Ordering::Greater => out.l3.push(s),
+                    Ordering::Less => out.l4.push(s),
+                }
+            }
+            // Separated at a proper ancestor: the pair is an ancestor's
+            // list entry, not t's.
+            continue;
+        }
+        if d == last {
+            if target_is_leaf {
+                if source.is_leaf(s) {
+                    out.l1.push(s);
+                } else {
+                    for c in source.children_of(s) {
+                        if c >= 0 {
+                            stack.push((c as u32, d));
+                        }
+                    }
+                }
+            }
+            // Interior target still adjacent: the lockstep would descend
+            // into t's children, so nothing more lands in t's own lists.
+        } else if source.is_leaf(s) {
+            // Leaf source beside an interior ancestor: only the target
+            // side descends, and only the child on t's path matters.
+            stack.push((s, d + 1));
+        } else {
+            // Both interior: both sides descend; pair every source child
+            // with the target child on t's path.
+            for c in source.children_of(s) {
+                if c >= 0 {
+                    stack.push((c as u32, d + 1));
+                }
+            }
+        }
+    }
+    out
+}
+
 /// The dual tree: one octree per ensemble over a shared domain.
 ///
 /// ```
@@ -294,7 +420,6 @@ impl DualTree {
 mod tests {
     use super::*;
     use crate::dist::{sphere_surface, uniform_cube};
-    use crate::morton::MortonKey;
 
     fn dual(n: usize, threshold: usize) -> DualTree {
         let src = uniform_cube(n, 11);
@@ -582,6 +707,41 @@ mod tests {
             entries * 10 < nboxes || entries < 200,
             "expected coarse classification: {entries} edges vs {nboxes} box pairs"
         );
+    }
+
+    #[test]
+    fn single_target_lists_match_lockstep_traversal() {
+        // `box_lists_for` must reproduce the full dual-tree traversal's
+        // lists for every target box, on trees deep enough to exercise
+        // all four lists.
+        let src = sphere_surface(4000, 5);
+        let tgt = uniform_cube(4000, 6);
+        let dt = DualTree::build(
+            &src,
+            &tgt,
+            BuildParams {
+                threshold: 30,
+                max_level: 20,
+            },
+        );
+        let lists = dt.interaction_lists();
+        let sort = |mut v: Vec<u32>| {
+            v.sort_unstable();
+            v
+        };
+        for t in 0..dt.target().num_nodes() as u32 {
+            let want = lists.of(t);
+            let got = box_lists_for(dt.source(), dt.target(), t);
+            assert_eq!(sort(got.l1.clone()), sort(want.l1.clone()), "L1 of {t}");
+            assert_eq!(sort(got.l3.clone()), sort(want.l3.clone()), "L3 of {t}");
+            assert_eq!(sort(got.l4.clone()), sort(want.l4.clone()), "L4 of {t}");
+            let key = |e: &ListEntry| e.source;
+            let mut g2 = got.l2.clone();
+            let mut w2 = want.l2.clone();
+            g2.sort_unstable_by_key(key);
+            w2.sort_unstable_by_key(key);
+            assert_eq!(g2, w2, "L2 of {t}");
+        }
     }
 
     #[test]
