@@ -8,10 +8,22 @@
 //! identical workload, see `dashmm_bench::service`), so the server's
 //! request aggregation across clients must reproduce single-shot results.
 //!
+//! With `--stats-interval-ms M` a poller thread drives the server's
+//! stats endpoint every `M` milliseconds during the run, checks the
+//! snapshot's interval-window arithmetic against the cumulative
+//! counters (two polls must difference exactly), and lands the final
+//! snapshot in `BENCH_service.json` under `"server_stats"`.
+//! `--overhead-gate R` runs the whole load twice against fresh servers
+//! — once without polling, once polling at `--stats-interval-ms` — and
+//! fails unless the polled pass's p99 stays under
+//! `max(R × unpolled p99, unpolled p99 + --overhead-grace-us)`.
+//!
 //! Gates (each exits non-zero):
 //! - any response failing the `--rel-err` bound (default 1e-12),
 //! - any shed or errored request (unless `--allow-shed`),
 //! - `--p99-gate-us X`: client-observed p99 latency must stay under `X`,
+//! - window arithmetic that fails to reconcile across stats polls,
+//! - `--overhead-gate R`: the telemetry-overhead bound above,
 //! - `--budget-s S`: a watchdog aborts a hung run after `S` seconds.
 //!
 //! ```text
@@ -19,6 +31,8 @@
 //!           [--addr HOST:PORT | --points N --seed S --theta X ...]
 //!           [--tile N] [--workers W] [--budget-s S] [--p99-gate-us X]
 //!           [--rel-err E] [--allow-shed] [--no-verify] [--out PATH]
+//!           [--stats-interval-ms M] [--overhead-gate R]
+//!           [--overhead-grace-us G]
 //! ```
 
 use std::io::{BufRead, BufReader};
@@ -50,6 +64,9 @@ struct Args {
     allow_shed: bool,
     verify: bool,
     out: PathBuf,
+    stats_interval_ms: u64,
+    overhead_gate: Option<f64>,
+    overhead_grace_us: f64,
 }
 
 fn parse_args() -> Args {
@@ -68,6 +85,9 @@ fn parse_args() -> Args {
         allow_shed: false,
         verify: true,
         out: PathBuf::from("BENCH_service.json"),
+        stats_interval_ms: 0,
+        overhead_gate: None,
+        overhead_grace_us: 1000.0,
     };
     let argv: Vec<String> = std::env::args().collect();
     let usage = |msg: &str| -> ! {
@@ -76,7 +96,8 @@ fn parse_args() -> Args {
             "usage: {} [--clients N] [--requests M] [--batch B] [--tenants T] \
              [--addr HOST:PORT] [--points N] [--seed S] [--theta X] [--threshold T] \
              [--tile N] [--workers W] [--budget-s S] [--p99-gate-us X] \
-             [--rel-err E] [--allow-shed] [--no-verify] [--out PATH]",
+             [--rel-err E] [--allow-shed] [--no-verify] [--out PATH] \
+             [--stats-interval-ms M] [--overhead-gate R] [--overhead-grace-us G]",
             argv.first().map(String::as_str).unwrap_or("load_test")
         );
         std::process::exit(2);
@@ -112,6 +133,9 @@ fn parse_args() -> Args {
             "--p99-gate-us" => a.p99_gate_us = Some(num!("--p99-gate-us")),
             "--rel-err" => a.rel_err = num!("--rel-err"),
             "--out" => a.out = PathBuf::from(value("--out")),
+            "--stats-interval-ms" => a.stats_interval_ms = num!("--stats-interval-ms"),
+            "--overhead-gate" => a.overhead_gate = Some(num!("--overhead-gate")),
+            "--overhead-grace-us" => a.overhead_grace_us = num!("--overhead-grace-us"),
             "--allow-shed" => {
                 a.allow_shed = true;
                 i += 1;
@@ -128,6 +152,9 @@ fn parse_args() -> Args {
     }
     if a.clients == 0 || a.tenants == 0 || a.batch == 0 {
         usage("--clients, --tenants and --batch must be positive");
+    }
+    if a.overhead_gate.is_some() && a.addr.is_some() {
+        usage("--overhead-gate needs fresh spawned servers; drop --addr");
     }
     a
 }
@@ -246,58 +273,150 @@ fn run_client(
     out
 }
 
-fn main() {
-    let args = Arc::new(parse_args());
+/// What the stats-polling thread observed during one pass.
+#[derive(Default)]
+struct PollOutcome {
+    /// Snapshots taken (periodic + the final post-run poll).
+    polls: u64,
+    /// First window-arithmetic violation, if any.
+    failure: Option<String>,
+    /// The last snapshot taken (lands in the summary).
+    last_snapshot: Option<Value>,
+}
 
-    // Watchdog: a hung server must not hang CI.
-    let budget = args.budget_s;
-    std::thread::spawn(move || {
-        std::thread::sleep(std::time::Duration::from_secs(budget));
-        eprintln!("load_test: exceeded --budget-s {budget}, aborting");
-        std::process::exit(3);
-    });
-
-    let reference = if args.verify {
-        eprintln!(
-            "load_test: building reference engine ({} points)",
-            args.workload.points
-        );
-        Some(Arc::new(args.workload.build_engine()))
-    } else {
-        None
+/// Poll the stats endpoint until `stop`, then once more; every
+/// consecutive pair of snapshots must satisfy
+/// `window.completed == totals.completed(now) - totals.completed(prev)`
+/// exactly — the rate arithmetic the snapshot's interval window exists
+/// to support.
+fn poll_stats(addr: &str, interval_ms: u64, stop: &std::sync::atomic::AtomicBool) -> PollOutcome {
+    use std::sync::atomic::Ordering;
+    let mut out = PollOutcome::default();
+    let mut client = match EvalClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            out.failure = Some(format!("stats poller: connect failed: {e}"));
+            return out;
+        }
     };
+    let field =
+        |snap: &Value, a: &str, b: &str| snap.get(a).and_then(|s| s.get(b)).and_then(Value::as_f64);
+    let mut prev_completed: Option<f64> = None;
+    let mut done = false;
+    while !done {
+        done = stop.load(Ordering::Acquire);
+        if !done {
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        }
+        // One final poll after stop, so the summary always carries the
+        // end-of-run state.
+        let snap = match client.stats() {
+            Ok(s) => s,
+            Err(e) => {
+                out.failure
+                    .get_or_insert_with(|| format!("stats poller: poll failed: {e}"));
+                break;
+            }
+        };
+        out.polls += 1;
+        let completed = field(&snap, "totals", "completed_requests");
+        let window = field(&snap, "window", "completed_requests");
+        match (completed, window) {
+            (Some(c), Some(w)) => {
+                if let Some(p) = prev_completed {
+                    if w != c - p {
+                        out.failure.get_or_insert_with(|| {
+                            format!(
+                                "stats poll {}: window.completed {w} != totals delta {} - {}",
+                                out.polls, c, p
+                            )
+                        });
+                    }
+                }
+                prev_completed = Some(c);
+            }
+            _ => {
+                out.failure
+                    .get_or_insert_with(|| "stats snapshot missing counters".to_string());
+            }
+        }
+        out.last_snapshot = Some(snap);
+    }
+    let _ = client.close();
+    out
+}
 
+/// Everything one full load pass produced.
+struct PassResult {
+    latency: LatencySummary,
+    completed: u64,
+    shed: u64,
+    errors: u64,
+    max_rel_err: f64,
+    worst: Option<String>,
+    wall_s: f64,
+    throughput: f64,
+    server_clean: bool,
+    poll: PollOutcome,
+}
+
+/// Run one complete load pass: spawn (or target) a server, drive it with
+/// the scripted clients — polling stats alongside when
+/// `stats_interval_ms > 0` — then shut it down and aggregate.
+fn run_pass(
+    args: &Arc<Args>,
+    reference: &Option<Arc<ResidentFmm<Laplace>>>,
+    stats_interval_ms: u64,
+) -> PassResult {
     let (mut child, addr) = match &args.addr {
         Some(addr) => {
             eprintln!("load_test: targeting external server at {addr}");
             (None, addr.clone())
         }
         None => {
-            let (child, addr) = spawn_server(&args);
+            let (child, addr) = spawn_server(args);
             (Some(child), addr)
         }
     };
 
     eprintln!(
-        "load_test: {} clients x {} requests ({} targets each) against {addr}",
-        args.clients, args.requests, args.batch
+        "load_test: {} clients x {} requests ({} targets each) against {addr}{}",
+        args.clients,
+        args.requests,
+        args.batch,
+        if stats_interval_ms > 0 {
+            format!(", polling stats every {stats_interval_ms}ms")
+        } else {
+            String::new()
+        }
     );
+    let stop = std::sync::atomic::AtomicBool::new(false);
     let wall0 = Instant::now();
-    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+    let (outcomes, poll): (Vec<ClientOutcome>, PollOutcome) = std::thread::scope(|scope| {
+        let poller = (stats_interval_ms > 0).then(|| {
+            let addr = addr.clone();
+            let stop = &stop;
+            scope.spawn(move || poll_stats(&addr, stats_interval_ms, stop))
+        });
         let handles: Vec<_> = (0..args.clients)
             .map(|id| {
                 let per =
                     args.requests / args.clients + u32::from(id < args.requests % args.clients);
-                let args = Arc::clone(&args);
+                let args = Arc::clone(args);
                 let reference = reference.clone();
                 let addr = addr.clone();
                 scope.spawn(move || run_client(id, per, &addr, &args, reference.as_deref()))
             })
             .collect();
-        handles
+        let outcomes = handles
             .into_iter()
             .map(|h| h.join().expect("client thread"))
-            .collect()
+            .collect();
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        let poll = poller
+            .map(|p| p.join().expect("stats poller"))
+            .unwrap_or_default();
+        (outcomes, poll)
     });
     let wall_s = wall0.elapsed().as_secs_f64();
 
@@ -324,8 +443,8 @@ fn main() {
     let mut latencies: Vec<f64> = Vec::new();
     let (mut completed, mut shed, mut errors) = (0u64, 0u64, 0u64);
     let mut max_rel_err = 0.0f64;
-    let mut worst: Option<&str> = None;
-    for o in &outcomes {
+    let mut worst: Option<String> = None;
+    for o in outcomes {
         latencies.extend_from_slice(&o.latencies_us);
         completed += o.completed;
         shed += o.shed;
@@ -334,11 +453,71 @@ fn main() {
             max_rel_err = o.max_rel_err;
         }
         if worst.is_none() {
-            worst = o.worst.as_deref();
+            worst = o.worst;
         }
     }
     let latency = LatencySummary::from_samples(&mut latencies);
     let throughput = completed as f64 / wall_s;
+    PassResult {
+        latency,
+        completed,
+        shed,
+        errors,
+        max_rel_err,
+        worst,
+        wall_s,
+        throughput,
+        server_clean,
+        poll,
+    }
+}
+
+fn main() {
+    let args = Arc::new(parse_args());
+
+    // Watchdog: a hung server must not hang CI.
+    let budget = args.budget_s;
+    std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_secs(budget));
+        eprintln!("load_test: exceeded --budget-s {budget}, aborting");
+        std::process::exit(3);
+    });
+
+    let reference = if args.verify {
+        eprintln!(
+            "load_test: building reference engine ({} points)",
+            args.workload.points
+        );
+        Some(Arc::new(args.workload.build_engine()))
+    } else {
+        None
+    };
+
+    // Overhead-gate mode runs a polling-free baseline pass first; the
+    // polled pass below is always the one reported and verified.
+    let baseline = args.overhead_gate.map(|_| {
+        eprintln!("load_test: overhead baseline pass (telemetry polling off)");
+        run_pass(&args, &reference, 0)
+    });
+    let interval = if args.overhead_gate.is_some() {
+        args.stats_interval_ms.max(100)
+    } else {
+        args.stats_interval_ms
+    };
+    let pass = run_pass(&args, &reference, interval);
+    let PassResult {
+        latency,
+        completed,
+        shed,
+        errors,
+        max_rel_err,
+        worst,
+        wall_s,
+        throughput,
+        server_clean,
+        poll,
+    } = pass;
+    let worst = worst.as_deref();
 
     println!("== service load test ==");
     println!(
@@ -357,7 +536,7 @@ fn main() {
         eprintln!("load_test: first failure: {w}");
     }
 
-    let summary = obj(vec![
+    let mut fields = vec![
         (
             "params",
             obj(vec![
@@ -370,6 +549,7 @@ fn main() {
                 ("theta", Value::from(args.workload.theta)),
                 ("tile", Value::from(args.tile)),
                 ("workers", Value::from(args.workers)),
+                ("stats_interval_ms", Value::from(interval)),
             ]),
         ),
         ("completed", Value::from(completed)),
@@ -380,7 +560,26 @@ fn main() {
         ("latency", latency.to_json()),
         ("throughput_rps", Value::from(throughput)),
         ("wall_s", Value::from(wall_s)),
-    ]);
+        ("stats_polls", Value::from(poll.polls)),
+        ("rate_math_ok", Value::from(poll.failure.is_none())),
+    ];
+    if let Some(snap) = poll.last_snapshot {
+        fields.push(("server_stats", snap));
+    }
+    if let (Some(ratio), Some(base)) = (args.overhead_gate, &baseline) {
+        let bound = (ratio * base.latency.p99_us).max(base.latency.p99_us + args.overhead_grace_us);
+        fields.push((
+            "overhead",
+            obj(vec![
+                ("p99_us_without_polling", Value::from(base.latency.p99_us)),
+                ("p99_us_with_polling", Value::from(latency.p99_us)),
+                ("gate_ratio", Value::from(ratio)),
+                ("grace_us", Value::from(args.overhead_grace_us)),
+                ("bound_us", Value::from(bound)),
+            ]),
+        ));
+    }
+    let summary = obj(fields);
     if let Err(e) = write_summary(&args.out, &summary) {
         eprintln!("load_test: failed to write {}: {e}", args.out.display());
         std::process::exit(1);
@@ -422,6 +621,37 @@ fn main() {
     if !server_clean {
         eprintln!("FAIL: server did not exit cleanly");
         failed = true;
+    }
+    if interval > 0 {
+        if let Some(f) = &poll.failure {
+            eprintln!("FAIL: {f}");
+            failed = true;
+        }
+        if poll.polls < 2 {
+            eprintln!(
+                "FAIL: only {} stats polls completed; rate math needs two",
+                poll.polls
+            );
+            failed = true;
+        }
+    }
+    if let (Some(ratio), Some(base)) = (args.overhead_gate, &baseline) {
+        if !base.server_clean || base.errors > 0 {
+            eprintln!("FAIL: overhead baseline pass did not run cleanly");
+            failed = true;
+        }
+        let bound = (ratio * base.latency.p99_us).max(base.latency.p99_us + args.overhead_grace_us);
+        eprintln!(
+            "load_test: telemetry overhead p99 {:.0}us (polled) vs {:.0}us (unpolled), bound {:.0}us",
+            latency.p99_us, base.latency.p99_us, bound
+        );
+        if latency.p99_us > bound {
+            eprintln!(
+                "FAIL: polled p99 {:.0}us over the overhead bound {bound:.0}us",
+                latency.p99_us
+            );
+            failed = true;
+        }
     }
     if failed {
         std::process::exit(1);

@@ -6,11 +6,18 @@
 //! client sends the administrative shutdown frame.  On exit it prints the
 //! service counters and, with `--summary PATH`, writes them as JSON.
 //!
+//! With `--stats-interval S` the server also polls its own stats
+//! endpoint every `S` seconds over a loopback client connection and
+//! prints a one-line digest to stderr (note: each poll advances the
+//! snapshot's rate window, so leave this off when an external poller
+//! owns the window).  The final telemetry snapshot always lands in the
+//! `--summary` JSON under `"telemetry"`.
+//!
 //! ```text
 //! serve [--points N] [--seed S] [--theta X] [--threshold T]
 //!       [--port P] [--tile N] [--workers W]
 //!       [--max-tenant-targets N] [--max-total-targets N]
-//!       [--summary PATH]
+//!       [--stats-interval S] [--summary PATH]
 //! ```
 
 use std::io::Write as _;
@@ -20,7 +27,9 @@ use std::sync::Arc;
 use dashmm_bench::service::{ServiceWorkload, READY_PREFIX};
 use dashmm_core::ResidentFmm;
 use dashmm_kernels::Laplace;
-use dashmm_net::service::{AdmissionConfig, EvalEngine, EvalServer, ServiceConfig};
+use dashmm_net::service::{
+    AdmissionConfig, EngineBreakdown, EvalClient, EvalEngine, EvalServer, ServiceConfig,
+};
 use dashmm_obs::json::{obj, Value};
 use dashmm_obs::summary::write_summary;
 
@@ -30,6 +39,7 @@ struct Args {
     tile: usize,
     workers: usize,
     admission: AdmissionConfig,
+    stats_interval_s: f64,
     summary: Option<PathBuf>,
 }
 
@@ -40,6 +50,7 @@ fn parse_args() -> Args {
         tile: 1024,
         workers: 2,
         admission: AdmissionConfig::default(),
+        stats_interval_s: 0.0,
         summary: None,
     };
     let argv: Vec<String> = std::env::args().collect();
@@ -48,7 +59,7 @@ fn parse_args() -> Args {
         eprintln!(
             "usage: {} [--points N] [--seed S] [--theta X] [--threshold T] \
              [--port P] [--tile N] [--workers W] [--max-tenant-targets N] \
-             [--max-total-targets N] [--summary PATH]",
+             [--max-total-targets N] [--stats-interval S] [--summary PATH]",
             argv.first().map(String::as_str).unwrap_or("serve")
         );
         std::process::exit(2);
@@ -78,6 +89,7 @@ fn parse_args() -> Args {
             "--workers" => a.workers = num!("--workers"),
             "--max-tenant-targets" => a.admission.max_tenant_targets = num!("--max-tenant-targets"),
             "--max-total-targets" => a.admission.max_total_targets = num!("--max-total-targets"),
+            "--stats-interval" => a.stats_interval_s = num!("--stats-interval"),
             "--summary" => a.summary = Some(PathBuf::from(value("--summary"))),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -92,6 +104,16 @@ struct Resident(ResidentFmm<Laplace>);
 impl EvalEngine for Resident {
     fn evaluate(&self, targets: &[[f64; 3]], out: &mut [f64]) {
         self.0.evaluate(targets, out)
+    }
+
+    fn evaluate_traced(&self, targets: &[[f64; 3]], out: &mut [f64]) -> EngineBreakdown {
+        let prof = self.0.evaluate_profiled(targets, out);
+        EngineBreakdown {
+            m2t_us: prof.m2t_us,
+            p2p_us: prof.p2p_us,
+            far_pairs: prof.far_pairs,
+            near_pairs: prof.near_pairs,
+        }
     }
 }
 
@@ -129,8 +151,54 @@ fn main() {
     );
     std::io::stdout().flush().expect("flush ready line");
 
+    // Self-polling digest loop: a loopback stats client, so the printed
+    // numbers travel the same wire path any external poller would use.
+    let poller = (args.stats_interval_s > 0.0).then(|| {
+        let addr = format!("127.0.0.1:{}", server.port());
+        let interval = std::time::Duration::from_secs_f64(args.stats_interval_s);
+        std::thread::spawn(move || {
+            let Ok(mut client) = EvalClient::connect(&addr) else {
+                return;
+            };
+            loop {
+                std::thread::sleep(interval);
+                let Ok(snap) = client.stats() else { break };
+                let n = |path: [&str; 2]| {
+                    snap.get(path[0])
+                        .and_then(|s| s.get(path[1]))
+                        .and_then(Value::as_f64)
+                        .unwrap_or(0.0)
+                };
+                let interval_s = n(["window", "interval_us"]) / 1e6;
+                let rate = if interval_s > 0.0 {
+                    n(["window", "completed_requests"]) / interval_s
+                } else {
+                    0.0
+                };
+                let p99 = snap
+                    .get("latency")
+                    .and_then(|l| l.get("total"))
+                    .and_then(|t| t.get("p99_us"))
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0);
+                eprintln!(
+                    "serve: stats completed={} shed={} queued={} rate={rate:.0}req/s p99={p99:.0}us",
+                    n(["totals", "completed_requests"]),
+                    n(["totals", "shed_requests"]),
+                    n(["queues", "queued_requests"]),
+                );
+            }
+        })
+    });
+
     server.wait();
+    // The last snapshot is taken before shutdown tears the hub down.
+    let telemetry = dashmm_obs::json::parse(&server.stats_json())
+        .unwrap_or_else(|e| panic!("serve: own stats snapshot failed to parse: {e}"));
     server.shutdown();
+    if let Some(p) = poller {
+        let _ = p.join();
+    }
     let stats = server.stats();
     eprintln!(
         "serve: done — {} requests ({} shed, {} bad) over {} tiles \
@@ -148,6 +216,7 @@ fn main() {
             ("build_s", Value::from(build_s)),
             ("stats", stats.to_json()),
             ("spans", server.service_section()),
+            ("telemetry", telemetry),
         ]);
         if let Err(e) = write_summary(&path, &summary) {
             eprintln!("serve: failed to write {}: {e}", path.display());

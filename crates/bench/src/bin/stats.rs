@@ -1,0 +1,147 @@
+//! `stats` — poll a running evaluation server's telemetry snapshot.
+//!
+//! Connects to `--addr`, sends one `StatsRequest` per poll, and prints
+//! each JSON snapshot to stdout (one per line).  With `--polls N` and
+//! `--interval-ms M` it takes several spaced snapshots, which is enough
+//! to compute rates offline from the cumulative counters or directly
+//! from each snapshot's `window` section.
+//!
+//! ```text
+//! stats --addr HOST:PORT [--polls N] [--interval-ms M] [--pretty]
+//! ```
+
+use dashmm_net::service::EvalClient;
+
+struct Args {
+    addr: String,
+    polls: u32,
+    interval_ms: u64,
+    pretty: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        addr: String::new(),
+        polls: 1,
+        interval_ms: 1000,
+        pretty: false,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let usage = |msg: &str| -> ! {
+        eprintln!("error: {msg}");
+        eprintln!(
+            "usage: {} --addr HOST:PORT [--polls N] [--interval-ms M] [--pretty]",
+            argv.first().map(String::as_str).unwrap_or("stats")
+        );
+        std::process::exit(2);
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        let value = |flag: &str| -> &str {
+            match argv.get(i + 1) {
+                Some(v) => v,
+                None => usage(&format!("{flag} expects a value")),
+            }
+        };
+        macro_rules! num {
+            ($flag:expr) => {
+                value($flag)
+                    .parse()
+                    .unwrap_or_else(|_| usage(concat!($flag, " expects a number")))
+            };
+        }
+        match argv[i].as_str() {
+            "--addr" => a.addr = value("--addr").to_string(),
+            "--polls" => a.polls = num!("--polls"),
+            "--interval-ms" => a.interval_ms = num!("--interval-ms"),
+            "--pretty" => {
+                a.pretty = true;
+                i += 1;
+                continue;
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    if a.addr.is_empty() {
+        usage("--addr is required");
+    }
+    if a.polls == 0 {
+        usage("--polls must be positive");
+    }
+    a
+}
+
+/// Minimal pretty-printer for the hand-rolled JSON value (two-space
+/// indent, keys in emission order).
+fn pretty(json: &str) -> String {
+    let mut out = String::with_capacity(json.len() * 2);
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in json.chars() {
+        if in_str {
+            out.push(c);
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                depth += 1;
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let mut client = EvalClient::connect(&args.addr).unwrap_or_else(|e| {
+        eprintln!("stats: connect to {} failed: {e}", args.addr);
+        std::process::exit(1);
+    });
+    for poll in 0..args.polls {
+        if poll > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+        }
+        let raw = client.stats_raw().unwrap_or_else(|e| {
+            eprintln!("stats: poll failed: {e}");
+            std::process::exit(1);
+        });
+        if args.pretty {
+            println!("{}", pretty(&raw));
+        } else {
+            println!("{raw}");
+        }
+    }
+    let _ = client.close();
+}

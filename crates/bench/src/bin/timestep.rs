@@ -31,6 +31,7 @@ use dashmm_kernels::Laplace;
 use dashmm_obs::json::{obj, Value};
 use dashmm_obs::refit::{refit_section, StepObs};
 use dashmm_obs::summary::write_summary;
+use dashmm_obs::LogHistogram;
 use dashmm_refit::{ChargeUpdate, Displacement};
 use dashmm_sim::{CostModel, StepCounts};
 use dashmm_tree::{uniform_cube, BuildParams, Domain, Point3};
@@ -220,6 +221,16 @@ fn main() {
     let lo = domain.center() - Point3::new(domain.half(), domain.half(), domain.half());
     let hi = domain.center() + Point3::new(domain.half(), domain.half(), domain.half());
 
+    // Streaming per-phase histograms over steps 2..N (step 1 is a full
+    // build, a different regime, and would skew every percentile).
+    let hist_refit = LogHistogram::new();
+    let hist_recompute = LogHistogram::new();
+    let hist_lists = LogHistogram::new();
+    let hist_dag = LogHistogram::new();
+    let hist_total = LogHistogram::new();
+    let mut reused_edges_total = 0u64;
+    let mut invalidated_edges_total = 0u64;
+
     let mut worst: Option<String> = None;
     for step in 2..=args.steps {
         // Leapfrog drift of the active subset, reflecting at the walls.
@@ -264,6 +275,13 @@ fn main() {
         let t = Instant::now();
         let report = engine.step(&moves, &updates);
         let total_us = t.elapsed().as_secs_f64() * 1e6;
+        hist_refit.record_us(report.refit_us);
+        hist_recompute.record_us(report.recompute_us);
+        hist_lists.record_us(report.lists_us);
+        hist_dag.record_us(report.dag_us);
+        hist_total.record_us(total_us);
+        reused_edges_total += report.dag.reused_edges;
+        invalidated_edges_total += report.dag.invalidated_edges;
 
         let verify_rel_err = if args.verify {
             let e = verify_against_rebuild(&engine, &args, &probes);
@@ -359,6 +377,32 @@ fn main() {
             ]),
         ),
         ("timestep", section),
+        (
+            "telemetry",
+            obj(vec![
+                (
+                    "step_phases",
+                    obj(vec![
+                        ("refit_us", hist_refit.snapshot().to_json()),
+                        ("recompute_us", hist_recompute.snapshot().to_json()),
+                        ("lists_us", hist_lists.snapshot().to_json()),
+                        ("dag_us", hist_dag.snapshot().to_json()),
+                        ("total_us", hist_total.snapshot().to_json()),
+                    ]),
+                ),
+                ("reused_edges", Value::from(reused_edges_total)),
+                ("invalidated_edges", Value::from(invalidated_edges_total)),
+                (
+                    "reuse_ratio",
+                    Value::from(if reused_edges_total + invalidated_edges_total > 0 {
+                        reused_edges_total as f64
+                            / (reused_edges_total + invalidated_edges_total) as f64
+                    } else {
+                        0.0
+                    }),
+                ),
+            ]),
+        ),
     ]);
     if let Err(e) = write_summary(&args.out, &summary) {
         eprintln!("timestep: failed to write {}: {e}", args.out.display());

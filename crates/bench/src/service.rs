@@ -103,10 +103,32 @@ impl dashmm_net::EvalEngine for SteppingResident {
     fn evaluate(&self, targets: &[[f64; 3]], out: &mut [f64]) {
         self.0.read().expect("engine lock").evaluate(targets, out);
     }
+
+    fn evaluate_traced(
+        &self,
+        targets: &[[f64; 3]],
+        out: &mut [f64],
+    ) -> dashmm_net::EngineBreakdown {
+        let prof = self
+            .0
+            .read()
+            .expect("engine lock")
+            .evaluate_profiled(targets, out);
+        dashmm_net::EngineBreakdown {
+            m2t_us: prof.m2t_us,
+            p2p_us: prof.p2p_us,
+            far_pairs: prof.far_pairs,
+            near_pairs: prof.near_pairs,
+        }
+    }
 }
 
-impl dashmm_net::StepEngine for SteppingResident {
-    fn step(&self, moves: &[(u32, [f64; 3])], charges: &[(u32, f64)]) -> bool {
+impl SteppingResident {
+    fn apply_step(
+        &self,
+        moves: &[(u32, [f64; 3])],
+        charges: &[(u32, f64)],
+    ) -> Option<dashmm_core::StepReport> {
         let mut fmm = self.0.write().expect("engine lock");
         let n = fmm.num_sources() as u32;
         if moves
@@ -115,7 +137,7 @@ impl dashmm_net::StepEngine for SteppingResident {
             .chain(charges.iter().map(|(i, _)| *i))
             .any(|i| i >= n)
         {
-            return false;
+            return None;
         }
         let moves: Vec<Displacement> = moves
             .iter()
@@ -125,8 +147,35 @@ impl dashmm_net::StepEngine for SteppingResident {
             .iter()
             .map(|&(index, charge)| ChargeUpdate { index, charge })
             .collect();
-        fmm.step(&moves, &charges);
-        true
+        Some(fmm.step(&moves, &charges))
+    }
+}
+
+impl dashmm_net::StepEngine for SteppingResident {
+    fn step(&self, moves: &[(u32, [f64; 3])], charges: &[(u32, f64)]) -> bool {
+        self.apply_step(moves, charges).is_some()
+    }
+
+    fn step_traced(
+        &self,
+        moves: &[(u32, [f64; 3])],
+        charges: &[(u32, f64)],
+    ) -> dashmm_net::StepOutcome {
+        let t0 = std::time::Instant::now();
+        match self.apply_step(moves, charges) {
+            Some(report) => dashmm_net::StepOutcome {
+                applied: true,
+                reused_edges: report.dag.reused_edges,
+                invalidated_edges: report.dag.invalidated_edges,
+                total_us: t0.elapsed().as_secs_f64() * 1e6,
+            },
+            None => dashmm_net::StepOutcome {
+                applied: false,
+                reused_edges: 0,
+                invalidated_edges: 0,
+                total_us: t0.elapsed().as_secs_f64() * 1e6,
+            },
+        }
     }
 }
 

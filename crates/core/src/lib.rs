@@ -49,6 +49,6 @@ pub use api::{DashmmBuilder, EvalOutput, Evaluation, Policy};
 pub use assemble::{assemble, Assembly};
 pub use measure::per_op_avg_us;
 pub use problem::{block_owner, Method, Problem};
-pub use resident::{ResidentConfig, ResidentFmm};
+pub use resident::{EvalProfile, ResidentConfig, ResidentFmm};
 pub use step::{StepDag, StepReport};
 pub use verify::{check_accuracy, AccuracyReport};

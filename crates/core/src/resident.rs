@@ -75,6 +75,20 @@ thread_local! {
     static QUERY_WS: RefCell<BatchWorkspace> = RefCell::new(BatchWorkspace::new());
 }
 
+/// Where one evaluation's time went, split by operator family, plus the
+/// interaction volume that explains it (telemetry for the service plane).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EvalProfile {
+    /// Microseconds spent in batched far-field `M→T` applications.
+    pub m2t_us: f64,
+    /// Microseconds spent in batched near-field `S→T` (`P2P`) sums.
+    pub p2p_us: f64,
+    /// Far-field (target, accepted box) interactions evaluated.
+    pub far_pairs: u64,
+    /// Near-field (target, source) pairs summed directly.
+    pub near_pairs: u64,
+}
+
 /// The cached source-side state of a resident FMM evaluation service.
 pub struct ResidentFmm<K: Kernel> {
     pub(crate) tree: RefitTree,
@@ -265,10 +279,32 @@ impl<K: Kernel> ResidentFmm<K> {
     /// Evaluate the potential at each target, overwriting `out`
     /// (`out.len() == targets.len()`), using the caller's workspace.
     pub fn eval_points(&self, targets: &[Point3], ws: &mut BatchWorkspace, out: &mut [f64]) {
+        self.eval_points_impl::<false>(targets, ws, out);
+    }
+
+    /// [`eval_points`](Self::eval_points) plus an operator-level time and
+    /// interaction-volume breakdown.  The unprofiled path pays nothing:
+    /// clock reads are compiled out unless the profile is requested.
+    pub fn eval_points_profiled(
+        &self,
+        targets: &[Point3],
+        ws: &mut BatchWorkspace,
+        out: &mut [f64],
+    ) -> EvalProfile {
+        self.eval_points_impl::<true>(targets, ws, out)
+    }
+
+    fn eval_points_impl<const PROFILE: bool>(
+        &self,
+        targets: &[Point3],
+        ws: &mut BatchWorkspace,
+        out: &mut [f64],
+    ) -> EvalProfile {
+        let mut profile = EvalProfile::default();
         assert_eq!(targets.len(), out.len(), "one output per target");
         out.fill(0.0);
         if targets.is_empty() {
-            return;
+            return profile;
         }
         // Treecode descent with per-node partitioning of the active target
         // set.  Every acceptance decision reads one target's position and
@@ -305,6 +341,7 @@ impl<K: Kernel> ResidentFmm<K> {
                 batch_pts.extend(far.iter().map(|&i| targets[i as usize]));
                 batch_out.clear();
                 batch_out.resize(far.len(), 0.0);
+                let t0 = PROFILE.then(std::time::Instant::now);
                 ops::m2t(
                     self.lib.kernel(),
                     &t,
@@ -314,6 +351,10 @@ impl<K: Kernel> ResidentFmm<K> {
                     ws,
                     &mut batch_out,
                 );
+                if let Some(t0) = t0 {
+                    profile.m2t_us += t0.elapsed().as_secs_f64() * 1e6;
+                    profile.far_pairs += far.len() as u64;
+                }
                 for (k, &ti) in far.iter().enumerate() {
                     out[ti as usize] += batch_out[k];
                 }
@@ -325,7 +366,12 @@ impl<K: Kernel> ResidentFmm<K> {
                     batch_pts.extend(near.iter().map(|&i| targets[i as usize]));
                     batch_out.clear();
                     batch_out.resize(near.len(), 0.0);
+                    let t0 = PROFILE.then(std::time::Instant::now);
                     ops::p2p(self.lib.kernel(), pts, q, &batch_pts, ws, &mut batch_out);
+                    if let Some(t0) = t0 {
+                        profile.p2p_us += t0.elapsed().as_secs_f64() * 1e6;
+                        profile.near_pairs += (near.len() * pts.len()) as u64;
+                    }
                     for (k, &ti) in near.iter().enumerate() {
                         out[ti as usize] += batch_out[k];
                     }
@@ -338,6 +384,7 @@ impl<K: Kernel> ResidentFmm<K> {
                 }
             }
         }
+        profile
     }
 
     /// Evaluate at raw `[x, y, z]` targets (the service wire shape),
@@ -349,6 +396,16 @@ impl<K: Kernel> ResidentFmm<K> {
             .map(|t| Point3::new(t[0], t[1], t[2]))
             .collect();
         QUERY_WS.with(|ws| self.eval_points(&pts, &mut ws.borrow_mut(), out));
+    }
+
+    /// [`evaluate`](Self::evaluate) with the operator-level breakdown a
+    /// serving layer forwards into its telemetry plane.
+    pub fn evaluate_profiled(&self, targets: &[[f64; 3]], out: &mut [f64]) -> EvalProfile {
+        let pts: Vec<Point3> = targets
+            .iter()
+            .map(|t| Point3::new(t[0], t[1], t[2]))
+            .collect();
+        QUERY_WS.with(|ws| self.eval_points_profiled(&pts, &mut ws.borrow_mut(), out))
     }
 }
 
@@ -463,6 +520,29 @@ mod tests {
                 ragged[i]
             );
         }
+    }
+
+    #[test]
+    fn profiled_eval_matches_plain_and_counts_pairs() {
+        let n = 1200;
+        let sources = uniform_cube(n, 17);
+        let q = charges(n);
+        let fmm = ResidentFmm::build(Laplace, &sources, &q, ResidentConfig::default());
+        let targets = raw(&uniform_cube(64, 33));
+        let mut plain = vec![0.0; targets.len()];
+        fmm.evaluate(&targets, &mut plain);
+        let mut profiled = vec![0.0; targets.len()];
+        let prof = fmm.evaluate_profiled(&targets, &mut profiled);
+        assert_eq!(plain, profiled, "profiling must not change the numbers");
+        assert!(prof.far_pairs > 0, "a deep tree yields far-field work");
+        assert!(prof.near_pairs > 0, "leaf neighbours yield near-field work");
+        assert!(prof.m2t_us >= 0.0 && prof.p2p_us >= 0.0);
+        // An empty batch reports an empty profile.
+        let mut none: [f64; 0] = [];
+        assert_eq!(
+            fmm.evaluate_profiled(&[], &mut none),
+            EvalProfile::default()
+        );
     }
 
     #[test]

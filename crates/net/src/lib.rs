@@ -52,10 +52,12 @@ pub use launcher::{bootstrap, env_rank, net_timeout, LaunchReport, Role};
 pub use metrics::{CommMetrics, DestMetrics, FlushReason};
 pub use reliable::{RetransmitConfig, SeqReceiver, SeqSender};
 pub use service::{
-    decode_request, decode_response, decode_step_request, encode_request, encode_response,
-    encode_step_request, AdmissionConfig, EvalClient, EvalEngine, EvalRequestMsg, EvalResponseMsg,
-    EvalServer, RespStatus, ServiceConfig, ServiceStats, StepEngine, StepRequestMsg,
-    MAX_REQUEST_TARGETS, MAX_STEP_UPDATES,
+    decode_request, decode_response, decode_stats_request, decode_stats_response,
+    decode_step_request, encode_request, encode_response, encode_stats_request,
+    encode_stats_response, encode_step_request, AdmissionConfig, EngineBreakdown, EvalClient,
+    EvalEngine, EvalRequestMsg, EvalResponseMsg, EvalServer, PhaseBreakdown, RespStatus,
+    ServiceConfig, ServiceStats, StepEngine, StepOutcome, StepRequestMsg, MAX_REQUEST_TARGETS,
+    MAX_STEP_UPDATES, STATS_MAX_SNAPSHOT_BYTES,
 };
 pub use transport::{
     SocketTransport, KILL_EXIT_CODE, TRACE_CLASS_ACK, TRACE_CLASS_HEARTBEAT,

@@ -30,10 +30,18 @@
 //!   immediate [`RespStatus::Shed`] response instead of queueing without
 //!   bound — the same philosophy as the transport's bounded send queues,
 //!   but surfaced to the client as an explicit retry signal.
-//! - **Observability**: per-request spans (queue delay, fused-tile engine
-//!   time, end-to-end latency) land in a bounded
-//!   [`dashmm_obs::RequestTrace`]; per-tenant counters ride the
-//!   [`ServiceStats`] snapshot and its JSON form.
+//! - **Observability**: every request is decomposed into a telescoping
+//!   `queue / fuse / compute / reply` phase breakdown (the four
+//!   boundaries are single timestamps, so the phases sum to the
+//!   end-to-end latency exactly).  The breakdown is echoed in each
+//!   [`FrameKind::EvalResponse`], recorded into the streaming
+//!   log-bucketed histograms of a [`dashmm_obs::TelemetryHub`]
+//!   (lock-free, bounded memory), and a recent window of full spans is
+//!   retained in a bounded [`dashmm_obs::RequestTrace`].  Any client
+//!   may poll a live JSON stats snapshot with a
+//!   [`FrameKind::StatsRequest`] frame — counters, per-phase latency
+//!   histograms, queue depths, step-engine reuse ratios, uptime, and
+//!   interval-windowed deltas so rates are computable from two polls.
 //!
 //! The numerical engine is abstracted behind [`EvalEngine`], so this
 //! module stays free of kernel/expansion dependencies and unit tests can
@@ -47,7 +55,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use dashmm_obs::json::{obj, Value};
-use dashmm_obs::{LatencySummary, RequestSpan, RequestTrace};
+use dashmm_obs::{LatencySummary, RequestSpan, RequestTrace, TelemetryHub};
 
 use crate::wire::{encode_frame, Frame, FrameDecoder, FrameKind, WireError};
 
@@ -59,8 +67,17 @@ pub const MAX_REQUEST_TARGETS: usize = 1 << 16;
 /// Fixed bytes of a request body ahead of its packed coordinates.
 pub const REQUEST_HEADER_BYTES: usize = 16;
 
-/// Fixed bytes of a response body ahead of its packed potentials.
-pub const RESPONSE_HEADER_BYTES: usize = 13;
+/// Fixed bytes of a response body ahead of its packed potentials:
+/// `req_id u64 | status u8 | queue f32 | fuse f32 | compute f32 |
+/// reply f32 | total f32 | count u32`.
+pub const RESPONSE_HEADER_BYTES: usize = 33;
+
+/// Byte cap on one stats-snapshot JSON body; a declared length beyond it
+/// is rejected as hostile before any allocation.
+pub const STATS_MAX_SNAPSHOT_BYTES: usize = 1 << 20;
+
+/// Fixed bytes of a stats-response body ahead of the snapshot JSON.
+pub const STATS_RESPONSE_HEADER_BYTES: usize = 12;
 
 /// Upper bound on displacement *and* charge updates in one
 /// [`FrameKind::StepSources`] request; a declared count beyond it is
@@ -116,6 +133,36 @@ impl RespStatus {
     }
 }
 
+/// Per-request phase timing (µs), echoed in every evaluation response.
+///
+/// The phases telescope — `queue + fuse + compute + reply == total` —
+/// because each boundary is a single server-side timestamp (admission,
+/// tile drain, engine start, engine end, response write).  `f32`
+/// microseconds keep the wire cost at 20 bytes while resolving
+/// sub-microsecond detail out to ~4.6 hours.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Admission → the request's tile being drained from the aggregator.
+    pub queue_us: f32,
+    /// Tile drain → engine start (SoA fusion, output-buffer setup).
+    pub fuse_us: f32,
+    /// Engine evaluation of the fused tile (shared across its requests).
+    pub compute_us: f32,
+    /// Engine end → the response bytes reaching the socket.
+    pub reply_us: f32,
+    /// Admission → the response bytes reaching the socket.
+    pub total_us: f32,
+}
+
+impl PhaseBreakdown {
+    /// Sum of the four component phases (should match `total_us` up to
+    /// `f32` rounding — the server computes all five from shared
+    /// timestamps).
+    pub fn sum_us(&self) -> f64 {
+        self.queue_us as f64 + self.fuse_us as f64 + self.compute_us as f64 + self.reply_us as f64
+    }
+}
+
 /// One decoded evaluation response.
 #[derive(Clone, Debug, PartialEq)]
 pub struct EvalResponseMsg {
@@ -123,6 +170,9 @@ pub struct EvalResponseMsg {
     pub req_id: u64,
     /// Outcome.
     pub status: RespStatus,
+    /// Server-side phase breakdown (zeros on non-[`RespStatus::Ok`]
+    /// outcomes, which never reach the engine).
+    pub phases: PhaseBreakdown,
     /// Potentials in request target order (empty unless
     /// [`RespStatus::Ok`]).
     pub potentials: Vec<f64>,
@@ -191,13 +241,28 @@ pub fn decode_request(body: &[u8]) -> Result<EvalRequestMsg, WireError> {
     })
 }
 
-/// Encode an [`FrameKind::EvalResponse`] body:
-/// `req_id u64 | status u8 | count u32 | potential f64 × count`.
-pub fn encode_response(req_id: u64, status: RespStatus, potentials: &[f64]) -> Vec<u8> {
+/// Encode an [`FrameKind::EvalResponse`] body: `req_id u64 | status u8 |
+/// queue f32 | fuse f32 | compute f32 | reply f32 | total f32 |
+/// count u32 | potential f64 × count`.
+pub fn encode_response(
+    req_id: u64,
+    status: RespStatus,
+    phases: &PhaseBreakdown,
+    potentials: &[f64],
+) -> Vec<u8> {
     debug_assert!(status == RespStatus::Ok || potentials.is_empty());
     let mut body = Vec::with_capacity(RESPONSE_HEADER_BYTES + 8 * potentials.len());
     body.extend_from_slice(&req_id.to_le_bytes());
     body.push(status as u8);
+    for us in [
+        phases.queue_us,
+        phases.fuse_us,
+        phases.compute_us,
+        phases.reply_us,
+        phases.total_us,
+    ] {
+        body.extend_from_slice(&us.to_le_bytes());
+    }
     body.extend_from_slice(&(potentials.len() as u32).to_le_bytes());
     for p in potentials {
         body.extend_from_slice(&p.to_le_bytes());
@@ -213,7 +278,16 @@ pub fn decode_response(body: &[u8]) -> Result<EvalResponseMsg, WireError> {
     }
     let req_id = le_u64(body);
     let status = RespStatus::from_u8(body[8]).ok_or(WireError::BadParcel)?;
-    let count = le_u32(&body[9..]) as usize;
+    let us =
+        |i: usize| -> f32 { f32::from_le_bytes(body[9 + 4 * i..13 + 4 * i].try_into().unwrap()) };
+    let phases = PhaseBreakdown {
+        queue_us: us(0),
+        fuse_us: us(1),
+        compute_us: us(2),
+        reply_us: us(3),
+        total_us: us(4),
+    };
+    let count = le_u32(&body[29..]) as usize;
     if count > MAX_REQUEST_TARGETS {
         return Err(WireError::Oversize(count));
     }
@@ -231,8 +305,64 @@ pub fn decode_response(body: &[u8]) -> Result<EvalResponseMsg, WireError> {
     Ok(EvalResponseMsg {
         req_id,
         status,
+        phases,
         potentials,
     })
+}
+
+/// Encode a [`FrameKind::StatsRequest`] body: `req_id u64`.
+pub fn encode_stats_request(req_id: u64) -> Vec<u8> {
+    req_id.to_le_bytes().to_vec()
+}
+
+/// Decode a [`FrameKind::StatsRequest`] body (exactly eight bytes).
+pub fn decode_stats_request(body: &[u8]) -> Result<u64, WireError> {
+    if body.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    if body.len() > 8 {
+        return Err(WireError::BadParcel);
+    }
+    Ok(le_u64(body))
+}
+
+/// Encode a [`FrameKind::StatsResponse`] body: `req_id u64 | len u32 |
+/// snapshot JSON (UTF-8) × len`.
+pub fn encode_stats_response(req_id: u64, snapshot_json: &str) -> Vec<u8> {
+    assert!(
+        snapshot_json.len() <= STATS_MAX_SNAPSHOT_BYTES,
+        "stats snapshot over the byte cap"
+    );
+    let mut body = Vec::with_capacity(STATS_RESPONSE_HEADER_BYTES + snapshot_json.len());
+    body.extend_from_slice(&req_id.to_le_bytes());
+    body.extend_from_slice(&(snapshot_json.len() as u32).to_le_bytes());
+    body.extend_from_slice(snapshot_json.as_bytes());
+    body
+}
+
+/// Decode a [`FrameKind::StatsResponse`] body.  A declared length over
+/// [`STATS_MAX_SNAPSHOT_BYTES`] is [`WireError::Oversize`] *before* any
+/// allocation; non-UTF-8 payload is [`WireError::BadParcel`].
+pub fn decode_stats_response(body: &[u8]) -> Result<(u64, String), WireError> {
+    if body.len() < STATS_RESPONSE_HEADER_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let req_id = le_u64(body);
+    let len = le_u32(&body[8..]) as usize;
+    if len > STATS_MAX_SNAPSHOT_BYTES {
+        return Err(WireError::Oversize(len));
+    }
+    let want = STATS_RESPONSE_HEADER_BYTES + len;
+    if body.len() < want {
+        return Err(WireError::Truncated);
+    }
+    if body.len() > want {
+        return Err(WireError::BadParcel);
+    }
+    let json = std::str::from_utf8(&body[STATS_RESPONSE_HEADER_BYTES..])
+        .map_err(|_| WireError::BadParcel)?
+        .to_string();
+    Ok((req_id, json))
 }
 
 /// One decoded source-update (time-step) request.
@@ -345,6 +475,31 @@ pub trait EvalEngine: Send + Sync + 'static {
     /// Write the potential at each of `targets` into `out`
     /// (`out.len() == targets.len()`, overwritten).
     fn evaluate(&self, targets: &[[f64; 3]], out: &mut [f64]);
+
+    /// Evaluate one fused tile *and* report the engine-internal phase
+    /// breakdown for telemetry.  The default delegates to
+    /// [`EvalEngine::evaluate`] with an empty breakdown; engines that
+    /// can attribute their time (far-field M2T vs near-field P2P, as
+    /// `dashmm-core`'s `ResidentFmm` does) override it so the server's
+    /// stats snapshot can show where tile time goes.
+    fn evaluate_traced(&self, targets: &[[f64; 3]], out: &mut [f64]) -> EngineBreakdown {
+        self.evaluate(targets, out);
+        EngineBreakdown::default()
+    }
+}
+
+/// Engine-internal timing of one fused-tile evaluation, for the
+/// server's telemetry plane.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EngineBreakdown {
+    /// Time in batched far-field (M2T) evaluation.
+    pub m2t_us: f64,
+    /// Time in batched near-field (P2P) evaluation.
+    pub p2p_us: f64,
+    /// Target–box interactions routed through the far-field path.
+    pub far_pairs: u64,
+    /// Target–source interactions routed through the near-field path.
+    pub near_pairs: u64,
 }
 
 impl<F> EvalEngine for F
@@ -372,6 +527,35 @@ pub trait StepEngine: EvalEngine {
     /// Apply the update; `false` rejects it (e.g. an index out of range),
     /// answered to the client as [`RespStatus::BadRequest`].
     fn step(&self, moves: &[(u32, [f64; 3])], charges: &[(u32, f64)]) -> bool;
+
+    /// Apply the update *and* report its reuse outcome for telemetry.
+    /// The default wraps [`StepEngine::step`] with wall-clock timing and
+    /// zero edge counts; engines with real DAG-reuse accounting
+    /// (`ResidentFmm::step`) override it so the stats snapshot's
+    /// step-engine reuse ratio is populated.
+    fn step_traced(&self, moves: &[(u32, [f64; 3])], charges: &[(u32, f64)]) -> StepOutcome {
+        let t0 = Instant::now();
+        let applied = self.step(moves, charges);
+        StepOutcome {
+            applied,
+            reused_edges: 0,
+            invalidated_edges: 0,
+            total_us: t0.elapsed().as_secs_f64() * 1e6,
+        }
+    }
+}
+
+/// Telemetry detail of one applied (or rejected) source-update step.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepOutcome {
+    /// Whether the update was applied.
+    pub applied: bool,
+    /// DAG edges reused verbatim from the previous step.
+    pub reused_edges: u64,
+    /// DAG edges invalidated and re-executed.
+    pub invalidated_edges: u64,
+    /// Wall time of the step.
+    pub total_us: f64,
 }
 
 // ---------------------------------------------------------------------------
@@ -455,6 +639,18 @@ impl RequestAggregator {
         self.acct.enqueued += req.targets.len() as u64;
         self.acct.queued += req.targets.len() as u64;
         self.queue.push_back(req);
+    }
+
+    /// Enqueue one admitted request (the public face of `push`, for
+    /// driving the aggregator outside the server's eval loop).
+    pub fn enqueue(&mut self, conn: u64, req_id: u64, tenant: u32, targets: Vec<[f64; 3]>) {
+        self.push(PendingRequest {
+            conn,
+            req_id,
+            tenant,
+            targets,
+            admitted: Instant::now(),
+        });
     }
 
     /// Coalesce queued requests into one fused tile of at most
@@ -635,6 +831,18 @@ impl Admission {
             Release::Completed => st.completed_requests += 1,
             Release::Dropped => st.dropped_requests += 1,
         }
+    }
+
+    /// Release `n` answered targets for `tenant` (engine evaluated them
+    /// and the response was written).
+    pub fn release_completed(&mut self, tenant: u32, n: usize) {
+        self.release(tenant, n, Release::Completed);
+    }
+
+    /// Release `n` targets for `tenant` whose connection died before the
+    /// answer (a purge mid-queue).
+    pub fn release_dropped(&mut self, tenant: u32, n: usize) {
+        self.release(tenant, n, Release::Dropped);
     }
 
     /// Targets currently admitted but unanswered, across tenants.
@@ -826,12 +1034,31 @@ impl ConnHandle {
     }
 }
 
+/// Cumulative counters remembered at the previous stats poll, so the
+/// next snapshot can report interval-windowed deltas (rates follow from
+/// `delta / interval`).
+#[derive(Clone, Copy, Debug, Default)]
+struct PrevPoll {
+    uptime_us: f64,
+    totals: ServiceTotals,
+}
+
 struct Shared {
     cfg: ServiceConfig,
     engine: Arc<dyn EvalEngine>,
     /// Present iff the server was bound with [`EvalServer::bind_stepping`];
     /// a [`FrameKind::StepSources`] frame without it is a `BadRequest`.
     stepper: Option<Arc<dyn StepEngine>>,
+    /// Lock-free telemetry plane (histograms, engine/step counters);
+    /// lives outside the core lock so recording never contends with it.
+    hub: Arc<TelemetryHub>,
+    /// Baseline for the snapshot's interval-windowed deltas (advanced by
+    /// every poll, from any client).
+    prev_poll: Mutex<Option<PrevPoll>>,
+    /// Optional ARQ/transport counter source (see
+    /// [`EvalServer::set_comm_source`]); its JSON rides the snapshot's
+    /// `"comm"` section.
+    comm: Mutex<Option<Arc<dyn Fn() -> Value + Send + Sync>>>,
     core: Mutex<Core>,
     work_cv: Condvar,
     /// Signals [`EvalServer::wait`]ers that draining finished.
@@ -846,8 +1073,131 @@ impl Shared {
     fn send_status(&self, conn: &ConnHandle, req_id: u64, status: RespStatus) {
         conn.send(
             FrameKind::EvalResponse,
-            &encode_response(req_id, status, &[]),
+            &encode_response(req_id, status, &PhaseBreakdown::default(), &[]),
         );
+    }
+
+    /// Build the live stats snapshot (schema `dashmm-stats-v1`): totals,
+    /// per-tenant counters, queue depths, per-phase latency histograms,
+    /// engine/step sections, uptime, and deltas since the previous poll.
+    fn stats_snapshot_json(&self) -> String {
+        let uptime_us = self.hub.uptime_us();
+        self.hub.stats_polls.inc();
+        let (totals, tenants, acct, queued_requests, trace_row) = {
+            let core = self.core.lock().expect("core lock");
+            (
+                core.totals,
+                core.adm.snapshot(),
+                core.agg.accounting(),
+                core.agg.queued_requests(),
+                obj(vec![
+                    ("recorded", Value::from(core.trace.recorded)),
+                    ("retained", Value::from(core.trace.len())),
+                    ("overwritten", Value::from(core.trace.overwritten)),
+                    ("capacity", Value::from(core.trace.capacity())),
+                ]),
+            )
+        };
+        let prev = {
+            let mut slot = self.prev_poll.lock().expect("prev poll lock");
+            slot.replace(PrevPoll { uptime_us, totals })
+                .unwrap_or_default()
+        };
+        let tenant_rows: Vec<Value> = tenants
+            .iter()
+            .map(|t| {
+                obj(vec![
+                    ("tenant", Value::from(u64::from(t.tenant))),
+                    (
+                        "received_requests",
+                        Value::from(t.admitted_requests + t.shed_requests),
+                    ),
+                    ("admitted_requests", Value::from(t.admitted_requests)),
+                    ("admitted_targets", Value::from(t.admitted_targets)),
+                    ("shed_requests", Value::from(t.shed_requests)),
+                    ("completed_requests", Value::from(t.completed_requests)),
+                    ("errored_requests", Value::from(t.dropped_requests)),
+                    ("queued_targets", Value::from(t.queued_targets)),
+                ])
+            })
+            .collect();
+        let d = |now: u64, then: u64| Value::from(now.saturating_sub(then));
+        let comm = match self.comm.lock().expect("comm lock").as_ref() {
+            Some(source) => source(),
+            None => Value::Null,
+        };
+        let snapshot = obj(vec![
+            ("schema", Value::from("dashmm-stats-v1")),
+            ("seq", Value::from(self.hub.stats_polls.get())),
+            ("uptime_us", Value::from(uptime_us)),
+            (
+                "totals",
+                obj(vec![
+                    ("admitted_requests", Value::from(totals.admitted_requests)),
+                    ("shed_requests", Value::from(totals.shed_requests)),
+                    ("completed_requests", Value::from(totals.completed_requests)),
+                    ("evaluated_targets", Value::from(totals.evaluated_targets)),
+                    ("tiles", Value::from(totals.tiles)),
+                    ("tile_requests", Value::from(totals.tile_requests)),
+                    ("bad_requests", Value::from(totals.bad_requests)),
+                    ("step_requests", Value::from(totals.step_requests)),
+                    ("connections", Value::from(totals.connections)),
+                    ("protocol_errors", Value::from(totals.protocol_errors)),
+                ]),
+            ),
+            ("tenants", Value::Arr(tenant_rows)),
+            (
+                "queues",
+                obj(vec![
+                    ("queued_requests", Value::from(queued_requests)),
+                    ("queued_targets", Value::from(acct.queued)),
+                    ("enqueued_targets", Value::from(acct.enqueued)),
+                    ("drained_targets", Value::from(acct.drained)),
+                    ("purged_targets", Value::from(acct.purged)),
+                    ("balanced", Value::Bool(acct.balanced())),
+                ]),
+            ),
+            ("latency", self.hub.phases.to_json()),
+            ("engine", self.hub.engine_json()),
+            ("step", self.hub.step_json()),
+            ("trace", trace_row),
+            ("comm", comm),
+            (
+                "window",
+                obj(vec![
+                    (
+                        "interval_us",
+                        Value::from((uptime_us - prev.uptime_us).max(0.0)),
+                    ),
+                    (
+                        "admitted_requests",
+                        d(totals.admitted_requests, prev.totals.admitted_requests),
+                    ),
+                    (
+                        "shed_requests",
+                        d(totals.shed_requests, prev.totals.shed_requests),
+                    ),
+                    (
+                        "completed_requests",
+                        d(totals.completed_requests, prev.totals.completed_requests),
+                    ),
+                    (
+                        "evaluated_targets",
+                        d(totals.evaluated_targets, prev.totals.evaluated_targets),
+                    ),
+                    ("tiles", d(totals.tiles, prev.totals.tiles)),
+                    (
+                        "step_requests",
+                        d(totals.step_requests, prev.totals.step_requests),
+                    ),
+                    (
+                        "bad_requests",
+                        d(totals.bad_requests, prev.totals.bad_requests),
+                    ),
+                ]),
+            ),
+        ]);
+        snapshot.to_json()
     }
 }
 
@@ -897,6 +1247,9 @@ impl EvalServer {
             cfg,
             engine,
             stepper,
+            hub: Arc::new(TelemetryHub::new()),
+            prev_poll: Mutex::new(None),
+            comm: Mutex::new(None),
             core: Mutex::new(Core {
                 agg: RequestAggregator::new(),
                 adm: Admission::new(cfg.admission),
@@ -943,14 +1296,38 @@ impl EvalServer {
     }
 
     /// Snapshot the counters, per-tenant rows and latency percentiles.
+    /// Latency comes from the streaming end-to-end histogram (every
+    /// request ever served), not the bounded span ring.
     pub fn stats(&self) -> ServiceStats {
+        let latency = LatencySummary::from_snapshot(&self.shared.hub.phases.total.snapshot());
         let core = self.shared.core.lock().expect("core lock");
         ServiceStats {
             totals: core.totals,
             tenants: core.adm.snapshot(),
-            latency: dashmm_obs::request_latency(&core.trace),
+            latency,
             accounting: core.agg.accounting(),
         }
+    }
+
+    /// The live telemetry plane (histograms, engine/step counters).
+    /// Shared so engine adapters or co-hosted subsystems can record into
+    /// it directly.
+    pub fn telemetry(&self) -> Arc<TelemetryHub> {
+        Arc::clone(&self.shared.hub)
+    }
+
+    /// The stats snapshot JSON a [`FrameKind::StatsRequest`] would
+    /// receive, for in-process consumers (bench summaries).  Note this
+    /// advances the windowed-delta baseline exactly like a wire poll.
+    pub fn stats_json(&self) -> String {
+        self.shared.stats_snapshot_json()
+    }
+
+    /// Publish transport/ARQ counters in the snapshot's `"comm"` section
+    /// (e.g. `|| transport.metrics().to_json()` for a co-hosted
+    /// `SocketTransport`).  The source is polled on every stats request.
+    pub fn set_comm_source(&self, source: Arc<dyn Fn() -> Value + Send + Sync>) {
+        *self.shared.comm.lock().expect("comm lock") = Some(source);
     }
 
     /// The `service` run-summary section (request-span latency ring).
@@ -1027,6 +1404,8 @@ impl EvalServer {
         core.adm.reset();
         core.totals = ServiceTotals::default();
         core.trace.clear();
+        drop(core);
+        *self.shared.prev_poll.lock().expect("prev poll lock") = None;
     }
 }
 
@@ -1112,6 +1491,14 @@ fn reader_loop(mut stream: TcpStream, conn_id: u64, handle: Arc<ConnHandle>, sha
     shared.conns.lock().expect("conn map").remove(&conn_id);
 }
 
+/// Write one stats-snapshot frame to a connection.
+fn conn_send_stats(handle: &ConnHandle, req_id: u64, json: &str) {
+    handle.send(
+        FrameKind::StatsResponse,
+        &encode_stats_response(req_id, json),
+    );
+}
+
 /// Handle one decoded frame; `false` ends the connection.
 fn handle_frame(frame: Frame, conn_id: u64, handle: &ConnHandle, shared: &Shared) -> bool {
     match frame.kind {
@@ -1195,23 +1582,50 @@ fn handle_frame(frame: Frame, conn_id: u64, handle: &ConnHandle, shared: &Shared
             // The engine serializes against in-flight tiles itself (see
             // [`StepEngine`]); holding the core lock here would stall every
             // reader behind the refit.
-            let applied = stepper.step(&req.moves, &req.charges);
+            let outcome = stepper.step_traced(&req.moves, &req.charges);
             let mut core = shared.core.lock().expect("core lock");
-            if applied {
+            if outcome.applied {
                 core.totals.step_requests += 1;
             } else {
                 core.totals.bad_requests += 1;
             }
             drop(core);
+            if outcome.applied {
+                shared.hub.record_step(
+                    outcome.reused_edges,
+                    outcome.invalidated_edges,
+                    outcome.total_us,
+                );
+            }
             shared.send_status(
                 handle,
                 req.req_id,
-                if applied {
+                if outcome.applied {
                     RespStatus::Ok
                 } else {
                     RespStatus::BadRequest
                 },
             );
+            true
+        }
+        FrameKind::StatsRequest => {
+            match decode_stats_request(&frame.body) {
+                Ok(req_id) => {
+                    let json = shared.stats_snapshot_json();
+                    conn_send_stats(handle, req_id, &json);
+                }
+                Err(_) => {
+                    let req_id = if frame.body.len() >= 8 {
+                        le_u64(&frame.body)
+                    } else {
+                        0
+                    };
+                    let mut core = shared.core.lock().expect("core lock");
+                    core.totals.bad_requests += 1;
+                    drop(core);
+                    shared.send_status(handle, req_id, RespStatus::BadRequest);
+                }
+            }
             true
         }
         FrameKind::Shutdown => {
@@ -1235,25 +1649,42 @@ fn handle_frame(frame: Frame, conn_id: u64, handle: &ConnHandle, shared: &Shared
 fn eval_loop(shared: Arc<Shared>) {
     let mut out: Vec<f64> = Vec::new();
     loop {
-        let tile = {
+        // Phase boundaries are single timestamps shared by every request
+        // in the tile, so each request's queue/fuse/compute/reply phases
+        // telescope to its end-to-end latency exactly:
+        //   queue   = t_drain - admitted      (waiting in the aggregator)
+        //   fuse    = t_engine - t_drain      (SoA fusion + buffer setup)
+        //   compute = t_done - t_engine       (engine tile evaluation)
+        //   reply   = sent - t_done           (routing + frame write)
+        //   total   = sent - admitted
+        let (tile, t_drain) = {
             let mut core = shared.core.lock().expect("core lock");
             loop {
+                let t_drain = Instant::now();
                 if let Some(tile) = core.agg.drain_tile(shared.cfg.tile_targets) {
-                    break Some(tile);
+                    break (Some(tile), t_drain);
                 }
                 if core.draining {
                     shared.done_cv.notify_all();
-                    break None;
+                    break (None, t_drain);
                 }
                 core = shared.work_cv.wait(core).expect("work wait");
             }
         };
         let Some(tile) = tile else { return };
-        let t0 = Instant::now();
         out.clear();
         out.resize(tile.targets.len(), 0.0);
-        shared.engine.evaluate(&tile.targets, &mut out);
-        let eval_us = t0.elapsed().as_secs_f64() * 1e6;
+        let t_engine = Instant::now();
+        let engine_brk = shared.engine.evaluate_traced(&tile.targets, &mut out);
+        let t_done = Instant::now();
+        let fuse_us = (t_engine - t_drain).as_secs_f64() * 1e6;
+        let compute_us = (t_done - t_engine).as_secs_f64() * 1e6;
+        shared.hub.record_engine(
+            engine_brk.m2t_us,
+            engine_brk.p2p_us,
+            engine_brk.far_pairs,
+            engine_brk.near_pairs,
+        );
 
         // Route each request's slice back to its connection and release
         // its admission, recording the span.
@@ -1264,12 +1695,22 @@ fn eval_loop(shared: Arc<Shared>) {
                 .map(|s| map.get(&s.conn).cloned())
                 .collect::<Vec<_>>()
         };
-        let done = Instant::now();
         let mut core = shared.core.lock().expect("core lock");
         core.totals.tiles += 1;
         core.totals.tile_requests += tile.segments.len() as u64;
         core.totals.evaluated_targets += tile.targets.len() as u64;
         for (seg, conn) in tile.segments.iter().zip(&conns) {
+            let queue_us = (t_drain - seg.admitted).as_secs_f64() * 1e6;
+            let sent = Instant::now();
+            let reply_us = (sent - t_done).as_secs_f64() * 1e6;
+            let total_us = (sent - seg.admitted).as_secs_f64() * 1e6;
+            let phases = PhaseBreakdown {
+                queue_us: queue_us as f32,
+                fuse_us: fuse_us as f32,
+                compute_us: compute_us as f32,
+                reply_us: reply_us as f32,
+                total_us: total_us as f32,
+            };
             let delivered = match conn {
                 // Responses must be released in admission order per
                 // tenant, and the frame write is a memcpy into the kernel
@@ -1279,6 +1720,7 @@ fn eval_loop(shared: Arc<Shared>) {
                     &encode_response(
                         seg.req_id,
                         RespStatus::Ok,
+                        &phases,
                         &out[seg.offset..seg.offset + seg.len],
                     ),
                 ),
@@ -1296,12 +1738,19 @@ fn eval_loop(shared: Arc<Shared>) {
             if delivered {
                 core.totals.completed_requests += 1;
             }
+            shared
+                .hub
+                .phases
+                .record(queue_us, fuse_us, compute_us, reply_us, total_us);
             core.trace.push(RequestSpan {
+                req_id: seg.req_id,
                 tenant: seg.tenant,
                 targets: seg.len as u32,
-                queue_us: (t0 - seg.admitted).as_secs_f64() * 1e6,
-                eval_us,
-                total_us: (done - seg.admitted).as_secs_f64() * 1e6,
+                queue_us,
+                fuse_us,
+                compute_us,
+                reply_us,
+                total_us,
             });
         }
         shared.done_cv.notify_all();
@@ -1345,17 +1794,12 @@ impl EvalClient {
         Ok(req_id)
     }
 
-    /// Block until the next response frame arrives.
-    pub fn recv(&mut self) -> std::io::Result<EvalResponseMsg> {
+    /// Block until the next whole frame arrives.
+    fn recv_frame(&mut self) -> std::io::Result<Frame> {
         let mut buf = [0u8; 64 * 1024];
         loop {
             match self.dec.next_frame() {
-                Ok(Some(frame)) if frame.kind == FrameKind::EvalResponse => {
-                    return decode_response(&frame.body).map_err(|e| {
-                        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
-                    });
-                }
-                Ok(Some(_)) => continue, // tolerate non-response frames
+                Ok(Some(frame)) => return Ok(frame),
                 Ok(None) => {
                     let n = self.stream.read(&mut buf)?;
                     if n == 0 {
@@ -1372,6 +1816,47 @@ impl EvalClient {
                         e.to_string(),
                     ))
                 }
+            }
+        }
+    }
+
+    /// Block until the next response frame arrives.
+    pub fn recv(&mut self) -> std::io::Result<EvalResponseMsg> {
+        loop {
+            let frame = self.recv_frame()?;
+            if frame.kind == FrameKind::EvalResponse {
+                return decode_response(&frame.body).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                });
+            }
+            // Tolerate non-response frames (e.g. stats answers another
+            // caller is waiting on are not expected on this path).
+        }
+    }
+
+    /// Poll the server's live stats snapshot and parse it.
+    pub fn stats(&mut self) -> std::io::Result<Value> {
+        let raw = self.stats_raw()?;
+        dashmm_obs::json::parse(&raw)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Poll the server's live stats snapshot, returning the raw JSON
+    /// text (what `obs-validate --stats` consumes).
+    pub fn stats_raw(&mut self) -> std::io::Result<String> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let frame = encode_frame(FrameKind::StatsRequest, 0, &encode_stats_request(req_id));
+        self.stream.write_all(&frame)?;
+        loop {
+            let frame = self.recv_frame()?;
+            if frame.kind != FrameKind::StatsResponse {
+                continue;
+            }
+            let (id, json) = decode_stats_response(&frame.body)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            if id == req_id {
+                return Ok(json);
             }
         }
     }
@@ -1508,17 +1993,61 @@ mod tests {
 
     #[test]
     fn response_codec_roundtrip_and_bad_status() {
-        let body = encode_response(9, RespStatus::Ok, &[1.5, -2.5]);
+        let phases = PhaseBreakdown {
+            queue_us: 12.5,
+            fuse_us: 1.25,
+            compute_us: 800.0,
+            reply_us: 6.25,
+            total_us: 820.0,
+        };
+        let body = encode_response(9, RespStatus::Ok, &phases, &[1.5, -2.5]);
         let resp = decode_response(&body).unwrap();
         assert_eq!(resp.req_id, 9);
         assert_eq!(resp.status, RespStatus::Ok);
+        assert_eq!(resp.phases, phases);
         assert_eq!(resp.potentials, vec![1.5, -2.5]);
-        let shed = decode_response(&encode_response(3, RespStatus::Shed, &[])).unwrap();
+        let shed = decode_response(&encode_response(
+            3,
+            RespStatus::Shed,
+            &PhaseBreakdown::default(),
+            &[],
+        ))
+        .unwrap();
         assert_eq!(shed.status, RespStatus::Shed);
+        assert_eq!(shed.phases, PhaseBreakdown::default());
         assert!(shed.potentials.is_empty());
-        let mut bad = encode_response(1, RespStatus::Ok, &[]);
+        let mut bad = encode_response(1, RespStatus::Ok, &PhaseBreakdown::default(), &[]);
         bad[8] = 77;
         assert_eq!(decode_response(&bad), Err(WireError::BadParcel));
+    }
+
+    #[test]
+    fn stats_codec_roundtrip_and_hostile_length() {
+        assert_eq!(decode_stats_request(&encode_stats_request(11)), Ok(11));
+        assert_eq!(decode_stats_request(&[0; 7]), Err(WireError::Truncated));
+        assert_eq!(decode_stats_request(&[0; 9]), Err(WireError::BadParcel));
+
+        let json = r#"{"schema":"dashmm-stats-v1"}"#;
+        let body = encode_stats_response(5, json);
+        assert_eq!(decode_stats_response(&body), Ok((5, json.to_string())));
+        // A hostile declared length is rejected before any allocation.
+        let mut hostile = body.clone();
+        hostile[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_stats_response(&hostile),
+            Err(WireError::Oversize(_))
+        ));
+        assert_eq!(
+            decode_stats_response(&body[..body.len() - 1]),
+            Err(WireError::Truncated)
+        );
+        let mut long = body.clone();
+        long.push(0);
+        assert_eq!(decode_stats_response(&long), Err(WireError::BadParcel));
+        // Non-UTF-8 payload is a parcel error, not a panic.
+        let mut non_utf8 = encode_stats_response(1, "ab");
+        non_utf8[STATS_RESPONSE_HEADER_BYTES] = 0xFF;
+        assert_eq!(decode_stats_response(&non_utf8), Err(WireError::BadParcel));
     }
 
     #[test]
@@ -1626,6 +2155,15 @@ mod tests {
         for (t, p) in targets.iter().zip(&resp.potentials) {
             assert_eq!(*p, t[0] + 10.0 * t[1] + 100.0 * t[2]);
         }
+        // The acceptance criterion: the echoed breakdown telescopes to
+        // the measured end-to-end latency within 5%.
+        let total = resp.phases.total_us as f64;
+        assert!(total > 0.0, "total latency must be measured");
+        let sum = resp.phases.sum_us();
+        assert!(
+            (sum - total).abs() <= 0.05 * total,
+            "phase sum {sum} vs total {total} off by more than 5%"
+        );
         client.close().unwrap();
         server.shutdown();
         let stats = server.stats();
@@ -1804,6 +2342,92 @@ mod tests {
         assert_eq!(resp.status, RespStatus::ShuttingDown);
         client.close().unwrap();
         server.shutdown();
+    }
+
+    #[test]
+    fn stats_endpoint_two_polls_and_window_math() {
+        let mut server =
+            EvalServer::bind("127.0.0.1:0", plane_engine(), ServiceConfig::default()).unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        let mut client = EvalClient::connect(&addr).unwrap();
+        for _ in 0..3 {
+            assert_eq!(client.eval(4, &pts(5, 1.0)).unwrap().status, RespStatus::Ok);
+        }
+        let s1 = client.stats().unwrap();
+        assert_eq!(
+            s1.get("schema").and_then(Value::as_str),
+            Some("dashmm-stats-v1")
+        );
+        let num = |v: &Value, path: [&str; 2]| {
+            v.get(path[0])
+                .and_then(|s| s.get(path[1]))
+                .and_then(Value::as_f64)
+                .unwrap()
+        };
+        assert_eq!(num(&s1, ["totals", "completed_requests"]), 3.0);
+        // First poll: the window covers the whole uptime.
+        assert_eq!(num(&s1, ["window", "completed_requests"]), 3.0);
+        let total_hist_count = s1
+            .get("latency")
+            .and_then(|l| l.get("total"))
+            .and_then(|h| h.get("count"))
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert_eq!(
+            total_hist_count, 3.0,
+            "total-phase histogram saw every request"
+        );
+        // More traffic, then a second poll: the window is the delta.
+        for _ in 0..2 {
+            client.eval(4, &pts(2, 0.0)).unwrap();
+        }
+        let s2 = client.stats().unwrap();
+        assert_eq!(num(&s2, ["totals", "completed_requests"]), 5.0);
+        assert_eq!(
+            num(&s2, ["window", "completed_requests"]),
+            num(&s2, ["totals", "completed_requests"]) - num(&s1, ["totals", "completed_requests"]),
+            "window delta must equal the cumulative difference of two polls"
+        );
+        assert_eq!(num(&s2, ["window", "evaluated_targets"]), 4.0);
+        assert!(num(&s2, ["window", "interval_us"]) >= 0.0);
+        assert!(
+            s2.get("uptime_us").and_then(Value::as_f64).unwrap()
+                > s1.get("uptime_us").and_then(Value::as_f64).unwrap()
+        );
+        assert_eq!(s2.get("seq").and_then(Value::as_f64), Some(2.0));
+        // Queues reconcile and tenant accounting conserves.
+        assert_eq!(
+            s2.get("queues")
+                .and_then(|q| q.get("balanced"))
+                .map(|b| b.to_json()),
+            Some("true".to_string())
+        );
+        let tenants = s2.get("tenants").and_then(Value::as_arr).unwrap();
+        let row = &tenants[0];
+        assert_eq!(
+            row.get("received_requests").and_then(Value::as_f64),
+            Some(5.0)
+        );
+        client.close().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_comm_source_is_published() {
+        let server =
+            EvalServer::bind("127.0.0.1:0", plane_engine(), ServiceConfig::default()).unwrap();
+        let metrics = crate::CommMetrics::new(2);
+        server.set_comm_source(Arc::new(move || metrics.to_json()));
+        let addr = format!("127.0.0.1:{}", server.port());
+        let mut client = EvalClient::connect(&addr).unwrap();
+        let s = client.stats().unwrap();
+        let comm = s.get("comm").expect("comm section");
+        assert_ne!(
+            comm.to_json(),
+            "null",
+            "comm populated when a source is set"
+        );
+        client.close().unwrap();
     }
 
     #[test]

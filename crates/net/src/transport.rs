@@ -918,7 +918,9 @@ fn handle_frame(s: &Shared, src: u32, kind: FrameKind, body: Vec<u8>, peer_close
         FrameKind::EvalRequest
         | FrameKind::EvalResponse
         | FrameKind::Shutdown
-        | FrameKind::StepSources => {
+        | FrameKind::StepSources
+        | FrameKind::StatsRequest
+        | FrameKind::StatsResponse => {
             // Service-protocol frames belong to `service::EvalServer`
             // endpoints, never to the rank mesh.
             fatal(&format!(

@@ -90,6 +90,13 @@ pub enum FrameKind {
     /// `service::encode_step_request`).  Answered with an empty
     /// [`FrameKind::EvalResponse`] carrying the outcome status.
     StepSources = 16,
+    /// Telemetry poll (client → server): `req_id u64` (see
+    /// `service::encode_stats_request`).  Any client may poll a running
+    /// server for its live stats snapshot.
+    StatsRequest = 17,
+    /// Telemetry snapshot (server → client): `req_id u64 | len u32 |
+    /// snapshot JSON (UTF-8) × len` (see `service::encode_stats_response`).
+    StatsResponse = 18,
 }
 
 impl FrameKind {
@@ -111,6 +118,8 @@ impl FrameKind {
             14 => FrameKind::EvalResponse,
             15 => FrameKind::Shutdown,
             16 => FrameKind::StepSources,
+            17 => FrameKind::StatsRequest,
+            18 => FrameKind::StatsResponse,
             _ => return None,
         })
     }
@@ -679,6 +688,8 @@ mod tests {
             FrameKind::EvalRequest,
             FrameKind::EvalResponse,
             FrameKind::Shutdown,
+            FrameKind::StatsRequest,
+            FrameKind::StatsResponse,
         ] {
             let buf = encode_frame(kind, 3, &[1, 2, 3, 4]);
             let f = decode_frame_exact(&buf).unwrap();

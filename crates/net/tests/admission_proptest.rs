@@ -1,0 +1,160 @@
+//! Conservation property of the admission/aggregation plane: under any
+//! interleaving of request arrivals, tile drains, completions and
+//! mid-batch disconnects, every request presented to admission is
+//! accounted for exactly once per tenant —
+//! `admitted + shed == received` and
+//! `completed + dropped + still_queued == admitted` — and the
+//! aggregator's target tallies stay balanced at every instant.
+
+use std::collections::HashMap;
+
+use dashmm_net::service::{Admission, AdmissionConfig, RequestAggregator};
+use proptest::prelude::*;
+
+/// One scripted event, decoded from a raw tuple so the proptest shim's
+/// integer-only `Arbitrary` coverage suffices.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// A request of `n` targets from `tenant` on connection `conn`.
+    Arrive { tenant: u32, conn: u64, n: usize },
+    /// The eval loop drains one fused tile and answers every segment.
+    DrainAndComplete { budget: usize },
+    /// Connection `conn` dies with requests still queued (mid-batch).
+    Disconnect { conn: u64 },
+}
+
+fn decode_op(raw: (u32, u32, u32, u32)) -> Op {
+    let (kind, who, conn, n) = raw;
+    match kind % 4 {
+        // Arrivals twice as likely as the other events, so queues build.
+        0 | 1 => Op::Arrive {
+            tenant: who % 3,
+            conn: u64::from(conn % 4),
+            n: (n % 96) as usize,
+        },
+        2 => Op::DrainAndComplete {
+            budget: 1 + (n % 128) as usize,
+        },
+        _ => Op::Disconnect {
+            conn: u64::from(conn % 4),
+        },
+    }
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<(u32, u32, u32, u32)>> {
+    prop::collection::vec(
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        0..200,
+    )
+}
+
+/// What the test itself believes happened, independently of the
+/// counters under test.
+#[derive(Default)]
+struct ModelRow {
+    received: u64,
+    accepted: u64,
+    shed: u64,
+    completed: u64,
+    dropped: u64,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn per_tenant_accounting_conserves_requests(ops in arb_ops()) {
+        // Tight bounds so shedding actually happens in most runs.
+        let cfg = AdmissionConfig {
+            max_tenant_targets: 256,
+            max_total_targets: 512,
+        };
+        let mut adm = Admission::new(cfg);
+        let mut agg = RequestAggregator::new();
+        let mut model: HashMap<u32, ModelRow> = HashMap::new();
+        let mut next_req = 0u64;
+
+        for raw in ops {
+            match decode_op(raw) {
+                Op::Arrive { tenant, conn, n } => {
+                    let row = model.entry(tenant).or_default();
+                    row.received += 1;
+                    if n == 0 {
+                        // The server answers empty requests inline without
+                        // touching admission; model them as an immediate
+                        // accept+complete so `received` still reconciles.
+                        row.accepted += 1;
+                        row.completed += 1;
+                        prop_assert!(adm.try_admit(tenant, 0));
+                        adm.release_completed(tenant, 0);
+                        continue;
+                    }
+                    if adm.try_admit(tenant, n) {
+                        row.accepted += 1;
+                        agg.enqueue(conn, next_req, tenant, vec![[0.0; 3]; n]);
+                        next_req += 1;
+                    } else {
+                        row.shed += 1;
+                    }
+                }
+                Op::DrainAndComplete { budget } => {
+                    if let Some(tile) = agg.drain_tile(budget) {
+                        for seg in &tile.segments {
+                            adm.release_completed(seg.tenant, seg.len);
+                            model.entry(seg.tenant).or_default().completed += 1;
+                        }
+                    }
+                }
+                Op::Disconnect { conn } => {
+                    for (tenant, n) in agg.purge_conn(conn) {
+                        adm.release_dropped(tenant, n);
+                        model.entry(tenant).or_default().dropped += 1;
+                    }
+                }
+            }
+
+            // Invariants hold at EVERY intermediate state, not just at
+            // the end of the schedule.
+            let acct = agg.accounting();
+            prop_assert!(acct.balanced(), "aggregator tallies diverged: {acct:?}");
+            prop_assert_eq!(adm.total_queued() as u64, acct.queued);
+        }
+
+        // Final reconciliation, tenant by tenant, against the model.
+        let rows = adm.snapshot();
+        let mut queued_by_tenant: HashMap<u32, u64> = HashMap::new();
+        for row in &rows {
+            queued_by_tenant.insert(row.tenant, row.queued_targets as u64);
+        }
+        for (tenant, want) in &model {
+            let got = rows
+                .iter()
+                .find(|r| r.tenant == *tenant)
+                .copied()
+                .unwrap_or_default();
+            prop_assert_eq!(
+                got.admitted_requests + got.shed_requests,
+                want.received,
+                "tenant {}: accepted + shed must equal received",
+                tenant
+            );
+            prop_assert_eq!(got.admitted_requests, want.accepted);
+            prop_assert_eq!(got.shed_requests, want.shed);
+            prop_assert_eq!(got.completed_requests, want.completed);
+            prop_assert_eq!(got.dropped_requests, want.dropped);
+            // Every accepted request is answered, dropped, or still in
+            // the queue — never lost, never double-counted.
+            let outstanding =
+                got.admitted_requests - got.completed_requests - got.dropped_requests;
+            if outstanding == 0 {
+                prop_assert_eq!(got.queued_targets, 0);
+            } else {
+                prop_assert!(got.queued_targets > 0);
+            }
+        }
+        // No tenant rows appear that the model never touched.
+        for row in &rows {
+            prop_assert!(model.contains_key(&row.tenant));
+        }
+    }
+}

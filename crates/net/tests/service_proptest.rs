@@ -6,8 +6,10 @@
 //! wire format).
 
 use dashmm_net::service::{
-    decode_request, decode_response, decode_step_request, encode_request, encode_response,
-    encode_step_request, RespStatus, MAX_REQUEST_TARGETS, MAX_STEP_UPDATES,
+    decode_request, decode_response, decode_stats_request, decode_stats_response,
+    decode_step_request, encode_request, encode_response, encode_stats_request,
+    encode_stats_response, encode_step_request, PhaseBreakdown, RespStatus, MAX_REQUEST_TARGETS,
+    MAX_STEP_UPDATES, STATS_MAX_SNAPSHOT_BYTES,
 };
 use dashmm_net::wire::{encode_frame, FrameDecoder, FrameKind, WireError};
 use proptest::prelude::*;
@@ -26,6 +28,25 @@ fn arb_status() -> impl Strategy<Value = RespStatus> {
         2 => RespStatus::BadRequest,
         _ => RespStatus::ShuttingDown,
     })
+}
+
+fn arb_phases() -> impl Strategy<Value = PhaseBreakdown> {
+    // The shim's `Arbitrary` covers ints only; draw raw bit patterns so
+    // NaN/∞ payloads still exercise the bitwise roundtrip.
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(|(q, f, c, r, t)| PhaseBreakdown {
+            queue_us: f32::from_bits(q),
+            fuse_us: f32::from_bits(f),
+            compute_us: f32::from_bits(c),
+            reply_us: f32::from_bits(r),
+            total_us: f32::from_bits(t),
+        })
 }
 
 proptest! {
@@ -49,15 +70,19 @@ proptest! {
     fn response_roundtrip_bitwise(
         req_id in any::<u64>(),
         status in arb_status(),
+        phases in arb_phases(),
         pots in prop::collection::vec(any::<f64>(), 0..64),
     ) {
         // Non-Ok statuses carry no payload by protocol contract.
         let pots = if status == RespStatus::Ok { pots } else { Vec::new() };
-        let body = encode_response(req_id, status, &pots);
+        let body = encode_response(req_id, status, &phases, &pots);
         let msg = decode_response(&body).expect("well-formed body decodes");
         prop_assert_eq!(msg.req_id, req_id);
         prop_assert_eq!(msg.status, status);
-        prop_assert_eq!(encode_response(msg.req_id, msg.status, &msg.potentials), body);
+        prop_assert_eq!(
+            encode_response(msg.req_id, msg.status, &msg.phases, &msg.potentials),
+            body
+        );
     }
 
     #[test]
@@ -101,12 +126,54 @@ proptest! {
     fn hostile_response_count_rejected(
         declared in (MAX_REQUEST_TARGETS as u32 + 1)..=u32::MAX,
     ) {
-        let mut body = encode_response(1, RespStatus::Ok, &[1.0, 2.0]);
-        body[9..13].copy_from_slice(&declared.to_le_bytes());
+        let mut body =
+            encode_response(1, RespStatus::Ok, &PhaseBreakdown::default(), &[1.0, 2.0]);
+        body[29..33].copy_from_slice(&declared.to_le_bytes());
         prop_assert_eq!(
             decode_response(&body),
             Err(WireError::Oversize(declared as usize))
         );
+    }
+
+    #[test]
+    fn stats_request_roundtrip_and_truncation(
+        req_id in any::<u64>(),
+        cut in 0usize..8,
+        extra in prop::collection::vec(0u8..=255, 1..8),
+    ) {
+        let body = encode_stats_request(req_id);
+        prop_assert_eq!(decode_stats_request(&body), Ok(req_id));
+        prop_assert_eq!(
+            decode_stats_request(&body[..cut]),
+            Err(WireError::Truncated)
+        );
+        let mut long = body;
+        long.extend_from_slice(&extra);
+        prop_assert_eq!(decode_stats_request(&long), Err(WireError::BadParcel));
+    }
+
+    #[test]
+    fn stats_response_roundtrip_and_hostile_length(
+        req_id in any::<u64>(),
+        k in 0u64..1_000_000,
+        declared in (STATS_MAX_SNAPSHOT_BYTES as u32 + 1)..=u32::MAX,
+        cut in 0usize..100_000,
+    ) {
+        let json = format!("{{\"k\":{k}}}");
+        let body = encode_stats_response(req_id, &json);
+        let (rid, text) = decode_stats_response(&body).expect("roundtrip");
+        prop_assert_eq!(rid, req_id);
+        prop_assert_eq!(text, json);
+        // A hostile declared length is refused by the cap before any
+        // allocation is attempted.
+        let mut hostile = body.clone();
+        hostile[8..12].copy_from_slice(&declared.to_le_bytes());
+        prop_assert_eq!(
+            decode_stats_response(&hostile),
+            Err(WireError::Oversize(declared as usize))
+        );
+        let cut = cut % body.len();
+        prop_assert_eq!(decode_stats_response(&body[..cut]), Err(WireError::Truncated));
     }
 
     #[test]

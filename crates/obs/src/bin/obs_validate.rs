@@ -1,32 +1,50 @@
 //! `obs-validate`: CI schema check for exported observability files.
 //!
-//! Usage: `obs-validate <trace.json>... [--summary <run_summary.json>]...`
+//! Usage: `obs-validate <trace.json>... [--summary <run_summary.json>]...
+//!                      [--stats <snapshot.json>]...`
 //!
 //! Positional arguments are Chrome Trace Event files; `--summary` flags
-//! name `run_summary.json` files.  Exits nonzero (with a diagnostic) on
+//! name `run_summary.json` files; `--stats` flags name live-telemetry
+//! snapshots (either a raw `StatsResponse` body or a bench summary whose
+//! `server_stats` field holds one).  Exits nonzero (with a diagnostic) on
 //! the first file that fails its schema check.
 
-use dashmm_obs::{validate_chrome_trace, validate_run_summary};
+use dashmm_obs::{validate_chrome_trace, validate_run_summary, validate_stats_snapshot};
+
+enum FileKind {
+    Trace,
+    Summary,
+    Stats,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: obs-validate <trace.json>... [--summary <run_summary.json>]...");
+        eprintln!(
+            "usage: obs-validate <trace.json>... [--summary <run_summary.json>]... \
+             [--stats <snapshot.json>]..."
+        );
         std::process::exit(2);
     }
     let mut checked = 0usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let (path, is_summary) = if arg == "--summary" {
-            match it.next() {
-                Some(p) => (p.as_str(), true),
+        let (path, kind) = match arg.as_str() {
+            flag @ ("--summary" | "--stats") => match it.next() {
+                Some(p) => (
+                    p.as_str(),
+                    if flag == "--summary" {
+                        FileKind::Summary
+                    } else {
+                        FileKind::Stats
+                    },
+                ),
                 None => {
-                    eprintln!("--summary needs a file argument");
+                    eprintln!("{flag} needs a file argument");
                     std::process::exit(2);
                 }
-            }
-        } else {
-            (arg.as_str(), false)
+            },
+            _ => (arg.as_str(), FileKind::Trace),
         };
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -35,16 +53,28 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        if is_summary {
-            match validate_run_summary(&text) {
+        match kind {
+            FileKind::Summary => match validate_run_summary(&text) {
                 Ok(()) => println!("ok: {path} (run summary)"),
                 Err(e) => {
                     eprintln!("obs-validate: {path}: {e}");
                     std::process::exit(1);
                 }
-            }
-        } else {
-            match validate_chrome_trace(&text) {
+            },
+            FileKind::Stats => match validate_stats_snapshot(&text) {
+                Ok(stats) => println!(
+                    "ok: {path} (stats snapshot: {} histograms, {} requests, {} tenant{})",
+                    stats.histograms,
+                    stats.total_requests,
+                    stats.tenants,
+                    if stats.tenants == 1 { "" } else { "s" }
+                ),
+                Err(e) => {
+                    eprintln!("obs-validate: {path}: {e}");
+                    std::process::exit(1);
+                }
+            },
+            FileKind::Trace => match validate_chrome_trace(&text) {
                 Ok(stats) => println!(
                     "ok: {path} ({} spans, {} instants, {} metadata, {} process{})",
                     stats.spans,
@@ -57,7 +87,7 @@ fn main() {
                     eprintln!("obs-validate: {path}: {e}");
                     std::process::exit(1);
                 }
-            }
+            },
         }
         checked += 1;
     }

@@ -24,6 +24,7 @@ pub mod recorder;
 pub mod refit;
 pub mod service;
 pub mod summary;
+pub mod telemetry;
 pub mod trace;
 pub mod validate;
 
@@ -42,5 +43,12 @@ pub use service::{
     request_latency, service_section, LatencySummary, RequestSpan, RequestTrace,
     DEFAULT_REQUEST_TRACE_CAPACITY,
 };
+pub use telemetry::{
+    bucket_bounds, bucket_index, Counter, Gauge, HistSnapshot, LogHistogram, PhaseHists,
+    TelemetryHub, MAX_TRACKED, NUM_BUCKETS, PHASES, SUB_BUCKET_COUNT,
+};
 pub use trace::{utilization_by_class, utilization_total, TraceSet};
-pub use validate::{validate_chrome_trace, validate_run_summary, TraceStats};
+pub use validate::{
+    validate_chrome_trace, validate_run_summary, validate_stats_snapshot, StatsSnapshotStats,
+    TraceStats,
+};

@@ -4,24 +4,38 @@
 //! second, so per-request instrumentation follows the same rules as the
 //! runtime's span rings: bounded memory (a saturating ring of
 //! [`RequestSpan`]s), cheap recording, and a machine-readable summary
-//! section for `BENCH_service.json` / run summaries.  Latency percentiles
-//! use the nearest-rank definition on the retained samples.
+//! section for `BENCH_service.json` / run summaries.  Latency
+//! percentiles are read from the streaming log-bucketed histograms in
+//! [`crate::telemetry`] — the ring retains only a recent window of full
+//! spans for debugging; the histograms see every request.
 
 use crate::json::{obj, Value};
+use crate::telemetry::HistSnapshot;
 
 /// One served (or shed) request, as the server observed it.
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// The four phases telescope: `queue + fuse + compute + reply ==
+/// total`, because each boundary is one timestamp (admission, tile
+/// drain, engine start, engine end, response write).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RequestSpan {
+    /// Client-chosen request id (echoed in the response frame).
+    pub req_id: u64,
     /// Tenant the request belonged to.
     pub tenant: u32,
     /// Targets in the request.
     pub targets: u32,
-    /// Microseconds from admission to the start of its fused-tile
-    /// evaluation (queueing + aggregation delay).
+    /// Microseconds from admission to its tile being drained from the
+    /// aggregator (queueing + aggregation delay).
     pub queue_us: f64,
-    /// Microseconds of engine time for the fused tile the request rode in
-    /// (shared across the tile's requests, reported per request).
-    pub eval_us: f64,
+    /// Microseconds from tile drain to engine start (SoA fusion and
+    /// output-buffer setup).
+    pub fuse_us: f64,
+    /// Microseconds of engine time for the fused tile the request rode
+    /// in (shared across the tile's requests, reported per request).
+    pub compute_us: f64,
+    /// Microseconds from engine end to the response being written.
+    pub reply_us: f64,
     /// Microseconds from admission to the response being written.
     pub total_us: f64,
 }
@@ -60,12 +74,29 @@ impl RequestTrace {
     pub fn push(&mut self, span: RequestSpan) {
         self.recorded += 1;
         if self.spans.len() < self.cap {
+            if self.spans.capacity() == 0 {
+                // One exact reservation up front: the ring's allocation
+                // is its documented memory bound, never a doubling
+                // overshoot past it.
+                self.spans.reserve_exact(self.cap);
+            }
             self.spans.push(span);
         } else {
             self.spans[self.next] = span;
             self.next = (self.next + 1) % self.cap;
             self.overwritten += 1;
         }
+    }
+
+    /// Capacity the ring was built with (its memory bound).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Bytes currently allocated for span storage (for memory-cap
+    /// regression tests; never exceeds `capacity * size_of::<RequestSpan>()`).
+    pub fn allocated_bytes(&self) -> usize {
+        self.spans.capacity() * std::mem::size_of::<RequestSpan>()
     }
 
     /// Retained spans (insertion order is not meaningful once the ring has
@@ -112,12 +143,18 @@ pub struct LatencySummary {
     pub p95_us: f64,
     /// 99th percentile.
     pub p99_us: f64,
+    /// 99.9th percentile.
+    pub p999_us: f64,
     /// Maximum.
     pub max_us: f64,
 }
 
 impl LatencySummary {
     /// Summarise a set of latency samples (sorts `samples` in place).
+    ///
+    /// This is the exact O(n log n) path; long-lived servers should use
+    /// [`LatencySummary::from_snapshot`] on a streaming histogram
+    /// instead, which is O(buckets) and bounded-memory.
     pub fn from_samples(samples: &mut [f64]) -> LatencySummary {
         if samples.is_empty() {
             return LatencySummary::default();
@@ -136,7 +173,23 @@ impl LatencySummary {
             p50_us: rank(0.50),
             p95_us: rank(0.95),
             p99_us: rank(0.99),
+            p999_us: rank(0.999),
             max_us: samples[n - 1],
+        }
+    }
+
+    /// Summarise a histogram snapshot.  Percentiles are within one
+    /// bucket width (≤1/[`crate::telemetry::SUB_BUCKET_COUNT`]
+    /// relative) of the exact nearest-rank values.
+    pub fn from_snapshot(s: &HistSnapshot) -> LatencySummary {
+        LatencySummary {
+            count: s.count() as usize,
+            mean_us: s.mean(),
+            p50_us: s.quantile(0.50) as f64,
+            p95_us: s.quantile(0.95) as f64,
+            p99_us: s.quantile(0.99) as f64,
+            p999_us: s.quantile(0.999) as f64,
+            max_us: s.max() as f64,
         }
     }
 
@@ -148,6 +201,7 @@ impl LatencySummary {
             ("p50_us", Value::from(self.p50_us)),
             ("p95_us", Value::from(self.p95_us)),
             ("p99_us", Value::from(self.p99_us)),
+            ("p999_us", Value::from(self.p999_us)),
             ("max_us", Value::from(self.max_us)),
         ])
     }
@@ -181,13 +235,17 @@ pub fn service_section(trace: &RequestTrace) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::{bucket_bounds, bucket_index, LogHistogram};
 
     fn span(total: f64) -> RequestSpan {
         RequestSpan {
+            req_id: 1,
             tenant: 0,
             targets: 8,
             queue_us: total / 2.0,
-            eval_us: total / 4.0,
+            fuse_us: total / 8.0,
+            compute_us: total / 4.0,
+            reply_us: total / 8.0,
             total_us: total,
         }
     }
@@ -200,6 +258,7 @@ mod tests {
         assert_eq!(l.p50_us, 50.0);
         assert_eq!(l.p95_us, 95.0);
         assert_eq!(l.p99_us, 99.0);
+        assert_eq!(l.p999_us, 100.0);
         assert_eq!(l.max_us, 100.0);
         assert!((l.mean_us - 50.5).abs() < 1e-12);
     }
@@ -222,6 +281,40 @@ mod tests {
     }
 
     #[test]
+    fn histogram_summary_tracks_exact_within_one_bucket() {
+        // The satellite acceptance check: histogram p99 must be within
+        // one bucket width of the exact nearest-rank p99.
+        let h = LogHistogram::new();
+        let mut samples: Vec<f64> = Vec::new();
+        let mut x = 123456789u64;
+        for _ in 0..50_000 {
+            // xorshift64 samples spread over ~3 decades.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = (x % 1_000_000) as f64;
+            h.record_us(v);
+            samples.push(v);
+        }
+        let exact = LatencySummary::from_samples(&mut samples);
+        let approx = LatencySummary::from_snapshot(&h.snapshot());
+        assert_eq!(approx.count, exact.count);
+        for (a, e) in [
+            (approx.p50_us, exact.p50_us),
+            (approx.p95_us, exact.p95_us),
+            (approx.p99_us, exact.p99_us),
+            (approx.p999_us, exact.p999_us),
+        ] {
+            let (lo, hi) = bucket_bounds(bucket_index(e as u64));
+            assert!(
+                a >= lo as f64 && a <= hi as f64,
+                "histogram {a} outside bucket [{lo},{hi}] of exact {e}"
+            );
+        }
+        assert_eq!(approx.max_us, exact.max_us);
+    }
+
+    #[test]
     fn ring_saturates_and_counts() {
         let mut t = RequestTrace::new(4);
         for i in 0..10 {
@@ -237,6 +330,25 @@ mod tests {
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.recorded, 0);
+    }
+
+    #[test]
+    fn million_pushes_stay_within_cap() {
+        // Regression: the ring must never grow past its capacity no
+        // matter how many spans a long-lived server records.
+        let cap = 1024;
+        let mut t = RequestTrace::new(cap);
+        for i in 0..1_000_000u64 {
+            t.push(span(i as f64));
+        }
+        assert_eq!(t.len(), cap);
+        assert!(
+            t.allocated_bytes() <= cap * std::mem::size_of::<RequestSpan>(),
+            "ring allocated past its cap"
+        );
+        assert_eq!(t.recorded, 1_000_000);
+        assert_eq!(t.overwritten, 1_000_000 - cap as u64);
+        assert_eq!(t.capacity(), cap);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Property tests for the streaming telemetry histograms: snapshot
+//! merging must be associative and commutative (exact integer
+//! addition), counts must be conserved across any split of the sample
+//! stream, and quantiles must stay within one bucket width of the
+//! exact nearest-rank statistic.
+#![recursion_limit = "512"]
+
+use dashmm_obs::{bucket_bounds, bucket_index, HistSnapshot, LatencySummary, LogHistogram};
+use proptest::prelude::*;
+
+fn record_all(values: &[u64]) -> HistSnapshot {
+    let h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn merged(parts: &[HistSnapshot]) -> HistSnapshot {
+    let mut acc = HistSnapshot::empty();
+    for p in parts {
+        acc.merge(p);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..5_000_000, 0..200),
+        b in proptest::collection::vec(0u64..5_000_000, 0..200),
+        c in proptest::collection::vec(0u64..5_000_000, 0..200),
+    ) {
+        let (sa, sb, sc) = (record_all(&a), record_all(&b), record_all(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // Commutativity: c ⊕ b ⊕ a
+        let mut rev = sc.clone();
+        rev.merge(&sb);
+        rev.merge(&sa);
+        prop_assert_eq!(&left, &rev);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        a in proptest::collection::vec(0u64..5_000_000, 0..300),
+        b in proptest::collection::vec(0u64..5_000_000, 0..300),
+    ) {
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        let whole = record_all(&both);
+        let split = merged(&[record_all(&a), record_all(&b)]);
+        prop_assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn count_is_conserved(values in proptest::collection::vec(0u64..u64::MAX, 0..400)) {
+        let s = record_all(&values);
+        prop_assert_eq!(s.count(), values.len() as u64);
+        // Every recorded value landed in exactly one bucket.
+        let bucket_total: u64 = s.counts().iter().sum();
+        prop_assert_eq!(bucket_total, values.len() as u64);
+    }
+
+    #[test]
+    fn quantiles_within_one_bucket_of_nearest_rank(
+        values in proptest::collection::vec(0u64..10_000_000, 1..500),
+        q in 0.0f64..1.0,
+    ) {
+        let s = record_all(&values);
+        let mut values = values;
+        values.sort_unstable();
+        let n = values.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let exact = values[rank - 1];
+        let approx = s.quantile(q);
+        let (lo, hi) = bucket_bounds(bucket_index(exact));
+        prop_assert!(
+            approx >= lo && approx <= hi,
+            "q={} approx={} exact={} bucket=[{},{})", q, approx, exact, lo, hi
+        );
+    }
+
+    #[test]
+    fn summary_from_snapshot_brackets_exact(
+        values in proptest::collection::vec(0u64..3_000_000, 1..400),
+    ) {
+        let s = record_all(&values);
+        let mut f: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        let exact = LatencySummary::from_samples(&mut f);
+        let approx = LatencySummary::from_snapshot(&s);
+        prop_assert_eq!(approx.count, exact.count);
+        prop_assert_eq!(approx.max_us, exact.max_us);
+        for (a, e) in [
+            (approx.p50_us, exact.p50_us),
+            (approx.p95_us, exact.p95_us),
+            (approx.p99_us, exact.p99_us),
+            (approx.p999_us, exact.p999_us),
+        ] {
+            let (lo, hi) = bucket_bounds(bucket_index(e as u64));
+            prop_assert!(a >= lo as f64 && a <= hi as f64);
+        }
+        // Percentile ordering is monotone.
+        prop_assert!(approx.p50_us <= approx.p95_us);
+        prop_assert!(approx.p95_us <= approx.p99_us);
+        prop_assert!(approx.p99_us <= approx.p999_us);
+        prop_assert!(approx.p999_us <= approx.max_us);
+    }
+}
