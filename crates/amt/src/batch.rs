@@ -102,6 +102,24 @@ impl<K: Eq + Hash, E> EdgeBatcher<K, E> {
     pub fn remaining(&self) -> usize {
         self.buckets.lock().values().map(|b| b.remaining).sum()
     }
+
+    /// Tear down every bucket, returning the entries parked in unfilled
+    /// batches and *clearing all outstanding expectations*.
+    ///
+    /// For recovery after a locality loss: deposits that will never
+    /// arrive (their source died) would hold buckets open forever, so the
+    /// coordinator drains everything, re-registers fresh expectations
+    /// from a post-re-ownership sweep, and force-applies the returned
+    /// parked batches itself.  Must not race active deposits (called
+    /// between runs, at survivor quiescence).
+    pub fn drain_parked(&self) -> Vec<(K, Vec<E>)> {
+        let mut b = self.buckets.lock();
+        std::mem::take(&mut *b)
+            .into_iter()
+            .filter(|(_, bucket)| !bucket.entries.is_empty())
+            .map(|(k, bucket)| (k, bucket.entries))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +182,23 @@ mod tests {
         let _ = b.deposit(2, 9);
         assert_eq!(b.remaining(), 0);
         assert_eq!(b.parked(), 0);
+    }
+
+    #[test]
+    fn drain_parked_returns_entries_and_clears_expectations() {
+        let b: EdgeBatcher<u8, i32> = EdgeBatcher::new(8);
+        b.expect(1, 3);
+        b.expect(2, 5);
+        let _ = b.deposit(1, 10);
+        let _ = b.deposit(1, 11);
+        let mut drained = b.drain_parked();
+        drained.sort_by_key(|(k, _)| *k);
+        assert_eq!(drained, vec![(1, vec![10, 11])]);
+        assert_eq!(b.parked(), 0);
+        assert_eq!(b.remaining(), 0, "expectations cleared wholesale");
+        // The batcher is reusable with fresh expectations.
+        b.expect(3, 1);
+        assert_eq!(b.deposit(3, 7), Some(vec![7]));
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod addr;
 pub mod batch;
 pub mod fault;
 pub mod lco;
+pub mod ledger;
 pub mod parcel;
 pub mod runtime;
 pub mod trace;
@@ -41,12 +42,13 @@ pub mod transport;
 pub use addr::GlobalAddress;
 pub use batch::{EdgeBatcher, DEFAULT_BATCH_THRESHOLD};
 pub use fault::{FaultPlan, FrameFate, KillSpec, StallSpec, ENV_FAULTS};
+pub use ledger::{ConvictionReason, LedgerSnapshot, PeerFailure, ProgressLedger};
 pub use lco::{LcoOp, LcoSpec};
 pub use parcel::{decode_f64s, encode_f64s, ActionId, Parcel, Priority};
 pub use runtime::{RunReport, Runtime, RuntimeConfig, TaskCtx};
 pub use trace::{
     class_name, utilization_by_class, utilization_total, ClassCounters, ObsLevel, TraceEvent,
     TraceSet, CLASS_LCO_TRIGGER, CLASS_NET_ACK, CLASS_NET_HEARTBEAT, CLASS_NET_RETRANSMIT,
-    CLASS_NET_RX, CLASS_NET_TX, CLASS_NONE, CLASS_PARCEL_FLUSH, NO_TAG,
+    CLASS_NET_RX, CLASS_NET_TX, CLASS_NONE, CLASS_PARCEL_FLUSH, CLASS_RECOVERY, NO_TAG,
 };
 pub use transport::{CoalesceConfig, SharedMem, Transport, TransportHooks, TransportStats};

@@ -14,6 +14,7 @@ use crate::parcel::{decode_f64s, encode_f64s, ActionId, Parcel, Priority};
 use crate::trace::{
     ClassCounters, ObsLevel, SpanRing, TraceEvent, TraceSet, CLASS_LCO_TRIGGER, CLASS_NONE, NO_TAG,
 };
+use crate::ledger::PeerFailure;
 use crate::transport::{SharedMem, Transport, TransportHooks};
 
 /// Runtime configuration.
@@ -110,12 +111,18 @@ pub struct RunReport {
     /// Realtime clock at run start (ns since the unix epoch) — the anchor
     /// cross-process trace merging aligns rank clocks with.
     pub run_start_unix_ns: u64,
-    /// Set when the run aborted because the transport declared this peer
-    /// locality dead ([`Transport::failed_peer`]).  The run's outputs are
-    /// partial: local work drained, but parcels to and from the lost
-    /// locality (and everything downstream of them in the DAG) never
-    /// executed.  `None` is a normal run to quiescence.
-    pub lost_peer: Option<u32>,
+    /// Set when the transport declared a peer locality dead during the run
+    /// ([`Transport::failed_peer`]): who, in which termination epoch, and
+    /// why.  Without fencing the run aborted and its outputs are partial:
+    /// local work drained, but parcels to and from the lost locality (and
+    /// everything downstream of them in the DAG) never executed.  `None`
+    /// is a normal run to quiescence.
+    pub lost_peer: Option<PeerFailure>,
+    /// Whether the transport fenced the dead peer
+    /// ([`Transport::fence_peer`]): the run continued to quiescence over
+    /// the *survivor* set and the runtime is positioned for a recovery
+    /// run, rather than having aborted with queues drained.
+    pub fenced: bool,
 }
 
 impl RunReport {
@@ -282,6 +289,34 @@ impl Runtime {
         }
     }
 
+    /// Whether the LCO at `addr` has triggered.
+    pub fn lco_triggered(&self, addr: GlobalAddress) -> bool {
+        self.lco(addr).state.lock().triggered
+    }
+
+    /// Inputs the LCO at `addr` still expects (0 once triggered).
+    pub fn lco_remaining(&self, addr: GlobalAddress) -> u32 {
+        self.lco(addr).state.lock().remaining
+    }
+
+    /// Re-arm an *untriggered* LCO with a new expected-input count, for
+    /// recovery after a locality loss: re-ownership changes how many
+    /// inputs (and batched flushes) a surviving LCO will still receive, and
+    /// exactly-once accounting requires the count to match precisely.
+    /// Data already reduced into the cell and its trigger closure are
+    /// preserved.  Returns `false` (without touching the cell) if the LCO
+    /// has already triggered; must not race an active run.
+    pub fn lco_rearm(&self, addr: GlobalAddress, remaining: u32) -> bool {
+        assert!(remaining > 0, "re-arming with 0 inputs would never trigger");
+        let cell = self.lco(addr);
+        let mut st = cell.state.lock();
+        if st.triggered {
+            return false;
+        }
+        st.remaining = remaining;
+        true
+    }
+
     /// Drop every LCO, memory block and user-registered action, keeping
     /// only the built-in actions.  For the iterative use case: each DAG
     /// evaluation instantiates a fresh LCO network, and without a reset the
@@ -424,7 +459,8 @@ impl Runtime {
         // into the scheduler now.
         self.transport.begin_run();
 
-        let mut lost_peer: Option<u32> = None;
+        let mut lost_peer: Option<PeerFailure> = None;
+        let mut fenced = false;
         std::thread::scope(|scope| {
             let mut n_local = 0usize;
             for (loc_id, loc) in self.localities.iter().enumerate() {
@@ -449,23 +485,32 @@ impl Runtime {
             assert!(n_local > 0, "no locality of this runtime is local");
             // Quiescence monitor: local idleness alone with the shared-
             // memory transport; global termination detection otherwise.
-            // A transport that declares a peer dead aborts the run instead
-            // of spinning here forever waiting for parcels that will never
-            // arrive; the caller sees the loss in `RunReport::lost_peer`.
+            // When a transport declares a peer dead there are two paths:
+            // a transport that can *fence* the dead rank (exclude it from
+            // termination detection and collectives) keeps the run going
+            // to quiescence over the survivors, positioning the caller
+            // for a recovery run; otherwise the run aborts instead of
+            // spinning forever on parcels that will never arrive.  Either
+            // way the caller sees the loss in `RunReport::lost_peer`.
             loop {
                 let idle = self.pending.load(Ordering::SeqCst) == 0;
                 if self.transport.poll_quiescence(idle) {
                     break;
                 }
-                if let Some(dead) = self.transport.failed_peer() {
-                    lost_peer = Some(dead);
-                    break;
+                if lost_peer.is_none() {
+                    if let Some(fail) = self.transport.failed_peer_info() {
+                        lost_peer = Some(fail);
+                        fenced = self.transport.fence_peer(fail.rank);
+                        if !fenced {
+                            break;
+                        }
+                    }
                 }
                 std::thread::sleep(std::time::Duration::from_micros(200));
             }
             self.shutdown.store(true, Ordering::SeqCst);
         });
-        if lost_peer.is_some() {
+        if lost_peer.is_some() && !fenced {
             // The progress thread may still deliver parcels from surviving
             // peers after the workers exited; discard whatever is queued so
             // the pending counter returns to zero and `reset()` (and a
@@ -548,6 +593,7 @@ impl Runtime {
             trace_dropped,
             run_start_unix_ns,
             lost_peer,
+            fenced,
         }
     }
 
@@ -1210,11 +1256,117 @@ mod tests {
             ran2.fetch_add(1, Ordering::SeqCst);
         });
         let rep = r.run();
-        assert_eq!(rep.lost_peer, Some(1));
+        let fail = rep.lost_peer.expect("peer loss surfaced");
+        assert_eq!(fail.rank, 1);
+        assert_eq!(fail.reason, crate::ledger::ConvictionReason::HeartbeatTimeout);
         assert!(!rep.completed());
+        assert!(!rep.fenced, "transport without fencing support aborts");
         assert_eq!(ran.load(Ordering::SeqCst), 1, "local work still drained");
         // The abort leaves the runtime reusable.
         r.reset();
+    }
+
+    #[test]
+    fn fencing_transport_runs_to_survivor_quiescence() {
+        use crate::ledger::{ConvictionReason, PeerFailure};
+        use crate::transport::TransportStats;
+        // A transport that convicts peer 1 early but supports fencing:
+        // the run must keep going and end through poll_quiescence (which
+        // only reports done *after* the fence), not through the abort
+        // path — so seeds queued behind the conviction still execute.
+        struct FencingTransport {
+            start: Instant,
+            fenced: AtomicBool,
+        }
+        impl Transport for FencingTransport {
+            fn num_ranks(&self) -> u32 {
+                2
+            }
+            fn rank(&self) -> u32 {
+                0
+            }
+            fn is_local(&self, locality: u32) -> bool {
+                locality == 0
+            }
+            fn attach(&self, _hooks: TransportHooks) {}
+            fn begin_run(&self) {}
+            fn send(&self, _parcel: Parcel) {}
+            fn poll_quiescence(&self, locally_idle: bool) -> bool {
+                locally_idle && self.fenced.load(Ordering::SeqCst)
+            }
+            fn stats(&self) -> TransportStats {
+                TransportStats::default()
+            }
+            fn failed_peer(&self) -> Option<u32> {
+                (self.start.elapsed().as_millis() >= 10).then_some(1)
+            }
+            fn failed_peer_info(&self) -> Option<PeerFailure> {
+                self.failed_peer().map(|rank| PeerFailure {
+                    rank,
+                    epoch: 3,
+                    reason: ConvictionReason::DirtyClose,
+                })
+            }
+            fn fence_peer(&self, dead: u32) -> bool {
+                assert_eq!(dead, 1);
+                self.fenced.store(true, Ordering::SeqCst);
+                true
+            }
+        }
+        let r = Runtime::with_transport(
+            RuntimeConfig {
+                localities: 2,
+                workers_per_locality: 1,
+                ..Default::default()
+            },
+            Arc::new(FencingTransport {
+                start: Instant::now(),
+                fenced: AtomicBool::new(false),
+            }),
+        );
+        let ran = Arc::new(AtomicU64::new(0));
+        let ran2 = ran.clone();
+        r.seed(0, move |_| {
+            ran2.fetch_add(1, Ordering::SeqCst);
+        });
+        let rep = r.run();
+        let fail = rep.lost_peer.expect("peer loss surfaced");
+        assert_eq!((fail.rank, fail.epoch), (1, 3));
+        assert_eq!(fail.reason, ConvictionReason::DirtyClose);
+        assert!(rep.fenced, "fence accepted: run ended via quiescence");
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        // A fenced end does not force-drain queues, so a recovery run can
+        // be seeded immediately.
+        let ran3 = ran.clone();
+        r.seed(0, move |_| {
+            ran3.fetch_add(1, Ordering::SeqCst);
+        });
+        let rep2 = r.run();
+        // The standing conviction may or may not be re-observed before
+        // quiescence wins the poll race; what matters is the run drains.
+        if let Some(fail2) = rep2.lost_peer {
+            assert_eq!(fail2.rank, 1);
+            assert!(rep2.fenced);
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn lco_rearm_only_touches_untriggered_cells() {
+        let r = rt(1, 1);
+        let a = r.lco_new(0, LcoSpec::reduce_sum(1, 3));
+        r.seed(0, move |ctx| ctx.lco_set(a, &[1.0]));
+        r.run();
+        assert!(!r.lco_triggered(a));
+        assert_eq!(r.lco_remaining(a), 2);
+        // Recovery decides only 1 more input will ever arrive.
+        assert!(r.lco_rearm(a, 1));
+        r.seed(0, move |ctx| ctx.lco_set(a, &[5.0]));
+        r.run();
+        assert!(r.lco_triggered(a));
+        assert_eq!(r.lco_get(a), Some(vec![6.0]));
+        // Triggered cells refuse re-arming.
+        assert!(!r.lco_rearm(a, 1));
     }
 
     #[test]

@@ -8,5 +8,5 @@ pub use dashmm_obs::{
     class_name, utilization_by_class, utilization_total, ClassCounters, ClassStat, ObsLevel,
     SpanRing, TraceEvent, TraceSet, CLASS_COUNT, CLASS_LCO_TRIGGER, CLASS_NET_ACK,
     CLASS_NET_HEARTBEAT, CLASS_NET_RETRANSMIT, CLASS_NET_RX, CLASS_NET_TX, CLASS_NONE,
-    CLASS_PARCEL_FLUSH, NO_TAG,
+    CLASS_PARCEL_FLUSH, CLASS_RECOVERY, NO_TAG,
 };

@@ -16,6 +16,9 @@
 //! *distributed* computation has quiesced.  Everything else (framing,
 //! coalescing, progress threads, rendezvous) stays behind the trait.
 
+use std::sync::Arc;
+
+use crate::ledger::{ConvictionReason, PeerFailure, ProgressLedger};
 use crate::parcel::Parcel;
 use crate::trace::TraceEvent;
 
@@ -140,6 +143,34 @@ pub trait Transport: Send + Sync {
     fn failed_peer(&self) -> Option<u32> {
         None
     }
+
+    /// Full conviction record for [`Transport::failed_peer`]: rank plus
+    /// the termination epoch and reason.  Default: wraps `failed_peer`
+    /// with a heartbeat-timeout reason at epoch 0, for transports that do
+    /// not track either.
+    fn failed_peer_info(&self) -> Option<PeerFailure> {
+        self.failed_peer().map(|rank| PeerFailure {
+            rank,
+            epoch: 0,
+            reason: ConvictionReason::HeartbeatTimeout,
+        })
+    }
+
+    /// Fence a convicted peer so the survivors can run recovery: stop
+    /// expecting it in termination detection and collectives, discard its
+    /// staged traffic, and let `poll_quiescence` converge over the
+    /// survivor set.  Returns `true` iff the transport fenced the peer —
+    /// the runtime then keeps running toward survivor quiescence instead
+    /// of aborting.  Default: unsupported (`false`, today's clean abort).
+    fn fence_peer(&self, _dead: u32) -> bool {
+        false
+    }
+
+    /// Install the progress ledger the transport should update with ARQ
+    /// ack watermarks and gossip to peers on the heartbeat path.  Called
+    /// by the executor once per evaluation; transports without a wire
+    /// (or without gossip support) may ignore it.
+    fn set_ledger(&self, _ledger: Arc<ProgressLedger>) {}
 }
 
 /// The in-process transport: all localities are thread groups in this

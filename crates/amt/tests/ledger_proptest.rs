@@ -1,0 +1,192 @@
+//! Property tests of the durable progress ledger
+//! (`dashmm_amt::ProgressLedger`): under arbitrary interleavings of
+//! fire / ack / gossip / crash-during-gossip, an observer's merged view of
+//! a peer never cements work the peer did not publish, never loses work it
+//! did, and every watermark is monotone — the invariants replay-driven
+//! recovery stands on.
+
+use std::collections::BTreeSet;
+
+use dashmm_amt::{LedgerSnapshot, ProgressLedger};
+use proptest::prelude::*;
+
+const NODES: usize = 150;
+const RANKS: u32 = 3;
+
+/// One step of the adversarial schedule driving the publisher (rank 1)
+/// and the observer (rank 0).
+#[derive(Clone, Debug)]
+enum Op {
+    /// Publisher fires node `id`'s continuation.
+    Fire(u32),
+    /// Publisher's ARQ lane toward `peer` acks cumulatively up to `cum`.
+    Ack(u32, u64),
+    /// A snapshot is taken, wire-encoded, and gossiped whole.
+    Gossip,
+    /// The publisher crashes `keep` bytes into writing the gossip frame:
+    /// the observer receives a prefix (or, with over-length `keep`, the
+    /// frame plus trailing garbage) and must reject it wholesale.
+    CrashGossip(usize),
+    /// A previously sent snapshot is delivered again, late and out of
+    /// order (duplicated + reordered gossip).
+    Redeliver(usize),
+}
+
+/// Weighted op choice (the shim has no `prop_oneof`): selector 0–3 fires,
+/// 4–5 acks, 6–7 gossips whole, 8 crashes mid-gossip, 9 redelivers.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..10, 0..NODES as u32, 0u32..RANKS, 0u64..1000, 0usize..200).prop_map(
+        |(sel, id, peer, cum, misc)| match sel {
+            0..=3 => Op::Fire(id),
+            4 | 5 => Op::Ack(peer, cum),
+            6 | 7 => Op::Gossip,
+            8 => Op::CrashGossip(misc),
+            _ => Op::Redeliver(misc),
+        },
+    )
+}
+
+/// What the publisher has truly done so far — the ground truth every
+/// observer view is checked against.
+#[derive(Default)]
+struct Truth {
+    fired: BTreeSet<u32>,
+    acked: [u64; RANKS as usize],
+}
+
+/// Assert `view` ⊆ publisher truth (no phantom cementing) and
+/// `floor` ⊆ `view` (nothing cemented is ever lost).
+fn check_view(view: &LedgerSnapshot, truth: &Truth, floor: &Truth) {
+    assert_eq!(view.fired_count(), {
+        let pop: u64 = view.fired.iter().map(|w| w.count_ones() as u64).sum();
+        pop
+    });
+    for id in 0..NODES as u32 {
+        if view.is_fired(id) {
+            assert!(
+                truth.fired.contains(&id),
+                "observer cemented node {id} the publisher never fired"
+            );
+        }
+        if floor.fired.contains(&id) {
+            assert!(
+                view.is_fired(id),
+                "observer lost cemented node {id}"
+            );
+        }
+    }
+    for r in 0..RANKS as usize {
+        assert!(
+            view.acked[r] <= truth.acked[r],
+            "acked[{r}] ran ahead of the publisher"
+        );
+        assert!(
+            view.acked[r] >= floor.acked[r],
+            "acked[{r}] watermark regressed"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The recovery-safety property.  A publisher mutates its ledger and
+    /// gossips snapshots over a wire that can truncate mid-frame (crash
+    /// during gossip), duplicate, and reorder.  After every merge the
+    /// observer's view of the publisher must (a) contain only state the
+    /// publisher actually published — un-acked / un-fired work is never
+    /// cemented, (b) retain everything any earlier merge established —
+    /// cemented work is never lost, and (c) keep every acked watermark
+    /// monotone.  Truncated frames must decode to `None` and mutate
+    /// nothing.
+    #[test]
+    fn gossip_interleavings_never_cement_unacked_or_lose_cemented(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        let publisher = ProgressLedger::new(1, NODES, RANKS);
+        let observer = ProgressLedger::new(0, NODES, RANKS);
+        let mut truth = Truth::default();
+        // Monotone floor: the strongest view any successful merge has
+        // established so far.  Later merges may only grow it.
+        let mut floor = Truth::default();
+        // Frames already sent, available for late redelivery.
+        let mut sent: Vec<Vec<u8>> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Fire(id) => {
+                    publisher.note_fired(id);
+                    truth.fired.insert(id);
+                    assert_eq!(publisher.fired_count(), truth.fired.len() as u64);
+                }
+                Op::Ack(peer, cum) => {
+                    publisher.note_acked(peer, cum);
+                    let t = &mut truth.acked[peer as usize];
+                    *t = (*t).max(cum);
+                }
+                Op::Gossip => {
+                    let snap = publisher.snapshot();
+                    let mut buf = Vec::new();
+                    snap.encode(&mut buf);
+                    let decoded = LedgerSnapshot::decode(&buf)
+                        .expect("whole frame decodes");
+                    prop_assert_eq!(&decoded, &snap);
+                    sent.push(buf);
+                    prop_assert!(observer.merge_peer(&decoded));
+                    for id in 0..NODES as u32 {
+                        if decoded.is_fired(id) {
+                            floor.fired.insert(id);
+                        }
+                    }
+                    for r in 0..RANKS as usize {
+                        floor.acked[r] = floor.acked[r].max(decoded.acked[r]);
+                    }
+                }
+                Op::CrashGossip(keep) => {
+                    let mut buf = Vec::new();
+                    publisher.snapshot().encode(&mut buf);
+                    let before = observer.peer(1);
+                    if keep < buf.len() {
+                        buf.truncate(keep);
+                    } else {
+                        buf.push(0xAA); // crashed into the next frame
+                    }
+                    // A partial frame must reject whole, and since it never
+                    // decodes there is nothing to merge: observer unchanged.
+                    prop_assert!(LedgerSnapshot::decode(&buf).is_none());
+                    prop_assert_eq!(observer.peer(1), before);
+                }
+                Op::Redeliver(pick) => {
+                    if sent.is_empty() {
+                        continue;
+                    }
+                    let buf = &sent[pick % sent.len()];
+                    let decoded = LedgerSnapshot::decode(buf)
+                        .expect("stored frame still decodes");
+                    prop_assert!(observer.merge_peer(&decoded));
+                }
+            }
+            if let Some(view) = observer.peer(1) {
+                check_view(&view, &truth, &floor);
+                assert_eq!(observer.cemented(1), view.fired_count());
+            } else {
+                // Nothing merged yet ⇒ nothing may be cemented.
+                assert!(floor.fired.is_empty());
+                assert_eq!(observer.cemented(1), 0);
+            }
+        }
+
+        // Quiesce: one final clean gossip must bring the observer's view
+        // to exactly the publisher's truth — recovery reading this view
+        // replays everything un-cemented and only that.
+        let snap = publisher.snapshot();
+        prop_assert!(observer.merge_peer(&snap));
+        let view = observer.peer(1).expect("final view exists");
+        for id in 0..NODES as u32 {
+            prop_assert_eq!(view.is_fired(id), truth.fired.contains(&id));
+        }
+        for r in 0..RANKS as usize {
+            prop_assert_eq!(view.acked[r], truth.acked[r]);
+        }
+    }
+}

@@ -16,6 +16,13 @@
 //!   `results/chaos_partial_summary.json` naming the lost work, and exits
 //!   with the degraded code — nobody hangs.  The launcher verifies that
 //!   exit-code pattern and exits 0 when the clean abort is confirmed.
+//! - **Recovery** (`--recover`, implies a kill plan — one is added if the
+//!   spec has none): the survivors fence the dead rank, re-own its DAG
+//!   slice, replay the orphaned work, and must produce the *complete*
+//!   answer (rel err ≤ 1e-12 vs the fault-free reference) and exit 0.
+//!   Rank 0 writes `results/BENCH_recovery.json` with the measured
+//!   recovery latency, replayed-edge counts, the recompute cost next to
+//!   the fault-free wall-clock, and the simulator's recovery estimate.
 //! - **Parity** (sim/runtime): the simulator replays the same seeded plan
 //!   over the same DAG and its retransmit rate must land within a
 //!   tolerance band of the measured one.
@@ -31,7 +38,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dashmm_amt::{CoalesceConfig, FaultPlan, Transport, ENV_FAULTS};
+use dashmm_amt::{CoalesceConfig, FaultPlan, PeerFailure, Transport, ENV_FAULTS};
 use dashmm_bench::{banner, cost_model, Opts, TransportMode};
 use dashmm_core::{DashmmBuilder, Method};
 use dashmm_kernels::{Kernel, KernelKind, Laplace, Yukawa};
@@ -60,17 +67,38 @@ fn main() {
     if opts.localities < 2 {
         opts.localities = 2;
     }
-    let spec = opts
+    let mut spec = opts
         .faults
         .clone()
         .unwrap_or_else(|| DEFAULT_SPEC.to_string());
-    let plan = match FaultPlan::parse(&spec) {
+    let mut plan = match FaultPlan::parse(&spec) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: --faults `{spec}`: {e}");
             std::process::exit(2);
         }
     };
+    if opts.recover {
+        if plan.kill.is_none() {
+            // Recovery is only provable against an actual death: kill the
+            // last rank mid-run (never rank 0 — losing the coordinator is
+            // out of recovery's scope).
+            spec = format!("{spec},kill={}@120", opts.localities - 1);
+            plan = FaultPlan::parse(&spec).expect("augmented fault spec parses");
+        }
+        let kill = plan.kill.expect("recover mode has a kill");
+        if kill.rank == 0 || kill.rank as usize >= opts.localities {
+            eprintln!(
+                "error: --recover needs a kill of rank 1..{} (got {})",
+                opts.localities - 1,
+                kill.rank
+            );
+            std::process::exit(2);
+        }
+        // Reaches every re-executed rank's transport via the environment,
+        // like the fault plan itself.
+        std::env::set_var("DASHMM_RECOVER", "1");
+    }
     // Every process (launcher and re-executed ranks alike) arms its own
     // watchdog: a chaos run may abort, but it must never hang.
     let budget_s = opts.budget_s.unwrap_or(DEFAULT_BUDGET_S);
@@ -97,7 +125,7 @@ fn main() {
                     opts.localities, opts.n
                 ),
             );
-            std::process::exit(verdict(&report, &plan));
+            std::process::exit(verdict(&report, &plan, opts.recover));
         }
         Ok(Role::Rank(transport)) => rank_main(&opts, plan, transport),
         Err(e) => {
@@ -110,8 +138,9 @@ fn main() {
 /// Judge the per-rank exit codes against the plan.  Returns the launcher's
 /// exit code: 0 when the run proved what it had to (clean completion, or —
 /// under a kill — the victim died with the kill code and every survivor
-/// degraded gracefully), 1 otherwise.
-fn verdict(report: &LaunchReport, plan: &FaultPlan) -> i32 {
+/// degraded gracefully, or, with `recover`, *completed* despite the
+/// death), 1 otherwise.
+fn verdict(report: &LaunchReport, plan: &FaultPlan, recover: bool) -> i32 {
     let Some(kill) = plan.kill else {
         return if report.success() {
             println!("[ok] all localities exited cleanly under plan `{plan}`");
@@ -135,6 +164,16 @@ fn verdict(report: &LaunchReport, plan: &FaultPlan) -> i32 {
                 "[{}] victim locality {rank} exited with the kill code {KILL_EXIT_CODE} (got {st})",
                 if died { "ok" } else { "MISMATCH" }
             );
+        } else if recover {
+            // Recovery mode gates on the *complete* answer: every
+            // survivor must verify the recovered potentials and exit 0.
+            let recovered = code == Some(0);
+            ok &= recovered;
+            println!(
+                "[{}] survivor locality {rank} exited {} (0 required: recovery must complete)",
+                if recovered { "ok" } else { "MISMATCH" },
+                code.map_or_else(|| "by signal".to_string(), |c| c.to_string()),
+            );
         } else {
             // A survivor either degraded gracefully or — if termination
             // won the race against the kill — completed normally.
@@ -148,7 +187,14 @@ fn verdict(report: &LaunchReport, plan: &FaultPlan) -> i32 {
         }
     }
     if ok {
-        println!("[ok] clean abort verified: no survivor hung on the dead locality");
+        println!(
+            "[ok] {}",
+            if recover {
+                "recovery verified: the survivors completed the evaluation without the dead locality"
+            } else {
+                "clean abort verified: no survivor hung on the dead locality"
+            }
+        );
         0
     } else {
         1
@@ -190,6 +236,7 @@ fn rank_eval<K: Kernel>(
         .threshold(opts.threshold)
         .machine(opts.localities, opts.workers)
         .transport(Arc::clone(transport) as Arc<dyn Transport>)
+        .recover(opts.recover)
         .build(&sources, &charges, &targets);
     let t0 = Instant::now();
     let out = eval.evaluate();
@@ -197,16 +244,31 @@ fn rank_eval<K: Kernel>(
     let m = transport.metrics();
     println!("{}", m.digest(rank));
 
-    if let Some(dead) = out.report.lost_peer {
-        return degraded(rank, dead, opts, &plan, &eval, &m, wall_ms);
+    if let Some(failure) = out.report.lost_peer {
+        match &out.recovery {
+            Some(info) => println!(
+                "[rank {rank}] survived {failure}: {} nodes re-owned, \
+                 {} sources replayed ({} edges), {} LCOs re-armed, \
+                 {} duplicates absorbed, recovery {:.1} ms",
+                info.stats.reowned_nodes,
+                info.stats.replayed_sources,
+                info.stats.replayed_edges,
+                info.stats.rearmed_lcos,
+                info.dedup_skipped,
+                info.recovery_ms,
+            ),
+            None => return degraded(rank, failure, opts, &plan, &eval, &m, wall_ms),
+        }
     }
 
     // The answer under faults must match the fault-free single-process
-    // reference bit-for-bit (to merge rounding): gather and verify.
+    // reference bit-for-bit (to merge rounding): gather and verify.  In a
+    // recovered run the dead rank's gather slot is empty — drop it before
+    // merging.
     let parts = match transport.gather(&f64s_to_bytes(&out.potentials)) {
         Ok(p) => p,
         Err(_) => {
-            return transport.failed_peer().map_or(1, |dead| {
+            return transport.failed_peer_info().map_or(1, |dead| {
                 degraded(rank, dead, opts, &plan, &eval, &m, wall_ms)
             })
         }
@@ -220,7 +282,7 @@ fn rank_eval<K: Kernel>(
     let rel_parts = match transport.gather(&my_rel) {
         Ok(p) => p,
         Err(_) => {
-            return transport.failed_peer().map_or(1, |dead| {
+            return transport.failed_peer_info().map_or(1, |dead| {
                 degraded(rank, dead, opts, &plan, &eval, &m, wall_ms)
             })
         }
@@ -229,13 +291,16 @@ fn rank_eval<K: Kernel>(
     let Some(parts) = parts else { return 0 };
     // Rank 0: verify, print the reliability story, check sim parity.
     let mut code = 0;
+    let parts: Vec<_> = parts.into_iter().filter(|p| !p.is_empty()).collect();
     let merged = merge_sum_f64(&parts);
+    let t_ref = Instant::now();
     let reference = DashmmBuilder::new(kernel)
         .method(Method::AdvancedFmm)
         .threshold(opts.threshold)
         .machine(1, opts.workers)
         .build(&sources, &charges, &targets)
         .evaluate();
+    let reference_ms = t_ref.elapsed().as_secs_f64() * 1e3;
     let e = rel_err(&merged, &reference.potentials);
     let exact = e < 1e-12;
     if !exact {
@@ -246,7 +311,12 @@ fn rank_eval<K: Kernel>(
          rel err {e:.2e} [{}]",
         if exact { "ok" } else { "MISMATCH" }
     );
-    let sums = merge_sum_f64(&rel_parts.expect("rank 0 gets reliability parts"));
+    let rel_parts: Vec<_> = rel_parts
+        .expect("rank 0 gets reliability parts")
+        .into_iter()
+        .filter(|p| !p.is_empty())
+        .collect();
+    let sums = merge_sum_f64(&rel_parts);
     let (rtx, frames, injected, dups) = (
         sums[0] as u64,
         sums[1] as u64,
@@ -287,9 +357,11 @@ fn rank_eval<K: Kernel>(
     let tol = 0.5 * rate_m.max(rate_s) + 0.02;
     // The band is only meaningful for pure frame-fate plans: a stall is
     // runtime-only (the sim cannot see it) and causes legitimate
-    // timeout-driven retransmits the sim will never count.  With few loss
-    // events on either side the rates are too noisy to compare either.
-    let enforced = plan.stall.is_none();
+    // timeout-driven retransmits the sim will never count — and so is a
+    // kill, whose recovery replay re-sends parcels the sim never models.
+    // With few loss events on either side the rates are too noisy to
+    // compare either.
+    let enforced = plan.stall.is_none() && plan.kill.is_none();
     let parity = (rate_m - rate_s).abs() <= tol || rtx + sim.retransmits < 10;
     if enforced && !parity {
         code = 1;
@@ -308,6 +380,104 @@ fn rank_eval<K: Kernel>(
             "MISMATCH"
         }
     );
+
+    // Recovery bench artifact: the measured recovery next to the fault-free
+    // wall-clock and the simulator's analytic estimate of the same loss.
+    if let Some(info) = out.recovery {
+        let suspicion_ms: f64 = std::env::var("DASHMM_SUSPICION_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1_000.0);
+        let est = dashmm_sim::estimate_recovery(
+            eval.dag(),
+            &cost,
+            &NetworkModel::gemini(),
+            &SimConfig {
+                localities: opts.localities,
+                cores_per_locality: opts.workers,
+                priority: false,
+                trace: false,
+                levelwise: false,
+            },
+            info.failure.rank,
+            suspicion_ms * 1e3,
+        );
+        // The sim derives the re-owned set from the same distribution rule
+        // the runtime fences on, so the node counts must agree exactly.
+        let counts_agree = est.reowned_nodes == info.stats.reowned_nodes;
+        if !counts_agree {
+            code = 1;
+        }
+        println!(
+            "[rank 0] recovery: {} re-owned, replayed {} edges in {:.1} ms \
+             (fault-free reference {reference_ms:.1} ms, overhead x{:.2}); \
+             sim estimates {} re-owned / {} edges, {:.1} ms total [{}]",
+            info.stats.reowned_nodes,
+            info.stats.replayed_edges,
+            info.recovery_ms,
+            wall_ms / reference_ms.max(1e-9),
+            est.reowned_nodes,
+            est.replayed_edges,
+            est.total_us / 1e3,
+            if counts_agree { "ok" } else { "MISMATCH" }
+        );
+        let _ = std::fs::create_dir_all("results");
+        let path = Path::new("results").join("BENCH_recovery.json");
+        let bench = obj(vec![
+            (
+                "workload",
+                obj(vec![
+                    ("name", Value::from("chaos_recovery")),
+                    ("n", Value::from(opts.n)),
+                    ("localities", Value::from(opts.localities)),
+                    ("workers", Value::from(opts.workers)),
+                    ("fault_plan", Value::from(plan.to_string())),
+                ]),
+            ),
+            (
+                "failure",
+                obj(vec![
+                    ("rank", Value::from(info.failure.rank as u64)),
+                    ("epoch", Value::from(info.failure.epoch as u64)),
+                    ("conviction", Value::from(info.failure.reason.name())),
+                ]),
+            ),
+            (
+                "measured",
+                obj(vec![
+                    ("first_run_ms", Value::from(info.first_run_ms)),
+                    ("recovery_ms", Value::from(info.recovery_ms)),
+                    ("wall_ms", Value::from(wall_ms)),
+                    ("fault_free_reference_ms", Value::from(reference_ms)),
+                    (
+                        "overhead_vs_fault_free",
+                        Value::from(wall_ms / reference_ms.max(1e-9)),
+                    ),
+                    ("reowned_nodes", Value::from(info.stats.reowned_nodes)),
+                    ("replayed_sources", Value::from(info.stats.replayed_sources)),
+                    ("replayed_edges", Value::from(info.stats.replayed_edges)),
+                    ("rearmed_lcos", Value::from(info.stats.rearmed_lcos)),
+                    ("parked_batches", Value::from(info.stats.parked_batches)),
+                    ("dedup_skipped", Value::from(info.dedup_skipped)),
+                ]),
+            ),
+            (
+                "simulated",
+                obj(vec![
+                    ("detect_us", Value::from(est.detect_us)),
+                    ("recompute_us", Value::from(est.recompute_us)),
+                    ("replay_comm_us", Value::from(est.replay_comm_us)),
+                    ("total_us", Value::from(est.total_us)),
+                    ("reowned_nodes", Value::from(est.reowned_nodes)),
+                    ("replayed_edges", Value::from(est.replayed_edges)),
+                ]),
+            ),
+        ]);
+        match write_summary(&path, &bench) {
+            Ok(()) => println!("[rank 0] wrote {}", path.display()),
+            Err(e) => eprintln!("[rank 0] failed to write {}: {e}", path.display()),
+        }
+    }
     code
 }
 
@@ -315,7 +485,7 @@ fn rank_eval<K: Kernel>(
 /// (rank 0), and hand back the degraded exit code.
 fn degraded<K: Kernel>(
     rank: u32,
-    dead: u32,
+    dead: PeerFailure,
     opts: &Opts,
     plan: &FaultPlan,
     eval: &dashmm_core::Evaluation<K>,
@@ -326,11 +496,11 @@ fn degraded<K: Kernel>(
         .dag()
         .nodes()
         .iter()
-        .filter(|n| n.locality == dead)
+        .filter(|n| n.locality == dead.rank)
         .count();
     let total = eval.dag().nodes().len();
     println!(
-        "[rank {rank}] peer locality {dead} died mid-run; \
+        "[rank {rank}] peer {dead} died mid-run; \
          {lost}/{total} DAG nodes were assigned to it — aborting cleanly"
     );
     if rank == 0 {
@@ -352,7 +522,9 @@ fn degraded<K: Kernel>(
                 "aborted",
                 obj(vec![
                     ("completed", Value::from(false)),
-                    ("lost_locality", Value::from(dead as u64)),
+                    ("lost_locality", Value::from(dead.rank as u64)),
+                    ("failure_epoch", Value::from(dead.epoch as u64)),
+                    ("conviction", Value::from(dead.reason.name())),
                     ("lost_dag_nodes", Value::from(lost)),
                     ("total_dag_nodes", Value::from(total)),
                 ]),

@@ -57,6 +57,10 @@ pub struct Opts {
     /// Wall-clock budget in seconds for chaos runs (`--budget-s`); a
     /// watchdog aborts the process beyond it so a faulty run never hangs.
     pub budget_s: Option<u64>,
+    /// Survive a mid-run locality kill (`--recover`, chaos only): fence
+    /// the dead rank, re-own its DAG slice, and gate on the *recovered*
+    /// answer instead of on a clean abort.
+    pub recover: bool,
 }
 
 /// How localities are realised when a binary actually evaluates (rather
@@ -97,6 +101,7 @@ impl Default for Opts {
             obs_gate: None,
             faults: None,
             budget_s: None,
+            recover: false,
         }
     }
 }
@@ -104,9 +109,9 @@ impl Default for Opts {
 impl Opts {
     /// Parse `--n`, `--dist`, `--kernel`, `--threshold`, `--seed`,
     /// `--no-coalesce`, `--cost`, `--localities`, `--workers`,
-    /// `--transport`, `--obs`, `--obs-gate`, `--faults`, `--budget-s`
-    /// from `std::env::args`.  Invalid usage prints a message and exits
-    /// with status 2.
+    /// `--transport`, `--obs`, `--obs-gate`, `--faults`, `--budget-s`,
+    /// `--recover` from `std::env::args`.  Invalid usage prints a message
+    /// and exits with status 2.
     pub fn parse() -> Self {
         let mut o = Opts::default();
         let args: Vec<String> = std::env::args().collect();
@@ -118,7 +123,7 @@ impl Opts {
        [--cost paper|measured|paper-refreshed] [--no-coalesce] \
        [--localities L] [--workers W] [--transport shared|socket] \
        [--obs off|counters|full] [--obs-gate PCT] \
-       [--faults SPEC] [--budget-s SECS]",
+       [--faults SPEC] [--budget-s SECS] [--recover]",
                 args.first().map(String::as_str).unwrap_or("bench")
             );
             std::process::exit(2);
@@ -214,6 +219,10 @@ impl Opts {
                             .unwrap_or_else(|_| usage("--budget-s expects seconds")),
                     );
                     i += 2;
+                }
+                "--recover" => {
+                    o.recover = true;
+                    i += 1;
                 }
                 other => usage(&format!("unknown option {other}")),
             }

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dashmm_amt::{ObsLevel, RunReport, Runtime, RuntimeConfig, Transport};
+use dashmm_amt::{ObsLevel, PeerFailure, RunReport, Runtime, RuntimeConfig, Transport};
 use dashmm_dag::{
     BlockPolicy, Dag, DagStats, DistributionPolicy, FmmPolicy, NodeClass, SingleLocality,
 };
@@ -16,7 +16,7 @@ use dashmm_kernels::Kernel;
 use dashmm_tree::{BuildParams, Point3};
 
 use crate::assemble::{assemble, Assembly};
-use crate::exec::ExecCtx;
+use crate::exec::{ExecCtx, RecoveryStats};
 use crate::problem::{block_owner, Method, Problem};
 
 /// Which distribution policy assigns DAG nodes to localities.
@@ -44,6 +44,7 @@ pub struct DashmmBuilder<K: Kernel> {
     gradients: bool,
     policy: Policy,
     transport: Option<Arc<dyn Transport>>,
+    recover: bool,
 }
 
 impl<K: Kernel> DashmmBuilder<K> {
@@ -62,6 +63,7 @@ impl<K: Kernel> DashmmBuilder<K> {
             gradients: false,
             policy: Policy::Fmm,
             transport: None,
+            recover: false,
         }
     }
 
@@ -124,6 +126,17 @@ impl<K: Kernel> DashmmBuilder<K> {
     /// Select the distribution policy.
     pub fn policy(mut self, p: Policy) -> Self {
         self.policy = p;
+        self
+    }
+
+    /// Survive a locality failure: when the transport convicts and fences
+    /// a dead peer mid-run, re-own its DAG nodes across the survivors,
+    /// replay the orphaned slice, and finish the evaluation with correct
+    /// results instead of returning partial output.  Requires a fencing
+    /// transport (e.g. `dashmm-net` with `DASHMM_RECOVER=1`); losing
+    /// rank 0 or a second rank during recovery is out of scope.
+    pub fn recover(mut self, on: bool) -> Self {
+        self.recover = on;
         self
     }
 
@@ -201,10 +214,29 @@ impl<K: Kernel> DashmmBuilder<K> {
             runtime,
             priority: self.priority,
             gradients: self.gradients,
+            recover: self.recover,
             tree_ms,
             dag_ms,
         }
     }
+}
+
+/// Fold a fenced first run's counters into its recovery run's report so
+/// the caller sees one evaluation's totals.  The recovery run's trace is
+/// kept (the fenced run's spans are dropped); the wall-clock anchor stays
+/// the first run's.
+fn merge_reports(first: &RunReport, mut second: RunReport) -> RunReport {
+    second.wall_ns += first.wall_ns;
+    second.tasks += first.tasks;
+    second.messages += first.messages;
+    second.bytes += first.bytes;
+    second.trace_dropped += first.trace_dropped;
+    for (s, f) in second.counters.0.iter_mut().zip(first.counters.0.iter()) {
+        s.count += f.count;
+        s.total_ns += f.total_ns;
+    }
+    second.run_start_unix_ns = first.run_start_unix_ns;
+    second
 }
 
 /// A ready-to-run DASHMM evaluation.
@@ -215,10 +247,27 @@ pub struct Evaluation<K: Kernel> {
     runtime: Arc<Runtime>,
     priority: bool,
     gradients: bool,
+    recover: bool,
     /// Milliseconds spent building the dual tree.
     pub tree_ms: f64,
     /// Milliseconds spent assembling the explicit DAG.
     pub dag_ms: f64,
+}
+
+/// What a completed recovery did (see [`DashmmBuilder::recover`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryInfo {
+    /// The convicted peer: rank, termination epoch and conviction reason.
+    pub failure: PeerFailure,
+    /// DAG slice rebuilt on this process.
+    pub stats: RecoveryStats,
+    /// Duplicate edge applications swallowed by the exactly-once bitmap.
+    pub dedup_skipped: u64,
+    /// Milliseconds of the fenced first run (detection included).
+    pub first_run_ms: f64,
+    /// Milliseconds from conviction handling to recovered quiescence
+    /// (re-ownership, replay, and the recovery run).
+    pub recovery_ms: f64,
 }
 
 /// The result of one evaluation.
@@ -232,6 +281,11 @@ pub struct EvalOutput {
     pub report: RunReport,
     /// Milliseconds spent in DAG evaluation (LCO allocation excluded).
     pub eval_ms: f64,
+    /// Present when a locality failed mid-run and the survivors recovered
+    /// the evaluation ([`DashmmBuilder::recover`]): the potentials are
+    /// complete despite `report.lost_peer` being set.  `None` with
+    /// `report.lost_peer` set means the output is partial.
+    pub recovery: Option<RecoveryInfo>,
 }
 
 impl<K: Kernel> Evaluation<K> {
@@ -277,7 +331,41 @@ impl<K: Kernel> Evaluation<K> {
         exec.install(&self.runtime);
         exec.seed(&self.runtime);
         let t0 = Instant::now();
-        let report = self.runtime.run();
+        let mut report = self.runtime.run();
+        let mut recovery = None;
+        if self.recover && report.fenced {
+            if let Some(failure) = report.lost_peer {
+                let first_run_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let tr = Instant::now();
+                let stats = exec.prepare_recovery(&self.runtime, failure.rank);
+                let rep2 = self.runtime.run();
+                // A *different* rank dying during recovery is out of
+                // scope: report the partial run.  Re-observing the same
+                // dead rank in the recovery run is benign (the conviction
+                // poll can race survivor quiescence).
+                let second_failure = rep2
+                    .lost_peer
+                    .is_some_and(|f2| f2.rank != failure.rank);
+                let merged = merge_reports(&report, rep2);
+                report = merged;
+                if second_failure {
+                    eprintln!(
+                        "dashmm: second locality failure during recovery ({}); giving up",
+                        report.lost_peer.map(|f| f.rank).unwrap_or(u32::MAX)
+                    );
+                } else {
+                    report.lost_peer = Some(failure);
+                    report.fenced = true;
+                    recovery = Some(RecoveryInfo {
+                        failure,
+                        stats,
+                        dedup_skipped: exec.dedup_skipped(),
+                        first_run_ms,
+                        recovery_ms: tr.elapsed().as_secs_f64() * 1e3,
+                    });
+                }
+            }
+        }
         let eval_ms = t0.elapsed().as_secs_f64() * 1e3;
         let (pot, grad) = exec.extract(&self.runtime);
         EvalOutput {
@@ -293,6 +381,7 @@ impl<K: Kernel> Evaluation<K> {
             }),
             report,
             eval_ms,
+            recovery,
         }
     }
 

@@ -10,11 +10,13 @@
 //! the edge descriptors, evaluated as normal on arrival.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use dashmm_amt::{
     decode_f64s, encode_f64s, ActionId, EdgeBatcher, GlobalAddress, LcoOp, LcoSpec, Parcel,
-    Priority, Runtime, TaskCtx, CLASS_NONE, DEFAULT_BATCH_THRESHOLD,
+    Priority, ProgressLedger, Runtime, TaskCtx, CLASS_NONE, CLASS_RECOVERY,
+    DEFAULT_BATCH_THRESHOLD,
 };
 use dashmm_dag::{DagEdge, EdgeOp, NodeClass};
 use dashmm_expansion::{batch as opbatch, ops, BatchWorkspace, OperatorLibrary};
@@ -114,6 +116,35 @@ pub struct ExecCtx<K: Kernel> {
     /// expected counts are precomputed in [`ExecCtx::install`] so the last
     /// deposit of every key always flushes.
     batchers: RwLock<Vec<EdgeBatcher<BatchKey, BatchEntry>>>,
+    /// One byte per flat DAG edge, set when the edge's contribution is
+    /// committed at its apply locality (inline application, or deposit into
+    /// a batcher).  Replay after a locality loss re-fires whole out-edge
+    /// lists; this bitmap absorbs the re-sends so every LCO input is
+    /// counted exactly once.
+    applied: Vec<AtomicU8>,
+    /// Replayed edge applications suppressed by the `applied` bitmap.
+    dedup_skipped: AtomicU64,
+    /// Durable progress ledger (installed alongside the LCO network and
+    /// handed to the transport for heartbeat gossip).
+    ledger: RwLock<Option<Arc<ProgressLedger>>>,
+}
+
+/// What one call to [`ExecCtx::prepare_recovery`] rebuilt, for the
+/// recovery section of run reports and `BENCH_recovery.json`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryStats {
+    /// DAG nodes re-owned away from the dead locality.
+    pub reowned_nodes: u64,
+    /// Locally fired sources replayed because an out-edge points into a
+    /// re-owned destination.
+    pub replayed_sources: u64,
+    /// Edges re-fired toward re-owned destinations (plus the full
+    /// out-edge lists of re-owned seed nodes this process re-seeds).
+    pub replayed_edges: u64,
+    /// Untriggered local LCOs whose expected-input count was re-armed.
+    pub rearmed_lcos: u64,
+    /// Parked batches force-flushed at the start of the recovery run.
+    pub parked_batches: u64,
 }
 
 impl<K: Kernel> ExecCtx<K> {
@@ -131,6 +162,7 @@ impl<K: Kernel> ExecCtx<K> {
             problem.tree.source().points().len(),
             "one charge per source"
         );
+        let n_edges = asm.dag.edges().len();
         Arc::new(ExecCtx {
             problem,
             lib,
@@ -141,7 +173,20 @@ impl<K: Kernel> ExecCtx<K> {
             lcos: RwLock::new(Vec::new()),
             remote_action: RwLock::new(None),
             batchers: RwLock::new(Vec::new()),
+            applied: (0..n_edges).map(|_| AtomicU8::new(0)).collect(),
+            dedup_skipped: AtomicU64::new(0),
+            ledger: RwLock::new(None),
         })
+    }
+
+    /// Replayed edge applications suppressed by the dedup bitmap.
+    pub fn dedup_skipped(&self) -> u64 {
+        self.dedup_skipped.load(Ordering::Relaxed)
+    }
+
+    /// The progress ledger installed for this evaluation.
+    pub fn ledger(&self) -> Option<Arc<ProgressLedger>> {
+        self.ledger.read().clone()
     }
 
     /// Scheduling priority for tasks producing into a node of `class`.
@@ -164,18 +209,7 @@ impl<K: Kernel> ExecCtx<K> {
 
         let dag = &self.asm.dag;
         let n_loc = rt.num_localities();
-        // `S→T` edges arrive fused: one LCO contribution per *flushed
-        // batch* instead of one per edge, so a target leaf with `e`
-        // near-field edges expects `⌈e/threshold⌉` inputs from them.
-        // The DAG itself is untouched — only the LCO accounting changes.
-        let mut s2t_in = vec![0u32; dag.num_nodes()];
-        for id in 0..dag.num_nodes() as u32 {
-            for e in dag.out_edges(id) {
-                if e.op == EdgeOp::S2T {
-                    s2t_in[e.dst as usize] += 1;
-                }
-            }
-        }
+        let s2t_in = self.s2t_in_counts();
         let mut lcos = Vec::with_capacity(dag.num_nodes());
         for id in 0..dag.num_nodes() as u32 {
             let node = dag.node(id);
@@ -185,28 +219,20 @@ impl<K: Kernel> ExecCtx<K> {
                 lcos.push(GlobalAddress::new(locality, u32::MAX));
                 continue;
             }
-            let size = self.data_len(id);
-            let op = match node.class {
-                NodeClass::Is | NodeClass::It => LcoOp::Custom(Box::new(offset_add)),
-                _ => LcoOp::Add,
-            };
-            let e_s2t = s2t_in[id as usize];
-            let inputs = node.in_degree - e_s2t + e_s2t.div_ceil(DEFAULT_BATCH_THRESHOLD as u32);
-            let mut spec = LcoSpec {
-                size,
-                inputs,
-                op,
-                on_trigger: None,
-                trace_class: CLASS_NONE,
-            };
-            if node.out_degree > 0 {
-                let this = Arc::clone(self);
-                spec = spec.with_trigger(Box::new(move |ctx, data| {
-                    this.process_out_edges(ctx, id, data);
-                }));
-            }
-            lcos.push(rt.lco_new(locality, spec));
+            lcos.push(rt.lco_new(locality, self.node_spec(id, s2t_in[id as usize])));
         }
+
+        // The durable progress ledger: one fired-node watermark per rank,
+        // gossiped by the transport on its heartbeat path so survivors can
+        // account a dead rank's cemented work.
+        let transport = rt.transport();
+        let ledger = Arc::new(ProgressLedger::new(
+            transport.rank(),
+            dag.num_nodes(),
+            transport.num_ranks(),
+        ));
+        transport.set_ledger(Arc::clone(&ledger));
+        *self.ledger.write() = Some(ledger);
 
         // Pre-count the batched edges per (apply locality, operator): both
         // local and coalesced remote edges apply at the destination LCO's
@@ -231,6 +257,50 @@ impl<K: Kernel> ExecCtx<K> {
         *self.batchers.write() = batchers;
 
         *self.lcos.write() = lcos;
+    }
+
+    /// Per-node count of incoming near-field `S→T` edges.  These arrive
+    /// fused: one LCO contribution per *flushed batch* instead of one per
+    /// edge, so a target leaf with `e` near-field edges expects
+    /// `⌈e/threshold⌉` inputs from them.  The DAG itself is untouched —
+    /// only the LCO accounting changes.
+    fn s2t_in_counts(&self) -> Vec<u32> {
+        let dag = &self.asm.dag;
+        let mut s2t_in = vec![0u32; dag.num_nodes()];
+        for id in 0..dag.num_nodes() as u32 {
+            for e in dag.out_edges(id) {
+                if e.op == EdgeOp::S2T {
+                    s2t_in[e.dst as usize] += 1;
+                }
+            }
+        }
+        s2t_in
+    }
+
+    /// The LCO specification of a non-`S` DAG node, shared between the
+    /// initial [`ExecCtx::install`] and the fresh allocations recovery
+    /// makes for re-owned nodes.
+    fn node_spec(self: &Arc<Self>, id: u32, e_s2t: u32) -> LcoSpec {
+        let node = self.asm.dag.node(id);
+        let op = match node.class {
+            NodeClass::Is | NodeClass::It => LcoOp::Custom(Box::new(offset_add)),
+            _ => LcoOp::Add,
+        };
+        let inputs = node.in_degree - e_s2t + e_s2t.div_ceil(DEFAULT_BATCH_THRESHOLD as u32);
+        let mut spec = LcoSpec {
+            size: self.data_len(id),
+            inputs,
+            op,
+            on_trigger: None,
+            trace_class: CLASS_NONE,
+        };
+        if node.out_degree > 0 {
+            let this = Arc::clone(self);
+            spec = spec.with_trigger(Box::new(move |ctx, data| {
+                this.process_out_edges(ctx, id, data);
+            }));
+        }
+        spec
     }
 
     /// Batching key for an edge whose operator is applied batched, `None`
@@ -322,6 +392,225 @@ impl<K: Kernel> ExecCtx<K> {
         }
     }
 
+    /// Rebuild the orphaned DAG slice after locality `dead` was convicted
+    /// and fenced, positioning the runtime for one more [`Runtime::run`]
+    /// that completes the evaluation on the survivors.  Must run between
+    /// runs (no tasks in flight), on every surviving process, with the
+    /// same `dead`; every step is deterministic over replicated state, so
+    /// the survivors reach identical re-ownership and identical fresh LCO
+    /// addresses without a coordination round.
+    ///
+    /// Steps: (1) every node the dead locality owned is re-owned to a
+    /// survivor picked by a stable hash of its Morton key — and gets a
+    /// fresh LCO (full input count) there; (2) parked batches whose
+    /// drain expectations can no longer be met are drained now and
+    /// force-flushed by a seeded recovery task; (3) batch expectations are
+    /// re-registered from the not-yet-applied edge set; (4) untriggered
+    /// local LCOs are re-armed to expect exactly the inputs still coming;
+    /// (5) fired local sources with an out-edge into a re-owned
+    /// destination are replayed, and re-owned seed nodes are re-seeded at
+    /// their new owner.  The `applied` bitmap absorbs every duplicate the
+    /// replay re-fires, so LCO accounting stays exact.
+    pub fn prepare_recovery(self: &Arc<Self>, rt: &Runtime, dead: u32) -> RecoveryStats {
+        use std::collections::{HashMap, HashSet};
+        let dag = &self.asm.dag;
+        let n_loc = rt.num_localities();
+        assert!(
+            dead != 0 && dead < n_loc,
+            "recovery covers losing a non-root locality (lost rank {dead} of {n_loc})"
+        );
+        let survivors: Vec<u32> = (0..n_loc).filter(|&r| r != dead).collect();
+        let s2t_in = self.s2t_in_counts();
+        let n = dag.num_nodes();
+        let mut stats = RecoveryStats::default();
+        let bit = |eid: u32| self.applied[eid as usize].load(Ordering::Acquire) != 0;
+
+        // (1) Deterministic re-ownership + fresh LCOs, in node-id order so
+        // the SPMD-mirrored allocation yields identical addresses on every
+        // surviving process.
+        let orig_owner: Vec<u32> = (0..n as u32)
+            .map(|id| dag.node(id).locality.min(n_loc - 1))
+            .collect();
+        let mut is_reowned = vec![false; n];
+        {
+            let stree = self.problem.tree.source();
+            let ttree = self.problem.tree.target();
+            let mut lcos = self.lcos.write();
+            for id in 0..n as u32 {
+                if orig_owner[id as usize] != dead {
+                    continue;
+                }
+                is_reowned[id as usize] = true;
+                let node = dag.node(id);
+                let (key, salt) = match node.class {
+                    NodeClass::S => (stree.node(node.box_id).key, 1u64),
+                    NodeClass::M => (stree.node(node.box_id).key, 2),
+                    NodeClass::Is => (stree.node(node.box_id).key, 3),
+                    NodeClass::It => (ttree.node(node.box_id).key, 4),
+                    NodeClass::L => (ttree.node(node.box_id).key, 5),
+                    NodeClass::T => (ttree.node(node.box_id).key, 6),
+                };
+                let h = splitmix64(key.code() ^ ((key.level as u64) << 48) ^ (salt << 56));
+                let new_owner = survivors[(h % survivors.len() as u64) as usize];
+                lcos[id as usize] = if node.class == NodeClass::S {
+                    GlobalAddress::new(new_owner, u32::MAX)
+                } else {
+                    rt.lco_new(new_owner, self.node_spec(id, s2t_in[id as usize]))
+                };
+                stats.reowned_nodes += 1;
+            }
+        }
+        let lcos: Vec<GlobalAddress> = self.lcos.read().clone();
+
+        for loc in 0..n_loc {
+            if loc == dead || !rt.is_local(loc) {
+                continue;
+            }
+            // (2) Drain the batches parked behind expectations that run 1
+            // could no longer satisfy (their missing edges came from, or
+            // applied at, the dead locality).
+            let drained = self.batchers.read()[loc as usize].drain_parked();
+            stats.parked_batches += drained.len() as u64;
+            let mut p_non: HashMap<u32, u32> = HashMap::new();
+            let mut p_s2t: HashSet<u32> = HashSet::new();
+            for (key, entries) in &drained {
+                // A force-flushed S2T batch makes one fused contribution;
+                // every other parked entry contributes per edge.
+                if matches!(key, BatchKey::S2T { .. }) {
+                    p_s2t.insert(entries[0].dst.index);
+                } else {
+                    for e in entries {
+                        *p_non.entry(e.dst.index).or_default() += 1;
+                    }
+                }
+            }
+
+            // (3) Re-register batch expectations and count the not-yet-
+            // applied in-edges per destination this locality now owns:
+            // exactly these deposits will arrive in the recovery run.
+            let mut u_non = vec![0u32; n];
+            let mut u_s2t = vec![0u32; n];
+            {
+                let batchers = self.batchers.read();
+                for id in 0..n as u32 {
+                    let node = dag.node(id);
+                    for (i, e) in dag.out_edges(id).iter().enumerate() {
+                        let eid = node.first_edge + i as u32;
+                        if bit(eid) || lcos[e.dst as usize].locality != loc {
+                            continue;
+                        }
+                        if e.op == EdgeOp::S2T {
+                            u_s2t[e.dst as usize] += 1;
+                        } else {
+                            u_non[e.dst as usize] += 1;
+                        }
+                        if let Some(k) = self.batch_key(id, e) {
+                            batchers[loc as usize].expect(k, 1);
+                        }
+                    }
+                }
+            }
+
+            // (4) Re-arm every untriggered local LCO with the exact number
+            // of contributions still due: unapplied per-edge inputs,
+            // parked entries about to be force-flushed, and the batched
+            // near-field flush count.
+            for id in 0..n as u32 {
+                let node = dag.node(id);
+                let addr = lcos[id as usize];
+                if node.class == NodeClass::S
+                    || addr.locality != loc
+                    || rt.lco_triggered(addr)
+                {
+                    continue;
+                }
+                let pn = p_non.get(&addr.index).copied().unwrap_or(0);
+                let ps = u32::from(p_s2t.contains(&addr.index));
+                let remaining = u_non[id as usize]
+                    + pn
+                    + ps
+                    + u_s2t[id as usize].div_ceil(DEFAULT_BATCH_THRESHOLD as u32);
+                if remaining > 0 {
+                    rt.lco_rearm(addr, remaining);
+                    stats.rearmed_lcos += 1;
+                } else {
+                    debug_assert_eq!(
+                        node.in_degree, 0,
+                        "untriggered LCO {id} with nothing left to arrive"
+                    );
+                }
+            }
+
+            // (5a) Force-flush the drained parked batches inside the run.
+            if !drained.is_empty() {
+                let this = Arc::clone(self);
+                rt.seed(loc, move |ctx| {
+                    ctx.record_instant(CLASS_RECOVERY);
+                    for (key, entries) in &drained {
+                        this.flush_batch(ctx, *key, entries);
+                    }
+                });
+            }
+
+            // (5b) Replay fired local sources feeding a re-owned
+            // destination; the dedup bitmap swallows the edges that
+            // already landed elsewhere.
+            for id in 0..n as u32 {
+                if orig_owner[id as usize] != loc {
+                    continue;
+                }
+                let node = dag.node(id);
+                if node.out_degree == 0 {
+                    continue;
+                }
+                let into_reowned = dag
+                    .out_edges(id)
+                    .iter()
+                    .filter(|e| is_reowned[e.dst as usize])
+                    .count() as u64;
+                if into_reowned == 0 {
+                    continue;
+                }
+                // Seeds (zero-input nodes) all fired in run 1; everything
+                // else fired iff its LCO triggered.
+                let data = if node.in_degree == 0 {
+                    Vec::new()
+                } else if rt.lco_triggered(lcos[id as usize]) {
+                    rt.lco_get(lcos[id as usize]).expect("triggered LCO has data")
+                } else {
+                    continue; // will fire on its own in the recovery run
+                };
+                stats.replayed_sources += 1;
+                stats.replayed_edges += into_reowned;
+                let this = Arc::clone(self);
+                rt.seed(loc, move |ctx| {
+                    ctx.record_instant(CLASS_RECOVERY);
+                    this.process_out_edges(ctx, id, &data);
+                });
+            }
+
+            // (5c) Re-seed the re-owned seed nodes this locality adopted.
+            for id in 0..n as u32 {
+                let node = dag.node(id);
+                if !is_reowned[id as usize]
+                    || node.in_degree != 0
+                    || node.out_degree == 0
+                    || lcos[id as usize].locality != loc
+                {
+                    continue;
+                }
+                stats.replayed_sources += 1;
+                stats.replayed_edges += node.out_degree as u64;
+                let this = Arc::clone(self);
+                rt.seed(loc, move |ctx| {
+                    ctx.record_instant(CLASS_RECOVERY);
+                    this.process_out_edges(ctx, id, &[]);
+                });
+            }
+        }
+        stats
+    }
+
     /// Read back the potentials (and gradients, when enabled) in
     /// target-tree Morton order.
     pub fn extract(&self, rt: &Runtime) -> (Vec<f64>, Option<Vec<[f64; 3]>>) {
@@ -366,6 +655,9 @@ impl<K: Kernel> ExecCtx<K> {
     /// so the source-tree sweep races ahead of the bulk work (the paper's
     /// proposed scheduling fix, §VI).
     fn process_out_edges(self: &Arc<Self>, ctx: &TaskCtx, id: u32, data: &[f64]) {
+        if let Some(l) = self.ledger.read().as_ref() {
+            l.note_fired(id);
+        }
         if self.priority {
             let is_up = |op: EdgeOp| matches!(op, EdgeOp::S2M | EdgeOp::M2M);
             let edges = self.asm.dag.out_edges(id);
@@ -487,6 +779,14 @@ impl<K: Kernel> ExecCtx<K> {
         shared: &mut Option<Arc<[f64]>>,
         lcos: &[GlobalAddress],
     ) {
+        // Exactly-once commit point: the first application (or batch
+        // deposit) of an edge at its apply locality wins; recovery replay
+        // re-fires whole out-edge lists and every duplicate dies here
+        // before it can reach (and over-subscribe) the destination LCO.
+        if self.applied[eid as usize].swap(1, Ordering::AcqRel) != 0 {
+            self.dedup_skipped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let dag = &self.asm.dag;
         let src_node = dag.node(src_id);
         let dst_node = dag.node(e.dst);
@@ -740,6 +1040,17 @@ impl<K: Kernel> ExecCtx<K> {
             }
         });
     }
+}
+
+/// The splitmix64 finalizer: the stable mixer behind coordination-free
+/// re-ownership.  Every survivor evaluates it over the same replicated
+/// Morton keys and reaches the same assignment without exchanging a
+/// message.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Offset-addressed addition: `input[0]` is the destination offset, the

@@ -45,8 +45,9 @@ pub mod resident;
 pub mod step;
 pub mod verify;
 
-pub use api::{DashmmBuilder, EvalOutput, Evaluation, Policy};
+pub use api::{DashmmBuilder, EvalOutput, Evaluation, Policy, RecoveryInfo};
 pub use assemble::{assemble, Assembly};
+pub use exec::RecoveryStats;
 pub use measure::per_op_avg_us;
 pub use problem::{block_owner, Method, Problem};
 pub use resident::{EvalProfile, ResidentConfig, ResidentFmm};

@@ -5,6 +5,8 @@
 //! (batch-size histogram), why did buffers flush, and how deep did the
 //! send queue get under backpressure.
 
+use dashmm_amt::PeerFailure;
+
 /// Why a coalescing buffer was flushed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(usize)]
@@ -81,6 +83,18 @@ pub struct CommMetrics {
     /// Fault-injector decisions taken on this rank's outbound frames:
     /// `[drops, dups, corrupts, delays, reorders]`.
     pub injected: [u64; 5],
+    /// High-water mark of unacked body bytes across the per-destination
+    /// retransmit queues (the quantity bounded by
+    /// `RetransmitConfig::max_unacked_bytes`).
+    pub retransmit_queue_peak: u64,
+    /// Times a sender blocked on the bounded retransmit queue.
+    pub arq_backpressure_stalls: u64,
+    /// Parcels dropped because their destination was convicted dead and
+    /// fenced (recovery re-derives their work at the DAG level).
+    pub fenced_dropped_parcels: u64,
+    /// The conviction record if a peer was declared down: rank, run epoch
+    /// at conviction, and reason (heartbeat timeout vs dirty close).
+    pub failure: Option<PeerFailure>,
 }
 
 impl CommMetrics {
@@ -172,6 +186,21 @@ impl CommMetrics {
         if self.idle_deferrals > 0 {
             line.push_str(&format!(", {} idle deferrals", self.idle_deferrals));
         }
+        if self.retransmit_queue_peak > 0 {
+            line.push_str(&format!(", arq peak {} B", self.retransmit_queue_peak));
+        }
+        if self.arq_backpressure_stalls > 0 {
+            line.push_str(&format!(", {} arq stalls", self.arq_backpressure_stalls));
+        }
+        if self.fenced_dropped_parcels > 0 {
+            line.push_str(&format!(
+                ", {} parcels dropped at fence",
+                self.fenced_dropped_parcels
+            ));
+        }
+        if let Some(f) = &self.failure {
+            line.push_str(&format!(", peer down: {f}"));
+        }
         line
     }
 
@@ -222,6 +251,29 @@ impl CommMetrics {
             ("idle_deferrals", Value::from(self.idle_deferrals)),
             ("heartbeats_tx", Value::from(self.heartbeats_tx)),
             ("injected", Value::from(self.injected.to_vec())),
+            (
+                "retransmit_queue_peak",
+                Value::from(self.retransmit_queue_peak),
+            ),
+            (
+                "arq_backpressure_stalls",
+                Value::from(self.arq_backpressure_stalls),
+            ),
+            (
+                "fenced_dropped_parcels",
+                Value::from(self.fenced_dropped_parcels),
+            ),
+            (
+                "failure",
+                match &self.failure {
+                    Some(f) => obj(vec![
+                        ("rank", Value::from(f.rank as u64)),
+                        ("epoch", Value::from(f.epoch as u64)),
+                        ("reason", Value::from(f.reason.name())),
+                    ]),
+                    None => Value::Null,
+                },
+            ),
         ])
     }
 
@@ -291,6 +343,20 @@ impl CommMetrics {
                 self.injected[2],
                 self.injected[3],
                 self.injected[4],
+            );
+        }
+        if self.retransmit_queue_peak > 0 || self.arq_backpressure_stalls > 0 {
+            let _ = writeln!(
+                s,
+                "[rank {rank}] arq queue: peak {} B, {} bounded-queue stalls",
+                self.retransmit_queue_peak, self.arq_backpressure_stalls,
+            );
+        }
+        if let Some(f) = &self.failure {
+            let _ = writeln!(
+                s,
+                "[rank {rank}] peer down: {f}; {} parcels dropped at fence",
+                self.fenced_dropped_parcels,
             );
         }
         s
@@ -367,6 +433,46 @@ mod tests {
         let clean = CommMetrics::new(2).digest(0);
         assert!(!clean.contains("rtx"));
         assert!(!clean.contains("injected"));
+    }
+
+    #[test]
+    fn failure_and_arq_peak_surface_in_digest_and_json() {
+        use dashmm_amt::ConvictionReason;
+        let mut m = CommMetrics::new(3);
+        m.retransmit_queue_peak = 4096;
+        m.arq_backpressure_stalls = 2;
+        m.fenced_dropped_parcels = 7;
+        m.failure = Some(PeerFailure {
+            rank: 2,
+            epoch: 5,
+            reason: ConvictionReason::DirtyClose,
+        });
+        let d = m.digest(0);
+        assert!(d.contains("arq peak 4096 B"), "digest missing peak: {d}");
+        assert!(
+            d.contains("peer down: rank 2 (dirty_close, epoch 5)"),
+            "digest missing failure: {d}"
+        );
+        let back = dashmm_obs::json::parse(&m.to_json().to_json()).expect("valid JSON");
+        assert_eq!(
+            back.get("retransmit_queue_peak").and_then(|v| v.as_f64()),
+            Some(4096.0)
+        );
+        let f = back.get("failure").expect("failure object");
+        assert_eq!(f.get("rank").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(f.get("epoch").and_then(|v| v.as_f64()), Some(5.0));
+        assert_eq!(
+            f.get("reason").and_then(|v| v.as_str()),
+            Some("dirty_close")
+        );
+        // Clean runs keep the digest terse and the failure null.
+        let clean = CommMetrics::new(2);
+        assert!(!clean.digest(0).contains("peer down"));
+        let cb = dashmm_obs::json::parse(&clean.to_json().to_json()).unwrap();
+        assert!(matches!(
+            cb.get("failure"),
+            Some(dashmm_obs::json::Value::Null)
+        ));
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub struct RetransmitConfig {
     /// Reorder-buffer capacity in frames; frames beyond the window are
     /// dropped (the sender's retransmit repairs them once in range).
     pub reorder_window: usize,
+    /// High-water mark on bytes held in one destination's retransmit
+    /// queue.  A worker blocks in `SocketTransport::send` once the queue
+    /// holds this many unacked body bytes, so a stalled peer bounds the
+    /// sender's memory instead of growing it without limit
+    /// (`DASHMM_ARQ_MAX_BYTES` overrides).
+    pub max_unacked_bytes: usize,
 }
 
 impl Default for RetransmitConfig {
@@ -56,6 +62,7 @@ impl Default for RetransmitConfig {
             max_backoff_us: 400_000,
             jitter_frac: 0.2,
             reorder_window: 1024,
+            max_unacked_bytes: 16 << 20,
         }
     }
 }
@@ -92,6 +99,8 @@ pub struct SeqSender {
     acked_parcels: u64,
     acked_seq: u64,
     retransmits: u64,
+    unacked_bytes: usize,
+    peak_unacked_bytes: usize,
 }
 
 impl SeqSender {
@@ -111,6 +120,8 @@ impl SeqSender {
     ) -> u64 {
         self.next_seq += 1;
         let seq = self.next_seq;
+        self.unacked_bytes += body.len();
+        self.peak_unacked_bytes = self.peak_unacked_bytes.max(self.unacked_bytes);
         self.unacked.push_back(Pending {
             seq,
             body,
@@ -130,6 +141,7 @@ impl SeqSender {
             }
             let p = self.unacked.pop_front().unwrap();
             self.acked_parcels += p.parcels;
+            self.unacked_bytes -= p.body.len();
         }
         self.acked_seq = self.acked_seq.max(ack.min(self.next_seq));
     }
@@ -192,6 +204,31 @@ impl SeqSender {
     /// Total retransmission attempts.
     pub fn retransmits(&self) -> u64 {
         self.retransmits
+    }
+
+    /// Body bytes currently awaiting acknowledgement (the bounded
+    /// quantity; see [`RetransmitConfig::max_unacked_bytes`]).
+    pub fn unacked_bytes(&self) -> usize {
+        self.unacked_bytes
+    }
+
+    /// High-water mark of [`SeqSender::unacked_bytes`] over the sender's
+    /// lifetime.
+    pub fn peak_unacked_bytes(&self) -> usize {
+        self.peak_unacked_bytes
+    }
+
+    /// Discard every unacked frame without acking it: `(frames, parcels,
+    /// bytes)` dropped.  Used when the destination is declared dead and
+    /// fenced — its lane will never ack, and recovery re-derives the lost
+    /// work at the DAG level instead of retransmitting it.
+    pub fn drain_unacked(&mut self) -> (u64, u64, usize) {
+        let frames = self.unacked.len() as u64;
+        let parcels = self.unacked.iter().map(|p| p.parcels).sum();
+        let bytes = self.unacked_bytes;
+        self.unacked.clear();
+        self.unacked_bytes = 0;
+        (frames, parcels, bytes)
     }
 }
 
@@ -391,6 +428,43 @@ mod tests {
         let again = tx.due_retransmits(u64::MAX / 2, &c);
         assert_eq!(again[0].seq, seq);
         assert_eq!(again[0].body, vec![4, 5]);
+    }
+
+    #[test]
+    fn unacked_bytes_track_queue_and_peak() {
+        let mut tx = SeqSender::new();
+        let c = cfg();
+        tx.on_send(vec![0; 100], 1, 0, &c);
+        tx.on_send(vec![0; 300], 1, 0, &c);
+        assert_eq!(tx.unacked_bytes(), 400);
+        assert_eq!(tx.peak_unacked_bytes(), 400);
+        tx.on_ack(1);
+        assert_eq!(tx.unacked_bytes(), 300);
+        assert_eq!(tx.peak_unacked_bytes(), 400, "peak is monotone");
+        tx.on_send(vec![0; 50], 1, 0, &c);
+        assert_eq!(tx.unacked_bytes(), 350);
+        assert_eq!(tx.peak_unacked_bytes(), 400);
+        tx.on_ack(3);
+        assert_eq!(tx.unacked_bytes(), 0);
+        assert!(tx.all_acked());
+    }
+
+    #[test]
+    fn drain_unacked_discards_without_acking() {
+        let mut tx = SeqSender::new();
+        let c = cfg();
+        tx.on_send(vec![0; 10], 2, 0, &c);
+        tx.on_send(vec![0; 30], 3, 0, &c);
+        let (frames, parcels, bytes) = tx.drain_unacked();
+        assert_eq!((frames, parcels, bytes), (2, 5, 40));
+        assert!(tx.all_acked(), "drained queue reads as empty");
+        assert_eq!(tx.unacked_bytes(), 0);
+        assert_eq!(
+            tx.acked_parcels(),
+            0,
+            "discard must not count toward the loss-safe sent count"
+        );
+        assert_eq!(tx.peak_unacked_bytes(), 40, "peak survives the drain");
     }
 
     #[test]

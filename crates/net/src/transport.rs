@@ -79,8 +79,8 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use dashmm_amt::{
-    CoalesceConfig, FaultPlan, Parcel, TraceEvent, Transport, TransportHooks, TransportStats,
-    CLASS_PARCEL_FLUSH,
+    CoalesceConfig, ConvictionReason, FaultPlan, LedgerSnapshot, Parcel, PeerFailure,
+    ProgressLedger, TraceEvent, Transport, TransportHooks, TransportStats, CLASS_PARCEL_FLUSH,
 };
 use parking_lot::Mutex;
 
@@ -207,6 +207,23 @@ struct Shared {
     epoch: AtomicU32,
     done_epoch: AtomicU32,
     peer_down: AtomicU32,
+    /// Recovery mode (`DASHMM_RECOVER=1` or `set_recover`): a convicted
+    /// peer is fenced instead of aborting the run.
+    recover: AtomicBool,
+    /// A convicted peer has been fenced: termination detection and
+    /// collectives run over the survivor set.
+    fenced: AtomicBool,
+    /// Test hook: this rank has been abruptly severed from the mesh (as if
+    /// the process died) — the progress thread shuts sockets and exits.
+    severed: AtomicBool,
+    /// Full conviction record behind [`Transport::failed_peer_info`].
+    failure: Mutex<Option<PeerFailure>>,
+    /// Per-source delivered-parcel counters; when fenced, the dead rank's
+    /// contribution is subtracted from the Safra `recv` count.
+    recv_from: Vec<AtomicU64>,
+    /// Progress ledger to update with ack watermarks and gossip on the
+    /// heartbeat path, once the executor installs it.
+    ledger: Mutex<Option<Arc<ProgressLedger>>>,
     sent: AtomicU64,
     recv: AtomicU64,
     stat_bytes_sent: AtomicU64,
@@ -214,7 +231,8 @@ struct Shared {
     stat_bytes_recv: AtomicU64,
     metrics: Mutex<CommMetrics>,
     trace: Mutex<Vec<TraceEvent>>,
-    staged: Mutex<Vec<(u32, Vec<Parcel>)>>,
+    /// Early parcels for future epochs: `(epoch, source rank, parcels)`.
+    staged: Mutex<Vec<(u32, u32, Vec<Parcel>)>>,
     coord: Mutex<Coord>,
     sync: StdMutex<SyncState>,
     sync_cv: Condvar,
@@ -256,6 +274,12 @@ impl SocketTransport {
             .and_then(|v| v.parse().ok())
         {
             rcfg.timeout_us = us;
+        }
+        if let Some(bytes) = std::env::var("DASHMM_ARQ_MAX_BYTES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            rcfg.max_unacked_bytes = bytes;
         }
         let suspicion = Duration::from_millis(env_ms("DASHMM_SUSPICION_MS", DEFAULT_SUSPICION_MS));
         Self::with_options(rank, ranks, peers, cfg, timeout, faults, rcfg, suspicion)
@@ -324,6 +348,14 @@ impl SocketTransport {
             epoch: AtomicU32::new(0),
             done_epoch: AtomicU32::new(0),
             peer_down: AtomicU32::new(PEER_NONE),
+            recover: AtomicBool::new(
+                std::env::var("DASHMM_RECOVER").is_ok_and(|v| v == "1" || v == "true"),
+            ),
+            fenced: AtomicBool::new(false),
+            severed: AtomicBool::new(false),
+            failure: Mutex::new(None),
+            recv_from: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+            ledger: Mutex::new(None),
             sent: AtomicU64::new(0),
             recv: AtomicU64::new(0),
             stat_bytes_sent: AtomicU64::new(0),
@@ -360,6 +392,24 @@ impl SocketTransport {
         self.shared.faults
     }
 
+    /// Switch recovery mode on or off (also set by `DASHMM_RECOVER=1` at
+    /// construction).  With recovery on, [`Transport::fence_peer`] accepts
+    /// a convicted peer (other than rank 0) instead of refusing.
+    pub fn set_recover(&self, on: bool) {
+        self.shared.recover.store(on, Ordering::SeqCst);
+    }
+
+    /// Test hook modelling a process death: abruptly sever this rank from
+    /// the mesh.  The progress thread shuts every peer socket down without
+    /// a goodbye and exits, sends become no-ops, and `poll_quiescence`
+    /// reports true so a runtime blocked on this rank returns.  Peers
+    /// observe the hangup exactly as they would a crash.
+    pub fn sever(&self) {
+        self.shared.severed.store(true, Ordering::SeqCst);
+        self.shared.out_cv.notify_all();
+        self.shared.sync_cv.notify_all();
+    }
+
     /// Snapshot of the communication metrics (decoder-side counters are
     /// folded in at snapshot time).
     pub fn metrics(&self) -> CommMetrics {
@@ -374,12 +424,22 @@ impl SocketTransport {
         let arq = self.shared.arq.lock();
         m.retransmit_frames = arq.senders.iter().map(|t| t.retransmits()).sum();
         m.dup_frames_rx = arq.receivers.iter().map(|r| r.duplicates()).sum();
+        m.retransmit_queue_peak = arq
+            .senders
+            .iter()
+            .map(|t| t.peak_unacked_bytes() as u64)
+            .max()
+            .unwrap_or(0);
+        drop(arq);
+        m.failure = *self.shared.failure.lock();
         m
     }
 
     fn check_peer_down(&self, what: &str) -> std::io::Result<()> {
         let down = self.shared.peer_down.load(Ordering::SeqCst);
-        if down != PEER_NONE {
+        // A fenced peer is an accounted-for death: collectives proceed
+        // over the survivor set instead of failing fast.
+        if down != PEER_NONE && !self.shared.fenced.load(Ordering::SeqCst) {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::BrokenPipe,
                 format!("{what} aborted: rank {down} is down"),
@@ -523,17 +583,23 @@ impl Transport for SocketTransport {
             let mut out = s.out.lock().unwrap();
             out.coalescer.set_epoch(epoch);
         }
-        // Release parcels that raced ahead of this run.
-        let due: Vec<(u32, Vec<Parcel>)> = {
+        // Release parcels that raced ahead of this run.  Staged traffic
+        // from a fenced (dead) rank is discarded: recovery re-derives its
+        // work at the DAG level, and delivering it would double-apply.
+        let dead = fenced_dead(s);
+        let due: Vec<(u32, u32, Vec<Parcel>)> = {
             let mut staged = s.staged.lock();
+            if dead != PEER_NONE {
+                staged.retain(|(_, src, _)| *src != dead);
+            }
             let (due, keep) = std::mem::take(&mut *staged)
                 .into_iter()
-                .partition(|(e, _)| *e <= epoch);
+                .partition(|(e, _, _)| *e <= epoch);
             *staged = keep;
             due
         };
-        for (_, parcels) in due {
-            deliver_parcels(s, parcels);
+        for (_, src, parcels) in due {
+            deliver_parcels(s, src, parcels);
         }
     }
 
@@ -542,12 +608,47 @@ impl Transport for SocketTransport {
         let hooks = s.hooks.get().unwrap_or_else(|| fatal("send before attach"));
         let dest = parcel.target.locality;
         debug_assert!(dest != s.rank && dest < s.ranks);
+        if s.severed.load(Ordering::Relaxed) {
+            // This rank is "dead": nothing leaves it any more.
+            return;
+        }
+        if s.peer_down.load(Ordering::Relaxed) == dest {
+            // The destination is convicted.  Without recovery the run is
+            // aborting anyway; with recovery the parcel's work will be
+            // recomputed at the re-owner, so queueing it would only wedge
+            // outbound-drain accounting on a lane that can never ack.
+            s.metrics.lock().fenced_dropped_parcels += 1;
+            return;
+        }
+        // Bounded retransmit queue: a stalled peer that stops acking must
+        // not grow the ARQ queue without limit.  Enforced only here on the
+        // worker path — the progress thread owns ack processing and can
+        // never block on this bound.
+        let abort_pending = || {
+            // An unfenced conviction is aborting the run: stop blocking.
+            // A *fenced* one keeps running over the survivors, so
+            // backpressure stays in force on their (live) lanes.
+            s.peer_down.load(Ordering::Relaxed) != PEER_NONE && !s.fenced.load(Ordering::Relaxed)
+        };
+        let mut arq_stalled = false;
+        while !s.stop.load(Ordering::Relaxed)
+            && !s.severed.load(Ordering::Relaxed)
+            && !abort_pending()
+            && s.arq.lock().senders[dest as usize].unacked_bytes() > s.rcfg.max_unacked_bytes
+        {
+            if !arq_stalled {
+                arq_stalled = true;
+                s.metrics.lock().arq_backpressure_stalls += 1;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
         let now = (hooks.now_ns)();
         let mut out = s.out.lock().unwrap();
         let mut stalled = false;
         while out.queued_bytes > s.cfg.max_queue_bytes
             && !s.stop.load(Ordering::Relaxed)
-            && s.peer_down.load(Ordering::Relaxed) == PEER_NONE
+            && !s.severed.load(Ordering::Relaxed)
+            && !abort_pending()
         {
             if !stalled {
                 stalled = true;
@@ -574,6 +675,11 @@ impl Transport for SocketTransport {
 
     fn poll_quiescence(&self, locally_idle: bool) -> bool {
         let s = &self.shared;
+        if s.severed.load(Ordering::SeqCst) {
+            // A severed ("dead") rank reports quiescent so its runtime
+            // returns instead of waiting on a mesh it no longer has.
+            return true;
+        }
         locally_idle && s.done_epoch.load(Ordering::SeqCst) >= s.epoch.load(Ordering::SeqCst)
     }
 
@@ -596,19 +702,118 @@ impl Transport for SocketTransport {
         let p = self.shared.peer_down.load(Ordering::SeqCst);
         (p != PEER_NONE).then_some(p)
     }
+
+    fn failed_peer_info(&self) -> Option<PeerFailure> {
+        let recorded = *self.shared.failure.lock();
+        recorded.or_else(|| {
+            self.failed_peer().map(|rank| PeerFailure {
+                rank,
+                epoch: self.shared.epoch.load(Ordering::SeqCst),
+                reason: ConvictionReason::HeartbeatTimeout,
+            })
+        })
+    }
+
+    fn fence_peer(&self, dead: u32) -> bool {
+        let s = &self.shared;
+        // Rank 0 is the termination coordinator: its loss is out of
+        // recovery scope (documented in FAULTS.md), as is fencing without
+        // recovery mode or fencing a rank that was never convicted.
+        if !s.recover.load(Ordering::SeqCst)
+            || dead == 0
+            || dead == s.rank
+            || dead >= s.ranks
+            || s.peer_down.load(Ordering::SeqCst) != dead
+        {
+            return false;
+        }
+        if !s.fenced.swap(true, Ordering::SeqCst) {
+            // First fence: discard every outbound artifact aimed at the
+            // dead rank so survivor-side drain accounting can close.
+            // Recovery replays the lost work at the DAG level; the wire
+            // must simply stop waiting for a lane that can never ack.
+            let (_frames, arq_parcels, _bytes) =
+                s.arq.lock().senders[dead as usize].drain_unacked();
+            let mut coalesced_dropped = 0u64;
+            {
+                let mut out = s.out.lock().unwrap();
+                let d = dead as usize;
+                let queued: usize = out.queues[d].iter().map(|(f, _)| f.len()).sum();
+                out.queued_bytes -= queued - out.offsets[d];
+                out.parcel_frames -= out.queues[d].iter().filter(|(_, p)| *p).count();
+                out.queues[d].clear();
+                out.offsets[d] = 0;
+                out.pocket[d] = None;
+                out.delayed.retain(|(_, dest, _)| *dest != dead);
+                out.deferred.retain(|f| {
+                    if f.dest == dead {
+                        coalesced_dropped += f.parcels as u64;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                // The coalescer has no per-destination drop, so seal every
+                // buffer and re-queue the live ones; the one-time flush
+                // perturbs batch composition, which batched operators
+                // tolerate by construction.
+                let flushes = out.coalescer.flush_all(crate::metrics::FlushReason::Shutdown);
+                for f in flushes {
+                    if f.dest == dead {
+                        coalesced_dropped += f.parcels as u64;
+                    } else {
+                        enqueue_flush(s, &mut out, f);
+                    }
+                }
+            }
+            s.staged.lock().retain(|(_, src, _)| *src != dead);
+            s.metrics.lock().fenced_dropped_parcels += arq_parcels + coalesced_dropped;
+            eprintln!(
+                "dashmm-net: rank {}: fenced dead rank {dead} ({} outbound parcels discarded)",
+                s.rank,
+                arq_parcels + coalesced_dropped
+            );
+        }
+        // A gather already in flight when the fence landed would wait on
+        // the dead rank's part forever; re-evaluate with its slot voided.
+        let gens: Vec<u32> = s.coord.lock().gather_parts.keys().copied().collect();
+        for gen in gens {
+            check_gather_complete(s, gen);
+        }
+        s.sync_cv.notify_all();
+        s.out_cv.notify_all();
+        true
+    }
+
+    fn set_ledger(&self, ledger: Arc<ProgressLedger>) {
+        *self.shared.ledger.lock() = Some(ledger);
+    }
+}
+
+/// The convicted-and-fenced rank, or [`PEER_NONE`] when no peer is fenced.
+/// Termination detection and collectives exclude this rank.
+fn fenced_dead(s: &Shared) -> u32 {
+    if s.fenced.load(Ordering::SeqCst) {
+        s.peer_down.load(Ordering::SeqCst)
+    } else {
+        PEER_NONE
+    }
 }
 
 /// Declare `r` dead: close its lane, unblock collectives and senders.
-/// The runtime observes this through [`Transport::failed_peer`].
-fn mark_peer_down(s: &Shared, r: u32, why: &str) {
+/// The runtime observes this through [`Transport::failed_peer`] and the
+/// full conviction record through [`Transport::failed_peer_info`].
+fn mark_peer_down(s: &Shared, r: u32, reason: ConvictionReason, why: &str) {
     if s.peer_down
         .compare_exchange(PEER_NONE, r, Ordering::SeqCst, Ordering::SeqCst)
         .is_ok()
     {
+        let epoch = s.epoch.load(Ordering::SeqCst);
+        *s.failure.lock() = Some(PeerFailure { rank: r, epoch, reason });
         eprintln!(
-            "dashmm-net: rank {}: peer rank {r} down: {why} (epoch {}, done {})",
+            "dashmm-net: rank {}: peer rank {r} down: {why} [{}] (epoch {epoch}, done {})",
             s.rank,
-            s.epoch.load(Ordering::SeqCst),
+            reason.name(),
             s.done_epoch.load(Ordering::SeqCst)
         );
     }
@@ -744,8 +949,9 @@ fn enqueue_control_locked(s: &Shared, out: &mut Outbound, dest: u32, kind: Frame
     out.queues[dest as usize].push_back((frame, false));
 }
 
-/// Deliver decoded parcels into the scheduler, counting them received.
-fn deliver_parcels(s: &Shared, parcels: Vec<Parcel>) {
+/// Deliver decoded parcels into the scheduler, counting them received
+/// (globally and per source, for survivor-set termination accounting).
+fn deliver_parcels(s: &Shared, src: u32, parcels: Vec<Parcel>) {
     let hooks = s
         .hooks
         .get()
@@ -755,6 +961,7 @@ fn deliver_parcels(s: &Shared, parcels: Vec<Parcel>) {
         (hooks.deliver)(p);
     }
     s.recv.fetch_add(n, Ordering::SeqCst);
+    s.recv_from[src as usize].fetch_add(n, Ordering::SeqCst);
 }
 
 fn push_trace(s: &Shared, class: u8, start_ns: u64, end_ns: u64) {
@@ -764,10 +971,20 @@ fn push_trace(s: &Shared, class: u8, start_ns: u64, end_ns: u64) {
     }
 }
 
-/// Move a completed gather to the client side if all parts arrived.
+/// Move a completed gather to the client side if all parts arrived.  A
+/// fenced rank's part can never arrive: its slot completes as an empty
+/// blob, which callers in recovery mode filter out.
 fn check_gather_complete(s: &Shared, gen: u32) {
+    let dead = fenced_dead(s);
     let parts = {
         let mut c = s.coord.lock();
+        if dead != PEER_NONE {
+            if let Some(parts) = c.gather_parts.get_mut(&gen) {
+                if parts[dead as usize].is_none() {
+                    parts[dead as usize] = Some(Vec::new());
+                }
+            }
+        }
         match c.gather_parts.get(&gen) {
             Some(parts) if parts.iter().all(|p| p.is_some()) => c
                 .gather_parts
@@ -800,10 +1017,10 @@ fn process_parcels_body(s: &Shared, src: u32, body: &[u8], start: u64) {
         .fetch_add(body.len() as u64, Ordering::SeqCst);
     let cur = s.epoch.load(Ordering::SeqCst);
     if epoch > cur {
-        s.staged.lock().push((epoch, parcels));
+        s.staged.lock().push((epoch, src, parcels));
     } else {
         debug_assert_eq!(epoch, cur, "parcel frame from a finished epoch");
-        deliver_parcels(s, parcels);
+        deliver_parcels(s, src, parcels);
         if let Some(h) = s.hooks.get() {
             push_trace(s, TRACE_CLASS_RX, start, (h.now_ns)());
         }
@@ -850,6 +1067,16 @@ fn handle_frame(s: &Shared, src: u32, kind: FrameKind, body: Vec<u8>, peer_close
         FrameKind::Heartbeat => {
             // Liveness is tracked on any received bytes (`Peer::last_rx`);
             // the frame itself needs no handling.
+        }
+        FrameKind::Ledger => {
+            // Progress-ledger gossip: merge the peer's snapshot (monotone,
+            // so stale or reordered gossip is harmless).  Malformed bodies
+            // are dropped — gossip is best-effort by design.
+            if let Some(snap) = LedgerSnapshot::decode(&body) {
+                if let Some(ledger) = s.ledger.lock().as_ref() {
+                    ledger.merge_peer(&snap);
+                }
+            }
         }
         FrameKind::Parcels => {
             // Legacy unsequenced path (not emitted by this build, but the
@@ -931,21 +1158,42 @@ fn handle_frame(s: &Shared, src: u32, kind: FrameKind, body: Vec<u8>, peer_close
     }
 }
 
-/// Rank-0 only: evaluate termination and release due barriers.
+/// Rank-0 only: evaluate termination and release due barriers.  When a
+/// peer is fenced, both run over the survivor set: the dead rank's stale
+/// STATUS is ignored, it owes no barrier arrival, and the survivors'
+/// reported counters already exclude their channels to and from it — so
+/// `Σsent == Σrecv` balances over live lanes only.
 fn coordinate(s: &Shared) {
     let cur = s.epoch.load(Ordering::SeqCst);
+    let dead = fenced_dead(s);
+    let live = |r: usize| r as u32 != dead;
     let mut c = s.coord.lock();
     // Termination detection (see module docs).
     if cur > 0 && c.done_sent_epoch < cur {
         let snapshot = c.status.clone();
-        if snapshot.iter().all(|st| st.epoch == cur) {
-            let sent: u64 = snapshot.iter().map(|st| st.sent).sum();
-            let recv: u64 = snapshot.iter().map(|st| st.recv).sum();
+        if snapshot
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| live(*r))
+            .all(|(_, st)| st.epoch == cur)
+        {
+            let live_sum = |f: fn(&RankStatus) -> u64| -> u64 {
+                snapshot
+                    .iter()
+                    .enumerate()
+                    .filter(|(r, _)| live(*r))
+                    .map(|(_, st)| f(st))
+                    .sum()
+            };
+            let sent = live_sum(|st| st.sent);
+            let recv = live_sum(|st| st.recv);
             if sent == recv {
                 let confirmed = c.candidate.as_ref().is_some_and(|prev| {
                     prev.iter()
                         .zip(&snapshot)
-                        .all(|(a, b)| a.sent == b.sent && a.recv == b.recv && b.seq > a.seq)
+                        .enumerate()
+                        .filter(|(r, _)| live(*r))
+                        .all(|(_, (a, b))| a.sent == b.sent && a.recv == b.recv && b.seq > a.seq)
                 });
                 if confirmed {
                     c.done_sent_epoch = cur;
@@ -953,7 +1201,9 @@ fn coordinate(s: &Shared) {
                     drop(c);
                     s.done_epoch.fetch_max(cur, Ordering::SeqCst);
                     for dest in 1..s.ranks {
-                        enqueue_control(s, dest, FrameKind::Done, &cur.to_le_bytes());
+                        if live(dest as usize) {
+                            enqueue_control(s, dest, FrameKind::Done, &cur.to_le_bytes());
+                        }
                     }
                     c = s.coord.lock();
                 } else {
@@ -964,13 +1214,21 @@ fn coordinate(s: &Shared) {
             }
         }
     }
-    // Barrier release.
+    // Barrier release (a fenced rank owes no arrival).
     let next = c.barrier_released + 1;
-    if c.barrier_arrived.iter().all(|&g| g >= next) {
+    if c
+        .barrier_arrived
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| live(*r))
+        .all(|(_, &g)| g >= next)
+    {
         c.barrier_released = next;
         drop(c);
         for dest in 1..s.ranks {
-            enqueue_control(s, dest, FrameKind::BarrierRelease, &next.to_le_bytes());
+            if live(dest as usize) {
+                enqueue_control(s, dest, FrameKind::BarrierRelease, &next.to_le_bytes());
+            }
         }
         let mut sync = s.sync.lock().unwrap();
         sync.barrier_release_gen = sync.barrier_release_gen.max(next);
@@ -1048,7 +1306,7 @@ fn pump_reads(s: &Shared, r: u32) -> bool {
         if !peer.closed && !done && !s.stop.load(Ordering::Relaxed) {
             peer.closed = true;
             drop(peer);
-            mark_peer_down(s, r, &why);
+            mark_peer_down(s, r, ConvictionReason::DirtyClose, &why);
             return progressed;
         }
         // `done` also holds before the first epoch opens (0 >= 0), so a
@@ -1103,26 +1361,53 @@ fn pump_writes(s: &Shared) -> bool {
                     continue;
                 }
                 Err(e) => {
-                    if s.stop.load(Ordering::Relaxed)
+                    let known_gone = s.stop.load(Ordering::Relaxed)
                         || peer.closed
-                        || s.peer_down.load(Ordering::Relaxed) == r
-                    {
-                        // Peer gone (shutdown race or declared down): drop
-                        // its queue.
-                        let mut dropped = frame.len() - off;
-                        dropped += out.queues[r as usize]
-                            .iter()
-                            .map(|(f, _)| f.len())
-                            .sum::<usize>();
-                        out.queued_bytes -= dropped;
-                        out.parcel_frames -=
-                            out.queues[r as usize].iter().filter(|(_, p)| *p).count()
-                                + usize::from(is_parcels);
-                        out.offsets[r as usize] = 0;
-                        out.queues[r as usize].clear();
-                        break;
+                        || s.peer_down.load(Ordering::Relaxed) == r;
+                    let conn_dead = matches!(
+                        e.kind(),
+                        std::io::ErrorKind::BrokenPipe
+                            | std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::ConnectionAborted
+                    );
+                    if !known_gone && !conn_dead {
+                        fatal(&format!("rank {}: write to rank {r}: {e}", s.rank));
                     }
-                    fatal(&format!("rank {}: write to rank {r}: {e}", s.rank));
+                    // Peer gone (shutdown race, declared down, or its
+                    // socket died under this very write — the same crash
+                    // signal the reader sees as a hangup, racing it here):
+                    // drop its queue.
+                    let mut dropped = frame.len() - off;
+                    dropped += out.queues[r as usize]
+                        .iter()
+                        .map(|(f, _)| f.len())
+                        .sum::<usize>();
+                    out.queued_bytes -= dropped;
+                    out.parcel_frames -=
+                        out.queues[r as usize].iter().filter(|(_, p)| *p).count()
+                            + usize::from(is_parcels);
+                    out.offsets[r as usize] = 0;
+                    out.queues[r as usize].clear();
+                    if !known_gone {
+                        // Mirror the read-side hangup discipline: convict
+                        // while the epoch's work is open, otherwise just
+                        // remember the dirty close for the suspicion sweep.
+                        let done = s.done_epoch.load(Ordering::SeqCst)
+                            >= s.epoch.load(Ordering::SeqCst);
+                        peer.closed = true;
+                        if !done {
+                            drop(peer);
+                            mark_peer_down(
+                                s,
+                                r,
+                                ConvictionReason::DirtyClose,
+                                &format!("write failed: {e}"),
+                            );
+                        } else {
+                            peer.dirty = true;
+                        }
+                    }
+                    break;
                 }
             }
         }
@@ -1206,14 +1491,21 @@ fn pump_reliability(s: &Shared, now: u64) -> bool {
 }
 
 /// Whether every outbound lane is drained *and acknowledged* — the gate on
-/// STATUS reports that keeps termination loss-safe.
+/// STATUS reports that keeps termination loss-safe.  A fenced rank's lane
+/// is exempt: it was drained at the fence and can never ack again.
 fn outbound_clear(s: &Shared, out: &Outbound) -> bool {
+    let dead = fenced_dead(s);
     out.coalescer.is_empty()
         && out.parcel_frames == 0
         && out.delayed.is_empty()
         && out.pocket.iter().all(Option::is_none)
         && out.deferred.is_empty()
-        && s.arq.lock().senders.iter().all(|t| t.all_acked())
+        && s.arq
+            .lock()
+            .senders
+            .iter()
+            .enumerate()
+            .all(|(r, t)| r as u32 == dead || t.all_acked())
 }
 
 /// The per-locality progress engine.
@@ -1226,6 +1518,16 @@ fn progress_loop(s: &Shared) {
     let mut last_heartbeat = Instant::now();
     let heartbeat_every = (s.suspicion / 8).max(Duration::from_millis(5));
     loop {
+        // An injected sever models a process death without exiting the
+        // test process: shut every socket abruptly (no goodbye) and stop.
+        if s.severed.load(Ordering::SeqCst) {
+            for p in s.peers.iter().flatten() {
+                let _ = p.lock().stream.shutdown(std::net::Shutdown::Both);
+            }
+            s.out_cv.notify_all();
+            s.sync_cv.notify_all();
+            return;
+        }
         // Scheduled locality faults (the injected kill never says goodbye).
         if let Some(plan) = &s.faults {
             let elapsed_ms = started.elapsed().as_millis() as u64;
@@ -1298,15 +1600,30 @@ fn progress_loop(s: &Shared) {
             {
                 last_status_ns = now;
                 own_seq += 1;
+                // When fenced, counters cover live lanes only: parcels the
+                // dead rank acked before dying leave Σsent, and parcels it
+                // delivered to us leave Σrecv — the survivor-set balance.
+                let dead = fenced_dead(s);
                 let sent_acked: u64 = {
                     let arq = s.arq.lock();
-                    arq.senders.iter().map(|t| t.acked_parcels()).sum()
+                    arq.senders
+                        .iter()
+                        .enumerate()
+                        .filter(|(r, _)| *r as u32 != dead)
+                        .map(|(_, t)| t.acked_parcels())
+                        .sum()
                 };
+                let recv = s.recv.load(Ordering::SeqCst)
+                    - if dead != PEER_NONE {
+                        s.recv_from[dead as usize].load(Ordering::SeqCst)
+                    } else {
+                        0
+                    };
                 let st = RankStatus {
                     epoch: s.epoch.load(Ordering::SeqCst),
                     seq: own_seq,
                     sent: sent_acked,
-                    recv: s.recv.load(Ordering::SeqCst),
+                    recv,
                 };
                 if s.rank == 0 {
                     s.coord.lock().status[0] = st;
@@ -1322,6 +1639,24 @@ fn progress_loop(s: &Shared) {
             // Heartbeats + suspicion.
             if !stopping && last_heartbeat.elapsed() >= heartbeat_every {
                 last_heartbeat = Instant::now();
+                // Progress-ledger gossip rides the heartbeat cadence: fold
+                // the current ARQ ack watermarks in, then ship a snapshot
+                // to every live peer.
+                let ledger_body: Option<Vec<u8>> = {
+                    let ledger = s.ledger.lock();
+                    ledger.as_ref().map(|l| {
+                        let arq = s.arq.lock();
+                        for r in 0..s.ranks {
+                            if r != s.rank {
+                                l.note_acked(r, arq.senders[r as usize].acked_parcels());
+                            }
+                        }
+                        drop(arq);
+                        let mut body = Vec::new();
+                        l.snapshot().encode(&mut body);
+                        body
+                    })
+                };
                 let mut out = s.out.lock().unwrap();
                 for r in 0..s.ranks {
                     if r == s.rank || s.peers[r as usize].is_none() {
@@ -1332,6 +1667,9 @@ fn progress_loop(s: &Shared) {
                         enqueue_control_locked(s, &mut out, r, FrameKind::Heartbeat, &[]);
                         s.metrics.lock().heartbeats_tx += 1;
                         push_trace(s, TRACE_CLASS_HEARTBEAT, now, now);
+                        if let Some(body) = &ledger_body {
+                            enqueue_control_locked(s, &mut out, r, FrameKind::Ledger, body);
+                        }
                     }
                 }
                 drop(out);
@@ -1350,13 +1688,19 @@ fn progress_loop(s: &Shared) {
                             mark_peer_down(
                                 s,
                                 r,
+                                ConvictionReason::HeartbeatTimeout,
                                 &format!("no traffic for {}ms", silent_for.as_millis()),
                             );
                         } else if closed && dirty && open_epoch {
                             // Crashed before the epoch opened (the hangup was
                             // provisionally treated as benign); now that work
                             // depends on this peer, convict it.
-                            mark_peer_down(s, r, "hung up before the epoch opened");
+                            mark_peer_down(
+                                s,
+                                r,
+                                ConvictionReason::DirtyClose,
+                                "hung up before the epoch opened",
+                            );
                         }
                     }
                 }
@@ -1578,6 +1922,128 @@ mod tests {
         let err = t0.barrier().expect_err("barrier must fail fast");
         assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
         t0.shutdown();
+    }
+
+    /// With recovery on, a convicted peer can be fenced: the survivor's
+    /// termination detection, barrier and gather all converge over the
+    /// survivor set instead of failing fast or hanging.
+    #[test]
+    fn fenced_peer_death_lets_survivor_finish() {
+        let (a, b) = pair();
+        let t0 = transport(0, a, CoalesceConfig::default());
+        t0.set_recover(true);
+        let t1 = transport(1, b, CoalesceConfig::default());
+        let idle0 = Arc::new(AtomicBool::new(false));
+        let idle1 = Arc::new(AtomicBool::new(true));
+        attach_counting(&t0, Arc::new(Mutex::new(Vec::new())), idle0.clone());
+        attach_counting(&t1, Arc::new(Mutex::new(Vec::new())), idle1.clone());
+        t0.begin_run();
+        t1.begin_run();
+        // Traffic toward the soon-to-die rank exercises the fence drain.
+        for i in 0..20u32 {
+            t0.send(Parcel::new(
+                ActionId(3),
+                GlobalAddress::new(1, i),
+                vec![0; 16],
+            ));
+        }
+        // Rank 1 "dies" abruptly: sockets shut with no goodbye.
+        t1.sever();
+        assert!(t1.poll_quiescence(false), "a severed rank reads quiescent");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while t0.failed_peer().is_none() {
+            assert!(Instant::now() < deadline, "peer death not detected");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let info = t0.failed_peer_info().expect("conviction record");
+        assert_eq!(info.rank, 1);
+        assert_eq!(info.reason, dashmm_amt::ConvictionReason::DirtyClose);
+        assert_eq!(info.epoch, 1, "conviction stamped with the open epoch");
+        assert!(t0.fence_peer(1), "recovery mode accepts the fence");
+        assert!(!t0.fence_peer(0), "rank 0 is never fenceable");
+        // Survivor-set termination must now converge with only rank 0.
+        idle0.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !t0.poll_quiescence(true) {
+            assert!(
+                Instant::now() < deadline,
+                "survivor termination not detected after fence"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Collectives proceed over the survivor set.
+        t0.barrier().expect("fenced barrier releases");
+        let parts = t0.gather(b"alive").expect("fenced gather").unwrap();
+        assert_eq!(parts[0], b"alive");
+        assert!(parts[1].is_empty(), "dead rank contributes an empty part");
+        let m = t0.metrics();
+        assert_eq!(m.failure.map(|f| f.rank), Some(1));
+        t0.shutdown();
+        t1.shutdown();
+    }
+
+    /// A peer that stops acking (stalled progress thread) cannot grow the
+    /// sender's retransmit queue past the configured bound — the worker
+    /// blocks instead, and the peak is metered.
+    #[test]
+    fn stalled_peer_bounds_retransmit_queue() {
+        let (a, b) = pair();
+        let cap = 4 * 1024;
+        let rcfg = RetransmitConfig {
+            // Long timeout: no retransmissions muddy the byte accounting.
+            timeout_us: 5_000_000,
+            max_unacked_bytes: cap,
+            ..RetransmitConfig::default()
+        };
+        let mut peers = vec![None, None];
+        peers[1] = Some(a);
+        // Rank 1 never attaches: it reads nothing and acks nothing — the
+        // stalled-peer model (`b` stays open so writes keep succeeding).
+        let t0 = Arc::new(SocketTransport::with_options(
+            0,
+            2,
+            peers,
+            CoalesceConfig::disabled(),
+            Duration::from_secs(30),
+            None,
+            rcfg,
+            Duration::from_secs(60),
+        ));
+        let idle = Arc::new(AtomicBool::new(false));
+        attach_counting(&t0, Arc::new(Mutex::new(Vec::new())), idle);
+        t0.begin_run();
+        let sender = std::thread::spawn({
+            let t0 = Arc::clone(&t0);
+            move || {
+                for i in 0..2_000u32 {
+                    t0.send(Parcel::new(
+                        ActionId(3),
+                        GlobalAddress::new(1, i),
+                        vec![0; 64],
+                    ));
+                }
+            }
+        });
+        let deadline = Instant::now() + Duration::from_secs(15);
+        while t0.metrics().arq_backpressure_stalls == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "sender never hit the ARQ bound (peak {} B)",
+                t0.metrics().retransmit_queue_peak
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let peak = t0.metrics().retransmit_queue_peak;
+        // One worker can overshoot by at most one in-flight frame.
+        assert!(
+            peak as usize <= cap + 2 * 1024,
+            "retransmit queue grew past its bound: peak {peak} B, cap {cap} B"
+        );
+        // Shutdown releases the blocked sender (120K parcels of backlog
+        // never materialise in memory).
+        t0.shutdown();
+        sender.join().unwrap();
+        drop(b);
     }
 
     /// With faults disabled the ARQ layer is pure bookkeeping: no

@@ -97,6 +97,11 @@ pub enum FrameKind {
     /// Telemetry snapshot (server → client): `req_id u64 | len u32 |
     /// snapshot JSON (UTF-8) × len` (see `service::encode_stats_response`).
     StatsResponse = 18,
+    /// Progress-ledger gossip on the heartbeat path: a
+    /// `dashmm_amt::LedgerSnapshot` in its own encoding (see
+    /// `ledger::LedgerSnapshot::encode`).  Best-effort: a malformed body
+    /// is dropped, never fatal.
+    Ledger = 19,
 }
 
 impl FrameKind {
@@ -120,6 +125,7 @@ impl FrameKind {
             16 => FrameKind::StepSources,
             17 => FrameKind::StatsRequest,
             18 => FrameKind::StatsResponse,
+            19 => FrameKind::Ledger,
             _ => return None,
         })
     }

@@ -14,6 +14,7 @@ fn cfg(reorder_window: usize) -> RetransmitConfig {
         max_backoff_us: 40,
         jitter_frac: 0.0,
         reorder_window,
+        ..RetransmitConfig::default()
     }
 }
 

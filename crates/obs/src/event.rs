@@ -21,8 +21,10 @@ pub const CLASS_NET_RETRANSMIT: u8 = EdgeOp::COUNT as u8 + 4;
 pub const CLASS_NET_ACK: u8 = EdgeOp::COUNT as u8 + 5;
 /// Instant: a liveness heartbeat was sent.
 pub const CLASS_NET_HEARTBEAT: u8 = EdgeOp::COUNT as u8 + 6;
+/// Recovery span (re-ownership, DAG slice rebuild, replay after a peer loss).
+pub const CLASS_RECOVERY: u8 = EdgeOp::COUNT as u8 + 7;
 /// Total number of trace classes (operators + runtime/transport classes).
-pub const CLASS_COUNT: usize = EdgeOp::COUNT + 7;
+pub const CLASS_COUNT: usize = EdgeOp::COUNT + 8;
 /// Sentinel class meaning "do not trace this LCO".
 pub const CLASS_NONE: u8 = u8::MAX;
 
@@ -40,6 +42,7 @@ pub fn class_name(class: u8) -> &'static str {
         CLASS_NET_RETRANSMIT => "net-retransmit",
         CLASS_NET_ACK => "net-ack",
         CLASS_NET_HEARTBEAT => "net-heartbeat",
+        CLASS_RECOVERY => "recovery",
         _ => "?",
     }
 }
@@ -107,8 +110,10 @@ mod tests {
         assert_eq!(CLASS_NET_RETRANSMIT, 15);
         assert_eq!(CLASS_NET_ACK, 16);
         assert_eq!(CLASS_NET_HEARTBEAT, 17);
-        assert_eq!(CLASS_COUNT, 18);
+        assert_eq!(CLASS_RECOVERY, 18);
+        assert_eq!(CLASS_COUNT, 19);
         assert_eq!(class_name(2), "M→M");
+        assert_eq!(class_name(CLASS_RECOVERY), "recovery");
         assert_eq!(class_name(CLASS_NET_RX), "net-rx");
         assert_eq!(class_name(CLASS_NET_RETRANSMIT), "net-retransmit");
         assert_eq!(class_name(200), "?");

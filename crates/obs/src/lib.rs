@@ -32,7 +32,8 @@ pub use chrome::{chrome_trace, chrome_trace_parts, ChromePart};
 pub use critical::{critical_path, CriticalPathReport, PathStep, SLACK_BUCKETS_US};
 pub use event::{
     class_name, TraceEvent, CLASS_COUNT, CLASS_LCO_TRIGGER, CLASS_NET_ACK, CLASS_NET_HEARTBEAT,
-    CLASS_NET_RETRANSMIT, CLASS_NET_RX, CLASS_NET_TX, CLASS_NONE, CLASS_PARCEL_FLUSH, NO_TAG,
+    CLASS_NET_RETRANSMIT, CLASS_NET_RX, CLASS_NET_TX, CLASS_NONE, CLASS_PARCEL_FLUSH,
+    CLASS_RECOVERY, NO_TAG,
 };
 pub use merge::{
     align_ranks, decode_rank_trace, encode_rank_trace, merged_chrome_trace, RankTrace,
