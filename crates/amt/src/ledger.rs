@@ -69,7 +69,11 @@ pub struct PeerFailure {
 
 impl fmt::Display for PeerFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "rank {} ({}, epoch {})", self.rank, self.reason, self.epoch)
+        write!(
+            f,
+            "rank {} ({}, epoch {})",
+            self.rank, self.reason, self.epoch
+        )
     }
 }
 
@@ -127,10 +131,14 @@ impl LedgerSnapshot {
         const MAX_RANKS: u32 = 1 << 16;
         const MAX_NODES: u32 = 1 << 28;
         let u32_at = |off: usize| -> Option<u32> {
-            bytes.get(off..off + 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+            bytes
+                .get(off..off + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
         };
         let u64_at = |off: usize| -> Option<u64> {
-            bytes.get(off..off + 8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            bytes
+                .get(off..off + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
         };
         let rank = u32_at(0)?;
         let generation = u64_at(4)?;
@@ -261,7 +269,11 @@ impl ProgressLedger {
         LedgerSnapshot {
             rank: self.rank,
             generation,
-            acked: self.acked.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            acked: self
+                .acked
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
             fired,
             num_nodes: self.num_nodes,
         }
@@ -394,6 +406,9 @@ mod tests {
             reason: ConvictionReason::DirtyClose,
         };
         assert_eq!(f.to_string(), "rank 2 (dirty_close, epoch 5)");
-        assert_eq!(ConvictionReason::HeartbeatTimeout.name(), "heartbeat_timeout");
+        assert_eq!(
+            ConvictionReason::HeartbeatTimeout.name(),
+            "heartbeat_timeout"
+        );
     }
 }

@@ -42,8 +42,8 @@ pub mod transport;
 pub use addr::GlobalAddress;
 pub use batch::{EdgeBatcher, DEFAULT_BATCH_THRESHOLD};
 pub use fault::{FaultPlan, FrameFate, KillSpec, StallSpec, ENV_FAULTS};
-pub use ledger::{ConvictionReason, LedgerSnapshot, PeerFailure, ProgressLedger};
 pub use lco::{LcoOp, LcoSpec};
+pub use ledger::{ConvictionReason, LedgerSnapshot, PeerFailure, ProgressLedger};
 pub use parcel::{decode_f64s, encode_f64s, ActionId, Parcel, Priority};
 pub use runtime::{RunReport, Runtime, RuntimeConfig, TaskCtx};
 pub use trace::{

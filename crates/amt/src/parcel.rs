@@ -9,16 +9,56 @@ use crate::addr::GlobalAddress;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ActionId(pub u32);
 
-/// Binary task priority — the scheduling extension the paper proposes
-/// (§V-C/§VI): critical-path work (the source-tree up-sweep) can be marked
-/// [`Priority::High`] so the scheduler drains it first.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum Priority {
-    /// Critical-path work, drained before normal work.
-    High,
-    /// Everything else.
-    #[default]
-    Normal,
+/// Graded task priority.  The paper's scheduling extension (§V-C/§VI) is a
+/// binary high/normal bit; the priority-lattice pass generalises it to
+/// [`Priority::CLASSES`] ordered classes where level 0 is the most urgent
+/// and level `CLASSES - 1` the least.  Smaller level ⇒ drained first.
+///
+/// [`Priority::High`] (level 0) and [`Priority::Normal`] (the middle
+/// class) are retained as named constants: binary-mode callers and the
+/// paper-faithful ablation baseline use exactly those two, while the
+/// lattice emits the full range via [`Priority::class`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(u8);
+
+impl Priority {
+    /// Number of priority classes carried on the wire and indexed by the
+    /// scheduler's run queues.  Must match the DAG lattice's
+    /// `PRIORITY_CLASSES` (asserted where the two crates meet).
+    pub const CLASSES: u8 = 8;
+
+    /// Most urgent class — what the paper's binary extension calls "high".
+    #[allow(non_upper_case_globals)]
+    pub const High: Priority = Priority(0);
+
+    /// Default class for unranked work, the middle of the lattice so a
+    /// computed lattice can both promote and demote relative to it.
+    #[allow(non_upper_case_globals)]
+    pub const Normal: Priority = Priority(Self::CLASSES / 2);
+
+    /// Graded priority at `level`, clamped to the valid range.
+    #[inline]
+    pub fn class(level: u8) -> Priority {
+        Priority(level.min(Self::CLASSES - 1))
+    }
+
+    /// The class level, `0..CLASSES` (0 = most urgent).
+    #[inline]
+    pub fn level(self) -> u8 {
+        self.0
+    }
+
+    /// More urgent than default work?
+    #[inline]
+    pub fn is_urgent(self) -> bool {
+        self.0 < Self::Normal.0
+    }
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::Normal
+    }
 }
 
 /// An active message: an action to perform at a global address, with
@@ -54,6 +94,21 @@ impl Parcel {
             target,
             payload,
             priority: Priority::High,
+        }
+    }
+
+    /// Construct a parcel at an explicit graded priority.
+    pub fn graded(
+        action: ActionId,
+        target: GlobalAddress,
+        payload: Vec<u8>,
+        priority: Priority,
+    ) -> Self {
+        Parcel {
+            action,
+            target,
+            payload,
+            priority,
         }
     }
 
@@ -113,5 +168,24 @@ mod tests {
         assert_eq!(p.priority, Priority::Normal);
         let h = Parcel::high(ActionId(0), GlobalAddress::new(0, 0), vec![]);
         assert_eq!(h.priority, Priority::High);
+        let g = Parcel::graded(
+            ActionId(0),
+            GlobalAddress::new(0, 0),
+            vec![],
+            Priority::class(2),
+        );
+        assert_eq!(g.priority.level(), 2);
+    }
+
+    #[test]
+    fn priority_grading() {
+        assert_eq!(Priority::High.level(), 0);
+        assert_eq!(Priority::Normal.level(), Priority::CLASSES / 2);
+        assert!(Priority::High < Priority::Normal);
+        assert!(Priority::High.is_urgent());
+        assert!(!Priority::Normal.is_urgent());
+        // Out-of-range levels clamp to the least-urgent class.
+        assert_eq!(Priority::class(200).level(), Priority::CLASSES - 1);
+        assert_eq!(Priority::default(), Priority::Normal);
     }
 }

@@ -1,7 +1,7 @@
 //! The runtime: localities, scheduler, global operations.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Instant, SystemTime};
 
@@ -10,11 +10,11 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::addr::GlobalAddress;
 use crate::lco::{LcoCell, LcoSpec};
+use crate::ledger::PeerFailure;
 use crate::parcel::{decode_f64s, encode_f64s, ActionId, Parcel, Priority};
 use crate::trace::{
     ClassCounters, ObsLevel, SpanRing, TraceEvent, TraceSet, CLASS_LCO_TRIGGER, CLASS_NONE, NO_TAG,
 };
-use crate::ledger::PeerFailure;
 use crate::transport::{SharedMem, Transport, TransportHooks};
 
 /// Runtime configuration.
@@ -24,8 +24,10 @@ pub struct RuntimeConfig {
     pub localities: usize,
     /// Scheduler threads per locality (the paper ran one per core).
     pub workers_per_locality: usize,
-    /// Honour [`Priority::High`] ahead of normal work — the scheduling
-    /// extension proposed in the paper's conclusions.  When `false`, the
+    /// Honour graded [`Priority`] classes, most urgent first — the
+    /// scheduling extension proposed in the paper's conclusions,
+    /// generalised to `Priority::CLASSES` indexed run queues so a computed
+    /// priority lattice can interleave phases.  When `false`, the
     /// scheduler is oblivious to priorities, reproducing the behaviour the
     /// paper measures.
     pub priority_scheduling: bool,
@@ -68,9 +70,26 @@ pub const ACTION_LCO_SET: ActionId = ActionId(0);
 /// Built-in action: register a continuation parcel on an LCO.
 pub const ACTION_REGISTER_CONT: ActionId = ActionId(1);
 
+/// Indexed run-queue classes (one shared injector per [`Priority`] level).
+const N_CLASSES: usize = Priority::CLASSES as usize;
+
+/// Every `STARVATION_PERIOD`-th dequeue serves the *least* urgent occupied
+/// class instead of the most urgent one, so low classes drain (slowly)
+/// even under a sustained stream of urgent work.
+const STARVATION_PERIOD: u64 = 61;
+
 struct Locality {
-    injector_high: Injector<Task>,
-    injector: Injector<Task>,
+    /// One injector per priority class, indexed by [`Priority::level`]
+    /// (0 = most urgent).  Replaces the former high/normal pair: a dequeue
+    /// is a masked scan over at most `N_CLASSES` bits rather than a linear
+    /// walk of a combined deque.
+    queues: [Injector<Task>; N_CLASSES],
+    /// Bit `c` set ⇒ `queues[c]` may be non-empty.  A hint: set after every
+    /// push, cleared (and racily re-verified) on an empty steal, so no task
+    /// can be stranded with its bit lost.
+    occupancy: AtomicU32,
+    /// Dequeues served, driving the anti-starvation escape hatch.
+    served: AtomicU64,
     lcos: RwLock<Vec<Arc<LcoCell>>>,
     blocks: RwLock<Vec<RwLock<Vec<u8>>>>,
     msgs_sent: AtomicU64,
@@ -80,12 +99,60 @@ struct Locality {
 impl Locality {
     fn new() -> Self {
         Locality {
-            injector_high: Injector::new(),
-            injector: Injector::new(),
+            queues: std::array::from_fn(|_| Injector::new()),
+            occupancy: AtomicU32::new(0),
+            served: AtomicU64::new(0),
             lcos: RwLock::new(Vec::new()),
             blocks: RwLock::new(Vec::new()),
             msgs_sent: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
+        }
+    }
+
+    /// Push onto the class queue and publish the occupancy bit.
+    fn push_class(&self, priority: Priority, task: Task) {
+        let level = priority.level() as usize;
+        self.queues[level].push(task);
+        self.occupancy.fetch_or(1 << level, Ordering::Release);
+    }
+
+    /// Queue `level` came up empty: clear its hint bit, then re-set it if a
+    /// concurrent push raced the clear.
+    fn note_empty(&self, level: usize) {
+        self.occupancy
+            .fetch_and(!(1u32 << level), Ordering::Release);
+        if !self.queues[level].is_empty() {
+            self.occupancy.fetch_or(1 << level, Ordering::Release);
+        }
+    }
+
+    /// Batch-steal from class `level` into the worker's deque.
+    fn try_pop_batch(&self, level: usize, local: &Worker<Task>) -> Option<Task> {
+        loop {
+            match self.queues[level].steal_batch_and_pop(local) {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => {
+                    self.note_empty(level);
+                    return None;
+                }
+                Steal::Retry => {}
+            }
+        }
+    }
+
+    /// Steal a single task from class `level` (no batching — used by the
+    /// anti-starvation hatch so low-priority work is not bulk-promoted
+    /// into the worker's local deque).
+    fn try_steal_one(&self, level: usize) -> Option<Task> {
+        loop {
+            match self.queues[level].steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => {
+                    self.note_empty(level);
+                    return None;
+                }
+                Steal::Retry => {}
+            }
         }
     }
 }
@@ -386,11 +453,12 @@ impl Runtime {
         );
         self.pending.fetch_add(1, Ordering::SeqCst);
         let l = &self.localities[locality as usize];
-        if self.cfg.priority_scheduling && task.priority() == Priority::High {
-            l.injector_high.push(task);
+        let priority = if self.cfg.priority_scheduling {
+            task.priority()
         } else {
-            l.injector.push(task);
-        }
+            Priority::Normal
+        };
+        l.push_class(priority, task);
     }
 
     fn register_continuation_local(
@@ -516,20 +584,16 @@ impl Runtime {
             // the pending counter returns to zero and `reset()` (and a
             // subsequent recovery run) stay usable after the abort.
             for loc in &self.localities {
-                loop {
-                    match loc.injector_high.steal() {
-                        Steal::Success(_) => {}
-                        Steal::Empty => break,
-                        Steal::Retry => {}
+                for q in &loc.queues {
+                    loop {
+                        match q.steal() {
+                            Steal::Success(_) => {}
+                            Steal::Empty => break,
+                            Steal::Retry => {}
+                        }
                     }
                 }
-                loop {
-                    match loc.injector.steal() {
-                        Steal::Success(_) => {}
-                        Steal::Empty => break,
-                        Steal::Retry => {}
-                    }
-                }
+                loc.occupancy.store(0, Ordering::SeqCst);
             }
             self.pending.store(0, Ordering::SeqCst);
         }
@@ -647,23 +711,55 @@ impl Runtime {
         loc: &Locality,
         worker: usize,
     ) -> Option<Task> {
-        // High-priority work first (no-op unless priority scheduling is on,
-        // since nothing is enqueued there otherwise).
-        loop {
-            match loc.injector_high.steal_batch_and_pop(&ctx.local) {
-                Steal::Success(t) => return Some(t),
-                Steal::Empty => break,
-                Steal::Retry => {}
+        // Indexed multi-level dequeue: the occupancy mask turns "find the
+        // most urgent non-empty class" into a handful of bit tests instead
+        // of the former linear high-first deque scan.
+        let normal = Priority::Normal.level() as usize;
+        let mask = loc.occupancy.load(Ordering::Acquire);
+        if mask != 0 && self.cfg.priority_scheduling {
+            // Anti-starvation escape hatch: periodically serve the least
+            // urgent occupied class so Normal-and-below work still drains
+            // under a sustained stream of urgent tasks.
+            let turn = loc.served.fetch_add(1, Ordering::Relaxed);
+            if turn % STARVATION_PERIOD == STARVATION_PERIOD - 1 {
+                // Least-urgent work may live in a shared class queue or —
+                // after a batch steal promoted it — in the local deque.
+                let most = mask.trailing_zeros();
+                let least = 31 - mask.leading_zeros();
+                if least > most {
+                    if let Some(t) = loc.try_steal_one(least as usize) {
+                        return Some(t);
+                    }
+                }
+                if let Some(t) = ctx.local.pop() {
+                    return Some(t);
+                }
+            }
+        }
+        // Classes more urgent than Normal pre-empt the worker's own deque
+        // (the role the high injector used to play).
+        if mask != 0 {
+            for level in 0..normal {
+                if mask & (1 << level) != 0 {
+                    if let Some(t) = loc.try_pop_batch(level, &ctx.local) {
+                        return Some(t);
+                    }
+                }
             }
         }
         if let Some(t) = ctx.local.pop() {
             return Some(t);
         }
-        loop {
-            match loc.injector.steal_batch_and_pop(&ctx.local) {
-                Steal::Success(t) => return Some(t),
-                Steal::Empty => break,
-                Steal::Retry => {}
+        // Remaining classes, most urgent first (re-read the mask: urgent
+        // work may have arrived while the local deque drained).
+        let mask = loc.occupancy.load(Ordering::Acquire);
+        if mask != 0 {
+            for level in 0..N_CLASSES {
+                if mask & (1 << level) != 0 {
+                    if let Some(t) = loc.try_pop_batch(level, &ctx.local) {
+                        return Some(t);
+                    }
+                }
             }
         }
         // Randomized stealing from sibling workers.
@@ -706,7 +802,7 @@ fn encode_continuation(parcel: &Parcel, include_data: bool, out: &mut Vec<u8>) {
     out.extend_from_slice(&parcel.action.0.to_le_bytes());
     out.extend_from_slice(&parcel.target.pack().to_le_bytes());
     out.push(include_data as u8);
-    out.push((parcel.priority == Priority::High) as u8);
+    out.push(parcel.priority.level());
     out.extend_from_slice(&(parcel.payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&parcel.payload);
 }
@@ -715,13 +811,10 @@ fn decode_continuation(bytes: &[u8]) -> (Parcel, bool) {
     let action = ActionId(u32::from_le_bytes(bytes[0..4].try_into().unwrap()));
     let target = GlobalAddress::unpack(u64::from_le_bytes(bytes[4..12].try_into().unwrap()));
     let include_data = bytes[12] != 0;
-    let high = bytes[13] != 0;
+    let priority = Priority::class(bytes[13]);
     let plen = u32::from_le_bytes(bytes[14..18].try_into().unwrap()) as usize;
     let payload = bytes[18..18 + plen].to_vec();
-    let mut p = Parcel::new(action, target, payload);
-    if high {
-        p.priority = Priority::High;
-    }
+    let p = Parcel::graded(action, target, payload, priority);
     (p, include_data)
 }
 
@@ -756,10 +849,11 @@ impl<'a> TaskCtx<'a> {
     ) {
         self.rt.pending.fetch_add(1, Ordering::SeqCst);
         let task = Task::Local(Box::new(f), priority);
-        if self.rt.cfg.priority_scheduling && priority == Priority::High {
-            self.rt.localities[self.locality as usize]
-                .injector_high
-                .push(task);
+        if self.rt.cfg.priority_scheduling && priority != Priority::Normal {
+            // Graded work goes through the shared class queues so every
+            // worker sees its rank; Normal work stays on the cheap local
+            // deque as before.
+            self.rt.localities[self.locality as usize].push_class(priority, task);
         } else {
             self.local.push(task);
         }
@@ -772,10 +866,9 @@ impl<'a> TaskCtx<'a> {
         if parcel.target.locality == self.locality {
             self.rt.pending.fetch_add(1, Ordering::SeqCst);
             let task = Task::Parcel(parcel);
-            if self.rt.cfg.priority_scheduling && task.priority() == Priority::High {
-                self.rt.localities[self.locality as usize]
-                    .injector_high
-                    .push(task);
+            let priority = task.priority();
+            if self.rt.cfg.priority_scheduling && priority != Priority::Normal {
+                self.rt.localities[self.locality as usize].push_class(priority, task);
             } else {
                 self.local.push(task);
             }
@@ -1258,7 +1351,10 @@ mod tests {
         let rep = r.run();
         let fail = rep.lost_peer.expect("peer loss surfaced");
         assert_eq!(fail.rank, 1);
-        assert_eq!(fail.reason, crate::ledger::ConvictionReason::HeartbeatTimeout);
+        assert_eq!(
+            fail.reason,
+            crate::ledger::ConvictionReason::HeartbeatTimeout
+        );
         assert!(!rep.completed());
         assert!(!rep.fenced, "transport without fencing support aborts");
         assert_eq!(ran.load(Ordering::SeqCst), 1, "local work still drained");
@@ -1367,6 +1463,92 @@ mod tests {
         assert_eq!(r.lco_get(a), Some(vec![6.0]));
         // Triggered cells refuse re-arming.
         assert!(!r.lco_rearm(a, 1));
+    }
+
+    #[test]
+    fn normal_work_drains_under_sustained_high_load() {
+        // Starvation regression for the indexed multi-level run queue: a
+        // self-replenishing chain of High tasks keeps the urgent class
+        // permanently occupied on a single worker.  Without the escape
+        // hatch, strict priority order would run the entire chain before
+        // any Normal task; the hatch must interleave Normal work while the
+        // chain is still alive.
+        const CHAIN: u64 = 4000;
+        const NORMALS: u64 = 30;
+        let r = Runtime::new(RuntimeConfig {
+            localities: 1,
+            workers_per_locality: 1,
+            priority_scheduling: true,
+            obs: ObsLevel::Off,
+        });
+        let high_done = Arc::new(AtomicU64::new(0));
+        let normal_seen_at = Arc::new(Mutex::new(Vec::new()));
+        for _ in 0..NORMALS {
+            let hd = high_done.clone();
+            let seen = normal_seen_at.clone();
+            r.seed(0, move |_| {
+                seen.lock().push(hd.load(Ordering::SeqCst));
+            });
+        }
+        fn link(ctx: &TaskCtx, remaining: u64, done: Arc<AtomicU64>) {
+            done.fetch_add(1, Ordering::SeqCst);
+            if remaining > 0 {
+                ctx.spawn_with_priority(move |c| link(c, remaining - 1, done), Priority::High);
+            }
+        }
+        {
+            let hd = high_done.clone();
+            r.seed(0, move |ctx| link(ctx, CHAIN - 1, hd));
+        }
+        r.run();
+        assert_eq!(high_done.load(Ordering::SeqCst), CHAIN);
+        let seen = normal_seen_at.lock();
+        assert_eq!(seen.len() as u64, NORMALS);
+        assert!(
+            seen.iter().all(|&at| at < CHAIN),
+            "every Normal task must run while High work is still flowing; \
+             saw completions at {:?} of {} chain tasks",
+            *seen,
+            CHAIN
+        );
+    }
+
+    #[test]
+    fn graded_classes_dequeue_most_urgent_first() {
+        // One worker, seeds parked behind a blocked gate: after release,
+        // tasks must drain class 0 → class 7 regardless of enqueue order.
+        let r = Runtime::new(RuntimeConfig {
+            localities: 1,
+            workers_per_locality: 1,
+            priority_scheduling: true,
+            obs: ObsLevel::Off,
+        });
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let act = {
+            let o = order.clone();
+            r.register_action(Arc::new(move |_ctx, target, _payload: &[u8]| {
+                o.lock().push(target.index as u8);
+            }))
+        };
+        let o = order.clone();
+        r.seed(0, move |ctx| {
+            let _ = &o;
+            for level in (0..Priority::CLASSES).rev() {
+                ctx.send(Parcel::graded(
+                    act,
+                    GlobalAddress::new(0, level as u32),
+                    vec![],
+                    Priority::class(level),
+                ));
+            }
+        });
+        r.run();
+        let got = order.lock().clone();
+        assert_eq!(
+            got,
+            (0..Priority::CLASSES).collect::<Vec<u8>>(),
+            "graded parcels drain most-urgent class first"
+        );
     }
 
     #[test]

@@ -35,15 +35,20 @@ enum Op {
 /// Weighted op choice (the shim has no `prop_oneof`): selector 0–3 fires,
 /// 4–5 acks, 6–7 gossips whole, 8 crashes mid-gossip, 9 redelivers.
 fn op_strategy() -> impl Strategy<Value = Op> {
-    (0u8..10, 0..NODES as u32, 0u32..RANKS, 0u64..1000, 0usize..200).prop_map(
-        |(sel, id, peer, cum, misc)| match sel {
+    (
+        0u8..10,
+        0..NODES as u32,
+        0u32..RANKS,
+        0u64..1000,
+        0usize..200,
+    )
+        .prop_map(|(sel, id, peer, cum, misc)| match sel {
             0..=3 => Op::Fire(id),
             4 | 5 => Op::Ack(peer, cum),
             6 | 7 => Op::Gossip,
             8 => Op::CrashGossip(misc),
             _ => Op::Redeliver(misc),
-        },
-    )
+        })
 }
 
 /// What the publisher has truly done so far — the ground truth every
@@ -69,10 +74,7 @@ fn check_view(view: &LedgerSnapshot, truth: &Truth, floor: &Truth) {
             );
         }
         if floor.fired.contains(&id) {
-            assert!(
-                view.is_fired(id),
-                "observer lost cemented node {id}"
-            );
+            assert!(view.is_fired(id), "observer lost cemented node {id}");
         }
     }
     for r in 0..RANKS as usize {

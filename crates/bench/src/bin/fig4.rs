@@ -15,10 +15,12 @@
 //! potentials against a single-process reference and prints the measured
 //! communication next to the simulator's prediction for the same machine.
 
-use dashmm_amt::utilization_total;
+use dashmm_amt::{utilization_total, ObsLevel};
 use dashmm_bench::report::{downsample, sparkline, write_csv};
 use dashmm_bench::{banner, build_workload, cost_model, distribute, obsout, socket, Opts};
-use dashmm_sim::{simulate, NetworkModel, SimConfig};
+use dashmm_core::{DashmmBuilder, LatticeHint, Method, PriorityLattice, SchedPolicy};
+use dashmm_kernels::Laplace;
+use dashmm_sim::{simulate, simulate_lattice, NetworkModel, SimConfig};
 
 const INTERVALS: usize = 100;
 const CORES_PER_LOCALITY: usize = 32;
@@ -37,8 +39,10 @@ fn main() {
     let net = NetworkModel::gemini();
 
     let mut dips = Vec::new();
+    let mut lat_dips = Vec::new();
     println!("\n k     n=64    n=128   n=512");
     let mut curves = Vec::new();
+    let mut lat_curves = Vec::new();
     for localities in [2usize, 4, 16] {
         distribute(&w.problem, &mut w.asm, localities as u32);
         let cfg = SimConfig {
@@ -50,14 +54,21 @@ fn main() {
         };
         let r = simulate(&w.asm.dag, &cost, &net, &cfg);
         let u = utilization_total(&r.trace, INTERVALS);
+        // Same machine under the computed priority lattice (overlay).
+        let lattice = PriorityLattice::compute(&w.asm.dag, &LatticeHint::uniform());
+        let rl = simulate_lattice(&w.asm.dag, &cost, &net, &cfg, &lattice);
+        let ul = utilization_total(&rl.trace, INTERVALS);
         eprintln!(
-            "n={}: makespan {:.1} ms, mean utilization {:.1}%",
+            "n={}: makespan {:.1} ms (lattice {:.1} ms), mean utilization {:.1}%",
             localities * CORES_PER_LOCALITY,
             r.makespan_us / 1e3,
+            rl.makespan_us / 1e3,
             100.0 * u.iter().sum::<f64>() / INTERVALS as f64
         );
         dips.push(dip_width(&u));
+        lat_dips.push(dip_width(&ul));
         curves.push(u);
+        lat_curves.push(ul);
     }
     for k in 0..INTERVALS {
         println!(
@@ -66,7 +77,14 @@ fn main() {
         );
     }
     for (i, loc) in [64usize, 128, 512].iter().enumerate() {
-        println!("n={loc:<4} {}", sparkline(&downsample(&curves[i], 50)));
+        println!(
+            "n={loc:<4} fifo    {}",
+            sparkline(&downsample(&curves[i], 50))
+        );
+        println!(
+            "n={loc:<4} lattice {}",
+            sparkline(&downsample(&lat_curves[i], 50))
+        );
     }
     let csv = std::path::Path::new("results/fig4_utilization.csv");
     let rows = (0..INTERVALS).map(|k| {
@@ -75,9 +93,26 @@ fn main() {
             curves[0][k].to_string(),
             curves[1][k].to_string(),
             curves[2][k].to_string(),
+            lat_curves[0][k].to_string(),
+            lat_curves[1][k].to_string(),
+            lat_curves[2][k].to_string(),
         ]
     });
-    if write_csv(csv, &["interval", "n64", "n128", "n512"], rows).is_ok() {
+    if write_csv(
+        csv,
+        &[
+            "interval",
+            "n64",
+            "n128",
+            "n512",
+            "n64_lattice",
+            "n128_lattice",
+            "n512_lattice",
+        ],
+        rows,
+    )
+    .is_ok()
+    {
         eprintln!("wrote {}", csv.display());
     }
 
@@ -105,24 +140,43 @@ fn main() {
         .enumerate()
     {
         println!(
-            "n={:<4} plateau {:>5.1}%  terminal-dip width {:>4.1}% of run",
+            "n={:<4} plateau {:>5.1}%  terminal-dip width {:>4.1}% of run (lattice {:>4.1}%)",
             loc * 32,
             plateau(&curves[i]) * 100.0,
-            d * 100.0
+            d * 100.0,
+            lat_dips[i] * 100.0,
         );
     }
-    check(
+    let mut ok = true;
+    ok &= check(
         "plateaus are high (≥ 75%)",
         curves.iter().all(|u| plateau(u) > 0.75),
     );
-    check(
+    ok &= check(
         "terminal dip width grows with locality count",
         dips[0] <= dips[1] + 0.02 && dips[1] <= dips[2] + 0.02 && dips[2] > dips[0],
     );
-    check(
+    ok &= check(
         "single-locality run is the most efficient",
         plateau1 >= plateau(&curves[2]),
     );
+    ok &= check(
+        "lattice narrows the terminal trough (never wider, strictly narrower at 512 cores)",
+        lat_dips.iter().zip(&dips).all(|(l, f)| l <= &(f + 1e-9)) && lat_dips[2] < dips[2],
+    );
+
+    // With span tracing or the trough gate enabled, repeat the trough
+    // comparison on the *measured* threaded runtime: same workload, 2
+    // localities sharing an in-process transport, FIFO vs lattice.
+    if opts.obs.spans() || opts.trough_gate {
+        ok &= measured_troughs(&opts);
+    }
+
+    // `--trough-gate` promotes the shape checks to hard failures (the CI
+    // pipeline lane); plain runs and the tiny-N smoke lanes just print.
+    if !ok && opts.trough_gate {
+        std::process::exit(1);
+    }
 
     // `--obs counters|full`: run the workload on the real runtime, export
     // the Chrome trace / run_summary.json, report the observed critical
@@ -130,6 +184,67 @@ fn main() {
     if !obsout::obs_study("fig4", &opts) {
         std::process::exit(1);
     }
+}
+
+/// Measured utilization-trough comparison: evaluate the workload on the
+/// real runtime (2 localities × `--workers`) under FIFO and under the
+/// computed lattice and derive the fig4 terminal-dip width from the span
+/// traces.  The dip comparison is advisory — wall-clock trace shapes on a
+/// shared/oversubscribed host are not reproducible enough to gate on (the
+/// hard gates are the deterministic sim troughs above and the sim/measured
+/// lattice-fingerprint parity in `ablation_priority`).  The run still
+/// gates on both schedules completing with span traces.
+fn measured_troughs(opts: &Opts) -> bool {
+    println!(
+        "\n--- measured troughs (threaded runtime, 2 localities × {} workers) ---",
+        opts.workers
+    );
+    let mn = opts.n.min(60_000);
+    let capped = Opts {
+        n: mn,
+        ..opts.clone()
+    };
+    let (sources, targets, charges) = capped.ensembles();
+    let run = |policy: SchedPolicy| {
+        let eval = DashmmBuilder::new(Laplace)
+            .method(Method::AdvancedFmm)
+            .threshold(opts.threshold)
+            .machine(2, opts.workers)
+            .obs(ObsLevel::Full)
+            .schedule(policy)
+            .build(&sources, &charges, &targets);
+        let out = eval.evaluate();
+        let u = utilization_total(&out.report.trace, INTERVALS);
+        (
+            out.eval_ms,
+            dip_width(&u),
+            plateau(&u),
+            out.report.tasks,
+            out.report.messages,
+        )
+    };
+    let (fifo_ms, fifo_dip, fifo_plateau, fifo_tasks, fifo_msgs) = run(SchedPolicy::Fifo);
+    let (lat_ms, lat_dip, lat_plateau, lat_tasks, lat_msgs) =
+        run(SchedPolicy::Lattice(LatticeHint::uniform()));
+    println!(
+        "fifo    {fifo_ms:>8.1} ms  plateau {:>5.1}%  dip width {:>4.1}%  ({fifo_tasks} tasks, {fifo_msgs} msgs)",
+        fifo_plateau * 100.0,
+        fifo_dip * 100.0
+    );
+    println!(
+        "lattice {lat_ms:>8.1} ms  plateau {:>5.1}%  dip width {:>4.1}%  ({lat_tasks} tasks, {lat_msgs} msgs)",
+        lat_plateau * 100.0,
+        lat_dip * 100.0
+    );
+    println!(
+        "[info] measured dip comparison is advisory (host-dependent): lattice {:.1}% vs fifo {:.1}%",
+        lat_dip * 100.0,
+        fifo_dip * 100.0
+    );
+    check(
+        "both measured schedules completed with span traces",
+        fifo_tasks > 0 && lat_tasks > 0 && fifo_plateau > 0.0 && lat_plateau > 0.0,
+    )
 }
 
 /// Mean utilization over the middle of the run (intervals 20–60).
@@ -148,6 +263,7 @@ fn dip_width(u: &[f64]) -> f64 {
     width as f64 / INTERVALS as f64
 }
 
-fn check(what: &str, ok: bool) {
+fn check(what: &str, ok: bool) -> bool {
     println!("[{}] {}", if ok { "ok" } else { "MISMATCH" }, what);
+    ok
 }

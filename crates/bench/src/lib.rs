@@ -61,6 +61,48 @@ pub struct Opts {
     /// the dead rank, re-own its DAG slice, and gate on the *recovered*
     /// answer instead of on a clean abort.
     pub recover: bool,
+    /// Scheduling policy for measured runs (`--schedule fifo|binary|lattice`).
+    pub sched: SchedMode,
+    /// Promote the pipelined-scheduling shape checks (utilization troughs,
+    /// critical-path shortening) to hard failures (`--trough-gate`).  Kept
+    /// separate from `--obs-gate` because the trough shapes only hold at
+    /// realistic problem sizes, while the tracing-overhead gate runs on
+    /// tiny smoke workloads.
+    pub trough_gate: bool,
+}
+
+/// Scheduling policy selector for measured runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedMode {
+    /// No priorities (the paper's measured baseline).
+    Fifo,
+    /// The paper's proposed binary up-sweep priority.
+    Binary,
+    /// The computed priority lattice (uniform hint).
+    Lattice,
+}
+
+impl SchedMode {
+    /// Parse `fifo` / `binary` / `lattice`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fifo" => Some(SchedMode::Fifo),
+            "binary" => Some(SchedMode::Binary),
+            "lattice" => Some(SchedMode::Lattice),
+            _ => None,
+        }
+    }
+
+    /// The core scheduling policy this selector names.
+    pub fn policy(self) -> dashmm_core::SchedPolicy {
+        match self {
+            SchedMode::Fifo => dashmm_core::SchedPolicy::Fifo,
+            SchedMode::Binary => dashmm_core::SchedPolicy::Binary,
+            SchedMode::Lattice => {
+                dashmm_core::SchedPolicy::Lattice(dashmm_core::LatticeHint::uniform())
+            }
+        }
+    }
 }
 
 /// How localities are realised when a binary actually evaluates (rather
@@ -102,6 +144,8 @@ impl Default for Opts {
             faults: None,
             budget_s: None,
             recover: false,
+            sched: SchedMode::Fifo,
+            trough_gate: false,
         }
     }
 }
@@ -123,7 +167,8 @@ impl Opts {
        [--cost paper|measured|paper-refreshed] [--no-coalesce] \
        [--localities L] [--workers W] [--transport shared|socket] \
        [--obs off|counters|full] [--obs-gate PCT] \
-       [--faults SPEC] [--budget-s SECS] [--recover]",
+       [--faults SPEC] [--budget-s SECS] [--recover] \
+       [--schedule fifo|binary|lattice] [--trough-gate]",
                 args.first().map(String::as_str).unwrap_or("bench")
             );
             std::process::exit(2);
@@ -222,6 +267,15 @@ impl Opts {
                 }
                 "--recover" => {
                     o.recover = true;
+                    i += 1;
+                }
+                "--schedule" => {
+                    o.sched = SchedMode::parse(value(i, "--schedule"))
+                        .unwrap_or_else(|| usage("--schedule expects fifo|binary|lattice"));
+                    i += 2;
+                }
+                "--trough-gate" => {
+                    o.trough_gate = true;
                     i += 1;
                 }
                 other => usage(&format!("unknown option {other}")),

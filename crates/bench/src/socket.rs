@@ -21,9 +21,9 @@ use dashmm_net::{bootstrap, f64s_to_bytes, merge_sum_f64, Role, SocketTransport}
 use dashmm_obs::json::{obj, Value};
 use dashmm_obs::summary::{utilization_section, write_summary};
 use dashmm_obs::{encode_rank_trace, merged_chrome_trace, validate_chrome_trace};
-use dashmm_sim::{simulate, NetworkModel, SimConfig};
+use dashmm_sim::{simulate, simulate_lattice, NetworkModel, SimConfig};
 
-use crate::{cost_model, Opts, TransportMode};
+use crate::{cost_model, Opts, SchedMode, TransportMode};
 
 /// Relative L2 error of `got` versus `want`.
 fn rel_err(got: &[f64], want: &[f64]) -> f64 {
@@ -105,6 +105,7 @@ fn rank_eval<K: Kernel>(
         .threshold(opts.threshold)
         .machine(opts.localities, opts.workers)
         .obs(opts.obs)
+        .schedule(opts.sched.policy())
         .transport(Arc::clone(transport) as Arc<dyn Transport>)
         .build(&sources, &charges, &targets);
     let t0 = Instant::now();
@@ -151,6 +152,25 @@ fn rank_eval<K: Kernel>(
             "[rank 0] merged potentials vs single-process: rel err {e:.2e} [{}]",
             if e < 1e-12 { "ok" } else { "MISMATCH" }
         );
+        if opts.sched == SchedMode::Lattice {
+            // SPMD / sim parity: the measured run's lattice fingerprint
+            // must match a fresh rank-independent computation over the
+            // same DAG (the value the simulator uses too).
+            let sim_fp = dashmm_core::PriorityLattice::compute(
+                eval.dag(),
+                &dashmm_core::LatticeHint::uniform(),
+            )
+            .fingerprint();
+            let measured_fp = out.lattice_fingerprint;
+            let parity = measured_fp == Some(sim_fp);
+            ok &= parity;
+            println!(
+                "[rank 0] lattice fingerprint parity: measured {:016x} vs sim {:016x} [{}]",
+                measured_fp.unwrap_or(0),
+                sim_fp,
+                if parity { "ok" } else { "MISMATCH" }
+            );
+        }
         let communicated = m.per_dest.iter().any(|d| d.parcels > 0 && d.frames > 0);
         ok &= communicated;
         println!(
@@ -225,18 +245,22 @@ fn rank_eval<K: Kernel>(
             let cost = cost_model(opts, opts.cost);
             let mut net = NetworkModel::gemini();
             net.coalesce = transport.coalesce_config();
-            let sim = simulate(
-                eval.dag(),
-                &cost,
-                &net,
-                &SimConfig {
-                    localities: opts.localities,
-                    cores_per_locality: opts.workers,
-                    priority: false,
-                    trace: false,
-                    levelwise: false,
-                },
-            );
+            let sim_cfg = SimConfig {
+                localities: opts.localities,
+                cores_per_locality: opts.workers,
+                priority: opts.sched == SchedMode::Binary,
+                trace: false,
+                levelwise: false,
+            };
+            let sim = if opts.sched == SchedMode::Lattice {
+                let lat = dashmm_core::PriorityLattice::compute(
+                    eval.dag(),
+                    &dashmm_core::LatticeHint::uniform(),
+                );
+                simulate_lattice(eval.dag(), &cost, &net, &sim_cfg, &lat)
+            } else {
+                simulate(eval.dag(), &cost, &net, &sim_cfg)
+            };
             println!(
                 "[rank 0] simulated: {:.1} ms makespan, {} messages, {} bytes \
                  (same DAG, distribution and coalescing config)",

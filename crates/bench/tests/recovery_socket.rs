@@ -145,7 +145,10 @@ fn severed_rank_is_recovered_by_survivors() {
     }
     // Re-ownership is a pure function of the DAG and the dead rank, so
     // every survivor must have derived the identical re-owned set.
-    assert_eq!(reowned[0], reowned[1], "survivors disagree on the re-owned set");
+    assert_eq!(
+        reowned[0], reowned[1],
+        "survivors disagree on the re-owned set"
+    );
 
     // The recovered answer: survivors' partial potentials sum to the
     // fault-free single-process reference to machine precision.

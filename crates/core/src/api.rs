@@ -16,7 +16,7 @@ use dashmm_kernels::Kernel;
 use dashmm_tree::{BuildParams, Point3};
 
 use crate::assemble::{assemble, Assembly};
-use crate::exec::{ExecCtx, RecoveryStats};
+use crate::exec::{ExecCtx, RecoveryStats, SchedPolicy};
 use crate::problem::{block_owner, Method, Problem};
 
 /// Which distribution policy assigns DAG nodes to localities.
@@ -39,7 +39,7 @@ pub struct DashmmBuilder<K: Kernel> {
     threshold: usize,
     localities: usize,
     workers: usize,
-    priority: bool,
+    schedule: SchedPolicy,
     obs: ObsLevel,
     gradients: bool,
     policy: Policy,
@@ -58,7 +58,7 @@ impl<K: Kernel> DashmmBuilder<K> {
             threshold: 60,
             localities: 1,
             workers: 2,
-            priority: false,
+            schedule: SchedPolicy::Fifo,
             obs: ObsLevel::Off,
             gradients: false,
             policy: Policy::Fmm,
@@ -95,8 +95,22 @@ impl<K: Kernel> DashmmBuilder<K> {
     }
 
     /// Enable the binary critical-path priority (the paper's proposal).
+    /// Shorthand for [`DashmmBuilder::schedule`] with
+    /// [`SchedPolicy::Binary`] / [`SchedPolicy::Fifo`].
     pub fn priority(mut self, on: bool) -> Self {
-        self.priority = on;
+        self.schedule = if on {
+            SchedPolicy::Binary
+        } else {
+            SchedPolicy::Fifo
+        };
+        self
+    }
+
+    /// Select the scheduling policy: FIFO, the paper's binary priority,
+    /// or the computed priority lattice (optionally warmed by a previous
+    /// run's per-operator timings).
+    pub fn schedule(mut self, p: SchedPolicy) -> Self {
+        self.schedule = p;
         self
     }
 
@@ -200,7 +214,7 @@ impl<K: Kernel> DashmmBuilder<K> {
         let rt_cfg = RuntimeConfig {
             localities: self.localities,
             workers_per_locality: self.workers,
-            priority_scheduling: self.priority,
+            priority_scheduling: self.schedule.graded(),
             obs: self.obs,
         };
         let runtime = match self.transport {
@@ -212,7 +226,7 @@ impl<K: Kernel> DashmmBuilder<K> {
             lib,
             asm: Arc::new(asm),
             runtime,
-            priority: self.priority,
+            schedule: self.schedule,
             gradients: self.gradients,
             recover: self.recover,
             tree_ms,
@@ -245,7 +259,7 @@ pub struct Evaluation<K: Kernel> {
     lib: Arc<OperatorLibrary<K>>,
     asm: Arc<Assembly>,
     runtime: Arc<Runtime>,
-    priority: bool,
+    schedule: SchedPolicy,
     gradients: bool,
     recover: bool,
     /// Milliseconds spent building the dual tree.
@@ -286,6 +300,11 @@ pub struct EvalOutput {
     /// complete despite `report.lost_peer` being set.  `None` with
     /// `report.lost_peer` set means the output is partial.
     pub recovery: Option<RecoveryInfo>,
+    /// FNV-1a fingerprint of the computed lattice ranks under
+    /// [`SchedPolicy::Lattice`] (`None` otherwise).  Identical on every
+    /// SPMD process and in the simulator modelling the same DAG — the
+    /// pipeline CI lane's sim/measured parity check compares these.
+    pub lattice_fingerprint: Option<u64>,
 }
 
 impl<K: Kernel> Evaluation<K> {
@@ -324,7 +343,7 @@ impl<K: Kernel> Evaluation<K> {
             Arc::clone(&self.problem),
             Arc::clone(&self.lib),
             Arc::clone(&self.asm),
-            self.priority,
+            self.schedule.clone(),
             self.gradients,
             charges_morton,
         );
@@ -343,9 +362,7 @@ impl<K: Kernel> Evaluation<K> {
                 // scope: report the partial run.  Re-observing the same
                 // dead rank in the recovery run is benign (the conviction
                 // poll can race survivor quiescence).
-                let second_failure = rep2
-                    .lost_peer
-                    .is_some_and(|f2| f2.rank != failure.rank);
+                let second_failure = rep2.lost_peer.is_some_and(|f2| f2.rank != failure.rank);
                 let merged = merge_reports(&report, rep2);
                 report = merged;
                 if second_failure {
@@ -367,6 +384,7 @@ impl<K: Kernel> Evaluation<K> {
             }
         }
         let eval_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let lattice_fingerprint = exec.lattice_fingerprint();
         let (pot, grad) = exec.extract(&self.runtime);
         EvalOutput {
             potentials: self.problem.unsort_potentials(&pot),
@@ -382,6 +400,7 @@ impl<K: Kernel> Evaluation<K> {
             report,
             eval_ms,
             recovery,
+            lattice_fingerprint,
         }
     }
 
@@ -494,6 +513,40 @@ mod tests {
             .evaluate();
         let e = rel_err(&prio.potentials, &base.potentials);
         assert!(e < 1e-12, "priority must not change results: {e:.2e}");
+    }
+
+    #[test]
+    fn lattice_mode_same_answer_and_fingerprint() {
+        use dashmm_dag::LatticeHint;
+        let n = 800;
+        let sources = uniform_cube(n, 1);
+        let targets = uniform_cube(n, 2);
+        let charges = vec![1.0; n];
+        let base = DashmmBuilder::new(Laplace)
+            .threshold(20)
+            .machine(2, 2)
+            .build(&sources, &charges, &targets);
+        let lat = DashmmBuilder::new(Laplace)
+            .threshold(20)
+            .machine(2, 2)
+            .schedule(SchedPolicy::Lattice(LatticeHint::uniform()))
+            .build(&sources, &charges, &targets);
+        let b = base.evaluate();
+        let a = lat.evaluate();
+        let e = rel_err(&a.potentials, &b.potentials);
+        assert!(e < 1e-12, "lattice must not change results: {e:.2e}");
+        assert!(b.lattice_fingerprint.is_none());
+        let fp = a.lattice_fingerprint.expect("lattice mode fingerprints");
+        // The ranks are a pure function of the DAG: re-evaluating (and a
+        // separately built identical evaluation) reproduces the value.
+        assert_eq!(lat.evaluate().lattice_fingerprint, Some(fp));
+        let again = DashmmBuilder::new(Laplace)
+            .threshold(20)
+            .machine(2, 2)
+            .schedule(SchedPolicy::Lattice(LatticeHint::uniform()))
+            .build(&sources, &charges, &targets)
+            .evaluate();
+        assert_eq!(again.lattice_fingerprint, Some(fp));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use dashmm_amt::{
     Priority, ProgressLedger, Runtime, TaskCtx, CLASS_NONE, CLASS_RECOVERY,
     DEFAULT_BATCH_THRESHOLD,
 };
-use dashmm_dag::{DagEdge, EdgeOp, NodeClass};
+use dashmm_dag::{DagEdge, EdgeOp, LatticeHint, NodeClass, PriorityLattice, PRIORITY_CLASSES};
 use dashmm_expansion::{batch as opbatch, ops, BatchWorkspace, OperatorLibrary};
 use dashmm_kernels::Kernel;
 use dashmm_tree::Point3;
@@ -26,6 +26,37 @@ use parking_lot::RwLock;
 
 use crate::assemble::{unpack_i2i, Assembly};
 use crate::problem::Problem;
+
+// The runtime's priority classes and the lattice's quantisation must agree
+// for ranks to map onto parcel priorities byte-for-byte.
+const _: () = assert!(Priority::CLASSES as usize == PRIORITY_CLASSES);
+
+/// How the executor grades task and parcel priorities.
+#[derive(Clone, Debug, Default)]
+pub enum SchedPolicy {
+    /// No priorities: every task runs at `Normal` (the measured FIFO
+    /// baseline of paper §V).
+    #[default]
+    Fifo,
+    /// The paper's proposed binary fix (§VI): source-tree up-sweep work
+    /// (`S` seeds, edges into `M` nodes) runs `High`, everything else
+    /// `Normal`.
+    Binary,
+    /// Computed priority lattice: every DAG node ranked at build time by
+    /// its weighted distance to the critical sink, boundary nodes with
+    /// remote consumers boosted one class, and the rank carried through
+    /// task queues, coalesced parcels, and flush ordering.  The hint
+    /// tilts operator weights from a previous run's measured per-class
+    /// timings; [`LatticeHint::uniform`] works from nothing.
+    Lattice(LatticeHint),
+}
+
+impl SchedPolicy {
+    /// Whether the runtime should honor task priorities at all.
+    pub fn graded(&self) -> bool {
+        !matches!(self, SchedPolicy::Fifo)
+    }
+}
 
 /// Operator identity shared by a batch of edges: everything needed to look
 /// up (or rebuild) the one matrix / factor vector the whole batch applies.
@@ -47,6 +78,22 @@ enum BatchKey {
     /// Near-field `S→T` into the target leaf DAG node `dst`: all source
     /// leaves of one target block fuse into a single SoA evaluation.
     S2T { dst: u32 },
+}
+
+/// Which slice of a node's out-edge list one task processes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EdgeSel {
+    /// Every out-edge.
+    All,
+    /// Binary split: up-sweep edges (`S→M`/`M→M`) only.
+    Up,
+    /// Binary split: everything but the up-sweep.
+    Rest,
+    /// Lattice split: edges into destinations ranked more urgent than
+    /// `Normal`.
+    Urgent,
+    /// Lattice split: the non-urgent remainder.
+    Bulk,
 }
 
 /// One deposited edge awaiting its batch.
@@ -101,8 +148,10 @@ pub struct ExecCtx<K: Kernel> {
     pub lib: Arc<OperatorLibrary<K>>,
     /// The explicit DAG and box correspondence.
     pub asm: Arc<Assembly>,
-    /// Use the paper's proposed binary priority for up-sweep work.
-    pub priority: bool,
+    /// How tasks and parcels are graded.
+    pub policy: SchedPolicy,
+    /// Node ranks computed at construction under [`SchedPolicy::Lattice`].
+    lattice: Option<PriorityLattice>,
     /// Also compute field gradients at the targets.
     pub gradients: bool,
     /// Charges in source-tree Morton order (the iterative use case re-runs
@@ -153,7 +202,7 @@ impl<K: Kernel> ExecCtx<K> {
         problem: Arc<Problem>,
         lib: Arc<OperatorLibrary<K>>,
         asm: Arc<Assembly>,
-        priority: bool,
+        policy: SchedPolicy,
         gradients: bool,
         charges: Vec<f64>,
     ) -> Arc<Self> {
@@ -163,11 +212,19 @@ impl<K: Kernel> ExecCtx<K> {
             "one charge per source"
         );
         let n_edges = asm.dag.edges().len();
+        // Ranks are assigned at DAG-build time, before any task runs:
+        // the lattice is a pure function of the (replicated) DAG and
+        // hint, so every SPMD process computes identical ranks.
+        let lattice = match &policy {
+            SchedPolicy::Lattice(hint) => Some(PriorityLattice::compute(&asm.dag, hint)),
+            _ => None,
+        };
         Arc::new(ExecCtx {
             problem,
             lib,
             asm,
-            priority,
+            policy,
+            lattice,
             gradients,
             charges,
             lcos: RwLock::new(Vec::new()),
@@ -189,13 +246,36 @@ impl<K: Kernel> ExecCtx<K> {
         self.ledger.read().clone()
     }
 
-    /// Scheduling priority for tasks producing into a node of `class`.
+    /// Scheduling priority for work producing into DAG node `dst`: its
+    /// lattice rank under [`SchedPolicy::Lattice`], the binary class rule
+    /// under [`SchedPolicy::Binary`], `Normal` under [`SchedPolicy::Fifo`].
+    fn node_priority(&self, dst: u32) -> Priority {
+        match &self.lattice {
+            Some(lat) => Priority::class(lat.rank(dst)),
+            None => self.class_priority(self.asm.dag.node(dst).class),
+        }
+    }
+
+    /// The binary rule: tasks producing into `M` nodes run `High`.
     fn class_priority(&self, class: NodeClass) -> Priority {
-        if self.priority && matches!(class, NodeClass::M) {
+        if matches!(self.policy, SchedPolicy::Binary) && matches!(class, NodeClass::M) {
             Priority::High
         } else {
             Priority::Normal
         }
+    }
+
+    /// FNV-1a fingerprint of the computed lattice ranks (`None` unless
+    /// running under [`SchedPolicy::Lattice`]).  Every SPMD process — and
+    /// the simulator modelling the same DAG — must produce the same value;
+    /// the pipeline CI lane checks exactly that.
+    pub fn lattice_fingerprint(&self) -> Option<u64> {
+        self.lattice.as_ref().map(|l| l.fingerprint())
+    }
+
+    /// The computed lattice, if any.
+    pub fn lattice(&self) -> Option<&PriorityLattice> {
+        self.lattice.as_ref()
     }
 
     /// Register the coalesced-parcel action and allocate one LCO per DAG
@@ -376,14 +456,19 @@ impl<K: Kernel> ExecCtx<K> {
             let node = self.asm.dag.node(id);
             let locality = node.locality.min(n_loc - 1);
             let this = Arc::clone(self);
-            let high = self.priority && node.class == NodeClass::S;
+            let prio = match (&self.policy, &self.lattice) {
+                (SchedPolicy::Lattice(_), Some(lat)) => Priority::class(lat.rank(id)),
+                (SchedPolicy::Binary, _) if node.class == NodeClass::S => Priority::High,
+                _ => Priority::Normal,
+            };
             rt.seed(locality, move |ctx| {
-                if high {
-                    // Re-spawn at high priority so the up-sweep leads.
+                if prio != Priority::Normal {
+                    // Re-spawn at the seed's graded priority so ranked
+                    // work leads from the very first dequeue.
                     let this2 = Arc::clone(&this);
                     ctx.spawn_with_priority(
                         move |ctx2| this2.process_out_edges(ctx2, id, &[]),
-                        Priority::High,
+                        prio,
                     );
                 } else {
                     this.process_out_edges(ctx, id, &[]);
@@ -518,10 +603,7 @@ impl<K: Kernel> ExecCtx<K> {
             for id in 0..n as u32 {
                 let node = dag.node(id);
                 let addr = lcos[id as usize];
-                if node.class == NodeClass::S
-                    || addr.locality != loc
-                    || rt.lco_triggered(addr)
-                {
+                if node.class == NodeClass::S || addr.locality != loc || rt.lco_triggered(addr) {
                     continue;
                 }
                 let pn = p_non.get(&addr.index).copied().unwrap_or(0);
@@ -576,7 +658,8 @@ impl<K: Kernel> ExecCtx<K> {
                 let data = if node.in_degree == 0 {
                     Vec::new()
                 } else if rt.lco_triggered(lcos[id as usize]) {
-                    rt.lco_get(lcos[id as usize]).expect("triggered LCO has data")
+                    rt.lco_get(lcos[id as usize])
+                        .expect("triggered LCO has data")
                 } else {
                     continue; // will fire on its own in the recovery run
                 };
@@ -649,37 +732,75 @@ impl<K: Kernel> ExecCtx<K> {
     /// along every out-edge; local edges inline, remote edges coalesced
     /// into one parcel per destination locality.
     ///
-    /// Under priority scheduling, a node carrying both critical up-sweep
-    /// edges (`S→M`/`M→M`) and bulk edges processes the up-sweep
+    /// Under binary priority scheduling, a node carrying both critical
+    /// up-sweep edges (`S→M`/`M→M`) and bulk edges processes the up-sweep
     /// immediately and defers the rest to a separate normal-priority task,
     /// so the source-tree sweep races ahead of the bulk work (the paper's
-    /// proposed scheduling fix, §VI).
+    /// proposed scheduling fix, §VI).  Under the lattice the split is by
+    /// graded urgency instead: edges into nodes ranked more urgent than
+    /// `Normal` go first, and the bulk remainder is deferred at the most
+    /// urgent rank among its own destinations — which is how upward,
+    /// transfer, and downward work interleave rather than running as
+    /// phases.
     fn process_out_edges(self: &Arc<Self>, ctx: &TaskCtx, id: u32, data: &[f64]) {
         if let Some(l) = self.ledger.read().as_ref() {
             l.note_fired(id);
         }
-        if self.priority {
-            let is_up = |op: EdgeOp| matches!(op, EdgeOp::S2M | EdgeOp::M2M);
+        let split = match &self.policy {
+            SchedPolicy::Fifo => None,
+            SchedPolicy::Binary => Some((EdgeSel::Up, EdgeSel::Rest)),
+            SchedPolicy::Lattice(_) => Some((EdgeSel::Urgent, EdgeSel::Bulk)),
+        };
+        if let Some((now, deferred)) = split {
             let edges = self.asm.dag.out_edges(id);
-            let has_up = edges.iter().any(|e| is_up(e.op));
-            let has_rest = edges.iter().any(|e| !is_up(e.op));
-            if has_up && has_rest {
-                self.process_edge_part(ctx, id, data, Some(true));
+            let has_now = edges.iter().any(|e| self.edge_selected(e, now));
+            let has_deferred = edges.iter().any(|e| self.edge_selected(e, deferred));
+            if has_now && has_deferred {
+                self.process_edge_part(ctx, id, data, now);
+                // Boundary-first: deferred bulk that feeds a remote consumer
+                // runs one class earlier, so its parcel overlaps the
+                // remaining local bulk instead of serializing at the tail.
+                let lcos = self.lcos.read();
+                let prio = edges
+                    .iter()
+                    .filter(|e| self.edge_selected(e, deferred))
+                    .map(|e| {
+                        let p = self.node_priority(e.dst);
+                        if self.lattice.is_some() && lcos[e.dst as usize].locality != ctx.locality {
+                            Priority::class(p.level().saturating_sub(1))
+                        } else {
+                            p
+                        }
+                    })
+                    .min()
+                    .unwrap_or(Priority::Normal);
+                drop(lcos);
                 let this = Arc::clone(self);
                 let data_copy = data.to_vec();
                 ctx.spawn_with_priority(
-                    move |ctx2| this.process_edge_part(ctx2, id, &data_copy, Some(false)),
-                    Priority::Normal,
+                    move |ctx2| this.process_edge_part(ctx2, id, &data_copy, deferred),
+                    prio,
                 );
                 return;
             }
         }
-        self.process_edge_part(ctx, id, data, None);
+        self.process_edge_part(ctx, id, data, EdgeSel::All);
     }
 
-    /// Process the out-edges selected by `part`: `None` = all,
-    /// `Some(true)` = up-sweep only, `Some(false)` = everything else.
-    fn process_edge_part(&self, ctx: &TaskCtx, id: u32, data: &[f64], part: Option<bool>) {
+    /// Whether `e` belongs to the `sel` slice of an out-edge list.
+    fn edge_selected(&self, e: &DagEdge, sel: EdgeSel) -> bool {
+        let is_up = matches!(e.op, EdgeOp::S2M | EdgeOp::M2M);
+        match sel {
+            EdgeSel::All => true,
+            EdgeSel::Up => is_up,
+            EdgeSel::Rest => !is_up,
+            EdgeSel::Urgent => self.node_priority(e.dst).is_urgent(),
+            EdgeSel::Bulk => !self.node_priority(e.dst).is_urgent(),
+        }
+    }
+
+    /// Process the out-edges selected by `sel`.
+    fn process_edge_part(&self, ctx: &TaskCtx, id: u32, data: &[f64], sel: EdgeSel) {
         let dag = &self.asm.dag;
         let node = dag.node(id);
         let lcos = self.lcos.read();
@@ -689,10 +810,8 @@ impl<K: Kernel> ExecCtx<K> {
         // (locality, edge flat indices)
         let mut remote: Vec<(u32, Vec<u32>)> = Vec::new();
         for (i, e) in dag.out_edges(id).iter().enumerate() {
-            if let Some(up) = part {
-                if matches!(e.op, EdgeOp::S2M | EdgeOp::M2M) != up {
-                    continue;
-                }
+            if !self.edge_selected(e, sel) {
+                continue;
             }
             let dst_loc = lcos[e.dst as usize].locality;
             if dst_loc == ctx.locality {
@@ -724,7 +843,23 @@ impl<K: Kernel> ExecCtx<K> {
                 payload.extend_from_slice(&eid.to_le_bytes());
             }
             encode_f64s(data, &mut payload);
-            ctx.send(Parcel::new(action, GlobalAddress::new(loc, 0), payload));
+            // A coalesced parcel inherits the most urgent rank among its
+            // edges' destinations, so the wire and the receiving run queue
+            // see the same lattice the local scheduler does.
+            let prio = match &self.lattice {
+                Some(lat) => edge_ids
+                    .iter()
+                    .map(|&eid| Priority::class(lat.rank(dag.edges()[eid as usize].dst)))
+                    .min()
+                    .unwrap_or(Priority::Normal),
+                None => Priority::Normal,
+            };
+            ctx.send(Parcel::graded(
+                action,
+                GlobalAddress::new(loc, 0),
+                payload,
+                prio,
+            ));
         }
     }
 
@@ -795,7 +930,7 @@ impl<K: Kernel> ExecCtx<K> {
         let n = self.lib.params().surface_points();
         let stree = self.problem.tree.source();
         let ttree = self.problem.tree.target();
-        let prio = self.class_priority(dst_node.class);
+        let prio = self.node_priority(e.dst);
         if let Some(key) = self.batch_key(src_id, e) {
             let (off, len, slot) = if e.op == EdgeOp::I2I {
                 let (dir_idx, src_slot, dst_slot) = unpack_i2i(e.tag);
@@ -947,31 +1082,31 @@ impl<K: Kernel> ExecCtx<K> {
             ctx.record_span(class, batch[i].eid, prev, now);
             prev = now;
         };
+        // Lattice ranks differ between destinations inside one operator
+        // batch, so the LCO-set priority is looked up per entry.
+        let prio = |i: usize| self.node_priority(self.asm.dag.edges()[batch[i].eid as usize].dst);
         BATCH_WS.with(|ws| {
             let ws = &mut *ws.borrow_mut();
             let refs: Vec<&[f64]> = batch.iter().map(|b| &b.src[b.off..b.off + b.len]).collect();
             match key {
                 BatchKey::M2M { level, octant } => {
                     let t = self.lib.tables(level);
-                    let prio = self.class_priority(NodeClass::M);
                     opbatch::m2m_batch(&t, octant, &refs, ws, |i, col| {
-                        ctx.lco_set_with_priority(batch[i].dst, col, prio);
+                        ctx.lco_set_with_priority(batch[i].dst, col, prio(i));
                         mark(i);
                     });
                 }
                 BatchKey::L2L { level, octant } => {
                     let t = self.lib.tables(level);
-                    let prio = self.class_priority(NodeClass::L);
                     opbatch::l2l_batch(&t, octant, &refs, ws, |i, col| {
-                        ctx.lco_set_with_priority(batch[i].dst, col, prio);
+                        ctx.lco_set_with_priority(batch[i].dst, col, prio(i));
                         mark(i);
                     });
                 }
                 BatchKey::M2L { level, offset } => {
                     let t = self.lib.tables(level);
-                    let prio = self.class_priority(NodeClass::L);
                     opbatch::m2l_batch(self.lib.kernel(), &t, offset, &refs, ws, |i, col| {
-                        ctx.lco_set_with_priority(batch[i].dst, col, prio);
+                        ctx.lco_set_with_priority(batch[i].dst, col, prio(i));
                         mark(i);
                     });
                 }
@@ -985,14 +1120,13 @@ impl<K: Kernel> ExecCtx<K> {
                         delta.2 as f64 * quarter,
                     );
                     let fac = t.i2i(d, delta);
-                    let prio = self.class_priority(NodeClass::Is);
                     let mut out: Vec<f64> = Vec::new();
                     opbatch::i2i_batch(&fac, &refs, ws, |i, col| {
                         out.clear();
                         out.reserve(1 + col.len());
                         out.push(batch[i].slot);
                         out.extend_from_slice(col);
-                        ctx.lco_set_with_priority(batch[i].dst, &out, prio);
+                        ctx.lco_set_with_priority(batch[i].dst, &out, prio(i));
                         mark(i);
                     });
                 }
@@ -1009,7 +1143,7 @@ impl<K: Kernel> ExecCtx<K> {
                     let stree = self.problem.tree.source();
                     let dst_node = self.asm.dag.node(dst);
                     let tpts = self.problem.tree.target().points_of(dst_node.box_id);
-                    let prio = self.class_priority(NodeClass::T);
+                    let prio = prio(0);
                     let blocks = batch.iter().map(|b| {
                         let sb = stree.node(b.src_box);
                         (

@@ -47,7 +47,8 @@ pub mod verify;
 
 pub use api::{DashmmBuilder, EvalOutput, Evaluation, Policy, RecoveryInfo};
 pub use assemble::{assemble, Assembly};
-pub use exec::RecoveryStats;
+pub use dashmm_dag::{LatticeHint, PriorityLattice};
+pub use exec::{RecoveryStats, SchedPolicy};
 pub use measure::per_op_avg_us;
 pub use problem::{block_owner, Method, Problem};
 pub use resident::{EvalProfile, ResidentConfig, ResidentFmm};

@@ -1,0 +1,295 @@
+//! Computed priority lattice: graded task priorities from the DAG shape.
+//!
+//! The paper's binary `High/Normal` split (§VI) recovers only part of the
+//! fig4 utilization troughs.  Following Agullo et al. ("Pipelining the Fast
+//! Multipole Method over a Runtime System") the rest comes from *graded*
+//! priorities: rank every node by its weighted longest-path distance to a
+//! sink, so work on the critical chain drains first and upward / transfer /
+//! downward phases genuinely interleave.  Boundary boxes whose results feed
+//! remote consumers are bumped one class more urgent so their `M→L`-family
+//! parcels enter the network earliest.
+//!
+//! SPMD determinism is load-bearing: every locality computes the lattice
+//! independently over the same replicated DAG, and the ranks must agree
+//! bit-for-bit (the same class of invariant as the PR 2 placement
+//! tie-break).  The pass therefore uses only index-ordered array walks —
+//! no hash-map iteration — and [`PriorityLattice::fingerprint`] lets
+//! callers assert agreement across ranks and across the sim/runtime pair.
+
+use crate::graph::{Dag, EdgeOp};
+
+/// Number of graded priority classes.  Class 0 is the most urgent; class
+/// `PRIORITY_CLASSES - 1` the least.  Eight classes are enough to separate
+/// the up-sweep spine from bulk `M→L` traffic without bloating the
+/// per-class run queues.
+pub const PRIORITY_CLASSES: usize = 8;
+
+/// Per-operator weight hint for the lattice's longest-path pass, in
+/// arbitrary relative units (1.0 = average operator).
+///
+/// The default is uniform (pure graph distance).  A previous run's — or the
+/// simulator's — `CriticalPathReport::per_class_ns` can warm the lattice via
+/// [`LatticeHint::from_per_class_ns`]: operators that dominated the observed
+/// critical path weigh more, pulling their upstream producers toward class 0.
+#[derive(Clone, Debug)]
+pub struct LatticeHint {
+    /// Relative weight per [`EdgeOp`] (indexed by [`EdgeOp::index`]).
+    pub op_weight: [f64; EdgeOp::COUNT],
+}
+
+impl Default for LatticeHint {
+    fn default() -> Self {
+        Self::uniform()
+    }
+}
+
+impl LatticeHint {
+    /// Uniform weights: the lattice degenerates to unit-cost graph distance.
+    pub fn uniform() -> Self {
+        Self {
+            op_weight: [1.0; EdgeOp::COUNT],
+        }
+    }
+
+    /// Build a hint from observed per-class on-critical-path time (the
+    /// leading `EdgeOp::COUNT` entries of `CriticalPathReport::per_class_ns`;
+    /// longer slices are truncated, trailing runtime/transport classes are
+    /// ignored).  Weights are normalized so the mean observed operator is
+    /// 1.0 and clamped to `[0.25, 4.0]` — the hint *tilts* the lattice, it
+    /// must not collapse unobserved operators to zero urgency.
+    pub fn from_per_class_ns(per_class_ns: &[u64]) -> Self {
+        let mut w = [1.0f64; EdgeOp::COUNT];
+        let observed: Vec<f64> = per_class_ns
+            .iter()
+            .take(EdgeOp::COUNT)
+            .map(|&ns| ns as f64)
+            .collect();
+        let nonzero: Vec<f64> = observed.iter().copied().filter(|&x| x > 0.0).collect();
+        if nonzero.is_empty() {
+            return Self { op_weight: w };
+        }
+        let mean = nonzero.iter().sum::<f64>() / nonzero.len() as f64;
+        for (i, &ns) in observed.iter().enumerate() {
+            if ns > 0.0 {
+                w[i] = (ns / mean).clamp(0.25, 4.0);
+            }
+        }
+        Self { op_weight: w }
+    }
+}
+
+/// The computed lattice: one priority class per DAG node, 0 = most urgent.
+///
+/// A pure function of the DAG (nodes, edges, locality assignment) and the
+/// hint — identical on every locality that holds the same DAG.
+#[derive(Clone, Debug)]
+pub struct PriorityLattice {
+    ranks: Vec<u8>,
+}
+
+impl PriorityLattice {
+    /// Rank every node by weighted distance-to-sink, quantized into
+    /// [`PRIORITY_CLASSES`] classes, with boundary nodes (any out-edge
+    /// crossing localities) bumped one class more urgent.
+    ///
+    /// The longest-path pass runs over the reverse topological order
+    /// produced by a Kahn peel of out-degrees; ties resolve identically on
+    /// every rank because only node indices order the work.
+    pub fn compute(dag: &Dag, hint: &LatticeHint) -> Self {
+        let n = dag.num_nodes();
+        let mut dist = vec![0.0f64; n];
+        let mut remaining: Vec<u32> = dag.nodes().iter().map(|nd| nd.out_degree).collect();
+        // Count of unprocessed out-edges per node; a node's distance is
+        // final once all its successors are final.  Seed with sinks.
+        let mut stack: Vec<u32> = (0..n as u32)
+            .filter(|&i| remaining[i as usize] == 0)
+            .collect();
+        // Reverse adjacency without allocation-per-node churn: walk edges
+        // once to build CSR-style in-edge lists.
+        let mut in_off = vec![0u32; n + 1];
+        for e in dag.edges() {
+            in_off[e.dst as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_off[i + 1] += in_off[i];
+        }
+        let mut in_src = vec![0u32; dag.num_edges()];
+        let mut in_w = vec![0.0f64; dag.num_edges()];
+        let mut cursor = in_off.clone();
+        for src in 0..n {
+            for e in dag.out_edges(src as u32) {
+                let c = &mut cursor[e.dst as usize];
+                in_src[*c as usize] = src as u32;
+                in_w[*c as usize] = hint.op_weight[e.op.index()];
+                *c += 1;
+            }
+        }
+        let mut seen = 0usize;
+        while let Some(id) = stack.pop() {
+            seen += 1;
+            let d = dist[id as usize];
+            let (lo, hi) = (
+                in_off[id as usize] as usize,
+                in_off[id as usize + 1] as usize,
+            );
+            for k in lo..hi {
+                let src = in_src[k] as usize;
+                let cand = d + in_w[k];
+                if cand > dist[src] {
+                    dist[src] = cand;
+                }
+                remaining[src] -= 1;
+                if remaining[src] == 0 {
+                    stack.push(src as u32);
+                }
+            }
+        }
+        debug_assert_eq!(seen, n, "lattice pass requires an acyclic DAG");
+        let crit = dist.iter().cloned().fold(0.0f64, f64::max);
+        let mut ranks = Vec::with_capacity(n);
+        for (i, nd) in dag.nodes().iter().enumerate() {
+            let mut r = if crit > 0.0 {
+                // dist == crit → class 0; sinks → the last class.
+                let frac = 1.0 - dist[i] / crit;
+                ((frac * PRIORITY_CLASSES as f64) as usize).min(PRIORITY_CLASSES - 1)
+            } else {
+                PRIORITY_CLASSES - 1
+            };
+            // Boundary boost: producers feeding a remote consumer go one
+            // class more urgent so their parcels hit the wire earliest.
+            let boundary = dag
+                .out_edges(i as u32)
+                .iter()
+                .any(|e| dag.node(e.dst).locality != nd.locality);
+            if boundary {
+                r = r.saturating_sub(1);
+            }
+            ranks.push(r as u8);
+        }
+        Self { ranks }
+    }
+
+    /// Priority class of a node (0 = most urgent).
+    #[inline]
+    pub fn rank(&self, node: u32) -> u8 {
+        self.ranks[node as usize]
+    }
+
+    /// All ranks, node-indexed.
+    pub fn ranks(&self) -> &[u8] {
+        &self.ranks
+    }
+
+    /// Nodes per class.
+    pub fn histogram(&self) -> [usize; PRIORITY_CLASSES] {
+        let mut h = [0usize; PRIORITY_CLASSES];
+        for &r in &self.ranks {
+            h[r as usize] += 1;
+        }
+        h
+    }
+
+    /// FNV-1a over the rank bytes.  Every locality — and the simulator —
+    /// must produce the same fingerprint for the same DAG; CI compares the
+    /// sim and measured values to catch ordering divergence.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &r in &self.ranks {
+            h ^= r as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DagBuilder, NodeClass};
+
+    fn chain_with_branch() -> Dag {
+        // S → M → It → L → T  (spine), plus S2 → T2 short branch.
+        let mut b = DagBuilder::new();
+        let s = b.add_node(NodeClass::S, 0, 3, 100);
+        let m = b.add_node(NodeClass::M, 0, 3, 880);
+        let it = b.add_node(NodeClass::It, 1, 3, 5000);
+        let l = b.add_node(NodeClass::L, 1, 3, 880);
+        let t = b.add_node(NodeClass::T, 1, 3, 100);
+        let s2 = b.add_node(NodeClass::S, 2, 3, 100);
+        let t2 = b.add_node(NodeClass::T, 2, 3, 100);
+        b.add_edge(s, EdgeOp::S2M, m, 880, 0);
+        b.add_edge(m, EdgeOp::M2I, it, 5000, 0);
+        b.add_edge(it, EdgeOp::I2L, l, 880, 0);
+        b.add_edge(l, EdgeOp::L2T, t, 100, 0);
+        b.add_edge(s2, EdgeOp::S2T, t2, 100, 0);
+        b.finish()
+    }
+
+    #[test]
+    fn spine_outranks_short_branch() {
+        let d = chain_with_branch();
+        let lat = PriorityLattice::compute(&d, &LatticeHint::uniform());
+        // The head of the 4-edge spine is the most urgent node.
+        assert_eq!(lat.rank(0), 0);
+        // The short S→T branch head is strictly less urgent.
+        assert!(lat.rank(5) > lat.rank(0));
+        // Urgency decays monotonically down the spine.
+        assert!(lat.rank(1) >= lat.rank(0));
+        assert!(lat.rank(3) >= lat.rank(1));
+        assert!(lat.rank(4) >= lat.rank(3));
+    }
+
+    #[test]
+    fn boundary_boost_promotes_remote_producers() {
+        let mut d = chain_with_branch();
+        let base = PriorityLattice::compute(&d, &LatticeHint::uniform());
+        d.set_locality(2, 1); // It remote ⇒ M gains a remote consumer.
+        let boosted = PriorityLattice::compute(&d, &LatticeHint::uniform());
+        assert!(boosted.rank(1) <= base.rank(1));
+        // A node already at class 0 saturates rather than underflowing.
+        assert_eq!(boosted.rank(0), 0);
+    }
+
+    #[test]
+    fn hint_tilts_ranks() {
+        let d = chain_with_branch();
+        // Make S→T enormously expensive: the short branch becomes critical.
+        let mut per_class = vec![0u64; EdgeOp::COUNT];
+        per_class[EdgeOp::S2T.index()] = 1_000_000;
+        per_class[EdgeOp::S2M.index()] = 1_000;
+        let hint = LatticeHint::from_per_class_ns(&per_class);
+        assert!(hint.op_weight[EdgeOp::S2T.index()] > hint.op_weight[EdgeOp::S2M.index()]);
+        let uniform = PriorityLattice::compute(&d, &LatticeHint::uniform());
+        let lat = PriorityLattice::compute(&d, &hint);
+        // The expensive branch head gains urgency relative to pure graph
+        // distance; the spine head stays most urgent.
+        assert!(lat.rank(5) < uniform.rank(5));
+        assert_eq!(lat.rank(0), 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_ranks() {
+        let d = chain_with_branch();
+        let a = PriorityLattice::compute(&d, &LatticeHint::uniform());
+        let b = PriorityLattice::compute(&d, &LatticeHint::uniform());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut per_class = vec![0u64; EdgeOp::COUNT];
+        per_class[EdgeOp::S2T.index()] = 1_000_000;
+        per_class[EdgeOp::S2M.index()] = 1_000;
+        let c = PriorityLattice::compute(&d, &LatticeHint::from_per_class_ns(&per_class));
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn histogram_sums_to_node_count() {
+        let d = chain_with_branch();
+        let lat = PriorityLattice::compute(&d, &LatticeHint::uniform());
+        assert_eq!(lat.histogram().iter().sum::<usize>(), d.num_nodes());
+    }
+
+    #[test]
+    fn empty_hint_is_uniform() {
+        let h = LatticeHint::from_per_class_ns(&[]);
+        assert!(h.op_weight.iter().all(|&w| w == 1.0));
+    }
+}

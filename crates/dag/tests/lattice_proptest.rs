@@ -1,0 +1,166 @@
+//! Property tests of the computed priority lattice over arbitrary DAGs:
+//! determinism (two computes — or two SPMD ranks building the same DAG —
+//! agree byte-for-byte), invariance of the underlying distance ranks under
+//! locality relabeling and redistribution, and the structural invariants
+//! (edge monotonicity, sink class, bounded boundary boost) the scheduler
+//! relies on.
+
+use dashmm_dag::{
+    Dag, DagBuilder, EdgeOp, LatticeHint, NodeClass, PriorityLattice, PRIORITY_CLASSES,
+};
+use proptest::prelude::*;
+
+/// Deterministic xorshift stream for reproducible graph construction.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Build a random acyclic DAG: edges only run from lower to higher node
+/// index, so any edge set is a valid topological order.  Node classes and
+/// edge operators are drawn uniformly; `localities` spreads nodes across
+/// that many localities (1 = everything local).
+fn random_dag(seed: u64, nodes: usize, extra_edges: usize, localities: u32) -> Dag {
+    let mut rng = Rng(seed | 1);
+    let mut b = DagBuilder::new();
+    for i in 0..nodes {
+        let class = NodeClass::ALL[rng.below(NodeClass::ALL.len() as u64) as usize];
+        b.add_node(
+            class,
+            i as u32,
+            (rng.below(8)) as u8,
+            100 + rng.below(4096) as u32,
+        );
+    }
+    // A spine keeps most of the graph connected; extra edges add skips.
+    for i in 1..nodes {
+        if rng.below(4) != 0 {
+            let src = rng.below(i as u64) as u32;
+            let op = EdgeOp::ALL[rng.below(EdgeOp::COUNT as u64) as usize];
+            b.add_edge(src, op, i as u32, 100, i as u32);
+        }
+    }
+    for _ in 0..extra_edges {
+        let dst = 1 + rng.below(nodes as u64 - 1);
+        let src = rng.below(dst) as u32;
+        let op = EdgeOp::ALL[rng.below(EdgeOp::COUNT as u64) as usize];
+        b.add_edge(src, op, dst as u32, 100, dst as u32);
+    }
+    let mut dag = b.finish();
+    for i in 0..nodes {
+        dag.set_locality(i as u32, rng.below(localities as u64) as u32);
+    }
+    dag
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Two computes over the same DAG — or over two DAGs built
+    /// independently from the same inputs, as SPMD ranks do — produce
+    /// identical ranks and fingerprints.
+    #[test]
+    fn lattice_is_deterministic(
+        seed in any::<u64>(),
+        nodes in 2usize..120,
+        extra in 0usize..200,
+        localities in 1u32..9,
+    ) {
+        let dag = random_dag(seed, nodes, extra, localities);
+        let a = PriorityLattice::compute(&dag, &LatticeHint::uniform());
+        let b = PriorityLattice::compute(&dag, &LatticeHint::uniform());
+        prop_assert_eq!(a.ranks(), b.ranks());
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        // A second "rank" rebuilding the DAG from the same inputs agrees.
+        let rebuilt = random_dag(seed, nodes, extra, localities);
+        let c = PriorityLattice::compute(&rebuilt, &LatticeHint::uniform());
+        prop_assert_eq!(a.fingerprint(), c.fingerprint());
+        prop_assert_eq!(a.histogram().iter().sum::<usize>(), nodes);
+    }
+
+    /// Relabeling locality ids with any bijection leaves every rank
+    /// unchanged: only locality *equality* along an edge matters.
+    #[test]
+    fn locality_relabeling_preserves_ranks(
+        seed in any::<u64>(),
+        nodes in 2usize..100,
+        extra in 0usize..150,
+        localities in 1u32..8,
+        offset in 1u32..1000,
+    ) {
+        let dag = random_dag(seed, nodes, extra, localities);
+        let base = PriorityLattice::compute(&dag, &LatticeHint::uniform());
+        let mut relabeled = random_dag(seed, nodes, extra, localities);
+        for i in 0..nodes {
+            // A bijection on ids (shift): preserves equality classes.
+            let loc = dag.nodes()[i].locality;
+            relabeled.set_locality(i as u32, loc + offset);
+        }
+        let shifted = PriorityLattice::compute(&relabeled, &LatticeHint::uniform());
+        prop_assert_eq!(base.ranks(), shifted.ranks());
+        prop_assert_eq!(base.fingerprint(), shifted.fingerprint());
+    }
+
+    /// Redistributing a DAG across any locality count only applies the
+    /// bounded boundary boost: each node's class equals its single-locality
+    /// class, or is exactly one class more urgent — and nodes with no
+    /// remote out-edge keep their single-locality class exactly.
+    #[test]
+    fn rank_invariant_across_locality_counts(
+        seed in any::<u64>(),
+        nodes in 2usize..100,
+        extra in 0usize..150,
+        localities in 2u32..16,
+    ) {
+        let local = random_dag(seed, nodes, extra, 1);
+        let spread = random_dag(seed, nodes, extra, localities);
+        let base = PriorityLattice::compute(&local, &LatticeHint::uniform());
+        let dist = PriorityLattice::compute(&spread, &LatticeHint::uniform());
+        for i in 0..nodes as u32 {
+            let nd = &spread.nodes()[i as usize];
+            let boundary = spread
+                .out_edges(i)
+                .iter()
+                .any(|e| spread.nodes()[e.dst as usize].locality != nd.locality);
+            let expect = if boundary {
+                base.rank(i).saturating_sub(1)
+            } else {
+                base.rank(i)
+            };
+            prop_assert_eq!(dist.rank(i), expect);
+        }
+    }
+
+    /// With uniform weights and everything local, urgency is monotone
+    /// along every edge (a producer is never less urgent than its
+    /// consumer) and every sink sits in the least urgent class.
+    #[test]
+    fn uniform_local_lattice_is_edge_monotone(
+        seed in any::<u64>(),
+        nodes in 2usize..120,
+        extra in 0usize..200,
+    ) {
+        let dag = random_dag(seed, nodes, extra, 1);
+        let lat = PriorityLattice::compute(&dag, &LatticeHint::uniform());
+        for src in 0..nodes as u32 {
+            for e in dag.out_edges(src) {
+                prop_assert!(lat.rank(src) <= lat.rank(e.dst));
+            }
+        }
+        for (i, nd) in dag.nodes().iter().enumerate() {
+            if nd.out_degree == 0 {
+                prop_assert_eq!(lat.rank(i as u32) as usize, PRIORITY_CLASSES - 1);
+            }
+        }
+    }
+}

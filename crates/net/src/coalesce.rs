@@ -11,7 +11,7 @@
 //! which keeps it unit-testable; the transport's progress engine owns the
 //! I/O and feeds it timestamps.
 
-use dashmm_amt::{CoalesceConfig, Parcel};
+use dashmm_amt::{CoalesceConfig, Parcel, Priority};
 
 use crate::metrics::FlushReason;
 use crate::wire::{encode_parcel, parcel_wire_len, parcels_body};
@@ -30,13 +30,29 @@ pub struct Flush {
     pub parcels: u32,
     /// What triggered the flush.
     pub reason: FlushReason,
+    /// Most urgent priority level among the flushed parcels (0 = most
+    /// urgent) — the key batched flush decisions are ordered by.
+    pub urgency: u8,
 }
 
-#[derive(Default)]
 struct DestBuf {
     encoded: Vec<u8>,
     count: u32,
     first_ns: u64,
+    /// Most urgent priority level buffered (lattice class, 0 = most
+    /// urgent).  Reset to the least urgent level whenever the buffer seals.
+    urgency: u8,
+}
+
+impl Default for DestBuf {
+    fn default() -> Self {
+        DestBuf {
+            encoded: Vec::new(),
+            count: 0,
+            first_ns: 0,
+            urgency: Priority::CLASSES - 1,
+        }
+    }
 }
 
 /// Per-destination coalescing buffers.
@@ -76,9 +92,11 @@ impl Coalescer {
             body: parcels_body(self.epoch, buf.count, &buf.encoded),
             parcels: buf.count,
             reason,
+            urgency: buf.urgency,
         };
         buf.encoded.clear();
         buf.count = 0;
+        buf.urgency = Priority::CLASSES - 1;
         flush
     }
 
@@ -98,6 +116,7 @@ impl Coalescer {
                 body: parcels_body(self.epoch, 1, &encoded),
                 parcels: 1,
                 reason: FlushReason::Unbatched,
+                urgency: parcel.priority.level(),
             });
             return out;
         }
@@ -111,6 +130,7 @@ impl Coalescer {
         if buf.count == 0 {
             buf.first_ns = now_ns;
         }
+        buf.urgency = buf.urgency.min(parcel.priority.level());
         encode_parcel(parcel, &mut buf.encoded);
         buf.count += 1;
         if buf.encoded.len() >= self.cfg.max_bytes {
@@ -119,8 +139,17 @@ impl Coalescer {
         out
     }
 
+    /// Order due destinations most-urgent-buffer first (ties broken by
+    /// destination index, keeping the order deterministic) so boundary
+    /// `M→L`-family parcels don't idle behind bulk traffic when several
+    /// buffers seal in one progress step.
+    fn order_by_urgency(&self, mut due: Vec<u32>) -> Vec<u32> {
+        due.sort_by_key(|&d| (self.bufs[d as usize].urgency, d));
+        due
+    }
+
     /// Seal every buffer whose oldest parcel is older than the flush
-    /// interval.
+    /// interval, most urgent destination first.
     pub fn flush_aged(&mut self, now_ns: u64) -> Vec<Flush> {
         let deadline = self.cfg.max_delay_us * 1_000;
         let due: Vec<u32> = (0..self.bufs.len() as u32)
@@ -129,17 +158,22 @@ impl Coalescer {
                 b.count > 0 && now_ns.saturating_sub(b.first_ns) >= deadline
             })
             .collect();
-        due.into_iter()
+        self.order_by_urgency(due)
+            .into_iter()
             .map(|d| self.seal(d, FlushReason::Interval))
             .collect()
     }
 
-    /// Seal every non-empty buffer (idle or shutdown drain).
+    /// Seal every non-empty buffer (idle or shutdown drain), most urgent
+    /// destination first.
     pub fn flush_all(&mut self, reason: FlushReason) -> Vec<Flush> {
         let due: Vec<u32> = (0..self.bufs.len() as u32)
             .filter(|&d| self.bufs[d as usize].count > 0)
             .collect();
-        due.into_iter().map(|d| self.seal(d, reason)).collect()
+        self.order_by_urgency(due)
+            .into_iter()
+            .map(|d| self.seal(d, reason))
+            .collect()
     }
 
     /// Encoded bytes currently buffered across destinations.
@@ -221,6 +255,53 @@ mod tests {
         assert_eq!(fs[0].parcels, 1);
         assert_eq!(fs[1].parcels, 1);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn flushes_order_urgent_destinations_first() {
+        use dashmm_amt::Priority;
+        // Destination 3 holds only bulk (Normal) traffic, destination 1
+        // holds an urgent boundary parcel: a drain must ship 1 before 3
+        // even though 1 > 0 in index order… and destination 0's bulk
+        // buffer must not jump the queue either.
+        let mut c = Coalescer::new(4, 0, cfg(1 << 20));
+        let mut bulk0 = parcel(0, 16);
+        bulk0.priority = Priority::Normal;
+        let mut urgent1 = parcel(1, 16);
+        urgent1.priority = Priority::class(1);
+        let mut bulk3 = parcel(3, 16);
+        bulk3.priority = Priority::Normal;
+        assert!(c.push(0, &bulk0, 0).is_empty());
+        assert!(c.push(3, &bulk3, 0).is_empty());
+        assert!(c.push(1, &urgent1, 0).is_empty());
+        let fs = c.flush_all(FlushReason::Idle);
+        let dests: Vec<u32> = fs.iter().map(|f| f.dest).collect();
+        assert_eq!(dests, vec![1, 0, 3], "urgent first, then index order");
+        assert_eq!(fs[0].urgency, 1);
+        assert_eq!(fs[1].urgency, Priority::Normal.level());
+        // Sealing resets the urgency watermark.
+        let mut again = parcel(1, 16);
+        again.priority = Priority::Normal;
+        c.push(1, &again, 0);
+        let fs = c.flush_all(FlushReason::Idle);
+        assert_eq!(fs[0].urgency, Priority::Normal.level());
+    }
+
+    #[test]
+    fn aged_flushes_order_urgent_destinations_first() {
+        use dashmm_amt::Priority;
+        let mut c = Coalescer::new(3, 0, cfg(1 << 20));
+        let mut bulk = parcel(0, 8);
+        bulk.priority = Priority::Normal;
+        let mut urgent = parcel(2, 8);
+        urgent.priority = Priority::High;
+        c.push(0, &bulk, 0);
+        c.push(2, &urgent, 0);
+        let aged = c.flush_aged(1_000_000_000);
+        assert_eq!(aged.len(), 2);
+        assert_eq!(aged[0].dest, 2);
+        assert_eq!(aged[0].urgency, 0);
+        assert_eq!(aged[1].dest, 0);
     }
 
     #[test]

@@ -757,7 +757,9 @@ impl Transport for SocketTransport {
                 // buffer and re-queue the live ones; the one-time flush
                 // perturbs batch composition, which batched operators
                 // tolerate by construction.
-                let flushes = out.coalescer.flush_all(crate::metrics::FlushReason::Shutdown);
+                let flushes = out
+                    .coalescer
+                    .flush_all(crate::metrics::FlushReason::Shutdown);
                 for f in flushes {
                     if f.dest == dead {
                         coalesced_dropped += f.parcels as u64;
@@ -809,7 +811,11 @@ fn mark_peer_down(s: &Shared, r: u32, reason: ConvictionReason, why: &str) {
         .is_ok()
     {
         let epoch = s.epoch.load(Ordering::SeqCst);
-        *s.failure.lock() = Some(PeerFailure { rank: r, epoch, reason });
+        *s.failure.lock() = Some(PeerFailure {
+            rank: r,
+            epoch,
+            reason,
+        });
         eprintln!(
             "dashmm-net: rank {}: peer rank {r} down: {why} [{}] (epoch {epoch}, done {})",
             s.rank,
@@ -1216,8 +1222,7 @@ fn coordinate(s: &Shared) {
     }
     // Barrier release (a fenced rank owes no arrival).
     let next = c.barrier_released + 1;
-    if c
-        .barrier_arrived
+    if c.barrier_arrived
         .iter()
         .enumerate()
         .filter(|(r, _)| live(*r))
@@ -1383,17 +1388,16 @@ fn pump_writes(s: &Shared) -> bool {
                         .map(|(f, _)| f.len())
                         .sum::<usize>();
                     out.queued_bytes -= dropped;
-                    out.parcel_frames -=
-                        out.queues[r as usize].iter().filter(|(_, p)| *p).count()
-                            + usize::from(is_parcels);
+                    out.parcel_frames -= out.queues[r as usize].iter().filter(|(_, p)| *p).count()
+                        + usize::from(is_parcels);
                     out.offsets[r as usize] = 0;
                     out.queues[r as usize].clear();
                     if !known_gone {
                         // Mirror the read-side hangup discipline: convict
                         // while the epoch's work is open, otherwise just
                         // remember the dirty close for the suspicion sweep.
-                        let done = s.done_epoch.load(Ordering::SeqCst)
-                            >= s.epoch.load(Ordering::SeqCst);
+                        let done =
+                            s.done_epoch.load(Ordering::SeqCst) >= s.epoch.load(Ordering::SeqCst);
                         peer.closed = true;
                         if !done {
                             drop(peer);
@@ -1577,6 +1581,11 @@ fn progress_loop(s: &Shared) {
                     };
                     candidates.extend(out.coalescer.flush_all(reason));
                 }
+                // High-rank destinations hit the wire first: boundary
+                // parcels must not idle behind bulk flushes or behind
+                // previously deferred low-priority bodies.  The sort is
+                // stable, so equal-urgency flushes keep FIFO order.
+                candidates.sort_by_key(|f| f.urgency);
                 for f in candidates {
                     let dest = f.dest as usize;
                     let dest_bytes: usize = out.queues[dest].iter().map(|(fr, _)| fr.len()).sum();

@@ -407,10 +407,9 @@ pub fn encode_parcel(p: &Parcel, out: &mut Vec<u8>) {
     out.reserve(parcel_wire_len(p));
     out.extend_from_slice(&p.action.0.to_le_bytes());
     out.extend_from_slice(&p.target.pack().to_le_bytes());
-    out.push(match p.priority {
-        Priority::Normal => 0,
-        Priority::High => 1,
-    });
+    // Graded priority class on the wire (0 = most urgent); the receiver's
+    // scheduler indexes its run queues by this byte.
+    out.push(p.priority.level());
     out.extend_from_slice(&(p.payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&p.payload);
 }
@@ -423,11 +422,10 @@ pub fn decode_parcel(buf: &[u8]) -> Result<(Parcel, usize), WireError> {
     }
     let action = ActionId(le_u32(buf));
     let target = GlobalAddress::unpack(le_u64(&buf[4..]));
-    let priority = match buf[12] {
-        0 => Priority::Normal,
-        1 => Priority::High,
-        _ => return Err(WireError::BadParcel),
-    };
+    if buf[12] >= Priority::CLASSES {
+        return Err(WireError::BadParcel);
+    }
+    let priority = Priority::class(buf[12]);
     let plen = le_u32(&buf[13..]) as usize;
     if plen > MAX_FRAME_BODY || buf.len() < PARCEL_HEADER_BYTES + plen {
         return Err(WireError::Truncated);
@@ -561,7 +559,7 @@ mod tests {
 
     #[test]
     fn parcel_roundtrip_preserves_priority() {
-        for prio in [Priority::Normal, Priority::High] {
+        for prio in (0..Priority::CLASSES).map(Priority::class) {
             let p = parcel(prio, vec![1, 2, 3, 4, 5]);
             let mut buf = Vec::new();
             encode_parcel(&p, &mut buf);
@@ -577,10 +575,13 @@ mod tests {
 
     #[test]
     fn bad_priority_byte_rejected() {
-        let mut buf = Vec::new();
-        encode_parcel(&parcel(Priority::Normal, vec![]), &mut buf);
-        buf[12] = 2;
-        assert_eq!(decode_parcel(&buf).unwrap_err(), WireError::BadParcel);
+        // Any byte at or past the graded class count is malformed.
+        for bad in [Priority::CLASSES, Priority::CLASSES + 1, u8::MAX] {
+            let mut buf = Vec::new();
+            encode_parcel(&parcel(Priority::Normal, vec![]), &mut buf);
+            buf[12] = bad;
+            assert_eq!(decode_parcel(&buf).unwrap_err(), WireError::BadParcel);
+        }
     }
 
     #[test]

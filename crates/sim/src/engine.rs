@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use dashmm_amt::{TraceEvent, TraceSet};
-use dashmm_dag::{Dag, NodeClass};
+use dashmm_dag::{Dag, DagEdge, NodeClass, PriorityLattice, PRIORITY_CLASSES};
 
 use crate::cost::{CostModel, NetworkModel};
 
@@ -65,16 +65,28 @@ impl SimResult {
     }
 }
 
-/// Which part of a node's out-edge list a task processes.  Under priority
-/// scheduling the critical up-sweep edges (`S→M`, `M→M`) are split into
-/// their own high-priority task ("present work in an order that emphasizes
-/// the critical tasks", paper §VI); otherwise one task processes all edges.
+/// Which part of a node's out-edge list a task processes.  Under binary
+/// priority scheduling the critical up-sweep edges (`S→M`, `M→M`) are split
+/// into their own high-priority task ("present work in an order that
+/// emphasizes the critical tasks", paper §VI); under the lattice the split
+/// is by graded destination urgency instead; otherwise one task processes
+/// all edges.
 #[derive(Clone, Copy, PartialEq)]
 enum Part {
     All,
     UpOnly,
     RestOnly,
+    /// Lattice split: edges into destinations ranked more urgent than the
+    /// `Normal` class.
+    Urgent,
+    /// Lattice split: the non-urgent remainder.
+    Bulk,
 }
+
+/// The middle priority class unranked work runs at — the same value the
+/// runtime's `Priority::Normal` maps to, so the simulator's pop order
+/// mirrors the measured scheduler's class for class.
+const NORMAL_CLASS: u8 = (PRIORITY_CLASSES / 2) as u8;
 
 #[derive(Clone)]
 enum TaskKind {
@@ -93,7 +105,10 @@ fn is_up_edge(op: dashmm_dag::EdgeOp) -> bool {
 #[derive(Clone)]
 struct SimTask {
     kind: TaskKind,
-    high: bool,
+    /// Graded priority class, 0 = most urgent.  The binary schedule uses
+    /// classes 0 (`High`) and `NORMAL_CLASS` only; the lattice uses all
+    /// `PRIORITY_CLASSES`.
+    prio: u8,
 }
 
 enum Ev {
@@ -128,8 +143,15 @@ const SIM_MAX_BACKOFF_US: f64 = 400_000.0;
 
 struct LocState {
     idle_cores: usize,
-    ready_high: VecDeque<SimTask>,
-    ready: VecDeque<SimTask>,
+    /// One FIFO ready queue per priority class, popped most-urgent-first —
+    /// the virtual mirror of the runtime's indexed multi-level run queue.
+    ready: [VecDeque<SimTask>; PRIORITY_CLASSES],
+}
+
+impl LocState {
+    fn pop_ready(&mut self) -> Option<SimTask> {
+        self.ready.iter_mut().find_map(VecDeque::pop_front)
+    }
 }
 
 /// Phase of a node's task in the strict levelwise schedule: all S work,
@@ -171,6 +193,35 @@ fn levelwise_phase(dag: &Dag, id: u32, max_level: u8) -> u32 {
 /// assert!(r.makespan_us > 0.0);
 /// ```
 pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig) -> SimResult {
+    sim_core(dag, cost, net, cfg, None)
+}
+
+/// Replay `dag` under the computed priority lattice: every task and remote
+/// bundle carries its destination's graded rank, ready queues pop
+/// most-urgent-first, and continuations split urgent/bulk work exactly the
+/// way the measured executor does.  `cfg.priority` is ignored (the lattice
+/// subsumes it); levelwise mode is incompatible.
+pub fn simulate_lattice(
+    dag: &Dag,
+    cost: &CostModel,
+    net: &NetworkModel,
+    cfg: &SimConfig,
+    lattice: &PriorityLattice,
+) -> SimResult {
+    assert!(
+        !cfg.levelwise,
+        "levelwise and lattice scheduling are mutually exclusive"
+    );
+    sim_core(dag, cost, net, cfg, Some(lattice))
+}
+
+fn sim_core(
+    dag: &Dag,
+    cost: &CostModel,
+    net: &NetworkModel,
+    cfg: &SimConfig,
+    lattice: Option<&PriorityLattice>,
+) -> SimResult {
     assert!(cfg.localities >= 1 && cfg.cores_per_locality >= 1);
     assert!(
         !(cfg.levelwise && cfg.priority),
@@ -181,8 +232,7 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
     let mut locs: Vec<LocState> = (0..cfg.localities)
         .map(|_| LocState {
             idle_cores: cfg.cores_per_locality,
-            ready_high: VecDeque::new(),
-            ready: VecDeque::new(),
+            ready: std::array::from_fn(|_| VecDeque::new()),
         })
         .collect();
     let mut heap: BinaryHeap<(Reverse<Key>, usize)> = BinaryHeap::new();
@@ -199,9 +249,51 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
     };
 
     let node_loc = |id: u32| dag.node(id).locality.min(cfg.localities as u32 - 1);
-    // Under priority scheduling, a node with both up-sweep and other edges
-    // is split into a high-priority up-sweep task plus a normal task.
+    // Whether `e` belongs in the urgent slice of a lattice split.
+    let edge_urgent = |lat: &PriorityLattice, e: &DagEdge| lat.rank(e.dst) < NORMAL_CLASS;
+    // Under binary priority scheduling, a node with both up-sweep and other
+    // edges is split into a high-priority up-sweep task plus a normal task;
+    // under the lattice the same split happens by graded destination rank,
+    // and the continuation itself runs at the node's own rank.
     let node_tasks = |id: u32| -> Vec<SimTask> {
+        if let Some(lat) = lattice {
+            let rank = lat.rank(id);
+            let edges = dag.out_edges(id);
+            let has_urgent = edges.iter().any(|e| edge_urgent(lat, e));
+            let has_bulk = edges.iter().any(|e| !edge_urgent(lat, e));
+            if has_urgent && has_bulk {
+                // Boundary-first: bulk that feeds a remote consumer runs one
+                // class earlier so its transfer overlaps the remaining local
+                // bulk instead of serializing at the tail.
+                let bulk_prio = edges
+                    .iter()
+                    .filter(|e| !edge_urgent(lat, e))
+                    .map(|e| {
+                        let r = lat.rank(e.dst);
+                        if node_loc(e.dst) != node_loc(id) {
+                            r.saturating_sub(1)
+                        } else {
+                            r
+                        }
+                    })
+                    .min()
+                    .unwrap_or(NORMAL_CLASS);
+                return vec![
+                    SimTask {
+                        kind: TaskKind::Node(id, Part::Urgent),
+                        prio: rank,
+                    },
+                    SimTask {
+                        kind: TaskKind::Node(id, Part::Bulk),
+                        prio: bulk_prio,
+                    },
+                ];
+            }
+            return vec![SimTask {
+                kind: TaskKind::Node(id, Part::All),
+                prio: rank,
+            }];
+        }
         if cfg.priority && matches!(dag.node(id).class, NodeClass::S | NodeClass::M) {
             let has_up = dag.out_edges(id).iter().any(|e| is_up_edge(e.op));
             let has_rest = dag.out_edges(id).iter().any(|e| !is_up_edge(e.op));
@@ -210,18 +302,18 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
                     return vec![
                         SimTask {
                             kind: TaskKind::Node(id, Part::UpOnly),
-                            high: true,
+                            prio: 0,
                         },
                         SimTask {
                             kind: TaskKind::Node(id, Part::RestOnly),
-                            high: false,
+                            prio: NORMAL_CLASS,
                         },
                     ]
                 }
                 (true, false) => {
                     return vec![SimTask {
                         kind: TaskKind::Node(id, Part::All),
-                        high: true,
+                        prio: 0,
                     }]
                 }
                 _ => {}
@@ -229,7 +321,7 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
         }
         vec![SimTask {
             kind: TaskKind::Node(id, Part::All),
-            high: false,
+            prio: NORMAL_CLASS,
         }]
     };
 
@@ -314,6 +406,12 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
                         match part {
                             Part::UpOnly if !is_up_edge(e.op) => continue,
                             Part::RestOnly if is_up_edge(e.op) => continue,
+                            Part::Urgent if !edge_urgent(lattice.expect("lattice split"), e) => {
+                                continue
+                            }
+                            Part::Bulk if edge_urgent(lattice.expect("lattice split"), e) => {
+                                continue
+                            }
                             _ => {}
                         }
                         let dst_loc = node_loc(e.dst);
@@ -360,8 +458,19 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
                             ));
                         }
                     }
-                    // Messages posted at task end.
+                    // Messages posted at task end.  A coalesced bundle
+                    // inherits the most urgent rank among its edges'
+                    // destinations — the same grade the real transport
+                    // stamps on the wire.
                     for (dst_loc, list, b) in remote {
+                        let bundle_prio = match lattice {
+                            Some(lat) => list
+                                .iter()
+                                .map(|&ei| lat.rank(dag.edges()[ei as usize].dst))
+                                .min()
+                                .unwrap_or(NORMAL_CLASS),
+                            None => task.prio,
+                        };
                         t += net.send_overhead_us;
                         messages += 1;
                         bytes += b;
@@ -410,7 +519,7 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
                                         edges: list,
                                         phase: task_phase,
                                     },
-                                    high: task.high,
+                                    prio: bundle_prio,
                                 },
                             ),
                         );
@@ -466,10 +575,9 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
                 if ls.idle_cores > 0 {
                     ls.idle_cores -= 1;
                     start_task!(loc, task, now);
-                } else if cfg.priority && task.high {
-                    ls.ready_high.push_back(task);
                 } else {
-                    ls.ready.push_back(task);
+                    let class = task.prio as usize;
+                    ls.ready[class].push_back(task);
                 }
             }
             Ev::CoreFree(loc, phase) => {
@@ -499,12 +607,7 @@ pub fn simulate(dag: &Dag, cost: &CostModel, net: &NetworkModel, cfg: &SimConfig
                     }
                 }
                 let ls = &mut locs[loc as usize];
-                let next = if cfg.priority {
-                    ls.ready_high.pop_front().or_else(|| ls.ready.pop_front())
-                } else {
-                    ls.ready.pop_front()
-                };
-                match next {
+                match ls.pop_ready() {
                     Some(task) => start_task!(loc, task, now),
                     None => ls.idle_cores += 1,
                 }
@@ -751,6 +854,68 @@ mod tests {
             first_s2m(&tr1),
             first_s2m(&tr0)
         );
+    }
+
+    #[test]
+    fn lattice_conserves_work_and_leads_with_spine() {
+        use dashmm_dag::LatticeHint;
+        // Same shape as `priority_reorders_ready_queue`: an It→L fan seeds
+        // the queue ahead of the S→M→M spine.  The lattice must rank the
+        // spine more urgent and start it earlier, without changing the
+        // total work done.
+        let mut b = DagBuilder::new();
+        for i in 0..8 {
+            let x = b.add_node(NodeClass::It, 100 + i, 2, 8);
+            let y = b.add_node(NodeClass::L, 200 + i, 2, 8);
+            b.add_edge(x, EdgeOp::I2L, y, 8, 0);
+        }
+        let s = b.add_node(NodeClass::S, 0, 2, 8);
+        let m = b.add_node(NodeClass::M, 0, 2, 8);
+        let m2 = b.add_node(NodeClass::M, 1, 2, 8);
+        let l = b.add_node(NodeClass::L, 2, 2, 8);
+        let t = b.add_node(NodeClass::T, 2, 2, 8);
+        b.add_edge(s, EdgeOp::S2M, m, 8, 0);
+        b.add_edge(m, EdgeOp::M2M, m2, 8, 0);
+        b.add_edge(m2, EdgeOp::M2L, l, 8, 0);
+        b.add_edge(l, EdgeOp::L2T, t, 8, 0);
+        let d = b.finish();
+        let lat = dashmm_dag::PriorityLattice::compute(&d, &LatticeHint::uniform());
+        let c = SimConfig {
+            trace: true,
+            ..cfg(1, 1)
+        };
+        let fifo = simulate(&d, &cm(10.0), &NetworkModel::ideal(), &c);
+        let graded = simulate_lattice(&d, &cm(10.0), &NetworkModel::ideal(), &c, &lat);
+        let bf: f64 = fifo.busy_us.iter().sum();
+        let bg: f64 = graded.busy_us.iter().sum();
+        assert!((bf - bg).abs() < 1e-9, "work must be schedule-invariant");
+        let first_s2m = |r: &SimResult| {
+            r.trace
+                .all_events()
+                .filter(|e| e.class == EdgeOp::S2M.index() as u8)
+                .map(|e| e.start_ns)
+                .min()
+                .unwrap()
+        };
+        assert!(
+            first_s2m(&graded) < first_s2m(&fifo),
+            "lattice must start the spine earlier: {} vs {}",
+            first_s2m(&graded),
+            first_s2m(&fifo)
+        );
+    }
+
+    #[test]
+    fn lattice_run_is_deterministic() {
+        use dashmm_dag::LatticeHint;
+        let d = wide(24);
+        let lat = dashmm_dag::PriorityLattice::compute(&d, &LatticeHint::uniform());
+        let c = cfg(2, 3);
+        let a = simulate_lattice(&d, &cm(3.0), &NetworkModel::ideal(), &c, &lat);
+        let b = simulate_lattice(&d, &cm(3.0), &NetworkModel::ideal(), &c, &lat);
+        assert_eq!(a.makespan_us, b.makespan_us);
+        assert_eq!(a.tasks, b.tasks);
+        assert_eq!(a.messages, b.messages);
     }
 
     #[test]

@@ -28,5 +28,5 @@ pub mod recovery;
 
 pub use cost::{CostModel, NetworkModel, StepCounts};
 pub use dashmm_amt::CoalesceConfig;
-pub use engine::{simulate, SimConfig, SimResult};
+pub use engine::{simulate, simulate_lattice, SimConfig, SimResult};
 pub use recovery::{estimate_recovery, RecoveryEstimate};

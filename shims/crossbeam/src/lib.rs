@@ -175,6 +175,13 @@ pub mod deque {
             }
         }
 
+        /// Whether the injector is currently empty (racy by nature — a
+        /// hint for occupancy masks, not a synchronization primitive; real
+        /// crossbeam exposes the same method with the same caveat).
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
         /// Steal a batch of tasks, moving all but the first into `worker`
         /// and returning the first.
         pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
